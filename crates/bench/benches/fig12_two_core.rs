@@ -1,0 +1,34 @@
+//! Criterion bench: host throughput of the Fig. 12 two-core runs
+//! (partition + execution of one suite benchmark).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use quape_compiler::{partition_two_blocks, Compiler};
+use quape_core::{Machine, QuapeConfig};
+use quape_qpu::{BehavioralQpu, MeasurementModel};
+use quape_workloads::benchmarks::ising;
+
+fn bench(c: &mut Criterion) {
+    let compiler = Compiler::new();
+    let circuit = ising(16, 3);
+    let (program, _) = partition_two_blocks(&compiler, &circuit).expect("partitions");
+    let mut group = c.benchmark_group("fig12_two_core");
+    group.bench_function("partition_ising_16", |b| {
+        b.iter(|| partition_two_blocks(&compiler, &circuit).expect("partitions"))
+    });
+    group.bench_function("run_ising_16_two_core", |b| {
+        b.iter_batched(
+            || {
+                let cfg = QuapeConfig::multiprocessor(2).with_seed(3);
+                let qpu =
+                    BehavioralQpu::new(cfg.timings, MeasurementModel::Bernoulli { p_one: 0.5 }, 3);
+                Machine::new(cfg, program.clone(), Box::new(qpu)).expect("valid machine")
+            },
+            |m| m.run(),
+            BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

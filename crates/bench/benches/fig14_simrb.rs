@@ -1,0 +1,42 @@
+//! Criterion bench: host throughput of the Fig. 14 pieces — one RB
+//! sequence on the noisy state-vector QPU, and the decay fit.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use quape_isa::Qubit;
+use quape_qpu::{fit_decay, CliffordGroup, CliffordId, DepolarizingNoise, StateVector};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+fn bench(c: &mut Criterion) {
+    let group = CliffordGroup::new();
+    c.bench_function("fig14_rb_sequence_m50", |b| {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let noise = DepolarizingNoise::for_fidelity(0.995);
+        b.iter(|| {
+            let mut state = StateVector::new(2);
+            let mut seq = Vec::with_capacity(50);
+            for _ in 0..50 {
+                let cid = CliffordId(rng.gen_range(0..24));
+                seq.push(cid);
+                for &p in group.pulses(cid) {
+                    state.apply_gate1(p, Qubit::new(0));
+                }
+                noise.apply(&mut state, Qubit::new(0), &mut rng);
+            }
+            let rec = group.recovery(seq.iter().copied());
+            for &p in group.pulses(rec) {
+                state.apply_gate1(p, Qubit::new(0));
+            }
+            state.prob_all_zero()
+        })
+    });
+    c.bench_function("fig14_decay_fit", |b| {
+        let ms: Vec<u32> = (0..24).map(|i| 1 + 12 * i).collect();
+        let ys: Vec<f64> = ms.iter().map(|&m| 0.5 * 0.99f64.powi(m as i32) + 0.5).collect();
+        b.iter(|| fit_decay(&ms, &ys).expect("fits"))
+    });
+    c.bench_function("fig14_clifford_group_construction", |b| b.iter(CliffordGroup::new));
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! Regenerates Fig. 12: execution time of the seven suite benchmarks on a
+//! two-core implementation vs the uniprocessor.
+//!
+//! Usage: `fig12_two_core [--json]`.
+
+use quape_bench::fig12;
+use quape_bench::table::{to_json, TextTable};
+
+fn main() {
+    let json = std::env::args().any(|a| a == "--json");
+    let rows = fig12::run();
+    if json {
+        println!("{}", to_json(&rows));
+        return;
+    }
+    println!("Fig. 12 — two-core vs uniprocessor execution time:");
+    let mut t = TextTable::new(["benchmark", "uni (ns)", "2-core (ns)", "speedup", "blocks"]);
+    for r in &rows {
+        t.row([
+            r.benchmark.clone(),
+            r.uniprocessor_ns.to_string(),
+            r.two_core_ns.to_string(),
+            format!("{:.2}x", r.speedup),
+            r.blocks.to_string(),
+        ]);
+    }
+    println!("{}", t.render());
+    println!(
+        "average speedup: {:.2}x   (paper: 1.30x)",
+        fig12::average_speedup(&rows)
+    );
+}

@@ -1,0 +1,42 @@
+//! Regenerates Fig. 13: average Time Ratio of the 8-way superscalar vs the
+//! scalar baseline (clock 10 ns, gate 20 ns; the dotted line is TR = 1).
+//!
+//! Usage: `fig13_superscalar [--json]`.
+
+use quape_bench::fig13;
+use quape_bench::table::{to_json, TextTable};
+
+fn main() {
+    let json = std::env::args().any(|a| a == "--json");
+    let rows = fig13::run();
+    if json {
+        println!("{}", to_json(&rows));
+        return;
+    }
+    println!("Fig. 13 — average TR, 8-way superscalar vs scalar baseline:");
+    let mut t = TextTable::new([
+        "benchmark",
+        "source",
+        "baseline avg TR",
+        "baseline max TR",
+        "8-way avg TR",
+        "improvement",
+        "TR<=1",
+    ]);
+    for r in &rows {
+        t.row([
+            r.benchmark.clone(),
+            r.source.clone(),
+            format!("{:.2}", r.baseline_avg_tr),
+            format!("{:.1}", r.baseline_max_tr),
+            format!("{:.2}", r.superscalar_avg_tr),
+            format!("{:.2}x", r.improvement),
+            if r.superscalar_meets_deadline { "yes" } else { "NO" }.to_string(),
+        ]);
+    }
+    println!("{}", t.render());
+    println!(
+        "average improvement: {:.2}x   (paper: 4.04x; hs16 8.00x; rd84_143 1.60x)",
+        fig13::average_improvement(&rows)
+    );
+}

@@ -1,0 +1,67 @@
+//! Regenerates Fig. 14: individual RB and simRB decay curves with fitted
+//! fidelities, plus a through-the-control-stack validation run.
+//!
+//! Usage: `fig14_simrb [--json] [--stack]`.
+
+use quape_bench::fig14;
+use quape_bench::table::{to_json, TextTable};
+
+fn main() {
+    let json = std::env::args().any(|a| a == "--json");
+    let stack = std::env::args().any(|a| a == "--stack");
+
+    let report = fig14::run_direct();
+    if json {
+        println!("{}", to_json(&report));
+        return;
+    }
+
+    println!("Fig. 14 — RB and simRB on q0/q1 (state-vector QPU):\n");
+    let mut t = TextTable::new(["curve", "fidelity", "paper", "decay p"]);
+    let rows = [
+        ("RB q0 (individual)", &report.individual_a, 0.995),
+        ("RB q1 (individual)", &report.individual_b, 0.994),
+        ("simRB q0", &report.simultaneous_a, 0.987),
+        ("simRB q1", &report.simultaneous_b, 0.991),
+    ];
+    for (name, curve, paper) in rows {
+        t.row([
+            name.to_string(),
+            format!("{:.2}%", curve.fidelity() * 100.0),
+            format!("{:.1}%", paper * 100.0),
+            format!("{:.5}", curve.fit.decay),
+        ]);
+    }
+    println!("{}", t.render());
+
+    println!("survival curves (sequence length -> survival):");
+    let mut c = TextTable::new(["m", "RB q0", "RB q1", "simRB q0", "simRB q1"]);
+    for (i, p) in report.individual_a.points.iter().enumerate() {
+        c.row([
+            p.length.to_string(),
+            format!("{:.4}", p.survival),
+            format!("{:.4}", report.individual_b.points[i].survival),
+            format!("{:.4}", report.simultaneous_a.points[i].survival),
+            format!("{:.4}", report.simultaneous_b.points[i].survival),
+        ]);
+    }
+    println!("{}", c.render());
+
+    if stack {
+        println!("through-stack validation (assembler -> QuAPE machine -> QPU):");
+        let r = fig14::run_through_stack(&[1, 4, 12, 24, 48, 96], 40);
+        let mut s = TextTable::new(["m", "individual", "simultaneous"]);
+        for (i, &m) in r.lengths.iter().enumerate() {
+            s.row([
+                m.to_string(),
+                format!("{:.3}", r.survival_individual[i]),
+                format!("{:.3}", r.survival_simultaneous[i]),
+            ]);
+        }
+        println!("{}", s.render());
+        println!(
+            "fits: individual p={:.5}, simultaneous p={:.5}",
+            r.fit_individual.decay, r.fit_simultaneous.decay
+        );
+    }
+}

@@ -1,0 +1,14 @@
+//! Regenerates Table 1: the block information table of the Fig. 6 example
+//! circuit, in both the direct-dependency and priority representations.
+
+use quape_bench::tables;
+
+fn main() {
+    println!("Table 1 — block information table (direct dependencies):\n");
+    print!("{}", tables::table1());
+    tables::table1_checks().expect("table structure matches the paper");
+    println!("\npriority representation (§5.2.2):");
+    for (name, prio) in tables::table1_priorities() {
+        println!("  {name}: priority {prio}");
+    }
+}

@@ -1,0 +1,42 @@
+//! Regenerates Table 2: the qualitative QuAPE vs QuMA_v2 comparison,
+//! plus a quantitative analysis of the §9 rationale — the QNOP code-size
+//! tax an 8-way VLIW encoding would pay on each suite benchmark, and the
+//! ideal SOMQ fusion opportunity.
+
+use quape_bench::table::TextTable;
+use quape_compiler::{somq_report, vliw_report, Compiler};
+use quape_workloads::benchmark_suite;
+
+fn main() {
+    println!("Table 2 — comparison with QuMA_v2:\n");
+    print!("{}", quape_bench::tables::table2());
+
+    println!("\n§9 rationale, quantified — 8-way VLIW encoding overhead vs the");
+    println!("fixed-length superscalar stream, and the ideal SOMQ upper bound:\n");
+    let compiler = Compiler::new();
+    let mut t = TextTable::new([
+        "benchmark",
+        "scalar words",
+        "VLIW words",
+        "QNOPs",
+        "expansion",
+        "SOMQ compression (ideal)",
+    ]);
+    for b in benchmark_suite() {
+        let program = compiler.compile(&b.circuit).expect("compiles");
+        let v = vliw_report(&program, 8);
+        let s = somq_report(&program);
+        t.row([
+            b.name.to_string(),
+            v.scalar_words.to_string(),
+            v.vliw_words.to_string(),
+            v.qnops.to_string(),
+            format!("{:.2}x", v.expansion()),
+            format!("{:.2}x", s.compression()),
+        ]);
+    }
+    println!("{}", t.render());
+    println!("(the VLIW expansion is the \"additional program size\" cost of inserted");
+    println!("QNOPs; the SOMQ column assumes the QCP can always provide the full");
+    println!("target-qubit list in time, which §9 argues is not generally possible)");
+}

@@ -1,0 +1,85 @@
+//! Table 1 (block information table example) and Table 2 (QuAPE vs
+//! QuMA_v2 characteristics).
+
+use crate::table::TextTable;
+use quape_isa::{BlockId, BlockInfoTable};
+
+/// Builds Table 1 exactly as printed in the paper: the block information
+/// table of the Fig. 6 example circuit.
+pub fn table1() -> BlockInfoTable {
+    crate::fig07::example_program().blocks().clone()
+}
+
+/// The priority-based alternative representation shown in §5.2.2.
+pub fn table1_priorities() -> Vec<(String, u16)> {
+    let table = table1();
+    // W1/W2 → priority 0, W3 → 1, W4 → 2 (derived from the direct DAG).
+    let mut depth = vec![0u16; table.len()];
+    for (id, info) in table.iter() {
+        if let quape_isa::Dependency::Direct(deps) = &info.dependency {
+            depth[id.index()] =
+                deps.iter().map(|d| depth[d.index()] + 1).max().unwrap_or(0);
+        }
+    }
+    table.iter().map(|(id, info)| (info.name.clone(), depth[id.index()])).collect()
+}
+
+/// Renders Table 2: the qualitative comparison with QuMA_v2 (HPCA 2019).
+pub fn table2() -> String {
+    let mut t = TextTable::new(["", "QuAPE", "QuMA_v2, HPCA 2019"]);
+    t.row(["Target technology", "Superconducting", "Superconducting"]);
+    t.row(["Memory architecture", "Centralized", "Centralized"]);
+    t.row(["CLP", "Multiprocessor", "N/A"]);
+    t.row(["QOLP", "Superscalar", "VLIW, SOMQ"]);
+    t.row(["Feedback control", "Supported", "Supported"]);
+    t.render()
+}
+
+/// Confirms the structural claims behind Table 1 (used by tests and the
+/// binary).
+pub fn table1_checks() -> Result<(), String> {
+    let t = table1();
+    if t.len() != 4 {
+        return Err(format!("expected 4 blocks, got {}", t.len()));
+    }
+    t.validate().map_err(|e| e.to_string())?;
+    let w3 = t.get(BlockId(2)).ok_or("missing W3")?;
+    match &w3.dependency {
+        quape_isa::Dependency::Direct(deps) if deps.len() == 2 => Ok(()),
+        other => Err(format!("W3 should depend on two blocks, got {other:?}")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_matches_paper_structure() {
+        table1_checks().unwrap();
+        let rendered = table1().to_string();
+        assert!(rendered.contains("W1,W2"), "{rendered}");
+    }
+
+    #[test]
+    fn priority_representation_matches_section_5_2_2() {
+        let prios = table1_priorities();
+        assert_eq!(
+            prios,
+            vec![
+                ("W1".to_string(), 0),
+                ("W2".to_string(), 0),
+                ("W3".to_string(), 1),
+                ("W4".to_string(), 2)
+            ]
+        );
+    }
+
+    #[test]
+    fn table2_lists_all_rows() {
+        let s = table2();
+        for needle in ["Multiprocessor", "VLIW, SOMQ", "N/A", "Centralized"] {
+            assert!(s.contains(needle), "missing {needle} in:\n{s}");
+        }
+    }
+}

@@ -1,0 +1,342 @@
+//! The [`Circuit`] container and its builder methods.
+
+use crate::op::CircuitOp;
+use crate::schedule::ScheduledCircuit;
+use quape_isa::{Angle, Gate1, Gate2, Qubit};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Errors raised while building a circuit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CircuitError {
+    /// An operation referenced a qubit outside the circuit width.
+    QubitOutOfRange {
+        /// The offending qubit.
+        qubit: Qubit,
+        /// The circuit width.
+        num_qubits: u16,
+    },
+    /// A two-qubit gate used the same qubit twice.
+    DuplicateQubit {
+        /// The duplicated operand.
+        qubit: Qubit,
+    },
+}
+
+impl fmt::Display for CircuitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CircuitError::QubitOutOfRange { qubit, num_qubits } => {
+                write!(f, "{qubit} out of range for a {num_qubits}-qubit circuit")
+            }
+            CircuitError::DuplicateQubit { qubit } => {
+                write!(f, "two-qubit gate uses {qubit} for both operands")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CircuitError {}
+
+/// A quantum circuit: an ordered list of operations over `num_qubits`
+/// qubits, prior to step scheduling.
+///
+/// Builder methods return `&mut Self` so construction chains:
+///
+/// ```
+/// use quape_circuit::Circuit;
+/// let mut c = Circuit::new(2);
+/// c.h(0)?.cnot(0, 1)?.measure(1)?;
+/// assert_eq!(c.len(), 3);
+/// # Ok::<(), quape_circuit::CircuitError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Circuit {
+    name: String,
+    num_qubits: u16,
+    ops: Vec<CircuitOp>,
+}
+
+impl Circuit {
+    /// Creates an empty circuit over `num_qubits` qubits.
+    pub fn new(num_qubits: u16) -> Self {
+        Circuit { name: String::from("circuit"), num_qubits, ops: Vec::new() }
+    }
+
+    /// Creates an empty, named circuit.
+    pub fn named(name: impl Into<String>, num_qubits: u16) -> Self {
+        Circuit { name: name.into(), num_qubits, ops: Vec::new() }
+    }
+
+    /// The circuit name (used by benchmark registries and reports).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of qubits.
+    pub fn num_qubits(&self) -> u16 {
+        self.num_qubits
+    }
+
+    /// Number of operations (including barriers).
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// True if the circuit has no operations.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// The operations in program order.
+    pub fn ops(&self) -> &[CircuitOp] {
+        &self.ops
+    }
+
+    /// Number of non-barrier operations.
+    pub fn gate_count(&self) -> usize {
+        self.ops.iter().filter(|o| !o.is_barrier()).count()
+    }
+
+    /// Number of measurement operations.
+    pub fn measure_count(&self) -> usize {
+        self.ops.iter().filter(|o| matches!(o, CircuitOp::Measure(_))).count()
+    }
+
+    fn check(&self, q: Qubit) -> Result<Qubit, CircuitError> {
+        if q.index() < self.num_qubits {
+            Ok(q)
+        } else {
+            Err(CircuitError::QubitOutOfRange { qubit: q, num_qubits: self.num_qubits })
+        }
+    }
+
+    /// Appends an arbitrary operation.
+    ///
+    /// # Errors
+    ///
+    /// Rejects out-of-range qubits and two-qubit gates with equal operands.
+    pub fn push(&mut self, op: CircuitOp) -> Result<&mut Self, CircuitError> {
+        match &op {
+            CircuitOp::Gate1(_, q) | CircuitOp::Measure(q) => {
+                self.check(*q)?;
+            }
+            CircuitOp::Gate2(_, a, b) => {
+                self.check(*a)?;
+                self.check(*b)?;
+                if a == b {
+                    return Err(CircuitError::DuplicateQubit { qubit: *a });
+                }
+            }
+            CircuitOp::Barrier(qs) => {
+                for q in qs {
+                    self.check(*q)?;
+                }
+            }
+        }
+        self.ops.push(op);
+        Ok(self)
+    }
+
+    /// Appends a single-qubit gate.
+    pub fn gate1(&mut self, gate: Gate1, q: u16) -> Result<&mut Self, CircuitError> {
+        self.push(CircuitOp::Gate1(gate, Qubit::new(q)))
+    }
+
+    /// Appends a two-qubit gate.
+    pub fn gate2(&mut self, gate: Gate2, a: u16, b: u16) -> Result<&mut Self, CircuitError> {
+        self.push(CircuitOp::Gate2(gate, Qubit::new(a), Qubit::new(b)))
+    }
+
+    /// Appends a Hadamard.
+    pub fn h(&mut self, q: u16) -> Result<&mut Self, CircuitError> {
+        self.gate1(Gate1::H, q)
+    }
+
+    /// Appends a Pauli X.
+    pub fn x(&mut self, q: u16) -> Result<&mut Self, CircuitError> {
+        self.gate1(Gate1::X, q)
+    }
+
+    /// Appends a Pauli Y.
+    pub fn y(&mut self, q: u16) -> Result<&mut Self, CircuitError> {
+        self.gate1(Gate1::Y, q)
+    }
+
+    /// Appends a Pauli Z.
+    pub fn z(&mut self, q: u16) -> Result<&mut Self, CircuitError> {
+        self.gate1(Gate1::Z, q)
+    }
+
+    /// Appends an S gate.
+    pub fn s(&mut self, q: u16) -> Result<&mut Self, CircuitError> {
+        self.gate1(Gate1::S, q)
+    }
+
+    /// Appends an S† gate.
+    pub fn sdg(&mut self, q: u16) -> Result<&mut Self, CircuitError> {
+        self.gate1(Gate1::Sdg, q)
+    }
+
+    /// Appends a T gate.
+    pub fn t(&mut self, q: u16) -> Result<&mut Self, CircuitError> {
+        self.gate1(Gate1::T, q)
+    }
+
+    /// Appends a T† gate.
+    pub fn tdg(&mut self, q: u16) -> Result<&mut Self, CircuitError> {
+        self.gate1(Gate1::Tdg, q)
+    }
+
+    /// Appends a +π/2 X rotation.
+    pub fn x90(&mut self, q: u16) -> Result<&mut Self, CircuitError> {
+        self.gate1(Gate1::X90, q)
+    }
+
+    /// Appends a −π/2 X rotation.
+    pub fn xm90(&mut self, q: u16) -> Result<&mut Self, CircuitError> {
+        self.gate1(Gate1::Xm90, q)
+    }
+
+    /// Appends a +π/2 Y rotation.
+    pub fn y90(&mut self, q: u16) -> Result<&mut Self, CircuitError> {
+        self.gate1(Gate1::Y90, q)
+    }
+
+    /// Appends a −π/2 Y rotation.
+    pub fn ym90(&mut self, q: u16) -> Result<&mut Self, CircuitError> {
+        self.gate1(Gate1::Ym90, q)
+    }
+
+    /// Appends an X rotation by `theta` radians (discretized to 2π/32).
+    pub fn rx(&mut self, q: u16, theta: f64) -> Result<&mut Self, CircuitError> {
+        self.gate1(Gate1::Rx(Angle::from_radians(theta)), q)
+    }
+
+    /// Appends a Y rotation by `theta` radians (discretized to 2π/32).
+    pub fn ry(&mut self, q: u16, theta: f64) -> Result<&mut Self, CircuitError> {
+        self.gate1(Gate1::Ry(Angle::from_radians(theta)), q)
+    }
+
+    /// Appends a Z rotation by `theta` radians (discretized to 2π/32).
+    pub fn rz(&mut self, q: u16, theta: f64) -> Result<&mut Self, CircuitError> {
+        self.gate1(Gate1::Rz(Angle::from_radians(theta)), q)
+    }
+
+    /// Appends a CNOT (control, target).
+    pub fn cnot(&mut self, control: u16, target: u16) -> Result<&mut Self, CircuitError> {
+        self.gate2(Gate2::Cnot, control, target)
+    }
+
+    /// Appends a CZ.
+    pub fn cz(&mut self, a: u16, b: u16) -> Result<&mut Self, CircuitError> {
+        self.gate2(Gate2::Cz, a, b)
+    }
+
+    /// Appends a SWAP.
+    pub fn swap(&mut self, a: u16, b: u16) -> Result<&mut Self, CircuitError> {
+        self.gate2(Gate2::Swap, a, b)
+    }
+
+    /// Appends a measurement.
+    pub fn measure(&mut self, q: u16) -> Result<&mut Self, CircuitError> {
+        self.push(CircuitOp::Measure(Qubit::new(q)))
+    }
+
+    /// Appends a barrier across all qubits.
+    pub fn barrier_all(&mut self) -> &mut Self {
+        self.ops.push(CircuitOp::Barrier(Vec::new()));
+        self
+    }
+
+    /// Appends a barrier across the listed qubits.
+    pub fn barrier(&mut self, qubits: &[u16]) -> Result<&mut Self, CircuitError> {
+        let qs: Vec<Qubit> = qubits.iter().map(|&q| Qubit::new(q)).collect();
+        self.push(CircuitOp::Barrier(qs))
+    }
+
+    /// Appends every operation of `other` (widths must be compatible).
+    ///
+    /// # Errors
+    ///
+    /// Fails if `other` references a qubit outside this circuit's width.
+    pub fn append(&mut self, other: &Circuit) -> Result<&mut Self, CircuitError> {
+        for op in other.ops() {
+            self.push(op.clone())?;
+        }
+        Ok(self)
+    }
+
+    /// Schedules the circuit into circuit steps (ASAP layering).
+    pub fn schedule(&self) -> ScheduledCircuit {
+        ScheduledCircuit::from_circuit(self)
+    }
+}
+
+impl fmt::Display for Circuit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{} ({} qubits, {} ops)", self.name, self.num_qubits, self.ops.len())?;
+        for op in &self.ops {
+            writeln!(f, "  {op}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_chains() {
+        let mut c = Circuit::new(3);
+        c.h(0).unwrap().cnot(0, 1).unwrap().cz(1, 2).unwrap().measure(2).unwrap();
+        assert_eq!(c.len(), 4);
+        assert_eq!(c.gate_count(), 4);
+        assert_eq!(c.measure_count(), 1);
+    }
+
+    #[test]
+    fn out_of_range_rejected() {
+        let mut c = Circuit::new(2);
+        let err = c.h(2).unwrap_err();
+        assert_eq!(err, CircuitError::QubitOutOfRange { qubit: Qubit::new(2), num_qubits: 2 });
+        let err = c.barrier(&[0, 5]).unwrap_err();
+        assert!(matches!(err, CircuitError::QubitOutOfRange { .. }));
+    }
+
+    #[test]
+    fn duplicate_two_qubit_operand_rejected() {
+        let mut c = Circuit::new(2);
+        let err = c.cnot(1, 1).unwrap_err();
+        assert_eq!(err, CircuitError::DuplicateQubit { qubit: Qubit::new(1) });
+    }
+
+    #[test]
+    fn append_merges_programs() {
+        let mut a = Circuit::new(2);
+        a.h(0).unwrap();
+        let mut b = Circuit::new(2);
+        b.x(1).unwrap();
+        a.append(&b).unwrap();
+        assert_eq!(a.len(), 2);
+    }
+
+    #[test]
+    fn append_respects_width() {
+        let mut a = Circuit::new(1);
+        let mut b = Circuit::new(2);
+        b.x(1).unwrap();
+        assert!(a.append(&b).is_err());
+    }
+
+    #[test]
+    fn rotations_discretize() {
+        let mut c = Circuit::new(1);
+        c.rx(0, std::f64::consts::FRAC_PI_2).unwrap();
+        match &c.ops()[0] {
+            CircuitOp::Gate1(Gate1::Rx(a), _) => assert_eq!(a.index(), 8),
+            other => panic!("unexpected {other}"),
+        }
+    }
+}

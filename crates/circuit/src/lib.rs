@@ -1,0 +1,40 @@
+//! # quape-circuit — gate-level circuit IR and circuit-step scheduler
+//!
+//! The QuAPE compiler consumes quantum circuits expressed in this IR and
+//! schedules them into *circuit steps* — the paper's unit of Quantum
+//! Operation Level Parallelism (§3.2.1): a step contains all quantum
+//! operations that start at the same timing point, and the step sequence
+//! fixes the execution order of the program.
+//!
+//! The scheduler is ASAP (as-soon-as-possible) layering over qubit
+//! occupancy: an operation starts at the earliest step at which all its
+//! qubits are free. [`Barrier`](CircuitOp::Barrier)s force alignment, which
+//! is how feed-forward boundaries are expressed before feedback-control
+//! code generation.
+//!
+//! ```
+//! use quape_circuit::Circuit;
+//!
+//! let mut c = Circuit::new(3);
+//! c.y90(0)?.y90(1)?;        // step 0: two parallel rotations
+//! c.cz(0, 2)?;              // step 1
+//! c.cz(1, 2)?;              // step 2
+//! c.ym90(0)?.ym90(1)?;      // steps 2–3 (ASAP packs q0 into step 2)
+//! c.measure(2)?;            // step 3
+//! let s = c.schedule();
+//! assert_eq!(s.depth(), 4);
+//! # Ok::<(), quape_circuit::CircuitError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod circuit;
+mod op;
+mod profile;
+mod schedule;
+
+pub use circuit::{Circuit, CircuitError};
+pub use op::CircuitOp;
+pub use profile::ParallelismProfile;
+pub use schedule::{ScheduledCircuit, Step};

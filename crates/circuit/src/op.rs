@@ -1,0 +1,96 @@
+//! Circuit-level operations.
+
+use quape_isa::{Gate1, Gate2, QuantumOp, Qubit};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One operation in a circuit, in program order (pre-scheduling).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CircuitOp {
+    /// A single-qubit gate.
+    Gate1(Gate1, Qubit),
+    /// A two-qubit gate.
+    Gate2(Gate2, Qubit, Qubit),
+    /// A measurement.
+    Measure(Qubit),
+    /// A scheduling barrier over the listed qubits: operations after the
+    /// barrier start no earlier than the step after every listed qubit's
+    /// last pre-barrier operation. An empty list means "all qubits".
+    Barrier(Vec<Qubit>),
+}
+
+impl CircuitOp {
+    /// Qubits touched by the operation (empty for an all-qubit barrier).
+    pub fn qubits(&self) -> Vec<Qubit> {
+        match self {
+            CircuitOp::Gate1(_, q) | CircuitOp::Measure(q) => vec![*q],
+            CircuitOp::Gate2(_, a, b) => vec![*a, *b],
+            CircuitOp::Barrier(qs) => qs.clone(),
+        }
+    }
+
+    /// True for barriers (scheduling pseudo-ops that issue nothing).
+    pub fn is_barrier(&self) -> bool {
+        matches!(self, CircuitOp::Barrier(_))
+    }
+
+    /// Converts a real operation into the ISA-level [`QuantumOp`].
+    ///
+    /// Returns `None` for barriers, which have no hardware counterpart.
+    pub fn to_quantum_op(&self) -> Option<QuantumOp> {
+        match self {
+            CircuitOp::Gate1(g, q) => Some(QuantumOp::Gate1(*g, *q)),
+            CircuitOp::Gate2(g, a, b) => Some(QuantumOp::Gate2(*g, *a, *b)),
+            CircuitOp::Measure(q) => Some(QuantumOp::Measure(*q)),
+            CircuitOp::Barrier(_) => None,
+        }
+    }
+}
+
+impl fmt::Display for CircuitOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CircuitOp::Gate1(g, q) => write!(f, "{g} {q}"),
+            CircuitOp::Gate2(g, a, b) => write!(f, "{g} {a}, {b}"),
+            CircuitOp::Measure(q) => write!(f, "MEAS {q}"),
+            CircuitOp::Barrier(qs) if qs.is_empty() => write!(f, "BARRIER *"),
+            CircuitOp::Barrier(qs) => {
+                let names: Vec<String> = qs.iter().map(|q| q.to_string()).collect();
+                write!(f, "BARRIER {}", names.join(", "))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn qubits_of_each_variant() {
+        let q = |i| Qubit::new(i);
+        assert_eq!(CircuitOp::Gate1(Gate1::H, q(1)).qubits(), vec![q(1)]);
+        assert_eq!(CircuitOp::Gate2(Gate2::Cz, q(0), q(2)).qubits(), vec![q(0), q(2)]);
+        assert_eq!(CircuitOp::Measure(q(3)).qubits(), vec![q(3)]);
+        assert_eq!(CircuitOp::Barrier(vec![]).qubits(), vec![]);
+    }
+
+    #[test]
+    fn conversion_to_quantum_op() {
+        let q = |i| Qubit::new(i);
+        assert!(CircuitOp::Barrier(vec![]).to_quantum_op().is_none());
+        assert_eq!(
+            CircuitOp::Gate1(Gate1::X, q(0)).to_quantum_op(),
+            Some(QuantumOp::Gate1(Gate1::X, q(0)))
+        );
+        assert_eq!(CircuitOp::Measure(q(1)).to_quantum_op(), Some(QuantumOp::Measure(q(1))));
+    }
+
+    #[test]
+    fn display_forms() {
+        let q = |i| Qubit::new(i);
+        assert_eq!(CircuitOp::Gate1(Gate1::H, q(0)).to_string(), "H q0");
+        assert_eq!(CircuitOp::Barrier(vec![]).to_string(), "BARRIER *");
+        assert_eq!(CircuitOp::Barrier(vec![q(1), q(2)]).to_string(), "BARRIER q1, q2");
+    }
+}

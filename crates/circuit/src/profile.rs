@@ -1,0 +1,96 @@
+//! Parallelism statistics over step widths.
+//!
+//! The superscalar evaluation (§7) hinges on each benchmark's
+//! quantum-instruction count per circuit step (QICES); this profile
+//! summarizes that distribution so benchmark generators can assert the
+//! shape they were designed to have.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Distribution summary of operations-per-step.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ParallelismProfile {
+    widths: Vec<usize>,
+}
+
+impl ParallelismProfile {
+    /// Builds a profile from an iterator of step widths.
+    pub fn from_widths(widths: impl IntoIterator<Item = usize>) -> Self {
+        ParallelismProfile { widths: widths.into_iter().collect() }
+    }
+
+    /// Step widths in execution order.
+    pub fn widths(&self) -> &[usize] {
+        &self.widths
+    }
+
+    /// Number of steps.
+    pub fn depth(&self) -> usize {
+        self.widths.len()
+    }
+
+    /// Total operation count.
+    pub fn total_ops(&self) -> usize {
+        self.widths.iter().sum()
+    }
+
+    /// Widest step (peak QOLP).
+    pub fn max_width(&self) -> usize {
+        self.widths.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Mean operations per step (average QICES).
+    pub fn mean_width(&self) -> f64 {
+        if self.widths.is_empty() {
+            0.0
+        } else {
+            self.total_ops() as f64 / self.widths.len() as f64
+        }
+    }
+
+    /// Fraction of steps whose width is at least `w`.
+    pub fn fraction_at_least(&self, w: usize) -> f64 {
+        if self.widths.is_empty() {
+            return 0.0;
+        }
+        self.widths.iter().filter(|&&x| x >= w).count() as f64 / self.widths.len() as f64
+    }
+}
+
+impl fmt::Display for ParallelismProfile {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "depth={} ops={} mean_width={:.2} max_width={}",
+            self.depth(),
+            self.total_ops(),
+            self.mean_width(),
+            self.max_width()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_on_known_distribution() {
+        let p = ParallelismProfile::from_widths([4, 2, 1, 1]);
+        assert_eq!(p.depth(), 4);
+        assert_eq!(p.total_ops(), 8);
+        assert_eq!(p.max_width(), 4);
+        assert!((p.mean_width() - 2.0).abs() < 1e-12);
+        assert!((p.fraction_at_least(2) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_profile_is_well_behaved() {
+        let p = ParallelismProfile::from_widths([]);
+        assert_eq!(p.depth(), 0);
+        assert_eq!(p.max_width(), 0);
+        assert_eq!(p.mean_width(), 0.0);
+        assert_eq!(p.fraction_at_least(1), 0.0);
+    }
+}

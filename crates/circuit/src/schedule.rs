@@ -1,0 +1,259 @@
+//! ASAP scheduling of circuits into circuit steps.
+
+use crate::circuit::Circuit;
+use crate::op::CircuitOp;
+use crate::profile::ParallelismProfile;
+use quape_isa::{OpTimings, Qubit};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One circuit step: all operations that start at the same timing point.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Step {
+    ops: Vec<CircuitOp>,
+}
+
+impl Step {
+    /// Operations starting in this step.
+    pub fn ops(&self) -> &[CircuitOp] {
+        &self.ops
+    }
+
+    /// Number of operations starting in this step (the paper's QICES when
+    /// the step is lowered 1:1 to quantum instructions).
+    pub fn width(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// True if no operations start in this step.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// The step's duration: the maximum duration of its operations (the
+    /// QPU executes a step fully in parallel, §3.2.2).
+    pub fn duration_ns(&self, timings: &OpTimings) -> u64 {
+        self.ops
+            .iter()
+            .filter_map(|o| o.to_quantum_op())
+            .map(|op| timings.duration_of(&op))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// True if the step contains a measurement.
+    pub fn has_measurement(&self) -> bool {
+        self.ops.iter().any(|o| matches!(o, CircuitOp::Measure(_)))
+    }
+}
+
+/// A circuit scheduled into steps.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScheduledCircuit {
+    name: String,
+    num_qubits: u16,
+    steps: Vec<Step>,
+}
+
+impl ScheduledCircuit {
+    /// ASAP-schedules a circuit: each operation starts at the earliest step
+    /// in which all of its qubits are free; barriers align their qubits.
+    pub fn from_circuit(circuit: &Circuit) -> Self {
+        let n = circuit.num_qubits() as usize;
+        // Next free step per qubit.
+        let mut next_free = vec![0usize; n];
+        let mut steps: Vec<Step> = Vec::new();
+        for op in circuit.ops() {
+            match op {
+                CircuitOp::Barrier(qs) => {
+                    let fence = if qs.is_empty() {
+                        next_free.iter().copied().max().unwrap_or(0)
+                    } else {
+                        qs.iter().map(|q| next_free[q.index() as usize]).max().unwrap_or(0)
+                    };
+                    if qs.is_empty() {
+                        for f in next_free.iter_mut() {
+                            *f = fence;
+                        }
+                    } else {
+                        for q in qs {
+                            next_free[q.index() as usize] = fence;
+                        }
+                    }
+                }
+                real => {
+                    let qubits: Vec<Qubit> = real.qubits();
+                    let at = qubits.iter().map(|q| next_free[q.index() as usize]).max().unwrap_or(0);
+                    while steps.len() <= at {
+                        steps.push(Step::default());
+                    }
+                    steps[at].ops.push(real.clone());
+                    for q in &qubits {
+                        next_free[q.index() as usize] = at + 1;
+                    }
+                }
+            }
+        }
+        ScheduledCircuit { name: circuit.name().to_string(), num_qubits: circuit.num_qubits(), steps }
+    }
+
+    /// The circuit name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of qubits.
+    pub fn num_qubits(&self) -> u16 {
+        self.num_qubits
+    }
+
+    /// The steps, in execution order.
+    pub fn steps(&self) -> &[Step] {
+        &self.steps
+    }
+
+    /// Circuit depth in steps.
+    pub fn depth(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// Total number of operations.
+    pub fn op_count(&self) -> usize {
+        self.steps.iter().map(Step::width).sum()
+    }
+
+    /// Parallelism statistics over the step widths.
+    pub fn profile(&self) -> ParallelismProfile {
+        ParallelismProfile::from_widths(self.steps.iter().map(Step::width))
+    }
+
+    /// Total QPU execution time: the sum of step durations.
+    pub fn qpu_time_ns(&self, timings: &OpTimings) -> u64 {
+        self.steps.iter().map(|s| s.duration_ns(timings)).sum()
+    }
+
+    /// Checks the fundamental schedule invariant: within a step, no qubit
+    /// is used by two operations. Returns the first violating qubit.
+    pub fn find_step_conflict(&self) -> Option<(usize, Qubit)> {
+        for (i, step) in self.steps.iter().enumerate() {
+            let mut used = std::collections::HashSet::new();
+            for op in step.ops() {
+                for q in op.qubits() {
+                    if !used.insert(q) {
+                        return Some((i, q));
+                    }
+                }
+            }
+        }
+        None
+    }
+}
+
+impl fmt::Display for ScheduledCircuit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{} — {} steps", self.name, self.steps.len())?;
+        for (i, step) in self.steps.iter().enumerate() {
+            let ops: Vec<String> = step.ops().iter().map(|o| o.to_string()).collect();
+            writeln!(f, "  step {i}: {}", ops.join(" | "))?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use quape_isa::Gate1;
+
+    #[test]
+    fn independent_gates_share_a_step() {
+        let mut c = Circuit::new(2);
+        c.h(0).unwrap().h(1).unwrap();
+        let s = c.schedule();
+        assert_eq!(s.depth(), 1);
+        assert_eq!(s.steps()[0].width(), 2);
+    }
+
+    #[test]
+    fn dependent_gates_serialize() {
+        let mut c = Circuit::new(2);
+        c.h(0).unwrap().cnot(0, 1).unwrap().h(1).unwrap();
+        let s = c.schedule();
+        assert_eq!(s.depth(), 3);
+        assert_eq!(s.profile().max_width(), 1);
+    }
+
+    #[test]
+    fn asap_packs_early() {
+        // q2's H can run in step 0 even though it appears last.
+        let mut c = Circuit::new(3);
+        c.h(0).unwrap().cnot(0, 1).unwrap().h(2).unwrap();
+        let s = c.schedule();
+        assert_eq!(s.depth(), 2);
+        assert_eq!(s.steps()[0].width(), 2);
+    }
+
+    #[test]
+    fn barrier_all_aligns_everything() {
+        let mut c = Circuit::new(3);
+        c.h(0).unwrap();
+        c.barrier_all();
+        c.h(2).unwrap();
+        let s = c.schedule();
+        // Without the barrier both H's would share step 0.
+        assert_eq!(s.depth(), 2);
+        assert_eq!(s.steps()[1].ops()[0], CircuitOp::Gate1(Gate1::H, Qubit::new(2)));
+    }
+
+    #[test]
+    fn selective_barrier_only_fences_listed_qubits() {
+        let mut c = Circuit::new(3);
+        c.h(0).unwrap();
+        c.barrier(&[0, 1]).unwrap();
+        c.h(1).unwrap(); // fenced to step 1
+        c.h(2).unwrap(); // free to run in step 0
+        let s = c.schedule();
+        assert_eq!(s.depth(), 2);
+        assert_eq!(s.steps()[0].width(), 2);
+        assert_eq!(s.steps()[1].width(), 1);
+    }
+
+    #[test]
+    fn step_duration_is_max_of_member_ops() {
+        let t = OpTimings::paper();
+        let mut c = Circuit::new(3);
+        c.h(0).unwrap().cnot(1, 2).unwrap();
+        let s = c.schedule();
+        assert_eq!(s.steps()[0].duration_ns(&t), 40);
+        assert_eq!(s.qpu_time_ns(&t), 40);
+    }
+
+    #[test]
+    fn measurement_flagged() {
+        let mut c = Circuit::new(1);
+        c.measure(0).unwrap();
+        let s = c.schedule();
+        assert!(s.steps()[0].has_measurement());
+        assert_eq!(s.steps()[0].duration_ns(&OpTimings::paper()), 600);
+    }
+
+    #[test]
+    fn no_step_conflicts_in_valid_schedule() {
+        let mut c = Circuit::new(4);
+        for i in 0..4 {
+            c.h(i).unwrap();
+        }
+        c.cnot(0, 1).unwrap().cnot(2, 3).unwrap();
+        let s = c.schedule();
+        assert_eq!(s.find_step_conflict(), None);
+    }
+
+    #[test]
+    fn empty_circuit_schedules_to_zero_steps() {
+        let c = Circuit::new(3);
+        let s = c.schedule();
+        assert_eq!(s.depth(), 0);
+        assert_eq!(s.op_count(), 0);
+        assert_eq!(s.qpu_time_ns(&OpTimings::paper()), 0);
+    }
+}

@@ -1,0 +1,117 @@
+//! Property tests for the ASAP step scheduler.
+
+use proptest::prelude::*;
+use quape_circuit::{Circuit, CircuitOp};
+use quape_isa::{Gate1, Gate2};
+
+#[derive(Debug, Clone)]
+enum RandOp {
+    G1(u16),
+    G2(u16, u16),
+    Meas(u16),
+    BarrierAll,
+}
+
+fn arb_ops(num_qubits: u16) -> impl Strategy<Value = Vec<RandOp>> {
+    let q = 0..num_qubits;
+    let op = prop_oneof![
+        4 => q.clone().prop_map(RandOp::G1),
+        3 => (0..num_qubits, 0..num_qubits).prop_map(|(a, b)| RandOp::G2(a, b)),
+        1 => q.prop_map(RandOp::Meas),
+        1 => Just(RandOp::BarrierAll),
+    ];
+    proptest::collection::vec(op, 0..120)
+}
+
+fn build(num_qubits: u16, ops: &[RandOp]) -> Circuit {
+    let mut c = Circuit::new(num_qubits);
+    for op in ops {
+        match *op {
+            RandOp::G1(q) => {
+                c.gate1(Gate1::H, q).expect("in range");
+            }
+            RandOp::G2(a, b) if a != b => {
+                c.gate2(Gate2::Cnot, a, b).expect("in range");
+            }
+            RandOp::G2(..) => {}
+            RandOp::Meas(q) => {
+                c.measure(q).expect("in range");
+            }
+            RandOp::BarrierAll => {
+                c.barrier_all();
+            }
+        }
+    }
+    c
+}
+
+proptest! {
+    /// No step ever uses a qubit twice.
+    #[test]
+    fn schedule_has_no_step_conflicts(ops in arb_ops(8)) {
+        let c = build(8, &ops);
+        let s = c.schedule();
+        prop_assert_eq!(s.find_step_conflict(), None);
+    }
+
+    /// Scheduling preserves every non-barrier operation exactly once.
+    #[test]
+    fn schedule_preserves_op_multiset(ops in arb_ops(6)) {
+        let c = build(6, &ops);
+        let s = c.schedule();
+        let mut original: Vec<CircuitOp> =
+            c.ops().iter().filter(|o| !o.is_barrier()).cloned().collect();
+        let mut scheduled: Vec<CircuitOp> =
+            s.steps().iter().flat_map(|st| st.ops().iter().cloned()).collect();
+        let key = |o: &CircuitOp| format!("{o}");
+        original.sort_by_key(key);
+        scheduled.sort_by_key(key);
+        prop_assert_eq!(original, scheduled);
+    }
+
+    /// Per-qubit program order is preserved: two ops sharing a qubit appear
+    /// in the same relative order in the step sequence.
+    #[test]
+    fn schedule_preserves_per_qubit_order(ops in arb_ops(5)) {
+        let c = build(5, &ops);
+        let s = c.schedule();
+        // Record (step, arrival) for each op occurrence per qubit.
+        let mut per_qubit: Vec<Vec<usize>> = vec![Vec::new(); 5];
+        for (step_idx, step) in s.steps().iter().enumerate() {
+            for op in step.ops() {
+                for q in op.qubits() {
+                    per_qubit[q.index() as usize].push(step_idx);
+                }
+            }
+        }
+        // Within a step a qubit appears at most once (checked above), so
+        // step indices per qubit must be strictly increasing *as a set*;
+        // compare against the program-order walk.
+        let mut next_free = [0usize; 5];
+        for op in c.ops().iter().filter(|o| !o.is_barrier()) {
+            let at = op.qubits().iter().map(|q| next_free[q.index() as usize]).max().unwrap_or(0);
+            for q in op.qubits() {
+                prop_assert!(at >= next_free[q.index() as usize].saturating_sub(1));
+                next_free[q.index() as usize] = at + 1;
+            }
+        }
+    }
+
+    /// Depth is bounded by op count and reaches it for a serial chain.
+    #[test]
+    fn depth_bounds(ops in arb_ops(4)) {
+        let c = build(4, &ops);
+        let s = c.schedule();
+        prop_assert!(s.depth() <= c.gate_count());
+        prop_assert_eq!(s.op_count(), c.gate_count());
+    }
+}
+
+#[test]
+fn serial_chain_reaches_depth_bound() {
+    let mut c = Circuit::new(1);
+    for _ in 0..10 {
+        c.x(0).unwrap();
+    }
+    assert_eq!(c.schedule().depth(), 10);
+}

@@ -1,0 +1,262 @@
+//! Step-schedule lowering: circuit steps → timed quantum instructions.
+
+use quape_circuit::{Circuit, ScheduledCircuit, Step};
+use quape_isa::{
+    ClassicalOp, Cycles, OpTimings, Program, ProgramBuilder, ProgramError, StepId, MAX_TIMING,
+};
+use std::fmt;
+
+/// Compilation errors.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CompileError {
+    /// The produced program failed validation.
+    Program(ProgramError),
+    /// A step contained an operation with no hardware counterpart.
+    EmptyCircuit,
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CompileError::Program(e) => write!(f, "program validation failed: {e}"),
+            CompileError::EmptyCircuit => write!(f, "cannot compile an empty circuit"),
+        }
+    }
+}
+
+impl std::error::Error for CompileError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CompileError::Program(e) => Some(e),
+            CompileError::EmptyCircuit => None,
+        }
+    }
+}
+
+impl From<ProgramError> for CompileError {
+    fn from(e: ProgramError) -> Self {
+        CompileError::Program(e)
+    }
+}
+
+/// Compiler parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CompilerOptions {
+    /// Clock period used to convert step durations into timing labels.
+    pub clock_ns: u64,
+    /// Operation durations (must match the machine configuration for the
+    /// schedule to be physically clean).
+    pub timings: OpTimings,
+    /// Tag instructions with their circuit step (needed for CES/TR).
+    pub tag_steps: bool,
+}
+
+impl Default for CompilerOptions {
+    fn default() -> Self {
+        CompilerOptions {
+            clock_ns: 10,
+            timings: OpTimings { single_qubit_ns: 20, two_qubit_ns: 40, readout_pulse_ns: 300 },
+            tag_steps: true,
+        }
+    }
+}
+
+/// The circuit-to-program compiler.
+#[derive(Debug, Clone, Default)]
+pub struct Compiler {
+    options: CompilerOptions,
+}
+
+impl Compiler {
+    /// A compiler with default options (10 ns clock, paper-style timings).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A compiler with explicit options.
+    pub fn with_options(options: CompilerOptions) -> Self {
+        Compiler { options }
+    }
+
+    /// The options in force.
+    pub fn options(&self) -> &CompilerOptions {
+        &self.options
+    }
+
+    /// Duration of a step, rounded up to clock cycles.
+    pub fn step_cycles(&self, step: &Step) -> u32 {
+        let ns = step.duration_ns(&self.options.timings);
+        ns.div_ceil(self.options.clock_ns) as u32
+    }
+
+    /// Compiles a circuit into a single-block program ending in `STOP`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CompileError::EmptyCircuit`] for circuits with no
+    /// operations.
+    pub fn compile(&self, circuit: &Circuit) -> Result<Program, CompileError> {
+        self.compile_scheduled(&circuit.schedule())
+    }
+
+    /// Compiles an already-scheduled circuit.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CompileError::EmptyCircuit`] when the schedule has no
+    /// steps.
+    pub fn compile_scheduled(&self, sched: &ScheduledCircuit) -> Result<Program, CompileError> {
+        if sched.depth() == 0 {
+            return Err(CompileError::EmptyCircuit);
+        }
+        let mut b = ProgramBuilder::new();
+        self.emit_steps(&mut b, sched.steps(), 0);
+        b.set_step(None);
+        b.push(ClassicalOp::Stop);
+        Ok(b.finish()?)
+    }
+
+    /// Emits the instruction stream of a step slice into `builder`,
+    /// numbering steps from `first_step`. Returns the number of steps
+    /// emitted.
+    pub fn emit_steps(
+        &self,
+        builder: &mut ProgramBuilder,
+        steps: &[Step],
+        first_step: u32,
+    ) -> u32 {
+        let stream: Vec<TimedStepOps> = steps
+            .iter()
+            .enumerate()
+            .map(|(i, step)| TimedStepOps {
+                step: StepId(first_step + i as u32),
+                ops: step
+                    .ops()
+                    .iter()
+                    .map(|o| o.to_quantum_op().expect("scheduler strips barriers"))
+                    .collect(),
+                duration_cycles: self.step_cycles(step),
+            })
+            .collect();
+        self.emit_step_stream(builder, &stream);
+        steps.len() as u32
+    }
+
+    /// Emits a stream of per-step operation lists with explicit durations.
+    ///
+    /// Entries with empty `ops` contribute their duration to the next
+    /// group's timing label instead of emitting instructions — this is how
+    /// the block partitioner keeps each half of a split circuit on the
+    /// *global* step timeline.
+    pub fn emit_step_stream(&self, builder: &mut ProgramBuilder, stream: &[TimedStepOps]) {
+        let mut label: u32 = 0; // interval since the previous issued group
+        for entry in stream {
+            if entry.ops.is_empty() {
+                label = label.saturating_add(entry.duration_cycles);
+                continue;
+            }
+            if self.options.tag_steps {
+                builder.set_step(Some(entry.step));
+            }
+            let mut head_label = label;
+            if head_label > MAX_TIMING {
+                builder.push(ClassicalOp::Qwait { cycles: Cycles::new(head_label) });
+                head_label = 0;
+            }
+            for (i, &qop) in entry.ops.iter().enumerate() {
+                builder.quantum(if i == 0 { head_label } else { 0 }, qop);
+            }
+            label = entry.duration_cycles;
+        }
+    }
+}
+
+/// One step's worth of operations plus its duration on the global
+/// timeline (input to [`Compiler::emit_step_stream`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TimedStepOps {
+    /// Global circuit-step id (used for CES/TR tagging).
+    pub step: StepId,
+    /// Operations issued at this step (possibly empty for one half of a
+    /// partitioned circuit).
+    pub ops: Vec<quape_isa::QuantumOp>,
+    /// The step's duration in clock cycles on the global schedule.
+    pub duration_cycles: u32,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use quape_circuit::Circuit;
+    use quape_isa::Instruction;
+
+    fn bell() -> Circuit {
+        let mut c = Circuit::new(2);
+        c.h(0).unwrap().h(1).unwrap().cnot(0, 1).unwrap().measure(0).unwrap().measure(1).unwrap();
+        c
+    }
+
+    #[test]
+    fn labels_follow_step_durations() {
+        let p = Compiler::new().compile(&bell()).unwrap();
+        // step 0: H,H (label 0,0); step 1: CNOT (label 2 = 20 ns);
+        // step 2: MEAS,MEAS (label 4 = 40 ns, then 0); STOP.
+        let labels: Vec<u32> = p
+            .instructions()
+            .iter()
+            .filter_map(|i| i.as_quantum().map(|q| q.timing.count()))
+            .collect();
+        assert_eq!(labels, vec![0, 0, 2, 4, 0]);
+    }
+
+    #[test]
+    fn steps_are_tagged() {
+        let p = Compiler::new().compile(&bell()).unwrap();
+        assert_eq!(p.num_steps(), 3);
+        assert_eq!(p.step_of(0), Some(StepId(0)));
+        assert_eq!(p.step_of(2), Some(StepId(1)));
+        assert_eq!(p.step_of(3), Some(StepId(2)));
+        // STOP is untagged.
+        assert_eq!(p.step_of(p.len() - 1), None);
+    }
+
+    #[test]
+    fn program_ends_with_stop() {
+        let p = Compiler::new().compile(&bell()).unwrap();
+        assert_eq!(
+            p.instruction(p.len() - 1),
+            &Instruction::Classical(ClassicalOp::Stop)
+        );
+    }
+
+    #[test]
+    fn long_intervals_become_qwait() {
+        // A 2 µs readout forces a 200-cycle interval > MAX_TIMING.
+        let mut c = Circuit::new(1);
+        c.measure(0).unwrap();
+        c.x(0).unwrap();
+        let opts = CompilerOptions {
+            timings: OpTimings { single_qubit_ns: 20, two_qubit_ns: 40, readout_pulse_ns: 2000 },
+            ..Default::default()
+        };
+        let p = Compiler::with_options(opts).compile(&c).unwrap();
+        let has_qwait = p
+            .instructions()
+            .iter()
+            .any(|i| matches!(i, Instruction::Classical(ClassicalOp::Qwait { cycles }) if cycles.count() == 200));
+        assert!(has_qwait, "{p}");
+    }
+
+    #[test]
+    fn empty_circuit_rejected() {
+        let c = Circuit::new(3);
+        assert_eq!(Compiler::new().compile(&c), Err(CompileError::EmptyCircuit));
+    }
+
+    #[test]
+    fn quantum_counts_preserved() {
+        let c = bell();
+        let p = Compiler::new().compile(&c).unwrap();
+        assert_eq!(p.quantum_count(), c.gate_count());
+    }
+}

@@ -1,0 +1,258 @@
+//! Static VLIW / SOMQ analysis — quantifying the §9 design rationale.
+//!
+//! The paper prefers a superscalar over QuMA_v2's VLIW because (1) a
+//! fixed-length ISA needs no re-encoding when execution units grow and
+//! (2) "the amount of inserted QNOPs in the VLIW bundle will lead to
+//! additional program size". This module computes that overhead for any
+//! program: how many QNOP slots a `width`-way VLIW encoding would insert,
+//! and the resulting code-size expansion relative to the fixed 32-bit
+//! stream the superscalar executes.
+//!
+//! It also analyses QuMA_v2's SOMQ (single operation, multiple qubits)
+//! opportunity: how many quantum instructions could fuse into mask-based
+//! instructions because a timing group applies the *same* gate to many
+//! qubits — and how many cannot.
+
+use quape_isa::{Cycles, Instruction, Program, QuantumOp};
+use serde::{Deserialize, Serialize};
+
+/// Result of packing a program into VLIW bundles.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct VliwReport {
+    /// Issue width of the hypothetical VLIW machine.
+    pub width: usize,
+    /// Bundles produced.
+    pub bundles: usize,
+    /// Real instructions packed.
+    pub instructions: usize,
+    /// QNOP filler slots inserted.
+    pub qnops: usize,
+    /// VLIW code size in 32-bit words (`bundles × width`).
+    pub vliw_words: usize,
+    /// Superscalar (fixed-length stream) code size in 32-bit words.
+    pub scalar_words: usize,
+}
+
+impl VliwReport {
+    /// Code-size expansion factor of the VLIW encoding.
+    pub fn expansion(&self) -> f64 {
+        self.vliw_words as f64 / self.scalar_words as f64
+    }
+
+    /// Fraction of VLIW slots wasted on QNOPs.
+    pub fn qnop_fraction(&self) -> f64 {
+        self.qnops as f64 / self.vliw_words as f64
+    }
+}
+
+/// Packs `program` into `width`-slot VLIW bundles.
+///
+/// Packing rules mirror the timing semantics: a bundle may hold quantum
+/// instructions of one simultaneous timing group (head label plus
+/// zero-label continuations); groups larger than the width spill into
+/// further bundles; classical instructions occupy one slot each and
+/// cannot share a bundle with other instructions (in-order classical
+/// semantics); unused slots become QNOPs.
+///
+/// ```
+/// use quape_compiler::{vliw_report, somq_report};
+/// use quape_isa::assemble;
+///
+/// let p = assemble("0 X q0\n0 X q1\n0 X q2\nSTOP\n")?;
+/// let v = vliw_report(&p, 8);
+/// assert_eq!(v.bundles, 2);              // one quantum bundle + STOP
+/// assert_eq!(v.qnops, 5 + 7);            // 3 ops in 8 slots, STOP alone
+/// let s = somq_report(&p);
+/// assert_eq!(s.after_fusion, 1);         // X on a 3-qubit mask
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+///
+/// # Panics
+///
+/// Panics if `width` is zero.
+pub fn vliw_report(program: &Program, width: usize) -> VliwReport {
+    assert!(width > 0, "VLIW width must be positive");
+    let mut bundles = 0usize;
+    let mut qnops = 0usize;
+    let mut i = 0usize;
+    let instrs = program.instructions();
+    while i < instrs.len() {
+        match &instrs[i] {
+            Instruction::Classical(_) => {
+                bundles += 1;
+                qnops += width - 1;
+                i += 1;
+            }
+            Instruction::Quantum(_) => {
+                // Collect the simultaneous group.
+                let mut group = 1usize;
+                while let Some(Instruction::Quantum(q)) = instrs.get(i + group) {
+                    if q.timing != Cycles::ZERO {
+                        break;
+                    }
+                    group += 1;
+                }
+                let full = group / width;
+                let rem = group % width;
+                bundles += full + usize::from(rem > 0);
+                if rem > 0 {
+                    qnops += width - rem;
+                }
+                i += group;
+            }
+        }
+    }
+    VliwReport {
+        width,
+        bundles,
+        instructions: instrs.len(),
+        qnops,
+        vliw_words: bundles * width,
+        scalar_words: instrs.len(),
+    }
+}
+
+/// SOMQ fusion analysis of a program.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SomqReport {
+    /// Quantum instructions in the program.
+    pub quantum_instructions: usize,
+    /// Instructions that SOMQ could fuse away (same single-qubit gate on
+    /// several qubits within one timing group collapses to one mask
+    /// instruction).
+    pub fusable: usize,
+    /// Instruction count after ideal SOMQ fusion.
+    pub after_fusion: usize,
+}
+
+impl SomqReport {
+    /// Compression factor SOMQ would achieve (≥ 1).
+    pub fn compression(&self) -> f64 {
+        self.quantum_instructions as f64 / self.after_fusion as f64
+    }
+}
+
+/// Computes the ideal SOMQ opportunity: within each simultaneous timing
+/// group, identical single-qubit gates fuse into one instruction (the
+/// mask register setup is not charged — this is the *upper bound* the
+/// paper argues is hard to reach because "the QCP can always provide all
+/// the target qubit list in time" is not guaranteed).
+pub fn somq_report(program: &Program) -> SomqReport {
+    let instrs = program.instructions();
+    let mut quantum = 0usize;
+    let mut after = 0usize;
+    let mut i = 0usize;
+    while i < instrs.len() {
+        match &instrs[i] {
+            Instruction::Classical(_) => {
+                i += 1;
+            }
+            Instruction::Quantum(_) => {
+                let mut group = vec![];
+                let mut j = i;
+                while let Some(Instruction::Quantum(q)) = instrs.get(j) {
+                    if j > i && q.timing != Cycles::ZERO {
+                        break;
+                    }
+                    group.push(q.op);
+                    j += 1;
+                }
+                quantum += group.len();
+                // Count distinct fusables: same Gate1 kind → one SOMQ
+                // instruction; two-qubit gates and measures keep one slot
+                // each (QuMA_v2's SOMQ also fuses measures; model that).
+                let mut kinds: Vec<String> = Vec::new();
+                for op in &group {
+                    let key = match op {
+                        QuantumOp::Gate1(g, _) => format!("g1:{g}"),
+                        QuantumOp::Measure(_) => "meas".to_string(),
+                        QuantumOp::Gate2(g, a, b) => format!("g2:{g}:{a}:{b}"),
+                    };
+                    if !kinds.contains(&key) {
+                        kinds.push(key);
+                    }
+                }
+                after += kinds.len();
+                i = j;
+            }
+        }
+    }
+    SomqReport {
+        quantum_instructions: quantum,
+        fusable: quantum - after.min(quantum),
+        after_fusion: after.max(usize::from(quantum > 0)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use quape_isa::assemble;
+
+    fn wide_program(n: usize) -> Program {
+        let mut src = String::new();
+        for q in 0..n {
+            src.push_str(&format!("0 H q{q}\n"));
+        }
+        src.push_str("STOP\n");
+        assemble(&src).unwrap()
+    }
+
+    #[test]
+    fn full_groups_need_no_qnops() {
+        let p = wide_program(16);
+        let v = vliw_report(&p, 8);
+        // 16 H's fill 2 bundles exactly; STOP wastes 7 slots.
+        assert_eq!(v.bundles, 3);
+        assert_eq!(v.qnops, 7);
+        assert_eq!(v.vliw_words, 24);
+        assert_eq!(v.scalar_words, 17);
+    }
+
+    #[test]
+    fn serial_code_pays_maximal_qnop_tax() {
+        let p = assemble("0 X q0\n2 X q0\n2 X q0\nSTOP\n").unwrap();
+        let v = vliw_report(&p, 8);
+        assert_eq!(v.bundles, 4, "every serial op needs its own bundle");
+        assert_eq!(v.qnops, 4 * 7);
+        assert!((v.expansion() - 8.0).abs() < 1e-12);
+        assert!((v.qnop_fraction() - 7.0 / 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn group_spill_is_packed_tightly() {
+        let p = wide_program(9);
+        let v = vliw_report(&p, 8);
+        // 9 ops → bundle of 8 + bundle of 1 (7 QNOPs) + STOP bundle.
+        assert_eq!(v.bundles, 3);
+        assert_eq!(v.qnops, 7 + 7);
+    }
+
+    #[test]
+    fn somq_fuses_identical_gates_only() {
+        let p = assemble("0 H q0\n0 H q1\n0 X q2\n0 CNOT q3, q4\nSTOP\n").unwrap();
+        let s = somq_report(&p);
+        assert_eq!(s.quantum_instructions, 4);
+        // H-mask + X + CNOT = 3 instructions after fusion.
+        assert_eq!(s.after_fusion, 3);
+        assert_eq!(s.fusable, 1);
+        assert!((s.compression() - 4.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn somq_on_hadamard_layer_is_maximal() {
+        let p = wide_program(16);
+        let s = somq_report(&p);
+        assert_eq!(s.after_fusion, 1);
+        assert!((s.compression() - 16.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_quantum_program_is_safe() {
+        let p = assemble("NOP\nSTOP\n").unwrap();
+        let v = vliw_report(&p, 4);
+        assert_eq!(v.bundles, 2);
+        let s = somq_report(&p);
+        assert_eq!(s.quantum_instructions, 0);
+    }
+}

@@ -1,0 +1,200 @@
+//! QPU backend abstraction.
+//!
+//! The machine drives a QPU through this trait. Two implementations ship:
+//! the behavioural/PRNG backend from `quape-qpu` (what the paper used for
+//! its §7 QCP-only benchmarks) and a noisy state-vector backend used to
+//! replay the §8 RB/simRB validation through the full control stack.
+
+use quape_isa::{QuantumOp, Qubit};
+use quape_qpu::{
+    BehavioralQpu, DepolarizingNoise, IssuedOp, MeasurementModel, ReadoutError, StateVector,
+    TimingViolation,
+};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// A quantum processing unit as seen by the control stack.
+pub trait QpuBackend {
+    /// Applies an operation at `time_ns`; returns the outcome for
+    /// measurements.
+    fn apply(&mut self, time_ns: u64, op: QuantumOp) -> Option<bool>;
+
+    /// Every operation received so far, in arrival order.
+    fn log(&self) -> &[IssuedOp];
+
+    /// Timing violations (operations that arrived while a qubit was busy).
+    fn violations(&self) -> &[TimingViolation];
+
+    /// Time at which the QPU becomes idle.
+    fn makespan_ns(&self) -> u64;
+}
+
+impl QpuBackend for BehavioralQpu {
+    fn apply(&mut self, time_ns: u64, op: QuantumOp) -> Option<bool> {
+        BehavioralQpu::apply(self, time_ns, op)
+    }
+
+    fn log(&self) -> &[IssuedOp] {
+        BehavioralQpu::log(self)
+    }
+
+    fn violations(&self) -> &[TimingViolation] {
+        BehavioralQpu::violations(self)
+    }
+
+    fn makespan_ns(&self) -> u64 {
+        BehavioralQpu::makespan_ns(self)
+    }
+}
+
+/// A noisy state-vector QPU running behind the control stack.
+///
+/// Timing bookkeeping (occupancy, violations) is delegated to an inner
+/// [`BehavioralQpu`]; the quantum state evolves in a dense state vector
+/// with depolarizing noise and readout error, so measurement outcomes have
+/// real quantum statistics.
+#[derive(Debug, Clone)]
+pub struct StateVectorQpu {
+    state: StateVector,
+    shadow: BehavioralQpu,
+    noise: DepolarizingNoise,
+    readout: ReadoutError,
+    rng: SmallRng,
+}
+
+impl StateVectorQpu {
+    /// Creates a `num_qubits`-qubit backend (dense — keep it small).
+    pub fn new(
+        num_qubits: u8,
+        timings: quape_isa::OpTimings,
+        noise: DepolarizingNoise,
+        readout: ReadoutError,
+        seed: u64,
+    ) -> Self {
+        StateVectorQpu {
+            state: StateVector::new(num_qubits),
+            shadow: BehavioralQpu::new(timings, MeasurementModel::AlwaysZero, seed),
+            noise,
+            readout,
+            rng: SmallRng::seed_from_u64(seed.wrapping_add(0x5eed)),
+        }
+    }
+
+    /// Probability that `qubit` reads 1 right now (diagnostic).
+    pub fn prob_one(&self, qubit: Qubit) -> f64 {
+        self.state.prob_one(qubit)
+    }
+
+    /// Direct access to the quantum state (diagnostic).
+    pub fn state(&self) -> &StateVector {
+        &self.state
+    }
+}
+
+impl QpuBackend for StateVectorQpu {
+    fn apply(&mut self, time_ns: u64, op: QuantumOp) -> Option<bool> {
+        // Timing bookkeeping (the shadow's sampled outcome is discarded).
+        let _ = self.shadow.apply(time_ns, op);
+        match op {
+            QuantumOp::Gate1(quape_isa::Gate1::Reset, q) => {
+                self.state.reset(q, &mut self.rng);
+                None
+            }
+            QuantumOp::Gate1(g, q) => {
+                self.state.apply_gate1(g, q);
+                self.noise.apply(&mut self.state, q, &mut self.rng);
+                None
+            }
+            QuantumOp::Gate2(g, a, b) => {
+                self.state.apply_gate2(g, a, b);
+                self.noise.apply(&mut self.state, a, &mut self.rng);
+                self.noise.apply(&mut self.state, b, &mut self.rng);
+                None
+            }
+            QuantumOp::Measure(q) => {
+                let ideal = self.state.measure(q, &mut self.rng);
+                Some(self.readout.apply(ideal, &mut self.rng))
+            }
+        }
+    }
+
+    fn log(&self) -> &[IssuedOp] {
+        self.shadow.log()
+    }
+
+    fn violations(&self) -> &[TimingViolation] {
+        self.shadow.violations()
+    }
+
+    fn makespan_ns(&self) -> u64 {
+        self.shadow.makespan_ns()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use quape_isa::{Gate1, Gate2, OpTimings};
+
+    fn q(i: u16) -> Qubit {
+        Qubit::new(i)
+    }
+
+    fn noiseless(n: u8) -> StateVectorQpu {
+        StateVectorQpu::new(
+            n,
+            OpTimings::paper(),
+            DepolarizingNoise { pauli_error_prob: 0.0 },
+            ReadoutError::default(),
+            7,
+        )
+    }
+
+    #[test]
+    fn bell_pair_through_backend() {
+        let mut qpu = noiseless(2);
+        qpu.apply(0, QuantumOp::Gate1(Gate1::H, q(0)));
+        qpu.apply(20, QuantumOp::Gate2(Gate2::Cnot, q(0), q(1)));
+        let a = qpu.apply(60, QuantumOp::Measure(q(0))).expect("measurement outcome");
+        let b = qpu.apply(60, QuantumOp::Measure(q(1))).expect("measurement outcome");
+        assert_eq!(a, b, "Bell pair outcomes must correlate");
+        assert!(qpu.violations().is_empty());
+        assert_eq!(qpu.log().len(), 4);
+    }
+
+    #[test]
+    fn reset_pulse_clears_state() {
+        let mut qpu = noiseless(1);
+        qpu.apply(0, QuantumOp::Gate1(Gate1::X, q(0)));
+        qpu.apply(20, QuantumOp::Gate1(Gate1::Reset, q(0)));
+        assert!(qpu.prob_one(q(0)) < 1e-9);
+    }
+
+    #[test]
+    fn shadow_flags_timing_violations() {
+        let mut qpu = noiseless(1);
+        qpu.apply(0, QuantumOp::Gate1(Gate1::X, q(0)));
+        qpu.apply(5, QuantumOp::Gate1(Gate1::X, q(0)));
+        assert_eq!(qpu.violations().len(), 1);
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let run = || {
+            let mut qpu = StateVectorQpu::new(
+                1,
+                OpTimings::paper(),
+                DepolarizingNoise { pauli_error_prob: 0.1 },
+                ReadoutError { p01: 0.05, p10: 0.05 },
+                99,
+            );
+            (0..32)
+                .map(|i| {
+                    qpu.apply(i * 1000, QuantumOp::Gate1(Gate1::H, q(0)));
+                    qpu.apply(i * 1000 + 20, QuantumOp::Measure(q(0))).expect("outcome")
+                })
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(), run());
+    }
+}

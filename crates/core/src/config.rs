@@ -1,0 +1,187 @@
+//! Machine configuration and the presets used throughout the evaluation.
+
+use quape_isa::OpTimings;
+use serde::{Deserialize, Serialize};
+
+/// Full configuration of a QuAPE machine.
+///
+/// Defaults model the paper's FPGA prototype: 100 MHz core fabric
+/// (10 ns cycles), a DAQ chain tuned so the end-to-end feedback latency is
+/// ≈ 450 ns (§7), 3-cycle fast context switch, and a dual-bank private
+/// instruction cache per processor.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QuapeConfig {
+    /// Clock period in nanoseconds (10 ns = 100 MHz).
+    pub clock_ns: u64,
+    /// Number of processing units (1 = the QuMA_v2-like baseline).
+    pub num_processors: usize,
+    /// Instructions fetched per cycle (1 = scalar baseline, 8 = the
+    /// paper's superscalar prototype).
+    pub fetch_width: usize,
+    /// Quantum pipelines per processor (instructions of one timing group
+    /// dispatched per cycle). The paper couples this to the fetch width.
+    pub quantum_pipes: usize,
+    /// Pre-decode buffer capacity in instructions.
+    pub predecode_buffer: usize,
+    /// Nominal quantum-operation durations. The readout pulse defaults to
+    /// 300 ns so the measured feedback latency lands at the paper's
+    /// ≈ 450 ns.
+    pub timings: OpTimings,
+    /// DAQ demodulation/integration/threshold latency, base component.
+    pub daq_base_ns: u64,
+    /// DAQ latency jitter: the non-deterministic Stage II component is
+    /// drawn uniformly from `0..=daq_jitter_ns`.
+    pub daq_jitter_ns: u64,
+    /// Scheduler response time per scheduling action, in cycles.
+    pub scheduler_response_cycles: u64,
+    /// Instruction words copied into a private cache bank per cycle.
+    pub fill_words_per_cycle: usize,
+    /// Cycles to switch a processor onto an already-prefetched cache bank.
+    pub switch_cycles: u64,
+    /// Cycles for the MRCE fast context switch (measured as 3 in §7).
+    pub context_switch_cycles: u64,
+    /// Capacity of the MRCE context store.
+    pub context_capacity: usize,
+    /// Enables prefetching of upcoming blocks into free cache banks.
+    pub prefetch: bool,
+    /// Enables the MRCE fast context switch; when disabled, MRCE stalls
+    /// the pipeline like a plain FMR + branch (the ablation baseline).
+    pub fast_context_switch: bool,
+    /// Zero-cost scheduler used to compute the *ideal speedup* curve of
+    /// Fig. 11b (all scheduling and allocation take no cycles).
+    pub ideal_scheduler: bool,
+    /// Seed for the machine's PRNG (DAQ jitter).
+    pub seed: u64,
+}
+
+impl QuapeConfig {
+    /// The uniprocessor, scalar baseline — the configuration the paper
+    /// equates with QuMA_v2 in the multiprocessor tests.
+    pub fn uniprocessor() -> Self {
+        QuapeConfig {
+            clock_ns: 10,
+            num_processors: 1,
+            fetch_width: 1,
+            quantum_pipes: 1,
+            predecode_buffer: 8,
+            timings: OpTimings { single_qubit_ns: 20, two_qubit_ns: 40, readout_pulse_ns: 300 },
+            daq_base_ns: 100,
+            daq_jitter_ns: 30,
+            scheduler_response_cycles: 4,
+            fill_words_per_cycle: 4,
+            switch_cycles: 2,
+            context_switch_cycles: 3,
+            context_capacity: 4,
+            prefetch: true,
+            fast_context_switch: true,
+            ideal_scheduler: false,
+            seed: 0,
+        }
+    }
+
+    /// Multiprocessor with `n` processing units (Fig. 11 sweeps 1/2/4/6).
+    pub fn multiprocessor(n: usize) -> Self {
+        QuapeConfig { num_processors: n, ..Self::uniprocessor() }
+    }
+
+    /// Scalar single-processor baseline for the superscalar comparison
+    /// (Fig. 13).
+    pub fn scalar_baseline() -> Self {
+        Self::uniprocessor()
+    }
+
+    /// `w`-way superscalar single processor (the prototype implements
+    /// w = 8).
+    pub fn superscalar(w: usize) -> Self {
+        QuapeConfig {
+            fetch_width: w,
+            quantum_pipes: w,
+            predecode_buffer: 4 * w,
+            ..Self::uniprocessor()
+        }
+    }
+
+    /// Derives the ideal-scheduler twin of this configuration (used for
+    /// the theoretical-speedup series of Fig. 11b).
+    pub fn ideal(mut self) -> Self {
+        self.ideal_scheduler = true;
+        self
+    }
+
+    /// Replaces the PRNG seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Validates internal consistency.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable description of the first violated
+    /// constraint.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.clock_ns == 0 {
+            return Err("clock_ns must be positive".into());
+        }
+        if self.num_processors == 0 {
+            return Err("need at least one processor".into());
+        }
+        if self.fetch_width == 0 || self.quantum_pipes == 0 {
+            return Err("fetch width and quantum pipes must be positive".into());
+        }
+        if self.predecode_buffer < self.fetch_width {
+            return Err("pre-decode buffer must hold at least one fetch group".into());
+        }
+        if self.fill_words_per_cycle == 0 {
+            return Err("cache fill bandwidth must be positive".into());
+        }
+        Ok(())
+    }
+}
+
+impl Default for QuapeConfig {
+    fn default() -> Self {
+        Self::uniprocessor()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_validate() {
+        QuapeConfig::uniprocessor().validate().unwrap();
+        QuapeConfig::multiprocessor(6).validate().unwrap();
+        QuapeConfig::superscalar(8).validate().unwrap();
+        QuapeConfig::superscalar(8).ideal().validate().unwrap();
+    }
+
+    #[test]
+    fn superscalar_widths() {
+        let c = QuapeConfig::superscalar(8);
+        assert_eq!(c.fetch_width, 8);
+        assert_eq!(c.quantum_pipes, 8);
+        assert!(c.predecode_buffer >= 8);
+    }
+
+    #[test]
+    fn invalid_configs_rejected() {
+        let mut c = QuapeConfig::uniprocessor();
+        c.clock_ns = 0;
+        assert!(c.validate().is_err());
+        let mut c = QuapeConfig::uniprocessor();
+        c.num_processors = 0;
+        assert!(c.validate().is_err());
+        let mut c = QuapeConfig::superscalar(8);
+        c.predecode_buffer = 4;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn ideal_flag_set() {
+        assert!(QuapeConfig::multiprocessor(4).ideal().ideal_scheduler);
+        assert!(!QuapeConfig::multiprocessor(4).ideal_scheduler);
+    }
+}

@@ -1,0 +1,310 @@
+//! Control-stack device models: measurement result registers, the DAQ
+//! acquisition chain, the AWG bank, and the qubit→channel map.
+//!
+//! These mirror the boards of Fig. 9: the QCP sends codewords to AWGs to
+//! trigger waveform generation and receives measurement results from DAQs,
+//! which write the shared measurement result register file.
+
+use quape_isa::{Gate1, Gate2, QuantumOp, Qubit};
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// One entry of the measurement result register file.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MrrEntry {
+    /// True once the DAQ has delivered a result not yet superseded by a
+    /// newer measurement.
+    pub valid: bool,
+    /// The classical outcome bit.
+    pub value: bool,
+}
+
+/// The measurement result register file, written by the DAQ and readable
+/// by every processor (processors only read it, so sharing is safe —
+/// §5.2.4).
+#[derive(Debug, Clone, Default)]
+pub struct MeasurementFile {
+    entries: std::collections::HashMap<u16, MrrEntry>,
+}
+
+impl MeasurementFile {
+    /// Creates an empty file (all registers invalid).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Reads the register of `qubit`.
+    pub fn read(&self, qubit: Qubit) -> MrrEntry {
+        self.entries.get(&qubit.index()).copied().unwrap_or_default()
+    }
+
+    /// True if a valid result is available for `qubit`.
+    pub fn is_valid(&self, qubit: Qubit) -> bool {
+        self.read(qubit).valid
+    }
+
+    /// Invalidates the register (a new measurement has been issued).
+    pub fn invalidate(&mut self, qubit: Qubit) {
+        self.entries.insert(qubit.index(), MrrEntry::default());
+    }
+
+    /// DAQ write path: stores a delivered result and marks it valid.
+    pub fn deliver(&mut self, qubit: Qubit, value: bool) {
+        self.entries.insert(qubit.index(), MrrEntry { valid: true, value });
+    }
+}
+
+/// A measurement result travelling through the acquisition chain.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PendingResult {
+    /// Qubit being read out.
+    pub qubit: Qubit,
+    /// The sampled outcome, known to the simulator but not yet to the QCP.
+    pub value: bool,
+    /// Absolute time at which the result reaches the result register.
+    pub deliver_at_ns: u64,
+}
+
+/// The DAQ model: demodulation + integration + thresholding latency with a
+/// non-deterministic jitter component (the Stage I/II uncertainty of §2.4).
+#[derive(Debug, Clone, Default)]
+pub struct Daq {
+    pending: VecDeque<PendingResult>,
+    delivered: usize,
+}
+
+impl Daq {
+    /// Creates an idle DAQ.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Enqueues a result for future delivery.
+    pub fn schedule(&mut self, result: PendingResult) {
+        // Keep the queue sorted by delivery time (insertion is rare).
+        let pos = self
+            .pending
+            .iter()
+            .position(|p| p.deliver_at_ns > result.deliver_at_ns)
+            .unwrap_or(self.pending.len());
+        self.pending.insert(pos, result);
+    }
+
+    /// Delivers every result due at `now_ns` into the register file.
+    pub fn tick(&mut self, now_ns: u64, mrr: &mut MeasurementFile) {
+        while let Some(front) = self.pending.front() {
+            if front.deliver_at_ns > now_ns {
+                break;
+            }
+            let r = self.pending.pop_front().expect("checked front");
+            mrr.deliver(r.qubit, r.value);
+            self.delivered += 1;
+        }
+    }
+
+    /// Number of results still in flight.
+    pub fn in_flight(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Total results delivered so far.
+    pub fn delivered(&self) -> usize {
+        self.delivered
+    }
+}
+
+/// The analog channels assigned to one qubit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct QubitChannels {
+    /// Microwave (XY drive) channel.
+    pub microwave: u16,
+    /// Flux (Z / two-qubit) channel.
+    pub flux: u16,
+    /// Readout channel.
+    pub readout: u16,
+}
+
+/// Static map from qubits to analog channels (hard-coded connection
+/// information, as in the paper's experimental setup: 38 channels for 10
+/// qubits).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ChannelMap {
+    num_qubits: u16,
+}
+
+impl ChannelMap {
+    /// Standard layout: qubit q drives microwave channel `2q`, flux
+    /// channel `2q+1`, and readout channel `2·num_qubits + q`.
+    pub fn linear(num_qubits: u16) -> Self {
+        ChannelMap { num_qubits }
+    }
+
+    /// Channels of one qubit.
+    pub fn channels(&self, q: Qubit) -> QubitChannels {
+        QubitChannels {
+            microwave: 2 * q.index(),
+            flux: 2 * q.index() + 1,
+            readout: 2 * self.num_qubits + q.index(),
+        }
+    }
+
+    /// Total number of analog channels in the setup.
+    pub fn channel_count(&self) -> u16 {
+        3 * self.num_qubits
+    }
+}
+
+/// A codeword sent from the QCP to an AWG/DAQ board: the trigger for one
+/// pre-loaded waveform on one analog channel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Codeword {
+    /// Absolute trigger time.
+    pub time_ns: u64,
+    /// Analog channel index.
+    pub channel: u16,
+    /// Waveform-table index encoding the pulse shape.
+    pub waveform: u16,
+}
+
+/// The AWG bank: records every codeword it is asked to play.
+#[derive(Debug, Clone, Default)]
+pub struct AwgBank {
+    codewords: Vec<Codeword>,
+}
+
+/// Derives a stable waveform-table index for an operation.
+fn waveform_id(op: &QuantumOp) -> u16 {
+    match op {
+        QuantumOp::Gate1(g, _) => match g {
+            Gate1::I => 0,
+            Gate1::X => 1,
+            Gate1::Y => 2,
+            Gate1::Z => 3,
+            Gate1::H => 4,
+            Gate1::S => 5,
+            Gate1::Sdg => 6,
+            Gate1::T => 7,
+            Gate1::Tdg => 8,
+            Gate1::X90 => 9,
+            Gate1::Xm90 => 10,
+            Gate1::Y90 => 11,
+            Gate1::Ym90 => 12,
+            Gate1::Reset => 13,
+            Gate1::Rx(a) => 100 + a.index() as u16,
+            Gate1::Ry(a) => 200 + a.index() as u16,
+            Gate1::Rz(a) => 300 + a.index() as u16,
+        },
+        QuantumOp::Gate2(Gate2::Cnot, ..) => 20,
+        QuantumOp::Gate2(Gate2::Cz, ..) => 21,
+        QuantumOp::Gate2(Gate2::Swap, ..) => 22,
+        QuantumOp::Measure(_) => 30,
+    }
+}
+
+impl AwgBank {
+    /// Creates an empty bank.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Emits the codeword(s) for one operation: microwave channel for
+    /// single-qubit gates, flux channels of both qubits for two-qubit
+    /// gates, readout channel for measurements.
+    pub fn emit(&mut self, map: &ChannelMap, time_ns: u64, op: &QuantumOp) {
+        let wf = waveform_id(op);
+        match op {
+            QuantumOp::Gate1(_, q) => {
+                self.codewords.push(Codeword { time_ns, channel: map.channels(*q).microwave, waveform: wf });
+            }
+            QuantumOp::Gate2(_, a, b) => {
+                self.codewords.push(Codeword { time_ns, channel: map.channels(*a).flux, waveform: wf });
+                self.codewords.push(Codeword { time_ns, channel: map.channels(*b).flux, waveform: wf });
+            }
+            QuantumOp::Measure(q) => {
+                self.codewords.push(Codeword { time_ns, channel: map.channels(*q).readout, waveform: wf });
+            }
+        }
+    }
+
+    /// All codewords in emission order.
+    pub fn codewords(&self) -> &[Codeword] {
+        &self.codewords
+    }
+
+    /// Codewords played on one channel.
+    pub fn on_channel(&self, channel: u16) -> impl Iterator<Item = &Codeword> {
+        self.codewords.iter().filter(move |c| c.channel == channel)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn q(i: u16) -> Qubit {
+        Qubit::new(i)
+    }
+
+    #[test]
+    fn mrr_lifecycle() {
+        let mut mrr = MeasurementFile::new();
+        assert!(!mrr.is_valid(q(3)));
+        mrr.deliver(q(3), true);
+        assert!(mrr.is_valid(q(3)));
+        assert!(mrr.read(q(3)).value);
+        mrr.invalidate(q(3));
+        assert!(!mrr.is_valid(q(3)));
+    }
+
+    #[test]
+    fn daq_delivers_in_time_order() {
+        let mut daq = Daq::new();
+        let mut mrr = MeasurementFile::new();
+        daq.schedule(PendingResult { qubit: q(0), value: true, deliver_at_ns: 500 });
+        daq.schedule(PendingResult { qubit: q(1), value: false, deliver_at_ns: 300 });
+        daq.tick(299, &mut mrr);
+        assert_eq!(daq.in_flight(), 2);
+        daq.tick(300, &mut mrr);
+        assert!(mrr.is_valid(q(1)));
+        assert!(!mrr.is_valid(q(0)));
+        daq.tick(1000, &mut mrr);
+        assert!(mrr.is_valid(q(0)));
+        assert_eq!(daq.delivered(), 2);
+        assert_eq!(daq.in_flight(), 0);
+    }
+
+    #[test]
+    fn channel_map_is_injective() {
+        let map = ChannelMap::linear(10);
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..10 {
+            let ch = map.channels(q(i));
+            assert!(seen.insert(ch.microwave));
+            assert!(seen.insert(ch.flux));
+            assert!(seen.insert(ch.readout));
+        }
+        assert_eq!(seen.len() as u16, map.channel_count());
+    }
+
+    #[test]
+    fn awg_routes_ops_to_channels() {
+        let map = ChannelMap::linear(4);
+        let mut awg = AwgBank::new();
+        awg.emit(&map, 0, &QuantumOp::Gate1(Gate1::H, q(0)));
+        awg.emit(&map, 20, &QuantumOp::Gate2(Gate2::Cz, q(0), q(1)));
+        awg.emit(&map, 60, &QuantumOp::Measure(q(1)));
+        assert_eq!(awg.codewords().len(), 4); // 1 + 2 + 1
+        assert_eq!(awg.on_channel(map.channels(q(0)).microwave).count(), 1);
+        assert_eq!(awg.on_channel(map.channels(q(0)).flux).count(), 1);
+        assert_eq!(awg.on_channel(map.channels(q(1)).flux).count(), 1);
+        assert_eq!(awg.on_channel(map.channels(q(1)).readout).count(), 1);
+    }
+
+    #[test]
+    fn rotation_waveforms_distinct_per_angle() {
+        use quape_isa::Angle;
+        let a = waveform_id(&QuantumOp::Gate1(Gate1::Rx(Angle::new(1)), q(0)));
+        let b = waveform_id(&QuantumOp::Gate1(Gate1::Rx(Angle::new(2)), q(0)));
+        assert_ne!(a, b);
+    }
+}

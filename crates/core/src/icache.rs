@@ -1,0 +1,194 @@
+//! Dual-bank private instruction cache (§5.2.3).
+//!
+//! Each processor owns two cache banks: one holds the block in execution,
+//! the other receives the *prefetched* next block. Switching between banks
+//! takes only a few cycles, which is what makes fast block switching
+//! possible.
+
+use quape_isa::{BlockId, Instruction};
+
+/// One cache bank: a contiguous copy of a program block.
+#[derive(Debug, Clone, Default)]
+pub struct CacheBank {
+    block: Option<BlockId>,
+    base: u32,
+    words: Vec<Instruction>,
+}
+
+impl CacheBank {
+    /// The block resident in this bank.
+    pub fn block(&self) -> Option<BlockId> {
+        self.block
+    }
+
+    /// True if no block is resident.
+    pub fn is_free(&self) -> bool {
+        self.block.is_none()
+    }
+
+    /// Installs a fully fetched block.
+    pub fn install(&mut self, block: BlockId, base: u32, words: Vec<Instruction>) {
+        self.block = Some(block);
+        self.base = base;
+        self.words = words;
+    }
+
+    /// Evicts the resident block.
+    pub fn clear(&mut self) {
+        self.block = None;
+        self.base = 0;
+        self.words.clear();
+    }
+
+    /// Reads the instruction at absolute address `pc`, if resident.
+    pub fn read(&self, pc: u32) -> Option<&Instruction> {
+        if pc < self.base {
+            return None;
+        }
+        self.words.get((pc - self.base) as usize)
+    }
+
+    /// First address of the resident block.
+    pub fn base(&self) -> u32 {
+        self.base
+    }
+
+    /// One-past-the-end address of the resident block.
+    #[allow(dead_code)] // part of the cache API; exercised by tests
+    pub fn end(&self) -> u32 {
+        self.base + self.words.len() as u32
+    }
+}
+
+/// The two-bank private instruction cache.
+#[derive(Debug, Clone, Default)]
+pub struct PrivateICache {
+    banks: [CacheBank; 2],
+    active: usize,
+}
+
+impl PrivateICache {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The bank currently feeding the fetch unit.
+    pub fn active(&self) -> &CacheBank {
+        &self.banks[self.active]
+    }
+
+    /// Index of a bank available for prefetching (the inactive bank, when
+    /// free).
+    pub fn free_bank(&self) -> Option<usize> {
+        let other = 1 - self.active;
+        if self.banks[other].is_free() {
+            Some(other)
+        } else {
+            None
+        }
+    }
+
+    /// The inactive bank.
+    #[allow(dead_code)] // part of the cache API; exercised by tests
+    pub fn inactive(&self) -> &CacheBank {
+        &self.banks[1 - self.active]
+    }
+
+    /// Installs a block into `bank`.
+    pub fn install(&mut self, bank: usize, block: BlockId, base: u32, words: Vec<Instruction>) {
+        self.banks[bank].install(block, base, words);
+    }
+
+    /// Installs a block into the active bank (initial pre-task load).
+    pub fn install_active(&mut self, block: BlockId, base: u32, words: Vec<Instruction>) {
+        let a = self.active;
+        self.banks[a].install(block, base, words);
+    }
+
+    /// Finds the bank holding `block`.
+    pub fn bank_of(&self, block: BlockId) -> Option<usize> {
+        self.banks.iter().position(|b| b.block() == Some(block))
+    }
+
+    /// Switches the fetch path to `bank` and frees the previous bank.
+    pub fn switch_to(&mut self, bank: usize) {
+        if bank != self.active {
+            self.banks[self.active].clear();
+            self.active = bank;
+        }
+    }
+
+    /// Frees the active bank (block finished, nothing prefetched).
+    pub fn retire_active(&mut self) {
+        let a = self.active;
+        self.banks[a].clear();
+    }
+
+    /// Fetches the instruction at `pc` from the active bank.
+    pub fn fetch(&self, pc: u32) -> Option<&Instruction> {
+        self.active().read(pc)
+    }
+
+    /// Evicts `block` from whichever bank holds it.
+    pub fn evict(&mut self, block: BlockId) {
+        for bank in &mut self.banks {
+            if bank.block() == Some(block) {
+                bank.clear();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use quape_isa::{ClassicalOp, Gate1, QuantumOp, Qubit};
+
+    fn prog(n: usize) -> Vec<Instruction> {
+        (0..n)
+            .map(|i| {
+                if i == n - 1 {
+                    Instruction::Classical(ClassicalOp::Stop)
+                } else {
+                    Instruction::quantum(0, QuantumOp::Gate1(Gate1::H, Qubit::new(i as u16)))
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn read_respects_base_offset() {
+        let mut c = PrivateICache::new();
+        c.install_active(BlockId(0), 100, prog(5));
+        assert!(c.fetch(99).is_none());
+        assert!(c.fetch(100).is_some());
+        assert!(c.fetch(104).is_some());
+        assert!(c.fetch(105).is_none());
+        assert_eq!(c.active().end(), 105);
+    }
+
+    #[test]
+    fn prefetch_and_switch() {
+        let mut c = PrivateICache::new();
+        c.install_active(BlockId(0), 0, prog(3));
+        let free = c.free_bank().expect("inactive bank free");
+        c.install(free, BlockId(1), 3, prog(4));
+        assert!(c.free_bank().is_none(), "both banks occupied");
+        assert_eq!(c.bank_of(BlockId(1)), Some(free));
+        c.switch_to(free);
+        assert_eq!(c.active().block(), Some(BlockId(1)));
+        assert!(c.fetch(3).is_some());
+        // Old bank was freed by the switch.
+        assert!(c.free_bank().is_some());
+    }
+
+    #[test]
+    fn retire_frees_active() {
+        let mut c = PrivateICache::new();
+        c.install_active(BlockId(0), 0, prog(2));
+        c.retire_active();
+        assert!(c.active().is_free());
+        assert!(c.fetch(0).is_none());
+    }
+}

@@ -1,0 +1,269 @@
+//! The QuAPE machine: multiprocessor + scheduler + devices + QPU, stepped
+//! at clock-cycle granularity.
+
+use crate::backend::QpuBackend;
+use crate::config::QuapeConfig;
+use crate::devices::{AwgBank, ChannelMap, Daq, MeasurementFile};
+use crate::processor::{Env, Processor};
+use crate::report::{MachineStats, RunReport, StepDispatch, StopReason};
+use crate::scheduler::Scheduler;
+use quape_isa::{
+    BlockInfo, BlockInfoTable, Dependency, Instruction, Program, ProgramError, SHARED_REG_COUNT,
+};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::fmt;
+
+/// Errors from machine construction.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MachineError {
+    /// The configuration is inconsistent.
+    Config(String),
+    /// The program failed validation.
+    Program(ProgramError),
+}
+
+impl fmt::Display for MachineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MachineError::Config(msg) => write!(f, "invalid configuration: {msg}"),
+            MachineError::Program(e) => write!(f, "invalid program: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for MachineError {}
+
+impl From<ProgramError> for MachineError {
+    fn from(e: ProgramError) -> Self {
+        MachineError::Program(e)
+    }
+}
+
+/// A recorded measurement outcome (time, qubit, value).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct MeasurementRecord {
+    /// Issue time of the measurement operation.
+    pub time_ns: u64,
+    /// Measured qubit.
+    pub qubit: quape_isa::Qubit,
+    /// Classical outcome.
+    pub value: bool,
+}
+
+/// The full control stack of Fig. 5/9: scheduler, processors, measurement
+/// result registers, DAQ, AWG bank and a QPU backend.
+///
+/// ```
+/// use quape_core::{Machine, QuapeConfig};
+/// use quape_qpu::{BehavioralQpu, MeasurementModel};
+/// use quape_isa::assemble;
+///
+/// let program = assemble("0 H q0\n0 H q1\n2 CNOT q0, q1\nSTOP\n")?;
+/// let cfg = QuapeConfig::superscalar(4);
+/// let qpu = BehavioralQpu::new(cfg.timings, MeasurementModel::AlwaysZero, 1);
+/// let report = Machine::new(cfg, program, Box::new(qpu))?.run();
+/// assert_eq!(report.issued_count(), 3);
+/// assert!(report.timing_clean());
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub struct Machine {
+    cfg: QuapeConfig,
+    program: Program,
+    processors: Vec<Processor>,
+    scheduler: Scheduler,
+    mrr: MeasurementFile,
+    daq: Daq,
+    awg: AwgBank,
+    qpu: Box<dyn QpuBackend>,
+    chan: ChannelMap,
+    rng: SmallRng,
+    shared_regs: [i32; SHARED_REG_COUNT],
+    cycle: u64,
+    halt: bool,
+    error: bool,
+    stats: MachineStats,
+    step_dispatches: Vec<StepDispatch>,
+    wait_cycles: Vec<u64>,
+    late_issues: u64,
+    late_cycles: u64,
+    measurements: Vec<MeasurementRecord>,
+}
+
+/// Wraps a block-less program into a single implicit block so the
+/// scheduler always has a table to work from.
+fn ensure_blocks(program: Program) -> Result<Program, ProgramError> {
+    if !program.blocks().is_empty() {
+        return Ok(program);
+    }
+    let len = program.len() as u32;
+    let mut table = BlockInfoTable::new();
+    table.push(BlockInfo::new("main", 0..len, Dependency::none()))?;
+    Program::with_parts(program.instructions().to_vec(), table, program.step_map().to_vec())
+}
+
+fn num_qubits_of(program: &Program) -> u16 {
+    let mut max = 0u16;
+    for instr in program.instructions() {
+        match instr {
+            Instruction::Quantum(q) => {
+                for qubit in q.op.qubits() {
+                    max = max.max(qubit.index() + 1);
+                }
+            }
+            Instruction::Classical(c) => {
+                if let quape_isa::ClassicalOp::Mrce { qubit, target, .. } = c {
+                    max = max.max(qubit.index() + 1).max(target.index() + 1);
+                }
+                if let quape_isa::ClassicalOp::Fmr { qubit, .. } = c {
+                    max = max.max(qubit.index() + 1);
+                }
+            }
+        }
+    }
+    max.max(1)
+}
+
+impl Machine {
+    /// Builds a machine for `program` driving `qpu`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MachineError::Config`] for inconsistent configurations and
+    /// [`MachineError::Program`] when wrapping a block-less program fails.
+    pub fn new(
+        cfg: QuapeConfig,
+        program: Program,
+        qpu: Box<dyn QpuBackend>,
+    ) -> Result<Self, MachineError> {
+        cfg.validate().map_err(MachineError::Config)?;
+        let program = ensure_blocks(program)?;
+        let chan = ChannelMap::linear(num_qubits_of(&program));
+        let mut processors: Vec<Processor> =
+            (0..cfg.num_processors).map(Processor::new).collect();
+        let mut scheduler = Scheduler::new(&program);
+        // Pre-task load of the first num_processors blocks (§7).
+        scheduler.initial_load(&mut processors, &program, cfg.num_processors);
+        let stats = MachineStats { processors: vec![Default::default(); cfg.num_processors], ..Default::default() };
+        let rng = SmallRng::seed_from_u64(cfg.seed);
+        Ok(Machine {
+            cfg,
+            program,
+            processors,
+            scheduler,
+            mrr: MeasurementFile::new(),
+            daq: Daq::new(),
+            awg: AwgBank::new(),
+            qpu,
+            chan,
+            rng,
+            shared_regs: [0; SHARED_REG_COUNT],
+            cycle: 0,
+            halt: false,
+            error: false,
+            stats,
+            step_dispatches: Vec::new(),
+            wait_cycles: Vec::new(),
+            late_issues: 0,
+            late_cycles: 0,
+            measurements: Vec::new(),
+        })
+    }
+
+    /// Current cycle.
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    /// Advances the machine by one clock cycle.
+    pub fn step(&mut self) {
+        let now = self.cycle;
+        self.daq.tick(now * self.cfg.clock_ns, &mut self.mrr);
+        self.scheduler.tick(now, &mut self.processors, &self.program, &self.cfg, &mut self.stats);
+        let mut env = Env {
+            cfg: &self.cfg,
+            program: &self.program,
+            mrr: &mut self.mrr,
+            daq: &mut self.daq,
+            awg: &mut self.awg,
+            qpu: &mut *self.qpu,
+            chan: &self.chan,
+            rng: &mut self.rng,
+            shared_regs: &mut self.shared_regs,
+            step_dispatches: &mut self.step_dispatches,
+            wait_cycles: &mut self.wait_cycles,
+            late_issues: &mut self.late_issues,
+            late_cycles: &mut self.late_cycles,
+            measurements: &mut self.measurements,
+            halt: &mut self.halt,
+            error: &mut self.error,
+        };
+        for p in &mut self.processors {
+            p.tick(now, &mut env);
+        }
+        self.cycle += 1;
+    }
+
+    fn quiescent(&self) -> bool {
+        self.scheduler.all_done()
+            && self.processors.iter().all(|p| p.is_idle() && !p.has_pending_work())
+            && self.daq.in_flight() == 0
+    }
+
+    fn drained_after_halt(&self) -> bool {
+        self.halt
+            && self.processors.iter().all(|p| !p.has_pending_work())
+            && self.daq.in_flight() == 0
+    }
+
+    /// Runs until completion with a default budget of 10 million cycles.
+    pub fn run(self) -> RunReport {
+        self.run_with_limit(10_000_000)
+    }
+
+    /// Runs until completion, a `HALT`, an error, or the cycle budget.
+    pub fn run_with_limit(mut self, max_cycles: u64) -> RunReport {
+        let stop = loop {
+            if self.error {
+                break StopReason::Error;
+            }
+            if self.quiescent() {
+                break StopReason::Completed;
+            }
+            if self.drained_after_halt() {
+                break StopReason::Halted;
+            }
+            if self.cycle >= max_cycles {
+                break StopReason::CycleLimit;
+            }
+            self.step();
+        };
+        self.into_report(stop)
+    }
+
+    /// Measurement outcomes observed so far (delivered results).
+    pub fn measurements(&self) -> &[MeasurementRecord] {
+        &self.measurements
+    }
+
+    fn into_report(mut self, stop: StopReason) -> RunReport {
+        for (i, p) in self.processors.iter().enumerate() {
+            self.stats.processors[i] = p.stats;
+        }
+        self.stats.late_issues = self.late_issues;
+        self.stats.late_cycles = self.late_cycles;
+        RunReport {
+            cycles: self.cycle,
+            ns: self.cycle * self.cfg.clock_ns,
+            stop,
+            issued: self.qpu.log().to_vec(),
+            violations: self.qpu.violations().to_vec(),
+            stats: self.stats,
+            step_dispatches: self.step_dispatches,
+            wait_cycles: self.wait_cycles,
+            measurements: self.measurements,
+            block_events: self.scheduler.events.clone(),
+            qpu_makespan_ns: self.qpu.makespan_ns(),
+        }
+    }
+}

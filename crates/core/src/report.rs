@@ -1,0 +1,166 @@
+//! Run reports: everything a benchmark needs to compute the paper's
+//! metrics after a machine run.
+
+use quape_isa::{BlockId, BlockStatus, StepId};
+use quape_qpu::{IssuedOp, TimingViolation};
+use serde::{Deserialize, Serialize};
+
+/// A change of a block's scheduler status (drives the Fig. 7 status-flow
+/// reproduction).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BlockEvent {
+    /// Cycle at which the transition happened.
+    pub cycle: u64,
+    /// The block.
+    pub block: BlockId,
+    /// The new status.
+    pub status: BlockStatus,
+    /// Processor involved, if any.
+    pub processor: Option<usize>,
+}
+
+/// Dispatch record of one quantum instruction (feeds CES/TR metering).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StepDispatch {
+    /// Cycle at which the instruction left the pre-decoder.
+    pub cycle: u64,
+    /// The circuit step it belongs to (from the compiler's step map).
+    pub step: Option<StepId>,
+    /// Dispatching processor.
+    pub processor: usize,
+}
+
+/// Per-processor counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ProcessorStats {
+    /// Quantum instructions dispatched.
+    pub dispatched_quantum: u64,
+    /// Classical instructions executed.
+    pub dispatched_classical: u64,
+    /// Cycles spent waiting for a measurement result (Stage I/II; excluded
+    /// from CES per §3.2.1).
+    pub measure_wait_cycles: u64,
+    /// Cycles the quantum dispatch was blocked by an MRCE-context qubit
+    /// dependency.
+    pub context_dependency_stalls: u64,
+    /// MRCE fast context switches performed.
+    pub context_switches: u64,
+    /// Taken control transfers.
+    pub branches_taken: u64,
+    /// Blocks executed to completion.
+    pub blocks_completed: u64,
+    /// Cycles with at least one instruction dispatched.
+    pub active_cycles: u64,
+}
+
+/// Machine-wide counters.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct MachineStats {
+    /// Per-processor counters.
+    pub processors: Vec<ProcessorStats>,
+    /// Quantum operations that reached their timing queue *after* their
+    /// scheduled issue time (the decoherence hazard the paper designs
+    /// against).
+    pub late_issues: u64,
+    /// Total lateness across all late issues, in cycles.
+    pub late_cycles: u64,
+    /// Cycles the scheduler spent busy on allocation/prefetch work.
+    pub scheduler_busy_cycles: u64,
+    /// Completed block-to-block switches that hit a prefetched bank.
+    pub prefetch_hits: u64,
+    /// Block starts that had to fill a cache bank on demand.
+    pub prefetch_misses: u64,
+}
+
+impl ProcessorStats {
+    /// Fraction of the run this processor spent dispatching instructions.
+    pub fn busy_fraction(&self, total_cycles: u64) -> f64 {
+        if total_cycles == 0 {
+            0.0
+        } else {
+            self.active_cycles as f64 / total_cycles as f64
+        }
+    }
+}
+
+impl MachineStats {
+    /// Sum of quantum instructions dispatched across processors.
+    pub fn total_quantum(&self) -> u64 {
+        self.processors.iter().map(|p| p.dispatched_quantum).sum()
+    }
+
+    /// Sum of classical instructions executed across processors.
+    pub fn total_classical(&self) -> u64 {
+        self.processors.iter().map(|p| p.dispatched_classical).sum()
+    }
+
+    /// Mean processor utilization (the CLP load-balance indicator).
+    pub fn mean_utilization(&self, total_cycles: u64) -> f64 {
+        if self.processors.is_empty() {
+            return 0.0;
+        }
+        self.processors.iter().map(|p| p.busy_fraction(total_cycles)).sum::<f64>()
+            / self.processors.len() as f64
+    }
+}
+
+/// Why the run ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum StopReason {
+    /// All blocks done, all queues drained.
+    Completed,
+    /// A `HALT` instruction was executed.
+    Halted,
+    /// The cycle budget ran out first.
+    CycleLimit,
+    /// A processor hit an execution error (e.g. `RET` with an empty call
+    /// stack).
+    Error,
+}
+
+/// The result of one machine run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RunReport {
+    /// Total cycles simulated.
+    pub cycles: u64,
+    /// Wall-clock program time in nanoseconds (cycles × clock period).
+    pub ns: u64,
+    /// Why the run stopped.
+    pub stop: StopReason,
+    /// Every quantum operation issued to the QPU, time-stamped.
+    pub issued: Vec<IssuedOp>,
+    /// Timing violations detected by the QPU occupancy model.
+    pub violations: Vec<TimingViolation>,
+    /// Counters.
+    pub stats: MachineStats,
+    /// Quantum-instruction dispatch records for CES/TR metering.
+    pub step_dispatches: Vec<StepDispatch>,
+    /// Cycles during which a processor was blocked waiting on a
+    /// measurement result (one entry per processor-cycle).
+    pub wait_cycles: Vec<u64>,
+    /// Measurement outcomes in issue order.
+    pub measurements: Vec<crate::machine::MeasurementRecord>,
+    /// Scheduler status transitions.
+    pub block_events: Vec<BlockEvent>,
+    /// When the QPU finished its last operation.
+    pub qpu_makespan_ns: u64,
+}
+
+impl RunReport {
+    /// End-to-end execution time: program time or QPU drain, whichever is
+    /// later (the metric of Fig. 11/12).
+    pub fn execution_time_ns(&self) -> u64 {
+        self.ns.max(self.qpu_makespan_ns)
+    }
+
+    /// Number of quantum operations issued.
+    pub fn issued_count(&self) -> usize {
+        self.issued.len()
+    }
+
+    /// True if no operation missed its deadline and the QPU saw no
+    /// overlapping operations.
+    pub fn timing_clean(&self) -> bool {
+        self.stats.late_issues == 0 && self.violations.is_empty()
+    }
+}

@@ -1,0 +1,336 @@
+//! The multiprocessor scheduler (§5.2).
+//!
+//! Continuously reads the block information table, performs the dependency
+//! check (direct bit-vector or priority counter), and allocates ready
+//! program blocks to idle processors. It handles **one scheduling action
+//! at a time** — while busy filling a cache it does not answer other
+//! requests, which reproduces the paper's observation that overly
+//! fine-grained blocks overwhelm the scheduler. Prefetching into the free
+//! cache bank of a processor hides most of the allocation latency.
+
+use crate::config::QuapeConfig;
+use crate::processor::Processor;
+use crate::report::{BlockEvent, MachineStats};
+use quape_isa::{BlockId, BlockStatus, Dependency, DependencyMode, Program};
+
+/// Run-time status of one block, mirroring the status registers of §5.2.2
+/// with an extra in-flight state for jobs the scheduler is working on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum RtStatus {
+    Wait,
+    /// Fill job running toward a free bank of `proc`.
+    Prefetching { proc: usize },
+    /// Resident in a bank of `proc`, waiting to become ready/started.
+    Prefetched { proc: usize },
+    /// Fill job running; the block starts on `proc` when it completes.
+    Allocating { proc: usize },
+    InExecution,
+    Done,
+}
+
+impl RtStatus {
+    fn public(self) -> BlockStatus {
+        match self {
+            RtStatus::Wait => BlockStatus::Wait,
+            RtStatus::Prefetching { .. } | RtStatus::Prefetched { .. } => BlockStatus::Prefetch,
+            RtStatus::Allocating { .. } | RtStatus::InExecution => BlockStatus::InExecution,
+            RtStatus::Done => BlockStatus::Done,
+        }
+    }
+}
+
+/// An in-flight scheduling job (the scheduler is busy until `finish`).
+#[derive(Debug, Clone, Copy)]
+enum Job {
+    Allocate { block: BlockId, proc: usize, finish: u64 },
+    Prefetch { block: BlockId, proc: usize, finish: u64 },
+}
+
+/// The dynamic block scheduler.
+#[derive(Debug)]
+pub(crate) struct Scheduler {
+    status: Vec<RtStatus>,
+    mode: Option<DependencyMode>,
+    priority_counter: u16,
+    busy_until: u64,
+    job: Option<Job>,
+    pub(crate) events: Vec<BlockEvent>,
+}
+
+impl Scheduler {
+    /// Builds the scheduler state from a validated block table.
+    pub fn new(program: &Program) -> Self {
+        let n = program.blocks().len();
+        Scheduler {
+            status: vec![RtStatus::Wait; n],
+            mode: program.blocks().mode(),
+            priority_counter: 0,
+            busy_until: 0,
+            job: None,
+            events: Vec::new(),
+        }
+    }
+
+    /// Pre-task initial load: the first `count` blocks of the table are
+    /// installed directly into the active banks of processors 0..count
+    /// (the paper allows prefetching the first N blocks before the task
+    /// starts).
+    pub fn initial_load(&mut self, processors: &mut [Processor], program: &Program, count: usize) {
+        let n = count.min(self.status.len()).min(processors.len());
+        for (i, proc) in processors.iter_mut().enumerate().take(n) {
+            let id = BlockId(i as u16);
+            let info = program.blocks().get(id).expect("block in table");
+            let words = program.instructions()
+                [info.range.start as usize..info.range.end as usize]
+                .to_vec();
+            proc.icache_mut().install_active(id, info.range.start, words);
+            self.set_status(0, id, RtStatus::Prefetched { proc: i });
+        }
+    }
+
+    fn set_status(&mut self, cycle: u64, block: BlockId, status: RtStatus) {
+        let proc = match status {
+            RtStatus::Prefetching { proc }
+            | RtStatus::Prefetched { proc }
+            | RtStatus::Allocating { proc } => Some(proc),
+            _ => None,
+        };
+        self.status[block.index()] = status;
+        self.events.push(BlockEvent { cycle, block, status: status.public(), processor: proc });
+    }
+
+    /// True once every block has completed.
+    pub fn all_done(&self) -> bool {
+        self.status.iter().all(|s| matches!(s, RtStatus::Done))
+    }
+
+    /// True when a scheduling job is in flight.
+    pub fn is_busy(&self, cycle: u64) -> bool {
+        cycle < self.busy_until
+    }
+
+    fn dependency_met(&self, dep: &Dependency) -> bool {
+        match dep {
+            Dependency::Direct(deps) => {
+                deps.iter().all(|d| matches!(self.status[d.index()], RtStatus::Done))
+            }
+            Dependency::Priority(p) => *p == self.priority_counter,
+        }
+    }
+
+    /// A block is a prefetch candidate when all of its dependencies are at
+    /// least in execution (so it is plausibly next).
+    fn prefetch_candidate(&self, dep: &Dependency) -> bool {
+        match dep {
+            Dependency::Direct(deps) => deps.iter().all(|d| {
+                matches!(
+                    self.status[d.index()],
+                    RtStatus::InExecution | RtStatus::Allocating { .. } | RtStatus::Done
+                )
+            }),
+            Dependency::Priority(p) => {
+                *p == self.priority_counter || *p == self.priority_counter + 1
+            }
+        }
+    }
+
+    fn advance_priority_counter(&mut self, program: &Program) {
+        if self.mode != Some(DependencyMode::Priority) {
+            return;
+        }
+        loop {
+            let mut current_level_open = false;
+            let mut next_levels: Vec<u16> = Vec::new();
+            for (id, info) in program.blocks().iter() {
+                if let Dependency::Priority(p) = info.dependency {
+                    let done = matches!(self.status[id.index()], RtStatus::Done);
+                    if p == self.priority_counter && !done {
+                        current_level_open = true;
+                    }
+                    if p > self.priority_counter && !done {
+                        next_levels.push(p);
+                    }
+                }
+            }
+            if current_level_open {
+                return;
+            }
+            match next_levels.iter().min() {
+                Some(&next) => self.priority_counter = next,
+                None => return, // everything done
+            }
+        }
+    }
+
+    fn fill_cycles(&self, len: usize, cfg: &QuapeConfig) -> u64 {
+        cfg.scheduler_response_cycles + (len as u64).div_ceil(cfg.fill_words_per_cycle as u64)
+    }
+
+    /// One scheduler cycle.
+    pub fn tick(
+        &mut self,
+        cycle: u64,
+        processors: &mut [Processor],
+        program: &Program,
+        cfg: &QuapeConfig,
+        stats: &mut MachineStats,
+    ) {
+        // 1. Consume done notifications.
+        for p in processors.iter_mut() {
+            if let Some(block) = p.take_finished() {
+                self.set_status(cycle, block, RtStatus::Done);
+            }
+        }
+        self.advance_priority_counter(program);
+
+        if cfg.ideal_scheduler {
+            self.tick_ideal(cycle, processors, program);
+            return;
+        }
+
+        // 2. Complete an in-flight job.
+        if let Some(job) = self.job {
+            stats.scheduler_busy_cycles += 1;
+            match job {
+                Job::Allocate { block, proc, finish } if cycle >= finish => {
+                    let info = program.blocks().get(block).expect("block in table");
+                    let words = program.instructions()
+                        [info.range.start as usize..info.range.end as usize]
+                        .to_vec();
+                    processors[proc].load_and_run(block, info.range.start, words, cycle);
+                    self.set_status(cycle, block, RtStatus::InExecution);
+                    stats.prefetch_misses += 1;
+                    self.job = None;
+                }
+                Job::Prefetch { block, proc, finish } if cycle >= finish => {
+                    let info = program.blocks().get(block).expect("block in table");
+                    let words = program.instructions()
+                        [info.range.start as usize..info.range.end as usize]
+                        .to_vec();
+                    if processors[proc].prefetch_block(block, info.range.start, words) {
+                        self.set_status(cycle, block, RtStatus::Prefetched { proc });
+                    } else {
+                        // Bank got occupied in the meantime: back to wait.
+                        self.set_status(cycle, block, RtStatus::Wait);
+                    }
+                    self.job = None;
+                }
+                _ => return, // still busy
+            }
+        }
+        if self.is_busy(cycle) {
+            stats.scheduler_busy_cycles += 1;
+            return;
+        }
+
+        // 3. Start a ready block (one action per cycle).
+        let ready: Vec<BlockId> = program
+            .blocks()
+            .iter()
+            .filter(|(id, info)| {
+                matches!(self.status[id.index()], RtStatus::Wait | RtStatus::Prefetched { .. })
+                    && self.dependency_met(&info.dependency)
+            })
+            .map(|(id, _)| id)
+            .collect();
+
+        for block in &ready {
+            if let RtStatus::Prefetched { proc } = self.status[block.index()] {
+                if processors[proc].is_idle() {
+                    processors[proc].start_prefetched(*block, cfg.switch_cycles, cycle);
+                    self.set_status(cycle, *block, RtStatus::InExecution);
+                    stats.prefetch_hits += 1;
+                    self.busy_until = cycle + 1;
+                    return;
+                }
+            }
+        }
+        // No prefetched block could start; allocate the first waiting
+        // ready block to an idle processor.
+        for block in &ready {
+            let waiting = matches!(self.status[block.index()], RtStatus::Wait);
+            let stuck_prefetch = match self.status[block.index()] {
+                RtStatus::Prefetched { proc } => !processors[proc].is_idle(),
+                _ => false,
+            };
+            if !(waiting || stuck_prefetch) {
+                continue;
+            }
+            if let Some(proc) = processors.iter().position(Processor::is_idle) {
+                if stuck_prefetch {
+                    // Abandon the stranded prefetch and run elsewhere.
+                    if let RtStatus::Prefetched { proc: holder } = self.status[block.index()] {
+                        processors[holder].discard_prefetched(*block);
+                    }
+                }
+                let info = program.blocks().get(*block).expect("block in table");
+                let finish = cycle + self.fill_cycles(info.len(), cfg);
+                self.job = Some(Job::Allocate { block: *block, proc, finish });
+                self.busy_until = finish;
+                self.set_status(cycle, *block, RtStatus::Allocating { proc });
+                return;
+            }
+        }
+
+        // 4. Otherwise prefetch an upcoming block into a free bank.
+        if !cfg.prefetch {
+            return;
+        }
+        let candidate = program.blocks().iter().find(|(id, info)| {
+            matches!(self.status[id.index()], RtStatus::Wait)
+                && self.prefetch_candidate(&info.dependency)
+        });
+        if let Some((block, info)) = candidate {
+            // Prefer a processor executing one of the block's direct
+            // dependencies; otherwise any processor with a free bank.
+            let dep_procs: Vec<usize> = match &info.dependency {
+                Dependency::Direct(deps) => processors
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, p)| {
+                        p.current_block().is_some_and(|b| deps.contains(&b))
+                    })
+                    .map(|(i, _)| i)
+                    .collect(),
+                Dependency::Priority(_) => Vec::new(),
+            };
+            let target = dep_procs
+                .iter()
+                .copied()
+                .find(|&i| processors[i].icache().free_bank().is_some())
+                .or_else(|| {
+                    processors
+                        .iter()
+                        .position(|p| p.icache().free_bank().is_some())
+                });
+            if let Some(proc) = target {
+                let finish = cycle + self.fill_cycles(info.len(), cfg);
+                self.job = Some(Job::Prefetch { block, proc, finish });
+                self.busy_until = finish;
+                self.set_status(cycle, block, RtStatus::Prefetching { proc });
+            }
+        }
+    }
+
+    /// Zero-cost scheduling for the ideal-speedup series of Fig. 11b.
+    fn tick_ideal(&mut self, cycle: u64, processors: &mut [Processor], program: &Program) {
+        loop {
+            let ready = program.blocks().iter().find(|(id, info)| {
+                matches!(self.status[id.index()], RtStatus::Wait | RtStatus::Prefetched { .. })
+                    && self.dependency_met(&info.dependency)
+            });
+            let (block, info) = match ready {
+                Some(r) => r,
+                None => return,
+            };
+            let Some(proc) = processors.iter().position(Processor::is_idle) else {
+                return;
+            };
+            let words = program.instructions()
+                [info.range.start as usize..info.range.end as usize]
+                .to_vec();
+            processors[proc].load_and_run(block, info.range.start, words, cycle);
+            self.set_status(cycle, block, RtStatus::InExecution);
+        }
+    }
+}

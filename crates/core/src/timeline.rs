@@ -1,0 +1,165 @@
+//! ASCII timeline rendering of a run's issued operations.
+//!
+//! Produces the per-qubit Gantt view used by the examples to show what
+//! the control stack actually delivered to the QPU — the visual
+//! equivalent of Fig. 3's parallel/serial execution diagrams.
+
+use crate::report::RunReport;
+use quape_isa::{OpTimings, QuantumOp};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Options for [`render_timeline`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TimelineOptions {
+    /// Nanoseconds represented by one character column.
+    pub ns_per_column: u64,
+    /// Maximum number of columns (the timeline truncates after this).
+    pub max_columns: usize,
+    /// Operation durations used to draw extents.
+    pub timings: OpTimings,
+}
+
+impl Default for TimelineOptions {
+    fn default() -> Self {
+        TimelineOptions {
+            ns_per_column: 10,
+            max_columns: 120,
+            timings: OpTimings { single_qubit_ns: 20, two_qubit_ns: 40, readout_pulse_ns: 300 },
+        }
+    }
+}
+
+fn glyph(op: &QuantumOp) -> char {
+    match op {
+        QuantumOp::Gate1(g, _) => g.mnemonic().chars().next().unwrap_or('?'),
+        QuantumOp::Gate2(g, ..) => g.mnemonic().chars().next().unwrap_or('?'),
+        QuantumOp::Measure(_) => 'M',
+    }
+}
+
+/// Renders the issued operations of `report` as one text row per qubit.
+///
+/// Each operation paints its first column with the gate's initial and the
+/// rest of its duration with `=`; idle time is `.`. A trailing `>` marks
+/// truncation at `max_columns`.
+///
+/// ```
+/// use quape_core::{render_timeline, Machine, QuapeConfig, TimelineOptions};
+/// use quape_qpu::{BehavioralQpu, MeasurementModel};
+/// use quape_isa::assemble;
+///
+/// let program = assemble("0 H q0\n0 H q1\n2 CNOT q0, q1\nSTOP\n")?;
+/// let cfg = QuapeConfig::superscalar(4);
+/// let qpu = BehavioralQpu::new(cfg.timings, MeasurementModel::AlwaysZero, 1);
+/// let report = Machine::new(cfg, program, Box::new(qpu))?.run();
+/// let art = render_timeline(&report, &TimelineOptions::default());
+/// assert!(art.contains("q0"));
+/// assert!(art.contains("H="));
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn render_timeline(report: &RunReport, opts: &TimelineOptions) -> String {
+    if report.issued.is_empty() {
+        return String::from("(no operations issued)\n");
+    }
+    let t0 = report.issued.iter().map(|o| o.time_ns).min().unwrap_or(0);
+    let mut rows: BTreeMap<u16, Vec<char>> = BTreeMap::new();
+    let mut truncated = false;
+    for issued in &report.issued {
+        let start_col = ((issued.time_ns - t0) / opts.ns_per_column) as usize;
+        let width = (opts.timings.duration_of(&issued.op) / opts.ns_per_column).max(1) as usize;
+        for qubit in issued.op.qubits() {
+            let row = rows.entry(qubit.index()).or_default();
+            if start_col >= opts.max_columns {
+                truncated = true;
+                continue;
+            }
+            let end_col = (start_col + width).min(opts.max_columns);
+            if start_col + width > opts.max_columns {
+                truncated = true;
+            }
+            if row.len() < end_col {
+                row.resize(end_col, '.');
+            }
+            row[start_col] = glyph(&issued.op);
+            for slot in row.iter_mut().take(end_col).skip(start_col + 1) {
+                *slot = '=';
+            }
+        }
+    }
+    let width = rows.values().map(Vec::len).max().unwrap_or(0);
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "t = {t0} ns, one column = {} ns{}",
+        opts.ns_per_column,
+        if truncated { " (truncated)" } else { "" }
+    );
+    for (qubit, mut row) in rows {
+        row.resize(width, '.');
+        let line: String = row.into_iter().collect();
+        let _ = writeln!(out, "q{qubit:<3} {line}{}", if truncated { ">" } else { "" });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Machine, QuapeConfig};
+    use quape_isa::assemble;
+    use quape_qpu::{BehavioralQpu, MeasurementModel};
+
+    fn run(src: &str) -> RunReport {
+        let cfg = QuapeConfig::superscalar(8);
+        let qpu = BehavioralQpu::new(cfg.timings, MeasurementModel::AlwaysZero, 1);
+        Machine::new(cfg, assemble(src).unwrap(), Box::new(qpu)).unwrap().run()
+    }
+
+    #[test]
+    fn parallel_gates_share_a_column() {
+        let report = run("0 H q0\n0 H q1\n2 CNOT q0, q1\nSTOP\n");
+        let art = render_timeline(&report, &TimelineOptions::default());
+        let lines: Vec<&str> = art.lines().collect();
+        assert_eq!(lines.len(), 3); // header + 2 qubit rows
+        // Both qubit rows start with the H glyph at the same column.
+        let h0 = lines[1].find('H').expect("q0 has an H");
+        let h1 = lines[2].find('H').expect("q1 has an H");
+        assert_eq!(h0, h1);
+        // The CNOT paints both rows after the H pulses.
+        assert!(lines[1].contains('C') && lines[2].contains('C'));
+    }
+
+    #[test]
+    fn durations_paint_extents() {
+        let report = run("0 MEAS q0\nSTOP\n");
+        let art = render_timeline(&report, &TimelineOptions::default());
+        // 300 ns readout at 10 ns/col = 30 columns: M followed by 29 '='.
+        let row = art.lines().nth(1).expect("one qubit row");
+        let eq_count = row.matches('=').count();
+        assert_eq!(eq_count, 29, "{row}");
+    }
+
+    #[test]
+    fn truncation_is_flagged() {
+        let mut src = String::new();
+        for _ in 0..100 {
+            src.push_str("2 X q0\n");
+        }
+        src.push_str("STOP\n");
+        let report = run(&src);
+        let art = render_timeline(
+            &report,
+            &TimelineOptions { max_columns: 20, ..TimelineOptions::default() },
+        );
+        assert!(art.contains("(truncated)"));
+        assert!(art.lines().nth(1).expect("row").ends_with('>'));
+    }
+
+    #[test]
+    fn empty_report_renders_placeholder() {
+        let report = run("NOP\nSTOP\n");
+        let art = render_timeline(&report, &TimelineOptions::default());
+        assert!(art.contains("no operations"));
+    }
+}

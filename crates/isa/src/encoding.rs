@@ -1,0 +1,606 @@
+//! Fixed-length 32-bit binary encoding of the instruction set.
+//!
+//! The paper chooses a superscalar over QuMA_v2's VLIW partly because "the
+//! length of a single instruction can remain unchanged when implementing
+//! more execution units, thereby ensuring a fixed-length QISA design" (§9).
+//! This module implements that fixed 32-bit word:
+//!
+//! ```text
+//! quantum   [31]=1 | timing[30:24] | kind[23:19] | q0[18:12] | q1[11:5] | param[4:0]
+//! classical [31]=0 | opcode[30:25] | operands[24:0]
+//! ```
+
+use crate::gate::{Angle, CondOp, Gate1, Gate2};
+use crate::instruction::{ClassicalOp, Cond, Instruction, QuantumInstruction, QuantumOp};
+use crate::types::{Cycles, Qubit, Reg, SharedReg};
+use std::fmt;
+
+const QUANTUM_FLAG: u32 = 1 << 31;
+
+// Quantum operation kinds (5-bit field).
+const K_I: u32 = 0;
+const K_X: u32 = 1;
+const K_Y: u32 = 2;
+const K_Z: u32 = 3;
+const K_H: u32 = 4;
+const K_S: u32 = 5;
+const K_SDG: u32 = 6;
+const K_T: u32 = 7;
+const K_TDG: u32 = 8;
+const K_X90: u32 = 9;
+const K_XM90: u32 = 10;
+const K_Y90: u32 = 11;
+const K_YM90: u32 = 12;
+const K_RX: u32 = 13;
+const K_RY: u32 = 14;
+const K_RZ: u32 = 15;
+const K_RESET: u32 = 16;
+const K_CNOT: u32 = 17;
+const K_CZ: u32 = 18;
+const K_SWAP: u32 = 19;
+const K_MEASURE: u32 = 20;
+
+// Classical opcodes (6-bit field).
+const OP_NOP: u32 = 0;
+const OP_STOP: u32 = 1;
+const OP_HALT: u32 = 2;
+const OP_JMP: u32 = 3;
+const OP_BR: u32 = 4;
+const OP_CALL: u32 = 5;
+const OP_RET: u32 = 6;
+const OP_LDI: u32 = 7;
+const OP_MOV: u32 = 8;
+const OP_ADD: u32 = 9;
+const OP_ADDI: u32 = 10;
+const OP_SUB: u32 = 11;
+const OP_AND: u32 = 12;
+const OP_OR: u32 = 13;
+const OP_XOR: u32 = 14;
+const OP_NOT: u32 = 15;
+const OP_CMP: u32 = 16;
+const OP_CMPI: u32 = 17;
+const OP_FMR: u32 = 18;
+const OP_QWAIT: u32 = 19;
+const OP_LDS: u32 = 20;
+const OP_STS: u32 = 21;
+const OP_MRCE: u32 = 22;
+
+/// Maximum absolute jump/call target (25-bit field).
+pub const MAX_JUMP_TARGET: u32 = (1 << 25) - 1;
+/// Maximum conditional-branch target (22-bit field).
+pub const MAX_BRANCH_TARGET: u32 = (1 << 22) - 1;
+/// Maximum `QWAIT` operand (25-bit field).
+pub const MAX_QWAIT: u32 = (1 << 25) - 1;
+
+/// Errors rejecting instructions that do not fit the 32-bit encoding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EncodeError {
+    /// Timing label exceeds the 7-bit field ([`crate::MAX_TIMING`]).
+    TimingTooLarge {
+        /// The offending label.
+        timing: Cycles,
+    },
+    /// Qubit index exceeds the 7-bit field ([`crate::MAX_QUBITS`]).
+    QubitOutOfRange {
+        /// The offending qubit.
+        qubit: Qubit,
+    },
+    /// Jump/call target exceeds 25 bits or branch target exceeds 22 bits.
+    TargetTooLarge {
+        /// The offending target address.
+        target: u32,
+    },
+    /// `ADDI` immediate outside the signed 12-bit range.
+    ImmediateTooLarge {
+        /// The offending immediate.
+        imm: i16,
+    },
+    /// `QWAIT` operand exceeds 25 bits.
+    WaitTooLarge {
+        /// The offending cycle count.
+        cycles: Cycles,
+    },
+}
+
+impl fmt::Display for EncodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EncodeError::TimingTooLarge { timing } => {
+                write!(f, "timing label {timing} exceeds the 7-bit field (max {})", crate::MAX_TIMING)
+            }
+            EncodeError::QubitOutOfRange { qubit } => {
+                write!(f, "qubit {qubit} exceeds the 7-bit field (max {})", crate::MAX_QUBITS - 1)
+            }
+            EncodeError::TargetTooLarge { target } => {
+                write!(f, "control-transfer target {target} does not fit the encoding")
+            }
+            EncodeError::ImmediateTooLarge { imm } => {
+                write!(f, "immediate {imm} outside the signed 12-bit ADDI range")
+            }
+            EncodeError::WaitTooLarge { cycles } => {
+                write!(f, "QWAIT operand {cycles} exceeds the 25-bit field")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EncodeError {}
+
+/// Errors produced when decoding a 32-bit word.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DecodeError {
+    /// Unknown quantum-operation kind.
+    UnknownQuantumKind {
+        /// The unrecognized 5-bit kind field.
+        kind: u32,
+    },
+    /// Unknown classical opcode.
+    UnknownOpcode {
+        /// The unrecognized 6-bit opcode field.
+        opcode: u32,
+    },
+    /// Unknown branch condition.
+    UnknownCondition {
+        /// The unrecognized 3-bit condition field.
+        cond: u32,
+    },
+    /// Unknown MRCE conditional-operation code.
+    UnknownCondOp {
+        /// The unrecognized 4-bit conditional-op field.
+        code: u32,
+    },
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::UnknownQuantumKind { kind } => write!(f, "unknown quantum kind {kind}"),
+            DecodeError::UnknownOpcode { opcode } => write!(f, "unknown classical opcode {opcode}"),
+            DecodeError::UnknownCondition { cond } => write!(f, "unknown branch condition {cond}"),
+            DecodeError::UnknownCondOp { code } => write!(f, "unknown MRCE conditional op {code}"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+fn check_qubit(q: Qubit) -> Result<u32, EncodeError> {
+    if (q.index() as usize) < crate::MAX_QUBITS {
+        Ok(q.index() as u32)
+    } else {
+        Err(EncodeError::QubitOutOfRange { qubit: q })
+    }
+}
+
+fn gate1_kind(g: Gate1) -> (u32, u32) {
+    match g {
+        Gate1::I => (K_I, 0),
+        Gate1::X => (K_X, 0),
+        Gate1::Y => (K_Y, 0),
+        Gate1::Z => (K_Z, 0),
+        Gate1::H => (K_H, 0),
+        Gate1::S => (K_S, 0),
+        Gate1::Sdg => (K_SDG, 0),
+        Gate1::T => (K_T, 0),
+        Gate1::Tdg => (K_TDG, 0),
+        Gate1::X90 => (K_X90, 0),
+        Gate1::Xm90 => (K_XM90, 0),
+        Gate1::Y90 => (K_Y90, 0),
+        Gate1::Ym90 => (K_YM90, 0),
+        Gate1::Rx(a) => (K_RX, a.index() as u32),
+        Gate1::Ry(a) => (K_RY, a.index() as u32),
+        Gate1::Rz(a) => (K_RZ, a.index() as u32),
+        Gate1::Reset => (K_RESET, 0),
+    }
+}
+
+fn cond_code(c: Cond) -> u32 {
+    match c {
+        Cond::Eq => 0,
+        Cond::Ne => 1,
+        Cond::Lt => 2,
+        Cond::Ge => 3,
+        Cond::Gt => 4,
+        Cond::Le => 5,
+    }
+}
+
+fn cond_from_code(code: u32) -> Result<Cond, DecodeError> {
+    Ok(match code {
+        0 => Cond::Eq,
+        1 => Cond::Ne,
+        2 => Cond::Lt,
+        3 => Cond::Ge,
+        4 => Cond::Gt,
+        5 => Cond::Le,
+        _ => return Err(DecodeError::UnknownCondition { cond: code }),
+    })
+}
+
+fn condop_code(c: CondOp) -> u32 {
+    match c {
+        CondOp::None => 0,
+        CondOp::X => 1,
+        CondOp::Y => 2,
+        CondOp::Z => 3,
+        CondOp::H => 4,
+        CondOp::X90 => 5,
+        CondOp::Y90 => 6,
+        CondOp::Reset => 7,
+    }
+}
+
+fn condop_from_code(code: u32) -> Result<CondOp, DecodeError> {
+    Ok(match code {
+        0 => CondOp::None,
+        1 => CondOp::X,
+        2 => CondOp::Y,
+        3 => CondOp::Z,
+        4 => CondOp::H,
+        5 => CondOp::X90,
+        6 => CondOp::Y90,
+        7 => CondOp::Reset,
+        _ => return Err(DecodeError::UnknownCondOp { code }),
+    })
+}
+
+/// Encodes an instruction into its 32-bit word.
+///
+/// # Errors
+///
+/// Returns an [`EncodeError`] when an operand exceeds its bit field — e.g.
+/// a timing label above [`crate::MAX_TIMING`] (use `QWAIT` instead) or a
+/// qubit index ≥ [`crate::MAX_QUBITS`].
+///
+/// ```
+/// use quape_isa::{encode, decode, Instruction, QuantumOp, Gate1, Qubit};
+/// let i = Instruction::quantum(1, QuantumOp::Gate1(Gate1::H, Qubit::new(0)));
+/// let word = encode(&i)?;
+/// assert_eq!(decode(word)?, i);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn encode(instruction: &Instruction) -> Result<u32, EncodeError> {
+    match instruction {
+        Instruction::Quantum(q) => encode_quantum(q),
+        Instruction::Classical(c) => encode_classical(c),
+    }
+}
+
+fn encode_quantum(q: &QuantumInstruction) -> Result<u32, EncodeError> {
+    if q.timing.count() > crate::MAX_TIMING {
+        return Err(EncodeError::TimingTooLarge { timing: q.timing });
+    }
+    let timing = q.timing.count() << 24;
+    let (kind, q0, q1, param) = match q.op {
+        QuantumOp::Gate1(g, qb) => {
+            let (k, p) = gate1_kind(g);
+            (k, check_qubit(qb)?, 0, p)
+        }
+        QuantumOp::Gate2(g, c, t) => {
+            let k = match g {
+                Gate2::Cnot => K_CNOT,
+                Gate2::Cz => K_CZ,
+                Gate2::Swap => K_SWAP,
+            };
+            (k, check_qubit(c)?, check_qubit(t)?, 0)
+        }
+        QuantumOp::Measure(qb) => (K_MEASURE, check_qubit(qb)?, 0, 0),
+    };
+    Ok(QUANTUM_FLAG | timing | (kind << 19) | (q0 << 12) | (q1 << 5) | param)
+}
+
+fn reg(r: Reg) -> u32 {
+    r.index() as u32
+}
+
+fn encode_classical(c: &ClassicalOp) -> Result<u32, EncodeError> {
+    let word = match *c {
+        ClassicalOp::Nop => OP_NOP << 25,
+        ClassicalOp::Stop => OP_STOP << 25,
+        ClassicalOp::Halt => OP_HALT << 25,
+        ClassicalOp::Jmp { target } => {
+            if target > MAX_JUMP_TARGET {
+                return Err(EncodeError::TargetTooLarge { target });
+            }
+            (OP_JMP << 25) | target
+        }
+        ClassicalOp::Br { cond, target } => {
+            if target > MAX_BRANCH_TARGET {
+                return Err(EncodeError::TargetTooLarge { target });
+            }
+            (OP_BR << 25) | (cond_code(cond) << 22) | target
+        }
+        ClassicalOp::Call { target } => {
+            if target > MAX_JUMP_TARGET {
+                return Err(EncodeError::TargetTooLarge { target });
+            }
+            (OP_CALL << 25) | target
+        }
+        ClassicalOp::Ret => OP_RET << 25,
+        ClassicalOp::Ldi { rd, imm } => (OP_LDI << 25) | (reg(rd) << 20) | (imm as u16 as u32),
+        ClassicalOp::Mov { rd, rs } => (OP_MOV << 25) | (reg(rd) << 20) | (reg(rs) << 15),
+        ClassicalOp::Add { rd, rs1, rs2 } => {
+            (OP_ADD << 25) | (reg(rd) << 20) | (reg(rs1) << 15) | (reg(rs2) << 10)
+        }
+        ClassicalOp::Addi { rd, rs, imm } => {
+            if !(-2048..=2047).contains(&imm) {
+                return Err(EncodeError::ImmediateTooLarge { imm });
+            }
+            (OP_ADDI << 25) | (reg(rd) << 20) | (reg(rs) << 15) | ((imm as u16 as u32) & 0xfff)
+        }
+        ClassicalOp::Sub { rd, rs1, rs2 } => {
+            (OP_SUB << 25) | (reg(rd) << 20) | (reg(rs1) << 15) | (reg(rs2) << 10)
+        }
+        ClassicalOp::And { rd, rs1, rs2 } => {
+            (OP_AND << 25) | (reg(rd) << 20) | (reg(rs1) << 15) | (reg(rs2) << 10)
+        }
+        ClassicalOp::Or { rd, rs1, rs2 } => {
+            (OP_OR << 25) | (reg(rd) << 20) | (reg(rs1) << 15) | (reg(rs2) << 10)
+        }
+        ClassicalOp::Xor { rd, rs1, rs2 } => {
+            (OP_XOR << 25) | (reg(rd) << 20) | (reg(rs1) << 15) | (reg(rs2) << 10)
+        }
+        ClassicalOp::Not { rd, rs } => (OP_NOT << 25) | (reg(rd) << 20) | (reg(rs) << 15),
+        ClassicalOp::Cmp { rs1, rs2 } => (OP_CMP << 25) | (reg(rs1) << 20) | (reg(rs2) << 15),
+        ClassicalOp::Cmpi { rs, imm } => (OP_CMPI << 25) | (reg(rs) << 20) | (imm as u16 as u32),
+        ClassicalOp::Fmr { rd, qubit } => {
+            (OP_FMR << 25) | (reg(rd) << 20) | (check_qubit(qubit)? << 13)
+        }
+        ClassicalOp::Qwait { cycles } => {
+            if cycles.count() > MAX_QWAIT {
+                return Err(EncodeError::WaitTooLarge { cycles });
+            }
+            (OP_QWAIT << 25) | cycles.count()
+        }
+        ClassicalOp::Lds { rd, sreg } => {
+            (OP_LDS << 25) | (reg(rd) << 20) | ((sreg.index() as u32) << 16)
+        }
+        ClassicalOp::Sts { sreg, rs } => {
+            (OP_STS << 25) | ((sreg.index() as u32) << 21) | (reg(rs) << 16)
+        }
+        ClassicalOp::Mrce { qubit, target, op_if_one, op_if_zero } => {
+            (OP_MRCE << 25)
+                | (check_qubit(qubit)? << 18)
+                | (check_qubit(target)? << 11)
+                | (condop_code(op_if_one) << 7)
+                | (condop_code(op_if_zero) << 3)
+        }
+    };
+    Ok(word)
+}
+
+/// Decodes a 32-bit word into an instruction.
+///
+/// # Errors
+///
+/// Returns a [`DecodeError`] on unknown opcode / kind / condition fields.
+pub fn decode(word: u32) -> Result<Instruction, DecodeError> {
+    if word & QUANTUM_FLAG != 0 {
+        decode_quantum(word).map(Instruction::Quantum)
+    } else {
+        decode_classical(word).map(Instruction::Classical)
+    }
+}
+
+fn decode_quantum(word: u32) -> Result<QuantumInstruction, DecodeError> {
+    let timing = Cycles::new((word >> 24) & 0x7f);
+    let kind = (word >> 19) & 0x1f;
+    let q0 = Qubit::new(((word >> 12) & 0x7f) as u16);
+    let q1 = Qubit::new(((word >> 5) & 0x7f) as u16);
+    let param = Angle::new((word & 0x1f) as u8);
+    let op = match kind {
+        K_I => QuantumOp::Gate1(Gate1::I, q0),
+        K_X => QuantumOp::Gate1(Gate1::X, q0),
+        K_Y => QuantumOp::Gate1(Gate1::Y, q0),
+        K_Z => QuantumOp::Gate1(Gate1::Z, q0),
+        K_H => QuantumOp::Gate1(Gate1::H, q0),
+        K_S => QuantumOp::Gate1(Gate1::S, q0),
+        K_SDG => QuantumOp::Gate1(Gate1::Sdg, q0),
+        K_T => QuantumOp::Gate1(Gate1::T, q0),
+        K_TDG => QuantumOp::Gate1(Gate1::Tdg, q0),
+        K_X90 => QuantumOp::Gate1(Gate1::X90, q0),
+        K_XM90 => QuantumOp::Gate1(Gate1::Xm90, q0),
+        K_Y90 => QuantumOp::Gate1(Gate1::Y90, q0),
+        K_YM90 => QuantumOp::Gate1(Gate1::Ym90, q0),
+        K_RX => QuantumOp::Gate1(Gate1::Rx(param), q0),
+        K_RY => QuantumOp::Gate1(Gate1::Ry(param), q0),
+        K_RZ => QuantumOp::Gate1(Gate1::Rz(param), q0),
+        K_RESET => QuantumOp::Gate1(Gate1::Reset, q0),
+        K_CNOT => QuantumOp::Gate2(Gate2::Cnot, q0, q1),
+        K_CZ => QuantumOp::Gate2(Gate2::Cz, q0, q1),
+        K_SWAP => QuantumOp::Gate2(Gate2::Swap, q0, q1),
+        K_MEASURE => QuantumOp::Measure(q0),
+        _ => return Err(DecodeError::UnknownQuantumKind { kind }),
+    };
+    Ok(QuantumInstruction { timing, op })
+}
+
+fn rd_field(word: u32) -> Reg {
+    Reg::new(((word >> 20) & 0x1f) as u8)
+}
+
+fn rs1_field(word: u32) -> Reg {
+    Reg::new(((word >> 15) & 0x1f) as u8)
+}
+
+fn rs2_field(word: u32) -> Reg {
+    Reg::new(((word >> 10) & 0x1f) as u8)
+}
+
+fn decode_classical(word: u32) -> Result<ClassicalOp, DecodeError> {
+    let opcode = (word >> 25) & 0x3f;
+    let op = match opcode {
+        OP_NOP => ClassicalOp::Nop,
+        OP_STOP => ClassicalOp::Stop,
+        OP_HALT => ClassicalOp::Halt,
+        OP_JMP => ClassicalOp::Jmp { target: word & 0x1ff_ffff },
+        OP_BR => ClassicalOp::Br {
+            cond: cond_from_code((word >> 22) & 0x7)?,
+            target: word & 0x3f_ffff,
+        },
+        OP_CALL => ClassicalOp::Call { target: word & 0x1ff_ffff },
+        OP_RET => ClassicalOp::Ret,
+        OP_LDI => ClassicalOp::Ldi { rd: rd_field(word), imm: (word & 0xffff) as u16 as i16 },
+        OP_MOV => ClassicalOp::Mov { rd: rd_field(word), rs: rs1_field(word) },
+        OP_ADD => ClassicalOp::Add { rd: rd_field(word), rs1: rs1_field(word), rs2: rs2_field(word) },
+        OP_ADDI => {
+            // Sign-extend the 12-bit immediate.
+            let raw = (word & 0xfff) as u16;
+            let imm = if raw & 0x800 != 0 { (raw | 0xf000) as i16 } else { raw as i16 };
+            ClassicalOp::Addi { rd: rd_field(word), rs: rs1_field(word), imm }
+        }
+        OP_SUB => ClassicalOp::Sub { rd: rd_field(word), rs1: rs1_field(word), rs2: rs2_field(word) },
+        OP_AND => ClassicalOp::And { rd: rd_field(word), rs1: rs1_field(word), rs2: rs2_field(word) },
+        OP_OR => ClassicalOp::Or { rd: rd_field(word), rs1: rs1_field(word), rs2: rs2_field(word) },
+        OP_XOR => ClassicalOp::Xor { rd: rd_field(word), rs1: rs1_field(word), rs2: rs2_field(word) },
+        OP_NOT => ClassicalOp::Not { rd: rd_field(word), rs: rs1_field(word) },
+        OP_CMP => ClassicalOp::Cmp { rs1: rd_field(word), rs2: rs1_field(word) },
+        OP_CMPI => ClassicalOp::Cmpi { rs: rd_field(word), imm: (word & 0xffff) as u16 as i16 },
+        OP_FMR => ClassicalOp::Fmr {
+            rd: rd_field(word),
+            qubit: Qubit::new(((word >> 13) & 0x7f) as u16),
+        },
+        OP_QWAIT => ClassicalOp::Qwait { cycles: Cycles::new(word & 0x1ff_ffff) },
+        OP_LDS => ClassicalOp::Lds {
+            rd: rd_field(word),
+            sreg: SharedReg::new(((word >> 16) & 0xf) as u8),
+        },
+        OP_STS => ClassicalOp::Sts {
+            sreg: SharedReg::new(((word >> 21) & 0xf) as u8),
+            rs: Reg::new(((word >> 16) & 0x1f) as u8),
+        },
+        OP_MRCE => ClassicalOp::Mrce {
+            qubit: Qubit::new(((word >> 18) & 0x7f) as u16),
+            target: Qubit::new(((word >> 11) & 0x7f) as u16),
+            op_if_one: condop_from_code((word >> 7) & 0xf)?,
+            op_if_zero: condop_from_code((word >> 3) & 0xf)?,
+        },
+        _ => return Err(DecodeError::UnknownOpcode { opcode }),
+    };
+    Ok(op)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(i: Instruction) {
+        let word = encode(&i).unwrap_or_else(|e| panic!("encode {i}: {e}"));
+        let back = decode(word).unwrap_or_else(|e| panic!("decode {i}: {e}"));
+        assert_eq!(back, i, "roundtrip mismatch for {i} (word {word:#010x})");
+    }
+
+    #[test]
+    fn quantum_roundtrips() {
+        for g in Gate1::FIXED {
+            roundtrip(Instruction::quantum(5, QuantumOp::Gate1(g, Qubit::new(17))));
+        }
+        for g in Gate2::ALL {
+            roundtrip(Instruction::quantum(0, QuantumOp::Gate2(g, Qubit::new(0), Qubit::new(127))));
+        }
+        for k in 0..Angle::STEPS {
+            roundtrip(Instruction::quantum(127, QuantumOp::Gate1(Gate1::Rx(Angle::new(k)), Qubit::new(1))));
+            roundtrip(Instruction::quantum(1, QuantumOp::Gate1(Gate1::Rz(Angle::new(k)), Qubit::new(2))));
+        }
+        roundtrip(Instruction::quantum(3, QuantumOp::Measure(Qubit::new(99))));
+    }
+
+    #[test]
+    fn classical_roundtrips() {
+        let r = |i| Reg::new(i);
+        let cases = [
+            ClassicalOp::Nop,
+            ClassicalOp::Stop,
+            ClassicalOp::Halt,
+            ClassicalOp::Jmp { target: MAX_JUMP_TARGET },
+            ClassicalOp::Br { cond: Cond::Le, target: MAX_BRANCH_TARGET },
+            ClassicalOp::Call { target: 12345 },
+            ClassicalOp::Ret,
+            ClassicalOp::Ldi { rd: r(31), imm: -32768 },
+            ClassicalOp::Ldi { rd: r(0), imm: 32767 },
+            ClassicalOp::Mov { rd: r(1), rs: r(2) },
+            ClassicalOp::Add { rd: r(3), rs1: r(4), rs2: r(5) },
+            ClassicalOp::Addi { rd: r(6), rs: r(7), imm: -2048 },
+            ClassicalOp::Addi { rd: r(6), rs: r(7), imm: 2047 },
+            ClassicalOp::Sub { rd: r(8), rs1: r(9), rs2: r(10) },
+            ClassicalOp::And { rd: r(11), rs1: r(12), rs2: r(13) },
+            ClassicalOp::Or { rd: r(14), rs1: r(15), rs2: r(16) },
+            ClassicalOp::Xor { rd: r(17), rs1: r(18), rs2: r(19) },
+            ClassicalOp::Not { rd: r(20), rs: r(21) },
+            ClassicalOp::Cmp { rs1: r(22), rs2: r(23) },
+            ClassicalOp::Cmpi { rs: r(24), imm: -1 },
+            ClassicalOp::Fmr { rd: r(25), qubit: Qubit::new(101) },
+            ClassicalOp::Qwait { cycles: Cycles::new(MAX_QWAIT) },
+            ClassicalOp::Lds { rd: r(26), sreg: SharedReg::new(15) },
+            ClassicalOp::Sts { sreg: SharedReg::new(0), rs: r(27) },
+            ClassicalOp::Mrce {
+                qubit: Qubit::new(2),
+                target: Qubit::new(3),
+                op_if_one: CondOp::X,
+                op_if_zero: CondOp::None,
+            },
+        ];
+        for c in cases {
+            roundtrip(Instruction::Classical(c));
+        }
+        for cond in Cond::ALL {
+            roundtrip(Instruction::Classical(ClassicalOp::Br { cond, target: 7 }));
+        }
+        for op in CondOp::ALL {
+            roundtrip(Instruction::Classical(ClassicalOp::Mrce {
+                qubit: Qubit::new(0),
+                target: Qubit::new(1),
+                op_if_one: op,
+                op_if_zero: op,
+            }));
+        }
+    }
+
+    #[test]
+    fn encode_rejects_oversized_operands() {
+        let too_far = Instruction::quantum(200, QuantumOp::Gate1(Gate1::X, Qubit::new(0)));
+        assert!(matches!(encode(&too_far), Err(EncodeError::TimingTooLarge { .. })));
+
+        let bad_qubit = Instruction::quantum(0, QuantumOp::Gate1(Gate1::X, Qubit::new(128)));
+        assert!(matches!(encode(&bad_qubit), Err(EncodeError::QubitOutOfRange { .. })));
+
+        let bad_jmp = Instruction::Classical(ClassicalOp::Jmp { target: MAX_JUMP_TARGET + 1 });
+        assert!(matches!(encode(&bad_jmp), Err(EncodeError::TargetTooLarge { .. })));
+
+        let bad_br =
+            Instruction::Classical(ClassicalOp::Br { cond: Cond::Eq, target: MAX_BRANCH_TARGET + 1 });
+        assert!(matches!(encode(&bad_br), Err(EncodeError::TargetTooLarge { .. })));
+
+        let bad_addi =
+            Instruction::Classical(ClassicalOp::Addi { rd: Reg::new(0), rs: Reg::new(0), imm: 4000 });
+        assert!(matches!(encode(&bad_addi), Err(EncodeError::ImmediateTooLarge { .. })));
+
+        let bad_wait =
+            Instruction::Classical(ClassicalOp::Qwait { cycles: Cycles::new(MAX_QWAIT + 1) });
+        assert!(matches!(encode(&bad_wait), Err(EncodeError::WaitTooLarge { .. })));
+    }
+
+    #[test]
+    fn decode_rejects_unknown_fields() {
+        // Quantum kind 31 is unused.
+        let bad_kind = QUANTUM_FLAG | (31 << 19);
+        assert!(matches!(decode(bad_kind), Err(DecodeError::UnknownQuantumKind { kind: 31 })));
+        // Classical opcode 63 is unused.
+        let bad_op = 63 << 25;
+        assert!(matches!(decode(bad_op), Err(DecodeError::UnknownOpcode { opcode: 63 })));
+        // Branch condition 7 is unused.
+        let bad_cond = (OP_BR << 25) | (7 << 22);
+        assert!(matches!(decode(bad_cond), Err(DecodeError::UnknownCondition { cond: 7 })));
+        // MRCE conditional op 15 is unused.
+        let bad_mrce = (OP_MRCE << 25) | (15 << 7);
+        assert!(matches!(decode(bad_mrce), Err(DecodeError::UnknownCondOp { code: 15 })));
+    }
+
+    #[test]
+    fn quantum_flag_partitions_the_space() {
+        let q = encode(&Instruction::quantum(0, QuantumOp::Gate1(Gate1::I, Qubit::new(0)))).unwrap();
+        assert!(q & QUANTUM_FLAG != 0);
+        let c = encode(&Instruction::Classical(ClassicalOp::Nop)).unwrap();
+        assert!(c & QUANTUM_FLAG == 0);
+    }
+}

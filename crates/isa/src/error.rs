@@ -1,0 +1,99 @@
+//! Unified error type for the crate.
+
+use crate::asm::AsmError;
+use crate::block::BlockTableError;
+use crate::encoding::{DecodeError, EncodeError};
+use crate::program::ProgramError;
+use std::fmt;
+
+/// Any error produced by the `quape-isa` crate.
+///
+/// The individual error types remain available for precise matching; this
+/// enum exists so callers can funnel all ISA failures through one `?`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum IsaError {
+    /// Assembler (text parsing) error.
+    Asm(AsmError),
+    /// Binary encoding error.
+    Encode(EncodeError),
+    /// Binary decoding error.
+    Decode(DecodeError),
+    /// Program construction/validation error.
+    Program(ProgramError),
+    /// Block-table error.
+    BlockTable(BlockTableError),
+}
+
+impl fmt::Display for IsaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IsaError::Asm(e) => e.fmt(f),
+            IsaError::Encode(e) => e.fmt(f),
+            IsaError::Decode(e) => e.fmt(f),
+            IsaError::Program(e) => e.fmt(f),
+            IsaError::BlockTable(e) => e.fmt(f),
+        }
+    }
+}
+
+impl std::error::Error for IsaError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            IsaError::Asm(e) => Some(e),
+            IsaError::Encode(e) => Some(e),
+            IsaError::Decode(e) => Some(e),
+            IsaError::Program(e) => Some(e),
+            IsaError::BlockTable(e) => Some(e),
+        }
+    }
+}
+
+impl From<AsmError> for IsaError {
+    fn from(e: AsmError) -> Self {
+        IsaError::Asm(e)
+    }
+}
+
+impl From<EncodeError> for IsaError {
+    fn from(e: EncodeError) -> Self {
+        IsaError::Encode(e)
+    }
+}
+
+impl From<DecodeError> for IsaError {
+    fn from(e: DecodeError) -> Self {
+        IsaError::Decode(e)
+    }
+}
+
+impl From<ProgramError> for IsaError {
+    fn from(e: ProgramError) -> Self {
+        IsaError::Program(e)
+    }
+}
+
+impl From<BlockTableError> for IsaError {
+    fn from(e: BlockTableError) -> Self {
+        IsaError::BlockTable(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_compose_with_question_mark() {
+        fn inner() -> Result<(), IsaError> {
+            let _ = crate::assemble("BOGUS")?;
+            Ok(())
+        }
+        assert!(matches!(inner().unwrap_err(), IsaError::Asm(_)));
+    }
+
+    #[test]
+    fn display_passes_through() {
+        let e = IsaError::Program(ProgramError::UndefinedLabel { label: "x".into() });
+        assert!(e.to_string().contains("undefined label"));
+    }
+}

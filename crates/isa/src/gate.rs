@@ -1,0 +1,307 @@
+//! Quantum gate vocabulary issued by the control processor.
+//!
+//! The emitter ultimately translates every gate into a *codeword* selecting
+//! a pre-loaded waveform on an AWG channel, so rotation angles are
+//! represented as 5-bit waveform-table indices ([`Angle`]) rather than
+//! floating-point parameters — exactly how the hardware prototype works.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Discretized rotation angle: an index into the AWG waveform table.
+///
+/// Index `k` denotes a rotation by `k × 2π / 32` radians. The control
+/// processor never interprets the angle — it is an opaque waveform
+/// selector — but the state-vector QPU backend converts it back to radians
+/// via [`Angle::radians`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Angle(u8);
+
+impl Angle {
+    /// Number of discretization steps per full turn.
+    pub const STEPS: u8 = 32;
+
+    /// Creates an angle index. Values are taken modulo [`Angle::STEPS`].
+    pub const fn new(index: u8) -> Self {
+        Angle(index % Self::STEPS)
+    }
+
+    /// Closest angle index for a rotation in radians.
+    pub fn from_radians(theta: f64) -> Self {
+        let turns = theta / (2.0 * std::f64::consts::PI);
+        let idx = (turns * Self::STEPS as f64).round().rem_euclid(Self::STEPS as f64);
+        Angle(idx as u8 % Self::STEPS)
+    }
+
+    /// Returns the rotation in radians represented by this index.
+    pub fn radians(self) -> f64 {
+        self.0 as f64 * 2.0 * std::f64::consts::PI / Self::STEPS as f64
+    }
+
+    /// Raw waveform-table index.
+    pub const fn index(self) -> u8 {
+        self.0
+    }
+}
+
+impl fmt::Display for Angle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// Single-qubit gates.
+///
+/// The fixed gates cover the generators used by the paper's benchmarks and
+/// the single-qubit Clifford decompositions used in randomized
+/// benchmarking; `Rx`/`Ry`/`Rz` carry a discretized [`Angle`]. `Reset` is
+/// the *unconditional* reset pulse (the conditional "active qubit reset" is
+/// built from `MRCE`, see [`crate::ClassicalOp::Mrce`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Gate1 {
+    /// Identity (explicit idle slot).
+    I,
+    /// Pauli X.
+    X,
+    /// Pauli Y.
+    Y,
+    /// Pauli Z.
+    Z,
+    /// Hadamard.
+    H,
+    /// Phase gate S = diag(1, i).
+    S,
+    /// Inverse phase gate.
+    Sdg,
+    /// T = diag(1, e^{iπ/4}).
+    T,
+    /// Inverse T gate.
+    Tdg,
+    /// +π/2 rotation about X.
+    X90,
+    /// −π/2 rotation about X.
+    Xm90,
+    /// +π/2 rotation about Y.
+    Y90,
+    /// −π/2 rotation about Y.
+    Ym90,
+    /// Rotation about X by a discretized angle.
+    Rx(Angle),
+    /// Rotation about Y by a discretized angle.
+    Ry(Angle),
+    /// Rotation about Z by a discretized angle.
+    Rz(Angle),
+    /// Unconditional reset pulse returning the qubit to |0⟩.
+    Reset,
+}
+
+impl Gate1 {
+    /// All parameter-free single-qubit gates (useful for exhaustive tests).
+    pub const FIXED: [Gate1; 14] = [
+        Gate1::I,
+        Gate1::X,
+        Gate1::Y,
+        Gate1::Z,
+        Gate1::H,
+        Gate1::S,
+        Gate1::Sdg,
+        Gate1::T,
+        Gate1::Tdg,
+        Gate1::X90,
+        Gate1::Xm90,
+        Gate1::Y90,
+        Gate1::Ym90,
+        Gate1::Reset,
+    ];
+
+    /// Mnemonic used by the assembler/disassembler.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            Gate1::I => "I",
+            Gate1::X => "X",
+            Gate1::Y => "Y",
+            Gate1::Z => "Z",
+            Gate1::H => "H",
+            Gate1::S => "S",
+            Gate1::Sdg => "SDG",
+            Gate1::T => "T",
+            Gate1::Tdg => "TDG",
+            Gate1::X90 => "X90",
+            Gate1::Xm90 => "XM90",
+            Gate1::Y90 => "Y90",
+            Gate1::Ym90 => "YM90",
+            Gate1::Rx(_) => "RX",
+            Gate1::Ry(_) => "RY",
+            Gate1::Rz(_) => "RZ",
+            Gate1::Reset => "RESET",
+        }
+    }
+}
+
+impl fmt::Display for Gate1 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Gate1::Rx(a) | Gate1::Ry(a) | Gate1::Rz(a) => {
+                write!(f, "{}[{}]", self.mnemonic(), a)
+            }
+            _ => f.write_str(self.mnemonic()),
+        }
+    }
+}
+
+/// Two-qubit gates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Gate2 {
+    /// Controlled-NOT.
+    Cnot,
+    /// Controlled-Z.
+    Cz,
+    /// SWAP (decomposed by hardware into three CNOT pulses; modeled as one
+    /// two-qubit operation slot).
+    Swap,
+}
+
+impl Gate2 {
+    /// All two-qubit gates.
+    pub const ALL: [Gate2; 3] = [Gate2::Cnot, Gate2::Cz, Gate2::Swap];
+
+    /// Mnemonic used by the assembler/disassembler.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            Gate2::Cnot => "CNOT",
+            Gate2::Cz => "CZ",
+            Gate2::Swap => "SWAP",
+        }
+    }
+}
+
+impl fmt::Display for Gate2 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.mnemonic())
+    }
+}
+
+/// Operations attachable to an `MRCE` fast-context-switch instruction.
+///
+/// Simple feedback control conditions only "a small number of quantum
+/// operations" on one measurement bit (§5.4); the 4-bit encoding field
+/// limits the choice to this set. `None` means "do nothing on this
+/// outcome" — active qubit reset is `op_if_one = X`, `op_if_zero = None`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CondOp {
+    /// No operation for this measurement outcome.
+    #[default]
+    None,
+    /// Apply X.
+    X,
+    /// Apply Y.
+    Y,
+    /// Apply Z.
+    Z,
+    /// Apply H.
+    H,
+    /// Apply X90.
+    X90,
+    /// Apply Y90.
+    Y90,
+    /// Apply an unconditional reset pulse.
+    Reset,
+}
+
+impl CondOp {
+    /// All conditional operations.
+    pub const ALL: [CondOp; 8] = [
+        CondOp::None,
+        CondOp::X,
+        CondOp::Y,
+        CondOp::Z,
+        CondOp::H,
+        CondOp::X90,
+        CondOp::Y90,
+        CondOp::Reset,
+    ];
+
+    /// The single-qubit gate this conditional op applies, if any.
+    pub fn gate(self) -> Option<Gate1> {
+        match self {
+            CondOp::None => None,
+            CondOp::X => Some(Gate1::X),
+            CondOp::Y => Some(Gate1::Y),
+            CondOp::Z => Some(Gate1::Z),
+            CondOp::H => Some(Gate1::H),
+            CondOp::X90 => Some(Gate1::X90),
+            CondOp::Y90 => Some(Gate1::Y90),
+            CondOp::Reset => Some(Gate1::Reset),
+        }
+    }
+
+    /// Mnemonic used by the assembler/disassembler.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            CondOp::None => "NONE",
+            CondOp::X => "X",
+            CondOp::Y => "Y",
+            CondOp::Z => "Z",
+            CondOp::H => "H",
+            CondOp::X90 => "X90",
+            CondOp::Y90 => "Y90",
+            CondOp::Reset => "RESET",
+        }
+    }
+}
+
+impl fmt::Display for CondOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.mnemonic())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn angle_wraps_modulo_steps() {
+        assert_eq!(Angle::new(35), Angle::new(3));
+        assert_eq!(Angle::new(32).index(), 0);
+    }
+
+    #[test]
+    fn angle_radians_roundtrip() {
+        for k in 0..Angle::STEPS {
+            let a = Angle::new(k);
+            assert_eq!(Angle::from_radians(a.radians()), a);
+        }
+    }
+
+    #[test]
+    fn angle_from_negative_radians() {
+        let a = Angle::from_radians(-std::f64::consts::FRAC_PI_2);
+        // −π/2 ≡ 3π/2 → 24/32 of a turn.
+        assert_eq!(a.index(), 24);
+    }
+
+    #[test]
+    fn gate_mnemonics_are_unique() {
+        let mut seen = std::collections::HashSet::new();
+        for g in Gate1::FIXED {
+            assert!(seen.insert(g.mnemonic()), "duplicate mnemonic {}", g.mnemonic());
+        }
+        for g in Gate2::ALL {
+            assert!(seen.insert(g.mnemonic()), "duplicate mnemonic {}", g.mnemonic());
+        }
+    }
+
+    #[test]
+    fn rotation_display_includes_angle() {
+        assert_eq!(Gate1::Rx(Angle::new(8)).to_string(), "RX[8]");
+        assert_eq!(Gate1::H.to_string(), "H");
+    }
+
+    #[test]
+    fn condop_gates() {
+        assert_eq!(CondOp::None.gate(), None);
+        assert_eq!(CondOp::X.gate(), Some(Gate1::X));
+        assert_eq!(CondOp::Reset.gate(), Some(Gate1::Reset));
+    }
+}

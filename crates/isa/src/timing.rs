@@ -1,0 +1,75 @@
+//! Nominal quantum-operation durations.
+//!
+//! §2.3 of the paper gives the typical numbers for superconducting qubits:
+//! 20 ns single-qubit gates, 40 ns two-qubit gates, and a 100 ns – 2 µs
+//! readout pulse. Every layer of the stack (compiler timing labels, QPU
+//! occupancy model, TR metric) uses the same [`OpTimings`] record so the
+//! timeline is consistent end to end.
+
+use crate::instruction::QuantumOp;
+use serde::{Deserialize, Serialize};
+
+/// Nominal durations, in nanoseconds, of the operation classes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct OpTimings {
+    /// Single-qubit gate duration (paper: 20 ns).
+    pub single_qubit_ns: u64,
+    /// Two-qubit gate duration (paper: 40 ns).
+    pub two_qubit_ns: u64,
+    /// Readout (measurement) pulse duration (paper: 100 ns – 2 µs; the
+    /// default models a fast 600 ns dispersive readout).
+    pub readout_pulse_ns: u64,
+}
+
+impl OpTimings {
+    /// The paper's nominal values: 20 / 40 / 600 ns.
+    pub const fn paper() -> Self {
+        OpTimings { single_qubit_ns: 20, two_qubit_ns: 40, readout_pulse_ns: 600 }
+    }
+
+    /// Duration of a quantum operation under these timings.
+    pub fn duration_of(&self, op: &QuantumOp) -> u64 {
+        match op {
+            QuantumOp::Gate1(..) => self.single_qubit_ns,
+            QuantumOp::Gate2(..) => self.two_qubit_ns,
+            QuantumOp::Measure(_) => self.readout_pulse_ns,
+        }
+    }
+
+    /// Duration rounded *up* to whole clock cycles.
+    pub fn duration_cycles(&self, op: &QuantumOp, clock_ns: u64) -> u32 {
+        let ns = self.duration_of(op);
+        ns.div_ceil(clock_ns) as u32
+    }
+}
+
+impl Default for OpTimings {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gate::{Gate1, Gate2};
+    use crate::types::Qubit;
+
+    #[test]
+    fn paper_values() {
+        let t = OpTimings::paper();
+        let q0 = Qubit::new(0);
+        let q1 = Qubit::new(1);
+        assert_eq!(t.duration_of(&QuantumOp::Gate1(Gate1::H, q0)), 20);
+        assert_eq!(t.duration_of(&QuantumOp::Gate2(Gate2::Cnot, q0, q1)), 40);
+        assert_eq!(t.duration_of(&QuantumOp::Measure(q0)), 600);
+    }
+
+    #[test]
+    fn cycle_rounding_is_up() {
+        let t = OpTimings { single_qubit_ns: 25, two_qubit_ns: 40, readout_pulse_ns: 601 };
+        let q0 = Qubit::new(0);
+        assert_eq!(t.duration_cycles(&QuantumOp::Gate1(Gate1::X, q0), 10), 3);
+        assert_eq!(t.duration_cycles(&QuantumOp::Measure(q0), 10), 61);
+    }
+}

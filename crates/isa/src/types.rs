@@ -1,0 +1,220 @@
+//! Primitive operand types: qubits, registers, timing labels.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Index of a physical qubit on the target QPU.
+///
+/// The 32-bit instruction encoding reserves 7 bits per qubit operand, so
+/// valid indices are `0..128` ([`crate::MAX_QUBITS`]); [`crate::encode`]
+/// rejects larger indices.
+///
+/// ```
+/// use quape_isa::Qubit;
+/// let q = Qubit::new(3);
+/// assert_eq!(q.index(), 3);
+/// assert_eq!(q.to_string(), "q3");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Qubit(u16);
+
+impl Qubit {
+    /// Creates a qubit reference with the given index.
+    pub const fn new(index: u16) -> Self {
+        Qubit(index)
+    }
+
+    /// Returns the raw qubit index.
+    pub const fn index(self) -> u16 {
+        self.0
+    }
+}
+
+impl From<u16> for Qubit {
+    fn from(index: u16) -> Self {
+        Qubit(index)
+    }
+}
+
+impl fmt::Display for Qubit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "q{}", self.0)
+    }
+}
+
+/// A per-processor general-purpose register (`r0`..`r31`).
+///
+/// Each QuAPE processor owns a private file of [`crate::REG_COUNT`]
+/// registers used by the auxiliary classical instructions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Reg(u8);
+
+impl Reg {
+    /// Creates a register reference.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= REG_COUNT` (32).
+    pub const fn new(index: u8) -> Self {
+        assert!((index as usize) < crate::REG_COUNT, "register index out of range");
+        Reg(index)
+    }
+
+    /// Returns the raw register index.
+    pub const fn index(self) -> u8 {
+        self.0
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+/// A register shared by all processors of the multiprocessor (`s0`..`s15`).
+///
+/// Shared registers are the paper's mechanism for "managing race condition
+/// and deadlock" across processing units (§5.2.4); access is arbitrated by
+/// the machine model one write per cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct SharedReg(u8);
+
+impl SharedReg {
+    /// Creates a shared-register reference.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= SHARED_REG_COUNT` (16).
+    pub const fn new(index: u8) -> Self {
+        assert!(
+            (index as usize) < crate::SHARED_REG_COUNT,
+            "shared register index out of range"
+        );
+        SharedReg(index)
+    }
+
+    /// Returns the raw register index.
+    pub const fn index(self) -> u8 {
+        self.0
+    }
+}
+
+impl fmt::Display for SharedReg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "s{}", self.0)
+    }
+}
+
+/// A duration measured in control-processor clock cycles.
+///
+/// QuAPE's prototype clocks the core fabric at 100 MHz, so one cycle is
+/// 10 ns; the machine model keeps the cycle length configurable. `Cycles`
+/// is used both for quantum-instruction timing labels and for `QWAIT`
+/// operands.
+///
+/// ```
+/// use quape_isa::Cycles;
+/// let t = Cycles::new(2);
+/// assert_eq!(t.ns(10), 20);
+/// ```
+#[derive(
+    Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct Cycles(u32);
+
+impl Cycles {
+    /// Zero-cycle interval: the operation starts simultaneously with the
+    /// previous quantum operation.
+    pub const ZERO: Cycles = Cycles(0);
+
+    /// Creates a cycle count.
+    pub const fn new(cycles: u32) -> Self {
+        Cycles(cycles)
+    }
+
+    /// Returns the raw cycle count.
+    pub const fn count(self) -> u32 {
+        self.0
+    }
+
+    /// Converts to nanoseconds given the clock period in nanoseconds.
+    pub const fn ns(self, clock_ns: u64) -> u64 {
+        self.0 as u64 * clock_ns
+    }
+
+    /// Saturating addition of two cycle counts.
+    pub const fn saturating_add(self, other: Cycles) -> Cycles {
+        Cycles(self.0.saturating_add(other.0))
+    }
+}
+
+impl From<u32> for Cycles {
+    fn from(cycles: u32) -> Self {
+        Cycles(cycles)
+    }
+}
+
+impl fmt::Display for Cycles {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::ops::Add for Cycles {
+    type Output = Cycles;
+    fn add(self, rhs: Cycles) -> Cycles {
+        Cycles(self.0 + rhs.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn qubit_roundtrip() {
+        let q = Qubit::new(42);
+        assert_eq!(q.index(), 42);
+        assert_eq!(Qubit::from(42u16), q);
+    }
+
+    #[test]
+    fn qubit_display() {
+        assert_eq!(Qubit::new(0).to_string(), "q0");
+        assert_eq!(Qubit::new(127).to_string(), "q127");
+    }
+
+    #[test]
+    fn reg_display() {
+        assert_eq!(Reg::new(7).to_string(), "r7");
+        assert_eq!(SharedReg::new(3).to_string(), "s3");
+    }
+
+    #[test]
+    #[should_panic(expected = "register index out of range")]
+    fn reg_out_of_range_panics() {
+        let _ = Reg::new(32);
+    }
+
+    #[test]
+    #[should_panic(expected = "shared register index out of range")]
+    fn shared_reg_out_of_range_panics() {
+        let _ = SharedReg::new(16);
+    }
+
+    #[test]
+    fn cycles_arithmetic() {
+        let a = Cycles::new(3);
+        let b = Cycles::new(4);
+        assert_eq!((a + b).count(), 7);
+        assert_eq!(a.ns(10), 30);
+        assert_eq!(Cycles::new(u32::MAX).saturating_add(b), Cycles::new(u32::MAX));
+    }
+
+    #[test]
+    fn cycles_ordering() {
+        assert!(Cycles::ZERO < Cycles::new(1));
+        assert_eq!(Cycles::default(), Cycles::ZERO);
+    }
+}

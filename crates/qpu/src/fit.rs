@@ -1,0 +1,189 @@
+//! Exponential-decay fitting for randomized benchmarking.
+//!
+//! RB survival probabilities follow `y(m) = A·pᵐ + B`; the decay `p` gives
+//! the average Clifford fidelity `1 − (1−p)(d−1)/d`. Fitting is separable
+//! least squares: for any candidate `p` the optimal `(A, B)` have a closed
+//! form, so we scan `p` on a grid and polish with ternary search.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Result of fitting `y = A·pᵐ + B`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DecayFit {
+    /// Amplitude `A`.
+    pub amplitude: f64,
+    /// Decay parameter `p` per Clifford.
+    pub decay: f64,
+    /// Offset `B` (ideally `1/2ᵈ` for depolarized d-qubit RB).
+    pub offset: f64,
+    /// Residual sum of squares at the optimum.
+    pub rss: f64,
+}
+
+impl DecayFit {
+    /// Average Clifford fidelity for a `d`-dimensional system:
+    /// `1 − (1−p)(d−1)/d` (single qubit: `1 − (1−p)/2`).
+    pub fn average_fidelity(&self, dim: usize) -> f64 {
+        1.0 - (1.0 - self.decay) * (dim as f64 - 1.0) / dim as f64
+    }
+
+    /// Predicted survival at sequence length `m`.
+    pub fn predict(&self, m: f64) -> f64 {
+        self.amplitude * self.decay.powf(m) + self.offset
+    }
+}
+
+impl fmt::Display for DecayFit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "y = {:.4}·{:.6}^m + {:.4} (rss {:.3e})",
+            self.amplitude, self.decay, self.offset, self.rss
+        )
+    }
+}
+
+/// Errors from [`fit_decay`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FitError {
+    /// Fewer than three points (the model has three parameters).
+    TooFewPoints,
+    /// Input slices have different lengths.
+    LengthMismatch,
+}
+
+impl fmt::Display for FitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FitError::TooFewPoints => write!(f, "need at least three (m, y) points"),
+            FitError::LengthMismatch => write!(f, "lengths and survivals differ in length"),
+        }
+    }
+}
+
+impl std::error::Error for FitError {}
+
+fn rss_for(p: f64, ms: &[f64], ys: &[f64]) -> (f64, f64, f64) {
+    // Linear least squares of y on x = p^m with intercept.
+    let n = ms.len() as f64;
+    let xs: Vec<f64> = ms.iter().map(|&m| p.powf(m)).collect();
+    let sx: f64 = xs.iter().sum();
+    let sy: f64 = ys.iter().sum();
+    let sxx: f64 = xs.iter().map(|x| x * x).sum();
+    let sxy: f64 = xs.iter().zip(ys).map(|(x, y)| x * y).sum();
+    let denom = n * sxx - sx * sx;
+    let (a, b) = if denom.abs() < 1e-15 {
+        (0.0, sy / n)
+    } else {
+        let a = (n * sxy - sx * sy) / denom;
+        let b = (sy - a * sx) / n;
+        (a, b)
+    };
+    let rss: f64 = xs.iter().zip(ys).map(|(x, y)| (y - (a * x + b)).powi(2)).sum();
+    (rss, a, b)
+}
+
+/// Fits `y(m) = A·pᵐ + B` to survival data.
+///
+/// # Errors
+///
+/// Returns [`FitError::TooFewPoints`] for fewer than three samples and
+/// [`FitError::LengthMismatch`] for unequal input lengths.
+///
+/// ```
+/// use quape_qpu::fit_decay;
+/// let ms = [1u32, 5, 20, 60, 120];
+/// let ys: Vec<f64> = ms.iter().map(|&m| 0.5 * 0.99f64.powi(m as i32) + 0.5).collect();
+/// let fit = fit_decay(&ms, &ys)?;
+/// assert!((fit.decay - 0.99).abs() < 1e-3);
+/// # Ok::<(), quape_qpu::FitError>(())
+/// ```
+pub fn fit_decay(lengths: &[u32], survivals: &[f64]) -> Result<DecayFit, FitError> {
+    if lengths.len() != survivals.len() {
+        return Err(FitError::LengthMismatch);
+    }
+    if lengths.len() < 3 {
+        return Err(FitError::TooFewPoints);
+    }
+    let ms: Vec<f64> = lengths.iter().map(|&m| m as f64).collect();
+
+    // Grid scan.
+    let mut best = (f64::INFINITY, 0.5);
+    const GRID: usize = 2000;
+    for i in 0..GRID {
+        let p = i as f64 / GRID as f64;
+        let (rss, _, _) = rss_for(p, &ms, survivals);
+        if rss < best.0 {
+            best = (rss, p);
+        }
+    }
+    // Ternary-search polish around the grid optimum.
+    let mut lo = (best.1 - 1.5 / GRID as f64).max(0.0);
+    let mut hi = (best.1 + 1.5 / GRID as f64).min(1.0);
+    for _ in 0..80 {
+        let m1 = lo + (hi - lo) / 3.0;
+        let m2 = hi - (hi - lo) / 3.0;
+        if rss_for(m1, &ms, survivals).0 < rss_for(m2, &ms, survivals).0 {
+            hi = m2;
+        } else {
+            lo = m1;
+        }
+    }
+    let p = (lo + hi) / 2.0;
+    let (rss, a, b) = rss_for(p, &ms, survivals);
+    Ok(DecayFit { amplitude: a, decay: p, offset: b, rss })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn recovers_noiseless_parameters() {
+        let ms: Vec<u32> = vec![1, 2, 4, 8, 16, 32, 64, 128];
+        let ys: Vec<f64> = ms.iter().map(|&m| 0.47 * 0.983f64.powi(m as i32) + 0.51).collect();
+        let fit = fit_decay(&ms, &ys).unwrap();
+        assert!((fit.decay - 0.983).abs() < 5e-4, "p = {}", fit.decay);
+        assert!((fit.amplitude - 0.47).abs() < 5e-3);
+        assert!((fit.offset - 0.51).abs() < 5e-3);
+        assert!(fit.rss < 1e-6);
+    }
+
+    #[test]
+    fn recovers_parameters_under_noise() {
+        let mut rng = SmallRng::seed_from_u64(11);
+        let ms: Vec<u32> = (0..20).map(|i| 1 + i * 12).collect();
+        let ys: Vec<f64> = ms
+            .iter()
+            .map(|&m| 0.5 * 0.99f64.powi(m as i32) + 0.5 + rng.gen_range(-0.004..0.004))
+            .collect();
+        let fit = fit_decay(&ms, &ys).unwrap();
+        assert!((fit.decay - 0.99).abs() < 3e-3, "p = {}", fit.decay);
+    }
+
+    #[test]
+    fn fidelity_formula_matches_paper_convention() {
+        let fit = DecayFit { amplitude: 0.5, decay: 0.99, offset: 0.5, rss: 0.0 };
+        // Single qubit: r = (1−p)/2 = 0.005 ⇒ F = 99.5%.
+        assert!((fit.average_fidelity(2) - 0.995).abs() < 1e-12);
+        assert!((fit.predict(0.0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn input_validation() {
+        assert_eq!(fit_decay(&[1, 2], &[0.9, 0.8]), Err(FitError::TooFewPoints));
+        assert_eq!(fit_decay(&[1, 2, 3], &[0.9, 0.8]), Err(FitError::LengthMismatch));
+    }
+
+    #[test]
+    fn flat_data_fits_offset_only() {
+        let ms = [1u32, 10, 50, 100];
+        let ys = [0.5, 0.5, 0.5, 0.5];
+        let fit = fit_decay(&ms, &ys).unwrap();
+        assert!(fit.rss < 1e-9);
+        assert!((fit.predict(25.0) - 0.5).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,157 @@
+//! Property tests for the state-vector simulator and the Clifford group.
+
+use proptest::prelude::*;
+use quape_isa::{Gate1, Gate2, Qubit};
+use quape_qpu::{CliffordGroup, CliffordId, StateVector, CLIFFORD_COUNT};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    G1(u8, u8),
+    G2(u8, u8, u8),
+    Zz(u8, u8, f64),
+}
+
+fn arb_ops(n: u8) -> impl Strategy<Value = Vec<Op>> {
+    let op = prop_oneof![
+        4 => (0u8..13, 0..n).prop_map(|(g, q)| Op::G1(g, q)),
+        2 => (0u8..3, 0..n, 0..n).prop_map(|(g, a, b)| Op::G2(g, a, b)),
+        1 => (0..n, 0..n, -3.0f64..3.0).prop_map(|(a, b, t)| Op::Zz(a, b, t)),
+    ];
+    proptest::collection::vec(op, 0..60)
+}
+
+fn apply(state: &mut StateVector, ops: &[Op]) {
+    for op in ops {
+        match *op {
+            Op::G1(g, q) => {
+                // Skip Reset (non-unitary).
+                let gate = Gate1::FIXED[g as usize % 13];
+                state.apply_gate1(gate, Qubit::new(u16::from(q)));
+            }
+            Op::G2(g, a, b) if a != b => {
+                let gate = Gate2::ALL[g as usize % 3];
+                state.apply_gate2(gate, Qubit::new(u16::from(a)), Qubit::new(u16::from(b)));
+            }
+            Op::G2(..) => {}
+            Op::Zz(a, b, t) if a != b => {
+                state.apply_zz(Qubit::new(u16::from(a)), Qubit::new(u16::from(b)), t);
+            }
+            Op::Zz(..) => {}
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Unitary circuits preserve the norm.
+    #[test]
+    fn norm_is_preserved(ops in arb_ops(4)) {
+        let mut s = StateVector::new(4);
+        apply(&mut s, &ops);
+        prop_assert!((s.norm_sqr() - 1.0).abs() < 1e-7);
+    }
+
+    /// Applying a circuit then its inverse returns to the start state.
+    #[test]
+    fn inverse_circuit_undoes(ops in arb_ops(3)) {
+        // Restrict to self-inverse-friendly gates: run U then U† by
+        // reversing with explicit inverses.
+        let mut s = StateVector::new(3);
+        apply(&mut s, &ops);
+        for op in ops.iter().rev() {
+            match *op {
+                Op::G1(g, q) => {
+                    let gate = Gate1::FIXED[g as usize % 13];
+                    let inv = match gate {
+                        Gate1::S => Gate1::Sdg,
+                        Gate1::Sdg => Gate1::S,
+                        Gate1::T => Gate1::Tdg,
+                        Gate1::Tdg => Gate1::T,
+                        Gate1::X90 => Gate1::Xm90,
+                        Gate1::Xm90 => Gate1::X90,
+                        Gate1::Y90 => Gate1::Ym90,
+                        Gate1::Ym90 => Gate1::Y90,
+                        other => other, // I, X, Y, Z, H are involutions
+                    };
+                    s.apply_gate1(inv, Qubit::new(u16::from(q)));
+                }
+                Op::G2(g, a, b) if a != b => {
+                    // CNOT, CZ, SWAP are involutions.
+                    let gate = Gate2::ALL[g as usize % 3];
+                    s.apply_gate2(gate, Qubit::new(u16::from(a)), Qubit::new(u16::from(b)));
+                }
+                Op::G2(..) => {}
+                Op::Zz(a, b, t) if a != b => {
+                    s.apply_zz(Qubit::new(u16::from(a)), Qubit::new(u16::from(b)), -t);
+                }
+                Op::Zz(..) => {}
+            }
+        }
+        let fresh = StateVector::new(3);
+        prop_assert!((s.fidelity(&fresh) - 1.0).abs() < 1e-6);
+    }
+
+    /// Measurement probabilities stay in [0, 1] and P(0) + P(1) = 1.
+    #[test]
+    fn probabilities_are_well_formed(ops in arb_ops(4), q in 0u16..4) {
+        let mut s = StateVector::new(4);
+        apply(&mut s, &ops);
+        let p1 = s.prob_one(Qubit::new(q));
+        prop_assert!((-1e-9..=1.0 + 1e-9).contains(&p1));
+    }
+
+    /// Collapse is consistent: after measuring q, measuring q again gives
+    /// the same outcome with certainty.
+    #[test]
+    fn repeated_measurement_is_stable(ops in arb_ops(3), q in 0u16..3, seed in 0u64..1000) {
+        let mut s = StateVector::new(3);
+        apply(&mut s, &ops);
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let first = s.measure(Qubit::new(q), &mut rng);
+        let p1 = s.prob_one(Qubit::new(q));
+        prop_assert!((p1 - f64::from(u8::from(first))).abs() < 1e-9);
+        let second = s.measure(Qubit::new(q), &mut rng);
+        prop_assert_eq!(first, second);
+    }
+
+    /// The Clifford composition table agrees with matrix multiplication
+    /// acting on states.
+    #[test]
+    fn clifford_compose_matches_sequential_application(
+        a in 0u8..CLIFFORD_COUNT as u8,
+        b in 0u8..CLIFFORD_COUNT as u8,
+    ) {
+        let group = CliffordGroup::new();
+        let (ca, cb) = (CliffordId(a), CliffordId(b));
+        let mut sequential = StateVector::new(1);
+        for &p in group.pulses(ca) {
+            sequential.apply_gate1(p, Qubit::new(0));
+        }
+        for &p in group.pulses(cb) {
+            sequential.apply_gate1(p, Qubit::new(0));
+        }
+        let mut fused = StateVector::new(1);
+        for &p in group.pulses(group.compose(ca, cb)) {
+            fused.apply_gate1(p, Qubit::new(0));
+        }
+        prop_assert!((sequential.fidelity(&fused) - 1.0).abs() < 1e-9);
+    }
+
+    /// Amplitude damping keeps the state normalized and never increases
+    /// the excited-state population on a single qubit.
+    #[test]
+    fn amplitude_damping_is_contractive(gamma in 0.0f64..1.0, seed in 0u64..500) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut s = StateVector::new(1);
+        s.apply_gate1(Gate1::H, Qubit::new(0));
+        let before = s.prob_one(Qubit::new(0));
+        s.apply_amplitude_damping(Qubit::new(0), gamma, &mut rng);
+        let after = s.prob_one(Qubit::new(0));
+        prop_assert!((s.norm_sqr() - 1.0).abs() < 1e-9);
+        // Either the no-jump branch damped it, or the jump sent it to 0.
+        prop_assert!(after <= before + 1e-9, "{before} -> {after} at γ={gamma}");
+    }
+}

@@ -1,0 +1,266 @@
+//! Dynamic quantum circuits beyond active reset.
+//!
+//! §2.4 lists the applications feedback control enables: "active qubit
+//! reset, quantum teleportation, and iterative phase estimation". This
+//! module implements the latter two as timed programs, exercising both
+//! feedback encodings (MRCE for the teleportation corrections, computed
+//! classical control flow for the phase-estimation corrections). Both
+//! programs are verified end-to-end through the machine against the
+//! state-vector QPU in the integration tests.
+
+use quape_isa::{
+    Angle, ClassicalOp, Cond, CondOp, Gate1, Gate2, Program, ProgramBuilder, ProgramError,
+    QuantumOp, Qubit, Reg,
+};
+
+fn g1(g: Gate1, q: u16) -> QuantumOp {
+    QuantumOp::Gate1(g, Qubit::new(q))
+}
+
+fn g2(g: Gate2, a: u16, b: u16) -> QuantumOp {
+    QuantumOp::Gate2(g, Qubit::new(a), Qubit::new(b))
+}
+
+/// Quantum teleportation of the state of `source` onto `target` via the
+/// helper qubit `ancilla`, with MRCE-based Pauli corrections (both
+/// corrections are *simple feedback control* in the paper's sense — one
+/// measurement bit conditioning one gate).
+///
+/// Qubit roles: `source` holds the state to teleport; `ancilla` and
+/// `target` start in |0⟩ and become the Bell pair.
+///
+/// # Errors
+///
+/// Propagates program-assembly failures.
+pub fn teleportation(source: u16, ancilla: u16, target: u16) -> Result<Program, ProgramError> {
+    let mut b = ProgramBuilder::new();
+    // Bell pair between ancilla and target.
+    b.quantum(0, g1(Gate1::H, ancilla));
+    b.quantum(2, g2(Gate2::Cnot, ancilla, target));
+    // Bell measurement of source against ancilla.
+    b.quantum(4, g2(Gate2::Cnot, source, ancilla));
+    b.quantum(4, g1(Gate1::H, source));
+    b.quantum(2, QuantumOp::Measure(Qubit::new(source)));
+    b.quantum(0, QuantumOp::Measure(Qubit::new(ancilla)));
+    // Pauli corrections: X^{m_ancilla} then Z^{m_source} on the target.
+    b.push(ClassicalOp::Mrce {
+        qubit: Qubit::new(ancilla),
+        target: Qubit::new(target),
+        op_if_one: CondOp::X,
+        op_if_zero: CondOp::None,
+    });
+    b.push(ClassicalOp::Mrce {
+        qubit: Qubit::new(source),
+        target: Qubit::new(target),
+        op_if_one: CondOp::Z,
+        op_if_zero: CondOp::None,
+    });
+    b.push(ClassicalOp::Stop);
+    b.finish()
+}
+
+/// A teleportation program that first prepares `source` in
+/// `Ry(theta)|0⟩`, so the teleported state is verifiable: after the run,
+/// `P(target = 1) = sin²(θ/2)`.
+///
+/// # Errors
+///
+/// Propagates program-assembly failures.
+pub fn teleportation_with_input(
+    theta: f64,
+    source: u16,
+    ancilla: u16,
+    target: u16,
+) -> Result<Program, ProgramError> {
+    let mut b = ProgramBuilder::new();
+    b.quantum(0, g1(Gate1::Ry(Angle::from_radians(theta)), source));
+    let tail = teleportation(source, ancilla, target)?;
+    // Relocate the teleportation body after the preparation instruction.
+    let offset = b.here();
+    for instr in tail.instructions() {
+        match instr {
+            quape_isa::Instruction::Classical(op) if op.target().is_some() => {
+                let t = op.target().expect("checked") + offset;
+                b.push(op.with_target(t));
+            }
+            other => {
+                b.push(*other);
+            }
+        }
+    }
+    b.finish()
+}
+
+/// Configuration for iterative phase estimation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IpeConfig {
+    /// Number of phase bits to extract.
+    pub bits: u8,
+    /// The phase φ ∈ [0, 1) to estimate, as a multiple of 1/2^bits
+    /// (`phase_numerator / 2^bits`).
+    pub phase_numerator: u8,
+    /// Ancilla qubit index.
+    pub ancilla: u16,
+    /// Eigenstate qubit index.
+    pub target: u16,
+}
+
+impl IpeConfig {
+    /// The phase as a float.
+    pub fn phase(&self) -> f64 {
+        f64::from(self.phase_numerator) / f64::from(1u32 << self.bits)
+    }
+}
+
+/// Emits a controlled-phase `CP(θ)` between `a` and `b` using the
+/// standard Rz/CNOT decomposition (exact, up to global phase):
+/// `Rz_a(θ/2) · Rz_b(θ/2) · CNOT_ab · Rz_b(−θ/2) · CNOT_ab`.
+fn controlled_phase(b: &mut ProgramBuilder, theta: f64, a: u16, t: u16) {
+    let half = Angle::from_radians(theta / 2.0);
+    let neg_half = Angle::from_radians(-theta / 2.0);
+    b.quantum(2, g1(Gate1::Rz(half), a));
+    b.quantum(0, g1(Gate1::Rz(half), t));
+    b.quantum(2, g2(Gate2::Cnot, a, t));
+    b.quantum(4, g1(Gate1::Rz(neg_half), t));
+    b.quantum(2, g2(Gate2::Cnot, a, t));
+}
+
+/// Iterative phase estimation of `U = CP(2πφ)` acting on the |1⟩
+/// eigenstate (Kitaev-style, one ancilla, LSB first).
+///
+/// Each round measures one phase bit: Hadamard on the ancilla, `2^k`
+/// controlled-phase applications folded into one rotation, a feedback
+/// rotation conditioned on *all previously measured bits* (computed
+/// classical control flow: the accumulated bits select one of up to
+/// `2^(bits-1)` correction angles via branch chains), Hadamard, measure.
+/// Bits accumulate in register r4.
+///
+/// With a noiseless QPU the program measures exactly
+/// `phase_numerator` (binary), which the integration tests assert.
+///
+/// # Errors
+///
+/// Propagates program-assembly failures.
+///
+/// # Panics
+///
+/// Panics if `bits` is 0 or greater than 5 (the discretized angle set
+/// resolves 2π/32).
+pub fn iterative_phase_estimation(cfg: IpeConfig) -> Result<Program, ProgramError> {
+    assert!(cfg.bits >= 1 && cfg.bits <= 5, "1..=5 phase bits supported");
+    let mut b = ProgramBuilder::new();
+    let acc = Reg::new(4); // accumulated result, LSB-first (bit k at weight 2^k... see below)
+    let bit = Reg::new(5);
+    let theta = 2.0 * std::f64::consts::PI * cfg.phase();
+
+    b.push(ClassicalOp::Ldi { rd: acc, imm: 0 });
+    // Eigenstate |1⟩ on the target qubit.
+    b.quantum(0, g1(Gate1::X, cfg.target));
+
+    // Round k measures phase bit (bits-1-k) of φ, most significant
+    // exponent first in the controlled-phase power, i.e. k-th round
+    // applies U^(2^(bits-1-k)).
+    for round in 0..cfg.bits {
+        let exponent = cfg.bits - 1 - round;
+        // Fresh ancilla in |+⟩.
+        if round > 0 {
+            b.quantum(2, g1(Gate1::Reset, cfg.ancilla));
+        }
+        b.quantum(2, g1(Gate1::H, cfg.ancilla));
+        // U^(2^exponent) = CP(θ · 2^exponent).
+        let angle = theta * f64::from(1u32 << exponent);
+        controlled_phase(&mut b, angle, cfg.ancilla, cfg.target);
+
+        // Feedback rotation: Rz(−π · 0.b₁b₂…) on the ancilla, where the
+        // bits are the previously measured (less significant) ones held
+        // in `acc`. Branch chain: compare acc against every possible
+        // value and apply the matching correction.
+        if round > 0 {
+            let cases = 1u16 << round;
+            let done = format!("corr_done_{round}");
+            for value in 0..cases {
+                let next = format!("corr_{round}_{value}_next");
+                b.cmpi(4, value as i16);
+                b.br_to(Cond::Ne, &next);
+                if value != 0 {
+                    // acc holds Σ b_j 2^j (j < round), the already
+                    // measured low bits; the correction angle is
+                    // −2π · acc / 2^(round+1).
+                    let corr = -2.0 * std::f64::consts::PI * f64::from(value)
+                        / f64::from(1u32 << (round + 1));
+                    b.quantum(2, g1(Gate1::Rz(Angle::from_radians(corr)), cfg.ancilla));
+                }
+                b.jmp_to(&done);
+                b.label(&next);
+            }
+            b.label(&done);
+        }
+
+        b.quantum(2, g1(Gate1::H, cfg.ancilla));
+        b.quantum(2, QuantumOp::Measure(Qubit::new(cfg.ancilla)));
+        b.fmr(5, cfg.ancilla);
+        // acc += bit << round  (shift via repeated addition).
+        for _ in 0..round {
+            b.push(ClassicalOp::Add { rd: bit, rs1: bit, rs2: bit });
+        }
+        b.push(ClassicalOp::Add { rd: acc, rs1: acc, rs2: bit });
+    }
+    // Publish the estimate in shared register 0.
+    b.push(ClassicalOp::Sts { sreg: quape_isa::SharedReg::new(0), rs: acc });
+    b.push(ClassicalOp::Stop);
+    b.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn teleportation_program_shape() {
+        let p = teleportation(0, 1, 2).unwrap();
+        assert_eq!(p.quantum_count(), 6); // H, CNOT, CNOT, H, 2 measures
+        let mrces = p
+            .instructions()
+            .iter()
+            .filter(|i| matches!(i, quape_isa::Instruction::Classical(ClassicalOp::Mrce { .. })))
+            .count();
+        assert_eq!(mrces, 2);
+    }
+
+    #[test]
+    fn teleportation_with_input_relocates_cleanly() {
+        let p = teleportation_with_input(1.0, 0, 1, 2).unwrap();
+        assert_eq!(p.quantum_count(), 7);
+    }
+
+    #[test]
+    fn ipe_round_structure() {
+        let cfg = IpeConfig { bits: 3, phase_numerator: 5, ancilla: 0, target: 1 };
+        assert!((cfg.phase() - 0.625).abs() < 1e-12);
+        let p = iterative_phase_estimation(cfg).unwrap();
+        // 3 rounds → 3 measurements, 3 FMRs.
+        let measures = p
+            .instructions()
+            .iter()
+            .filter(|i| i.as_quantum().is_some_and(|q| q.op.is_measure()))
+            .count();
+        assert_eq!(measures, 3);
+        let fmrs = p
+            .instructions()
+            .iter()
+            .filter(|i| matches!(i, quape_isa::Instruction::Classical(ClassicalOp::Fmr { .. })))
+            .count();
+        assert_eq!(fmrs, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "phase bits supported")]
+    fn ipe_rejects_too_many_bits() {
+        let _ = iterative_phase_estimation(IpeConfig {
+            bits: 6,
+            phase_numerator: 1,
+            ancilla: 0,
+            target: 1,
+        });
+    }
+}

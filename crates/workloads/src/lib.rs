@@ -1,0 +1,41 @@
+//! # quape-workloads — the paper's benchmark workloads
+//!
+//! Generators for every workload the QuAPE evaluation runs:
+//!
+//! * [`shor_syndrome`] — the fault-tolerant Shor syndrome measurement of
+//!   the 7-qubit Steane code (Fig. 10): 37 qubits, six verified cat
+//!   states, three measurement rounds with a majority vote, expressed as
+//!   ~50 program blocks over 15 priorities with repeat-until-success
+//!   verification (the Fig. 11 benchmark);
+//! * [`benchmarks`] — the seven Qiskit / ScaffCC / RevLib circuits of
+//!   Figs. 12–13 (`bv_16`, `hs16`, `ising_16`, `adder_8`, `sym9_146`,
+//!   `qft_10`, `rd84_143`), regenerated structurally: each generator
+//!   reproduces the original circuit family's step-parallelism profile,
+//!   which is the only property the evaluation depends on;
+//! * [`rb`] — randomized-benchmarking instruction streams, the
+//!   simultaneous (simRB) variant, and the active-reset + RB program used
+//!   to verify the fast context switch (§7/§8);
+//! * [`feedback`] — micro-workloads for the feedback-latency breakdown of
+//!   Fig. 2;
+//! * [`dynamic`] — the other dynamic circuits §2.4 cites: quantum
+//!   teleportation (MRCE corrections) and iterative phase estimation
+//!   (computed classical control flow);
+//! * [`multiprogramming`] — the §3.1.2 CLP scenario: independent tasks
+//!   combined into one multiprogrammed workload;
+//! * [`qec`] — the 3-qubit repetition code with real-time syndrome
+//!   decoding and feedback correction (the §2.3 motivation: correction
+//!   within 1% of the coherence time).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod benchmarks;
+pub mod dynamic;
+pub mod feedback;
+pub mod multiprogramming;
+pub mod qec;
+pub mod rb;
+pub mod shor_syndrome;
+
+pub use benchmarks::{benchmark_suite, Benchmark, BenchmarkSource};
+pub use shor_syndrome::{ShorSyndrome, ShorSyndromeConfig};

@@ -1,0 +1,189 @@
+//! Quantum error correction with real-time feedback.
+//!
+//! §2.3 motivates the whole design: "the feedback control for quantum
+//! error correction needs to be completed within 1% of this coherence
+//! time to achieve the fault-tolerance". This module implements the
+//! canonical testbed — the 3-qubit bit-flip repetition code with
+//! syndrome extraction, classical decoding on the QCP, and conditional
+//! X corrections — as a timed program, so the reproduction can measure
+//! that feedback turnaround on its own control stack.
+
+use quape_isa::{
+    ClassicalOp, Cond, Gate1, Gate2, Program, ProgramBuilder, ProgramError, QuantumOp, Qubit,
+    Reg,
+};
+
+/// Qubit assignment of the repetition code.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RepetitionCode {
+    /// The three data qubits.
+    pub data: [u16; 3],
+    /// The two syndrome ancillas (a0 checks d0⊕d1, a1 checks d1⊕d2).
+    pub ancilla: [u16; 2],
+}
+
+impl Default for RepetitionCode {
+    fn default() -> Self {
+        RepetitionCode { data: [0, 1, 2], ancilla: [3, 4] }
+    }
+}
+
+/// Configuration of a QEC run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QecConfig {
+    /// Qubit layout.
+    pub code: RepetitionCode,
+    /// Syndrome-extraction + correction rounds.
+    pub rounds: u16,
+    /// Prepare the logical |1⟩ (X on every data qubit) instead of |0⟩.
+    pub logical_one: bool,
+    /// Deterministically inject an X error on `data[index]` just before
+    /// the given round (0-based) — the workload's fault-injection hook.
+    pub inject: Option<(u16, usize)>,
+    /// Measure the data qubits at the end (for logical readout).
+    pub final_readout: bool,
+}
+
+impl Default for QecConfig {
+    fn default() -> Self {
+        QecConfig {
+            code: RepetitionCode::default(),
+            rounds: 1,
+            logical_one: false,
+            inject: None,
+            final_readout: true,
+        }
+    }
+}
+
+fn g1(g: Gate1, q: u16) -> QuantumOp {
+    QuantumOp::Gate1(g, Qubit::new(q))
+}
+
+fn cnot(c: u16, t: u16) -> QuantumOp {
+    QuantumOp::Gate2(Gate2::Cnot, Qubit::new(c), Qubit::new(t))
+}
+
+fn meas(q: u16) -> QuantumOp {
+    QuantumOp::Measure(Qubit::new(q))
+}
+
+/// Generates the repetition-code program.
+///
+/// Per round: syndrome extraction (four CNOTs onto the two ancillas,
+/// transversal ancilla measurement), decoding on the QCP (`s = s0 + 2·s1`
+/// selects the faulty qubit: 1 → d0, 3 → d1, 2 → d2), the conditional X
+/// correction, and ancilla reset for the next round.
+///
+/// # Errors
+///
+/// Propagates program-assembly failures.
+pub fn repetition_code_program(cfg: QecConfig) -> Result<Program, ProgramError> {
+    let mut b = ProgramBuilder::new();
+    let [d0, d1, d2] = cfg.code.data;
+    let [a0, a1] = cfg.code.ancilla;
+    let (r0, r1) = (Reg::new(0), Reg::new(1));
+
+    if cfg.logical_one {
+        b.quantum(0, g1(Gate1::X, d0));
+        b.quantum(0, g1(Gate1::X, d1));
+        b.quantum(0, g1(Gate1::X, d2));
+    }
+
+    for round in 0..cfg.rounds {
+        if let Some((inject_round, idx)) = cfg.inject {
+            if inject_round == round {
+                b.quantum(2, g1(Gate1::X, cfg.code.data[idx]));
+            }
+        }
+        // Syndrome extraction: a0 = d0 ⊕ d1, a1 = d1 ⊕ d2.
+        b.quantum(2, cnot(d0, a0));
+        b.quantum(4, cnot(d1, a0));
+        b.quantum(4, cnot(d1, a1));
+        b.quantum(4, cnot(d2, a1));
+        b.quantum(4, meas(a0));
+        b.quantum(0, meas(a1));
+        // Decode: r0 = s0 + 2·s1.
+        b.fmr(0, a0);
+        b.fmr(1, a1);
+        b.push(ClassicalOp::Add { rd: r1, rs1: r1, rs2: r1 });
+        b.push(ClassicalOp::Add { rd: r0, rs1: r0, rs2: r1 });
+        let done = format!("qec_done_{round}");
+        // s = 1 → X d0.
+        b.cmpi(0, 1);
+        b.br_to(Cond::Ne, format!("qec_try3_{round}"));
+        b.quantum(0, g1(Gate1::X, d0));
+        b.jmp_to(&done);
+        // s = 3 → X d1.
+        b.label(format!("qec_try3_{round}"));
+        b.cmpi(0, 3);
+        b.br_to(Cond::Ne, format!("qec_try2_{round}"));
+        b.quantum(0, g1(Gate1::X, d1));
+        b.jmp_to(&done);
+        // s = 2 → X d2.
+        b.label(format!("qec_try2_{round}"));
+        b.cmpi(0, 2);
+        b.br_to(Cond::Ne, &done);
+        b.quantum(0, g1(Gate1::X, d2));
+        b.label(&done);
+        // Fresh ancillas for the next round.
+        if round + 1 < cfg.rounds {
+            b.quantum(2, g1(Gate1::Reset, a0));
+            b.quantum(0, g1(Gate1::Reset, a1));
+        }
+    }
+
+    if cfg.final_readout {
+        b.quantum(2, meas(d0));
+        b.quantum(0, meas(d1));
+        b.quantum(0, meas(d2));
+    }
+    b.push(ClassicalOp::Stop);
+    b.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn program_shape_per_round() {
+        let p = repetition_code_program(QecConfig { rounds: 3, ..Default::default() }).unwrap();
+        let measures = p
+            .instructions()
+            .iter()
+            .filter(|i| i.as_quantum().is_some_and(|q| q.op.is_measure()))
+            .count();
+        // 2 syndrome measures × 3 rounds + 3 data readouts.
+        assert_eq!(measures, 9);
+        let fmrs = p
+            .instructions()
+            .iter()
+            .filter(|i| matches!(i, quape_isa::Instruction::Classical(ClassicalOp::Fmr { .. })))
+            .count();
+        assert_eq!(fmrs, 6);
+    }
+
+    #[test]
+    fn injection_adds_one_gate() {
+        let clean = repetition_code_program(QecConfig::default()).unwrap();
+        let faulty = repetition_code_program(QecConfig {
+            inject: Some((0, 1)),
+            ..Default::default()
+        })
+        .unwrap();
+        assert_eq!(faulty.quantum_count(), clean.quantum_count() + 1);
+    }
+
+    #[test]
+    fn logical_one_prepends_three_x() {
+        let p = repetition_code_program(QecConfig { logical_one: true, ..Default::default() })
+            .unwrap();
+        for i in 0..3 {
+            assert!(matches!(
+                p.instruction(i),
+                quape_isa::Instruction::Quantum(q) if matches!(q.op, QuantumOp::Gate1(Gate1::X, _))
+            ));
+        }
+    }
+}

@@ -1,0 +1,287 @@
+//! Randomized-benchmarking instruction streams for the control stack.
+//!
+//! §8 validates QuAPE by running individual RB and simultaneous RB
+//! through the real control stack; §7 verifies the fast context switch by
+//! running "a program with an active qubit reset and a randomized
+//! benchmarking": the RB instructions must keep executing while the
+//! active reset waits for its measurement result. These generators build
+//! those instruction streams as timed programs.
+
+use quape_isa::{
+    ClassicalOp, CondOp, Gate1, Program, ProgramBuilder, ProgramError, QuantumOp, Qubit,
+};
+use quape_qpu::{CliffordGroup, CliffordId, CLIFFORD_COUNT};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Cycles between consecutive RB pulses (20 ns pulses on a 10 ns clock).
+const PULSE_CYCLES: u32 = 2;
+
+/// Pushes the pulse decomposition of one Clifford onto the builder.
+fn push_clifford(b: &mut ProgramBuilder, group: &CliffordGroup, q: u16, c: CliffordId) {
+    for &pulse in group.pulses(c) {
+        b.quantum(PULSE_CYCLES, QuantumOp::Gate1(pulse, Qubit::new(q)));
+    }
+}
+
+/// A generated RB sequence program plus the Cliffords it applies.
+#[derive(Debug, Clone)]
+pub struct RbProgram {
+    /// The timed program (ends with measurement + `STOP`).
+    pub program: Program,
+    /// The random Cliffords (excluding the recovery element).
+    pub sequence: Vec<CliffordId>,
+}
+
+/// Generates a single-qubit RB sequence of `m` Cliffords plus recovery on
+/// `qubit`, as a timed program.
+///
+/// # Errors
+///
+/// Propagates program-assembly failures.
+pub fn rb_program(
+    group: &CliffordGroup,
+    qubit: u16,
+    m: u32,
+    seed: u64,
+) -> Result<RbProgram, ProgramError> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut b = ProgramBuilder::new();
+    let mut sequence = Vec::with_capacity(m as usize);
+    for _ in 0..m {
+        let c = CliffordId(rng.gen_range(0..CLIFFORD_COUNT as u8));
+        sequence.push(c);
+        push_clifford(&mut b, group, qubit, c);
+    }
+    let recovery = group.recovery(sequence.iter().copied());
+    push_clifford(&mut b, group, qubit, recovery);
+    b.quantum(PULSE_CYCLES, QuantumOp::Measure(Qubit::new(qubit)));
+    b.push(ClassicalOp::Stop);
+    Ok(RbProgram { program: b.finish()?, sequence })
+}
+
+/// Generates a *simultaneous* RB program: independent random sequences on
+/// both qubits, pulse layers interleaved so each layer issues in the same
+/// timing slot (which is exactly what the quantum superscalar dispatches
+/// in parallel).
+///
+/// # Errors
+///
+/// Propagates program-assembly failures.
+pub fn simrb_program(
+    group: &CliffordGroup,
+    qubit_a: u16,
+    qubit_b: u16,
+    m: u32,
+    seed: u64,
+) -> Result<Program, ProgramError> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut b = ProgramBuilder::new();
+    let mut seq_a = Vec::new();
+    let mut seq_b = Vec::new();
+    for _ in 0..m {
+        let ca = CliffordId(rng.gen_range(0..CLIFFORD_COUNT as u8));
+        let cb = CliffordId(rng.gen_range(0..CLIFFORD_COUNT as u8));
+        seq_a.push(ca);
+        seq_b.push(cb);
+        emit_layer(&mut b, group, qubit_a, ca, qubit_b, cb);
+    }
+    let ra = group.recovery(seq_a.iter().copied());
+    let rb = group.recovery(seq_b.iter().copied());
+    emit_layer(&mut b, group, qubit_a, ra, qubit_b, rb);
+    b.quantum(PULSE_CYCLES, QuantumOp::Measure(Qubit::new(qubit_a)));
+    b.quantum(0, QuantumOp::Measure(Qubit::new(qubit_b)));
+    b.push(ClassicalOp::Stop);
+    b.finish()
+}
+
+/// Emits one simultaneous Clifford layer: pulse i of each qubit's
+/// decomposition shares a timing slot (label 0 on the second qubit).
+fn emit_layer(
+    b: &mut ProgramBuilder,
+    group: &CliffordGroup,
+    qa: u16,
+    ca: CliffordId,
+    qb: u16,
+    cb: CliffordId,
+) {
+    let pa = group.pulses(ca);
+    let pb = group.pulses(cb);
+    let slots = pa.len().max(pb.len());
+    for i in 0..slots {
+        let mut first = true;
+        if let Some(&p) = pa.get(i) {
+            b.quantum(PULSE_CYCLES, QuantumOp::Gate1(p, Qubit::new(qa)));
+            first = false;
+        }
+        if let Some(&p) = pb.get(i) {
+            b.quantum(if first { PULSE_CYCLES } else { 0 }, QuantumOp::Gate1(p, Qubit::new(qb)));
+        }
+    }
+}
+
+/// The §7 fast-context-switch verification program: an active qubit reset
+/// on `reset_qubit` (measure + MRCE) immediately followed by an RB
+/// sequence on `rb_qubit`. With the fast context switch the RB pulses
+/// execute while the reset waits for its measurement result.
+///
+/// # Errors
+///
+/// Propagates program-assembly failures.
+pub fn active_reset_with_rb(
+    group: &CliffordGroup,
+    reset_qubit: u16,
+    rb_qubit: u16,
+    m: u32,
+    seed: u64,
+) -> Result<RbProgram, ProgramError> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut b = ProgramBuilder::new();
+    b.quantum(0, QuantumOp::Measure(Qubit::new(reset_qubit)));
+    b.push(ClassicalOp::Mrce {
+        qubit: Qubit::new(reset_qubit),
+        target: Qubit::new(reset_qubit),
+        op_if_one: CondOp::X,
+        op_if_zero: CondOp::None,
+    });
+    let mut sequence = Vec::new();
+    for _ in 0..m {
+        let c = CliffordId(rng.gen_range(0..CLIFFORD_COUNT as u8));
+        sequence.push(c);
+        push_clifford(&mut b, group, rb_qubit, c);
+    }
+    let recovery = group.recovery(sequence.iter().copied());
+    push_clifford(&mut b, group, rb_qubit, recovery);
+    b.quantum(PULSE_CYCLES, QuantumOp::Measure(Qubit::new(rb_qubit)));
+    b.push(ClassicalOp::Stop);
+    Ok(RbProgram { program: b.finish()?, sequence })
+}
+
+/// Convenience: the plain active-qubit-reset program (measure + MRCE),
+/// the paper's canonical *simple feedback control*.
+///
+/// # Errors
+///
+/// Propagates program-assembly failures.
+pub fn active_reset(qubit: u16) -> Result<Program, ProgramError> {
+    let mut b = ProgramBuilder::new();
+    b.quantum(0, QuantumOp::Measure(Qubit::new(qubit)));
+    b.push(ClassicalOp::Mrce {
+        qubit: Qubit::new(qubit),
+        target: Qubit::new(qubit),
+        op_if_one: CondOp::X,
+        op_if_zero: CondOp::None,
+    });
+    b.push(ClassicalOp::Stop);
+    b.finish()
+}
+
+/// Sanity helper: the number of physical pulses a Clifford sequence
+/// (including recovery) expands to.
+pub fn pulse_count(group: &CliffordGroup, sequence: &[CliffordId]) -> usize {
+    let recovery = group.recovery(sequence.iter().copied());
+    sequence.iter().chain(std::iter::once(&recovery)).map(|&c| group.pulses(c).len()).sum()
+}
+
+/// Checks that a single-qubit pulse stream composes to the identity — the
+/// defining property of an RB sequence with its recovery gate. Used by
+/// tests and the harness to validate generated programs.
+pub fn composes_to_identity(group: &CliffordGroup, program: &Program, qubit: u16) -> bool {
+    use quape_qpu::StateVector;
+    let mut state = StateVector::new(1);
+    for instr in program.instructions() {
+        if let quape_isa::Instruction::Quantum(q) = instr {
+            if let QuantumOp::Gate1(g, target) = q.op {
+                if target.index() == qubit && g != Gate1::Reset {
+                    state.apply_gate1(g, Qubit::new(0));
+                }
+            }
+        }
+    }
+    let _ = group;
+    state.prob_all_zero() > 1.0 - 1e-9
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rb_program_composes_to_identity() {
+        let group = CliffordGroup::new();
+        for seed in 0..5 {
+            let rb = rb_program(&group, 0, 20, seed).unwrap();
+            assert!(
+                composes_to_identity(&group, &rb.program, 0),
+                "seed {seed} does not return to |0⟩"
+            );
+        }
+    }
+
+    #[test]
+    fn rb_program_ends_with_measure_and_stop() {
+        let group = CliffordGroup::new();
+        let rb = rb_program(&group, 3, 10, 1).unwrap();
+        let n = rb.program.len();
+        assert!(matches!(
+            rb.program.instruction(n - 2),
+            quape_isa::Instruction::Quantum(q) if q.op.is_measure()
+        ));
+        assert!(matches!(
+            rb.program.instruction(n - 1),
+            quape_isa::Instruction::Classical(ClassicalOp::Stop)
+        ));
+    }
+
+    #[test]
+    fn simrb_interleaves_both_qubits() {
+        let group = CliffordGroup::new();
+        let p = simrb_program(&group, 0, 1, 15, 7).unwrap();
+        let mut on_a = 0;
+        let mut on_b = 0;
+        for i in p.instructions() {
+            if let quape_isa::Instruction::Quantum(q) = i {
+                for qubit in q.op.qubits() {
+                    match qubit.index() {
+                        0 => on_a += 1,
+                        1 => on_b += 1,
+                        other => panic!("unexpected qubit {other}"),
+                    }
+                }
+            }
+        }
+        assert!(on_a > 15 && on_b > 15, "a={on_a} b={on_b}");
+        // Both sequences compose to identity independently.
+        assert!(composes_to_identity(&group, &p, 0));
+        assert!(composes_to_identity(&group, &p, 1));
+    }
+
+    #[test]
+    fn active_reset_with_rb_contains_mrce_then_pulses() {
+        let group = CliffordGroup::new();
+        let w = active_reset_with_rb(&group, 0, 1, 8, 3).unwrap();
+        assert!(matches!(
+            w.program.instruction(1),
+            quape_isa::Instruction::Classical(ClassicalOp::Mrce { .. })
+        ));
+        assert!(composes_to_identity(&group, &w.program, 1));
+    }
+
+    #[test]
+    fn pulse_count_matches_expansion() {
+        let group = CliffordGroup::new();
+        let rb = rb_program(&group, 0, 12, 9).unwrap();
+        let quantum = rb.program.quantum_count();
+        // pulses + final measure
+        assert_eq!(quantum, pulse_count(&group, &rb.sequence) + 1);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let group = CliffordGroup::new();
+        let a = rb_program(&group, 0, 30, 5).unwrap();
+        let b = rb_program(&group, 0, 30, 5).unwrap();
+        assert_eq!(a.sequence, b.sequence);
+        assert_eq!(a.program, b.program);
+    }
+}

@@ -1,0 +1,305 @@
+//! Fault-tolerant Shor syndrome measurement for the 7-qubit Steane code
+//! (the Fig. 10/11 benchmark).
+//!
+//! Layout (37 qubits, as in §7):
+//!
+//! * `q0..q6` — the encoded data block;
+//! * for each of the six stabilizer generators `s = 0..6`: four cat-state
+//!   ancillas `c(s,0..4)` and one verification ancilla `v(s)`, at
+//!   `7 + 5s .. 12 + 5s`.
+//!
+//! Each round measures all six stabilizers fault-tolerantly: prepare a
+//! 4-qubit cat state, *verify* it (the preparation is not fault-tolerant;
+//! on a failed parity check the block resets the ancillas and retries —
+//! repeat-until-success), couple it bit-wise to the data qubits of the
+//! stabilizer's support (CNOT for X-type, CZ for Z-type), and measure the
+//! cat transversally. Three rounds feed a majority vote.
+//!
+//! The program is divided into blocks of five priority levels per round
+//! (cat preparation+verification ×6, X-couplings ×3, Z-couplings ×3,
+//! transversal measurement ×3, syndrome recording ×1) — 48 blocks over 15
+//! priorities, matching the paper's reported "50 blocks with 15 different
+//! priorities" structure (±2 blocks of bookkeeping, see EXPERIMENTS.md).
+
+use quape_isa::{
+    ClassicalOp, Cond, Dependency, Gate1, Gate2, Program, ProgramBuilder, ProgramError, QuantumOp,
+    Qubit, Reg, SharedReg,
+};
+use quape_qpu::MeasurementModel;
+
+/// The Steane code's six stabilizer generators. Each is the support (data
+/// qubit indices) of one generator; the first three are X-type, the last
+/// three Z-type. Supports come from the \[7,4,3\] Hamming parity-check
+/// matrix.
+pub const STEANE_SUPPORTS: [[u16; 4]; 6] = [
+    // X-type
+    [3, 4, 5, 6],
+    [1, 2, 5, 6],
+    [0, 2, 4, 6],
+    // Z-type
+    [3, 4, 5, 6],
+    [1, 2, 5, 6],
+    [0, 2, 4, 6],
+];
+
+/// Number of qubits used by the benchmark (7 data + 6 × (4 cat + 1
+/// verification)).
+pub const NUM_QUBITS: u16 = 37;
+
+/// Generator configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShorSyndromeConfig {
+    /// Syndrome-measurement rounds (3 in the paper, for the majority
+    /// vote).
+    pub rounds: u16,
+}
+
+impl Default for ShorSyndromeConfig {
+    fn default() -> Self {
+        ShorSyndromeConfig { rounds: 3 }
+    }
+}
+
+/// The generated benchmark: program plus structural statistics.
+#[derive(Debug, Clone)]
+pub struct ShorSyndrome {
+    /// The timed program with its block information table.
+    pub program: Program,
+    /// Number of program blocks.
+    pub blocks: usize,
+    /// Number of distinct priorities.
+    pub priorities: usize,
+}
+
+/// First ancilla qubit of stabilizer `s`.
+fn cat_base(s: u16) -> u16 {
+    7 + 5 * s
+}
+
+/// Cat-state qubit `i` of stabilizer `s`.
+fn cat(s: u16, i: u16) -> u16 {
+    cat_base(s) + i
+}
+
+/// Verification ancilla of stabilizer `s`.
+fn verify(s: u16) -> u16 {
+    cat_base(s) + 4
+}
+
+fn g1(g: Gate1, q: u16) -> QuantumOp {
+    QuantumOp::Gate1(g, Qubit::new(q))
+}
+
+fn g2(g: Gate2, a: u16, b: u16) -> QuantumOp {
+    QuantumOp::Gate2(g, Qubit::new(a), Qubit::new(b))
+}
+
+fn meas(q: u16) -> QuantumOp {
+    QuantumOp::Measure(Qubit::new(q))
+}
+
+impl ShorSyndrome {
+    /// Generates the benchmark program.
+    ///
+    /// # Errors
+    ///
+    /// Propagates program-assembly failures (cannot occur for valid
+    /// configurations; surfaced for API honesty).
+    pub fn generate(cfg: ShorSyndromeConfig) -> Result<ShorSyndrome, ProgramError> {
+        let mut b = ProgramBuilder::new();
+        let r0 = Reg::new(0);
+
+        for round in 0..cfg.rounds {
+            let prio = |lvl: u16| Dependency::Priority(5 * round + lvl);
+
+            // --- Level 0: cat preparation + verification (RUS), 6 blocks.
+            for s in 0..6u16 {
+                b.begin_block(format!("r{round}_prep{s}"), prio(0));
+                let retry = format!("r{round}_prep{s}_retry");
+                b.label(&retry);
+                // GHZ chain: H c0; CNOT c0→c1→c2→c3.
+                b.quantum(0, g1(Gate1::H, cat(s, 0)));
+                b.quantum(2, g2(Gate2::Cnot, cat(s, 0), cat(s, 1)));
+                b.quantum(4, g2(Gate2::Cnot, cat(s, 1), cat(s, 2)));
+                b.quantum(4, g2(Gate2::Cnot, cat(s, 2), cat(s, 3)));
+                // Parity check of the cat ends onto the verification
+                // ancilla, then measure it.
+                b.quantum(4, g2(Gate2::Cnot, cat(s, 0), verify(s)));
+                b.quantum(4, g2(Gate2::Cnot, cat(s, 3), verify(s)));
+                b.quantum(4, meas(verify(s)));
+                b.fmr(0, verify(s));
+                b.cmpi(0, 0);
+                b.br_to(Cond::Eq, format!("r{round}_prep{s}_ok"));
+                // Verification failed: reset the ancillas and retry.
+                b.quantum(0, g1(Gate1::Reset, cat(s, 0)));
+                b.quantum(0, g1(Gate1::Reset, cat(s, 1)));
+                b.quantum(0, g1(Gate1::Reset, cat(s, 2)));
+                b.quantum(0, g1(Gate1::Reset, cat(s, 3)));
+                b.quantum(0, g1(Gate1::Reset, verify(s)));
+                b.jmp_to(&retry);
+                b.label(format!("r{round}_prep{s}_ok"));
+                b.push(ClassicalOp::Stop);
+                b.end_block();
+            }
+
+            // --- Level 1: X-stabilizer couplings (CNOT cat → data).
+            for s in 0..3u16 {
+                b.begin_block(format!("r{round}_couple_x{s}"), prio(1));
+                for (i, &d) in STEANE_SUPPORTS[s as usize].iter().enumerate() {
+                    b.quantum(if i == 0 { 0 } else { 4 }, g2(Gate2::Cnot, cat(s, i as u16), d));
+                }
+                b.push(ClassicalOp::Stop);
+                b.end_block();
+            }
+
+            // --- Level 2: Z-stabilizer couplings (CZ cat ↔ data).
+            for s in 3..6u16 {
+                b.begin_block(format!("r{round}_couple_z{s}"), prio(2));
+                for (i, &d) in STEANE_SUPPORTS[s as usize].iter().enumerate() {
+                    b.quantum(if i == 0 { 0 } else { 4 }, g2(Gate2::Cz, cat(s, i as u16), d));
+                }
+                b.push(ClassicalOp::Stop);
+                b.end_block();
+            }
+
+            // --- Level 3: transversal cat measurement, 3 blocks of 2
+            // stabilizers each.
+            for pair in 0..3u16 {
+                b.begin_block(format!("r{round}_meas{pair}"), prio(3));
+                for s in [2 * pair, 2 * pair + 1] {
+                    for i in 0..4u16 {
+                        // All eight readout pulses start simultaneously.
+                        b.quantum(0, meas(cat(s, i)));
+                    }
+                }
+                b.push(ClassicalOp::Stop);
+                b.end_block();
+            }
+
+            // --- Level 4: syndrome recording (and, in the final round,
+            // the majority vote), 1 block.
+            b.begin_block(format!("r{round}_record"), prio(4));
+            for s in 0..6u16 {
+                // Parity of the four transversal outcomes = the syndrome
+                // bit of stabilizer s.
+                b.fmr(1, cat(s, 0));
+                b.fmr(2, cat(s, 1));
+                b.push(ClassicalOp::Xor { rd: Reg::new(1), rs1: Reg::new(1), rs2: Reg::new(2) });
+                b.fmr(2, cat(s, 2));
+                b.push(ClassicalOp::Xor { rd: Reg::new(1), rs1: Reg::new(1), rs2: Reg::new(2) });
+                b.fmr(2, cat(s, 3));
+                b.push(ClassicalOp::Xor { rd: Reg::new(1), rs1: Reg::new(1), rs2: Reg::new(2) });
+                // Accumulate the round's syndrome bit into shared register
+                // s (majority vote counts 1-outcomes across rounds).
+                b.push(ClassicalOp::Lds { rd: Reg::new(3), sreg: SharedReg::new(s as u8) });
+                b.push(ClassicalOp::Add { rd: Reg::new(3), rs1: Reg::new(3), rs2: Reg::new(1) });
+                b.push(ClassicalOp::Sts { sreg: SharedReg::new(s as u8), rs: Reg::new(3) });
+            }
+            if round == cfg.rounds - 1 {
+                // Majority vote: syndrome bit s is 1 when at least 2 of
+                // the `rounds` measurements said 1. The voted syndrome is
+                // written to shared registers 8..14.
+                for s in 0..6u16 {
+                    b.push(ClassicalOp::Lds { rd: Reg::new(3), sreg: SharedReg::new(s as u8) });
+                    b.cmpi(3, (cfg.rounds / 2 + 1) as i16);
+                    let set = format!("vote_set{s}");
+                    let done = format!("vote_done{s}");
+                    b.br_to(Cond::Ge, &set);
+                    b.push(ClassicalOp::Ldi { rd: r0, imm: 0 });
+                    b.jmp_to(&done);
+                    b.label(&set);
+                    b.push(ClassicalOp::Ldi { rd: r0, imm: 1 });
+                    b.label(&done);
+                    b.push(ClassicalOp::Sts { sreg: SharedReg::new(8 + s as u8), rs: r0 });
+                }
+            }
+            b.push(ClassicalOp::Stop);
+            b.end_block();
+        }
+
+        let program = b.finish()?;
+        let blocks = program.blocks().len();
+        let priorities = program.blocks().priority_levels();
+        Ok(ShorSyndrome { program, blocks, priorities })
+    }
+
+    /// The measurement model of §7: verification ancillas fail (read 1)
+    /// with probability `failure_rate`; every other measurement is a fair
+    /// coin from the FPGA-style PRNG.
+    pub fn measurement_model(failure_rate: f64) -> MeasurementModel {
+        let probabilities = (0..6u16).map(|s| (verify(s), failure_rate)).collect();
+        MeasurementModel::PerQubit { probabilities, default_p_one: 0.5 }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn structure_matches_paper_scale() {
+        let w = ShorSyndrome::generate(ShorSyndromeConfig::default()).unwrap();
+        // Paper: ~288 quantum + ~252 classical instructions, 50 blocks,
+        // 15 priorities. Our regeneration lands in the same regime.
+        assert_eq!(w.priorities, 15, "priorities");
+        assert!((45..=55).contains(&w.blocks), "blocks = {}", w.blocks);
+        let q = w.program.quantum_count();
+        let c = w.program.classical_count();
+        assert!((250..=400).contains(&q), "quantum instructions = {q}");
+        assert!((150..=350).contains(&c), "classical instructions = {c}");
+    }
+
+    #[test]
+    fn qubit_budget_is_37() {
+        let w = ShorSyndrome::generate(ShorSyndromeConfig::default()).unwrap();
+        let mut max = 0;
+        for i in w.program.instructions() {
+            if let quape_isa::Instruction::Quantum(q) = i {
+                for qubit in q.op.qubits() {
+                    max = max.max(qubit.index());
+                }
+            }
+        }
+        assert_eq!(max + 1, NUM_QUBITS);
+    }
+
+    #[test]
+    fn table_validates_and_uses_priorities() {
+        let w = ShorSyndrome::generate(ShorSyndromeConfig::default()).unwrap();
+        w.program.blocks().validate().unwrap();
+        assert_eq!(w.program.blocks().mode(), Some(quape_isa::DependencyMode::Priority));
+    }
+
+    #[test]
+    fn verification_failure_qubits_configured() {
+        let model = ShorSyndrome::measurement_model(0.25);
+        match model {
+            MeasurementModel::PerQubit { probabilities, default_p_one } => {
+                assert_eq!(probabilities.len(), 6);
+                assert!(probabilities.iter().all(|&(q, p)| p == 0.25 && q >= 7));
+                assert_eq!(default_p_one, 0.5);
+            }
+            other => panic!("unexpected model {other:?}"),
+        }
+    }
+
+    #[test]
+    fn supports_match_hamming_code() {
+        // Every data qubit 1..=6 appears in at least one X support; the
+        // three supports pairwise intersect in exactly 2 qubits.
+        let x_supports = &STEANE_SUPPORTS[..3];
+        for (a, sa) in x_supports.iter().enumerate() {
+            for (b, sb) in x_supports.iter().enumerate().skip(a + 1) {
+                let inter = sa.iter().filter(|q| sb.contains(q)).count();
+                assert_eq!(inter, 2, "supports {a} and {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn single_round_generates_five_priorities() {
+        let w = ShorSyndrome::generate(ShorSyndromeConfig { rounds: 1 }).unwrap();
+        assert_eq!(w.priorities, 5);
+        assert_eq!(w.blocks, 16);
+    }
+}
