@@ -32,14 +32,22 @@ fn bench(c: &mut Criterion) {
                     cfg.prefetch = prefetch;
                     cfg
                 },
-                |cfg| run(cfg, shor.program.clone(), ShorSyndrome::measurement_model(0.25)),
+                |cfg| {
+                    run(
+                        cfg,
+                        shor.program.clone(),
+                        ShorSyndrome::measurement_model(0.25),
+                    )
+                },
                 BatchSize::SmallInput,
             )
         });
     }
 
     let clifford = CliffordGroup::new();
-    let fcs_prog = active_reset_with_rb(&clifford, 0, 1, 16, 3).expect("valid workload").program;
+    let fcs_prog = active_reset_with_rb(&clifford, 0, 1, 16, 3)
+        .expect("valid workload")
+        .program;
     for fcs in [true, false] {
         group.bench_function(format!("active_reset_rb_fcs_{fcs}"), |b| {
             b.iter_batched(

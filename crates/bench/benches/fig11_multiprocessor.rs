@@ -14,11 +14,8 @@ fn bench(c: &mut Criterion) {
             b.iter_batched(
                 || {
                     let cfg = QuapeConfig::multiprocessor(n).with_seed(7);
-                    let qpu = BehavioralQpu::new(
-                        cfg.timings,
-                        ShorSyndrome::measurement_model(0.25),
-                        7,
-                    );
+                    let qpu =
+                        BehavioralQpu::new(cfg.timings, ShorSyndrome::measurement_model(0.25), 7);
                     Machine::new(cfg, workload.program.clone(), Box::new(qpu))
                         .expect("valid machine")
                 },

@@ -32,10 +32,15 @@ fn bench(c: &mut Criterion) {
     });
     c.bench_function("fig14_decay_fit", |b| {
         let ms: Vec<u32> = (0..24).map(|i| 1 + 12 * i).collect();
-        let ys: Vec<f64> = ms.iter().map(|&m| 0.5 * 0.99f64.powi(m as i32) + 0.5).collect();
+        let ys: Vec<f64> = ms
+            .iter()
+            .map(|&m| 0.5 * 0.99f64.powi(m as i32) + 0.5)
+            .collect();
         b.iter(|| fit_decay(&ms, &ys).expect("fits"))
     });
-    c.bench_function("fig14_clifford_group_construction", |b| b.iter(CliffordGroup::new));
+    c.bench_function("fig14_clifford_group_construction", |b| {
+        b.iter(CliffordGroup::new)
+    });
 }
 
 criterion_group!(benches, bench);

@@ -21,8 +21,7 @@ fn mean_shor_ns(cfg_base: &QuapeConfig, runs: usize) -> f64 {
     let mut total = 0u64;
     for i in 0..runs {
         let cfg = cfg_base.clone().with_seed(i as u64);
-        let qpu =
-            BehavioralQpu::new(cfg.timings, ShorSyndrome::measurement_model(0.25), i as u64);
+        let qpu = BehavioralQpu::new(cfg.timings, ShorSyndrome::measurement_model(0.25), i as u64);
         total += Machine::new(cfg, w.program.clone(), Box::new(qpu))
             .expect("valid machine")
             .run_with_limit(2_000_000)
@@ -37,7 +36,10 @@ fn ablate_prefetch(runs: usize) {
     for prefetch in [true, false] {
         let mut cfg = QuapeConfig::multiprocessor(6);
         cfg.prefetch = prefetch;
-        t.row([prefetch.to_string(), format!("{:.0}", mean_shor_ns(&cfg, runs))]);
+        t.row([
+            prefetch.to_string(),
+            format!("{:.0}", mean_shor_ns(&cfg, runs)),
+        ]);
     }
     println!("{}", t.render());
 }
@@ -45,7 +47,9 @@ fn ablate_prefetch(runs: usize) {
 fn ablate_fcs() {
     println!("— Fast-context-switch ablation (active reset + RB) —");
     let group = CliffordGroup::new();
-    let program = active_reset_with_rb(&group, 0, 1, 16, 3).expect("valid workload").program;
+    let program = active_reset_with_rb(&group, 0, 1, 16, 3)
+        .expect("valid workload")
+        .program;
     let mut t = TextTable::new(["fast context switch", "execution time (ns)"]);
     for fcs in [true, false] {
         let mut cfg = QuapeConfig::superscalar(8).with_seed(5);
@@ -69,11 +73,16 @@ fn ablate_width() {
     for width in [1usize, 2, 4, 8, 16] {
         let cfg = QuapeConfig::superscalar(width).with_seed(5);
         let qpu = BehavioralQpu::new(cfg.timings, MeasurementModel::Bernoulli { p_one: 0.5 }, 5);
-        let report =
-            Machine::new(cfg, program.clone(), Box::new(qpu)).expect("valid machine").run();
+        let report = Machine::new(cfg, program.clone(), Box::new(qpu))
+            .expect("valid machine")
+            .run();
         let tr = ces_report_paper(&report).average_tr();
         let base = *scalar_tr.get_or_insert(tr);
-        t.row([width.to_string(), format!("{tr:.2}"), format!("{:.2}x", base / tr)]);
+        t.row([
+            width.to_string(),
+            format!("{tr:.2}"),
+            format!("{:.2}x", base / tr),
+        ]);
     }
     println!("{}", t.render());
 }
@@ -105,7 +114,11 @@ fn ablate_granularity() {
             .expect("valid machine")
             .run()
             .execution_time_ns();
-        t.row([blocks.to_string(), (128 / blocks + 1).to_string(), ns.to_string()]);
+        t.row([
+            blocks.to_string(),
+            (128 / blocks + 1).to_string(),
+            ns.to_string(),
+        ]);
     }
     println!("{}", t.render());
     println!("(fine-grained blocks overwhelm the one-action-per-cycle scheduler, §7)");

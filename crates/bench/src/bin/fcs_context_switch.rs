@@ -15,7 +15,10 @@ fn main() {
     println!("Fast context switch verification (active reset + RB):");
     println!("  execution time with FCS:    {} ns", r.with_fcs_ns);
     println!("  execution time without FCS: {} ns", r.without_fcs_ns);
-    println!("  RB pulses issued during the measurement wait: {}", r.pulses_during_wait);
+    println!(
+        "  RB pulses issued during the measurement wait: {}",
+        r.pulses_during_wait
+    );
     println!("  context switches performed: {}", r.context_switches);
     println!(
         "  measured context-switch cost: {} cycles   (paper: 3 cycles)",

@@ -17,10 +17,22 @@ fn main() {
     }
     println!("Fig. 2 — feedback-control latency breakdown (deterministic DAQ):");
     let mut t = TextTable::new(["stage", "latency (ns)"]);
-    t.row(["I   readout pulse".to_string(), b.stage1_readout_ns.to_string()]);
-    t.row(["II  digital acquisition".to_string(), b.stage2_acquisition_ns.to_string()]);
-    t.row(["III conditional logic+branch".to_string(), b.stage3_conditional_ns.to_string()]);
-    t.row(["IV  determined operation at".to_string(), b.total_ns.to_string()]);
+    t.row([
+        "I   readout pulse".to_string(),
+        b.stage1_readout_ns.to_string(),
+    ]);
+    t.row([
+        "II  digital acquisition".to_string(),
+        b.stage2_acquisition_ns.to_string(),
+    ]);
+    t.row([
+        "III conditional logic+branch".to_string(),
+        b.stage3_conditional_ns.to_string(),
+    ]);
+    t.row([
+        "IV  determined operation at".to_string(),
+        b.total_ns.to_string(),
+    ]);
     println!("{}", t.render());
     let mean = fig02::mean_total_with_jitter(&cfg, 200);
     println!("mean total with DAQ jitter over 200 runs: {mean:.1} ns   (paper: ~450 ns)");

@@ -10,13 +10,26 @@ use quape_workloads::feedback::parallel_rus;
 fn run(processors: usize, seed: u64) -> quape_core::RunReport {
     let program = parallel_rus(0, 1).expect("valid workload");
     let cfg = QuapeConfig::multiprocessor(processors).with_seed(seed);
-    let qpu = BehavioralQpu::new(cfg.timings, MeasurementModel::Bernoulli { p_one: 0.5 }, seed);
-    Machine::new(cfg, program, Box::new(qpu)).expect("valid machine").run()
+    let qpu = BehavioralQpu::new(
+        cfg.timings,
+        MeasurementModel::Bernoulli { p_one: 0.5 },
+        seed,
+    );
+    Machine::new(cfg, program, Box::new(qpu))
+        .expect("valid machine")
+        .run()
 }
 
 fn main() {
-    let seed: u64 = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(11);
-    let opts = TimelineOptions { ns_per_column: 20, max_columns: 100, ..Default::default() };
+    let seed: u64 = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(11);
+    let opts = TimelineOptions {
+        ns_per_column: 20,
+        max_columns: 100,
+        ..Default::default()
+    };
 
     println!("Fig. 3(a) — parallel execution (two processors):\n");
     let parallel = run(2, seed);

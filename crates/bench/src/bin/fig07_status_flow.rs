@@ -8,8 +8,10 @@ use quape_bench::fig07;
 use quape_bench::table::TextTable;
 
 fn main() {
-    let processors: usize =
-        std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(2);
+    let processors: usize = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(2);
     println!("Fig. 7 — block status flow on {processors} processor(s):");
     let events = fig07::run(processors);
     let mut t = TextTable::new(["cycle", "block", "status", "processor"]);

@@ -1,14 +1,58 @@
 //! Regenerates Fig. 14: individual RB and simRB decay curves with fitted
 //! fidelities, plus a through-the-control-stack validation run.
 //!
-//! Usage: `fig14_simrb [--json] [--stack]`.
+//! Usage: `fig14_simrb [--json] [--stack] [--batch [SHOTS]]`.
+//!
+//! `--batch` runs the shot-engine acceptance comparison *instead of*
+//! the figure (it composes with `--json` but not `--stack`): N noise
+//! realizations (default 256) of one RB sequence through the complete
+//! stack, once as the old sequential per-shot `Machine::new` loop and
+//! once through the batched `ShotEngine`, reporting shots/sec for both.
 
 use quape_bench::fig14;
 use quape_bench::table::{to_json, TextTable};
 
+fn batch_comparison(shots: u64, json: bool) {
+    let c = fig14::shot_engine_comparison(48, shots, 0);
+    if json {
+        println!("{}", to_json(&c));
+        return;
+    }
+    println!(
+        "shot engine vs sequential loop — {} shots of one m={} RB sequence through the stack:\n",
+        c.shots, c.m
+    );
+    let mut t = TextTable::new(["method", "wall time", "shots/sec", "survival"]);
+    t.row([
+        "sequential Machine::new loop".to_string(),
+        format!("{:.3} s", c.sequential_secs),
+        format!("{:.1}", c.sequential_shots_per_sec),
+        format!("{:.3}", c.survival_sequential),
+    ]);
+    t.row([
+        format!("ShotEngine ({} threads)", c.batch_threads),
+        format!("{:.3} s", c.batch_secs),
+        format!("{:.1}", c.batch_shots_per_sec),
+        format!("{:.3}", c.survival_batch),
+    ]);
+    println!("{}", t.render());
+    println!("speedup: {:.2}x", c.speedup);
+}
+
 fn main() {
     let json = std::env::args().any(|a| a == "--json");
     let stack = std::env::args().any(|a| a == "--stack");
+    if let Some(pos) = std::env::args().position(|a| a == "--batch") {
+        if stack {
+            eprintln!("fig14_simrb: --batch replaces the figure run; ignoring --stack");
+        }
+        let shots = std::env::args()
+            .nth(pos + 1)
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(256);
+        batch_comparison(shots, json);
+        return;
+    }
 
     let report = fig14::run_direct();
     if json {
@@ -49,7 +93,16 @@ fn main() {
 
     if stack {
         println!("through-stack validation (assembler -> QuAPE machine -> QPU):");
-        let r = fig14::run_through_stack(&[1, 4, 12, 24, 48, 96], 40);
+        let lengths = [1, 4, 12, 24, 48, 96];
+        let (samples, shots_per_sample) = (40, 4);
+        let started = std::time::Instant::now();
+        let r = fig14::run_through_stack_batch(&lengths, samples, shots_per_sample, 0);
+        let secs = started.elapsed().as_secs_f64();
+        let total_shots = (lengths.len() as u64) * 2 * samples as u64 * shots_per_sample;
+        println!(
+            "({samples} sequences x {shots_per_sample} shots per length and mode: {total_shots} shots in {secs:.2} s, {:.1} shots/sec)",
+            total_shots as f64 / secs.max(f64::MIN_POSITIVE)
+        );
         let mut s = TextTable::new(["m", "individual", "simultaneous"]);
         for (i, &m) in r.lengths.iter().enumerate() {
             s.row([

@@ -3,44 +3,60 @@
 //! combined into one workload; the multiprocessor interleaves them,
 //! improving QPU utilization exactly as the paper motivates for quantum
 //! cloud services.
+//!
+//! The combined workload is compiled once per configuration and the
+//! seeded repetitions run as one batch through the `ShotEngine` (each
+//! shot gets its own deterministic RNG stream), so the sweep reports
+//! host-side shots/sec alongside the simulated times.
 
 use quape_bench::table::TextTable;
-use quape_core::{Machine, QuapeConfig};
-use quape_qpu::{BehavioralQpu, MeasurementModel};
+use quape_core::{BatchReport, CompiledJob, QuapeConfig, ShotEngine};
+use quape_qpu::{BehavioralQpuFactory, MeasurementModel};
 use quape_workloads::feedback::rus_block;
 use quape_workloads::multiprogramming::combine;
 
-fn mean_ns(tasks: usize, processors: usize, runs: u64) -> f64 {
-    let programs: Vec<_> = (0..tasks).map(|_| rus_block(0).expect("valid task")).collect();
+fn run_batch(tasks: usize, processors: usize, shots: u64) -> BatchReport {
+    let programs: Vec<_> = (0..tasks)
+        .map(|_| rus_block(0).expect("valid task"))
+        .collect();
     let combined = combine(&programs).expect("tasks combine");
-    let mut total = 0u64;
-    for seed in 0..runs {
-        let cfg = QuapeConfig::multiprocessor(processors).with_seed(seed);
-        let qpu =
-            BehavioralQpu::new(cfg.timings, MeasurementModel::Bernoulli { p_one: 0.5 }, seed);
-        total += Machine::new(cfg, combined.clone(), Box::new(qpu))
-            .expect("valid machine")
-            .run_with_limit(1_000_000)
-            .execution_time_ns();
-    }
-    total as f64 / runs as f64
+    let cfg = QuapeConfig::multiprocessor(processors);
+    let factory =
+        BehavioralQpuFactory::new(cfg.timings, MeasurementModel::Bernoulli { p_one: 0.5 });
+    let job = CompiledJob::compile(cfg, combined).expect("valid job");
+    ShotEngine::new(job, factory)
+        .base_seed(0)
+        .cycle_limit(1_000_000)
+        .run(shots)
 }
 
 fn main() {
-    let runs = 200;
+    let shots = 200u64;
     println!("Multiprogramming: N independent RUS tasks on one control stack");
-    println!("(mean over {runs} seeded runs, p(fail) = 0.5 per round)\n");
-    let mut t = TextTable::new(["tasks", "1 proc (ns)", "2 procs (ns)", "4 procs (ns)", "speedup 4v1"]);
+    println!("(mean over {shots} engine shots, p(fail) = 0.5 per round)\n");
+    let mut t = TextTable::new([
+        "tasks",
+        "1 proc (ns)",
+        "2 procs (ns)",
+        "4 procs (ns)",
+        "speedup 4v1",
+        "host shots/sec",
+    ]);
     for tasks in [2usize, 4, 6] {
-        let p1 = mean_ns(tasks, 1, runs);
-        let p2 = mean_ns(tasks, 2, runs);
-        let p4 = mean_ns(tasks, 4, runs);
+        let reports: Vec<BatchReport> = [1usize, 2, 4]
+            .iter()
+            .map(|&p| run_batch(tasks, p, shots))
+            .collect();
+        let mean = |r: &BatchReport| r.aggregate.execution_time_ns.mean;
+        let throughput: f64 =
+            reports.iter().map(BatchReport::shots_per_sec).sum::<f64>() / reports.len() as f64;
         t.row([
             tasks.to_string(),
-            format!("{p1:.0}"),
-            format!("{p2:.0}"),
-            format!("{p4:.0}"),
-            format!("{:.2}x", p1 / p4),
+            format!("{:.0}", mean(&reports[0])),
+            format!("{:.0}", mean(&reports[1])),
+            format!("{:.0}", mean(&reports[2])),
+            format!("{:.2}x", mean(&reports[0]) / mean(&reports[2])),
+            format!("{throughput:.0}"),
         ]);
     }
     println!("{}", t.render());

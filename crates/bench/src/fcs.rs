@@ -31,7 +31,9 @@ fn run_once(fcs: bool, seed: u64) -> (RunReport, u64) {
     cfg.daq_jitter_ns = 0;
     let result_arrival = cfg.timings.readout_pulse_ns + cfg.daq_base_ns;
     let qpu = BehavioralQpu::new(cfg.timings, MeasurementModel::AlwaysOne, seed);
-    let report = Machine::new(cfg, w.program, Box::new(qpu)).expect("valid machine").run();
+    let report = Machine::new(cfg, w.program, Box::new(qpu))
+        .expect("valid machine")
+        .run();
     (report, result_arrival)
 }
 

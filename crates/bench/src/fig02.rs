@@ -28,7 +28,9 @@ pub fn run(cfg_base: &QuapeConfig) -> FeedbackBreakdown {
     let qpu = BehavioralQpu::new(cfg.timings, MeasurementModel::AlwaysOne, 1);
     let readout = cfg.timings.readout_pulse_ns;
     let acquisition = cfg.daq_base_ns;
-    let report = Machine::new(cfg, program, Box::new(qpu)).expect("valid machine").run();
+    let report = Machine::new(cfg, program, Box::new(qpu))
+        .expect("valid machine")
+        .run();
     assert_eq!(report.issued.len(), 2, "measure + conditional X expected");
     let total = report.issued[1].time_ns - report.issued[0].time_ns;
     FeedbackBreakdown {
@@ -46,8 +48,9 @@ pub fn mean_total_with_jitter(cfg: &QuapeConfig, runs: usize) -> f64 {
     for i in 0..runs {
         let cfg = cfg.clone().with_seed(i as u64);
         let qpu = BehavioralQpu::new(cfg.timings, MeasurementModel::AlwaysOne, i as u64);
-        let report =
-            Machine::new(cfg, program.clone(), Box::new(qpu)).expect("valid machine").run();
+        let report = Machine::new(cfg, program.clone(), Box::new(qpu))
+            .expect("valid machine")
+            .run();
         total += report.issued[1].time_ns - report.issued[0].time_ns;
     }
     total as f64 / runs as f64
@@ -65,7 +68,11 @@ mod tests {
             b.total_ns
         );
         assert!((400..=500).contains(&b.total_ns), "total {} ns", b.total_ns);
-        assert!(b.stage3_conditional_ns < 100, "stage III {} ns", b.stage3_conditional_ns);
+        assert!(
+            b.stage3_conditional_ns < 100,
+            "stage III {} ns",
+            b.stage3_conditional_ns
+        );
     }
 
     #[test]

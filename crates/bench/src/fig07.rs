@@ -24,7 +24,10 @@ pub fn example_program() -> Program {
     b.end_block();
     b.begin_block_named_deps("W3", &["W1", "W2"]);
     for _ in 0..4 {
-        b.quantum(4, QuantumOp::Gate2(Gate2::Cnot, Qubit::new(0), Qubit::new(1)));
+        b.quantum(
+            4,
+            QuantumOp::Gate2(Gate2::Cnot, Qubit::new(0), Qubit::new(1)),
+        );
     }
     b.push(ClassicalOp::Stop);
     b.end_block();
@@ -41,8 +44,9 @@ pub fn example_program() -> Program {
 pub fn run(processors: usize) -> Vec<BlockEvent> {
     let cfg = QuapeConfig::multiprocessor(processors);
     let qpu = BehavioralQpu::new(cfg.timings, MeasurementModel::AlwaysZero, 1);
-    let report =
-        Machine::new(cfg, example_program(), Box::new(qpu)).expect("valid machine").run();
+    let report = Machine::new(cfg, example_program(), Box::new(qpu))
+        .expect("valid machine")
+        .run();
     assert!(matches!(report.stop, quape_core::StopReason::Completed));
     report.block_events
 }

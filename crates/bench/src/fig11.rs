@@ -79,8 +79,12 @@ pub fn run(opts: Fig11Options) -> Vec<Fig11Row> {
         let mut base_ideal = None;
         for &n in &PROCESSOR_COUNTS {
             let real = mean_time_us(&workload.program, &QuapeConfig::multiprocessor(n), f, opts);
-            let ideal =
-                mean_time_us(&workload.program, &QuapeConfig::multiprocessor(n).ideal(), f, opts);
+            let ideal = mean_time_us(
+                &workload.program,
+                &QuapeConfig::multiprocessor(n).ideal(),
+                f,
+                opts,
+            );
             let base_r = *base_real.get_or_insert(real);
             let base_i = *base_ideal.get_or_insert(ideal);
             rows.push(Fig11Row {
@@ -100,12 +104,20 @@ pub fn run(opts: Fig11Options) -> Vec<Fig11Row> {
 /// priorities).
 pub fn workload_stats() -> (usize, usize, usize, usize) {
     let w = ShorSyndrome::generate(ShorSyndromeConfig::default()).expect("valid workload");
-    (w.program.quantum_count(), w.program.classical_count(), w.blocks, w.priorities)
+    (
+        w.program.quantum_count(),
+        w.program.classical_count(),
+        w.blocks,
+        w.priorities,
+    )
 }
 
 /// Best speedup at 6 processors across failure rates (paper: 2.59×).
 pub fn peak_speedup(rows: &[Fig11Row]) -> f64 {
-    rows.iter().filter(|r| r.processors == 6).map(|r| r.speedup).fold(0.0, f64::max)
+    rows.iter()
+        .filter(|r| r.processors == 6)
+        .map(|r| r.speedup)
+        .fold(0.0, f64::max)
 }
 
 #[cfg(test)]
@@ -117,8 +129,10 @@ mod tests {
         let rows = run(Fig11Options { runs: 12, seed: 7 });
         assert_eq!(rows.len(), 12);
         for &f in &FAILURE_RATES {
-            let series: Vec<&Fig11Row> =
-                rows.iter().filter(|r| (r.failure_rate - f).abs() < 1e-9).collect();
+            let series: Vec<&Fig11Row> = rows
+                .iter()
+                .filter(|r| (r.failure_rate - f).abs() < 1e-9)
+                .collect();
             assert!(series[0].speedup == 1.0);
             assert!(
                 series[3].speedup > 1.8,

@@ -26,7 +26,9 @@ pub struct Fig12Row {
 
 fn run_once(cfg: QuapeConfig, program: quape_isa::Program) -> RunReport {
     let qpu = BehavioralQpu::new(cfg.timings, MeasurementModel::Bernoulli { p_one: 0.5 }, 11);
-    let report = Machine::new(cfg, program, Box::new(qpu)).expect("valid machine").run();
+    let report = Machine::new(cfg, program, Box::new(qpu))
+        .expect("valid machine")
+        .run();
     assert!(
         matches!(report.stop, quape_core::StopReason::Completed),
         "benchmark did not complete: {:?}",

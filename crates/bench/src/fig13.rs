@@ -32,7 +32,9 @@ pub struct Fig13Row {
 /// Runs one benchmark through a configuration and returns its CES report.
 fn tr_of(cfg: QuapeConfig, program: quape_isa::Program) -> quape_core::CesReport {
     let qpu = BehavioralQpu::new(cfg.timings, MeasurementModel::Bernoulli { p_one: 0.5 }, 7);
-    let report = Machine::new(cfg, program, Box::new(qpu)).expect("valid machine").run();
+    let report = Machine::new(cfg, program, Box::new(qpu))
+        .expect("valid machine")
+        .run();
     assert!(
         matches!(report.stop, quape_core::StopReason::Completed),
         "benchmark did not complete: {:?}",
@@ -79,7 +81,11 @@ mod tests {
         let rows = run();
         assert_eq!(rows.len(), 7);
         for r in &rows {
-            assert!(r.superscalar_meets_deadline, "{} exceeds TR 1: {r:?}", r.benchmark);
+            assert!(
+                r.superscalar_meets_deadline,
+                "{} exceeds TR 1: {r:?}",
+                r.benchmark
+            );
             assert!(r.improvement >= 1.0, "{} got slower", r.benchmark);
         }
     }
@@ -87,7 +93,10 @@ mod tests {
     #[test]
     fn hs16_saturates_the_superscalar() {
         let rows = run();
-        let hs = rows.iter().find(|r| r.benchmark == "hs16").expect("hs16 present");
+        let hs = rows
+            .iter()
+            .find(|r| r.benchmark == "hs16")
+            .expect("hs16 present");
         assert!(
             (hs.improvement - 8.0).abs() < 0.15,
             "hs16 improvement {} should be ≈ 8.00",
@@ -98,21 +107,39 @@ mod tests {
     #[test]
     fn rd84_has_limited_parallelism() {
         let rows = run();
-        let rd = rows.iter().find(|r| r.benchmark == "rd84_143").expect("rd84 present");
+        let rd = rows
+            .iter()
+            .find(|r| r.benchmark == "rd84_143")
+            .expect("rd84 present");
         assert!(
             (rd.improvement - 1.6).abs() < 0.25,
             "rd84_143 improvement {} should be ≈ 1.6",
             rd.improvement
         );
         assert!(rd.baseline_avg_tr < 1.0);
-        assert!((rd.baseline_max_tr - 4.5).abs() < 0.75, "max TR {}", rd.baseline_max_tr);
+        assert!(
+            (rd.baseline_max_tr - 4.5).abs() < 0.75,
+            "max TR {}",
+            rd.baseline_max_tr
+        );
     }
 
     #[test]
     fn last_two_baselines_under_one_with_high_peaks() {
         let rows = run();
-        let sym = rows.iter().find(|r| r.benchmark == "sym9_146").expect("sym9 present");
-        assert!(sym.baseline_avg_tr < 1.0, "sym9 avg {}", sym.baseline_avg_tr);
-        assert!((sym.baseline_max_tr - 9.0).abs() < 1.0, "sym9 max {}", sym.baseline_max_tr);
+        let sym = rows
+            .iter()
+            .find(|r| r.benchmark == "sym9_146")
+            .expect("sym9 present");
+        assert!(
+            sym.baseline_avg_tr < 1.0,
+            "sym9 avg {}",
+            sym.baseline_avg_tr
+        );
+        assert!(
+            (sym.baseline_max_tr - 9.0).abs() < 1.0,
+            "sym9 max {}",
+            sym.baseline_max_tr
+        );
     }
 }

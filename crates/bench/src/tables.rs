@@ -17,11 +17,13 @@ pub fn table1_priorities() -> Vec<(String, u16)> {
     let mut depth = vec![0u16; table.len()];
     for (id, info) in table.iter() {
         if let quape_isa::Dependency::Direct(deps) = &info.dependency {
-            depth[id.index()] =
-                deps.iter().map(|d| depth[d.index()] + 1).max().unwrap_or(0);
+            depth[id.index()] = deps.iter().map(|d| depth[d.index()] + 1).max().unwrap_or(0);
         }
     }
-    table.iter().map(|(id, info)| (info.name.clone(), depth[id.index()])).collect()
+    table
+        .iter()
+        .map(|(id, info)| (info.name.clone(), depth[id.index()]))
+        .collect()
 }
 
 /// Renders Table 2: the qualitative comparison with QuMA_v2 (HPCA 2019).

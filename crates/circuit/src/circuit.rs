@@ -60,12 +60,20 @@ pub struct Circuit {
 impl Circuit {
     /// Creates an empty circuit over `num_qubits` qubits.
     pub fn new(num_qubits: u16) -> Self {
-        Circuit { name: String::from("circuit"), num_qubits, ops: Vec::new() }
+        Circuit {
+            name: String::from("circuit"),
+            num_qubits,
+            ops: Vec::new(),
+        }
     }
 
     /// Creates an empty, named circuit.
     pub fn named(name: impl Into<String>, num_qubits: u16) -> Self {
-        Circuit { name: name.into(), num_qubits, ops: Vec::new() }
+        Circuit {
+            name: name.into(),
+            num_qubits,
+            ops: Vec::new(),
+        }
     }
 
     /// The circuit name (used by benchmark registries and reports).
@@ -100,14 +108,20 @@ impl Circuit {
 
     /// Number of measurement operations.
     pub fn measure_count(&self) -> usize {
-        self.ops.iter().filter(|o| matches!(o, CircuitOp::Measure(_))).count()
+        self.ops
+            .iter()
+            .filter(|o| matches!(o, CircuitOp::Measure(_)))
+            .count()
     }
 
     fn check(&self, q: Qubit) -> Result<Qubit, CircuitError> {
         if q.index() < self.num_qubits {
             Ok(q)
         } else {
-            Err(CircuitError::QubitOutOfRange { qubit: q, num_qubits: self.num_qubits })
+            Err(CircuitError::QubitOutOfRange {
+                qubit: q,
+                num_qubits: self.num_qubits,
+            })
         }
     }
 
@@ -275,7 +289,13 @@ impl Circuit {
 
 impl fmt::Display for Circuit {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "{} ({} qubits, {} ops)", self.name, self.num_qubits, self.ops.len())?;
+        writeln!(
+            f,
+            "{} ({} qubits, {} ops)",
+            self.name,
+            self.num_qubits,
+            self.ops.len()
+        )?;
         for op in &self.ops {
             writeln!(f, "  {op}")?;
         }
@@ -290,7 +310,14 @@ mod tests {
     #[test]
     fn builder_chains() {
         let mut c = Circuit::new(3);
-        c.h(0).unwrap().cnot(0, 1).unwrap().cz(1, 2).unwrap().measure(2).unwrap();
+        c.h(0)
+            .unwrap()
+            .cnot(0, 1)
+            .unwrap()
+            .cz(1, 2)
+            .unwrap()
+            .measure(2)
+            .unwrap();
         assert_eq!(c.len(), 4);
         assert_eq!(c.gate_count(), 4);
         assert_eq!(c.measure_count(), 1);
@@ -300,7 +327,13 @@ mod tests {
     fn out_of_range_rejected() {
         let mut c = Circuit::new(2);
         let err = c.h(2).unwrap_err();
-        assert_eq!(err, CircuitError::QubitOutOfRange { qubit: Qubit::new(2), num_qubits: 2 });
+        assert_eq!(
+            err,
+            CircuitError::QubitOutOfRange {
+                qubit: Qubit::new(2),
+                num_qubits: 2
+            }
+        );
         let err = c.barrier(&[0, 5]).unwrap_err();
         assert!(matches!(err, CircuitError::QubitOutOfRange { .. }));
     }
@@ -309,7 +342,12 @@ mod tests {
     fn duplicate_two_qubit_operand_rejected() {
         let mut c = Circuit::new(2);
         let err = c.cnot(1, 1).unwrap_err();
-        assert_eq!(err, CircuitError::DuplicateQubit { qubit: Qubit::new(1) });
+        assert_eq!(
+            err,
+            CircuitError::DuplicateQubit {
+                qubit: Qubit::new(1)
+            }
+        );
     }
 
     #[test]

@@ -70,7 +70,10 @@ mod tests {
     fn qubits_of_each_variant() {
         let q = |i| Qubit::new(i);
         assert_eq!(CircuitOp::Gate1(Gate1::H, q(1)).qubits(), vec![q(1)]);
-        assert_eq!(CircuitOp::Gate2(Gate2::Cz, q(0), q(2)).qubits(), vec![q(0), q(2)]);
+        assert_eq!(
+            CircuitOp::Gate2(Gate2::Cz, q(0), q(2)).qubits(),
+            vec![q(0), q(2)]
+        );
         assert_eq!(CircuitOp::Measure(q(3)).qubits(), vec![q(3)]);
         assert_eq!(CircuitOp::Barrier(vec![]).qubits(), vec![]);
     }
@@ -83,7 +86,10 @@ mod tests {
             CircuitOp::Gate1(Gate1::X, q(0)).to_quantum_op(),
             Some(QuantumOp::Gate1(Gate1::X, q(0)))
         );
-        assert_eq!(CircuitOp::Measure(q(1)).to_quantum_op(), Some(QuantumOp::Measure(q(1))));
+        assert_eq!(
+            CircuitOp::Measure(q(1)).to_quantum_op(),
+            Some(QuantumOp::Measure(q(1)))
+        );
     }
 
     #[test]
@@ -91,6 +97,9 @@ mod tests {
         let q = |i| Qubit::new(i);
         assert_eq!(CircuitOp::Gate1(Gate1::H, q(0)).to_string(), "H q0");
         assert_eq!(CircuitOp::Barrier(vec![]).to_string(), "BARRIER *");
-        assert_eq!(CircuitOp::Barrier(vec![q(1), q(2)]).to_string(), "BARRIER q1, q2");
+        assert_eq!(
+            CircuitOp::Barrier(vec![q(1), q(2)]).to_string(),
+            "BARRIER q1, q2"
+        );
     }
 }

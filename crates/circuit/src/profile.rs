@@ -17,7 +17,9 @@ pub struct ParallelismProfile {
 impl ParallelismProfile {
     /// Builds a profile from an iterator of step widths.
     pub fn from_widths(widths: impl IntoIterator<Item = usize>) -> Self {
-        ParallelismProfile { widths: widths.into_iter().collect() }
+        ParallelismProfile {
+            widths: widths.into_iter().collect(),
+        }
     }
 
     /// Step widths in execution order.

@@ -69,7 +69,10 @@ impl ScheduledCircuit {
                     let fence = if qs.is_empty() {
                         next_free.iter().copied().max().unwrap_or(0)
                     } else {
-                        qs.iter().map(|q| next_free[q.index() as usize]).max().unwrap_or(0)
+                        qs.iter()
+                            .map(|q| next_free[q.index() as usize])
+                            .max()
+                            .unwrap_or(0)
                     };
                     if qs.is_empty() {
                         for f in next_free.iter_mut() {
@@ -83,7 +86,11 @@ impl ScheduledCircuit {
                 }
                 real => {
                     let qubits: Vec<Qubit> = real.qubits();
-                    let at = qubits.iter().map(|q| next_free[q.index() as usize]).max().unwrap_or(0);
+                    let at = qubits
+                        .iter()
+                        .map(|q| next_free[q.index() as usize])
+                        .max()
+                        .unwrap_or(0);
                     while steps.len() <= at {
                         steps.push(Step::default());
                     }
@@ -94,7 +101,11 @@ impl ScheduledCircuit {
                 }
             }
         }
-        ScheduledCircuit { name: circuit.name().to_string(), num_qubits: circuit.num_qubits(), steps }
+        ScheduledCircuit {
+            name: circuit.name().to_string(),
+            num_qubits: circuit.num_qubits(),
+            steps,
+        }
     }
 
     /// The circuit name.
@@ -202,7 +213,10 @@ mod tests {
         let s = c.schedule();
         // Without the barrier both H's would share step 0.
         assert_eq!(s.depth(), 2);
-        assert_eq!(s.steps()[1].ops()[0], CircuitOp::Gate1(Gate1::H, Qubit::new(2)));
+        assert_eq!(
+            s.steps()[1].ops()[0],
+            CircuitOp::Gate1(Gate1::H, Qubit::new(2))
+        );
     }
 
     #[test]

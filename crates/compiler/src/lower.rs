@@ -55,7 +55,11 @@ impl Default for CompilerOptions {
     fn default() -> Self {
         CompilerOptions {
             clock_ns: 10,
-            timings: OpTimings { single_qubit_ns: 20, two_qubit_ns: 40, readout_pulse_ns: 300 },
+            timings: OpTimings {
+                single_qubit_ns: 20,
+                two_qubit_ns: 40,
+                readout_pulse_ns: 300,
+            },
             tag_steps: true,
         }
     }
@@ -119,12 +123,7 @@ impl Compiler {
     /// Emits the instruction stream of a step slice into `builder`,
     /// numbering steps from `first_step`. Returns the number of steps
     /// emitted.
-    pub fn emit_steps(
-        &self,
-        builder: &mut ProgramBuilder,
-        steps: &[Step],
-        first_step: u32,
-    ) -> u32 {
+    pub fn emit_steps(&self, builder: &mut ProgramBuilder, steps: &[Step], first_step: u32) -> u32 {
         let stream: Vec<TimedStepOps> = steps
             .iter()
             .enumerate()
@@ -160,7 +159,9 @@ impl Compiler {
             }
             let mut head_label = label;
             if head_label > MAX_TIMING {
-                builder.push(ClassicalOp::Qwait { cycles: Cycles::new(head_label) });
+                builder.push(ClassicalOp::Qwait {
+                    cycles: Cycles::new(head_label),
+                });
                 head_label = 0;
             }
             for (i, &qop) in entry.ops.iter().enumerate() {
@@ -192,7 +193,16 @@ mod tests {
 
     fn bell() -> Circuit {
         let mut c = Circuit::new(2);
-        c.h(0).unwrap().h(1).unwrap().cnot(0, 1).unwrap().measure(0).unwrap().measure(1).unwrap();
+        c.h(0)
+            .unwrap()
+            .h(1)
+            .unwrap()
+            .cnot(0, 1)
+            .unwrap()
+            .measure(0)
+            .unwrap()
+            .measure(1)
+            .unwrap();
         c
     }
 
@@ -236,7 +246,11 @@ mod tests {
         c.measure(0).unwrap();
         c.x(0).unwrap();
         let opts = CompilerOptions {
-            timings: OpTimings { single_qubit_ns: 20, two_qubit_ns: 40, readout_pulse_ns: 2000 },
+            timings: OpTimings {
+                single_qubit_ns: 20,
+                two_qubit_ns: 40,
+                readout_pulse_ns: 2000,
+            },
             ..Default::default()
         };
         let p = Compiler::with_options(opts).compile(&c).unwrap();

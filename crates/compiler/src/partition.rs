@@ -230,7 +230,9 @@ fn boundary_conflicts(sched: &quape_circuit::ScheduledCircuit, cut: u16) -> usiz
                 return false;
             }
             let drives = |q: u16| {
-                step.ops().iter().any(|o| o.qubits().iter().any(|qb| qb.index() == q))
+                step.ops()
+                    .iter()
+                    .any(|o| o.qubits().iter().any(|qb| qb.index() == q))
             };
             drives(lo) && drives(hi)
         })
@@ -264,7 +266,11 @@ fn partition_at(
         }
         min_section_ops *= 2;
     };
-    let durations: Vec<u32> = sched.steps().iter().map(|s| compiler.step_cycles(s)).collect();
+    let durations: Vec<u32> = sched
+        .steps()
+        .iter()
+        .map(|s| compiler.step_cycles(s))
+        .collect();
 
     let mut b = ProgramBuilder::new();
     let mut report = PartitionReport {
@@ -293,7 +299,11 @@ fn partition_at(
                 .enumerate()
                 .map(|(i, s)| TimedStepOps {
                     step: StepId((start + i) as u32),
-                    ops: s.ops().iter().filter_map(CircuitOp::to_quantum_op).collect(),
+                    ops: s
+                        .ops()
+                        .iter()
+                        .filter_map(CircuitOp::to_quantum_op)
+                        .collect(),
                     duration_cycles: durations[start + i],
                 })
                 .collect();
@@ -411,7 +421,11 @@ mod tests {
         // Joint blocks never share a priority with parallel blocks.
         let mut prio_kinds: std::collections::HashMap<u16, &str> = Default::default();
         for (_, info) in p.blocks().iter() {
-            let kind = if info.name.starts_with("joint") { "joint" } else { "parallel" };
+            let kind = if info.name.starts_with("joint") {
+                "joint"
+            } else {
+                "parallel"
+            };
             if let Dependency::Priority(pr) = info.dependency {
                 let existing = prio_kinds.insert(pr, kind);
                 if let Some(e) = existing {
@@ -503,10 +517,8 @@ mod tests {
             }
             c.barrier_all();
         }
-        let (_, report0, score0) =
-            partition_crosstalk_aware(&Compiler::new(), &c, 0.0).unwrap();
-        let (_, _, score_hot) =
-            partition_crosstalk_aware(&Compiler::new(), &c, 100.0).unwrap();
+        let (_, report0, score0) = partition_crosstalk_aware(&Compiler::new(), &c, 0.0).unwrap();
+        let (_, _, score_hot) = partition_crosstalk_aware(&Compiler::new(), &c, 100.0).unwrap();
         assert!(report0.parallel_ops > 0);
         // With everything-simultaneous layers, every cut has conflicts, so
         // the penalized score is strictly lower.
@@ -532,6 +544,9 @@ mod tests {
             c.barrier_all();
         }
         let (_, report, _) = partition_crosstalk_aware(&Compiler::new(), &c, 10.0).unwrap();
-        assert_eq!(report.half, 3, "the quiet boundary separates the alternating groups");
+        assert_eq!(
+            report.half, 3,
+            "the quiet boundary separates the alternating groups"
+        );
     }
 }

@@ -144,7 +144,9 @@ mod tests {
         StateVectorQpu::new(
             n,
             OpTimings::paper(),
-            DepolarizingNoise { pauli_error_prob: 0.0 },
+            DepolarizingNoise {
+                pauli_error_prob: 0.0,
+            },
             ReadoutError::default(),
             7,
         )
@@ -155,8 +157,12 @@ mod tests {
         let mut qpu = noiseless(2);
         qpu.apply(0, QuantumOp::Gate1(Gate1::H, q(0)));
         qpu.apply(20, QuantumOp::Gate2(Gate2::Cnot, q(0), q(1)));
-        let a = qpu.apply(60, QuantumOp::Measure(q(0))).expect("measurement outcome");
-        let b = qpu.apply(60, QuantumOp::Measure(q(1))).expect("measurement outcome");
+        let a = qpu
+            .apply(60, QuantumOp::Measure(q(0)))
+            .expect("measurement outcome");
+        let b = qpu
+            .apply(60, QuantumOp::Measure(q(1)))
+            .expect("measurement outcome");
         assert_eq!(a, b, "Bell pair outcomes must correlate");
         assert!(qpu.violations().is_empty());
         assert_eq!(qpu.log().len(), 4);
@@ -184,14 +190,20 @@ mod tests {
             let mut qpu = StateVectorQpu::new(
                 1,
                 OpTimings::paper(),
-                DepolarizingNoise { pauli_error_prob: 0.1 },
-                ReadoutError { p01: 0.05, p10: 0.05 },
+                DepolarizingNoise {
+                    pauli_error_prob: 0.1,
+                },
+                ReadoutError {
+                    p01: 0.05,
+                    p10: 0.05,
+                },
                 99,
             );
             (0..32)
                 .map(|i| {
                     qpu.apply(i * 1000, QuantumOp::Gate1(Gate1::H, q(0)));
-                    qpu.apply(i * 1000 + 20, QuantumOp::Measure(q(0))).expect("outcome")
+                    qpu.apply(i * 1000 + 20, QuantumOp::Measure(q(0)))
+                        .expect("outcome")
                 })
                 .collect::<Vec<_>>()
         };

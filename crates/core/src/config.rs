@@ -52,6 +52,12 @@ pub struct QuapeConfig {
     pub ideal_scheduler: bool,
     /// Seed for the machine's PRNG (DAQ jitter).
     pub seed: u64,
+    /// Explicit qubit count for channel-map sizing. `None` (the default)
+    /// sizes the setup by scanning the program for its highest qubit
+    /// index; setting it avoids the scan and lets a setup expose more
+    /// channels than the program touches (e.g. a fixed 10-qubit fridge
+    /// running a 2-qubit job).
+    pub num_qubits: Option<u16>,
 }
 
 impl QuapeConfig {
@@ -64,7 +70,11 @@ impl QuapeConfig {
             fetch_width: 1,
             quantum_pipes: 1,
             predecode_buffer: 8,
-            timings: OpTimings { single_qubit_ns: 20, two_qubit_ns: 40, readout_pulse_ns: 300 },
+            timings: OpTimings {
+                single_qubit_ns: 20,
+                two_qubit_ns: 40,
+                readout_pulse_ns: 300,
+            },
             daq_base_ns: 100,
             daq_jitter_ns: 30,
             scheduler_response_cycles: 4,
@@ -76,12 +86,16 @@ impl QuapeConfig {
             fast_context_switch: true,
             ideal_scheduler: false,
             seed: 0,
+            num_qubits: None,
         }
     }
 
     /// Multiprocessor with `n` processing units (Fig. 11 sweeps 1/2/4/6).
     pub fn multiprocessor(n: usize) -> Self {
-        QuapeConfig { num_processors: n, ..Self::uniprocessor() }
+        QuapeConfig {
+            num_processors: n,
+            ..Self::uniprocessor()
+        }
     }
 
     /// Scalar single-processor baseline for the superscalar comparison
@@ -114,6 +128,12 @@ impl QuapeConfig {
         self
     }
 
+    /// Fixes the setup's qubit count instead of scanning the program.
+    pub fn with_num_qubits(mut self, num_qubits: u16) -> Self {
+        self.num_qubits = Some(num_qubits);
+        self
+    }
+
     /// Validates internal consistency.
     ///
     /// # Errors
@@ -135,6 +155,9 @@ impl QuapeConfig {
         }
         if self.fill_words_per_cycle == 0 {
             return Err("cache fill bandwidth must be positive".into());
+        }
+        if self.num_qubits == Some(0) {
+            return Err("num_qubits override must be positive".into());
         }
         Ok(())
     }

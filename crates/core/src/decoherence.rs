@@ -24,7 +24,10 @@ impl CoherenceParams {
     /// §2.3's nominal superconducting-qubit numbers: T1 = 80 µs,
     /// T2 = 60 µs (within the quoted 50–100 µs range).
     pub const fn paper() -> Self {
-        CoherenceParams { t1_ns: 80_000.0, t2_ns: 60_000.0 }
+        CoherenceParams {
+            t1_ns: 80_000.0,
+            t2_ns: 60_000.0,
+        }
     }
 
     /// Per-nanosecond idle error rate: `1/T1 + 1/T2` (amplitude plus
@@ -70,7 +73,12 @@ pub fn decoherence_cost(
     let rate = params.idle_error_rate();
     let avoidable_fidelity = (-(late_ns as f64) * rate).exp();
     let total_fidelity = (-((late_ns + measure_wait_ns) as f64) * rate).exp();
-    DecoherenceCost { late_ns, measure_wait_ns, avoidable_fidelity, total_fidelity }
+    DecoherenceCost {
+        late_ns,
+        measure_wait_ns,
+        avoidable_fidelity,
+        total_fidelity,
+    }
 }
 
 #[cfg(test)]
@@ -85,7 +93,10 @@ mod tests {
             stop: StopReason::Completed,
             issued: Vec::new(),
             violations: Vec::new(),
-            stats: MachineStats { late_cycles, ..Default::default() },
+            stats: MachineStats {
+                late_cycles,
+                ..Default::default()
+            },
             step_dispatches: Vec::new(),
             wait_cycles: vec![0; waits],
             measurements: Vec::new(),
@@ -122,7 +133,10 @@ mod tests {
 
     #[test]
     fn rate_matches_hand_computation() {
-        let p = CoherenceParams { t1_ns: 100.0, t2_ns: 50.0 };
+        let p = CoherenceParams {
+            t1_ns: 100.0,
+            t2_ns: 50.0,
+        };
         assert!((p.idle_error_rate() - 0.03).abs() < 1e-12);
         let c = decoherence_cost(&report(1, 0), 10, p);
         assert!((c.avoidable_fidelity - (-0.3f64).exp()).abs() < 1e-12);

@@ -35,7 +35,10 @@ impl MeasurementFile {
 
     /// Reads the register of `qubit`.
     pub fn read(&self, qubit: Qubit) -> MrrEntry {
-        self.entries.get(&qubit.index()).copied().unwrap_or_default()
+        self.entries
+            .get(&qubit.index())
+            .copied()
+            .unwrap_or_default()
     }
 
     /// True if a valid result is available for `qubit`.
@@ -50,7 +53,8 @@ impl MeasurementFile {
 
     /// DAQ write path: stores a delivered result and marks it valid.
     pub fn deliver(&mut self, qubit: Qubit, value: bool) {
-        self.entries.insert(qubit.index(), MrrEntry { valid: true, value });
+        self.entries
+            .insert(qubit.index(), MrrEntry { valid: true, value });
     }
 }
 
@@ -214,14 +218,30 @@ impl AwgBank {
         let wf = waveform_id(op);
         match op {
             QuantumOp::Gate1(_, q) => {
-                self.codewords.push(Codeword { time_ns, channel: map.channels(*q).microwave, waveform: wf });
+                self.codewords.push(Codeword {
+                    time_ns,
+                    channel: map.channels(*q).microwave,
+                    waveform: wf,
+                });
             }
             QuantumOp::Gate2(_, a, b) => {
-                self.codewords.push(Codeword { time_ns, channel: map.channels(*a).flux, waveform: wf });
-                self.codewords.push(Codeword { time_ns, channel: map.channels(*b).flux, waveform: wf });
+                self.codewords.push(Codeword {
+                    time_ns,
+                    channel: map.channels(*a).flux,
+                    waveform: wf,
+                });
+                self.codewords.push(Codeword {
+                    time_ns,
+                    channel: map.channels(*b).flux,
+                    waveform: wf,
+                });
             }
             QuantumOp::Measure(q) => {
-                self.codewords.push(Codeword { time_ns, channel: map.channels(*q).readout, waveform: wf });
+                self.codewords.push(Codeword {
+                    time_ns,
+                    channel: map.channels(*q).readout,
+                    waveform: wf,
+                });
             }
         }
     }
@@ -260,8 +280,16 @@ mod tests {
     fn daq_delivers_in_time_order() {
         let mut daq = Daq::new();
         let mut mrr = MeasurementFile::new();
-        daq.schedule(PendingResult { qubit: q(0), value: true, deliver_at_ns: 500 });
-        daq.schedule(PendingResult { qubit: q(1), value: false, deliver_at_ns: 300 });
+        daq.schedule(PendingResult {
+            qubit: q(0),
+            value: true,
+            deliver_at_ns: 500,
+        });
+        daq.schedule(PendingResult {
+            qubit: q(1),
+            value: false,
+            deliver_at_ns: 300,
+        });
         daq.tick(299, &mut mrr);
         assert_eq!(daq.in_flight(), 2);
         daq.tick(300, &mut mrr);

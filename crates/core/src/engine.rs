@@ -1,0 +1,614 @@
+//! The shot-batched execution engine.
+//!
+//! Real experiments are multi-shot: randomized benchmarking averages many
+//! repetitions per sequence length, multiprogramming studies average over
+//! seeds, and a control processor in production replays the same compiled
+//! job thousands of times (the process-level parallelism axis that
+//! HiMA-style architectures scale along). The [`ShotEngine`] runs `n`
+//! shots of one [`CompiledJob`] across a configurable pool of OS threads:
+//!
+//! * each shot gets its own QPU backend from a [`QpuFactory`] and its own
+//!   deterministic RNG stream (SplitMix64 of `base_seed ^ shot_index`), so
+//!   the batch is **schedule-independent** — the same `base_seed` yields a
+//!   bit-identical [`BatchAggregate`] whether it ran on 1 thread or 16;
+//! * per-shot results are reduced to compact [`ShotSummary`] digests and
+//!   folded **in shot order**, keeping memory O(shots) in digest size
+//!   rather than O(shots × full report);
+//! * the [`BatchReport`] carries per-qubit outcome histograms and survival
+//!   estimates, cycle/lateness distributions (p50/p95/max), stop-reason
+//!   counts, and the measured wall time / shots-per-second.
+
+use crate::backend::{QpuBackend, StateVectorQpu};
+use crate::machine::{CompiledJob, MeasurementRecord};
+use crate::report::StopReason;
+use quape_isa::OpTimings;
+use quape_qpu::{BehavioralQpuFactory, DepolarizingNoise, ReadoutError};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+/// One SplitMix64 scramble (stateless form of the standard stream mixer).
+fn splitmix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Deterministic per-shot seed: SplitMix64 of `base_seed ^ shot_index`,
+/// with the base pre-scrambled through SplitMix64 first.
+///
+/// The pre-scramble matters: with a raw XOR, nearby bases yield
+/// *permutations* of each other's seed sets (`1 ^ 1 == 2 ^ 2`), which an
+/// order-insensitive aggregate cannot distinguish. Scrambling the base
+/// spreads it across all 64 bits so every `(base_seed, shot_index)` pair
+/// maps to an unrelated stream.
+///
+/// Every shot derives its QPU seed and machine-PRNG seed from this value,
+/// so a batch's outcome depends only on `(base_seed, shot_index)` — never
+/// on which thread ran the shot or in what order.
+pub fn shot_seed(base_seed: u64, shot_index: u64) -> u64 {
+    splitmix64(splitmix64(base_seed) ^ shot_index)
+}
+
+/// Builds one QPU backend per shot.
+///
+/// The engine calls `create` once per shot, on the worker thread that
+/// runs the shot, with that shot's deterministic seed.
+pub trait QpuFactory: Send + Sync {
+    /// Creates the backend for the shot seeded with `seed`.
+    fn create(&self, seed: u64) -> Box<dyn QpuBackend>;
+}
+
+impl QpuFactory for BehavioralQpuFactory {
+    fn create(&self, seed: u64) -> Box<dyn QpuBackend> {
+        Box::new(BehavioralQpuFactory::create(self, seed))
+    }
+}
+
+/// [`QpuFactory`] for the noisy state-vector backend
+/// ([`StateVectorQpu`]).
+#[derive(Debug, Clone)]
+pub struct StateVectorQpuFactory {
+    /// Number of simulated qubits (dense state — keep it small).
+    pub num_qubits: u8,
+    /// Nominal operation durations for the shadow timing model.
+    pub timings: OpTimings,
+    /// Depolarizing noise applied after every gate.
+    pub noise: DepolarizingNoise,
+    /// Readout assignment error.
+    pub readout: ReadoutError,
+}
+
+impl QpuFactory for StateVectorQpuFactory {
+    fn create(&self, seed: u64) -> Box<dyn QpuBackend> {
+        Box::new(StateVectorQpu::new(
+            self.num_qubits,
+            self.timings,
+            self.noise,
+            self.readout,
+            seed,
+        ))
+    }
+}
+
+/// Per-qubit outcome digest of one shot.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, serde::Serialize)]
+struct QubitShotDigest {
+    zeros: u64,
+    ones: u64,
+    first: Option<bool>,
+}
+
+/// Compact digest of one shot (everything the batch aggregation needs).
+#[derive(Debug, Clone, PartialEq, serde::Serialize)]
+pub struct ShotSummary {
+    /// Shot index within the batch.
+    pub shot: u64,
+    /// The shot's derived seed (see [`shot_seed`]).
+    pub seed: u64,
+    /// Cycles simulated.
+    pub cycles: u64,
+    /// End-to-end execution time (program time or QPU drain).
+    pub execution_time_ns: u64,
+    /// Why the shot stopped.
+    pub stop: StopReason,
+    /// Quantum operations issued to the QPU.
+    pub issued: u64,
+    /// Late issues (operations that missed their deadline).
+    pub late_issues: u64,
+    /// Total lateness in cycles.
+    pub late_cycles: u64,
+    /// Timing violations flagged by the QPU occupancy model.
+    pub violations: u64,
+    /// Per-qubit outcome digest, indexed by qubit.
+    per_qubit: Vec<QubitShotDigest>,
+}
+
+fn digest_measurements(
+    num_qubits: u16,
+    measurements: &[MeasurementRecord],
+) -> Vec<QubitShotDigest> {
+    let mut per_qubit = vec![QubitShotDigest::default(); num_qubits as usize];
+    for m in measurements {
+        let Some(d) = per_qubit.get_mut(m.qubit.index() as usize) else {
+            continue;
+        };
+        if m.value {
+            d.ones += 1;
+        } else {
+            d.zeros += 1;
+        }
+        if d.first.is_none() {
+            d.first = Some(m.value);
+        }
+    }
+    per_qubit
+}
+
+/// Aggregated outcome counts for one qubit across a batch.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, serde::Serialize)]
+pub struct QubitHistogram {
+    /// Total `0` outcomes across all shots.
+    pub zeros: u64,
+    /// Total `1` outcomes across all shots.
+    pub ones: u64,
+    /// Shots in which this qubit was measured at least once.
+    pub shots_measured: u64,
+    /// Shots whose *first* measurement of this qubit read `0` (the RB
+    /// survival event).
+    pub first_zero_shots: u64,
+}
+
+impl QubitHistogram {
+    /// Survival estimate: fraction of measuring shots whose first outcome
+    /// was `0`. `None` if the qubit was never measured.
+    pub fn survival(&self) -> Option<f64> {
+        if self.shots_measured == 0 {
+            None
+        } else {
+            Some(self.first_zero_shots as f64 / self.shots_measured as f64)
+        }
+    }
+
+    /// Fraction of all outcomes that read `1`. `None` without outcomes.
+    pub fn p_one(&self) -> Option<f64> {
+        let total = self.zeros + self.ones;
+        if total == 0 {
+            None
+        } else {
+            Some(self.ones as f64 / total as f64)
+        }
+    }
+}
+
+/// Order statistics of a per-shot quantity.
+#[derive(Debug, Clone, Copy, Default, PartialEq, serde::Serialize)]
+pub struct DistributionSummary {
+    /// Smallest observed value.
+    pub min: u64,
+    /// Median (nearest-rank).
+    pub p50: u64,
+    /// 95th percentile (nearest-rank).
+    pub p95: u64,
+    /// Largest observed value.
+    pub max: u64,
+    /// Arithmetic mean.
+    pub mean: f64,
+}
+
+impl DistributionSummary {
+    fn from_values(mut values: Vec<u64>) -> Self {
+        if values.is_empty() {
+            return Self::default();
+        }
+        values.sort_unstable();
+        let n = values.len();
+        let rank = |p: usize| values[(n - 1) * p / 100];
+        let sum: u128 = values.iter().map(|&v| u128::from(v)).sum();
+        DistributionSummary {
+            min: values[0],
+            p50: rank(50),
+            p95: rank(95),
+            max: values[n - 1],
+            mean: sum as f64 / n as f64,
+        }
+    }
+}
+
+/// Shots by stop reason.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, serde::Serialize)]
+pub struct StopCounts {
+    /// All blocks done, queues drained.
+    pub completed: u64,
+    /// `HALT` executed.
+    pub halted: u64,
+    /// Cycle budget ran out.
+    pub cycle_limit: u64,
+    /// Execution error.
+    pub errors: u64,
+}
+
+/// The deterministic part of a batch result: identical for the same
+/// `(job, factory, base_seed, shots)` regardless of thread count.
+#[derive(Debug, Clone, PartialEq, serde::Serialize)]
+pub struct BatchAggregate {
+    /// Shots executed.
+    pub shots: u64,
+    /// Base seed the per-shot streams derive from.
+    pub base_seed: u64,
+    /// Per-qubit outcome histograms, indexed by qubit.
+    pub qubits: Vec<QubitHistogram>,
+    /// Shots by stop reason.
+    pub stops: StopCounts,
+    /// Distribution of per-shot cycle counts.
+    pub cycles: DistributionSummary,
+    /// Distribution of per-shot total lateness (cycles).
+    pub lateness: DistributionSummary,
+    /// Distribution of per-shot end-to-end execution times (ns).
+    pub execution_time_ns: DistributionSummary,
+    /// Quantum operations issued across all shots.
+    pub issued_total: u64,
+    /// Late issues across all shots.
+    pub late_issues_total: u64,
+    /// QPU timing violations across all shots.
+    pub violations_total: u64,
+    /// Simulated nanoseconds across all shots.
+    pub simulated_ns_total: u64,
+}
+
+impl BatchAggregate {
+    fn from_summaries(base_seed: u64, summaries: &[ShotSummary]) -> Self {
+        let num_qubits = summaries
+            .iter()
+            .map(|s| s.per_qubit.len())
+            .max()
+            .unwrap_or(0);
+        let mut qubits = vec![QubitHistogram::default(); num_qubits];
+        let mut stops = StopCounts::default();
+        let mut issued_total = 0u64;
+        let mut late_issues_total = 0u64;
+        let mut violations_total = 0u64;
+        let mut simulated_ns_total = 0u64;
+        for s in summaries {
+            for (q, d) in s.per_qubit.iter().enumerate() {
+                let h = &mut qubits[q];
+                h.zeros += d.zeros;
+                h.ones += d.ones;
+                if d.zeros + d.ones > 0 {
+                    h.shots_measured += 1;
+                }
+                if d.first == Some(false) {
+                    h.first_zero_shots += 1;
+                }
+            }
+            match s.stop {
+                StopReason::Completed => stops.completed += 1,
+                StopReason::Halted => stops.halted += 1,
+                StopReason::CycleLimit => stops.cycle_limit += 1,
+                StopReason::Error => stops.errors += 1,
+            }
+            issued_total += s.issued;
+            late_issues_total += s.late_issues;
+            violations_total += s.violations;
+            simulated_ns_total += s.execution_time_ns;
+        }
+        BatchAggregate {
+            shots: summaries.len() as u64,
+            base_seed,
+            qubits,
+            stops,
+            cycles: DistributionSummary::from_values(summaries.iter().map(|s| s.cycles).collect()),
+            lateness: DistributionSummary::from_values(
+                summaries.iter().map(|s| s.late_cycles).collect(),
+            ),
+            execution_time_ns: DistributionSummary::from_values(
+                summaries.iter().map(|s| s.execution_time_ns).collect(),
+            ),
+            issued_total,
+            late_issues_total,
+            violations_total,
+            simulated_ns_total,
+        }
+    }
+
+    /// Survival estimate for `qubit` (see [`QubitHistogram::survival`]).
+    pub fn survival(&self, qubit: u16) -> Option<f64> {
+        self.qubits
+            .get(qubit as usize)
+            .and_then(QubitHistogram::survival)
+    }
+
+    /// True when no shot issued late and no QPU violation occurred.
+    pub fn timing_clean(&self) -> bool {
+        self.late_issues_total == 0 && self.violations_total == 0
+    }
+}
+
+/// The result of a batched run: the deterministic [`BatchAggregate`] plus
+/// host-side measurements (wall time, thread count).
+#[derive(Debug, Clone)]
+pub struct BatchReport {
+    /// The schedule-independent aggregate.
+    pub aggregate: BatchAggregate,
+    /// Worker threads used.
+    pub threads: usize,
+    /// Host wall time for the whole batch.
+    pub wall_time: Duration,
+}
+
+impl BatchReport {
+    /// Host throughput in shots per second.
+    pub fn shots_per_sec(&self) -> f64 {
+        let secs = self.wall_time.as_secs_f64();
+        if secs <= 0.0 {
+            f64::INFINITY
+        } else {
+            self.aggregate.shots as f64 / secs
+        }
+    }
+}
+
+/// Runs `n` shots of one [`CompiledJob`] across a thread pool.
+///
+/// ```
+/// use quape_core::{CompiledJob, QuapeConfig, ShotEngine};
+/// use quape_qpu::{BehavioralQpuFactory, MeasurementModel};
+/// use quape_isa::assemble;
+///
+/// let program = assemble("0 H q0\n1 MEAS q0\nSTOP\n")?;
+/// let cfg = QuapeConfig::superscalar(4);
+/// let factory = BehavioralQpuFactory::new(cfg.timings, MeasurementModel::Bernoulli { p_one: 0.5 });
+/// let job = CompiledJob::compile(cfg, program)?;
+/// let report = ShotEngine::new(job, factory).base_seed(7).threads(2).run(64);
+/// assert_eq!(report.aggregate.shots, 64);
+/// assert_eq!(report.aggregate.stops.completed, 64);
+/// let h = &report.aggregate.qubits[0];
+/// assert_eq!(h.shots_measured, 64);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub struct ShotEngine {
+    job: CompiledJob,
+    factory: Box<dyn QpuFactory>,
+    threads: usize,
+    base_seed: u64,
+    cycle_limit: u64,
+}
+
+impl ShotEngine {
+    /// Creates an engine for `job` with backends from `factory`.
+    ///
+    /// Defaults: automatic thread count (`available_parallelism`), base
+    /// seed from the job's config, 10-million-cycle budget per shot.
+    pub fn new(job: CompiledJob, factory: impl QpuFactory + 'static) -> Self {
+        let base_seed = job.cfg().seed;
+        ShotEngine {
+            job,
+            factory: Box::new(factory),
+            threads: 0,
+            base_seed,
+            cycle_limit: 10_000_000,
+        }
+    }
+
+    /// Sets the worker thread count (`0` = `available_parallelism`).
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Sets the base seed of the per-shot SplitMix64 streams.
+    pub fn base_seed(mut self, base_seed: u64) -> Self {
+        self.base_seed = base_seed;
+        self
+    }
+
+    /// Sets the per-shot cycle budget.
+    pub fn cycle_limit(mut self, cycle_limit: u64) -> Self {
+        self.cycle_limit = cycle_limit;
+        self
+    }
+
+    /// The job this engine runs.
+    pub fn job(&self) -> &CompiledJob {
+        &self.job
+    }
+
+    fn effective_threads(&self, shots: u64) -> usize {
+        let auto = || std::thread::available_parallelism().map_or(1, |n| n.get());
+        let t = if self.threads == 0 {
+            auto()
+        } else {
+            self.threads
+        };
+        t.clamp(1, shots.max(1) as usize)
+    }
+
+    fn run_one(&self, shot: u64) -> ShotSummary {
+        let seed = shot_seed(self.base_seed, shot);
+        // Distinct derived streams for the backend and the machine's DAQ
+        // jitter so the two never correlate.
+        let qpu = self.factory.create(seed);
+        let machine_seed = splitmix64(seed ^ 0x51AE_17E5);
+        let report = self
+            .job
+            .shot(qpu, machine_seed)
+            .run_with_limit(self.cycle_limit);
+        ShotSummary {
+            shot,
+            seed,
+            cycles: report.cycles,
+            execution_time_ns: report.execution_time_ns(),
+            stop: report.stop,
+            issued: report.issued.len() as u64,
+            late_issues: report.stats.late_issues,
+            late_cycles: report.stats.late_cycles,
+            violations: report.violations.len() as u64,
+            per_qubit: digest_measurements(self.job.num_qubits(), &report.measurements),
+        }
+    }
+
+    /// Runs `shots` shots and aggregates them in shot order.
+    ///
+    /// Work is distributed dynamically (an atomic shot counter), but the
+    /// aggregate folds summaries sorted by shot index, so the result is
+    /// bit-identical for any thread count.
+    pub fn run(&self, shots: u64) -> BatchReport {
+        let start = Instant::now();
+        let threads = self.effective_threads(shots);
+        let summaries: Vec<ShotSummary> = if threads <= 1 {
+            (0..shots).map(|i| self.run_one(i)).collect()
+        } else {
+            let next = AtomicU64::new(0);
+            let mut buckets: Vec<Vec<ShotSummary>> = std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..threads)
+                    .map(|_| {
+                        scope.spawn(|| {
+                            let mut local = Vec::new();
+                            loop {
+                                let shot = next.fetch_add(1, Ordering::Relaxed);
+                                if shot >= shots {
+                                    break;
+                                }
+                                local.push(self.run_one(shot));
+                            }
+                            local
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("shot worker panicked"))
+                    .collect()
+            });
+            let mut all: Vec<ShotSummary> = buckets.drain(..).flatten().collect();
+            all.sort_unstable_by_key(|s| s.shot);
+            all
+        };
+        let aggregate = BatchAggregate::from_summaries(self.base_seed, &summaries);
+        BatchReport {
+            aggregate,
+            threads,
+            wall_time: start.elapsed(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::QuapeConfig;
+    use quape_qpu::MeasurementModel;
+
+    fn tiny_job(seed: u64) -> CompiledJob {
+        let program =
+            quape_isa::assemble("0 H q0\n2 MEAS q0\n0 MEAS q1\nSTOP\n").expect("valid program");
+        CompiledJob::compile(QuapeConfig::superscalar(4).with_seed(seed), program)
+            .expect("job compiles")
+    }
+
+    fn coin_factory(job: &CompiledJob) -> BehavioralQpuFactory {
+        BehavioralQpuFactory::new(
+            job.cfg().timings,
+            MeasurementModel::Bernoulli { p_one: 0.5 },
+        )
+    }
+
+    #[test]
+    fn shot_seeds_are_spread() {
+        let a = shot_seed(1, 0);
+        let b = shot_seed(1, 1);
+        let c = shot_seed(2, 0);
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        assert_ne!(b, c);
+    }
+
+    #[test]
+    fn nearby_bases_do_not_permute_each_others_streams() {
+        // With a raw `base ^ shot` derivation, bases 1 and 2 produce the
+        // same seed *multiset* over shots 0..n (1^1 == 2^2 == 0), which
+        // collides order-insensitive aggregates.
+        let set = |base: u64| {
+            let mut v: Vec<u64> = (0..64).map(|i| shot_seed(base, i)).collect();
+            v.sort_unstable();
+            v
+        };
+        assert_ne!(set(1), set(2));
+        assert_ne!(set(0), set(1));
+    }
+
+    #[test]
+    fn aggregate_counts_are_consistent() {
+        let job = tiny_job(3);
+        let factory = coin_factory(&job);
+        let report = ShotEngine::new(job, factory).threads(1).run(100);
+        let agg = &report.aggregate;
+        assert_eq!(agg.shots, 100);
+        assert_eq!(agg.stops.completed, 100);
+        assert_eq!(agg.qubits.len(), 2);
+        for h in &agg.qubits {
+            assert_eq!(h.zeros + h.ones, 100);
+            assert_eq!(h.shots_measured, 100);
+        }
+        // A fair coin over 100 shots should not be degenerate.
+        let p = agg.qubits[0].p_one().expect("measured");
+        assert!((0.2..=0.8).contains(&p), "p_one = {p}");
+        assert_eq!(agg.issued_total, 300);
+    }
+
+    #[test]
+    fn thread_count_does_not_change_the_aggregate() {
+        let job = tiny_job(9);
+        let sequential = ShotEngine::new(job.clone(), coin_factory(&job))
+            .threads(1)
+            .run(64);
+        let parallel = ShotEngine::new(job.clone(), coin_factory(&job))
+            .threads(4)
+            .run(64);
+        assert_eq!(sequential.aggregate, parallel.aggregate);
+        assert_eq!(parallel.threads, 4);
+    }
+
+    #[test]
+    fn base_seed_changes_outcomes() {
+        let job = tiny_job(0);
+        let a = ShotEngine::new(job.clone(), coin_factory(&job))
+            .base_seed(1)
+            .threads(1)
+            .run(32);
+        let b = ShotEngine::new(job.clone(), coin_factory(&job))
+            .base_seed(2)
+            .threads(1)
+            .run(32);
+        assert_ne!(a.aggregate.qubits, b.aggregate.qubits);
+    }
+
+    #[test]
+    fn distribution_summary_ranks() {
+        let d = DistributionSummary::from_values((1..=100).collect());
+        assert_eq!(d.min, 1);
+        assert_eq!(d.p50, 50);
+        assert_eq!(d.p95, 95);
+        assert_eq!(d.max, 100);
+        assert!((d.mean - 50.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn state_vector_factory_runs_shots() {
+        let program = quape_isa::assemble("0 X q0\n2 MEAS q0\nSTOP\n").expect("valid program");
+        let job = CompiledJob::compile(QuapeConfig::superscalar(4), program).expect("job compiles");
+        let factory = StateVectorQpuFactory {
+            num_qubits: 1,
+            timings: job.cfg().timings,
+            noise: DepolarizingNoise {
+                pauli_error_prob: 0.0,
+            },
+            readout: ReadoutError::default(),
+        };
+        let report = ShotEngine::new(job, factory).threads(2).run(16);
+        let h = &report.aggregate.qubits[0];
+        // Noiseless X then measure: every shot reads 1.
+        assert_eq!(h.ones, 16);
+        assert_eq!(h.zeros, 0);
+    }
+}

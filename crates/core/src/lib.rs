@@ -47,6 +47,7 @@ mod backend;
 mod config;
 mod decoherence;
 mod devices;
+mod engine;
 mod icache;
 mod machine;
 mod metrics;
@@ -56,12 +57,16 @@ mod scheduler;
 mod timeline;
 
 pub use backend::{QpuBackend, StateVectorQpu};
-pub use decoherence::{decoherence_cost, CoherenceParams, DecoherenceCost};
-pub use timeline::{render_timeline, TimelineOptions};
 pub use config::QuapeConfig;
+pub use decoherence::{decoherence_cost, CoherenceParams, DecoherenceCost};
 pub use devices::{
     AwgBank, ChannelMap, Codeword, Daq, MeasurementFile, MrrEntry, PendingResult, QubitChannels,
 };
-pub use machine::{Machine, MachineError, MeasurementRecord};
+pub use engine::{
+    shot_seed, BatchAggregate, BatchReport, DistributionSummary, QpuFactory, QubitHistogram,
+    ShotEngine, ShotSummary, StateVectorQpuFactory, StopCounts,
+};
+pub use machine::{CompiledJob, Machine, MachineError, MeasurementRecord, Shot};
 pub use metrics::{ces_report, ces_report_paper, CesReport, StepMetrics, TR_GATE_NS};
 pub use report::{BlockEvent, MachineStats, ProcessorStats, RunReport, StepDispatch, StopReason};
+pub use timeline::{render_timeline, TimelineOptions};

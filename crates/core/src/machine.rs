@@ -1,5 +1,18 @@
-//! The QuAPE machine: multiprocessor + scheduler + devices + QPU, stepped
-//! at clock-cycle granularity.
+//! The QuAPE machine, split into a compile-once job and per-shot state.
+//!
+//! [`CompiledJob`] owns the immutable, shareable artifacts of a run — the
+//! validated [`QuapeConfig`], the block-wrapped [`Program`] (with its
+//! block information table), and the [`ChannelMap`] — all behind `Arc` so
+//! that cloning a job is O(1). A [`Shot`] is the mutable machine state of
+//! one execution (processors, scheduler, MRR/DAQ/AWG devices, PRNG,
+//! counters) built from a job in O(state) instead of
+//! O(revalidate-everything); the multi-shot experiments of §7/§8 construct
+//! one job and then run thousands of shots from it (see
+//! [`crate::ShotEngine`]).
+//!
+//! [`Machine`] remains the single-shot convenience wrapper the rest of
+//! the workspace was written against: `Machine::new(cfg, program, qpu)`
+//! compiles a job and builds its one shot.
 
 use crate::backend::QpuBackend;
 use crate::config::QuapeConfig;
@@ -7,12 +20,11 @@ use crate::devices::{AwgBank, ChannelMap, Daq, MeasurementFile};
 use crate::processor::{Env, Processor};
 use crate::report::{MachineStats, RunReport, StepDispatch, StopReason};
 use crate::scheduler::Scheduler;
-use quape_isa::{
-    BlockInfo, BlockInfoTable, Dependency, Instruction, Program, ProgramError, SHARED_REG_COUNT,
-};
+use quape_isa::{BlockInfo, BlockInfoTable, Dependency, Program, ProgramError, SHARED_REG_COUNT};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use std::fmt;
+use std::sync::Arc;
 
 /// Errors from machine construction.
 #[derive(Debug, Clone, PartialEq)]
@@ -51,32 +63,153 @@ pub struct MeasurementRecord {
     pub value: bool,
 }
 
-/// The full control stack of Fig. 5/9: scheduler, processors, measurement
-/// result registers, DAQ, AWG bank and a QPU backend.
+/// Wraps a block-less program into a single implicit block so the
+/// scheduler always has a table to work from.
+fn ensure_blocks(program: Program) -> Result<Program, ProgramError> {
+    if !program.blocks().is_empty() {
+        return Ok(program);
+    }
+    let len = program.len() as u32;
+    let mut table = BlockInfoTable::new();
+    table.push(BlockInfo::new("main", 0..len, Dependency::none()))?;
+    Program::with_parts(
+        program.instructions().to_vec(),
+        table,
+        program.step_map().to_vec(),
+    )
+}
+
+/// The immutable, shareable half of a run: validated configuration,
+/// block-wrapped program, and channel map, each behind an `Arc`.
+///
+/// Compile once, then build any number of [`Shot`]s (possibly from many
+/// threads — a job is `Send + Sync` and clones in O(1)).
 ///
 /// ```
-/// use quape_core::{Machine, QuapeConfig};
+/// use quape_core::{CompiledJob, QuapeConfig};
 /// use quape_qpu::{BehavioralQpu, MeasurementModel};
 /// use quape_isa::assemble;
 ///
 /// let program = assemble("0 H q0\n0 H q1\n2 CNOT q0, q1\nSTOP\n")?;
-/// let cfg = QuapeConfig::superscalar(4);
-/// let qpu = BehavioralQpu::new(cfg.timings, MeasurementModel::AlwaysZero, 1);
-/// let report = Machine::new(cfg, program, Box::new(qpu))?.run();
-/// assert_eq!(report.issued_count(), 3);
-/// assert!(report.timing_clean());
+/// let job = CompiledJob::compile(QuapeConfig::superscalar(4), program)?;
+/// for shot_index in 0..4u64 {
+///     let qpu = BehavioralQpu::new(job.cfg().timings, MeasurementModel::AlwaysZero, shot_index);
+///     let report = job.shot(Box::new(qpu), shot_index).run();
+///     assert_eq!(report.issued_count(), 3);
+/// }
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
-pub struct Machine {
-    cfg: QuapeConfig,
-    program: Program,
+#[derive(Debug, Clone)]
+pub struct CompiledJob {
+    cfg: Arc<QuapeConfig>,
+    program: Arc<Program>,
+    chan: Arc<ChannelMap>,
+    num_qubits: u16,
+}
+
+impl CompiledJob {
+    /// Validates `cfg` and `program` once and freezes the shareable
+    /// artifacts.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MachineError::Config`] for inconsistent configurations
+    /// (including a `num_qubits` override smaller than what the program
+    /// touches) and [`MachineError::Program`] when wrapping a block-less
+    /// program fails.
+    pub fn compile(cfg: QuapeConfig, program: Program) -> Result<Self, MachineError> {
+        cfg.validate().map_err(MachineError::Config)?;
+        let program = ensure_blocks(program)?;
+        let scanned = program.num_qubits().max(1);
+        let num_qubits = match cfg.num_qubits {
+            None => scanned,
+            Some(n) if n >= scanned => n,
+            Some(n) => {
+                return Err(MachineError::Config(format!(
+                "num_qubits override {n} is smaller than the {scanned} qubits the program touches"
+            )))
+            }
+        };
+        let chan = ChannelMap::linear(num_qubits);
+        Ok(CompiledJob {
+            cfg: Arc::new(cfg),
+            program: Arc::new(program),
+            chan: Arc::new(chan),
+            num_qubits,
+        })
+    }
+
+    /// The validated configuration.
+    pub fn cfg(&self) -> &QuapeConfig {
+        &self.cfg
+    }
+
+    /// The block-wrapped program.
+    pub fn program(&self) -> &Program {
+        &self.program
+    }
+
+    /// The block information table the scheduler works from.
+    pub fn blocks(&self) -> &BlockInfoTable {
+        self.program.blocks()
+    }
+
+    /// The qubit→channel map.
+    pub fn channel_map(&self) -> &ChannelMap {
+        &self.chan
+    }
+
+    /// Number of qubits the setup is sized for.
+    pub fn num_qubits(&self) -> u16 {
+        self.num_qubits
+    }
+
+    /// Builds the per-shot machine state for one execution, driving `qpu`
+    /// and seeding the shot's PRNG (DAQ jitter) with `rng_seed`.
+    pub fn shot(&self, qpu: Box<dyn QpuBackend>, rng_seed: u64) -> Shot {
+        let cfg = &self.cfg;
+        let mut processors: Vec<Processor> = (0..cfg.num_processors).map(Processor::new).collect();
+        let mut scheduler = Scheduler::new(&self.program);
+        // Pre-task load of the first num_processors blocks (§7).
+        scheduler.initial_load(&mut processors, &self.program, cfg.num_processors);
+        let stats = MachineStats {
+            processors: vec![Default::default(); cfg.num_processors],
+            ..Default::default()
+        };
+        Shot {
+            job: self.clone(),
+            processors,
+            scheduler,
+            mrr: MeasurementFile::new(),
+            daq: Daq::new(),
+            awg: AwgBank::new(),
+            qpu,
+            rng: SmallRng::seed_from_u64(rng_seed),
+            shared_regs: [0; SHARED_REG_COUNT],
+            cycle: 0,
+            halt: false,
+            error: false,
+            stats,
+            step_dispatches: Vec::new(),
+            wait_cycles: Vec::new(),
+            late_issues: 0,
+            late_cycles: 0,
+            measurements: Vec::new(),
+        }
+    }
+}
+
+/// The mutable state of one execution: processors, scheduler, devices,
+/// QPU, PRNG, and statistics. Built from a [`CompiledJob`]; stepped at
+/// clock-cycle granularity.
+pub struct Shot {
+    job: CompiledJob,
     processors: Vec<Processor>,
     scheduler: Scheduler,
     mrr: MeasurementFile,
     daq: Daq,
     awg: AwgBank,
     qpu: Box<dyn QpuBackend>,
-    chan: ChannelMap,
     rng: SmallRng,
     shared_regs: [i32; SHARED_REG_COUNT],
     cycle: u64,
@@ -90,104 +223,33 @@ pub struct Machine {
     measurements: Vec<MeasurementRecord>,
 }
 
-/// Wraps a block-less program into a single implicit block so the
-/// scheduler always has a table to work from.
-fn ensure_blocks(program: Program) -> Result<Program, ProgramError> {
-    if !program.blocks().is_empty() {
-        return Ok(program);
-    }
-    let len = program.len() as u32;
-    let mut table = BlockInfoTable::new();
-    table.push(BlockInfo::new("main", 0..len, Dependency::none()))?;
-    Program::with_parts(program.instructions().to_vec(), table, program.step_map().to_vec())
-}
-
-fn num_qubits_of(program: &Program) -> u16 {
-    let mut max = 0u16;
-    for instr in program.instructions() {
-        match instr {
-            Instruction::Quantum(q) => {
-                for qubit in q.op.qubits() {
-                    max = max.max(qubit.index() + 1);
-                }
-            }
-            Instruction::Classical(c) => {
-                if let quape_isa::ClassicalOp::Mrce { qubit, target, .. } = c {
-                    max = max.max(qubit.index() + 1).max(target.index() + 1);
-                }
-                if let quape_isa::ClassicalOp::Fmr { qubit, .. } = c {
-                    max = max.max(qubit.index() + 1);
-                }
-            }
-        }
-    }
-    max.max(1)
-}
-
-impl Machine {
-    /// Builds a machine for `program` driving `qpu`.
-    ///
-    /// # Errors
-    ///
-    /// Returns [`MachineError::Config`] for inconsistent configurations and
-    /// [`MachineError::Program`] when wrapping a block-less program fails.
-    pub fn new(
-        cfg: QuapeConfig,
-        program: Program,
-        qpu: Box<dyn QpuBackend>,
-    ) -> Result<Self, MachineError> {
-        cfg.validate().map_err(MachineError::Config)?;
-        let program = ensure_blocks(program)?;
-        let chan = ChannelMap::linear(num_qubits_of(&program));
-        let mut processors: Vec<Processor> =
-            (0..cfg.num_processors).map(Processor::new).collect();
-        let mut scheduler = Scheduler::new(&program);
-        // Pre-task load of the first num_processors blocks (§7).
-        scheduler.initial_load(&mut processors, &program, cfg.num_processors);
-        let stats = MachineStats { processors: vec![Default::default(); cfg.num_processors], ..Default::default() };
-        let rng = SmallRng::seed_from_u64(cfg.seed);
-        Ok(Machine {
-            cfg,
-            program,
-            processors,
-            scheduler,
-            mrr: MeasurementFile::new(),
-            daq: Daq::new(),
-            awg: AwgBank::new(),
-            qpu,
-            chan,
-            rng,
-            shared_regs: [0; SHARED_REG_COUNT],
-            cycle: 0,
-            halt: false,
-            error: false,
-            stats,
-            step_dispatches: Vec::new(),
-            wait_cycles: Vec::new(),
-            late_issues: 0,
-            late_cycles: 0,
-            measurements: Vec::new(),
-        })
-    }
-
+impl Shot {
     /// Current cycle.
     pub fn cycle(&self) -> u64 {
         self.cycle
     }
 
+    /// The job this shot executes.
+    pub fn job(&self) -> &CompiledJob {
+        &self.job
+    }
+
     /// Advances the machine by one clock cycle.
     pub fn step(&mut self) {
         let now = self.cycle;
-        self.daq.tick(now * self.cfg.clock_ns, &mut self.mrr);
-        self.scheduler.tick(now, &mut self.processors, &self.program, &self.cfg, &mut self.stats);
+        let cfg: &QuapeConfig = &self.job.cfg;
+        let program: &Program = &self.job.program;
+        self.daq.tick(now * cfg.clock_ns, &mut self.mrr);
+        self.scheduler
+            .tick(now, &mut self.processors, program, cfg, &mut self.stats);
         let mut env = Env {
-            cfg: &self.cfg,
-            program: &self.program,
+            cfg,
+            program,
             mrr: &mut self.mrr,
             daq: &mut self.daq,
             awg: &mut self.awg,
             qpu: &mut *self.qpu,
-            chan: &self.chan,
+            chan: &self.job.chan,
             rng: &mut self.rng,
             shared_regs: &mut self.shared_regs,
             step_dispatches: &mut self.step_dispatches,
@@ -206,7 +268,10 @@ impl Machine {
 
     fn quiescent(&self) -> bool {
         self.scheduler.all_done()
-            && self.processors.iter().all(|p| p.is_idle() && !p.has_pending_work())
+            && self
+                .processors
+                .iter()
+                .all(|p| p.is_idle() && !p.has_pending_work())
             && self.daq.in_flight() == 0
     }
 
@@ -254,7 +319,7 @@ impl Machine {
         self.stats.late_cycles = self.late_cycles;
         RunReport {
             cycles: self.cycle,
-            ns: self.cycle * self.cfg.clock_ns,
+            ns: self.cycle * self.job.cfg.clock_ns,
             stop,
             issued: self.qpu.log().to_vec(),
             violations: self.qpu.violations().to_vec(),
@@ -265,5 +330,154 @@ impl Machine {
             block_events: self.scheduler.events.clone(),
             qpu_makespan_ns: self.qpu.makespan_ns(),
         }
+    }
+}
+
+/// The full control stack of Fig. 5/9 as a single-shot convenience: one
+/// compiled job driving one [`Shot`].
+///
+/// For multi-shot experiments, compile the job once with
+/// [`CompiledJob::compile`] and use [`crate::ShotEngine`] instead of
+/// re-validating everything per repetition.
+///
+/// ```
+/// use quape_core::{Machine, QuapeConfig};
+/// use quape_qpu::{BehavioralQpu, MeasurementModel};
+/// use quape_isa::assemble;
+///
+/// let program = assemble("0 H q0\n0 H q1\n2 CNOT q0, q1\nSTOP\n")?;
+/// let cfg = QuapeConfig::superscalar(4);
+/// let qpu = BehavioralQpu::new(cfg.timings, MeasurementModel::AlwaysZero, 1);
+/// let report = Machine::new(cfg, program, Box::new(qpu))?.run();
+/// assert_eq!(report.issued_count(), 3);
+/// assert!(report.timing_clean());
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub struct Machine {
+    shot: Shot,
+}
+
+impl Machine {
+    /// Builds a machine for `program` driving `qpu`.
+    ///
+    /// The shot's PRNG is seeded from `cfg.seed`, exactly as before the
+    /// job/shot split.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MachineError::Config`] for inconsistent configurations and
+    /// [`MachineError::Program`] when wrapping a block-less program fails.
+    pub fn new(
+        cfg: QuapeConfig,
+        program: Program,
+        qpu: Box<dyn QpuBackend>,
+    ) -> Result<Self, MachineError> {
+        let seed = cfg.seed;
+        let job = CompiledJob::compile(cfg, program)?;
+        Ok(Machine {
+            shot: job.shot(qpu, seed),
+        })
+    }
+
+    /// Current cycle.
+    pub fn cycle(&self) -> u64 {
+        self.shot.cycle()
+    }
+
+    /// Advances the machine by one clock cycle.
+    pub fn step(&mut self) {
+        self.shot.step();
+    }
+
+    /// Runs until completion with a default budget of 10 million cycles.
+    pub fn run(self) -> RunReport {
+        self.shot.run()
+    }
+
+    /// Runs until completion, a `HALT`, an error, or the cycle budget.
+    pub fn run_with_limit(self, max_cycles: u64) -> RunReport {
+        self.shot.run_with_limit(max_cycles)
+    }
+
+    /// Measurement outcomes observed so far (delivered results).
+    pub fn measurements(&self) -> &[MeasurementRecord] {
+        self.shot.measurements()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use quape_qpu::{BehavioralQpu, MeasurementModel};
+
+    fn coin(cfg: &QuapeConfig, seed: u64) -> Box<dyn QpuBackend> {
+        Box::new(BehavioralQpu::new(
+            cfg.timings,
+            MeasurementModel::Bernoulli { p_one: 0.5 },
+            seed,
+        ))
+    }
+
+    fn two_qubit_program() -> Program {
+        quape_isa::assemble("0 H q0\n2 CNOT q0, q1\n2 MEAS q0\nSTOP\n").expect("valid program")
+    }
+
+    #[test]
+    fn num_qubits_scanned_by_default() {
+        let job = CompiledJob::compile(QuapeConfig::superscalar(4), two_qubit_program())
+            .expect("compiles");
+        assert_eq!(job.num_qubits(), 2);
+        assert_eq!(job.channel_map().channel_count(), 6);
+    }
+
+    #[test]
+    fn num_qubits_override_expands_channel_map() {
+        let cfg = QuapeConfig::superscalar(4).with_num_qubits(10);
+        let job = CompiledJob::compile(cfg, two_qubit_program()).expect("compiles");
+        assert_eq!(job.num_qubits(), 10);
+        assert_eq!(job.channel_map().channel_count(), 30);
+    }
+
+    #[test]
+    fn num_qubits_override_too_small_rejected() {
+        let cfg = QuapeConfig::superscalar(4).with_num_qubits(1);
+        let err = CompiledJob::compile(cfg, two_qubit_program()).unwrap_err();
+        assert!(matches!(err, MachineError::Config(_)), "{err}");
+    }
+
+    #[test]
+    fn machine_wrapper_matches_job_shot() {
+        let cfg = QuapeConfig::superscalar(4).with_seed(9);
+        let program = two_qubit_program();
+        let via_machine = Machine::new(cfg.clone(), program.clone(), coin(&cfg, 5))
+            .expect("machine builds")
+            .run();
+        let job = CompiledJob::compile(cfg.clone(), program).expect("compiles");
+        let via_shot = job.shot(coin(&cfg, 5), cfg.seed).run();
+        assert_eq!(via_machine.cycles, via_shot.cycles);
+        assert_eq!(via_machine.measurements, via_shot.measurements);
+        let a: Vec<(u64, String)> = via_machine
+            .issued
+            .iter()
+            .map(|o| (o.time_ns, o.op.to_string()))
+            .collect();
+        let b: Vec<(u64, String)> = via_shot
+            .issued
+            .iter()
+            .map(|o| (o.time_ns, o.op.to_string()))
+            .collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn shots_from_one_job_are_independent() {
+        let cfg = QuapeConfig::superscalar(4);
+        let job = CompiledJob::compile(cfg.clone(), two_qubit_program()).expect("compiles");
+        let first = job.shot(coin(&cfg, 1), 1).run();
+        let second = job.shot(coin(&cfg, 1), 1).run();
+        // Same seeds ⇒ identical; fresh state ⇒ no leakage between shots.
+        assert_eq!(first.cycles, second.cycles);
+        assert_eq!(first.measurements, second.measurements);
+        assert_eq!(first.issued.len(), 3);
     }
 }

@@ -75,9 +75,18 @@ impl fmt::Display for CesReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(f, "{:>6} {:>6} {:>7} {:>6}", "step", "QICES", "CES", "TR")?;
         for s in &self.steps {
-            writeln!(f, "{:>6} {:>6} {:>7} {:>6.2}", s.step.0, s.qices, s.ces, s.tr)?;
+            writeln!(
+                f,
+                "{:>6} {:>6} {:>7} {:>6.2}",
+                s.step.0, s.qices, s.ces, s.tr
+            )?;
         }
-        writeln!(f, "average TR {:.3}, max TR {:.3}", self.average_tr(), self.max_tr())
+        writeln!(
+            f,
+            "average TR {:.3}, max TR {:.3}",
+            self.average_tr(),
+            self.max_tr()
+        )
     }
 }
 
@@ -112,10 +121,19 @@ pub fn ces_report(report: &RunReport, clock_ns: u64, gate_ns: u64) -> CesReport 
         let span = last.saturating_sub(prev);
         let ces = span.saturating_sub(wait_in(prev, *last));
         let tr = (ces * clock_ns) as f64 / gate_ns as f64;
-        steps.push(StepMetrics { step: *step, ces, tr, qices: counts[step] });
+        steps.push(StepMetrics {
+            step: *step,
+            ces,
+            tr,
+            qices: counts[step],
+        });
         prev = *last;
     }
-    CesReport { steps, clock_ns, gate_ns }
+    CesReport {
+        steps,
+        clock_ns,
+        gate_ns,
+    }
 }
 
 /// Convenience wrapper using the paper's §7 parameters (10 ns clock,
@@ -139,7 +157,11 @@ mod tests {
             stats: MachineStats::default(),
             step_dispatches: dispatches
                 .into_iter()
-                .map(|(cycle, step)| StepDispatch { cycle, step: Some(StepId(step)), processor: 0 })
+                .map(|(cycle, step)| StepDispatch {
+                    cycle,
+                    step: Some(StepId(step)),
+                    processor: 0,
+                })
                 .collect(),
             wait_cycles: waits,
             measurements: Vec::new(),
@@ -189,7 +211,10 @@ mod tests {
         let r = fake_report(vec![(2, 0), (4, 1), (12, 2)], vec![]);
         let c = ces_report(&r, 10, 20);
         // Spans from program start (cycle 1): CES = 1, 2, 8 → TR 0.5, 1, 4.
-        assert_eq!(c.steps.iter().map(|s| s.ces).collect::<Vec<_>>(), vec![1, 2, 8]);
+        assert_eq!(
+            c.steps.iter().map(|s| s.ces).collect::<Vec<_>>(),
+            vec![1, 2, 8]
+        );
         assert!((c.average_tr() - 5.5 / 3.0).abs() < 1e-12);
         assert!((c.max_tr() - 4.0).abs() < 1e-12);
         assert!((c.average_ces() - 11.0 / 3.0).abs() < 1e-12);

@@ -64,7 +64,11 @@ impl Env<'_> {
             };
             let deliver_at_ns =
                 t_ns + self.cfg.timings.readout_pulse_ns + self.cfg.daq_base_ns + jitter;
-            self.daq.schedule(PendingResult { qubit: q, value, deliver_at_ns });
+            self.daq.schedule(PendingResult {
+                qubit: q,
+                value,
+                deliver_at_ns,
+            });
             self.measurements.push(crate::machine::MeasurementRecord {
                 time_ns: t_ns,
                 qubit: q,
@@ -95,7 +99,11 @@ enum State {
     /// Performing an MRCE context switch; the conditional op (if any)
     /// issues when the switch completes, and the processor returns to
     /// `Running` or `Idle` depending on where it was interrupted.
-    ContextSwitch { cycles_left: u64, op: Option<QuantumOp>, resume_idle: bool },
+    ContextSwitch {
+        cycles_left: u64,
+        op: Option<QuantumOp>,
+        resume_idle: bool,
+    },
     /// Stopped by HALT or an execution error.
     Halted,
 }
@@ -204,7 +212,13 @@ impl Processor {
     /// Starts executing `block`, whose instructions are resident in
     /// `bank`. `switch_cycles = 0` starts immediately (used by the ideal
     /// scheduler and for the pre-task initial load).
-    pub(crate) fn start_block(&mut self, block: BlockId, bank: usize, switch_cycles: u64, now: u64) {
+    pub(crate) fn start_block(
+        &mut self,
+        block: BlockId,
+        bank: usize,
+        switch_cycles: u64,
+        now: u64,
+    ) {
         self.icache.switch_to(bank);
         let base = self.icache.active().base();
         self.pc = base;
@@ -216,7 +230,9 @@ impl Processor {
         self.state = if switch_cycles == 0 {
             State::Running
         } else {
-            State::Switching { cycles_left: switch_cycles }
+            State::Switching {
+                cycles_left: switch_cycles,
+            }
         };
     }
 
@@ -255,7 +271,12 @@ impl Processor {
 
     /// Switches to a previously prefetched block. Returns false when the
     /// block is not resident.
-    pub(crate) fn start_prefetched(&mut self, block: BlockId, switch_cycles: u64, now: u64) -> bool {
+    pub(crate) fn start_prefetched(
+        &mut self,
+        block: BlockId,
+        switch_cycles: u64,
+        now: u64,
+    ) -> bool {
         match self.icache.bank_of(block) {
             Some(bank) => {
                 self.start_block(block, bank, switch_cycles, now);
@@ -297,16 +318,26 @@ impl Processor {
                 if cycles_left <= 1 {
                     self.state = State::Running;
                 } else {
-                    self.state = State::Switching { cycles_left: cycles_left - 1 };
+                    self.state = State::Switching {
+                        cycles_left: cycles_left - 1,
+                    };
                 }
                 return;
             }
-            State::ContextSwitch { cycles_left, op, resume_idle } => {
+            State::ContextSwitch {
+                cycles_left,
+                op,
+                resume_idle,
+            } => {
                 if cycles_left <= 1 {
                     if let Some(op) = op {
                         self.enqueue_quantum(cycle, Cycles::ZERO, op, None, env, true);
                     }
-                    self.state = if resume_idle { State::Idle } else { State::Running };
+                    self.state = if resume_idle {
+                        State::Idle
+                    } else {
+                        State::Running
+                    };
                 } else {
                     self.state = State::ContextSwitch {
                         cycles_left: cycles_left - 1,
@@ -324,8 +355,11 @@ impl Processor {
         // even after the block finished (the result may arrive late).
         if let Some(pos) = self.contexts.iter().position(|c| env.mrr.is_valid(c.qubit)) {
             let ctx = self.contexts.remove(pos);
-            let chosen =
-                if env.mrr.read(ctx.qubit).value { ctx.op_if_one } else { ctx.op_if_zero };
+            let chosen = if env.mrr.read(ctx.qubit).value {
+                ctx.op_if_one
+            } else {
+                ctx.op_if_zero
+            };
             let op = chosen.gate().map(|g| QuantumOp::Gate1(g, ctx.target));
             self.stats.context_switches += 1;
             let resume_idle = matches!(self.state, State::Idle);
@@ -426,7 +460,8 @@ impl Processor {
     /// True if dispatching `op` must wait for a stored context touching
     /// the same qubits.
     fn conflicts_with_context(&self, op: &QuantumOp) -> bool {
-        op.qubits().any(|q| self.contexts.iter().any(|c| c.qubit == q || c.target == q))
+        op.qubits()
+            .any(|q| self.contexts.iter().any(|c| c.qubit == q || c.target == q))
     }
 
     /// Dispatch stage. Returns true if any instruction left the buffer.
@@ -492,16 +527,14 @@ impl Processor {
                     // instructions may bypass it, keep scanning.
                     continue;
                 }
-                let needs_front = matches!(
-                    op,
-                    ClassicalOp::Stop | ClassicalOp::Halt
-                ) || (matches!(op, ClassicalOp::Fmr { .. } | ClassicalOp::Mrce { .. })
-                    && self.buffer.iter().take(i).any(|s| {
-                        matches!(
-                            s.instr,
-                            Instruction::Quantum(q) if q.op.is_measure()
-                        )
-                    }));
+                let needs_front = matches!(op, ClassicalOp::Stop | ClassicalOp::Halt)
+                    || (matches!(op, ClassicalOp::Fmr { .. } | ClassicalOp::Mrce { .. })
+                        && self.buffer.iter().take(i).any(|s| {
+                            matches!(
+                                s.instr,
+                                Instruction::Quantum(q) if q.op.is_measure()
+                            )
+                        }));
                 if needs_front && i != 0 {
                     // Must wait until it reaches the buffer front.
                     break;
@@ -573,7 +606,8 @@ impl Processor {
             C::Ldi { rd, imm } => self.regs[rd.index() as usize] = i32::from(imm),
             C::Mov { rd, rs } => self.regs[rd.index() as usize] = self.regs[rs.index() as usize],
             C::Add { rd, rs1, rs2 } => {
-                let v = self.regs[rs1.index() as usize].wrapping_add(self.regs[rs2.index() as usize]);
+                let v =
+                    self.regs[rs1.index() as usize].wrapping_add(self.regs[rs2.index() as usize]);
                 self.write_alu(rd.index(), v);
             }
             C::Addi { rd, rs, imm } => {
@@ -581,7 +615,8 @@ impl Processor {
                 self.write_alu(rd.index(), v);
             }
             C::Sub { rd, rs1, rs2 } => {
-                let v = self.regs[rs1.index() as usize].wrapping_sub(self.regs[rs2.index() as usize]);
+                let v =
+                    self.regs[rs1.index() as usize].wrapping_sub(self.regs[rs2.index() as usize]);
                 self.write_alu(rd.index(), v);
             }
             C::And { rd, rs1, rs2 } => {
@@ -601,7 +636,8 @@ impl Processor {
                 self.write_alu(rd.index(), v);
             }
             C::Cmp { rs1, rs2 } => {
-                let v = self.regs[rs1.index() as usize].wrapping_sub(self.regs[rs2.index() as usize]);
+                let v =
+                    self.regs[rs1.index() as usize].wrapping_sub(self.regs[rs2.index() as usize]);
                 self.set_flags(v);
             }
             C::Cmpi { rs, imm } => {
@@ -629,7 +665,12 @@ impl Processor {
             C::Sts { sreg, rs } => {
                 env.shared_regs[sreg.index() as usize] = self.regs[rs.index() as usize];
             }
-            C::Mrce { qubit, target, op_if_one, op_if_zero } => {
+            C::Mrce {
+                qubit,
+                target,
+                op_if_one,
+                op_if_zero,
+            } => {
                 let entry = env.mrr.read(qubit);
                 if entry.valid {
                     let chosen = if entry.value { op_if_one } else { op_if_zero };
@@ -649,7 +690,12 @@ impl Processor {
                         env.wait_cycles.push(cycle);
                         return false; // context store full: stall
                     }
-                    self.contexts.push(StoredContext { qubit, target, op_if_one, op_if_zero });
+                    self.contexts.push(StoredContext {
+                        qubit,
+                        target,
+                        op_if_one,
+                        op_if_zero,
+                    });
                 } else {
                     // Fast context switch disabled: stall like FMR.
                     self.stats.measure_wait_cycles += 1;
@@ -707,7 +753,10 @@ impl Processor {
         for _ in 0..n {
             match self.icache.fetch(self.pc) {
                 Some(&instr) => {
-                    self.buffer.push_back(Slot { addr: self.pc, instr });
+                    self.buffer.push_back(Slot {
+                        addr: self.pc,
+                        instr,
+                    });
                     self.pc += 1;
                     if let Instruction::Classical(op) = instr {
                         if op.is_control_flow() {
@@ -721,9 +770,7 @@ impl Processor {
                 None => {
                     // Walked past the end of the block: implicit STOP
                     // (subject to the same drain conditions as STOP).
-                    if self.buffer.is_empty()
-                        && self.tqueue.is_empty()
-                        && self.contexts.is_empty()
+                    if self.buffer.is_empty() && self.tqueue.is_empty() && self.contexts.is_empty()
                     {
                         self.finish_block();
                     }

@@ -99,7 +99,10 @@ impl MachineStats {
         if self.processors.is_empty() {
             return 0.0;
         }
-        self.processors.iter().map(|p| p.busy_fraction(total_cycles)).sum::<f64>()
+        self.processors
+            .iter()
+            .map(|p| p.busy_fraction(total_cycles))
+            .sum::<f64>()
             / self.processors.len() as f64
     }
 }

@@ -19,11 +19,17 @@ use quape_isa::{BlockId, BlockStatus, Dependency, DependencyMode, Program};
 enum RtStatus {
     Wait,
     /// Fill job running toward a free bank of `proc`.
-    Prefetching { proc: usize },
+    Prefetching {
+        proc: usize,
+    },
     /// Resident in a bank of `proc`, waiting to become ready/started.
-    Prefetched { proc: usize },
+    Prefetched {
+        proc: usize,
+    },
     /// Fill job running; the block starts on `proc` when it completes.
-    Allocating { proc: usize },
+    Allocating {
+        proc: usize,
+    },
     InExecution,
     Done,
 }
@@ -42,8 +48,16 @@ impl RtStatus {
 /// An in-flight scheduling job (the scheduler is busy until `finish`).
 #[derive(Debug, Clone, Copy)]
 enum Job {
-    Allocate { block: BlockId, proc: usize, finish: u64 },
-    Prefetch { block: BlockId, proc: usize, finish: u64 },
+    Allocate {
+        block: BlockId,
+        proc: usize,
+        finish: u64,
+    },
+    Prefetch {
+        block: BlockId,
+        proc: usize,
+        finish: u64,
+    },
 }
 
 /// The dynamic block scheduler.
@@ -80,10 +94,10 @@ impl Scheduler {
         for (i, proc) in processors.iter_mut().enumerate().take(n) {
             let id = BlockId(i as u16);
             let info = program.blocks().get(id).expect("block in table");
-            let words = program.instructions()
-                [info.range.start as usize..info.range.end as usize]
-                .to_vec();
-            proc.icache_mut().install_active(id, info.range.start, words);
+            let words =
+                program.instructions()[info.range.start as usize..info.range.end as usize].to_vec();
+            proc.icache_mut()
+                .install_active(id, info.range.start, words);
             self.set_status(0, id, RtStatus::Prefetched { proc: i });
         }
     }
@@ -96,7 +110,12 @@ impl Scheduler {
             _ => None,
         };
         self.status[block.index()] = status;
-        self.events.push(BlockEvent { cycle, block, status: status.public(), processor: proc });
+        self.events.push(BlockEvent {
+            cycle,
+            block,
+            status: status.public(),
+            processor: proc,
+        });
     }
 
     /// True once every block has completed.
@@ -111,9 +130,9 @@ impl Scheduler {
 
     fn dependency_met(&self, dep: &Dependency) -> bool {
         match dep {
-            Dependency::Direct(deps) => {
-                deps.iter().all(|d| matches!(self.status[d.index()], RtStatus::Done))
-            }
+            Dependency::Direct(deps) => deps
+                .iter()
+                .all(|d| matches!(self.status[d.index()], RtStatus::Done)),
             Dependency::Priority(p) => *p == self.priority_counter,
         }
     }
@@ -192,7 +211,11 @@ impl Scheduler {
         if let Some(job) = self.job {
             stats.scheduler_busy_cycles += 1;
             match job {
-                Job::Allocate { block, proc, finish } if cycle >= finish => {
+                Job::Allocate {
+                    block,
+                    proc,
+                    finish,
+                } if cycle >= finish => {
                     let info = program.blocks().get(block).expect("block in table");
                     let words = program.instructions()
                         [info.range.start as usize..info.range.end as usize]
@@ -202,7 +225,11 @@ impl Scheduler {
                     stats.prefetch_misses += 1;
                     self.job = None;
                 }
-                Job::Prefetch { block, proc, finish } if cycle >= finish => {
+                Job::Prefetch {
+                    block,
+                    proc,
+                    finish,
+                } if cycle >= finish => {
                     let info = program.blocks().get(block).expect("block in table");
                     let words = program.instructions()
                         [info.range.start as usize..info.range.end as usize]
@@ -228,8 +255,10 @@ impl Scheduler {
             .blocks()
             .iter()
             .filter(|(id, info)| {
-                matches!(self.status[id.index()], RtStatus::Wait | RtStatus::Prefetched { .. })
-                    && self.dependency_met(&info.dependency)
+                matches!(
+                    self.status[id.index()],
+                    RtStatus::Wait | RtStatus::Prefetched { .. }
+                ) && self.dependency_met(&info.dependency)
             })
             .map(|(id, _)| id)
             .collect();
@@ -265,7 +294,11 @@ impl Scheduler {
                 }
                 let info = program.blocks().get(*block).expect("block in table");
                 let finish = cycle + self.fill_cycles(info.len(), cfg);
-                self.job = Some(Job::Allocate { block: *block, proc, finish });
+                self.job = Some(Job::Allocate {
+                    block: *block,
+                    proc,
+                    finish,
+                });
                 self.busy_until = finish;
                 self.set_status(cycle, *block, RtStatus::Allocating { proc });
                 return;
@@ -287,9 +320,7 @@ impl Scheduler {
                 Dependency::Direct(deps) => processors
                     .iter()
                     .enumerate()
-                    .filter(|(_, p)| {
-                        p.current_block().is_some_and(|b| deps.contains(&b))
-                    })
+                    .filter(|(_, p)| p.current_block().is_some_and(|b| deps.contains(&b)))
                     .map(|(i, _)| i)
                     .collect(),
                 Dependency::Priority(_) => Vec::new(),
@@ -305,7 +336,11 @@ impl Scheduler {
                 });
             if let Some(proc) = target {
                 let finish = cycle + self.fill_cycles(info.len(), cfg);
-                self.job = Some(Job::Prefetch { block, proc, finish });
+                self.job = Some(Job::Prefetch {
+                    block,
+                    proc,
+                    finish,
+                });
                 self.busy_until = finish;
                 self.set_status(cycle, block, RtStatus::Prefetching { proc });
             }
@@ -316,8 +351,10 @@ impl Scheduler {
     fn tick_ideal(&mut self, cycle: u64, processors: &mut [Processor], program: &Program) {
         loop {
             let ready = program.blocks().iter().find(|(id, info)| {
-                matches!(self.status[id.index()], RtStatus::Wait | RtStatus::Prefetched { .. })
-                    && self.dependency_met(&info.dependency)
+                matches!(
+                    self.status[id.index()],
+                    RtStatus::Wait | RtStatus::Prefetched { .. }
+                ) && self.dependency_met(&info.dependency)
             });
             let (block, info) = match ready {
                 Some(r) => r,
@@ -326,9 +363,8 @@ impl Scheduler {
             let Some(proc) = processors.iter().position(Processor::is_idle) else {
                 return;
             };
-            let words = program.instructions()
-                [info.range.start as usize..info.range.end as usize]
-                .to_vec();
+            let words =
+                program.instructions()[info.range.start as usize..info.range.end as usize].to_vec();
             processors[proc].load_and_run(block, info.range.start, words, cycle);
             self.set_status(cycle, block, RtStatus::InExecution);
         }

@@ -25,7 +25,11 @@ impl Default for TimelineOptions {
         TimelineOptions {
             ns_per_column: 10,
             max_columns: 120,
-            timings: OpTimings { single_qubit_ns: 20, two_qubit_ns: 40, readout_pulse_ns: 300 },
+            timings: OpTimings {
+                single_qubit_ns: 20,
+                two_qubit_ns: 40,
+                readout_pulse_ns: 300,
+            },
         }
     }
 }
@@ -98,7 +102,11 @@ pub fn render_timeline(report: &RunReport, opts: &TimelineOptions) -> String {
     for (qubit, mut row) in rows {
         row.resize(width, '.');
         let line: String = row.into_iter().collect();
-        let _ = writeln!(out, "q{qubit:<3} {line}{}", if truncated { ">" } else { "" });
+        let _ = writeln!(
+            out,
+            "q{qubit:<3} {line}{}",
+            if truncated { ">" } else { "" }
+        );
     }
     out
 }
@@ -113,7 +121,9 @@ mod tests {
     fn run(src: &str) -> RunReport {
         let cfg = QuapeConfig::superscalar(8);
         let qpu = BehavioralQpu::new(cfg.timings, MeasurementModel::AlwaysZero, 1);
-        Machine::new(cfg, assemble(src).unwrap(), Box::new(qpu)).unwrap().run()
+        Machine::new(cfg, assemble(src).unwrap(), Box::new(qpu))
+            .unwrap()
+            .run()
     }
 
     #[test]
@@ -122,7 +132,7 @@ mod tests {
         let art = render_timeline(&report, &TimelineOptions::default());
         let lines: Vec<&str> = art.lines().collect();
         assert_eq!(lines.len(), 3); // header + 2 qubit rows
-        // Both qubit rows start with the H glyph at the same column.
+                                    // Both qubit rows start with the H glyph at the same column.
         let h0 = lines[1].find('H').expect("q0 has an H");
         let h1 = lines[2].find('H').expect("q1 has an H");
         assert_eq!(h0, h1);
@@ -150,7 +160,10 @@ mod tests {
         let report = run(&src);
         let art = render_timeline(
             &report,
-            &TimelineOptions { max_columns: 20, ..TimelineOptions::default() },
+            &TimelineOptions {
+                max_columns: 20,
+                ..TimelineOptions::default()
+            },
         );
         assert!(art.contains("(truncated)"));
         assert!(art.lines().nth(1).expect("row").ends_with('>'));

@@ -9,11 +9,17 @@ use quape_qpu::{BehavioralQpu, MeasurementModel};
 fn run(cfg: QuapeConfig, src: &str, model: MeasurementModel) -> RunReport {
     let program = assemble(src).expect("valid test program");
     let qpu = BehavioralQpu::new(cfg.timings, model, cfg.seed.wrapping_add(17));
-    Machine::new(cfg, program, Box::new(qpu)).expect("valid machine").run()
+    Machine::new(cfg, program, Box::new(qpu))
+        .expect("valid machine")
+        .run()
 }
 
 fn issue_times(report: &RunReport) -> Vec<(String, u64)> {
-    report.issued.iter().map(|o| (o.op.to_string(), o.time_ns)).collect()
+    report
+        .issued
+        .iter()
+        .map(|o| (o.op.to_string(), o.time_ns))
+        .collect()
 }
 
 #[test]
@@ -31,7 +37,11 @@ fn paper_listing_timing_is_exact() {
     let t = issue_times(&r);
     assert_eq!(t.len(), 3);
     assert_eq!(t[0].1, t[1].1, "parallel H gates must issue simultaneously");
-    assert_eq!(t[2].1, t[0].1 + 10, "CNOT must follow after exactly 1 cycle");
+    assert_eq!(
+        t[2].1,
+        t[0].1 + 10,
+        "CNOT must follow after exactly 1 cycle"
+    );
     assert_eq!(r.stats.late_issues, 0);
 
     // With a 2-cycle label the schedule is physically clean as well.
@@ -48,16 +58,30 @@ fn scalar_skews_parallel_ops() {
     // On a 1-wide machine, 4 "simultaneous" ops cannot issue together:
     // the QCP falls behind and the ops spread out in time (late issues).
     let src = "0 H q0\n0 H q1\n0 H q2\n0 H q3\nSTOP\n";
-    let r = run(QuapeConfig::scalar_baseline(), src, MeasurementModel::AlwaysZero);
+    let r = run(
+        QuapeConfig::scalar_baseline(),
+        src,
+        MeasurementModel::AlwaysZero,
+    );
     let times: Vec<u64> = r.issued.iter().map(|o| o.time_ns).collect();
     assert_eq!(times.len(), 4);
-    assert!(times.windows(2).all(|w| w[1] > w[0]), "scalar issue must skew: {times:?}");
+    assert!(
+        times.windows(2).all(|w| w[1] > w[0]),
+        "scalar issue must skew: {times:?}"
+    );
     assert!(r.stats.late_issues > 0, "lateness must be recorded");
 
     // The 8-way superscalar issues all four together.
-    let r8 = run(QuapeConfig::superscalar(8), src, MeasurementModel::AlwaysZero);
+    let r8 = run(
+        QuapeConfig::superscalar(8),
+        src,
+        MeasurementModel::AlwaysZero,
+    );
     let times8: Vec<u64> = r8.issued.iter().map(|o| o.time_ns).collect();
-    assert!(times8.iter().all(|&t| t == times8[0]), "superscalar must group: {times8:?}");
+    assert!(
+        times8.iter().all(|&t| t == times8[0]),
+        "superscalar must group: {times8:?}"
+    );
     assert_eq!(r8.stats.late_issues, 0);
 }
 
@@ -86,7 +110,10 @@ fn buffered_group_recombines_across_fetches() {
     let cfg = QuapeConfig::superscalar(8);
     let r = run(cfg, &src, MeasurementModel::AlwaysZero);
     let times: Vec<u64> = r.issued.iter().map(|o| o.time_ns).collect();
-    assert!(times.iter().all(|&t| t == times[0]), "all 8 issue together: {times:?}");
+    assert!(
+        times.iter().all(|&t| t == times[0]),
+        "all 8 issue together: {times:?}"
+    );
 }
 
 #[test]
@@ -94,8 +121,17 @@ fn feedback_latency_matches_paper_450ns() {
     // MEAS → FMR → conditional X: end-to-end feedback latency should be
     // ≈ 450 ns (readout 300 + DAQ 120..150 + QCP conditional cycles).
     let src = "0 MEAS q0\nFMR r0, q0\nCMPI r0, 1\nBR NE, skip\n0 X q0\nskip: STOP\n";
-    let r = run(QuapeConfig::uniprocessor(), src, MeasurementModel::AlwaysOne);
-    assert_eq!(r.issued.len(), 2, "measure + conditional X: {:?}", issue_times(&r));
+    let r = run(
+        QuapeConfig::uniprocessor(),
+        src,
+        MeasurementModel::AlwaysOne,
+    );
+    assert_eq!(
+        r.issued.len(),
+        2,
+        "measure + conditional X: {:?}",
+        issue_times(&r)
+    );
     let latency = r.issued[1].time_ns - r.issued[0].time_ns;
     assert!(
         (420..=520).contains(&latency),
@@ -107,7 +143,11 @@ fn feedback_latency_matches_paper_450ns() {
 #[test]
 fn feedback_branch_not_taken_issues_nothing() {
     let src = "0 MEAS q0\nFMR r0, q0\nCMPI r0, 1\nBR NE, skip\n0 X q0\nskip: STOP\n";
-    let r = run(QuapeConfig::uniprocessor(), src, MeasurementModel::AlwaysZero);
+    let r = run(
+        QuapeConfig::uniprocessor(),
+        src,
+        MeasurementModel::AlwaysZero,
+    );
     assert_eq!(r.issued.len(), 1, "no conditional X when result is 0");
 }
 
@@ -116,7 +156,11 @@ fn rus_loop_terminates_on_success() {
     // Repeat-until-success: measure, loop back while the outcome is 1.
     // AlwaysZero succeeds on the first try; the loop runs exactly once.
     let src = "top: 0 X q0\n2 MEAS q0\nFMR r0, q0\nCMPI r0, 1\nBR EQ, top\nSTOP\n";
-    let r = run(QuapeConfig::uniprocessor(), src, MeasurementModel::AlwaysZero);
+    let r = run(
+        QuapeConfig::uniprocessor(),
+        src,
+        MeasurementModel::AlwaysZero,
+    );
     assert_eq!(r.stop, StopReason::Completed);
     assert_eq!(r.issued.len(), 2); // one X + one MEAS
     assert_eq!(r.measurements.len(), 1);
@@ -132,29 +176,52 @@ fn rus_loop_repeats_on_failure() {
         let cfg = QuapeConfig::uniprocessor().with_seed(seed);
         let r = run(cfg, src, MeasurementModel::Bernoulli { p_one: 0.7 });
         assert_eq!(r.stop, StopReason::Completed);
-        let xs = r.issued.iter().filter(|o| matches!(o.op, QuantumOp::Gate1(..))).count();
+        let xs = r
+            .issued
+            .iter()
+            .filter(|o| matches!(o.op, QuantumOp::Gate1(..)))
+            .count();
         assert_eq!(xs, r.measurements.len(), "one X per round (seed {seed})");
-        assert!(!r.measurements.last().expect("at least one round").value, "loop exits on 0");
+        assert!(
+            !r.measurements.last().expect("at least one round").value,
+            "loop exits on 0"
+        );
         if r.measurements.len() >= 2 {
             saw_retry = true;
         }
     }
-    assert!(saw_retry, "no seed out of 10 produced a retry at p(fail)=0.7");
+    assert!(
+        saw_retry,
+        "no seed out of 10 produced a retry at p(fail)=0.7"
+    );
 }
 
 #[test]
 fn mrce_active_reset_issues_conditional() {
     let src = "0 MEAS q0\nMRCE q0, q0, X, NONE\nSTOP\n";
-    let r = run(QuapeConfig::uniprocessor(), src, MeasurementModel::AlwaysOne);
+    let r = run(
+        QuapeConfig::uniprocessor(),
+        src,
+        MeasurementModel::AlwaysOne,
+    );
     assert_eq!(r.stop, StopReason::Completed);
-    assert_eq!(r.issued.len(), 2, "measure + reset X: {:?}", issue_times(&r));
+    assert_eq!(
+        r.issued.len(),
+        2,
+        "measure + reset X: {:?}",
+        issue_times(&r)
+    );
     assert_eq!(r.stats.processors[0].context_switches, 1);
 }
 
 #[test]
 fn mrce_does_nothing_on_zero_outcome() {
     let src = "0 MEAS q0\nMRCE q0, q0, X, NONE\nSTOP\n";
-    let r = run(QuapeConfig::uniprocessor(), src, MeasurementModel::AlwaysZero);
+    let r = run(
+        QuapeConfig::uniprocessor(),
+        src,
+        MeasurementModel::AlwaysZero,
+    );
     assert_eq!(r.issued.len(), 1);
     assert_eq!(r.stats.processors[0].context_switches, 1);
 }
@@ -233,8 +300,14 @@ STOP
     let r = run(cfg.clone(), src, MeasurementModel::AlwaysOne);
     assert_eq!(r.issued.len(), 3);
     // Order: MEAS, conditional X, then H.
-    assert!(matches!(r.issued[1].op, QuantumOp::Gate1(quape_isa::Gate1::X, _)));
-    assert!(matches!(r.issued[2].op, QuantumOp::Gate1(quape_isa::Gate1::H, _)));
+    assert!(matches!(
+        r.issued[1].op,
+        QuantumOp::Gate1(quape_isa::Gate1::X, _)
+    ));
+    assert!(matches!(
+        r.issued[2].op,
+        QuantumOp::Gate1(quape_isa::Gate1::H, _)
+    ));
     assert!(r.stats.processors[0].context_dependency_stalls > 0);
 }
 
@@ -250,10 +323,17 @@ STOP
 STOP
 .endblock
 ";
-    let r = run(QuapeConfig::multiprocessor(2), src, MeasurementModel::AlwaysZero);
+    let r = run(
+        QuapeConfig::multiprocessor(2),
+        src,
+        MeasurementModel::AlwaysZero,
+    );
     assert_eq!(r.stop, StopReason::Completed);
     assert_eq!(r.issued.len(), 2);
-    assert!(r.issued[0].time_ns < r.issued[1].time_ns, "w2 must wait for w1");
+    assert!(
+        r.issued[0].time_ns < r.issued[1].time_ns,
+        "w2 must wait for w1"
+    );
 }
 
 #[test]
@@ -269,8 +349,16 @@ fn parallel_blocks_overlap_on_multiprocessor() {
     }
     src.push_str("STOP\n.endblock\n");
 
-    let uni = run(QuapeConfig::uniprocessor(), &src, MeasurementModel::AlwaysZero);
-    let dual = run(QuapeConfig::multiprocessor(2), &src, MeasurementModel::AlwaysZero);
+    let uni = run(
+        QuapeConfig::uniprocessor(),
+        &src,
+        MeasurementModel::AlwaysZero,
+    );
+    let dual = run(
+        QuapeConfig::multiprocessor(2),
+        &src,
+        MeasurementModel::AlwaysZero,
+    );
     assert_eq!(uni.issued.len(), 40);
     assert_eq!(dual.issued.len(), 40);
     assert!(
@@ -297,7 +385,11 @@ STOP
 STOP
 .endblock
 ";
-    let r = run(QuapeConfig::multiprocessor(2), src, MeasurementModel::AlwaysZero);
+    let r = run(
+        QuapeConfig::multiprocessor(2),
+        src,
+        MeasurementModel::AlwaysZero,
+    );
     assert_eq!(r.stop, StopReason::Completed);
     let cnot_t = r
         .issued
@@ -305,8 +397,15 @@ STOP
         .find(|o| matches!(o.op, QuantumOp::Gate2(..)))
         .expect("CNOT issued")
         .time_ns;
-    for o in r.issued.iter().filter(|o| matches!(o.op, QuantumOp::Gate1(..))) {
-        assert!(o.time_ns < cnot_t, "priority 1 block ran before priority 0 finished");
+    for o in r
+        .issued
+        .iter()
+        .filter(|o| matches!(o.op, QuantumOp::Gate1(..)))
+    {
+        assert!(
+            o.time_ns < cnot_t,
+            "priority 1 block ran before priority 0 finished"
+        );
     }
 }
 
@@ -320,8 +419,16 @@ fn ideal_scheduler_is_never_slower() {
         }
         src.push_str("STOP\n.endblock\n");
     }
-    let real = run(QuapeConfig::multiprocessor(2), &src, MeasurementModel::AlwaysZero);
-    let ideal = run(QuapeConfig::multiprocessor(2).ideal(), &src, MeasurementModel::AlwaysZero);
+    let real = run(
+        QuapeConfig::multiprocessor(2),
+        &src,
+        MeasurementModel::AlwaysZero,
+    );
+    let ideal = run(
+        QuapeConfig::multiprocessor(2).ideal(),
+        &src,
+        MeasurementModel::AlwaysZero,
+    );
     assert!(ideal.execution_time_ns() <= real.execution_time_ns());
 }
 
@@ -339,12 +446,20 @@ fn ces_matches_hand_computed_widths() {
     }
     src.push_str(".step none\nSTOP\n");
 
-    let scalar = run(QuapeConfig::scalar_baseline(), &src, MeasurementModel::AlwaysZero);
+    let scalar = run(
+        QuapeConfig::scalar_baseline(),
+        &src,
+        MeasurementModel::AlwaysZero,
+    );
     let ces_scalar = ces_report_paper(&scalar);
     assert_eq!(ces_scalar.steps[1].ces, 16, "{ces_scalar}");
     assert!((ces_scalar.steps[1].tr - 8.0).abs() < 1e-9);
 
-    let wide = run(QuapeConfig::superscalar(8), &src, MeasurementModel::AlwaysZero);
+    let wide = run(
+        QuapeConfig::superscalar(8),
+        &src,
+        MeasurementModel::AlwaysZero,
+    );
     let ces_wide = ces_report_paper(&wide);
     assert_eq!(ces_wide.steps[1].ces, 2, "{ces_wide}");
     assert!((ces_wide.steps[1].tr - 1.0).abs() < 1e-9);
@@ -353,7 +468,11 @@ fn ces_matches_hand_computed_widths() {
 
 #[test]
 fn halt_stops_the_machine() {
-    let r = run(QuapeConfig::uniprocessor(), "0 X q0\nHALT\n", MeasurementModel::AlwaysZero);
+    let r = run(
+        QuapeConfig::uniprocessor(),
+        "0 X q0\nHALT\n",
+        MeasurementModel::AlwaysZero,
+    );
     assert_eq!(r.stop, StopReason::Halted);
     assert_eq!(r.issued.len(), 1);
 }
@@ -379,7 +498,11 @@ NOP
 sub: 0 X q0
 RET
 ";
-    let r = run(QuapeConfig::uniprocessor(), src, MeasurementModel::AlwaysZero);
+    let r = run(
+        QuapeConfig::uniprocessor(),
+        src,
+        MeasurementModel::AlwaysZero,
+    );
     assert_eq!(r.stop, StopReason::Completed);
     let t = issue_times(&r);
     assert_eq!(t.len(), 2);
@@ -397,7 +520,11 @@ CMPI r0, 0
 BR GT, top
 STOP
 ";
-    let r = run(QuapeConfig::uniprocessor(), src, MeasurementModel::AlwaysZero);
+    let r = run(
+        QuapeConfig::uniprocessor(),
+        src,
+        MeasurementModel::AlwaysZero,
+    );
     assert_eq!(r.issued.len(), 5);
 }
 
@@ -420,7 +547,11 @@ bad: 0 Z q1
 fin: STOP
 .endblock
 ";
-    let r = run(QuapeConfig::multiprocessor(2), src, MeasurementModel::AlwaysZero);
+    let r = run(
+        QuapeConfig::multiprocessor(2),
+        src,
+        MeasurementModel::AlwaysZero,
+    );
     assert_eq!(r.stop, StopReason::Completed);
     assert!(
         r.issued.iter().any(|o| o.op.to_string().starts_with("Y ")),
@@ -445,7 +576,11 @@ fn qpu_never_sees_overlap_when_tr_le_1() {
 .step none
 STOP
 ";
-    let r = run(QuapeConfig::superscalar(8), src, MeasurementModel::AlwaysZero);
+    let r = run(
+        QuapeConfig::superscalar(8),
+        src,
+        MeasurementModel::AlwaysZero,
+    );
     assert!(r.violations.is_empty(), "violations: {:?}", r.violations);
     assert!(r.timing_clean());
 }
@@ -457,14 +592,20 @@ fn cycle_limit_reports_timeout() {
     let program = assemble(src).unwrap();
     let cfg = QuapeConfig::uniprocessor();
     let qpu = BehavioralQpu::new(cfg.timings, MeasurementModel::AlwaysZero, 5);
-    let r = Machine::new(cfg, program, Box::new(qpu)).unwrap().run_with_limit(2_000);
+    let r = Machine::new(cfg, program, Box::new(qpu))
+        .unwrap()
+        .run_with_limit(2_000);
     assert_eq!(r.stop, StopReason::CycleLimit);
     assert_eq!(r.cycles, 2_000);
 }
 
 #[test]
 fn ret_without_call_is_an_error() {
-    let r = run(QuapeConfig::uniprocessor(), "RET\n", MeasurementModel::AlwaysZero);
+    let r = run(
+        QuapeConfig::uniprocessor(),
+        "RET\n",
+        MeasurementModel::AlwaysZero,
+    );
     assert_eq!(r.stop, StopReason::Error);
 }
 
@@ -481,7 +622,11 @@ fn context_store_overflow_stalls_then_recovers() {
         src.push_str(&format!("MRCE q{q}, q{q}, X, NONE\n"));
     }
     src.push_str("STOP\n");
-    let r = run(QuapeConfig::superscalar(8), &src, MeasurementModel::AlwaysOne);
+    let r = run(
+        QuapeConfig::superscalar(8),
+        &src,
+        MeasurementModel::AlwaysOne,
+    );
     assert_eq!(r.stop, StopReason::Completed);
     // 5 measures + 5 conditional X's.
     assert_eq!(r.issued.len(), 10, "{:?}", issue_times(&r));
@@ -489,7 +634,10 @@ fn context_store_overflow_stalls_then_recovers() {
     // fifth MRCE retries, its own result is already valid, so it issues
     // directly without a switch.
     assert_eq!(r.stats.processors[0].context_switches, 4);
-    assert!(r.stats.processors[0].measure_wait_cycles > 0, "fifth MRCE must have stalled");
+    assert!(
+        r.stats.processors[0].measure_wait_cycles > 0,
+        "fifth MRCE must have stalled"
+    );
 }
 
 #[test]
@@ -511,10 +659,21 @@ fn wide_machine_on_serial_code_changes_nothing() {
     // A fully serial chain must produce identical issue times on the
     // scalar and the 16-way machine (QOLP cannot invent parallelism).
     let src = "0 X q0\n2 X q0\n2 X q0\n2 X q0\nSTOP\n";
-    let scalar = run(QuapeConfig::scalar_baseline(), src, MeasurementModel::AlwaysZero);
-    let wide = run(QuapeConfig::superscalar(16), src, MeasurementModel::AlwaysZero);
+    let scalar = run(
+        QuapeConfig::scalar_baseline(),
+        src,
+        MeasurementModel::AlwaysZero,
+    );
+    let wide = run(
+        QuapeConfig::superscalar(16),
+        src,
+        MeasurementModel::AlwaysZero,
+    );
     let deltas = |r: &RunReport| {
-        r.issued.windows(2).map(|w| w[1].time_ns - w[0].time_ns).collect::<Vec<_>>()
+        r.issued
+            .windows(2)
+            .map(|w| w[1].time_ns - w[0].time_ns)
+            .collect::<Vec<_>>()
     };
     assert_eq!(deltas(&scalar), deltas(&wide));
     assert_eq!(deltas(&wide), vec![20, 20, 20]);
@@ -532,7 +691,11 @@ STOP
 STOP
 .endblock
 ";
-    let r = run(QuapeConfig::uniprocessor(), src, MeasurementModel::AlwaysZero);
+    let r = run(
+        QuapeConfig::uniprocessor(),
+        src,
+        MeasurementModel::AlwaysZero,
+    );
     use quape_isa::{BlockId, BlockStatus};
     let w2: Vec<BlockStatus> = r
         .block_events

@@ -34,14 +34,19 @@ fn build(ops: &[ProgOp]) -> Program {
                 b.quantum(2, QuantumOp::Gate1(gate, Qubit::new(q)));
             }
             ProgOp::G2(a, bq) if a != bq => {
-                b.quantum(4, QuantumOp::Gate2(Gate2::Cnot, Qubit::new(a), Qubit::new(bq)));
+                b.quantum(
+                    4,
+                    QuantumOp::Gate2(Gate2::Cnot, Qubit::new(a), Qubit::new(bq)),
+                );
             }
             ProgOp::G2(..) => {}
             ProgOp::Meas(q) => {
                 b.quantum(2, QuantumOp::Measure(Qubit::new(q)));
             }
             ProgOp::Wait(c) => {
-                b.push(ClassicalOp::Qwait { cycles: quape_isa::Cycles::new(u32::from(c)) });
+                b.push(ClassicalOp::Qwait {
+                    cycles: quape_isa::Cycles::new(u32::from(c)),
+                });
             }
         }
     }
@@ -50,8 +55,14 @@ fn build(ops: &[ProgOp]) -> Program {
 }
 
 fn run(cfg: QuapeConfig, program: Program, seed: u64) -> quape_core::RunReport {
-    let qpu = BehavioralQpu::new(cfg.timings, MeasurementModel::Bernoulli { p_one: 0.5 }, seed);
-    Machine::new(cfg, program, Box::new(qpu)).expect("machine builds").run_with_limit(500_000)
+    let qpu = BehavioralQpu::new(
+        cfg.timings,
+        MeasurementModel::Bernoulli { p_one: 0.5 },
+        seed,
+    );
+    Machine::new(cfg, program, Box::new(qpu))
+        .expect("machine builds")
+        .run_with_limit(500_000)
 }
 
 proptest! {

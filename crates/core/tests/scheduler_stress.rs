@@ -9,7 +9,9 @@ use quape_qpu::{BehavioralQpu, MeasurementModel};
 
 fn run(cfg: QuapeConfig, program: Program) -> RunReport {
     let qpu = BehavioralQpu::new(cfg.timings, MeasurementModel::AlwaysZero, cfg.seed);
-    Machine::new(cfg, program, Box::new(qpu)).expect("machine builds").run_with_limit(500_000)
+    Machine::new(cfg, program, Box::new(qpu))
+        .expect("machine builds")
+        .run_with_limit(500_000)
 }
 
 /// Builds a program whose blocks follow an arbitrary direct-dependency
@@ -24,7 +26,10 @@ fn dag_program(spec: &[(&str, &[&str], usize)]) -> Program {
             b.begin_block_named_deps(*name, deps);
         }
         for g in 0..*gates {
-            b.quantum(2, QuantumOp::Gate1(Gate1::X, Qubit::new(((i + g) % 16) as u16)));
+            b.quantum(
+                2,
+                QuantumOp::Gate1(Gate1::X, Qubit::new(((i + g) % 16) as u16)),
+            );
         }
         b.push(ClassicalOp::Stop);
         b.end_block();
@@ -55,8 +60,12 @@ fn exec_cycle(report: &RunReport, program: &Program, name: &str) -> u64 {
 #[test]
 fn diamond_dependency_respected() {
     // a → (b ∥ c) → d on 2 processors.
-    let spec: &[(&str, &[&str], usize)] =
-        &[("a", &[], 6), ("b", &["a"], 6), ("c", &["a"], 6), ("d", &["b", "c"], 6)];
+    let spec: &[(&str, &[&str], usize)] = &[
+        ("a", &[], 6),
+        ("b", &["a"], 6),
+        ("c", &["a"], 6),
+        ("d", &["b", "c"], 6),
+    ];
     let program = dag_program(spec);
     let report = run(QuapeConfig::multiprocessor(2), program.clone());
     assert_eq!(report.stop, StopReason::Completed);
@@ -86,7 +95,10 @@ fn wide_fanout_saturates_processors() {
             b.begin_block_named_deps(*name, deps);
         }
         for g in 0..*gates {
-            b.quantum(2, QuantumOp::Gate1(Gate1::X, Qubit::new(((i * 3 + g) % 24) as u16)));
+            b.quantum(
+                2,
+                QuantumOp::Gate1(Gate1::X, Qubit::new(((i * 3 + g) % 24) as u16)),
+            );
         }
         b.push(ClassicalOp::Stop);
         b.end_block();
@@ -96,22 +108,33 @@ fn wide_fanout_saturates_processors() {
     assert_eq!(report.stop, StopReason::Completed);
 
     // Concurrency check: some child must start before another finishes.
-    let execs: Vec<u64> =
-        (0..8).map(|i| exec_cycle(&report, &program, &format!("child{i}"))).collect();
-    let dones: Vec<u64> =
-        (0..8).map(|i| done_cycle(&report, &program, &format!("child{i}"))).collect();
-    let overlap = execs
-        .iter()
-        .enumerate()
-        .any(|(i, &e)| dones.iter().enumerate().any(|(j, &d)| i != j && e < d && execs[j] < d));
-    assert!(overlap, "children never overlapped: exec {execs:?} done {dones:?}");
+    let execs: Vec<u64> = (0..8)
+        .map(|i| exec_cycle(&report, &program, &format!("child{i}")))
+        .collect();
+    let dones: Vec<u64> = (0..8)
+        .map(|i| done_cycle(&report, &program, &format!("child{i}")))
+        .collect();
+    let overlap = execs.iter().enumerate().any(|(i, &e)| {
+        dones
+            .iter()
+            .enumerate()
+            .any(|(j, &d)| i != j && e < d && execs[j] < d)
+    });
+    assert!(
+        overlap,
+        "children never overlapped: exec {execs:?} done {dones:?}"
+    );
 }
 
 #[test]
 fn long_chain_serializes_completely() {
     let spec: Vec<(String, Vec<String>, usize)> = (0..10)
         .map(|i| {
-            let deps = if i == 0 { vec![] } else { vec![format!("n{}", i - 1)] };
+            let deps = if i == 0 {
+                vec![]
+            } else {
+                vec![format!("n{}", i - 1)]
+            };
             (format!("n{i}"), deps, 3)
         })
         .collect();
@@ -215,4 +238,52 @@ fn empty_blocks_complete_immediately() {
     let report = run(QuapeConfig::multiprocessor(2), program);
     assert_eq!(report.stop, StopReason::Completed);
     assert_eq!(report.issued.len(), 1);
+}
+
+#[test]
+fn priority_mode_respects_level_order_on_multiprocessor() {
+    // Regression test for the priority dependency mode: with several
+    // blocks per priority level on 2 processors, no block of level p+1
+    // may enter execution before *every* level-p block is done, while
+    // blocks of one level are free to overlap.
+    let mut b = ProgramBuilder::new();
+    for level in 0..3u16 {
+        for k in 0..2u16 {
+            b.begin_block(format!("l{level}_{k}"), Dependency::Priority(level));
+            for g in 0..8u16 {
+                b.quantum(
+                    2,
+                    QuantumOp::Gate1(Gate1::X, Qubit::new((level * 2 + k + g) % 8)),
+                );
+            }
+            b.push(ClassicalOp::Stop);
+            b.end_block();
+        }
+    }
+    let program = b.finish().expect("valid priority program");
+    let report = run(QuapeConfig::multiprocessor(2), program.clone());
+    assert_eq!(report.stop, StopReason::Completed);
+    for level in 1..3u16 {
+        let prev_done = (0..2u16)
+            .map(|k| done_cycle(&report, &program, &format!("l{}_{k}", level - 1)))
+            .max()
+            .expect("two blocks per level");
+        for k in 0..2u16 {
+            let exec = exec_cycle(&report, &program, &format!("l{level}_{k}"));
+            assert!(
+                exec >= prev_done,
+                "l{level}_{k} started at {exec} before level {} finished at {prev_done}",
+                level - 1
+            );
+        }
+    }
+    // The two blocks of level 0 should overlap on 2 processors.
+    let e0 = exec_cycle(&report, &program, "l0_0");
+    let e1 = exec_cycle(&report, &program, "l0_1");
+    let d0 = done_cycle(&report, &program, "l0_0");
+    let d1 = done_cycle(&report, &program, "l0_1");
+    assert!(
+        e0 < d1 && e1 < d0,
+        "level-0 blocks never overlapped: {e0}/{d0} vs {e1}/{d1}"
+    );
 }

@@ -36,7 +36,10 @@ pub struct AsmError {
 
 impl AsmError {
     fn new(line: usize, message: impl Into<String>) -> Self {
-        AsmError { line, message: message.into() }
+        AsmError {
+            line,
+            message: message.into(),
+        }
     }
 }
 
@@ -50,7 +53,10 @@ impl std::error::Error for AsmError {}
 
 impl From<ProgramError> for AsmError {
     fn from(e: ProgramError) -> Self {
-        AsmError { line: 0, message: e.to_string() }
+        AsmError {
+            line: 0,
+            message: e.to_string(),
+        }
     }
 }
 
@@ -107,7 +113,9 @@ fn parse_line(b: &mut ProgramBuilder, line: &str, no: usize) -> Result<(), AsmEr
 
 fn is_identifier(s: &str) -> bool {
     !s.is_empty()
-        && s.chars().next().is_some_and(|c| c.is_ascii_alphabetic() || c == '_')
+        && s.chars()
+            .next()
+            .is_some_and(|c| c.is_ascii_alphabetic() || c == '_')
         && s.chars().all(|c| c.is_ascii_alphanumeric() || c == '_')
 }
 
@@ -121,8 +129,9 @@ fn parse_directive(b: &mut ProgramBuilder, rest: &str, no: usize) -> Result<(), 
                 .to_string();
             let spec = parts.next().unwrap_or("deps=none");
             if let Some(p) = spec.strip_prefix("prio=") {
-                let prio: u16 =
-                    p.parse().map_err(|_| AsmError::new(no, format!("bad priority `{p}`")))?;
+                let prio: u16 = p
+                    .parse()
+                    .map_err(|_| AsmError::new(no, format!("bad priority `{p}`")))?;
                 b.begin_block(name, crate::Dependency::Priority(prio));
             } else if let Some(d) = spec.strip_prefix("deps=") {
                 if d.eq_ignore_ascii_case("none") {
@@ -146,12 +155,15 @@ fn parse_directive(b: &mut ProgramBuilder, rest: &str, no: usize) -> Result<(), 
             Ok(())
         }
         Some("step") => {
-            let arg = parts.next().ok_or_else(|| AsmError::new(no, ".step requires an argument"))?;
+            let arg = parts
+                .next()
+                .ok_or_else(|| AsmError::new(no, ".step requires an argument"))?;
             if arg.eq_ignore_ascii_case("none") {
                 b.set_step(None);
             } else {
-                let s: u32 =
-                    arg.parse().map_err(|_| AsmError::new(no, format!("bad step `{arg}`")))?;
+                let s: u32 = arg
+                    .parse()
+                    .map_err(|_| AsmError::new(no, format!("bad step `{arg}`")))?;
                 b.set_step(Some(StepId(s)));
             }
             Ok(())
@@ -168,7 +180,10 @@ fn parse_instruction(b: &mut ProgramBuilder, line: &str, no: usize) -> Result<()
         if timing > crate::MAX_TIMING {
             return Err(AsmError::new(
                 no,
-                format!("timing label {timing} exceeds {} (use QWAIT)", crate::MAX_TIMING),
+                format!(
+                    "timing label {timing} exceeds {} (use QWAIT)",
+                    crate::MAX_TIMING
+                ),
             ));
         }
         let op = parse_quantum_op(rest.trim(), no)?;
@@ -186,7 +201,10 @@ fn split_head(line: &str) -> (&str, &str) {
 }
 
 fn operands(rest: &str) -> Vec<&str> {
-    rest.split(',').map(str::trim).filter(|s| !s.is_empty()).collect()
+    rest.split(',')
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .collect()
 }
 
 fn parse_qubit(tok: &str, no: usize) -> Result<Qubit, AsmError> {
@@ -216,7 +234,8 @@ fn parse_sreg(tok: &str, no: usize) -> Result<SharedReg, AsmError> {
 }
 
 fn parse_imm(tok: &str, no: usize) -> Result<i16, AsmError> {
-    tok.parse::<i16>().map_err(|_| AsmError::new(no, format!("bad immediate `{tok}`")))
+    tok.parse::<i16>()
+        .map_err(|_| AsmError::new(no, format!("bad immediate `{tok}`")))
 }
 
 fn parse_quantum_op(rest: &str, no: usize) -> Result<QuantumOp, AsmError> {
@@ -236,7 +255,10 @@ fn parse_quantum_op(rest: &str, no: usize) -> Result<QuantumOp, AsmError> {
             .and_then(|n| n.parse().ok())
             .ok_or_else(|| AsmError::new(no, format!("bad rotation index in `{mnem}`")))?;
         if k >= Angle::STEPS {
-            return Err(AsmError::new(no, format!("rotation index {k} out of range")));
+            return Err(AsmError::new(
+                no,
+                format!("rotation index {k} out of range"),
+            ));
         }
         let gate = match axis {
             "RX" => Gate1::Rx(Angle::new(k)),
@@ -277,9 +299,16 @@ fn parse_quantum_op(rest: &str, no: usize) -> Result<QuantumOp, AsmError> {
     };
     if let Some(g) = gate2 {
         if ops.len() != 2 {
-            return Err(AsmError::new(no, format!("{mnem} requires two qubit operands")));
+            return Err(AsmError::new(
+                no,
+                format!("{mnem} requires two qubit operands"),
+            ));
         }
-        return Ok(QuantumOp::Gate2(g, parse_qubit(ops[0], no)?, parse_qubit(ops[1], no)?));
+        return Ok(QuantumOp::Gate2(
+            g,
+            parse_qubit(ops[0], no)?,
+            parse_qubit(ops[1], no)?,
+        ));
     }
 
     if mnem_upper == "MEAS" || mnem_upper == "MEASURE" {
@@ -287,14 +316,20 @@ fn parse_quantum_op(rest: &str, no: usize) -> Result<QuantumOp, AsmError> {
         return Ok(QuantumOp::Measure(parse_qubit(q, no)?));
     }
 
-    Err(AsmError::new(no, format!("unknown quantum mnemonic `{mnem}`")))
+    Err(AsmError::new(
+        no,
+        format!("unknown quantum mnemonic `{mnem}`"),
+    ))
 }
 
 fn single_operand<'a>(ops: &[&'a str], no: usize) -> Result<&'a str, AsmError> {
     if ops.len() == 1 {
         Ok(ops[0])
     } else {
-        Err(AsmError::new(no, format!("expected one operand, got {}", ops.len())))
+        Err(AsmError::new(
+            no,
+            format!("expected one operand, got {}", ops.len()),
+        ))
     }
 }
 
@@ -313,10 +348,19 @@ fn parse_condop(tok: &str, no: usize) -> Result<CondOp, AsmError> {
 }
 
 /// Either a numeric address or a label reference.
-fn parse_target(b: &mut ProgramBuilder, tok: &str, cond: Option<Cond>, call: bool, no: usize) -> Result<(), AsmError> {
+fn parse_target(
+    b: &mut ProgramBuilder,
+    tok: &str,
+    cond: Option<Cond>,
+    call: bool,
+    no: usize,
+) -> Result<(), AsmError> {
     if let Ok(addr) = tok.parse::<u32>() {
         let op = match (cond, call) {
-            (Some(c), _) => ClassicalOp::Br { cond: c, target: addr },
+            (Some(c), _) => ClassicalOp::Br {
+                cond: c,
+                target: addr,
+            },
             (None, true) => ClassicalOp::Call { target: addr },
             (None, false) => ClassicalOp::Jmp { target: addr },
         };
@@ -330,7 +374,10 @@ fn parse_target(b: &mut ProgramBuilder, tok: &str, cond: Option<Cond>, call: boo
         };
         Ok(())
     } else {
-        Err(AsmError::new(no, format!("bad control-transfer target `{tok}`")))
+        Err(AsmError::new(
+            no,
+            format!("bad control-transfer target `{tok}`"),
+        ))
     }
 }
 
@@ -341,8 +388,12 @@ fn parse_classical(
     no: usize,
 ) -> Result<(), AsmError> {
     let ops = operands(rest);
-    let wrong_arity =
-        |n: usize| AsmError::new(no, format!("{mnem} expects {n} operand(s), got {}", ops.len()));
+    let wrong_arity = |n: usize| {
+        AsmError::new(
+            no,
+            format!("{mnem} expects {n} operand(s), got {}", ops.len()),
+        )
+    };
     match mnem {
         "NOP" => {
             b.push(ClassicalOp::Nop);
@@ -379,13 +430,19 @@ fn parse_classical(
             if ops.len() != 2 {
                 return Err(wrong_arity(2));
             }
-            b.push(ClassicalOp::Ldi { rd: parse_reg(ops[0], no)?, imm: parse_imm(ops[1], no)? });
+            b.push(ClassicalOp::Ldi {
+                rd: parse_reg(ops[0], no)?,
+                imm: parse_imm(ops[1], no)?,
+            });
         }
         "MOV" => {
             if ops.len() != 2 {
                 return Err(wrong_arity(2));
             }
-            b.push(ClassicalOp::Mov { rd: parse_reg(ops[0], no)?, rs: parse_reg(ops[1], no)? });
+            b.push(ClassicalOp::Mov {
+                rd: parse_reg(ops[0], no)?,
+                rs: parse_reg(ops[1], no)?,
+            });
         }
         "ADD" | "SUB" | "AND" | "OR" | "XOR" => {
             if ops.len() != 3 {
@@ -416,25 +473,37 @@ fn parse_classical(
             if ops.len() != 2 {
                 return Err(wrong_arity(2));
             }
-            b.push(ClassicalOp::Not { rd: parse_reg(ops[0], no)?, rs: parse_reg(ops[1], no)? });
+            b.push(ClassicalOp::Not {
+                rd: parse_reg(ops[0], no)?,
+                rs: parse_reg(ops[1], no)?,
+            });
         }
         "CMP" => {
             if ops.len() != 2 {
                 return Err(wrong_arity(2));
             }
-            b.push(ClassicalOp::Cmp { rs1: parse_reg(ops[0], no)?, rs2: parse_reg(ops[1], no)? });
+            b.push(ClassicalOp::Cmp {
+                rs1: parse_reg(ops[0], no)?,
+                rs2: parse_reg(ops[1], no)?,
+            });
         }
         "CMPI" => {
             if ops.len() != 2 {
                 return Err(wrong_arity(2));
             }
-            b.push(ClassicalOp::Cmpi { rs: parse_reg(ops[0], no)?, imm: parse_imm(ops[1], no)? });
+            b.push(ClassicalOp::Cmpi {
+                rs: parse_reg(ops[0], no)?,
+                imm: parse_imm(ops[1], no)?,
+            });
         }
         "FMR" => {
             if ops.len() != 2 {
                 return Err(wrong_arity(2));
             }
-            b.push(ClassicalOp::Fmr { rd: parse_reg(ops[0], no)?, qubit: parse_qubit(ops[1], no)? });
+            b.push(ClassicalOp::Fmr {
+                rd: parse_reg(ops[0], no)?,
+                qubit: parse_qubit(ops[1], no)?,
+            });
         }
         "QWAIT" => {
             if ops.len() != 1 {
@@ -443,19 +512,27 @@ fn parse_classical(
             let cycles: u32 = ops[0]
                 .parse()
                 .map_err(|_| AsmError::new(no, format!("bad QWAIT operand `{}`", ops[0])))?;
-            b.push(ClassicalOp::Qwait { cycles: Cycles::new(cycles) });
+            b.push(ClassicalOp::Qwait {
+                cycles: Cycles::new(cycles),
+            });
         }
         "LDS" => {
             if ops.len() != 2 {
                 return Err(wrong_arity(2));
             }
-            b.push(ClassicalOp::Lds { rd: parse_reg(ops[0], no)?, sreg: parse_sreg(ops[1], no)? });
+            b.push(ClassicalOp::Lds {
+                rd: parse_reg(ops[0], no)?,
+                sreg: parse_sreg(ops[1], no)?,
+            });
         }
         "STS" => {
             if ops.len() != 2 {
                 return Err(wrong_arity(2));
             }
-            b.push(ClassicalOp::Sts { sreg: parse_sreg(ops[0], no)?, rs: parse_reg(ops[1], no)? });
+            b.push(ClassicalOp::Sts {
+                sreg: parse_sreg(ops[0], no)?,
+                rs: parse_reg(ops[1], no)?,
+            });
         }
         "MRCE" => {
             if ops.len() != 4 {
@@ -558,7 +635,11 @@ STOP
     fn mrce_parses() {
         let p = assemble("MRCE q0, q1, X, NONE\n").unwrap();
         match p.instruction(0) {
-            Instruction::Classical(ClassicalOp::Mrce { op_if_one, op_if_zero, .. }) => {
+            Instruction::Classical(ClassicalOp::Mrce {
+                op_if_one,
+                op_if_zero,
+                ..
+            }) => {
                 assert_eq!(*op_if_one, CondOp::X);
                 assert_eq!(*op_if_zero, CondOp::None);
             }

@@ -122,7 +122,11 @@ pub struct BlockInfo {
 impl BlockInfo {
     /// Creates a block entry.
     pub fn new(name: impl Into<String>, range: Range<u32>, dependency: Dependency) -> Self {
-        BlockInfo { name: name.into(), range, dependency }
+        BlockInfo {
+            name: name.into(),
+            range,
+            dependency,
+        }
     }
 
     /// Number of instructions in the block.
@@ -175,7 +179,10 @@ impl fmt::Display for BlockTableError {
                 write!(f, "block information table capacity ({capacity}) exceeded")
             }
             BlockTableError::MixedDependencyModes => {
-                write!(f, "direct and priority dependencies cannot be mixed in one table")
+                write!(
+                    f,
+                    "direct and priority dependencies cannot be mixed in one table"
+                )
             }
             BlockTableError::UnknownDependency { block, dependency } => {
                 write!(f, "block {block} depends on unknown block {dependency}")
@@ -225,7 +232,10 @@ impl BlockInfoTable {
 
     /// Creates an empty table with a custom capacity.
     pub fn with_capacity(capacity: usize) -> Self {
-        BlockInfoTable { entries: Vec::new(), capacity }
+        BlockInfoTable {
+            entries: Vec::new(),
+            capacity,
+        }
     }
 
     /// Appends a block, returning its id.
@@ -237,7 +247,9 @@ impl BlockInfoTable {
     /// dependency variant differs from existing entries.
     pub fn push(&mut self, info: BlockInfo) -> Result<BlockId, BlockTableError> {
         if self.entries.len() >= self.capacity {
-            return Err(BlockTableError::CapacityExceeded { capacity: self.capacity });
+            return Err(BlockTableError::CapacityExceeded {
+                capacity: self.capacity,
+            });
         }
         if let Some(mode) = self.mode() {
             let entry_mode = match info.dependency {
@@ -283,12 +295,18 @@ impl BlockInfoTable {
 
     /// Iterates over `(id, entry)` pairs.
     pub fn iter(&self) -> impl Iterator<Item = (BlockId, &BlockInfo)> {
-        self.entries.iter().enumerate().map(|(i, e)| (BlockId(i as u16), e))
+        self.entries
+            .iter()
+            .enumerate()
+            .map(|(i, e)| (BlockId(i as u16), e))
     }
 
     /// Looks a block up by name.
     pub fn find(&self, name: &str) -> Option<BlockId> {
-        self.entries.iter().position(|e| e.name == name).map(|i| BlockId(i as u16))
+        self.entries
+            .iter()
+            .position(|e| e.name == name)
+            .map(|i| BlockId(i as u16))
     }
 
     /// Number of distinct priorities (1 for an empty/direct table).
@@ -316,7 +334,9 @@ impl BlockInfoTable {
         let mut names = std::collections::HashSet::new();
         for e in &self.entries {
             if !names.insert(e.name.as_str()) {
-                return Err(BlockTableError::DuplicateName { name: e.name.clone() });
+                return Err(BlockTableError::DuplicateName {
+                    name: e.name.clone(),
+                });
             }
         }
         let mode = match self.mode() {
@@ -332,7 +352,10 @@ impl BlockInfoTable {
                             return Err(BlockTableError::SelfDependency { block: id });
                         }
                         if d.index() >= self.entries.len() {
-                            return Err(BlockTableError::UnknownDependency { block: id, dependency: d });
+                            return Err(BlockTableError::UnknownDependency {
+                                block: id,
+                                dependency: d,
+                            });
                         }
                     }
                 }
@@ -381,12 +404,19 @@ impl BlockInfoTable {
 impl fmt::Display for BlockInfoTable {
     /// Renders the table in the layout of Table 1 of the paper.
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "{:<16} {:>9} {:>9}  Dependency", "Program block", "PC start", "PC end")?;
+        writeln!(
+            f,
+            "{:<16} {:>9} {:>9}  Dependency",
+            "Program block", "PC start", "PC end"
+        )?;
         for (_, e) in self.iter() {
             let dep = match &e.dependency {
                 Dependency::Direct(deps) if !deps.is_empty() => deps
                     .iter()
-                    .map(|d| self.get(*d).map_or_else(|| d.to_string(), |b| b.name.clone()))
+                    .map(|d| {
+                        self.get(*d)
+                            .map_or_else(|| d.to_string(), |b| b.name.clone())
+                    })
                     .collect::<Vec<_>>()
                     .join(","),
                 other => other.to_string(),
@@ -414,9 +444,12 @@ mod tests {
 
     fn table1() -> BlockInfoTable {
         let mut t = BlockInfoTable::new();
-        t.push(BlockInfo::new("W1", 0..11, Dependency::none())).unwrap();
-        t.push(BlockInfo::new("W2", 11..21, Dependency::none())).unwrap();
-        t.push(BlockInfo::new("W3", 21..31, direct(&[0, 1]))).unwrap();
+        t.push(BlockInfo::new("W1", 0..11, Dependency::none()))
+            .unwrap();
+        t.push(BlockInfo::new("W2", 11..21, Dependency::none()))
+            .unwrap();
+        t.push(BlockInfo::new("W3", 21..31, direct(&[0, 1])))
+            .unwrap();
         t.push(BlockInfo::new("W4", 31..41, direct(&[2]))).unwrap();
         t
     }
@@ -434,17 +467,24 @@ mod tests {
     #[test]
     fn capacity_is_enforced() {
         let mut t = BlockInfoTable::with_capacity(2);
-        t.push(BlockInfo::new("a", 0..1, Dependency::none())).unwrap();
-        t.push(BlockInfo::new("b", 1..2, Dependency::none())).unwrap();
-        let err = t.push(BlockInfo::new("c", 2..3, Dependency::none())).unwrap_err();
+        t.push(BlockInfo::new("a", 0..1, Dependency::none()))
+            .unwrap();
+        t.push(BlockInfo::new("b", 1..2, Dependency::none()))
+            .unwrap();
+        let err = t
+            .push(BlockInfo::new("c", 2..3, Dependency::none()))
+            .unwrap_err();
         assert_eq!(err, BlockTableError::CapacityExceeded { capacity: 2 });
     }
 
     #[test]
     fn mixed_modes_rejected_on_push() {
         let mut t = BlockInfoTable::new();
-        t.push(BlockInfo::new("a", 0..1, Dependency::Priority(0))).unwrap();
-        let err = t.push(BlockInfo::new("b", 1..2, Dependency::none())).unwrap_err();
+        t.push(BlockInfo::new("a", 0..1, Dependency::Priority(0)))
+            .unwrap();
+        let err = t
+            .push(BlockInfo::new("b", 1..2, Dependency::none()))
+            .unwrap_err();
         assert_eq!(err, BlockTableError::MixedDependencyModes);
     }
 
@@ -452,14 +492,20 @@ mod tests {
     fn self_dependency_rejected() {
         let mut t = BlockInfoTable::new();
         t.push(BlockInfo::new("a", 0..1, direct(&[0]))).unwrap();
-        assert_eq!(t.validate().unwrap_err(), BlockTableError::SelfDependency { block: BlockId(0) });
+        assert_eq!(
+            t.validate().unwrap_err(),
+            BlockTableError::SelfDependency { block: BlockId(0) }
+        );
     }
 
     #[test]
     fn dangling_dependency_rejected() {
         let mut t = BlockInfoTable::new();
         t.push(BlockInfo::new("a", 0..1, direct(&[5]))).unwrap();
-        assert!(matches!(t.validate().unwrap_err(), BlockTableError::UnknownDependency { .. }));
+        assert!(matches!(
+            t.validate().unwrap_err(),
+            BlockTableError::UnknownDependency { .. }
+        ));
     }
 
     #[test]
@@ -473,16 +519,26 @@ mod tests {
     #[test]
     fn duplicate_names_rejected() {
         let mut t = BlockInfoTable::new();
-        t.push(BlockInfo::new("a", 0..1, Dependency::none())).unwrap();
-        t.push(BlockInfo::new("a", 1..2, Dependency::none())).unwrap();
-        assert!(matches!(t.validate().unwrap_err(), BlockTableError::DuplicateName { .. }));
+        t.push(BlockInfo::new("a", 0..1, Dependency::none()))
+            .unwrap();
+        t.push(BlockInfo::new("a", 1..2, Dependency::none()))
+            .unwrap();
+        assert!(matches!(
+            t.validate().unwrap_err(),
+            BlockTableError::DuplicateName { .. }
+        ));
     }
 
     #[test]
     fn priority_levels_counted() {
         let mut t = BlockInfoTable::new();
         for (i, p) in [0u16, 0, 1, 2, 2, 2].iter().enumerate() {
-            t.push(BlockInfo::new(format!("w{i}"), 0..1, Dependency::Priority(*p))).unwrap();
+            t.push(BlockInfo::new(
+                format!("w{i}"),
+                0..1,
+                Dependency::Priority(*p),
+            ))
+            .unwrap();
         }
         assert_eq!(t.priority_levels(), 3);
         t.validate().unwrap();

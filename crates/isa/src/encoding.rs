@@ -106,13 +106,24 @@ impl fmt::Display for EncodeError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             EncodeError::TimingTooLarge { timing } => {
-                write!(f, "timing label {timing} exceeds the 7-bit field (max {})", crate::MAX_TIMING)
+                write!(
+                    f,
+                    "timing label {timing} exceeds the 7-bit field (max {})",
+                    crate::MAX_TIMING
+                )
             }
             EncodeError::QubitOutOfRange { qubit } => {
-                write!(f, "qubit {qubit} exceeds the 7-bit field (max {})", crate::MAX_QUBITS - 1)
+                write!(
+                    f,
+                    "qubit {qubit} exceeds the 7-bit field (max {})",
+                    crate::MAX_QUBITS - 1
+                )
             }
             EncodeError::TargetTooLarge { target } => {
-                write!(f, "control-transfer target {target} does not fit the encoding")
+                write!(
+                    f,
+                    "control-transfer target {target} does not fit the encoding"
+                )
             }
             EncodeError::ImmediateTooLarge { imm } => {
                 write!(f, "immediate {imm} outside the signed 12-bit ADDI range")
@@ -358,7 +369,12 @@ fn encode_classical(c: &ClassicalOp) -> Result<u32, EncodeError> {
         ClassicalOp::Sts { sreg, rs } => {
             (OP_STS << 25) | ((sreg.index() as u32) << 21) | (reg(rs) << 16)
         }
-        ClassicalOp::Mrce { qubit, target, op_if_one, op_if_zero } => {
+        ClassicalOp::Mrce {
+            qubit,
+            target,
+            op_if_one,
+            op_if_zero,
+        } => {
             (OP_MRCE << 25)
                 | (check_qubit(qubit)? << 18)
                 | (check_qubit(target)? << 11)
@@ -433,34 +449,83 @@ fn decode_classical(word: u32) -> Result<ClassicalOp, DecodeError> {
         OP_NOP => ClassicalOp::Nop,
         OP_STOP => ClassicalOp::Stop,
         OP_HALT => ClassicalOp::Halt,
-        OP_JMP => ClassicalOp::Jmp { target: word & 0x1ff_ffff },
+        OP_JMP => ClassicalOp::Jmp {
+            target: word & 0x1ff_ffff,
+        },
         OP_BR => ClassicalOp::Br {
             cond: cond_from_code((word >> 22) & 0x7)?,
             target: word & 0x3f_ffff,
         },
-        OP_CALL => ClassicalOp::Call { target: word & 0x1ff_ffff },
+        OP_CALL => ClassicalOp::Call {
+            target: word & 0x1ff_ffff,
+        },
         OP_RET => ClassicalOp::Ret,
-        OP_LDI => ClassicalOp::Ldi { rd: rd_field(word), imm: (word & 0xffff) as u16 as i16 },
-        OP_MOV => ClassicalOp::Mov { rd: rd_field(word), rs: rs1_field(word) },
-        OP_ADD => ClassicalOp::Add { rd: rd_field(word), rs1: rs1_field(word), rs2: rs2_field(word) },
+        OP_LDI => ClassicalOp::Ldi {
+            rd: rd_field(word),
+            imm: (word & 0xffff) as u16 as i16,
+        },
+        OP_MOV => ClassicalOp::Mov {
+            rd: rd_field(word),
+            rs: rs1_field(word),
+        },
+        OP_ADD => ClassicalOp::Add {
+            rd: rd_field(word),
+            rs1: rs1_field(word),
+            rs2: rs2_field(word),
+        },
         OP_ADDI => {
             // Sign-extend the 12-bit immediate.
             let raw = (word & 0xfff) as u16;
-            let imm = if raw & 0x800 != 0 { (raw | 0xf000) as i16 } else { raw as i16 };
-            ClassicalOp::Addi { rd: rd_field(word), rs: rs1_field(word), imm }
+            let imm = if raw & 0x800 != 0 {
+                (raw | 0xf000) as i16
+            } else {
+                raw as i16
+            };
+            ClassicalOp::Addi {
+                rd: rd_field(word),
+                rs: rs1_field(word),
+                imm,
+            }
         }
-        OP_SUB => ClassicalOp::Sub { rd: rd_field(word), rs1: rs1_field(word), rs2: rs2_field(word) },
-        OP_AND => ClassicalOp::And { rd: rd_field(word), rs1: rs1_field(word), rs2: rs2_field(word) },
-        OP_OR => ClassicalOp::Or { rd: rd_field(word), rs1: rs1_field(word), rs2: rs2_field(word) },
-        OP_XOR => ClassicalOp::Xor { rd: rd_field(word), rs1: rs1_field(word), rs2: rs2_field(word) },
-        OP_NOT => ClassicalOp::Not { rd: rd_field(word), rs: rs1_field(word) },
-        OP_CMP => ClassicalOp::Cmp { rs1: rd_field(word), rs2: rs1_field(word) },
-        OP_CMPI => ClassicalOp::Cmpi { rs: rd_field(word), imm: (word & 0xffff) as u16 as i16 },
+        OP_SUB => ClassicalOp::Sub {
+            rd: rd_field(word),
+            rs1: rs1_field(word),
+            rs2: rs2_field(word),
+        },
+        OP_AND => ClassicalOp::And {
+            rd: rd_field(word),
+            rs1: rs1_field(word),
+            rs2: rs2_field(word),
+        },
+        OP_OR => ClassicalOp::Or {
+            rd: rd_field(word),
+            rs1: rs1_field(word),
+            rs2: rs2_field(word),
+        },
+        OP_XOR => ClassicalOp::Xor {
+            rd: rd_field(word),
+            rs1: rs1_field(word),
+            rs2: rs2_field(word),
+        },
+        OP_NOT => ClassicalOp::Not {
+            rd: rd_field(word),
+            rs: rs1_field(word),
+        },
+        OP_CMP => ClassicalOp::Cmp {
+            rs1: rd_field(word),
+            rs2: rs1_field(word),
+        },
+        OP_CMPI => ClassicalOp::Cmpi {
+            rs: rd_field(word),
+            imm: (word & 0xffff) as u16 as i16,
+        },
         OP_FMR => ClassicalOp::Fmr {
             rd: rd_field(word),
             qubit: Qubit::new(((word >> 13) & 0x7f) as u16),
         },
-        OP_QWAIT => ClassicalOp::Qwait { cycles: Cycles::new(word & 0x1ff_ffff) },
+        OP_QWAIT => ClassicalOp::Qwait {
+            cycles: Cycles::new(word & 0x1ff_ffff),
+        },
         OP_LDS => ClassicalOp::Lds {
             rd: rd_field(word),
             sreg: SharedReg::new(((word >> 16) & 0xf) as u8),
@@ -496,11 +561,20 @@ mod tests {
             roundtrip(Instruction::quantum(5, QuantumOp::Gate1(g, Qubit::new(17))));
         }
         for g in Gate2::ALL {
-            roundtrip(Instruction::quantum(0, QuantumOp::Gate2(g, Qubit::new(0), Qubit::new(127))));
+            roundtrip(Instruction::quantum(
+                0,
+                QuantumOp::Gate2(g, Qubit::new(0), Qubit::new(127)),
+            ));
         }
         for k in 0..Angle::STEPS {
-            roundtrip(Instruction::quantum(127, QuantumOp::Gate1(Gate1::Rx(Angle::new(k)), Qubit::new(1))));
-            roundtrip(Instruction::quantum(1, QuantumOp::Gate1(Gate1::Rz(Angle::new(k)), Qubit::new(2))));
+            roundtrip(Instruction::quantum(
+                127,
+                QuantumOp::Gate1(Gate1::Rx(Angle::new(k)), Qubit::new(1)),
+            ));
+            roundtrip(Instruction::quantum(
+                1,
+                QuantumOp::Gate1(Gate1::Rz(Angle::new(k)), Qubit::new(2)),
+            ));
         }
         roundtrip(Instruction::quantum(3, QuantumOp::Measure(Qubit::new(99))));
     }
@@ -512,27 +586,83 @@ mod tests {
             ClassicalOp::Nop,
             ClassicalOp::Stop,
             ClassicalOp::Halt,
-            ClassicalOp::Jmp { target: MAX_JUMP_TARGET },
-            ClassicalOp::Br { cond: Cond::Le, target: MAX_BRANCH_TARGET },
+            ClassicalOp::Jmp {
+                target: MAX_JUMP_TARGET,
+            },
+            ClassicalOp::Br {
+                cond: Cond::Le,
+                target: MAX_BRANCH_TARGET,
+            },
             ClassicalOp::Call { target: 12345 },
             ClassicalOp::Ret,
-            ClassicalOp::Ldi { rd: r(31), imm: -32768 },
-            ClassicalOp::Ldi { rd: r(0), imm: 32767 },
+            ClassicalOp::Ldi {
+                rd: r(31),
+                imm: -32768,
+            },
+            ClassicalOp::Ldi {
+                rd: r(0),
+                imm: 32767,
+            },
             ClassicalOp::Mov { rd: r(1), rs: r(2) },
-            ClassicalOp::Add { rd: r(3), rs1: r(4), rs2: r(5) },
-            ClassicalOp::Addi { rd: r(6), rs: r(7), imm: -2048 },
-            ClassicalOp::Addi { rd: r(6), rs: r(7), imm: 2047 },
-            ClassicalOp::Sub { rd: r(8), rs1: r(9), rs2: r(10) },
-            ClassicalOp::And { rd: r(11), rs1: r(12), rs2: r(13) },
-            ClassicalOp::Or { rd: r(14), rs1: r(15), rs2: r(16) },
-            ClassicalOp::Xor { rd: r(17), rs1: r(18), rs2: r(19) },
-            ClassicalOp::Not { rd: r(20), rs: r(21) },
-            ClassicalOp::Cmp { rs1: r(22), rs2: r(23) },
+            ClassicalOp::Add {
+                rd: r(3),
+                rs1: r(4),
+                rs2: r(5),
+            },
+            ClassicalOp::Addi {
+                rd: r(6),
+                rs: r(7),
+                imm: -2048,
+            },
+            ClassicalOp::Addi {
+                rd: r(6),
+                rs: r(7),
+                imm: 2047,
+            },
+            ClassicalOp::Sub {
+                rd: r(8),
+                rs1: r(9),
+                rs2: r(10),
+            },
+            ClassicalOp::And {
+                rd: r(11),
+                rs1: r(12),
+                rs2: r(13),
+            },
+            ClassicalOp::Or {
+                rd: r(14),
+                rs1: r(15),
+                rs2: r(16),
+            },
+            ClassicalOp::Xor {
+                rd: r(17),
+                rs1: r(18),
+                rs2: r(19),
+            },
+            ClassicalOp::Not {
+                rd: r(20),
+                rs: r(21),
+            },
+            ClassicalOp::Cmp {
+                rs1: r(22),
+                rs2: r(23),
+            },
             ClassicalOp::Cmpi { rs: r(24), imm: -1 },
-            ClassicalOp::Fmr { rd: r(25), qubit: Qubit::new(101) },
-            ClassicalOp::Qwait { cycles: Cycles::new(MAX_QWAIT) },
-            ClassicalOp::Lds { rd: r(26), sreg: SharedReg::new(15) },
-            ClassicalOp::Sts { sreg: SharedReg::new(0), rs: r(27) },
+            ClassicalOp::Fmr {
+                rd: r(25),
+                qubit: Qubit::new(101),
+            },
+            ClassicalOp::Qwait {
+                cycles: Cycles::new(MAX_QWAIT),
+            },
+            ClassicalOp::Lds {
+                rd: r(26),
+                sreg: SharedReg::new(15),
+            },
+            ClassicalOp::Sts {
+                sreg: SharedReg::new(0),
+                rs: r(27),
+            },
             ClassicalOp::Mrce {
                 qubit: Qubit::new(2),
                 target: Qubit::new(3),
@@ -559,46 +689,88 @@ mod tests {
     #[test]
     fn encode_rejects_oversized_operands() {
         let too_far = Instruction::quantum(200, QuantumOp::Gate1(Gate1::X, Qubit::new(0)));
-        assert!(matches!(encode(&too_far), Err(EncodeError::TimingTooLarge { .. })));
+        assert!(matches!(
+            encode(&too_far),
+            Err(EncodeError::TimingTooLarge { .. })
+        ));
 
         let bad_qubit = Instruction::quantum(0, QuantumOp::Gate1(Gate1::X, Qubit::new(128)));
-        assert!(matches!(encode(&bad_qubit), Err(EncodeError::QubitOutOfRange { .. })));
+        assert!(matches!(
+            encode(&bad_qubit),
+            Err(EncodeError::QubitOutOfRange { .. })
+        ));
 
-        let bad_jmp = Instruction::Classical(ClassicalOp::Jmp { target: MAX_JUMP_TARGET + 1 });
-        assert!(matches!(encode(&bad_jmp), Err(EncodeError::TargetTooLarge { .. })));
+        let bad_jmp = Instruction::Classical(ClassicalOp::Jmp {
+            target: MAX_JUMP_TARGET + 1,
+        });
+        assert!(matches!(
+            encode(&bad_jmp),
+            Err(EncodeError::TargetTooLarge { .. })
+        ));
 
-        let bad_br =
-            Instruction::Classical(ClassicalOp::Br { cond: Cond::Eq, target: MAX_BRANCH_TARGET + 1 });
-        assert!(matches!(encode(&bad_br), Err(EncodeError::TargetTooLarge { .. })));
+        let bad_br = Instruction::Classical(ClassicalOp::Br {
+            cond: Cond::Eq,
+            target: MAX_BRANCH_TARGET + 1,
+        });
+        assert!(matches!(
+            encode(&bad_br),
+            Err(EncodeError::TargetTooLarge { .. })
+        ));
 
-        let bad_addi =
-            Instruction::Classical(ClassicalOp::Addi { rd: Reg::new(0), rs: Reg::new(0), imm: 4000 });
-        assert!(matches!(encode(&bad_addi), Err(EncodeError::ImmediateTooLarge { .. })));
+        let bad_addi = Instruction::Classical(ClassicalOp::Addi {
+            rd: Reg::new(0),
+            rs: Reg::new(0),
+            imm: 4000,
+        });
+        assert!(matches!(
+            encode(&bad_addi),
+            Err(EncodeError::ImmediateTooLarge { .. })
+        ));
 
-        let bad_wait =
-            Instruction::Classical(ClassicalOp::Qwait { cycles: Cycles::new(MAX_QWAIT + 1) });
-        assert!(matches!(encode(&bad_wait), Err(EncodeError::WaitTooLarge { .. })));
+        let bad_wait = Instruction::Classical(ClassicalOp::Qwait {
+            cycles: Cycles::new(MAX_QWAIT + 1),
+        });
+        assert!(matches!(
+            encode(&bad_wait),
+            Err(EncodeError::WaitTooLarge { .. })
+        ));
     }
 
     #[test]
     fn decode_rejects_unknown_fields() {
         // Quantum kind 31 is unused.
         let bad_kind = QUANTUM_FLAG | (31 << 19);
-        assert!(matches!(decode(bad_kind), Err(DecodeError::UnknownQuantumKind { kind: 31 })));
+        assert!(matches!(
+            decode(bad_kind),
+            Err(DecodeError::UnknownQuantumKind { kind: 31 })
+        ));
         // Classical opcode 63 is unused.
         let bad_op = 63 << 25;
-        assert!(matches!(decode(bad_op), Err(DecodeError::UnknownOpcode { opcode: 63 })));
+        assert!(matches!(
+            decode(bad_op),
+            Err(DecodeError::UnknownOpcode { opcode: 63 })
+        ));
         // Branch condition 7 is unused.
         let bad_cond = (OP_BR << 25) | (7 << 22);
-        assert!(matches!(decode(bad_cond), Err(DecodeError::UnknownCondition { cond: 7 })));
+        assert!(matches!(
+            decode(bad_cond),
+            Err(DecodeError::UnknownCondition { cond: 7 })
+        ));
         // MRCE conditional op 15 is unused.
         let bad_mrce = (OP_MRCE << 25) | (15 << 7);
-        assert!(matches!(decode(bad_mrce), Err(DecodeError::UnknownCondOp { code: 15 })));
+        assert!(matches!(
+            decode(bad_mrce),
+            Err(DecodeError::UnknownCondOp { code: 15 })
+        ));
     }
 
     #[test]
     fn quantum_flag_partitions_the_space() {
-        let q = encode(&Instruction::quantum(0, QuantumOp::Gate1(Gate1::I, Qubit::new(0)))).unwrap();
+        let q = encode(&Instruction::quantum(
+            0,
+            QuantumOp::Gate1(Gate1::I, Qubit::new(0)),
+        ))
+        .unwrap();
         assert!(q & QUANTUM_FLAG != 0);
         let c = encode(&Instruction::Classical(ClassicalOp::Nop)).unwrap();
         assert!(c & QUANTUM_FLAG == 0);

@@ -29,7 +29,9 @@ impl Angle {
     /// Closest angle index for a rotation in radians.
     pub fn from_radians(theta: f64) -> Self {
         let turns = theta / (2.0 * std::f64::consts::PI);
-        let idx = (turns * Self::STEPS as f64).round().rem_euclid(Self::STEPS as f64);
+        let idx = (turns * Self::STEPS as f64)
+            .round()
+            .rem_euclid(Self::STEPS as f64);
         Angle(idx as u8 % Self::STEPS)
     }
 
@@ -285,10 +287,18 @@ mod tests {
     fn gate_mnemonics_are_unique() {
         let mut seen = std::collections::HashSet::new();
         for g in Gate1::FIXED {
-            assert!(seen.insert(g.mnemonic()), "duplicate mnemonic {}", g.mnemonic());
+            assert!(
+                seen.insert(g.mnemonic()),
+                "duplicate mnemonic {}",
+                g.mnemonic()
+            );
         }
         for g in Gate2::ALL {
-            assert!(seen.insert(g.mnemonic()), "duplicate mnemonic {}", g.mnemonic());
+            assert!(
+                seen.insert(g.mnemonic()),
+                "duplicate mnemonic {}",
+                g.mnemonic()
+            );
         }
     }
 

@@ -70,7 +70,10 @@ pub struct QuantumInstruction {
 impl QuantumInstruction {
     /// Creates a quantum instruction.
     pub fn new(timing: impl Into<Cycles>, op: QuantumOp) -> Self {
-        QuantumInstruction { timing: timing.into(), op }
+        QuantumInstruction {
+            timing: timing.into(),
+            op,
+        }
     }
 }
 
@@ -327,7 +330,10 @@ impl ClassicalOp {
     pub fn with_target(self, new_target: u32) -> ClassicalOp {
         match self {
             ClassicalOp::Jmp { .. } => ClassicalOp::Jmp { target: new_target },
-            ClassicalOp::Br { cond, .. } => ClassicalOp::Br { cond, target: new_target },
+            ClassicalOp::Br { cond, .. } => ClassicalOp::Br {
+                cond,
+                target: new_target,
+            },
             ClassicalOp::Call { .. } => ClassicalOp::Call { target: new_target },
             other => other,
         }
@@ -359,7 +365,12 @@ impl fmt::Display for ClassicalOp {
             ClassicalOp::Qwait { cycles } => write!(f, "QWAIT {cycles}"),
             ClassicalOp::Lds { rd, sreg } => write!(f, "LDS {rd}, {sreg}"),
             ClassicalOp::Sts { sreg, rs } => write!(f, "STS {sreg}, {rs}"),
-            ClassicalOp::Mrce { qubit, target, op_if_one, op_if_zero } => {
+            ClassicalOp::Mrce {
+                qubit,
+                target,
+                op_if_one,
+                op_if_zero,
+            } => {
                 write!(f, "MRCE {qubit}, {target}, {op_if_one}, {op_if_zero}")
             }
         }
@@ -478,12 +489,19 @@ mod tests {
         assert!(ClassicalOp::Jmp { target: 3 }.is_control_flow());
         assert!(ClassicalOp::Stop.is_control_flow());
         assert!(!ClassicalOp::Nop.is_control_flow());
-        assert!(!ClassicalOp::Fmr { rd: Reg::new(0), qubit: Qubit::new(0) }.is_control_flow());
+        assert!(!ClassicalOp::Fmr {
+            rd: Reg::new(0),
+            qubit: Qubit::new(0)
+        }
+        .is_control_flow());
     }
 
     #[test]
     fn retarget_rewrites_only_direct_transfers() {
-        let br = ClassicalOp::Br { cond: Cond::Eq, target: 10 };
+        let br = ClassicalOp::Br {
+            cond: Cond::Eq,
+            target: 10,
+        };
         assert_eq!(br.with_target(20).target(), Some(20));
         let nop = ClassicalOp::Nop.with_target(99);
         assert_eq!(nop, ClassicalOp::Nop);
@@ -491,7 +509,10 @@ mod tests {
 
     #[test]
     fn display_matches_paper_syntax() {
-        let i = Instruction::quantum(1, QuantumOp::Gate2(Gate2::Cnot, Qubit::new(0), Qubit::new(1)));
+        let i = Instruction::quantum(
+            1,
+            QuantumOp::Gate2(Gate2::Cnot, Qubit::new(0), Qubit::new(1)),
+        );
         assert_eq!(i.to_string(), "1 CNOT q0, q1");
         let h = Instruction::quantum(0, QuantumOp::Gate1(Gate1::H, Qubit::new(0)));
         assert_eq!(h.to_string(), "0 H q0");

@@ -70,7 +70,9 @@ pub use block::{
 pub use encoding::{decode, encode, DecodeError, EncodeError};
 pub use error::IsaError;
 pub use gate::{Angle, CondOp, Gate1, Gate2};
-pub use instruction::{ClassicalInstruction, ClassicalOp, Cond, Instruction, QuantumInstruction, QuantumOp};
+pub use instruction::{
+    ClassicalInstruction, ClassicalOp, Cond, Instruction, QuantumInstruction, QuantumOp,
+};
 pub use object::{read_object, write_object, ObjectError};
 pub use program::{Program, ProgramBuilder, ProgramError, StepId};
 pub use timing::OpTimings;

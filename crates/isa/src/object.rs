@@ -169,8 +169,8 @@ pub fn read_object(bytes: &[u8]) -> Result<Program, ObjectError> {
     let mut table = BlockInfoTable::with_capacity(n_blocks.max(crate::BLOCK_TABLE_CAPACITY));
     for _ in 0..n_blocks {
         let name_len = r.u16()? as usize;
-        let name = String::from_utf8(r.take(name_len)?.to_vec())
-            .map_err(|_| ObjectError::BadBlockName)?;
+        let name =
+            String::from_utf8(r.take(name_len)?.to_vec()).map_err(|_| ObjectError::BadBlockName)?;
         let start = r.u32()?;
         let end = r.u32()?;
         let dep = match r.u8()? {
@@ -193,7 +193,11 @@ pub fn read_object(bytes: &[u8]) -> Result<Program, ObjectError> {
         let mut map = Vec::with_capacity(n_instr);
         for _ in 0..n_instr {
             let tag = r.u32()?;
-            map.push(if tag == NO_STEP { None } else { Some(StepId(tag)) });
+            map.push(if tag == NO_STEP {
+                None
+            } else {
+                Some(StepId(tag))
+            });
         }
         map
     } else {
@@ -269,7 +273,10 @@ STOP
     fn bad_version_rejected() {
         let mut bytes = write_object(&sample()).unwrap();
         bytes[4] = 99;
-        assert_eq!(read_object(&bytes), Err(ObjectError::BadVersion { found: 99 }));
+        assert_eq!(
+            read_object(&bytes),
+            Err(ObjectError::BadVersion { found: 99 })
+        );
     }
 
     #[test]
@@ -288,7 +295,10 @@ STOP
         // bytes; force an invalid opcode (classical opcode 63) there.
         let off = 17;
         bytes[off..off + 4].copy_from_slice(&(63u32 << 25).to_le_bytes());
-        assert_eq!(read_object(&bytes), Err(ObjectError::BadInstruction { index: 0 }));
+        assert_eq!(
+            read_object(&bytes),
+            Err(ObjectError::BadInstruction { index: 0 })
+        );
     }
 
     #[test]

@@ -66,7 +66,10 @@ impl fmt::Display for ProgramError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ProgramError::TargetOutOfBounds { at, target } => {
-                write!(f, "instruction {at} transfers control to {target}, outside the program")
+                write!(
+                    f,
+                    "instruction {at} transfers control to {target}, outside the program"
+                )
             }
             ProgramError::UndefinedLabel { label } => write!(f, "undefined label `{label}`"),
             ProgramError::DuplicateLabel { label } => write!(f, "duplicate label `{label}`"),
@@ -145,8 +148,16 @@ impl Program {
         blocks: BlockInfoTable,
         step_map: Vec<Option<StepId>>,
     ) -> Result<Self, ProgramError> {
-        assert_eq!(step_map.len(), instructions.len(), "step map length mismatch");
-        let p = Program { instructions, blocks, step_map };
+        assert_eq!(
+            step_map.len(),
+            instructions.len(),
+            "step map length mismatch"
+        );
+        let p = Program {
+            instructions,
+            blocks,
+            step_map,
+        };
         p.validate()?;
         Ok(p)
     }
@@ -164,7 +175,9 @@ impl Program {
         }
         for (_, b) in self.blocks.iter() {
             if b.range.end > len || b.range.start > b.range.end {
-                return Err(ProgramError::BlockOutOfBounds { name: b.name.clone() });
+                return Err(ProgramError::BlockOutOfBounds {
+                    name: b.name.clone(),
+                });
             }
         }
         self.blocks.validate()?;
@@ -217,7 +230,12 @@ impl Program {
 
     /// Number of distinct circuit steps tagged in the program.
     pub fn num_steps(&self) -> usize {
-        self.step_map.iter().flatten().map(|s| s.index() + 1).max().unwrap_or(0)
+        self.step_map
+            .iter()
+            .flatten()
+            .map(|s| s.index() + 1)
+            .max()
+            .unwrap_or(0)
     }
 
     /// Number of quantum instructions (the paper reports 288 for the Shor
@@ -229,6 +247,30 @@ impl Program {
     /// Number of classical instructions (252 for the Shor benchmark).
     pub fn classical_count(&self) -> usize {
         self.len() - self.quantum_count()
+    }
+
+    /// Number of qubits the program touches: one past the highest qubit
+    /// index referenced by any quantum operation, `FMR`, or `MRCE`
+    /// (0 for programs without qubit references).
+    pub fn num_qubits(&self) -> u16 {
+        let mut max = 0u16;
+        for instr in &self.instructions {
+            match instr {
+                Instruction::Quantum(q) => {
+                    for qubit in q.op.qubits() {
+                        max = max.max(qubit.index() + 1);
+                    }
+                }
+                Instruction::Classical(ClassicalOp::Fmr { qubit, .. }) => {
+                    max = max.max(qubit.index() + 1);
+                }
+                Instruction::Classical(ClassicalOp::Mrce { qubit, target, .. }) => {
+                    max = max.max(qubit.index() + 1).max(target.index() + 1);
+                }
+                Instruction::Classical(_) => {}
+            }
+        }
+        max
     }
 
     /// Encodes the whole program into 32-bit words.
@@ -247,9 +289,16 @@ impl Program {
     /// Returns the first [`DecodeError`]; block/step metadata must be
     /// re-attached by the caller.
     pub fn from_words(words: &[u32]) -> Result<Self, DecodeError> {
-        let instructions = words.iter().map(|&w| decode(w)).collect::<Result<Vec<_>, _>>()?;
+        let instructions = words
+            .iter()
+            .map(|&w| decode(w))
+            .collect::<Result<Vec<_>, _>>()?;
         let step_map = vec![None; instructions.len()];
-        Ok(Program { instructions, blocks: BlockInfoTable::new(), step_map })
+        Ok(Program {
+            instructions,
+            blocks: BlockInfoTable::new(),
+            step_map,
+        })
     }
 
     /// Renders an addressed disassembly listing with block annotations
@@ -273,8 +322,8 @@ impl Program {
                     let _ = writeln!(out, "; block {} ({})", info.name, info.dependency);
                 }
             }
-            let word = encode(instr)
-                .map_or_else(|_| String::from("????????"), |w| format!("{w:08x}"));
+            let word =
+                encode(instr).map_or_else(|_| String::from("????????"), |w| format!("{w:08x}"));
             let step = self
                 .step_of(addr)
                 .map_or_else(String::new, |s| format!("  ; {s}"));
@@ -370,12 +419,18 @@ pub struct ProgramBuilder {
 impl ProgramBuilder {
     /// Creates an empty builder (default block-table capacity).
     pub fn new() -> Self {
-        ProgramBuilder { capacity: crate::BLOCK_TABLE_CAPACITY, ..Default::default() }
+        ProgramBuilder {
+            capacity: crate::BLOCK_TABLE_CAPACITY,
+            ..Default::default()
+        }
     }
 
     /// Creates a builder whose block table has a custom capacity.
     pub fn with_block_capacity(capacity: usize) -> Self {
-        ProgramBuilder { capacity, ..Default::default() }
+        ProgramBuilder {
+            capacity,
+            ..Default::default()
+        }
     }
 
     /// Current instruction address (where the next `push` will land).
@@ -427,12 +482,18 @@ impl ProgramBuilder {
 
     /// Pushes `FMR r<rd>, q<qubit>`.
     pub fn fmr(&mut self, rd: u8, qubit: u16) -> u32 {
-        self.push(ClassicalOp::Fmr { rd: crate::Reg::new(rd), qubit: crate::Qubit::new(qubit) })
+        self.push(ClassicalOp::Fmr {
+            rd: crate::Reg::new(rd),
+            qubit: crate::Qubit::new(qubit),
+        })
     }
 
     /// Pushes `CMPI r<rs>, imm`.
     pub fn cmpi(&mut self, rs: u8, imm: i16) -> u32 {
-        self.push(ClassicalOp::Cmpi { rs: crate::Reg::new(rs), imm })
+        self.push(ClassicalOp::Cmpi {
+            rs: crate::Reg::new(rs),
+            imm,
+        })
     }
 
     /// Pushes an unconditional jump to a (possibly forward) label.
@@ -463,7 +524,8 @@ impl ProgramBuilder {
     /// variant takes resolved ids/priorities directly.
     pub fn begin_block(&mut self, name: impl Into<String>, dependency: Dependency) -> &mut Self {
         debug_assert!(self.open_block.is_none(), "nested blocks are not supported");
-        self.blocks.push((name.into(), self.here(), None, dependency));
+        self.blocks
+            .push((name.into(), self.here(), None, dependency));
         self.open_block = Some(self.blocks.len() - 1);
         self
     }
@@ -511,13 +573,17 @@ impl ProgramBuilder {
     /// validation error from [`Program::with_parts`].
     pub fn finish(mut self) -> Result<Program, ProgramError> {
         if let Some(idx) = self.open_block {
-            return Err(ProgramError::UnclosedBlock { name: self.blocks[idx].0.clone() });
+            return Err(ProgramError::UnclosedBlock {
+                name: self.blocks[idx].0.clone(),
+            });
         }
         for (addr, label) in &self.fixups {
             let target = *self
                 .labels
                 .get(label)
-                .ok_or_else(|| ProgramError::UndefinedLabel { label: label.clone() })?;
+                .ok_or_else(|| ProgramError::UndefinedLabel {
+                    label: label.clone(),
+                })?;
             if let Instruction::Classical(op) = self.instructions[*addr] {
                 self.instructions[*addr] = Instruction::Classical(op.with_target(target));
             }
@@ -580,14 +646,22 @@ mod tests {
         let mut b = ProgramBuilder::new();
         b.jmp_to("nowhere");
         let err = b.finish().unwrap_err();
-        assert_eq!(err, ProgramError::UndefinedLabel { label: "nowhere".into() });
+        assert_eq!(
+            err,
+            ProgramError::UndefinedLabel {
+                label: "nowhere".into()
+            }
+        );
     }
 
     #[test]
     fn out_of_bounds_target_rejected() {
-        let err = Program::new(vec![Instruction::Classical(ClassicalOp::Jmp { target: 9 })])
-            .unwrap_err();
-        assert!(matches!(err, ProgramError::TargetOutOfBounds { at: 0, target: 9 }));
+        let err =
+            Program::new(vec![Instruction::Classical(ClassicalOp::Jmp { target: 9 })]).unwrap_err();
+        assert!(matches!(
+            err,
+            ProgramError::TargetOutOfBounds { at: 0, target: 9 }
+        ));
     }
 
     #[test]

@@ -24,7 +24,11 @@ pub struct OpTimings {
 impl OpTimings {
     /// The paper's nominal values: 20 / 40 / 600 ns.
     pub const fn paper() -> Self {
-        OpTimings { single_qubit_ns: 20, two_qubit_ns: 40, readout_pulse_ns: 600 }
+        OpTimings {
+            single_qubit_ns: 20,
+            two_qubit_ns: 40,
+            readout_pulse_ns: 600,
+        }
     }
 
     /// Duration of a quantum operation under these timings.
@@ -67,7 +71,11 @@ mod tests {
 
     #[test]
     fn cycle_rounding_is_up() {
-        let t = OpTimings { single_qubit_ns: 25, two_qubit_ns: 40, readout_pulse_ns: 601 };
+        let t = OpTimings {
+            single_qubit_ns: 25,
+            two_qubit_ns: 40,
+            readout_pulse_ns: 601,
+        };
         let q0 = Qubit::new(0);
         assert_eq!(t.duration_cycles(&QuantumOp::Gate1(Gate1::X, q0), 10), 3);
         assert_eq!(t.duration_cycles(&QuantumOp::Measure(q0), 10), 61);

@@ -56,7 +56,10 @@ impl Reg {
     ///
     /// Panics if `index >= REG_COUNT` (32).
     pub const fn new(index: u8) -> Self {
-        assert!((index as usize) < crate::REG_COUNT, "register index out of range");
+        assert!(
+            (index as usize) < crate::REG_COUNT,
+            "register index out of range"
+        );
         Reg(index)
     }
 
@@ -209,7 +212,10 @@ mod tests {
         let b = Cycles::new(4);
         assert_eq!((a + b).count(), 7);
         assert_eq!(a.ns(10), 30);
-        assert_eq!(Cycles::new(u32::MAX).saturating_add(b), Cycles::new(u32::MAX));
+        assert_eq!(
+            Cycles::new(u32::MAX).saturating_add(b),
+            Cycles::new(u32::MAX)
+        );
     }
 
     #[test]

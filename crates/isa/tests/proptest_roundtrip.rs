@@ -36,7 +36,11 @@ fn arb_gate1() -> impl Strategy<Value = Gate1> {
 fn arb_quantum_op() -> impl Strategy<Value = QuantumOp> {
     prop_oneof![
         (arb_gate1(), arb_qubit()).prop_map(|(g, q)| QuantumOp::Gate1(g, q)),
-        (proptest::sample::select(Gate2::ALL.to_vec()), arb_qubit(), arb_qubit())
+        (
+            proptest::sample::select(Gate2::ALL.to_vec()),
+            arb_qubit(),
+            arb_qubit()
+        )
             .prop_map(|(g, a, b)| QuantumOp::Gate2(g, a, b)),
         arb_qubit().prop_map(QuantumOp::Measure),
     ]
@@ -61,17 +65,43 @@ fn arb_classical() -> impl Strategy<Value = ClassicalOp> {
         (0u32..(1 << 25)).prop_map(|target| ClassicalOp::Call { target }),
         (arb_reg(), any::<i16>()).prop_map(|(rd, imm)| ClassicalOp::Ldi { rd, imm }),
         (arb_reg(), arb_reg()).prop_map(|(rd, rs)| ClassicalOp::Mov { rd, rs }),
-        (arb_reg(), arb_reg(), arb_reg()).prop_map(|(rd, rs1, rs2)| ClassicalOp::Add { rd, rs1, rs2 }),
-        (arb_reg(), arb_reg(), -2048i16..=2047).prop_map(|(rd, rs, imm)| ClassicalOp::Addi { rd, rs, imm }),
-        (arb_reg(), arb_reg(), arb_reg()).prop_map(|(rd, rs1, rs2)| ClassicalOp::Sub { rd, rs1, rs2 }),
-        (arb_reg(), arb_reg(), arb_reg()).prop_map(|(rd, rs1, rs2)| ClassicalOp::And { rd, rs1, rs2 }),
-        (arb_reg(), arb_reg(), arb_reg()).prop_map(|(rd, rs1, rs2)| ClassicalOp::Or { rd, rs1, rs2 }),
-        (arb_reg(), arb_reg(), arb_reg()).prop_map(|(rd, rs1, rs2)| ClassicalOp::Xor { rd, rs1, rs2 }),
+        (arb_reg(), arb_reg(), arb_reg()).prop_map(|(rd, rs1, rs2)| ClassicalOp::Add {
+            rd,
+            rs1,
+            rs2
+        }),
+        (arb_reg(), arb_reg(), -2048i16..=2047).prop_map(|(rd, rs, imm)| ClassicalOp::Addi {
+            rd,
+            rs,
+            imm
+        }),
+        (arb_reg(), arb_reg(), arb_reg()).prop_map(|(rd, rs1, rs2)| ClassicalOp::Sub {
+            rd,
+            rs1,
+            rs2
+        }),
+        (arb_reg(), arb_reg(), arb_reg()).prop_map(|(rd, rs1, rs2)| ClassicalOp::And {
+            rd,
+            rs1,
+            rs2
+        }),
+        (arb_reg(), arb_reg(), arb_reg()).prop_map(|(rd, rs1, rs2)| ClassicalOp::Or {
+            rd,
+            rs1,
+            rs2
+        }),
+        (arb_reg(), arb_reg(), arb_reg()).prop_map(|(rd, rs1, rs2)| ClassicalOp::Xor {
+            rd,
+            rs1,
+            rs2
+        }),
         (arb_reg(), arb_reg()).prop_map(|(rd, rs)| ClassicalOp::Not { rd, rs }),
         (arb_reg(), arb_reg()).prop_map(|(rs1, rs2)| ClassicalOp::Cmp { rs1, rs2 }),
         (arb_reg(), any::<i16>()).prop_map(|(rs, imm)| ClassicalOp::Cmpi { rs, imm }),
         (arb_reg(), arb_qubit()).prop_map(|(rd, qubit)| ClassicalOp::Fmr { rd, qubit }),
-        (0u32..(1 << 25)).prop_map(|c| ClassicalOp::Qwait { cycles: Cycles::new(c) }),
+        (0u32..(1 << 25)).prop_map(|c| ClassicalOp::Qwait {
+            cycles: Cycles::new(c)
+        }),
         (arb_reg(), arb_sreg()).prop_map(|(rd, sreg)| ClassicalOp::Lds { rd, sreg }),
         (arb_sreg(), arb_reg()).prop_map(|(sreg, rs)| ClassicalOp::Sts { sreg, rs }),
         (arb_qubit(), arb_qubit(), arb_condop(), arb_condop()).prop_map(
@@ -87,8 +117,7 @@ fn arb_classical() -> impl Strategy<Value = ClassicalOp> {
 
 fn arb_instruction() -> impl Strategy<Value = Instruction> {
     prop_oneof![
-        (0u32..=127, arb_quantum_op())
-            .prop_map(|(t, op)| Instruction::quantum(t, op)),
+        (0u32..=127, arb_quantum_op()).prop_map(|(t, op)| Instruction::quantum(t, op)),
         arb_classical().prop_map(Instruction::Classical),
     ]
 }
@@ -174,6 +203,9 @@ proptest! {
 #[test]
 fn block_table_rejects_mixed_modes_always() {
     let mut t = BlockInfoTable::new();
-    t.push(BlockInfo::new("a", 0..1, Dependency::Priority(0))).unwrap();
-    assert!(t.push(BlockInfo::new("b", 1..2, Dependency::none())).is_err());
+    t.push(BlockInfo::new("a", 0..1, Dependency::Priority(0)))
+        .unwrap();
+    assert!(t
+        .push(BlockInfo::new("b", 1..2, Dependency::none()))
+        .is_err());
 }

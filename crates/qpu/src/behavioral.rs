@@ -77,7 +77,10 @@ impl MeasurementModel {
             MeasurementModel::AlwaysZero => 0.0,
             MeasurementModel::AlwaysOne => 1.0,
             MeasurementModel::Bernoulli { p_one } => *p_one,
-            MeasurementModel::PerQubit { probabilities, default_p_one } => probabilities
+            MeasurementModel::PerQubit {
+                probabilities,
+                default_p_one,
+            } => probabilities
                 .iter()
                 .find(|(q, _)| *q == qubit.index())
                 .map_or(*default_p_one, |(_, p)| *p),
@@ -130,9 +133,14 @@ impl BehavioralQpu {
         for qubit in op.qubits() {
             let busy = self.busy_until.get(&qubit.index()).copied().unwrap_or(0);
             if time_ns < busy {
-                self.violations.push(TimingViolation { op: issued, qubit, busy_until_ns: busy });
+                self.violations.push(TimingViolation {
+                    op: issued,
+                    qubit,
+                    busy_until_ns: busy,
+                });
             }
-            self.busy_until.insert(qubit.index(), time_ns.max(busy) + duration);
+            self.busy_until
+                .insert(qubit.index(), time_ns.max(busy) + duration);
         }
         self.log.push(issued);
         match op {
@@ -256,9 +264,14 @@ mod tests {
     #[test]
     fn same_seed_same_outcomes() {
         let run = || {
-            let mut qpu =
-                BehavioralQpu::new(OpTimings::paper(), MeasurementModel::Bernoulli { p_one: 0.5 }, 9);
-            (0..64).map(|i| qpu.apply(i * 700, QuantumOp::Measure(q(0))).unwrap()).collect::<Vec<_>>()
+            let mut qpu = BehavioralQpu::new(
+                OpTimings::paper(),
+                MeasurementModel::Bernoulli { p_one: 0.5 },
+                9,
+            );
+            (0..64)
+                .map(|i| qpu.apply(i * 700, QuantumOp::Measure(q(0))).unwrap())
+                .collect::<Vec<_>>()
         };
         assert_eq!(run(), run());
     }

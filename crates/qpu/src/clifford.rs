@@ -90,7 +90,10 @@ impl CliffordGroup {
         while let Some(idx) = frontier.pop_front() {
             for &g in &generators {
                 let m = matmul2(&gate1_matrix(g), &matrices[idx]);
-                if !matrices.iter().any(|known| phase_invariant_eq(known, &m, EPS)) {
+                if !matrices
+                    .iter()
+                    .any(|known| phase_invariant_eq(known, &m, EPS))
+                {
                     let mut seq = pulses[idx].clone();
                     seq.push(g); // pulses applied left→right in time order
                     matrices.push(m);
@@ -125,7 +128,12 @@ impl CliffordGroup {
                 .expect("group element has an inverse");
             inverse[a] = CliffordId(inv as u8);
         }
-        CliffordGroup { matrices, pulses, compose, inverse }
+        CliffordGroup {
+            matrices,
+            pulses,
+            compose,
+            inverse,
+        }
     }
 
     /// Number of elements (always 24).
@@ -167,7 +175,8 @@ impl CliffordGroup {
 
     /// Folds a sequence into a single element (identity for empty input).
     pub fn compose_all(&self, seq: impl IntoIterator<Item = CliffordId>) -> CliffordId {
-        seq.into_iter().fold(self.identity(), |acc, c| self.compose(acc, c))
+        seq.into_iter()
+            .fold(self.identity(), |acc, c| self.compose(acc, c))
     }
 
     /// The recovery element that returns a sequence to the identity:

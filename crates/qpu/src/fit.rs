@@ -80,7 +80,11 @@ fn rss_for(p: f64, ms: &[f64], ys: &[f64]) -> (f64, f64, f64) {
         let b = (sy - a * sx) / n;
         (a, b)
     };
-    let rss: f64 = xs.iter().zip(ys).map(|(x, y)| (y - (a * x + b)).powi(2)).sum();
+    let rss: f64 = xs
+        .iter()
+        .zip(ys)
+        .map(|(x, y)| (y - (a * x + b)).powi(2))
+        .sum();
     (rss, a, b)
 }
 
@@ -132,7 +136,12 @@ pub fn fit_decay(lengths: &[u32], survivals: &[f64]) -> Result<DecayFit, FitErro
     }
     let p = (lo + hi) / 2.0;
     let (rss, a, b) = rss_for(p, &ms, survivals);
-    Ok(DecayFit { amplitude: a, decay: p, offset: b, rss })
+    Ok(DecayFit {
+        amplitude: a,
+        decay: p,
+        offset: b,
+        rss,
+    })
 }
 
 #[cfg(test)]
@@ -144,7 +153,10 @@ mod tests {
     #[test]
     fn recovers_noiseless_parameters() {
         let ms: Vec<u32> = vec![1, 2, 4, 8, 16, 32, 64, 128];
-        let ys: Vec<f64> = ms.iter().map(|&m| 0.47 * 0.983f64.powi(m as i32) + 0.51).collect();
+        let ys: Vec<f64> = ms
+            .iter()
+            .map(|&m| 0.47 * 0.983f64.powi(m as i32) + 0.51)
+            .collect();
         let fit = fit_decay(&ms, &ys).unwrap();
         assert!((fit.decay - 0.983).abs() < 5e-4, "p = {}", fit.decay);
         assert!((fit.amplitude - 0.47).abs() < 5e-3);
@@ -166,7 +178,12 @@ mod tests {
 
     #[test]
     fn fidelity_formula_matches_paper_convention() {
-        let fit = DecayFit { amplitude: 0.5, decay: 0.99, offset: 0.5, rss: 0.0 };
+        let fit = DecayFit {
+            amplitude: 0.5,
+            decay: 0.99,
+            offset: 0.5,
+            rss: 0.0,
+        };
         // Single qubit: r = (1−p)/2 = 0.005 ⇒ F = 99.5%.
         assert!((fit.average_fidelity(2) - 0.995).abs() < 1e-12);
         assert!((fit.predict(0.0) - 1.0).abs() < 1e-12);
@@ -175,7 +192,10 @@ mod tests {
     #[test]
     fn input_validation() {
         assert_eq!(fit_decay(&[1, 2], &[0.9, 0.8]), Err(FitError::TooFewPoints));
-        assert_eq!(fit_decay(&[1, 2, 3], &[0.9, 0.8]), Err(FitError::LengthMismatch));
+        assert_eq!(
+            fit_decay(&[1, 2, 3], &[0.9, 0.8]),
+            Err(FitError::LengthMismatch)
+        );
     }
 
     #[test]

@@ -34,6 +34,7 @@
 mod behavioral;
 mod clifford;
 mod complex;
+mod factory;
 mod fit;
 mod noise;
 mod rb;
@@ -42,6 +43,7 @@ mod statevector;
 pub use behavioral::{BehavioralQpu, IssuedOp, MeasurementModel, TimingViolation};
 pub use clifford::{CliffordGroup, CliffordId, CLIFFORD_COUNT};
 pub use complex::Complex;
+pub use factory::BehavioralQpuFactory;
 pub use fit::{fit_decay, DecayFit, FitError};
 pub use noise::{CrosstalkModel, DepolarizingNoise, ReadoutError, RelaxationNoise};
 pub use rb::{

@@ -29,7 +29,9 @@ impl DepolarizingNoise {
     /// Noise level that yields a target average gate fidelity `f`
     /// (`pauli_error_prob = 3/2 · (1 − f)`).
     pub fn for_fidelity(f: f64) -> Self {
-        DepolarizingNoise { pauli_error_prob: 1.5 * (1.0 - f) }
+        DepolarizingNoise {
+            pauli_error_prob: 1.5 * (1.0 - f),
+        }
     }
 
     /// The average gate fidelity this noise level produces.
@@ -91,7 +93,10 @@ pub struct RelaxationNoise {
 impl RelaxationNoise {
     /// §2.3's nominal coherence regime (T1 = 80 µs, Tφ = 120 µs).
     pub const fn paper() -> Self {
-        RelaxationNoise { t1_ns: 80_000.0, tphi_ns: 120_000.0 }
+        RelaxationNoise {
+            t1_ns: 80_000.0,
+            tphi_ns: 120_000.0,
+        }
     }
 
     /// Damping probability accumulated over `dt_ns` of idling.
@@ -154,7 +159,9 @@ mod tests {
 
     #[test]
     fn zero_noise_never_fires() {
-        let n = DepolarizingNoise { pauli_error_prob: 0.0 };
+        let n = DepolarizingNoise {
+            pauli_error_prob: 0.0,
+        };
         let mut s = StateVector::new(1);
         let before = s.clone();
         let mut rng = SmallRng::seed_from_u64(0);
@@ -166,7 +173,9 @@ mod tests {
 
     #[test]
     fn full_noise_always_fires() {
-        let n = DepolarizingNoise { pauli_error_prob: 1.0 };
+        let n = DepolarizingNoise {
+            pauli_error_prob: 1.0,
+        };
         let mut rng = SmallRng::seed_from_u64(1);
         // After one guaranteed random Pauli on |0⟩, P(1) is 0 (Z) or 1 (X/Y).
         let mut hits = 0;
@@ -183,7 +192,10 @@ mod tests {
 
     #[test]
     fn relaxation_decays_excited_state() {
-        let noise = RelaxationNoise { t1_ns: 1000.0, tphi_ns: 1e12 };
+        let noise = RelaxationNoise {
+            t1_ns: 1000.0,
+            tphi_ns: 1e12,
+        };
         let mut rng = SmallRng::seed_from_u64(5);
         // P(survive 1000 ns in |1⟩) = e^{-1} ≈ 0.368.
         let mut survived = 0;
@@ -217,7 +229,10 @@ mod tests {
         // Strong pure dephasing on |+⟩: P(1) stays 1/2, but after many
         // random Z kicks the averaged X expectation vanishes. Check one
         // trajectory stays normalized with P(1) = 1/2.
-        let noise = RelaxationNoise { t1_ns: 1e12, tphi_ns: 10.0 };
+        let noise = RelaxationNoise {
+            t1_ns: 1e12,
+            tphi_ns: 10.0,
+        };
         let mut rng = SmallRng::seed_from_u64(7);
         let mut s = StateVector::new(1);
         s.apply_gate1(Gate1::H, Qubit::new(0));
@@ -231,7 +246,10 @@ mod tests {
 
     #[test]
     fn gamma_lambda_limits() {
-        let n = RelaxationNoise { t1_ns: 100.0, tphi_ns: 200.0 };
+        let n = RelaxationNoise {
+            t1_ns: 100.0,
+            tphi_ns: 200.0,
+        };
         assert_eq!(n.gamma(0.0), 0.0);
         assert!((n.gamma(100.0) - (1.0 - (-1.0f64).exp())).abs() < 1e-12);
         assert!(n.gamma(1e9) > 0.999999);

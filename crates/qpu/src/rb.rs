@@ -168,16 +168,26 @@ pub fn run_interleaved_rb(cfg: &RbConfig, gate: Gate1) -> Result<InterleavedRbRe
                 cfg.noise_a.apply(&mut state, Qubit::new(0), &mut rng);
                 sum += 1.0 - state.prob_one(Qubit::new(0));
             }
-            points.push(RbPoint { length: m, survival: sum / cfg.samples_per_length as f64 });
+            points.push(RbPoint {
+                length: m,
+                survival: sum / cfg.samples_per_length as f64,
+            });
         }
         let ms: Vec<u32> = points.iter().map(|p| p.length).collect();
         let ys: Vec<f64> = points.iter().map(|p| p.survival).collect();
-        Ok(RbCurve { points, fit: fit_decay(&ms, &ys)? })
+        Ok(RbCurve {
+            points,
+            fit: fit_decay(&ms, &ys)?,
+        })
     };
 
     let reference = curve(None)?;
     let interleaved = curve(Some(gate_id))?;
-    Ok(InterleavedRbReport { reference, interleaved, gate })
+    Ok(InterleavedRbReport {
+        reference,
+        interleaved,
+        gate,
+    })
 }
 
 fn apply_single(group: &CliffordGroup, state: &mut StateVector, c: CliffordId) {
@@ -226,7 +236,12 @@ pub fn run_simrb_experiment(cfg: &RbConfig) -> Result<SimRbReport, FitError> {
     let individual_a = run_rb(&group, cfg, Driven::OnlyA, &mut rng)?.0;
     let individual_b = run_rb(&group, cfg, Driven::OnlyB, &mut rng)?.1;
     let (simultaneous_a, simultaneous_b) = run_rb(&group, cfg, Driven::Both, &mut rng)?;
-    Ok(SimRbReport { individual_a, individual_b, simultaneous_a, simultaneous_b })
+    Ok(SimRbReport {
+        individual_a,
+        individual_b,
+        simultaneous_a,
+        simultaneous_b,
+    })
 }
 
 /// Which qubits of the pair are being driven.
@@ -257,13 +272,22 @@ fn run_rb(
             sum_b += sb;
         }
         let n = cfg.samples_per_length as f64;
-        points_a.push(RbPoint { length: m, survival: sum_a / n });
-        points_b.push(RbPoint { length: m, survival: sum_b / n });
+        points_a.push(RbPoint {
+            length: m,
+            survival: sum_a / n,
+        });
+        points_b.push(RbPoint {
+            length: m,
+            survival: sum_b / n,
+        });
     }
     let fit_curve = |points: &[RbPoint]| -> Result<RbCurve, FitError> {
         let ms: Vec<u32> = points.iter().map(|p| p.length).collect();
         let ys: Vec<f64> = points.iter().map(|p| p.survival).collect();
-        Ok(RbCurve { points: points.to_vec(), fit: fit_decay(&ms, &ys)? })
+        Ok(RbCurve {
+            points: points.to_vec(),
+            fit: fit_decay(&ms, &ys)?,
+        })
     };
     Ok((fit_curve(&points_a)?, fit_curve(&points_b)?))
 }
@@ -288,12 +312,26 @@ fn run_sequence(
         let ca = CliffordId(rng.gen_range(0..CLIFFORD_COUNT as u8));
         let cb = CliffordId(rng.gen_range(0..CLIFFORD_COUNT as u8));
         if drive_a {
-            apply_clifford(group, &mut state, QA, ca, both, cfg.crosstalk.drive_leakage_a_to_b);
+            apply_clifford(
+                group,
+                &mut state,
+                QA,
+                ca,
+                both,
+                cfg.crosstalk.drive_leakage_a_to_b,
+            );
             seq_a.push(ca);
             cfg.noise_a.apply(&mut state, QA, rng);
         }
         if drive_b {
-            apply_clifford(group, &mut state, QB, cb, both, cfg.crosstalk.drive_leakage_b_to_a);
+            apply_clifford(
+                group,
+                &mut state,
+                QB,
+                cb,
+                both,
+                cfg.crosstalk.drive_leakage_b_to_a,
+            );
             seq_b.push(cb);
             cfg.noise_b.apply(&mut state, QB, rng);
         }
@@ -303,12 +341,26 @@ fn run_sequence(
     }
     if drive_a {
         let rec = group.recovery(seq_a.iter().copied());
-        apply_clifford(group, &mut state, QA, rec, both, cfg.crosstalk.drive_leakage_a_to_b);
+        apply_clifford(
+            group,
+            &mut state,
+            QA,
+            rec,
+            both,
+            cfg.crosstalk.drive_leakage_a_to_b,
+        );
         cfg.noise_a.apply(&mut state, QA, rng);
     }
     if drive_b {
         let rec = group.recovery(seq_b.iter().copied());
-        apply_clifford(group, &mut state, QB, rec, both, cfg.crosstalk.drive_leakage_b_to_a);
+        apply_clifford(
+            group,
+            &mut state,
+            QB,
+            rec,
+            both,
+            cfg.crosstalk.drive_leakage_b_to_a,
+        );
         cfg.noise_b.apply(&mut state, QB, rng);
     }
 
@@ -337,15 +389,19 @@ fn apply_clifford(
             let theta = leakage * std::f64::consts::FRAC_PI_2;
             match pulse {
                 Gate1::X90 | Gate1::Xm90 => {
-                    let m = crate::statevector::rotation_matrix_x(
-                        if pulse == Gate1::X90 { theta } else { -theta },
-                    );
+                    let m = crate::statevector::rotation_matrix_x(if pulse == Gate1::X90 {
+                        theta
+                    } else {
+                        -theta
+                    });
                     state.apply_matrix1(&m, other);
                 }
                 Gate1::Y90 | Gate1::Ym90 => {
-                    let m = crate::statevector::rotation_matrix_y(
-                        if pulse == Gate1::Y90 { theta } else { -theta },
-                    );
+                    let m = crate::statevector::rotation_matrix_y(if pulse == Gate1::Y90 {
+                        theta
+                    } else {
+                        -theta
+                    });
                     state.apply_matrix1(&m, other);
                 }
                 _ => {}
@@ -371,8 +427,12 @@ mod tests {
         let cfg = RbConfig {
             lengths: vec![1, 20, 80],
             samples_per_length: 4,
-            noise_a: DepolarizingNoise { pauli_error_prob: 0.0 },
-            noise_b: DepolarizingNoise { pauli_error_prob: 0.0 },
+            noise_a: DepolarizingNoise {
+                pauli_error_prob: 0.0,
+            },
+            noise_b: DepolarizingNoise {
+                pauli_error_prob: 0.0,
+            },
             crosstalk: CrosstalkModel::NONE,
             readout: ReadoutError::default(),
             seed: 5,
@@ -381,7 +441,12 @@ mod tests {
         let mut rng = SmallRng::seed_from_u64(cfg.seed);
         let (a, b) = run_rb(&group, &cfg, Driven::Both, &mut rng).unwrap();
         for p in a.points.iter().chain(&b.points) {
-            assert!((p.survival - 1.0).abs() < 1e-9, "survival {} at m={}", p.survival, p.length);
+            assert!(
+                (p.survival - 1.0).abs() < 1e-9,
+                "survival {} at m={}",
+                p.survival,
+                p.length
+            );
         }
     }
 
@@ -409,7 +474,11 @@ mod tests {
         let group = CliffordGroup::new();
         let mut rng = SmallRng::seed_from_u64(cfg.seed);
         let (a, _) = run_rb(&group, &cfg, Driven::OnlyA, &mut rng).unwrap();
-        assert!((a.fidelity() - 0.99).abs() < 5e-3, "fitted {}", a.fidelity());
+        assert!(
+            (a.fidelity() - 0.99).abs() < 5e-3,
+            "fitted {}",
+            a.fidelity()
+        );
     }
 
     #[test]
@@ -444,10 +513,24 @@ mod tests {
     #[test]
     fn clifford_id_lookup_identifies_standard_gates() {
         let group = CliffordGroup::new();
-        for g in [Gate1::I, Gate1::X, Gate1::Y, Gate1::Z, Gate1::H, Gate1::S, Gate1::X90] {
-            assert!(clifford_id_of(&group, g).is_some(), "{g} should be a Clifford");
+        for g in [
+            Gate1::I,
+            Gate1::X,
+            Gate1::Y,
+            Gate1::Z,
+            Gate1::H,
+            Gate1::S,
+            Gate1::X90,
+        ] {
+            assert!(
+                clifford_id_of(&group, g).is_some(),
+                "{g} should be a Clifford"
+            );
         }
-        assert!(clifford_id_of(&group, Gate1::T).is_none(), "T is not a Clifford");
+        assert!(
+            clifford_id_of(&group, Gate1::T).is_none(),
+            "T is not a Clifford"
+        );
         assert_eq!(clifford_id_of(&group, Gate1::I), Some(CliffordId(0)));
     }
 

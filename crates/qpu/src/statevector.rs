@@ -24,7 +24,10 @@ pub fn gate1_matrix(gate: Gate1) -> Matrix2 {
         Gate1::X => [[z, one], [one, z]],
         Gate1::Y => [[z, -i], [i, z]],
         Gate1::Z => [[one, z], [z, -one]],
-        Gate1::H => [[Complex::new(R, 0.0), Complex::new(R, 0.0)], [Complex::new(R, 0.0), Complex::new(-R, 0.0)]],
+        Gate1::H => [
+            [Complex::new(R, 0.0), Complex::new(R, 0.0)],
+            [Complex::new(R, 0.0), Complex::new(-R, 0.0)],
+        ],
         Gate1::S => [[one, z], [z, i]],
         Gate1::Sdg => [[one, z], [z, -i]],
         Gate1::T => [[one, z], [z, Complex::cis(std::f64::consts::FRAC_PI_4)]],
@@ -55,7 +58,10 @@ pub fn rotation_matrix_y(theta: f64) -> Matrix2 {
 
 /// `exp(-iθZ/2)`.
 pub fn rotation_matrix_z(theta: f64) -> Matrix2 {
-    [[Complex::cis(-theta / 2.0), Complex::ZERO], [Complex::ZERO, Complex::cis(theta / 2.0)]]
+    [
+        [Complex::cis(-theta / 2.0), Complex::ZERO],
+        [Complex::ZERO, Complex::cis(theta / 2.0)],
+    ]
 }
 
 /// Multiplies two 2×2 matrices.
@@ -106,7 +112,11 @@ impl StateVector {
 
     fn check_qubit(&self, q: Qubit) -> usize {
         let idx = q.index() as usize;
-        assert!(idx < self.n as usize, "qubit {q} out of range for {}-qubit state", self.n);
+        assert!(
+            idx < self.n as usize,
+            "qubit {q} out of range for {}-qubit state",
+            self.n
+        );
         idx
     }
 
@@ -212,7 +222,11 @@ impl StateVector {
     /// undefined).
     pub fn project(&mut self, q: Qubit, outcome: bool) {
         let bit = 1usize << self.check_qubit(q);
-        let p = if outcome { self.prob_one(q) } else { 1.0 - self.prob_one(q) };
+        let p = if outcome {
+            self.prob_one(q)
+        } else {
+            1.0 - self.prob_one(q)
+        };
         assert!(p > 1e-12, "projection onto zero-probability outcome");
         let norm = 1.0 / p.sqrt();
         for (idx, amp) in self.amps.iter_mut().enumerate() {
@@ -477,7 +491,10 @@ mod tests {
         s.apply_amplitude_damping(q(0), 0.1, &mut rng);
         let after = s.prob_one(q(0));
         assert!((s.norm_sqr() - 1.0).abs() < 1e-9);
-        assert!(after < before || (after - 1.0).abs() < 1e-9, "{before} -> {after}");
+        assert!(
+            after < before || (after - 1.0).abs() < 1e-9,
+            "{before} -> {after}"
+        );
     }
 
     #[test]
@@ -486,7 +503,10 @@ mod tests {
         s.apply_gate1(Gate1::H, q(0));
         // Manually damp via the public no-jump path with γ=0 (no-op) and
         // then scale through a non-unitary matrix.
-        let half = [[Complex::new(0.5, 0.0), Complex::ZERO], [Complex::ZERO, Complex::new(0.5, 0.0)]];
+        let half = [
+            [Complex::new(0.5, 0.0), Complex::ZERO],
+            [Complex::ZERO, Complex::new(0.5, 0.0)],
+        ];
         s.apply_matrix1(&half, q(0));
         assert!((s.norm_sqr() - 0.25).abs() < 1e-12);
         s.renormalize();

@@ -333,13 +333,41 @@ pub fn qaoa(n: u16, p: usize) -> Circuit {
 /// three Qiskit, two ScaffCC, two RevLib circuits.
 pub fn benchmark_suite() -> Vec<Benchmark> {
     vec![
-        Benchmark { name: "bv_16", source: BenchmarkSource::Qiskit, circuit: bv(16) },
-        Benchmark { name: "hs16", source: BenchmarkSource::ScaffCC, circuit: hs16() },
-        Benchmark { name: "ising_16", source: BenchmarkSource::ScaffCC, circuit: ising(16, 3) },
-        Benchmark { name: "adder_8", source: BenchmarkSource::Qiskit, circuit: adder(8) },
-        Benchmark { name: "qft_10", source: BenchmarkSource::Qiskit, circuit: qft(10) },
-        Benchmark { name: "rd84_143", source: BenchmarkSource::RevLib, circuit: rd84_143() },
-        Benchmark { name: "sym9_146", source: BenchmarkSource::RevLib, circuit: sym9_146() },
+        Benchmark {
+            name: "bv_16",
+            source: BenchmarkSource::Qiskit,
+            circuit: bv(16),
+        },
+        Benchmark {
+            name: "hs16",
+            source: BenchmarkSource::ScaffCC,
+            circuit: hs16(),
+        },
+        Benchmark {
+            name: "ising_16",
+            source: BenchmarkSource::ScaffCC,
+            circuit: ising(16, 3),
+        },
+        Benchmark {
+            name: "adder_8",
+            source: BenchmarkSource::Qiskit,
+            circuit: adder(8),
+        },
+        Benchmark {
+            name: "qft_10",
+            source: BenchmarkSource::Qiskit,
+            circuit: qft(10),
+        },
+        Benchmark {
+            name: "rd84_143",
+            source: BenchmarkSource::RevLib,
+            circuit: rd84_143(),
+        },
+        Benchmark {
+            name: "sym9_146",
+            source: BenchmarkSource::RevLib,
+            circuit: sym9_146(),
+        },
     ]
 }
 
@@ -347,7 +375,11 @@ pub fn benchmark_suite() -> Vec<Benchmark> {
 /// everything a downstream user can run out of the box.
 pub fn extended_suite() -> Vec<Benchmark> {
     let mut suite = benchmark_suite();
-    suite.push(Benchmark { name: "ghz_16", source: BenchmarkSource::Qiskit, circuit: ghz(16) });
+    suite.push(Benchmark {
+        name: "ghz_16",
+        source: BenchmarkSource::Qiskit,
+        circuit: ghz(16),
+    });
     suite.push(Benchmark {
         name: "qaoa_16_2",
         source: BenchmarkSource::ScaffCC,
@@ -383,7 +415,11 @@ mod tests {
     fn hs16_widths_are_multiples_of_8() {
         let s = hs16().schedule();
         for (i, step) in s.steps().iter().enumerate() {
-            assert!(step.width() % 8 == 0, "step {i} width {} not a multiple of 8", step.width());
+            assert!(
+                step.width() % 8 == 0,
+                "step {i} width {} not a multiple of 8",
+                step.width()
+            );
         }
     }
 
@@ -443,7 +479,12 @@ mod tests {
         let ext = extended_suite();
         assert_eq!(ext.len(), 9);
         for b in &ext {
-            assert_eq!(b.circuit.schedule().find_step_conflict(), None, "{}", b.name);
+            assert_eq!(
+                b.circuit.schedule().find_step_conflict(),
+                None,
+                "{}",
+                b.name
+            );
         }
     }
 }

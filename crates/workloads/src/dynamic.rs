@@ -201,12 +201,23 @@ pub fn iterative_phase_estimation(cfg: IpeConfig) -> Result<Program, ProgramErro
         b.fmr(5, cfg.ancilla);
         // acc += bit << round  (shift via repeated addition).
         for _ in 0..round {
-            b.push(ClassicalOp::Add { rd: bit, rs1: bit, rs2: bit });
+            b.push(ClassicalOp::Add {
+                rd: bit,
+                rs1: bit,
+                rs2: bit,
+            });
         }
-        b.push(ClassicalOp::Add { rd: acc, rs1: acc, rs2: bit });
+        b.push(ClassicalOp::Add {
+            rd: acc,
+            rs1: acc,
+            rs2: bit,
+        });
     }
     // Publish the estimate in shared register 0.
-    b.push(ClassicalOp::Sts { sreg: quape_isa::SharedReg::new(0), rs: acc });
+    b.push(ClassicalOp::Sts {
+        sreg: quape_isa::SharedReg::new(0),
+        rs: acc,
+    });
     b.push(ClassicalOp::Stop);
     b.finish()
 }
@@ -222,7 +233,12 @@ mod tests {
         let mrces = p
             .instructions()
             .iter()
-            .filter(|i| matches!(i, quape_isa::Instruction::Classical(ClassicalOp::Mrce { .. })))
+            .filter(|i| {
+                matches!(
+                    i,
+                    quape_isa::Instruction::Classical(ClassicalOp::Mrce { .. })
+                )
+            })
             .count();
         assert_eq!(mrces, 2);
     }
@@ -235,7 +251,12 @@ mod tests {
 
     #[test]
     fn ipe_round_structure() {
-        let cfg = IpeConfig { bits: 3, phase_numerator: 5, ancilla: 0, target: 1 };
+        let cfg = IpeConfig {
+            bits: 3,
+            phase_numerator: 5,
+            ancilla: 0,
+            target: 1,
+        };
         assert!((cfg.phase() - 0.625).abs() < 1e-12);
         let p = iterative_phase_estimation(cfg).unwrap();
         // 3 rounds → 3 measurements, 3 FMRs.
@@ -248,7 +269,12 @@ mod tests {
         let fmrs = p
             .instructions()
             .iter()
-            .filter(|i| matches!(i, quape_isa::Instruction::Classical(ClassicalOp::Fmr { .. })))
+            .filter(|i| {
+                matches!(
+                    i,
+                    quape_isa::Instruction::Classical(ClassicalOp::Fmr { .. })
+                )
+            })
             .count();
         assert_eq!(fmrs, 3);
     }

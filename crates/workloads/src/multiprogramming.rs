@@ -34,7 +34,10 @@ impl fmt::Display for CombineError {
         match self {
             CombineError::Empty => write!(f, "no programs to combine"),
             CombineError::TooManyQubits { required } => {
-                write!(f, "combined workload needs {required} qubits, exceeding the ISA limit")
+                write!(
+                    f,
+                    "combined workload needs {required} qubits, exceeding the ISA limit"
+                )
             }
             CombineError::Program(e) => e.fmt(f),
         }
@@ -47,27 +50,6 @@ impl From<ProgramError> for CombineError {
     fn from(e: ProgramError) -> Self {
         CombineError::Program(e)
     }
-}
-
-fn num_qubits(program: &Program) -> u16 {
-    let mut max = 0;
-    for i in program.instructions() {
-        match i {
-            Instruction::Quantum(q) => {
-                for qb in q.op.qubits() {
-                    max = max.max(qb.index() + 1);
-                }
-            }
-            Instruction::Classical(ClassicalOp::Fmr { qubit, .. }) => {
-                max = max.max(qubit.index() + 1);
-            }
-            Instruction::Classical(ClassicalOp::Mrce { qubit, target, .. }) => {
-                max = max.max(qubit.index() + 1).max(target.index() + 1);
-            }
-            Instruction::Classical(_) => {}
-        }
-    }
-    max
 }
 
 fn shift_qubit(q: Qubit, offset: u16) -> Qubit {
@@ -86,10 +68,16 @@ fn shift_op(op: QuantumOp, offset: u16) -> QuantumOp {
 
 fn shift_classical(op: ClassicalOp, qubit_offset: u16, addr_offset: u32) -> ClassicalOp {
     let op = match op {
-        ClassicalOp::Fmr { rd, qubit } => {
-            ClassicalOp::Fmr { rd, qubit: shift_qubit(qubit, qubit_offset) }
-        }
-        ClassicalOp::Mrce { qubit, target, op_if_one, op_if_zero } => ClassicalOp::Mrce {
+        ClassicalOp::Fmr { rd, qubit } => ClassicalOp::Fmr {
+            rd,
+            qubit: shift_qubit(qubit, qubit_offset),
+        },
+        ClassicalOp::Mrce {
+            qubit,
+            target,
+            op_if_one,
+            op_if_zero,
+        } => ClassicalOp::Mrce {
             qubit: shift_qubit(qubit, qubit_offset),
             target: shift_qubit(target, qubit_offset),
             op_if_one,
@@ -119,9 +107,11 @@ pub fn combine(programs: &[Program]) -> Result<Program, CombineError> {
     if programs.is_empty() {
         return Err(CombineError::Empty);
     }
-    let total_qubits: u32 = programs.iter().map(|p| u32::from(num_qubits(p))).sum();
+    let total_qubits: u32 = programs.iter().map(|p| u32::from(p.num_qubits())).sum();
     if total_qubits > quape_isa::MAX_QUBITS as u32 {
-        return Err(CombineError::TooManyQubits { required: total_qubits });
+        return Err(CombineError::TooManyQubits {
+            required: total_qubits,
+        });
     }
 
     let mut instructions = Vec::new();
@@ -157,7 +147,9 @@ pub fn combine(programs: &[Program]) -> Result<Program, CombineError> {
             for (_, info) in p.blocks().iter() {
                 let dep = match &info.dependency {
                     Dependency::Direct(deps) => Dependency::Direct(
-                        deps.iter().map(|d| quape_isa::BlockId(base + d.0)).collect(),
+                        deps.iter()
+                            .map(|d| quape_isa::BlockId(base + d.0))
+                            .collect(),
                     ),
                     Dependency::Priority(_) => {
                         // Priority entries cannot mix with the direct
@@ -178,7 +170,7 @@ pub fn combine(programs: &[Program]) -> Result<Program, CombineError> {
                     .map_err(ProgramError::from)?;
             }
         }
-        qubit_offset += num_qubits(p);
+        qubit_offset += p.num_qubits();
     }
     let step_map: Vec<Option<StepId>> = vec![None; instructions.len()];
     Ok(Program::with_parts(instructions, table, step_map)?)
@@ -192,8 +184,8 @@ mod tests {
 
     #[test]
     fn combine_relocates_qubits_and_targets() {
-        let a = assemble("top: 0 X q0\n1 MEAS q0\nFMR r0, q0\nCMPI r0, 1\nBR EQ, top\nSTOP\n")
-            .unwrap();
+        let a =
+            assemble("top: 0 X q0\n1 MEAS q0\nFMR r0, q0\nCMPI r0, 1\nBR EQ, top\nSTOP\n").unwrap();
         let b = assemble("0 H q0\n0 H q1\nSTOP\n").unwrap();
         let combined = combine(&[a.clone(), b]).unwrap();
         assert_eq!(combined.blocks().len(), 2);

@@ -9,8 +9,7 @@
 //! that feedback turnaround on its own control stack.
 
 use quape_isa::{
-    ClassicalOp, Cond, Gate1, Gate2, Program, ProgramBuilder, ProgramError, QuantumOp, Qubit,
-    Reg,
+    ClassicalOp, Cond, Gate1, Gate2, Program, ProgramBuilder, ProgramError, QuantumOp, Qubit, Reg,
 };
 
 /// Qubit assignment of the repetition code.
@@ -24,7 +23,10 @@ pub struct RepetitionCode {
 
 impl Default for RepetitionCode {
     fn default() -> Self {
-        RepetitionCode { data: [0, 1, 2], ancilla: [3, 4] }
+        RepetitionCode {
+            data: [0, 1, 2],
+            ancilla: [3, 4],
+        }
     }
 }
 
@@ -106,8 +108,16 @@ pub fn repetition_code_program(cfg: QecConfig) -> Result<Program, ProgramError> 
         // Decode: r0 = s0 + 2·s1.
         b.fmr(0, a0);
         b.fmr(1, a1);
-        b.push(ClassicalOp::Add { rd: r1, rs1: r1, rs2: r1 });
-        b.push(ClassicalOp::Add { rd: r0, rs1: r0, rs2: r1 });
+        b.push(ClassicalOp::Add {
+            rd: r1,
+            rs1: r1,
+            rs2: r1,
+        });
+        b.push(ClassicalOp::Add {
+            rd: r0,
+            rs1: r0,
+            rs2: r1,
+        });
         let done = format!("qec_done_{round}");
         // s = 1 → X d0.
         b.cmpi(0, 1);
@@ -148,7 +158,11 @@ mod tests {
 
     #[test]
     fn program_shape_per_round() {
-        let p = repetition_code_program(QecConfig { rounds: 3, ..Default::default() }).unwrap();
+        let p = repetition_code_program(QecConfig {
+            rounds: 3,
+            ..Default::default()
+        })
+        .unwrap();
         let measures = p
             .instructions()
             .iter()
@@ -159,7 +173,12 @@ mod tests {
         let fmrs = p
             .instructions()
             .iter()
-            .filter(|i| matches!(i, quape_isa::Instruction::Classical(ClassicalOp::Fmr { .. })))
+            .filter(|i| {
+                matches!(
+                    i,
+                    quape_isa::Instruction::Classical(ClassicalOp::Fmr { .. })
+                )
+            })
             .count();
         assert_eq!(fmrs, 6);
     }
@@ -177,8 +196,11 @@ mod tests {
 
     #[test]
     fn logical_one_prepends_three_x() {
-        let p = repetition_code_program(QecConfig { logical_one: true, ..Default::default() })
-            .unwrap();
+        let p = repetition_code_program(QecConfig {
+            logical_one: true,
+            ..Default::default()
+        })
+        .unwrap();
         for i in 0..3 {
             assert!(matches!(
                 p.instruction(i),

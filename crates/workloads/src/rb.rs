@@ -57,7 +57,10 @@ pub fn rb_program(
     push_clifford(&mut b, group, qubit, recovery);
     b.quantum(PULSE_CYCLES, QuantumOp::Measure(Qubit::new(qubit)));
     b.push(ClassicalOp::Stop);
-    Ok(RbProgram { program: b.finish()?, sequence })
+    Ok(RbProgram {
+        program: b.finish()?,
+        sequence,
+    })
 }
 
 /// Generates a *simultaneous* RB program: independent random sequences on
@@ -115,7 +118,10 @@ fn emit_layer(
             first = false;
         }
         if let Some(&p) = pb.get(i) {
-            b.quantum(if first { PULSE_CYCLES } else { 0 }, QuantumOp::Gate1(p, Qubit::new(qb)));
+            b.quantum(
+                if first { PULSE_CYCLES } else { 0 },
+                QuantumOp::Gate1(p, Qubit::new(qb)),
+            );
         }
     }
 }
@@ -154,7 +160,10 @@ pub fn active_reset_with_rb(
     push_clifford(&mut b, group, rb_qubit, recovery);
     b.quantum(PULSE_CYCLES, QuantumOp::Measure(Qubit::new(rb_qubit)));
     b.push(ClassicalOp::Stop);
-    Ok(RbProgram { program: b.finish()?, sequence })
+    Ok(RbProgram {
+        program: b.finish()?,
+        sequence,
+    })
 }
 
 /// Convenience: the plain active-qubit-reset program (measure + MRCE),
@@ -180,7 +189,11 @@ pub fn active_reset(qubit: u16) -> Result<Program, ProgramError> {
 /// (including recovery) expands to.
 pub fn pulse_count(group: &CliffordGroup, sequence: &[CliffordId]) -> usize {
     let recovery = group.recovery(sequence.iter().copied());
-    sequence.iter().chain(std::iter::once(&recovery)).map(|&c| group.pulses(c).len()).sum()
+    sequence
+        .iter()
+        .chain(std::iter::once(&recovery))
+        .map(|&c| group.pulses(c).len())
+        .sum()
 }
 
 /// Checks that a single-qubit pulse stream composes to the identity — the
@@ -200,6 +213,163 @@ pub fn composes_to_identity(group: &CliffordGroup, program: &Program, qubit: u16
     }
     let _ = group;
     state.prob_all_zero() > 1.0 - 1e-9
+}
+
+/// Errors from building a multi-shot RB batch.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RbBatchError {
+    /// Sequence generation / program assembly failed.
+    Program(ProgramError),
+    /// Job compilation failed.
+    Machine(quape_core::MachineError),
+}
+
+impl std::fmt::Display for RbBatchError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RbBatchError::Program(e) => e.fmt(f),
+            RbBatchError::Machine(e) => e.fmt(f),
+        }
+    }
+}
+
+impl std::error::Error for RbBatchError {}
+
+impl From<ProgramError> for RbBatchError {
+    fn from(e: ProgramError) -> Self {
+        RbBatchError::Program(e)
+    }
+}
+
+impl From<quape_core::MachineError> for RbBatchError {
+    fn from(e: quape_core::MachineError) -> Self {
+        RbBatchError::Machine(e)
+    }
+}
+
+/// Multi-shot RB on the noisy state-vector backend: one random sequence
+/// is compiled into a [`CompiledJob`] once, then `shots` independent
+/// noise/readout realizations of it run through the batch engine
+/// ([`quape_core::ShotEngine`]), possibly across threads.
+///
+/// ```
+/// use quape_workloads::rb::RbBatch;
+/// use quape_qpu::{CliffordGroup, DepolarizingNoise};
+///
+/// let group = CliffordGroup::new();
+/// let batch = RbBatch::new(DepolarizingNoise::for_fidelity(0.995)).with_shots(16);
+/// let job = batch.rb_job(&group, 0, 8, 42)?;
+/// let survival = batch.survival(&job, 42, 0);
+/// assert!((0.0..=1.0).contains(&survival));
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct RbBatch {
+    /// Machine configuration (default: the paper's 8-way superscalar).
+    pub cfg: quape_core::QuapeConfig,
+    /// Depolarizing noise applied after every pulse.
+    pub noise: quape_qpu::DepolarizingNoise,
+    /// Readout assignment error.
+    pub readout: quape_qpu::ReadoutError,
+    /// Noise realizations per sequence program.
+    pub shots: u64,
+    /// Worker threads for the engine (0 = automatic).
+    pub threads: usize,
+}
+
+impl RbBatch {
+    /// A batch with the given noise, paper-default config and readout,
+    /// one shot, automatic threads.
+    pub fn new(noise: quape_qpu::DepolarizingNoise) -> Self {
+        RbBatch {
+            cfg: quape_core::QuapeConfig::superscalar(8),
+            noise,
+            readout: quape_qpu::ReadoutError::default(),
+            shots: 1,
+            threads: 0,
+        }
+    }
+
+    /// Sets the shots per sequence.
+    pub fn with_shots(mut self, shots: u64) -> Self {
+        self.shots = shots;
+        self
+    }
+
+    /// Sets the engine thread count (0 = automatic).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Compiles one individual-RB sequence (`m` Cliffords on `qubit`,
+    /// sequence drawn from `seed`) into a reusable job.
+    ///
+    /// # Errors
+    ///
+    /// Propagates program-assembly and job-compilation failures.
+    pub fn rb_job(
+        &self,
+        group: &CliffordGroup,
+        qubit: u16,
+        m: u32,
+        seed: u64,
+    ) -> Result<quape_core::CompiledJob, RbBatchError> {
+        let w = rb_program(group, qubit, m, seed)?;
+        Ok(quape_core::CompiledJob::compile(
+            self.cfg.clone(),
+            w.program,
+        )?)
+    }
+
+    /// Compiles one simultaneous-RB sequence on `(qubit_a, qubit_b)` into
+    /// a reusable job.
+    ///
+    /// # Errors
+    ///
+    /// Propagates program-assembly and job-compilation failures.
+    pub fn simrb_job(
+        &self,
+        group: &CliffordGroup,
+        qubit_a: u16,
+        qubit_b: u16,
+        m: u32,
+        seed: u64,
+    ) -> Result<quape_core::CompiledJob, RbBatchError> {
+        let program = simrb_program(group, qubit_a, qubit_b, m, seed)?;
+        Ok(quape_core::CompiledJob::compile(self.cfg.clone(), program)?)
+    }
+
+    /// Runs the batch: `shots` seeded noise realizations of `job`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the job touches more qubits than the dense state-vector
+    /// backend can represent (the ISA's qubit address space is far
+    /// smaller, so this cannot happen for valid programs).
+    pub fn run(&self, job: &quape_core::CompiledJob, base_seed: u64) -> quape_core::BatchReport {
+        let factory = quape_core::StateVectorQpuFactory {
+            num_qubits: u8::try_from(job.num_qubits())
+                .expect("state-vector backend supports at most 255 qubits"),
+            timings: job.cfg().timings,
+            noise: self.noise,
+            readout: self.readout,
+        };
+        quape_core::ShotEngine::new(job.clone(), factory)
+            .base_seed(base_seed)
+            .threads(self.threads)
+            .run(self.shots)
+    }
+
+    /// Survival of `qubit` (fraction of shots whose first measurement of
+    /// it read `0`), averaged over the batch. Returns 0 when the qubit is
+    /// never measured.
+    pub fn survival(&self, job: &quape_core::CompiledJob, base_seed: u64, qubit: u16) -> f64 {
+        self.run(job, base_seed)
+            .aggregate
+            .survival(qubit)
+            .unwrap_or(0.0)
+    }
 }
 
 #[cfg(test)]
@@ -283,5 +453,39 @@ mod tests {
         let b = rb_program(&group, 0, 30, 5).unwrap();
         assert_eq!(a.sequence, b.sequence);
         assert_eq!(a.program, b.program);
+    }
+
+    #[test]
+    fn noiseless_batch_always_survives() {
+        let group = CliffordGroup::new();
+        let batch = RbBatch::new(quape_qpu::DepolarizingNoise {
+            pauli_error_prob: 0.0,
+        })
+        .with_shots(8)
+        .with_threads(2);
+        let job = batch.rb_job(&group, 0, 12, 3).unwrap();
+        assert!((batch.survival(&job, 3, 0) - 1.0).abs() < 1e-12);
+        let sim = batch.simrb_job(&group, 0, 1, 6, 4).unwrap();
+        let report = batch.run(&sim, 4);
+        assert!((report.aggregate.survival(0).unwrap() - 1.0).abs() < 1e-12);
+        assert!((report.aggregate.survival(1).unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn noisy_batch_decays_with_length() {
+        let group = CliffordGroup::new();
+        let batch = RbBatch::new(quape_qpu::DepolarizingNoise::for_fidelity(0.95))
+            .with_shots(24)
+            .with_threads(0);
+        let survival = |m: u32| {
+            let job = batch.rb_job(&group, 0, m, 11).unwrap();
+            batch.survival(&job, 11, 0)
+        };
+        let short = survival(2);
+        let long = survival(96);
+        assert!(
+            short > long,
+            "survival must decay: m=2 → {short}, m=96 → {long}"
+        );
     }
 }

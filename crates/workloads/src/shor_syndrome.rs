@@ -146,7 +146,10 @@ impl ShorSyndrome {
             for s in 0..3u16 {
                 b.begin_block(format!("r{round}_couple_x{s}"), prio(1));
                 for (i, &d) in STEANE_SUPPORTS[s as usize].iter().enumerate() {
-                    b.quantum(if i == 0 { 0 } else { 4 }, g2(Gate2::Cnot, cat(s, i as u16), d));
+                    b.quantum(
+                        if i == 0 { 0 } else { 4 },
+                        g2(Gate2::Cnot, cat(s, i as u16), d),
+                    );
                 }
                 b.push(ClassicalOp::Stop);
                 b.end_block();
@@ -156,7 +159,10 @@ impl ShorSyndrome {
             for s in 3..6u16 {
                 b.begin_block(format!("r{round}_couple_z{s}"), prio(2));
                 for (i, &d) in STEANE_SUPPORTS[s as usize].iter().enumerate() {
-                    b.quantum(if i == 0 { 0 } else { 4 }, g2(Gate2::Cz, cat(s, i as u16), d));
+                    b.quantum(
+                        if i == 0 { 0 } else { 4 },
+                        g2(Gate2::Cz, cat(s, i as u16), d),
+                    );
                 }
                 b.push(ClassicalOp::Stop);
                 b.end_block();
@@ -184,23 +190,48 @@ impl ShorSyndrome {
                 // bit of stabilizer s.
                 b.fmr(1, cat(s, 0));
                 b.fmr(2, cat(s, 1));
-                b.push(ClassicalOp::Xor { rd: Reg::new(1), rs1: Reg::new(1), rs2: Reg::new(2) });
+                b.push(ClassicalOp::Xor {
+                    rd: Reg::new(1),
+                    rs1: Reg::new(1),
+                    rs2: Reg::new(2),
+                });
                 b.fmr(2, cat(s, 2));
-                b.push(ClassicalOp::Xor { rd: Reg::new(1), rs1: Reg::new(1), rs2: Reg::new(2) });
+                b.push(ClassicalOp::Xor {
+                    rd: Reg::new(1),
+                    rs1: Reg::new(1),
+                    rs2: Reg::new(2),
+                });
                 b.fmr(2, cat(s, 3));
-                b.push(ClassicalOp::Xor { rd: Reg::new(1), rs1: Reg::new(1), rs2: Reg::new(2) });
+                b.push(ClassicalOp::Xor {
+                    rd: Reg::new(1),
+                    rs1: Reg::new(1),
+                    rs2: Reg::new(2),
+                });
                 // Accumulate the round's syndrome bit into shared register
                 // s (majority vote counts 1-outcomes across rounds).
-                b.push(ClassicalOp::Lds { rd: Reg::new(3), sreg: SharedReg::new(s as u8) });
-                b.push(ClassicalOp::Add { rd: Reg::new(3), rs1: Reg::new(3), rs2: Reg::new(1) });
-                b.push(ClassicalOp::Sts { sreg: SharedReg::new(s as u8), rs: Reg::new(3) });
+                b.push(ClassicalOp::Lds {
+                    rd: Reg::new(3),
+                    sreg: SharedReg::new(s as u8),
+                });
+                b.push(ClassicalOp::Add {
+                    rd: Reg::new(3),
+                    rs1: Reg::new(3),
+                    rs2: Reg::new(1),
+                });
+                b.push(ClassicalOp::Sts {
+                    sreg: SharedReg::new(s as u8),
+                    rs: Reg::new(3),
+                });
             }
             if round == cfg.rounds - 1 {
                 // Majority vote: syndrome bit s is 1 when at least 2 of
                 // the `rounds` measurements said 1. The voted syndrome is
                 // written to shared registers 8..14.
                 for s in 0..6u16 {
-                    b.push(ClassicalOp::Lds { rd: Reg::new(3), sreg: SharedReg::new(s as u8) });
+                    b.push(ClassicalOp::Lds {
+                        rd: Reg::new(3),
+                        sreg: SharedReg::new(s as u8),
+                    });
                     b.cmpi(3, (cfg.rounds / 2 + 1) as i16);
                     let set = format!("vote_set{s}");
                     let done = format!("vote_done{s}");
@@ -210,7 +241,10 @@ impl ShorSyndrome {
                     b.label(&set);
                     b.push(ClassicalOp::Ldi { rd: r0, imm: 1 });
                     b.label(&done);
-                    b.push(ClassicalOp::Sts { sreg: SharedReg::new(8 + s as u8), rs: r0 });
+                    b.push(ClassicalOp::Sts {
+                        sreg: SharedReg::new(8 + s as u8),
+                        rs: r0,
+                    });
                 }
             }
             b.push(ClassicalOp::Stop);
@@ -220,7 +254,11 @@ impl ShorSyndrome {
         let program = b.finish()?;
         let blocks = program.blocks().len();
         let priorities = program.blocks().priority_levels();
-        Ok(ShorSyndrome { program, blocks, priorities })
+        Ok(ShorSyndrome {
+            program,
+            blocks,
+            priorities,
+        })
     }
 
     /// The measurement model of §7: verification ancillas fail (read 1)
@@ -228,7 +266,10 @@ impl ShorSyndrome {
     /// coin from the FPGA-style PRNG.
     pub fn measurement_model(failure_rate: f64) -> MeasurementModel {
         let probabilities = (0..6u16).map(|s| (verify(s), failure_rate)).collect();
-        MeasurementModel::PerQubit { probabilities, default_p_one: 0.5 }
+        MeasurementModel::PerQubit {
+            probabilities,
+            default_p_one: 0.5,
+        }
     }
 }
 
@@ -267,14 +308,20 @@ mod tests {
     fn table_validates_and_uses_priorities() {
         let w = ShorSyndrome::generate(ShorSyndromeConfig::default()).unwrap();
         w.program.blocks().validate().unwrap();
-        assert_eq!(w.program.blocks().mode(), Some(quape_isa::DependencyMode::Priority));
+        assert_eq!(
+            w.program.blocks().mode(),
+            Some(quape_isa::DependencyMode::Priority)
+        );
     }
 
     #[test]
     fn verification_failure_qubits_configured() {
         let model = ShorSyndrome::measurement_model(0.25);
         match model {
-            MeasurementModel::PerQubit { probabilities, default_p_one } => {
+            MeasurementModel::PerQubit {
+                probabilities,
+                default_p_one,
+            } => {
                 assert_eq!(probabilities.len(), 6);
                 assert!(probabilities.iter().all(|&(q, p)| p == 0.25 && q >= 7));
                 assert_eq!(default_p_one, 0.5);

@@ -15,7 +15,9 @@ fn run(fast_context_switch: bool) -> RunReport {
     cfg.fast_context_switch = fast_context_switch;
     cfg.daq_jitter_ns = 0;
     let qpu = BehavioralQpu::new(cfg.timings, MeasurementModel::AlwaysOne, 1);
-    Machine::new(cfg, workload.program, Box::new(qpu)).expect("valid machine").run()
+    Machine::new(cfg, workload.program, Box::new(qpu))
+        .expect("valid machine")
+        .run()
 }
 
 fn main() {

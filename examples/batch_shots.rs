@@ -1,0 +1,57 @@
+//! Shot-batched execution: compile one job, run thousands of seeded
+//! shots across threads, and read the aggregated statistics.
+//!
+//! ```sh
+//! cargo run --release --example batch_shots
+//! ```
+
+use quape::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A tiny feedback-free circuit: Bell pair + readout of both qubits.
+    let program = assemble("0 H q0\n2 CNOT q0, q1\n4 MEAS q0\n0 MEAS q1\nSTOP\n")?;
+    let cfg = QuapeConfig::superscalar(8);
+
+    // The behavioural QPU draws outcomes from a seeded PRNG; with the
+    // state-vector factory the same engine produces real Bell
+    // correlations (see `StateVectorQpuFactory`).
+    let factory =
+        BehavioralQpuFactory::new(cfg.timings, MeasurementModel::Bernoulli { p_one: 0.5 });
+
+    // Validate the config and wrap the program exactly once…
+    let job = CompiledJob::compile(cfg, program)?;
+
+    // …then fan 4096 shots across the machine's cores. Every shot gets
+    // its own deterministic RNG stream, so this aggregate is identical
+    // for any thread count.
+    let report = ShotEngine::new(job, factory)
+        .base_seed(42)
+        .threads(0)
+        .run(4096);
+
+    let agg = &report.aggregate;
+    println!(
+        "{} shots on {} threads in {:.3} s ({:.0} shots/sec)",
+        agg.shots,
+        report.threads,
+        report.wall_time.as_secs_f64(),
+        report.shots_per_sec()
+    );
+    println!(
+        "stops: {} completed, {} cycle-limited, {} errors",
+        agg.stops.completed, agg.stops.cycle_limit, agg.stops.errors
+    );
+    for (q, h) in agg.qubits.iter().enumerate() {
+        println!(
+            "q{q}: {} zeros / {} ones  (P(1) = {:.3})",
+            h.zeros,
+            h.ones,
+            h.p_one().unwrap_or(f64::NAN)
+        );
+    }
+    println!(
+        "cycles per shot: p50 {}  p95 {}  max {}",
+        agg.cycles.p50, agg.cycles.p95, agg.cycles.max
+    );
+    Ok(())
+}

@@ -14,15 +14,25 @@ fn run(processors: usize) -> RunReport {
     let cfg = QuapeConfig::multiprocessor(processors).with_seed(11);
     // Each RUS round fails with probability 0.5.
     let qpu = BehavioralQpu::new(cfg.timings, MeasurementModel::Bernoulli { p_one: 0.5 }, 11);
-    Machine::new(cfg, program, Box::new(qpu)).expect("valid machine").run()
+    Machine::new(cfg, program, Box::new(qpu))
+        .expect("valid machine")
+        .run()
 }
 
 fn main() {
     println!("two parallel repeat-until-success blocks (W1 on q0, W2 on q1):\n");
     for processors in [1, 2] {
         let report = run(processors);
-        let rounds_q0 = report.measurements.iter().filter(|m| m.qubit.index() == 0).count();
-        let rounds_q1 = report.measurements.iter().filter(|m| m.qubit.index() == 1).count();
+        let rounds_q0 = report
+            .measurements
+            .iter()
+            .filter(|m| m.qubit.index() == 0)
+            .count();
+        let rounds_q1 = report
+            .measurements
+            .iter()
+            .filter(|m| m.qubit.index() == 1)
+            .count();
         println!(
             "{processors} processor(s): {:6} ns total, W1 took {rounds_q0} round(s), W2 took {rounds_q1} round(s)",
             report.execution_time_ns(),

@@ -24,7 +24,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 STOP
 ";
     let program = assemble(source)?;
-    println!("program: {} quantum + {} classical instructions", program.quantum_count(), program.classical_count());
+    println!(
+        "program: {} quantum + {} classical instructions",
+        program.quantum_count(),
+        program.classical_count()
+    );
 
     // An 8-way superscalar QuAPE in front of a PRNG-measurement QPU.
     let cfg = QuapeConfig::superscalar(8);
@@ -37,7 +41,12 @@ STOP
     }
     println!("\nmeasurements:");
     for m in &report.measurements {
-        println!("  t = {:>4} ns  {} -> {}", m.time_ns, m.qubit, u8::from(m.value));
+        println!(
+            "  t = {:>4} ns  {} -> {}",
+            m.time_ns,
+            m.qubit,
+            u8::from(m.value)
+        );
     }
 
     // Was the pre-scheduled timeline respected?

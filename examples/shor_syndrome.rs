@@ -53,7 +53,10 @@ fn main() {
     let report = Machine::new(cfg, workload.program.clone(), Box::new(qpu))
         .expect("valid machine")
         .run_with_limit(2_000_000);
-    println!("\nsix-core utilization for one run ({} cycles):", report.cycles);
+    println!(
+        "\nsix-core utilization for one run ({} cycles):",
+        report.cycles
+    );
     for (i, p) in report.stats.processors.iter().enumerate() {
         println!(
             "  processor {i}: {:5.1}% busy, {} blocks, {} quantum + {} classical instructions",

@@ -8,18 +8,23 @@
 use quape::prelude::*;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let name = std::env::args().nth(1).unwrap_or_else(|| "hs16".to_string());
+    let name = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "hs16".to_string());
     let suite = benchmark_suite();
-    let bench = suite
-        .iter()
-        .find(|b| b.name == name)
-        .unwrap_or_else(|| {
-            let names: Vec<&str> = suite.iter().map(|b| b.name).collect();
-            panic!("unknown benchmark `{name}`; available: {names:?}")
-        });
+    let bench = suite.iter().find(|b| b.name == name).unwrap_or_else(|| {
+        let names: Vec<&str> = suite.iter().map(|b| b.name).collect();
+        panic!("unknown benchmark `{name}`; available: {names:?}")
+    });
 
     let sched = bench.circuit.schedule();
-    println!("benchmark {}: {} ops over {} steps ({})", bench.name, sched.op_count(), sched.depth(), sched.profile());
+    println!(
+        "benchmark {}: {} ops over {} steps ({})",
+        bench.name,
+        sched.op_count(),
+        sched.depth(),
+        sched.profile()
+    );
 
     let program = Compiler::new().compile(&bench.circuit)?;
     let mut results = Vec::new();
@@ -38,6 +43,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         );
         results.push(ces.average_tr());
     }
-    println!("\nimprovement: {:.2}x (the paper reports 8.00x for hs16, 4.04x on average)", results[0] / results[1]);
+    println!(
+        "\nimprovement: {:.2}x (the paper reports 8.00x for hs16, 4.04x on average)",
+        results[0] / results[1]
+    );
     Ok(())
 }

@@ -20,7 +20,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let qpu = StateVectorQpu::new(
         3,
         cfg.timings,
-        DepolarizingNoise { pauli_error_prob: 0.0 },
+        DepolarizingNoise {
+            pauli_error_prob: 0.0,
+        },
         ReadoutError::default(),
         7,
     );
@@ -52,17 +54,25 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let qpu = StateVectorQpu::new(
             3,
             cfg.timings,
-            DepolarizingNoise { pauli_error_prob: 0.0 },
+            DepolarizingNoise {
+                pauli_error_prob: 0.0,
+            },
             ReadoutError::default(),
             u64::from(seed),
         );
         let report = Machine::new(cfg, program, Box::new(qpu))?.run();
-        let outcome =
-            report.measurements.iter().find(|m| m.qubit.index() == 2).expect("target measured");
+        let outcome = report
+            .measurements
+            .iter()
+            .find(|m| m.qubit.index() == 2)
+            .expect("target measured");
         if outcome.value {
             ones += 1;
         }
     }
-    println!("teleported-state statistics over {runs} runs: P(q2 = 1) = {:.3}", f64::from(ones) / f64::from(runs));
+    println!(
+        "teleported-state statistics over {runs} runs: P(q2 = 1) = {:.3}",
+        f64::from(ones) / f64::from(runs)
+    );
     Ok(())
 }

@@ -1,0 +1,291 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` by parsing the item's token stream
+//! directly (no `syn`/`quote` available offline) and emitting an
+//! `impl serde::Serialize` that builds the shim's `Value` tree following
+//! serde's default conventions:
+//!
+//! * named structs → maps in field order;
+//! * newtype structs → transparent;
+//! * tuple structs → sequences;
+//! * unit enum variants → strings;
+//! * data variants → externally tagged single-entry maps.
+//!
+//! `#[derive(Deserialize)]` emits an empty marker impl — nothing in this
+//! workspace deserializes.
+//!
+//! Limitations (checked, with a clear compile error): no generic types,
+//! no `#[serde(...)]` attributes.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, Mode::Serialize)
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, Mode::Deserialize)
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Mode {
+    Serialize,
+    Deserialize,
+}
+
+fn expand(input: TokenStream, mode: Mode) -> TokenStream {
+    match generate(input, mode) {
+        Ok(code) => code
+            .parse()
+            .expect("serde shim derive emitted invalid Rust"),
+        Err(msg) => format!("::std::compile_error!({msg:?});")
+            .parse()
+            .expect("valid error"),
+    }
+}
+
+/// The parsed shape of the deriving item.
+enum Shape {
+    Unit,
+    Named(Vec<String>),
+    Tuple(usize),
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    shape: VariantShape,
+}
+
+enum VariantShape {
+    Unit,
+    Named(Vec<String>),
+    Tuple(usize),
+}
+
+fn generate(input: TokenStream, mode: Mode) -> Result<String, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+
+    skip_attributes(&tokens, &mut i)?;
+    skip_visibility(&tokens, &mut i);
+
+    let kind = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) if id.to_string() == "struct" => "struct",
+        Some(TokenTree::Ident(id)) if id.to_string() == "enum" => "enum",
+        other => {
+            return Err(format!(
+                "serde shim derive expected struct/enum, found {other:?}"
+            ))
+        }
+    };
+    i += 1;
+
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => {
+            return Err(format!(
+                "serde shim derive expected a type name, found {other:?}"
+            ))
+        }
+    };
+    i += 1;
+
+    if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!(
+            "serde shim derive does not support generic type `{name}`"
+        ));
+    }
+
+    let shape = if kind == "struct" {
+        match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::Named(parse_named_fields(g.stream())?)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Shape::Tuple(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Shape::Unit,
+            other => return Err(format!("unsupported struct body for `{name}`: {other:?}")),
+        }
+    } else {
+        match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::Enum(parse_variants(g.stream())?)
+            }
+            other => return Err(format!("unsupported enum body for `{name}`: {other:?}")),
+        }
+    };
+
+    if mode == Mode::Deserialize {
+        return Ok(format!("impl ::serde::Deserialize for {name} {{}}"));
+    }
+
+    let body = match &shape {
+        Shape::Unit => "::serde::Value::Null".to_string(),
+        Shape::Named(fields) => named_fields_value(fields, |f| format!("&self.{f}")),
+        Shape::Tuple(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Shape::Tuple(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|k| format!("::serde::Serialize::to_value(&self.{k})"))
+                .collect();
+            format!("::serde::Value::Seq(::std::vec![{}])", items.join(", "))
+        }
+        Shape::Enum(variants) => enum_match(variants),
+    };
+
+    Ok(format!(
+        "impl ::serde::Serialize for {name} {{\n    fn to_value(&self) -> ::serde::Value {{\n        {body}\n    }}\n}}"
+    ))
+}
+
+/// Map literal for named fields; `access` renders the value expression for
+/// one field name.
+fn named_fields_value(fields: &[String], access: impl Fn(&str) -> String) -> String {
+    let entries: Vec<String> = fields
+        .iter()
+        .map(|f| {
+            format!(
+                "(::std::string::String::from({f:?}), ::serde::Serialize::to_value({}))",
+                access(f)
+            )
+        })
+        .collect();
+    format!("::serde::Value::Map(::std::vec![{}])", entries.join(", "))
+}
+
+fn enum_match(variants: &[Variant]) -> String {
+    let mut arms = Vec::new();
+    for v in variants {
+        let vn = &v.name;
+        let arm = match &v.shape {
+            VariantShape::Unit => format!(
+                "Self::{vn} => ::serde::Value::Str(::std::string::String::from({vn:?}))"
+            ),
+            VariantShape::Tuple(1) => format!(
+                "Self::{vn}(__f0) => ::serde::Value::Map(::std::vec![(::std::string::String::from({vn:?}), ::serde::Serialize::to_value(__f0))])"
+            ),
+            VariantShape::Tuple(n) => {
+                let binds: Vec<String> = (0..*n).map(|k| format!("__f{k}")).collect();
+                let vals: Vec<String> = binds
+                    .iter()
+                    .map(|b| format!("::serde::Serialize::to_value({b})"))
+                    .collect();
+                format!(
+                    "Self::{vn}({}) => ::serde::Value::Map(::std::vec![(::std::string::String::from({vn:?}), ::serde::Value::Seq(::std::vec![{}]))])",
+                    binds.join(", "),
+                    vals.join(", ")
+                )
+            }
+            VariantShape::Named(fields) => {
+                let inner = named_fields_value(fields, |f| f.to_string());
+                format!(
+                    "Self::{vn} {{ {} }} => ::serde::Value::Map(::std::vec![(::std::string::String::from({vn:?}), {inner})])",
+                    fields.join(", ")
+                )
+            }
+        };
+        arms.push(arm);
+    }
+    format!("match self {{ {} }}", arms.join(",\n            "))
+}
+
+/// Skips any number of leading `#[...]` attributes (doc comments appear in
+/// this form too).
+fn skip_attributes(tokens: &[TokenTree], i: &mut usize) -> Result<(), String> {
+    loop {
+        match tokens.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => match tokens.get(*i + 1) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => {
+                    *i += 2;
+                }
+                other => return Err(format!("malformed attribute: {other:?}")),
+            },
+            _ => return Ok(()),
+        }
+    }
+}
+
+/// Skips `pub`, `pub(crate)`, `pub(super)` and similar.
+fn skip_visibility(tokens: &[TokenTree], i: &mut usize) {
+    if matches!(tokens.get(*i), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+        *i += 1;
+        if matches!(tokens.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            *i += 1;
+        }
+    }
+}
+
+/// Splits a token stream on top-level commas, treating `<...>` nesting as
+/// opaque (tuples/arrays/parens arrive as groups, so only angle brackets
+/// need explicit depth tracking). The `>` of an `->` arrow (fn-pointer
+/// field types) is not a closing angle bracket and must not change the
+/// depth.
+fn split_top_level(stream: TokenStream) -> Vec<Vec<TokenTree>> {
+    let mut segments = vec![Vec::new()];
+    let mut angle_depth = 0i32;
+    let mut prev_was_dash = false;
+    for tt in stream {
+        let is_dash = matches!(&tt, TokenTree::Punct(p) if p.as_char() == '-');
+        match &tt {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' && !prev_was_dash => angle_depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                prev_was_dash = false;
+                segments.push(Vec::new());
+                continue;
+            }
+            _ => {}
+        }
+        prev_was_dash = is_dash;
+        segments.last_mut().expect("segments never empty").push(tt);
+    }
+    segments.retain(|s| !s.is_empty());
+    segments
+}
+
+fn parse_named_fields(stream: TokenStream) -> Result<Vec<String>, String> {
+    let mut fields = Vec::new();
+    for segment in split_top_level(stream) {
+        let mut i = 0;
+        skip_attributes(&segment, &mut i)?;
+        skip_visibility(&segment, &mut i);
+        match segment.get(i) {
+            Some(TokenTree::Ident(id)) => fields.push(id.to_string()),
+            other => return Err(format!("expected a field name, found {other:?}")),
+        }
+    }
+    Ok(fields)
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    split_top_level(stream).len()
+}
+
+fn parse_variants(stream: TokenStream) -> Result<Vec<Variant>, String> {
+    let mut variants = Vec::new();
+    for segment in split_top_level(stream) {
+        let mut i = 0;
+        skip_attributes(&segment, &mut i)?;
+        let name = match segment.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => return Err(format!("expected a variant name, found {other:?}")),
+        };
+        i += 1;
+        let shape = match segment.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                VariantShape::Tuple(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                VariantShape::Named(parse_named_fields(g.stream())?)
+            }
+            // `Variant` or `Variant = discriminant`.
+            _ => VariantShape::Unit,
+        };
+        variants.push(Variant { name, shape });
+    }
+    Ok(variants)
+}

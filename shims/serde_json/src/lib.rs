@@ -1,0 +1,203 @@
+//! Offline stand-in for `serde_json`: renders the serde shim's [`Value`]
+//! tree as JSON text. Only serialization is provided — nothing in this
+//! workspace parses JSON.
+
+#![forbid(unsafe_code)]
+
+use serde::{Serialize, Value};
+use std::fmt;
+
+/// Serialization error (the shim's renderer is total, so this never
+/// actually occurs; the type exists for API compatibility).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error(String);
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "json error: {}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Renders `value` as compact JSON.
+///
+/// # Errors
+///
+/// Never fails; the `Result` mirrors `serde_json`'s signature.
+pub fn to_string<T: Serialize>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    render(&value.to_value(), None, 0, &mut out);
+    Ok(out)
+}
+
+/// Renders `value` as pretty-printed JSON (two-space indent).
+///
+/// # Errors
+///
+/// Never fails; the `Result` mirrors `serde_json`'s signature.
+pub fn to_string_pretty<T: Serialize>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    render(&value.to_value(), Some(2), 0, &mut out);
+    Ok(out)
+}
+
+fn render(value: &Value, indent: Option<usize>, depth: usize, out: &mut String) {
+    match value {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Int(i) => out.push_str(&i.to_string()),
+        Value::UInt(u) => out.push_str(&u.to_string()),
+        Value::Float(f) => {
+            if f.is_finite() {
+                // Match serde_json: integral floats render with a ".0".
+                if f.fract() == 0.0 && f.abs() < 1e15 {
+                    out.push_str(&format!("{f:.1}"));
+                } else {
+                    out.push_str(&f.to_string());
+                }
+            } else {
+                out.push_str("null");
+            }
+        }
+        Value::Str(s) => push_escaped(s, out),
+        Value::Seq(items) => {
+            render_block('[', ']', items.len(), indent, depth, out, |k, out, d| {
+                render(&items[k], indent, d, out);
+            });
+        }
+        Value::Map(entries) => {
+            render_block('{', '}', entries.len(), indent, depth, out, |k, out, d| {
+                let (key, val) = &entries[k];
+                push_escaped(key, out);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                render(val, indent, d, out);
+            });
+        }
+    }
+}
+
+fn render_block(
+    open: char,
+    close: char,
+    len: usize,
+    indent: Option<usize>,
+    depth: usize,
+    out: &mut String,
+    mut item: impl FnMut(usize, &mut String, usize),
+) {
+    out.push(open);
+    if len == 0 {
+        out.push(close);
+        return;
+    }
+    for k in 0..len {
+        if k > 0 {
+            out.push(',');
+        }
+        if let Some(w) = indent {
+            out.push('\n');
+            out.push_str(&" ".repeat(w * (depth + 1)));
+        }
+        item(k, out, depth + 1);
+    }
+    if let Some(w) = indent {
+        out.push('\n');
+        out.push_str(&" ".repeat(w * depth));
+    }
+    out.push(close);
+}
+
+fn push_escaped(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compact_and_pretty_agree_on_structure() {
+        let v = vec![(1u16, 0.5f64)];
+        assert_eq!(to_string(&v).unwrap(), "[[1,0.5]]");
+        let pretty = to_string_pretty(&v).unwrap();
+        assert!(
+            pretty.contains("[\n  [\n    1,\n    0.5\n  ]\n]"),
+            "{pretty}"
+        );
+    }
+
+    #[test]
+    fn strings_are_escaped() {
+        assert_eq!(to_string(&"a\"b\n").unwrap(), r#""a\"b\n""#);
+    }
+
+    #[test]
+    fn integral_floats_keep_decimal_point() {
+        assert_eq!(to_string(&4.0f64).unwrap(), "4.0");
+    }
+
+    #[test]
+    fn derive_handles_structs_tuples_and_enums() {
+        #[derive(serde::Serialize)]
+        struct Named {
+            a: u32,
+            b: Vec<(u16, f64)>,
+        }
+        #[derive(serde::Serialize)]
+        struct Newtype(u8);
+        #[derive(serde::Serialize)]
+        enum Mixed {
+            Unit,
+            Tuple(u8, u8),
+            Struct { x: bool },
+        }
+        let named = Named {
+            a: 1,
+            b: vec![(2, 0.5)],
+        };
+        assert_eq!(to_string(&named).unwrap(), r#"{"a":1,"b":[[2,0.5]]}"#);
+        assert_eq!(to_string(&Newtype(7)).unwrap(), "7");
+        assert_eq!(to_string(&Mixed::Unit).unwrap(), r#""Unit""#);
+        assert_eq!(
+            to_string(&Mixed::Tuple(1, 2)).unwrap(),
+            r#"{"Tuple":[1,2]}"#
+        );
+        assert_eq!(
+            to_string(&Mixed::Struct { x: true }).unwrap(),
+            r#"{"Struct":{"x":true}}"#
+        );
+    }
+
+    #[test]
+    fn derive_keeps_fields_after_fn_pointer_types() {
+        // Regression: the `>` of an `->` arrow must not close an angle
+        // bracket in the derive's field splitter, or fields after a
+        // fn-pointer-typed field silently vanish from the output.
+        #[derive(serde::Serialize)]
+        struct WithFn {
+            b: std::marker::PhantomData<fn(u8) -> u8>,
+            c: u32,
+        }
+        let v = WithFn {
+            b: std::marker::PhantomData,
+            c: 9,
+        };
+        assert_eq!(to_string(&v).unwrap(), r#"{"b":null,"c":9}"#);
+    }
+}

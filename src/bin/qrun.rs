@@ -44,7 +44,8 @@ fn parse_args() -> Result<Args, String> {
                     "superscalar8" => QuapeConfig::superscalar(8),
                     other => match other.strip_prefix("multiprocessor=") {
                         Some(n) => QuapeConfig::multiprocessor(
-                            n.parse().map_err(|_| format!("bad processor count `{n}`"))?,
+                            n.parse()
+                                .map_err(|_| format!("bad processor count `{n}`"))?,
                         ),
                         None => return Err(format!("unknown config `{other}`")),
                     },
@@ -110,9 +111,10 @@ fn main() -> ExitCode {
         }
     };
     let program = if args.path.ends_with(".qobj") {
-        match std::fs::read(&args.path).map_err(|e| e.to_string()).and_then(|bytes| {
-            quape::isa::read_object(&bytes).map_err(|e| e.to_string())
-        }) {
+        match std::fs::read(&args.path)
+            .map_err(|e| e.to_string())
+            .and_then(|bytes| quape::isa::read_object(&bytes).map_err(|e| e.to_string()))
+        {
             Ok(p) => p,
             Err(e) => {
                 eprintln!("qrun: {}: {e}", args.path);
@@ -182,10 +184,20 @@ fn main() -> ExitCode {
         "timing: {} late issue(s), {} QPU violation(s), {} context switch(es)",
         report.stats.late_issues,
         report.violations.len(),
-        report.stats.processors.iter().map(|p| p.context_switches).sum::<u64>()
+        report
+            .stats
+            .processors
+            .iter()
+            .map(|p| p.context_switches)
+            .sum::<u64>()
     );
     for m in &report.measurements {
-        println!("  t = {:>6} ns  {} -> {}", m.time_ns, m.qubit, u8::from(m.value));
+        println!(
+            "  t = {:>6} ns  {} -> {}",
+            m.time_ns,
+            m.qubit,
+            u8::from(m.value)
+        );
     }
     if args.timeline {
         println!();

@@ -53,15 +53,17 @@ pub mod prelude {
     pub use quape_circuit::{Circuit, CircuitOp, ScheduledCircuit};
     pub use quape_compiler::{partition_two_blocks, Compiler};
     pub use quape_core::{
-        ces_report_paper, Machine, QuapeConfig, RunReport, StateVectorQpu, StopReason,
+        ces_report_paper, BatchAggregate, BatchReport, CompiledJob, Machine, QpuFactory,
+        QuapeConfig, RunReport, Shot, ShotEngine, StateVectorQpu, StateVectorQpuFactory,
+        StopReason,
     };
     pub use quape_isa::{
         assemble, ClassicalOp, Cond, CondOp, Cycles, Gate1, Gate2, Instruction, Program,
         ProgramBuilder, QuantumOp, Qubit,
     };
     pub use quape_qpu::{
-        fit_decay, run_simrb_experiment, BehavioralQpu, CliffordGroup, MeasurementModel, RbConfig,
-        StateVector,
+        fit_decay, run_simrb_experiment, BehavioralQpu, BehavioralQpuFactory, CliffordGroup,
+        MeasurementModel, RbConfig, StateVector,
     };
     pub use quape_workloads::{benchmark_suite, ShorSyndrome, ShorSyndromeConfig};
 }

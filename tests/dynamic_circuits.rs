@@ -7,15 +7,15 @@
 
 use quape::prelude::*;
 use quape::qpu::{DepolarizingNoise, ReadoutError};
-use quape::workloads::dynamic::{
-    iterative_phase_estimation, teleportation_with_input, IpeConfig,
-};
+use quape::workloads::dynamic::{iterative_phase_estimation, teleportation_with_input, IpeConfig};
 
 fn noiseless(seed: u64, cfg: &QuapeConfig, qubits: u8) -> Box<StateVectorQpu> {
     Box::new(StateVectorQpu::new(
         qubits,
         cfg.timings,
-        DepolarizingNoise { pauli_error_prob: 0.0 },
+        DepolarizingNoise {
+            pauli_error_prob: 0.0,
+        },
         ReadoutError::default(),
         seed,
     ))
@@ -54,7 +54,11 @@ fn teleportation_preserves_the_state() {
             let report = Machine::new(cfg.clone(), program, noiseless(seed, &cfg, 3))
                 .expect("builds")
                 .run();
-            assert_eq!(report.stop, StopReason::Completed, "θ = {theta}, seed {seed}");
+            assert_eq!(
+                report.stop,
+                StopReason::Completed,
+                "θ = {theta}, seed {seed}"
+            );
             let outcome = report
                 .measurements
                 .iter()
@@ -83,11 +87,22 @@ fn teleportation_exercises_all_correction_paths() {
         let report = Machine::new(cfg.clone(), program, noiseless(seed, &cfg, 3))
             .expect("builds")
             .run();
-        let m_source = report.measurements.iter().find(|m| m.qubit.index() == 0).expect("m0");
-        let m_anc = report.measurements.iter().find(|m| m.qubit.index() == 1).expect("m1");
+        let m_source = report
+            .measurements
+            .iter()
+            .find(|m| m.qubit.index() == 0)
+            .expect("m0");
+        let m_anc = report
+            .measurements
+            .iter()
+            .find(|m| m.qubit.index() == 1)
+            .expect("m1");
         correction_counts[usize::from(m_source.value) * 2 + usize::from(m_anc.value)] += 1;
         // Two MRCE context resolutions per run.
-        assert_eq!(report.stats.processors[0].context_switches, 2, "seed {seed}");
+        assert_eq!(
+            report.stats.processors[0].context_switches, 2,
+            "seed {seed}"
+        );
     }
     for (i, &count) in correction_counts.iter().enumerate() {
         assert!(count > 5, "correction path {i} hit only {count}/80 times");
@@ -99,18 +114,34 @@ fn teleportation_exercises_all_correction_paths() {
 #[test]
 fn ipe_recovers_every_3bit_phase() {
     for numerator in 0..8u8 {
-        let cfg_ipe = IpeConfig { bits: 3, phase_numerator: numerator, ancilla: 0, target: 1 };
+        let cfg_ipe = IpeConfig {
+            bits: 3,
+            phase_numerator: numerator,
+            ancilla: 0,
+            target: 1,
+        };
         let program = iterative_phase_estimation(cfg_ipe).expect("valid program");
         let cfg = QuapeConfig::superscalar(8).with_seed(u64::from(numerator));
-        let report = Machine::new(cfg.clone(), program, noiseless(u64::from(numerator), &cfg, 2))
-            .expect("builds")
-            .run_with_limit(1_000_000);
+        let report = Machine::new(
+            cfg.clone(),
+            program,
+            noiseless(u64::from(numerator), &cfg, 2),
+        )
+        .expect("builds")
+        .run_with_limit(1_000_000);
         assert_eq!(report.stop, StopReason::Completed, "φ = {numerator}/8");
         // Bits arrive LSB-first in the measurement record; reconstruct.
         let bits: Vec<bool> = report.measurements.iter().map(|m| m.value).collect();
         assert_eq!(bits.len(), 3);
-        let estimate: u8 = bits.iter().enumerate().map(|(i, &b)| u8::from(b) << i).sum();
-        assert_eq!(estimate, numerator, "φ = {numerator}/8 estimated as {estimate}/8");
+        let estimate: u8 = bits
+            .iter()
+            .enumerate()
+            .map(|(i, &b)| u8::from(b) << i)
+            .sum();
+        assert_eq!(
+            estimate, numerator,
+            "φ = {numerator}/8 estimated as {estimate}/8"
+        );
     }
 }
 
@@ -118,13 +149,21 @@ fn ipe_recovers_every_3bit_phase() {
 #[test]
 fn ipe_recovers_4bit_phases() {
     for numerator in [1u8, 6, 11, 15] {
-        let cfg_ipe = IpeConfig { bits: 4, phase_numerator: numerator, ancilla: 0, target: 1 };
+        let cfg_ipe = IpeConfig {
+            bits: 4,
+            phase_numerator: numerator,
+            ancilla: 0,
+            target: 1,
+        };
         let program = iterative_phase_estimation(cfg_ipe).expect("valid program");
         let cfg = QuapeConfig::superscalar(8).with_seed(u64::from(numerator) + 100);
-        let report =
-            Machine::new(cfg.clone(), program, noiseless(u64::from(numerator), &cfg, 2))
-                .expect("builds")
-                .run_with_limit(1_000_000);
+        let report = Machine::new(
+            cfg.clone(),
+            program,
+            noiseless(u64::from(numerator), &cfg, 2),
+        )
+        .expect("builds")
+        .run_with_limit(1_000_000);
         assert_eq!(report.stop, StopReason::Completed);
         let estimate: u8 = report
             .measurements
@@ -132,7 +171,10 @@ fn ipe_recovers_4bit_phases() {
             .enumerate()
             .map(|(i, m)| u8::from(m.value) << i)
             .sum();
-        assert_eq!(estimate, numerator, "φ = {numerator}/16 estimated as {estimate}/16");
+        assert_eq!(
+            estimate, numerator,
+            "φ = {numerator}/16 estimated as {estimate}/16"
+        );
     }
 }
 
@@ -151,8 +193,16 @@ fn multiprogrammed_teleportations_both_work() {
             .run();
         assert_eq!(report.stop, StopReason::Completed);
         // Task 0's target is q2 (must read 1), task 1's is q5 (must read 0).
-        let t0 = report.measurements.iter().find(|m| m.qubit.index() == 2).expect("q2");
-        let t1 = report.measurements.iter().find(|m| m.qubit.index() == 5).expect("q5");
+        let t0 = report
+            .measurements
+            .iter()
+            .find(|m| m.qubit.index() == 2)
+            .expect("q2");
+        let t1 = report
+            .measurements
+            .iter()
+            .find(|m| m.qubit.index() == 5)
+            .expect("q5");
         assert!(t0.value, "seed {seed}: task 0 teleported X|0⟩ but read 0");
         assert!(!t1.value, "seed {seed}: task 1 teleported |0⟩ but read 1");
     }

@@ -9,8 +9,11 @@ fn rus_terminates_for_every_seed() {
     let program = rus_block(0).expect("valid workload");
     for seed in 0..50 {
         let cfg = QuapeConfig::uniprocessor().with_seed(seed);
-        let qpu =
-            BehavioralQpu::new(cfg.timings, MeasurementModel::Bernoulli { p_one: 0.6 }, seed);
+        let qpu = BehavioralQpu::new(
+            cfg.timings,
+            MeasurementModel::Bernoulli { p_one: 0.6 },
+            seed,
+        );
         let report = Machine::new(cfg, program.clone(), Box::new(qpu))
             .expect("machine builds")
             .run_with_limit(1_000_000);
@@ -30,9 +33,14 @@ fn fmr_and_mrce_feedback_agree_on_outcome() {
         let run = |program: Program| {
             let cfg = QuapeConfig::uniprocessor().with_seed(3);
             let qpu = BehavioralQpu::new(cfg.timings, MeasurementModel::Bernoulli { p_one }, 3);
-            let report =
-                Machine::new(cfg, program, Box::new(qpu)).expect("machine builds").run();
-            report.issued.iter().map(|o| o.op.to_string()).collect::<Vec<_>>()
+            let report = Machine::new(cfg, program, Box::new(qpu))
+                .expect("machine builds")
+                .run();
+            report
+                .issued
+                .iter()
+                .map(|o| o.op.to_string())
+                .collect::<Vec<_>>()
         };
         let classic = run(conditional_x(0).expect("valid"));
         let fast = run(conditional_x_mrce(0).expect("valid"));
@@ -45,7 +53,10 @@ fn mrce_is_never_slower_than_fmr_feedback() {
     let run = |program: Program| {
         let cfg = QuapeConfig::uniprocessor().with_seed(4);
         let qpu = BehavioralQpu::new(cfg.timings, MeasurementModel::AlwaysOne, 4);
-        Machine::new(cfg, program, Box::new(qpu)).expect("machine builds").run().cycles
+        Machine::new(cfg, program, Box::new(qpu))
+            .expect("machine builds")
+            .run()
+            .cycles
     };
     let classic = run(conditional_x(0).expect("valid"));
     let fast = run(conditional_x_mrce(0).expect("valid"));
@@ -61,8 +72,11 @@ fn parallel_rus_is_faster_on_two_processors() {
         let mut total = 0u64;
         for seed in 0..40 {
             let cfg = QuapeConfig::multiprocessor(processors).with_seed(seed);
-            let qpu =
-                BehavioralQpu::new(cfg.timings, MeasurementModel::Bernoulli { p_one: 0.5 }, seed);
+            let qpu = BehavioralQpu::new(
+                cfg.timings,
+                MeasurementModel::Bernoulli { p_one: 0.5 },
+                seed,
+            );
             total += Machine::new(cfg, program.clone(), Box::new(qpu))
                 .expect("machine builds")
                 .run_with_limit(1_000_000)
@@ -93,7 +107,11 @@ fn shor_blocks_all_complete_exactly_once() {
             .iter()
             .filter(|e| e.block == id && e.status == quape::isa::BlockStatus::Done)
             .count();
-        assert_eq!(done, 1, "block {} ({}) finished {done} times", id, info.name);
+        assert_eq!(
+            done, 1,
+            "block {} ({}) finished {done} times",
+            id, info.name
+        );
     }
 }
 
@@ -151,8 +169,7 @@ fn six_processors_beat_one_on_shor() {
         let mut total = 0u64;
         for seed in 0..25 {
             let cfg = QuapeConfig::multiprocessor(n).with_seed(seed);
-            let qpu =
-                BehavioralQpu::new(cfg.timings, ShorSyndrome::measurement_model(0.25), seed);
+            let qpu = BehavioralQpu::new(cfg.timings, ShorSyndrome::measurement_model(0.25), seed);
             total += Machine::new(cfg, w.program.clone(), Box::new(qpu))
                 .expect("machine builds")
                 .run_with_limit(2_000_000)

@@ -4,7 +4,11 @@
 use quape::prelude::*;
 
 fn behavioral(cfg: &QuapeConfig, seed: u64) -> Box<BehavioralQpu> {
-    Box::new(BehavioralQpu::new(cfg.timings, MeasurementModel::Bernoulli { p_one: 0.5 }, seed))
+    Box::new(BehavioralQpu::new(
+        cfg.timings,
+        MeasurementModel::Bernoulli { p_one: 0.5 },
+        seed,
+    ))
 }
 
 /// Every suite benchmark compiles, runs to completion on every standard
@@ -41,8 +45,9 @@ fn compiled_schedules_are_physically_clean_on_the_superscalar() {
     for bench in benchmark_suite() {
         let program = compiler.compile(&bench.circuit).expect("compiles");
         let cfg = QuapeConfig::superscalar(8);
-        let report =
-            Machine::new(cfg.clone(), program, behavioral(&cfg, 5)).expect("machine builds").run();
+        let report = Machine::new(cfg.clone(), program, behavioral(&cfg, 5))
+            .expect("machine builds")
+            .run();
         assert!(
             report.violations.is_empty(),
             "{}: {} timing violations, first: {}",
@@ -65,9 +70,14 @@ fn binary_roundtrip_preserves_machine_behaviour() {
 
     let run = |p: Program| {
         let cfg = QuapeConfig::superscalar(8);
-        let report =
-            Machine::new(cfg.clone(), p, behavioral(&cfg, 9)).expect("machine builds").run();
-        report.issued.iter().map(|o| (o.time_ns, o.op)).collect::<Vec<_>>()
+        let report = Machine::new(cfg.clone(), p, behavioral(&cfg, 9))
+            .expect("machine builds")
+            .run();
+        report
+            .issued
+            .iter()
+            .map(|o| (o.time_ns, o.op))
+            .collect::<Vec<_>>()
     };
     // The decoded program lost block/step metadata but must issue the
     // identical timed operation stream.
@@ -86,7 +96,11 @@ fn stack_is_deterministic() {
             .run_with_limit(2_000_000);
         (
             report.cycles,
-            report.issued.iter().map(|o| (o.time_ns, o.op)).collect::<Vec<_>>(),
+            report
+                .issued
+                .iter()
+                .map(|o| (o.time_ns, o.op))
+                .collect::<Vec<_>>(),
             report.measurements.clone(),
         )
     };
@@ -143,8 +157,9 @@ fn ces_accounting_is_consistent() {
         let program = compiler.compile(&bench.circuit).expect("compiles");
         let steps_expected = program.num_steps();
         let cfg = QuapeConfig::superscalar(8);
-        let report =
-            Machine::new(cfg.clone(), program, behavioral(&cfg, 1)).expect("machine builds").run();
+        let report = Machine::new(cfg.clone(), program, behavioral(&cfg, 1))
+            .expect("machine builds")
+            .run();
         let ces = ces_report_paper(&report);
         assert_eq!(ces.steps.len(), steps_expected, "{} lost steps", bench.name);
         let total_ces: u64 = ces.steps.iter().map(|s| s.ces).sum();

@@ -13,11 +13,15 @@ fn run_qec(cfg: QecConfig, seed: u64) -> RunReport {
     let qpu = StateVectorQpu::new(
         5,
         mcfg.timings,
-        DepolarizingNoise { pauli_error_prob: 0.0 },
+        DepolarizingNoise {
+            pauli_error_prob: 0.0,
+        },
         ReadoutError::default(),
         seed,
     );
-    Machine::new(mcfg, program, Box::new(qpu)).expect("builds").run_with_limit(1_000_000)
+    Machine::new(mcfg, program, Box::new(qpu))
+        .expect("builds")
+        .run_with_limit(1_000_000)
 }
 
 fn data_readout(report: &RunReport) -> [bool; 3] {
@@ -64,7 +68,11 @@ fn single_errors_are_corrected_on_both_logical_states() {
 fn decoder_targets_the_faulty_qubit() {
     for faulty in 0..3usize {
         let report = run_qec(
-            QecConfig { rounds: 1, inject: Some((0, faulty)), ..Default::default() },
+            QecConfig {
+                rounds: 1,
+                inject: Some((0, faulty)),
+                ..Default::default()
+            },
             7,
         );
         // Gates on data qubits: the injected X plus exactly one
@@ -84,7 +92,13 @@ fn decoder_targets_the_faulty_qubit() {
 /// A clean run issues no corrections at all across multiple rounds.
 #[test]
 fn no_false_positives_over_multiple_rounds() {
-    let report = run_qec(QecConfig { rounds: 3, ..Default::default() }, 11);
+    let report = run_qec(
+        QecConfig {
+            rounds: 3,
+            ..Default::default()
+        },
+        11,
+    );
     assert_eq!(report.stop, StopReason::Completed);
     let corrections = report
         .issued
@@ -99,7 +113,12 @@ fn no_false_positives_over_multiple_rounds() {
 #[test]
 fn late_round_errors_are_caught() {
     let report = run_qec(
-        QecConfig { rounds: 3, inject: Some((2, 1)), logical_one: true, ..Default::default() },
+        QecConfig {
+            rounds: 3,
+            inject: Some((2, 1)),
+            logical_one: true,
+            ..Default::default()
+        },
         13,
     );
     assert_eq!(data_readout(&report), [true; 3]);
@@ -113,7 +132,11 @@ fn late_round_errors_are_caught() {
 #[test]
 fn correction_turnaround_fits_the_fault_tolerance_budget() {
     let report = run_qec(
-        QecConfig { rounds: 1, inject: Some((0, 0)), ..Default::default() },
+        QecConfig {
+            rounds: 1,
+            inject: Some((0, 0)),
+            ..Default::default()
+        },
         3,
     );
     let syndrome_meas = report

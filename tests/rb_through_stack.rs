@@ -9,7 +9,9 @@ fn noiseless_qpu(seed: u64, cfg: &QuapeConfig) -> Box<StateVectorQpu> {
     Box::new(StateVectorQpu::new(
         2,
         cfg.timings,
-        DepolarizingNoise { pauli_error_prob: 0.0 },
+        DepolarizingNoise {
+            pauli_error_prob: 0.0,
+        },
         ReadoutError::default(),
         seed,
     ))
@@ -45,9 +47,17 @@ fn noiseless_simrb_through_stack_survives_on_both_qubits() {
             .expect("machine builds")
             .run();
         assert_eq!(report.stop, StopReason::Completed);
-        assert!(report.violations.is_empty(), "seed {seed}: {:?}", report.violations);
+        assert!(
+            report.violations.is_empty(),
+            "seed {seed}: {:?}",
+            report.violations
+        );
         for m in &report.measurements {
-            assert!(!m.value, "seed {seed}: qubit {} did not return to 0", m.qubit);
+            assert!(
+                !m.value,
+                "seed {seed}: qubit {} did not return to 0",
+                m.qubit
+            );
         }
     }
 }
@@ -70,8 +80,9 @@ fn noisy_rb_through_stack_decays() {
                 ReadoutError::default(),
                 seed ^ 0xf00,
             ));
-            let report =
-                Machine::new(cfg, w.program, qpu).expect("machine builds").run();
+            let report = Machine::new(cfg, w.program, qpu)
+                .expect("machine builds")
+                .run();
             if !report.measurements.first().expect("measured").value {
                 survive += 1;
             }
@@ -84,7 +95,10 @@ fn noisy_rb_through_stack_decays() {
         short > long + 0.1,
         "survival must decay with length: m=2 → {short:.2}, m=64 → {long:.2}"
     );
-    assert!(long > 0.3, "long sequences should still beat a fair coin: {long:.2}");
+    assert!(
+        long > 0.3,
+        "long sequences should still beat a fair coin: {long:.2}"
+    );
 }
 
 /// The simultaneous pulse layers really are simultaneous: each layer slot
