@@ -1,0 +1,58 @@
+//! Criterion bench: the execution core's hot path — one shot of a
+//! DAQ-wait-bound feedback workload, cycle-stepped vs event-driven.
+//!
+//! The `*_event` variants must come out far ahead of their `*_cycle`
+//! twins (≥ 5x on the MRCE chain): the workload spends most of every
+//! round stalled on the acquisition chain, and the event core jumps
+//! those spans instead of ticking them.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use quape_core::{CompiledJob, QuapeConfig, StepMode};
+use quape_qpu::{BehavioralQpu, MeasurementModel};
+use quape_workloads::feedback::{conditional_x, feedback_chain, mrce_feedback_chain};
+
+fn shot_bench(c: &mut Criterion, name: &str, job: &CompiledJob, mode: StepMode) {
+    let cfg = job.cfg().clone();
+    c.bench_function(name, |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed = seed.wrapping_add(1);
+            let qpu = BehavioralQpu::new(
+                cfg.timings,
+                MeasurementModel::Bernoulli { p_one: 0.5 },
+                seed,
+            );
+            job.shot(Box::new(qpu), seed)
+                .run_with_mode(mode, 10_000_000)
+                .cycles
+        })
+    });
+}
+
+fn bench(c: &mut Criterion) {
+    let cfg = QuapeConfig::uniprocessor().with_seed(7);
+
+    let fig02 = CompiledJob::compile(cfg.clone(), conditional_x(0).expect("valid workload"))
+        .expect("job compiles");
+    shot_bench(c, "fig02_shot_cycle", &fig02, StepMode::Cycle);
+    shot_bench(c, "fig02_shot_event", &fig02, StepMode::EventDriven);
+
+    let fmr = CompiledJob::compile(
+        cfg.clone(),
+        feedback_chain(0, 1000).expect("valid workload"),
+    )
+    .expect("job compiles");
+    shot_bench(c, "fmr_chain1k_cycle", &fmr, StepMode::Cycle);
+    shot_bench(c, "fmr_chain1k_event", &fmr, StepMode::EventDriven);
+
+    let mrce = CompiledJob::compile(
+        cfg.clone(),
+        mrce_feedback_chain(0, 1000).expect("valid workload"),
+    )
+    .expect("job compiles");
+    shot_bench(c, "mrce_chain1k_cycle", &mrce, StepMode::Cycle);
+    shot_bench(c, "mrce_chain1k_event", &mrce, StepMode::EventDriven);
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

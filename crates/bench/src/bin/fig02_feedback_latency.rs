@@ -1,7 +1,13 @@
 //! Regenerates the Fig. 2 feedback-control latency breakdown (§7 measures
 //! the total at ≈ 450 ns on the prototype).
 //!
-//! Usage: `fig02_feedback_latency [--json]`.
+//! Usage: `fig02_feedback_latency [--json] [--compare-step-modes]`.
+//!
+//! `--compare-step-modes` instead benchmarks the execution core: it runs
+//! the DAQ-wait-bound feedback workloads under both `StepMode::Cycle` and
+//! `StepMode::EventDriven`, asserts their aggregates agree, and prints
+//! wall time and shots/sec per mode (the numbers committed as
+//! `BENCH_engine.json`).
 
 use quape_bench::fig02;
 use quape_bench::table::{to_json, TextTable};
@@ -10,6 +16,36 @@ use quape_core::QuapeConfig;
 fn main() {
     let json = std::env::args().any(|a| a == "--json");
     let cfg = QuapeConfig::uniprocessor();
+    if std::env::args().any(|a| a == "--compare-step-modes") {
+        let results = fig02::compare_step_modes(&cfg, 1);
+        if json {
+            println!("{}", to_json(&results));
+            return;
+        }
+        println!("Execution-core step-mode comparison (single worker thread):");
+        let mut t = TextTable::new([
+            "workload",
+            "rounds",
+            "shots",
+            "p50 cycles",
+            "cycle shots/s",
+            "event shots/s",
+            "speedup",
+        ]);
+        for r in &results {
+            t.row([
+                r.workload.clone(),
+                r.rounds.to_string(),
+                r.shots.to_string(),
+                r.p50_cycles.to_string(),
+                format!("{:.0}", r.cycle_shots_per_sec),
+                format!("{:.0}", r.event_shots_per_sec),
+                format!("{:.2}x", r.speedup),
+            ]);
+        }
+        println!("{}", t.render());
+        return;
+    }
     let b = fig02::run(&cfg);
     if json {
         println!("{}", to_json(&b));

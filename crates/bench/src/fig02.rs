@@ -1,8 +1,10 @@
-//! Fig. 2: the latency breakdown of one feedback-control round trip.
+//! Fig. 2: the latency breakdown of one feedback-control round trip,
+//! plus the step-mode host-performance comparison on DAQ-wait-bound
+//! feedback workloads.
 
-use quape_core::{Machine, QuapeConfig};
-use quape_qpu::{BehavioralQpu, MeasurementModel};
-use quape_workloads::feedback::conditional_x;
+use quape_core::{CompiledJob, Machine, QuapeConfig, ShotEngine, StepMode};
+use quape_qpu::{BehavioralQpu, BehavioralQpuFactory, MeasurementModel};
+use quape_workloads::feedback::{conditional_x, feedback_chain, mrce_feedback_chain};
 use serde::{Deserialize, Serialize};
 
 /// Measured stage latencies of a feedback-control process.
@@ -54,6 +56,94 @@ pub fn mean_total_with_jitter(cfg: &QuapeConfig, runs: usize) -> f64 {
         total += report.issued[1].time_ns - report.issued[0].time_ns;
     }
     total as f64 / runs as f64
+}
+
+/// Host-side wall-time comparison of the two step modes on one workload.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct StepModeComparison {
+    /// Workload name.
+    pub workload: String,
+    /// Feedback rounds per shot.
+    pub rounds: usize,
+    /// Shots executed per mode.
+    pub shots: u64,
+    /// Median simulated cycles per shot.
+    pub p50_cycles: u64,
+    /// Cycle-stepped host throughput.
+    pub cycle_shots_per_sec: f64,
+    /// Event-driven host throughput.
+    pub event_shots_per_sec: f64,
+    /// Event-driven over cycle-stepped speedup.
+    pub speedup: f64,
+}
+
+/// Runs `shots` single-thread shots of a feedback workload under both
+/// step modes and reports throughput. Panics if the two modes disagree on
+/// the deterministic aggregate — the comparison doubles as an end-to-end
+/// equivalence assertion.
+fn compare_one(
+    workload: &str,
+    cfg: &QuapeConfig,
+    program: quape_isa::Program,
+    rounds: usize,
+    shots: u64,
+) -> StepModeComparison {
+    let job = CompiledJob::compile(cfg.clone(), program).expect("valid workload");
+    let factory =
+        || BehavioralQpuFactory::new(cfg.timings, MeasurementModel::Bernoulli { p_one: 0.5 });
+    let run = |mode: StepMode| {
+        ShotEngine::new(job.clone(), factory())
+            .step_mode(mode)
+            .threads(1)
+            .run(shots)
+    };
+    let cycle = run(StepMode::Cycle);
+    let event = run(StepMode::EventDriven);
+    assert_eq!(
+        cycle.aggregate, event.aggregate,
+        "step modes must agree on {workload}"
+    );
+    StepModeComparison {
+        workload: workload.to_string(),
+        rounds,
+        shots,
+        p50_cycles: event.aggregate.cycles.p50,
+        cycle_shots_per_sec: cycle.shots_per_sec(),
+        event_shots_per_sec: event.shots_per_sec(),
+        speedup: event.shots_per_sec() / cycle.shots_per_sec(),
+    }
+}
+
+/// The `--compare-step-modes` suite: cycle-stepped vs event-driven wall
+/// time on the Fig. 2 round trip and on deep FMR/MRCE feedback chains
+/// (where per-shot cost is simulation-dominated). `scale` multiplies the
+/// shot counts (1 = the committed-baseline workload sizes).
+pub fn compare_step_modes(cfg_base: &QuapeConfig, scale: u64) -> Vec<StepModeComparison> {
+    let cfg = cfg_base.clone().with_seed(7);
+    let chain_rounds = 1000;
+    vec![
+        compare_one(
+            "fig02_conditional_x",
+            &cfg,
+            conditional_x(0).expect("valid workload"),
+            1,
+            4000 * scale,
+        ),
+        compare_one(
+            "fmr_feedback_chain",
+            &cfg,
+            feedback_chain(0, chain_rounds).expect("valid workload"),
+            chain_rounds,
+            200 * scale,
+        ),
+        compare_one(
+            "mrce_feedback_chain",
+            &cfg,
+            mrce_feedback_chain(0, chain_rounds).expect("valid workload"),
+            chain_rounds,
+            200 * scale,
+        ),
+    ]
 }
 
 #[cfg(test)]

@@ -25,6 +25,11 @@ pub trait QpuBackend {
     /// Timing violations (operations that arrived while a qubit was busy).
     fn violations(&self) -> &[TimingViolation];
 
+    /// Hands the accumulated log and violations over by value at end of
+    /// shot, leaving the backend's buffers empty — the report takes
+    /// ownership instead of copying.
+    fn take_results(&mut self) -> (Vec<IssuedOp>, Vec<TimingViolation>);
+
     /// Time at which the QPU becomes idle.
     fn makespan_ns(&self) -> u64;
 }
@@ -40,6 +45,10 @@ impl QpuBackend for BehavioralQpu {
 
     fn violations(&self) -> &[TimingViolation] {
         BehavioralQpu::violations(self)
+    }
+
+    fn take_results(&mut self) -> (Vec<IssuedOp>, Vec<TimingViolation>) {
+        BehavioralQpu::take_results(self)
     }
 
     fn makespan_ns(&self) -> u64 {
@@ -124,6 +133,10 @@ impl QpuBackend for StateVectorQpu {
 
     fn violations(&self) -> &[TimingViolation] {
         self.shadow.violations()
+    }
+
+    fn take_results(&mut self) -> (Vec<IssuedOp>, Vec<TimingViolation>) {
+        self.shadow.take_results()
     }
 
     fn makespan_ns(&self) -> u64 {

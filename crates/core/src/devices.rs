@@ -21,10 +21,12 @@ pub struct MrrEntry {
 
 /// The measurement result register file, written by the DAQ and readable
 /// by every processor (processors only read it, so sharing is safe —
-/// §5.2.4).
+/// §5.2.4). Registers live in a flat, qubit-indexed table: reads are a
+/// bounds-checked load, which matters because both the FMR retry path and
+/// the event-driven skip check consult the file on their hottest cycles.
 #[derive(Debug, Clone, Default)]
 pub struct MeasurementFile {
-    entries: std::collections::HashMap<u16, MrrEntry>,
+    entries: Vec<MrrEntry>,
 }
 
 impl MeasurementFile {
@@ -36,7 +38,7 @@ impl MeasurementFile {
     /// Reads the register of `qubit`.
     pub fn read(&self, qubit: Qubit) -> MrrEntry {
         self.entries
-            .get(&qubit.index())
+            .get(qubit.index() as usize)
             .copied()
             .unwrap_or_default()
     }
@@ -46,15 +48,22 @@ impl MeasurementFile {
         self.read(qubit).valid
     }
 
+    fn slot(&mut self, qubit: Qubit) -> &mut MrrEntry {
+        let i = qubit.index() as usize;
+        if i >= self.entries.len() {
+            self.entries.resize(i + 1, MrrEntry::default());
+        }
+        &mut self.entries[i]
+    }
+
     /// Invalidates the register (a new measurement has been issued).
     pub fn invalidate(&mut self, qubit: Qubit) {
-        self.entries.insert(qubit.index(), MrrEntry::default());
+        *self.slot(qubit) = MrrEntry::default();
     }
 
     /// DAQ write path: stores a delivered result and marks it valid.
     pub fn deliver(&mut self, qubit: Qubit, value: bool) {
-        self.entries
-            .insert(qubit.index(), MrrEntry { valid: true, value });
+        *self.slot(qubit) = MrrEntry { valid: true, value };
     }
 }
 
@@ -85,12 +94,11 @@ impl Daq {
 
     /// Enqueues a result for future delivery.
     pub fn schedule(&mut self, result: PendingResult) {
-        // Keep the queue sorted by delivery time (insertion is rare).
+        // Binary search for the insertion point; `<=` keeps equal delivery
+        // times in FIFO order (a new result lands after existing ties).
         let pos = self
             .pending
-            .iter()
-            .position(|p| p.deliver_at_ns > result.deliver_at_ns)
-            .unwrap_or(self.pending.len());
+            .partition_point(|p| p.deliver_at_ns <= result.deliver_at_ns);
         self.pending.insert(pos, result);
     }
 
@@ -109,6 +117,12 @@ impl Daq {
     /// Number of results still in flight.
     pub fn in_flight(&self) -> usize {
         self.pending.len()
+    }
+
+    /// Delivery time of the earliest in-flight result, if any — the DAQ's
+    /// contribution to the event-driven run loop's horizon.
+    pub fn next_delivery_ns(&self) -> Option<u64> {
+        self.pending.front().map(|p| p.deliver_at_ns)
     }
 
     /// Total results delivered so far.
@@ -299,6 +313,35 @@ mod tests {
         assert!(mrr.is_valid(q(0)));
         assert_eq!(daq.delivered(), 2);
         assert_eq!(daq.in_flight(), 0);
+    }
+
+    #[test]
+    fn daq_equal_delivery_times_stay_fifo() {
+        let mut daq = Daq::new();
+        // Three results due at the same instant, interleaved with others:
+        // delivery into the MRR must preserve their scheduling order (the
+        // last write wins per qubit, so order is observable).
+        for (qubit, value, at) in [
+            (q(0), false, 400),
+            (q(7), true, 200),
+            (q(0), true, 400),
+            (q(9), true, 600),
+            (q(0), false, 400),
+        ] {
+            daq.schedule(PendingResult {
+                qubit,
+                value,
+                deliver_at_ns: at,
+            });
+        }
+        assert_eq!(daq.next_delivery_ns(), Some(200));
+        let mut mrr = MeasurementFile::new();
+        daq.tick(400, &mut mrr);
+        // FIFO among the 400 ns ties: false, true, false — last is false.
+        assert!(!mrr.read(q(0)).value);
+        assert_eq!(daq.next_delivery_ns(), Some(600));
+        daq.tick(600, &mut mrr);
+        assert_eq!(daq.next_delivery_ns(), None);
     }
 
     #[test]

@@ -19,7 +19,7 @@
 //!   counts, and the measured wall time / shots-per-second.
 
 use crate::backend::{QpuBackend, StateVectorQpu};
-use crate::machine::{CompiledJob, MeasurementRecord};
+use crate::machine::{CompiledJob, MeasurementRecord, StepMode};
 use crate::report::StopReason;
 use quape_isa::OpTimings;
 use quape_qpu::{BehavioralQpuFactory, DepolarizingNoise, ReadoutError};
@@ -372,13 +372,15 @@ pub struct ShotEngine {
     threads: usize,
     base_seed: u64,
     cycle_limit: u64,
+    step_mode: StepMode,
 }
 
 impl ShotEngine {
     /// Creates an engine for `job` with backends from `factory`.
     ///
     /// Defaults: automatic thread count (`available_parallelism`), base
-    /// seed from the job's config, 10-million-cycle budget per shot.
+    /// seed from the job's config, 10-million-cycle budget per shot, and
+    /// event-driven stepping.
     pub fn new(job: CompiledJob, factory: impl QpuFactory + 'static) -> Self {
         let base_seed = job.cfg().seed;
         ShotEngine {
@@ -387,6 +389,7 @@ impl ShotEngine {
             threads: 0,
             base_seed,
             cycle_limit: 10_000_000,
+            step_mode: StepMode::default(),
         }
     }
 
@@ -405,6 +408,15 @@ impl ShotEngine {
     /// Sets the per-shot cycle budget.
     pub fn cycle_limit(mut self, cycle_limit: u64) -> Self {
         self.cycle_limit = cycle_limit;
+        self
+    }
+
+    /// Sets how shots advance time. [`StepMode::EventDriven`] (the
+    /// default) skips provably idle spans; [`StepMode::Cycle`] is the
+    /// bit-identical slow oracle for differential testing and perf
+    /// comparisons.
+    pub fn step_mode(mut self, step_mode: StepMode) -> Self {
+        self.step_mode = step_mode;
         self
     }
 
@@ -432,7 +444,7 @@ impl ShotEngine {
         let report = self
             .job
             .shot(qpu, machine_seed)
-            .run_with_limit(self.cycle_limit);
+            .run_with_mode(self.step_mode, self.cycle_limit);
         ShotSummary {
             shot,
             seed,

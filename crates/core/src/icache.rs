@@ -6,13 +6,17 @@
 //! possible.
 
 use quape_isa::{BlockId, Instruction};
+use std::sync::Arc;
 
-/// One cache bank: a contiguous copy of a program block.
+/// One cache bank: a shared, zero-copy view of a program block's
+/// instruction words. Fills clone an `Arc` instead of copying the words,
+/// so per-shot cache traffic is O(blocks started), not O(instructions),
+/// and a free bank holds no allocation at all.
 #[derive(Debug, Clone, Default)]
 pub struct CacheBank {
     block: Option<BlockId>,
     base: u32,
-    words: Vec<Instruction>,
+    words: Option<Arc<[Instruction]>>,
 }
 
 impl CacheBank {
@@ -26,18 +30,18 @@ impl CacheBank {
         self.block.is_none()
     }
 
-    /// Installs a fully fetched block.
-    pub fn install(&mut self, block: BlockId, base: u32, words: Vec<Instruction>) {
+    /// Installs a fully fetched block (an O(1) handle clone).
+    pub fn install(&mut self, block: BlockId, base: u32, words: Arc<[Instruction]>) {
         self.block = Some(block);
         self.base = base;
-        self.words = words;
+        self.words = Some(words);
     }
 
     /// Evicts the resident block.
     pub fn clear(&mut self) {
         self.block = None;
         self.base = 0;
-        self.words.clear();
+        self.words = None;
     }
 
     /// Reads the instruction at absolute address `pc`, if resident.
@@ -45,7 +49,7 @@ impl CacheBank {
         if pc < self.base {
             return None;
         }
-        self.words.get((pc - self.base) as usize)
+        self.words.as_ref()?.get((pc - self.base) as usize)
     }
 
     /// First address of the resident block.
@@ -56,7 +60,7 @@ impl CacheBank {
     /// One-past-the-end address of the resident block.
     #[allow(dead_code)] // part of the cache API; exercised by tests
     pub fn end(&self) -> u32 {
-        self.base + self.words.len() as u32
+        self.base + self.words.as_ref().map_or(0, |w| w.len()) as u32
     }
 }
 
@@ -96,12 +100,12 @@ impl PrivateICache {
     }
 
     /// Installs a block into `bank`.
-    pub fn install(&mut self, bank: usize, block: BlockId, base: u32, words: Vec<Instruction>) {
+    pub fn install(&mut self, bank: usize, block: BlockId, base: u32, words: Arc<[Instruction]>) {
         self.banks[bank].install(block, base, words);
     }
 
     /// Installs a block into the active bank (initial pre-task load).
-    pub fn install_active(&mut self, block: BlockId, base: u32, words: Vec<Instruction>) {
+    pub fn install_active(&mut self, block: BlockId, base: u32, words: Arc<[Instruction]>) {
         let a = self.active;
         self.banks[a].install(block, base, words);
     }
@@ -145,7 +149,7 @@ mod tests {
     use super::*;
     use quape_isa::{ClassicalOp, Gate1, QuantumOp, Qubit};
 
-    fn prog(n: usize) -> Vec<Instruction> {
+    fn prog(n: usize) -> Arc<[Instruction]> {
         (0..n)
             .map(|i| {
                 if i == n - 1 {

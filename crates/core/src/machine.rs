@@ -17,14 +17,42 @@
 use crate::backend::QpuBackend;
 use crate::config::QuapeConfig;
 use crate::devices::{AwgBank, ChannelMap, Daq, MeasurementFile};
-use crate::processor::{Env, Processor};
+use crate::processor::{Env, Processor, StallInfo};
 use crate::report::{MachineStats, RunReport, StepDispatch, StopReason};
 use crate::scheduler::Scheduler;
-use quape_isa::{BlockInfo, BlockInfoTable, Dependency, Program, ProgramError, SHARED_REG_COUNT};
+use quape_isa::{
+    BlockInfo, BlockInfoTable, Dependency, Instruction, Program, ProgramError, SHARED_REG_COUNT,
+};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use std::fmt;
 use std::sync::Arc;
+
+/// How a run loop advances the machine clock.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum StepMode {
+    /// Tick every component on every clock cycle. Kept as the
+    /// differential-testing oracle for [`StepMode::EventDriven`].
+    Cycle,
+    /// Cycle-accurate discrete-event execution: when every component is
+    /// provably idle this cycle, jump the clock straight to the earliest
+    /// event horizon (DAQ delivery, timing-queue head, scheduler fill
+    /// completion, switch deadline) instead of stepping through the idle
+    /// span. Produces bit-identical [`RunReport`]s to [`StepMode::Cycle`].
+    #[default]
+    EventDriven,
+}
+
+/// One program block's instruction words, pre-cut at job compilation and
+/// shared by every shot: cache fills clone the `Arc` instead of copying
+/// the words, so per-shot fill cost is O(blocks), not O(instructions).
+#[derive(Debug, Clone)]
+pub(crate) struct BlockCode {
+    /// Absolute address of the block's first instruction.
+    pub base: u32,
+    /// The block's instruction words.
+    pub words: Arc<[Instruction]>,
+}
 
 /// Errors from machine construction.
 #[derive(Debug, Clone, PartialEq)]
@@ -103,6 +131,7 @@ fn ensure_blocks(program: Program) -> Result<Program, ProgramError> {
 pub struct CompiledJob {
     cfg: Arc<QuapeConfig>,
     program: Arc<Program>,
+    code: Arc<[BlockCode]>,
     chan: Arc<ChannelMap>,
     num_qubits: u16,
 }
@@ -131,9 +160,19 @@ impl CompiledJob {
             }
         };
         let chan = ChannelMap::linear(num_qubits);
+        let code: Arc<[BlockCode]> = program
+            .blocks()
+            .iter()
+            .map(|(_, info)| BlockCode {
+                base: info.range.start,
+                words: program.instructions()[info.range.start as usize..info.range.end as usize]
+                    .into(),
+            })
+            .collect();
         Ok(CompiledJob {
             cfg: Arc::new(cfg),
             program: Arc::new(program),
+            code,
             chan: Arc::new(chan),
             num_qubits,
         })
@@ -171,7 +210,7 @@ impl CompiledJob {
         let mut processors: Vec<Processor> = (0..cfg.num_processors).map(Processor::new).collect();
         let mut scheduler = Scheduler::new(&self.program);
         // Pre-task load of the first num_processors blocks (§7).
-        scheduler.initial_load(&mut processors, &self.program, cfg.num_processors);
+        scheduler.initial_load(&mut processors, &self.code, cfg.num_processors);
         let stats = MachineStats {
             processors: vec![Default::default(); cfg.num_processors],
             ..Default::default()
@@ -195,6 +234,7 @@ impl CompiledJob {
             late_issues: 0,
             late_cycles: 0,
             measurements: Vec::new(),
+            skip_scratch: Vec::with_capacity(cfg.num_processors),
         }
     }
 }
@@ -221,6 +261,9 @@ pub struct Shot {
     late_issues: u64,
     late_cycles: u64,
     measurements: Vec<MeasurementRecord>,
+    /// Scratch for [`Shot::try_skip`]'s per-processor stall verdicts
+    /// (allocated once per shot, reused across skip checks).
+    skip_scratch: Vec<StallInfo>,
 }
 
 impl Shot {
@@ -236,12 +279,33 @@ impl Shot {
 
     /// Advances the machine by one clock cycle.
     pub fn step(&mut self) {
+        let _ = self.step_with_progress();
+    }
+
+    /// One clock cycle, returning a *progress hint*: `false` means no
+    /// component observably acted (delivery, block event, issue, dispatch,
+    /// fetch, state transition), so the coming cycles are skip candidates.
+    /// The hint is a heuristic for the event-driven loop — [`Shot::try_skip`]
+    /// independently re-proves any skip, so false positives merely cost a
+    /// stepped cycle.
+    fn step_with_progress(&mut self) -> bool {
         let now = self.cycle;
         let cfg: &QuapeConfig = &self.job.cfg;
         let program: &Program = &self.job.program;
+        let in_flight = self.daq.in_flight();
         self.daq.tick(now * cfg.clock_ns, &mut self.mrr);
-        self.scheduler
-            .tick(now, &mut self.processors, program, cfg, &mut self.stats);
+        let mut progress = in_flight != self.daq.in_flight();
+        // Every observable scheduler action records a block event.
+        let events = self.scheduler.events.len();
+        self.scheduler.tick(
+            now,
+            &mut self.processors,
+            program,
+            &self.job.code,
+            cfg,
+            &mut self.stats,
+        );
+        progress |= events != self.scheduler.events.len();
         let mut env = Env {
             cfg,
             program,
@@ -261,9 +325,10 @@ impl Shot {
             error: &mut self.error,
         };
         for p in &mut self.processors {
-            p.tick(now, &mut env);
+            progress |= p.tick(now, &mut env);
         }
         self.cycle += 1;
+        progress
     }
 
     fn quiescent(&self) -> bool {
@@ -286,24 +351,184 @@ impl Shot {
         self.run_with_limit(10_000_000)
     }
 
-    /// Runs until completion, a `HALT`, an error, or the cycle budget.
-    pub fn run_with_limit(mut self, max_cycles: u64) -> RunReport {
+    /// Runs until completion, a `HALT`, an error, or the cycle budget,
+    /// using the default [`StepMode`] (event-driven).
+    pub fn run_with_limit(self, max_cycles: u64) -> RunReport {
+        self.run_with_mode(StepMode::default(), max_cycles)
+    }
+
+    /// Runs until completion, a `HALT`, an error, or the cycle budget,
+    /// advancing time as `mode` dictates. Both modes produce bit-identical
+    /// reports; [`StepMode::Cycle`] is the slow oracle.
+    pub fn run_with_mode(mut self, mode: StepMode, max_cycles: u64) -> RunReport {
+        // `maybe_stalled` tracks whether the previous cycle observably
+        // did nothing. While it holds, the stop conditions cannot have
+        // changed (their inputs are all observable state), so only the
+        // cycle budget needs re-checking — and, in event-driven mode, a
+        // time skip is worth attempting.
+        let mut maybe_stalled = false;
         let stop = loop {
-            if self.error {
-                break StopReason::Error;
-            }
-            if self.quiescent() {
-                break StopReason::Completed;
-            }
-            if self.drained_after_halt() {
-                break StopReason::Halted;
+            if !maybe_stalled {
+                if self.error {
+                    break StopReason::Error;
+                }
+                if self.quiescent() {
+                    break StopReason::Completed;
+                }
+                if self.drained_after_halt() {
+                    break StopReason::Halted;
+                }
             }
             if self.cycle >= max_cycles {
                 break StopReason::CycleLimit;
             }
-            self.step();
+            if maybe_stalled && mode == StepMode::EventDriven && self.try_skip(max_cycles) {
+                // Something fires at the horizon; step it directly.
+                maybe_stalled = false;
+                continue;
+            }
+            maybe_stalled = !self.step_with_progress();
         };
         self.into_report(stop)
+    }
+
+    /// Event-driven time skip: if the coming cycle is provably a pure
+    /// stall for every component, jump the clock to the earliest event
+    /// horizon (bounded by `limit`), bulk-accounting the per-cycle
+    /// statistics a cycle-stepped run would have accumulated. Returns
+    /// false when some component would make progress — the caller must
+    /// then [`Shot::step`] normally.
+    ///
+    /// Soundness: during a span in which no processor dispatches, no
+    /// timing queue issues, the DAQ delivers nothing and the scheduler
+    /// starts nothing, the machine state is constant except for those
+    /// statistics — so every skipped cycle would have been identical, and
+    /// the first cycle at which anything *can* change is the minimum of
+    /// the component horizons gathered here.
+    ///
+    /// The caller only invokes this right after a tick that made no
+    /// observable progress ([`Shot::step_with_progress`] returned false).
+    /// That tick already proved all *cycle-independent* activity inactive
+    /// — dispatch, fetch, context resolution, and (when the scheduler ran
+    /// free) the action picker — so this check only re-examines the
+    /// *clocked* events: timing-queue heads, switch deadlines, the DAQ,
+    /// and scheduler busy spans. The from-first-principles verifiers
+    /// ([`Processor::stall_info`], [`Scheduler::would_act`]) cross-check
+    /// every trusted verdict under `debug_assertions` (exercised by the
+    /// step-mode differential suite and proptests).
+    fn try_skip(&mut self, limit: u64) -> bool {
+        let cfg: &QuapeConfig = &self.job.cfg;
+        let program: &Program = &self.job.program;
+        let now = self.cycle;
+        let mut horizon: Option<u64> = None;
+        fn merge(h: &mut Option<u64>, at: u64) {
+            *h = Some(h.map_or(at, |x| x.min(at)));
+        }
+
+        // DAQ: a due delivery must be stepped; a future one bounds the
+        // skip at its delivery cycle (ceil: delivery happens at the first
+        // tick whose wall-clock time has reached it).
+        if let Some(ns) = self.daq.next_delivery_ns() {
+            if ns <= now * cfg.clock_ns {
+                return false;
+            }
+            merge(&mut horizon, ns.div_ceil(cfg.clock_ns));
+        }
+        // Every processor must be provably stalled. A processor finishing
+        // a block or the priority counter moving would have registered as
+        // progress last tick, so neither needs re-checking here.
+        debug_assert!(!self.processors.iter().any(Processor::finished_pending));
+        debug_assert!(!self.scheduler.counter_would_advance(program));
+        self.skip_scratch.clear();
+        for p in &self.processors {
+            let verdict = p.skip_check(now);
+            debug_assert!(
+                {
+                    let full = p.stall_info(now, &self.mrr, cfg);
+                    match (verdict, full) {
+                        (None, None) => true,
+                        (Some(a), Some(b)) => {
+                            a.horizon == b.horizon
+                                && a.measure_wait == b.measure_wait
+                                && a.context_stall == b.context_stall
+                        }
+                        _ => false,
+                    }
+                },
+                "trusted skip check diverged from the full stall verifier"
+            );
+            match verdict {
+                None => return false,
+                Some(s) => {
+                    if let Some(h) = s.horizon {
+                        merge(&mut horizon, h);
+                    }
+                    self.skip_scratch.push(s);
+                }
+            }
+        }
+        // Scheduler: only its clocked busy span can fire within a stall.
+        let mut scheduler_busy = true;
+        if let Some(finish) = self.scheduler.job_finish() {
+            if now >= finish {
+                return false; // fill job completes this cycle
+            }
+            merge(&mut horizon, finish);
+        } else if self.scheduler.is_busy(now) {
+            merge(&mut horizon, self.scheduler.busy_until());
+        } else {
+            scheduler_busy = false;
+            // A free scheduler that settled last tick stays inactive
+            // until machine state changes; one that just came off a busy
+            // span has not evaluated its picker yet — ask it for real.
+            if !self.scheduler.is_settled()
+                && self
+                    .scheduler
+                    .would_act(now, &self.processors, program, cfg)
+            {
+                return false;
+            }
+            debug_assert!(
+                !self
+                    .scheduler
+                    .would_act(now, &self.processors, program, cfg),
+                "settled scheduler would still act"
+            );
+        }
+
+        // No event horizon at all means the machine can only spin to the
+        // cycle budget (e.g. an FMR waiting on a result that never comes).
+        let target = horizon.unwrap_or(limit).min(limit);
+        if target <= now {
+            return false;
+        }
+        let span = target - now;
+
+        // Bulk accounting of the skipped span's per-cycle statistics.
+        if scheduler_busy {
+            // The span never crosses `busy_until`/`finish` (both are in
+            // the horizon), so every skipped cycle counts as busy.
+            self.stats.scheduler_busy_cycles += span;
+        }
+        let mut waiting = 0usize;
+        for (p, s) in self.processors.iter_mut().zip(&self.skip_scratch) {
+            if s.measure_wait {
+                waiting += 1;
+            }
+            p.account_stall_span(s, span);
+        }
+        if waiting == 1 {
+            self.wait_cycles.extend(now..target);
+        } else if waiting > 1 {
+            self.wait_cycles.reserve(waiting * span as usize);
+            for cyc in now..target {
+                for _ in 0..waiting {
+                    self.wait_cycles.push(cyc);
+                }
+            }
+        }
+        self.cycle = target;
+        true
     }
 
     /// Measurement outcomes observed so far (delivered results).
@@ -317,18 +542,22 @@ impl Shot {
         }
         self.stats.late_issues = self.late_issues;
         self.stats.late_cycles = self.late_cycles;
+        // End-of-shot handover: the QPU and scheduler give up their
+        // accumulated vectors by value instead of being copied.
+        let qpu_makespan_ns = self.qpu.makespan_ns();
+        let (issued, violations) = self.qpu.take_results();
         RunReport {
             cycles: self.cycle,
             ns: self.cycle * self.job.cfg.clock_ns,
             stop,
-            issued: self.qpu.log().to_vec(),
-            violations: self.qpu.violations().to_vec(),
+            issued,
+            violations,
             stats: self.stats,
             step_dispatches: self.step_dispatches,
             wait_cycles: self.wait_cycles,
             measurements: self.measurements,
-            block_events: self.scheduler.events.clone(),
-            qpu_makespan_ns: self.qpu.makespan_ns(),
+            block_events: std::mem::take(&mut self.scheduler.events),
+            qpu_makespan_ns,
         }
     }
 }
@@ -397,6 +626,11 @@ impl Machine {
     /// Runs until completion, a `HALT`, an error, or the cycle budget.
     pub fn run_with_limit(self, max_cycles: u64) -> RunReport {
         self.shot.run_with_limit(max_cycles)
+    }
+
+    /// Runs with an explicit [`StepMode`] (differential testing hook).
+    pub fn run_with_mode(self, mode: StepMode, max_cycles: u64) -> RunReport {
+        self.shot.run_with_mode(mode, max_cycles)
     }
 
     /// Measurement outcomes observed so far (delivered results).

@@ -88,19 +88,24 @@ struct StoredContext {
 }
 
 /// Execution state of the processor.
+///
+/// Countdown states carry **absolute deadlines** (cycle numbers) instead
+/// of remaining-cycle counters, so the event-driven run loop can jump the
+/// clock over them without ticking the countdown cycle by cycle.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum State {
     /// No block assigned.
     Idle,
-    /// Switching onto a prefetched cache bank.
-    Switching { cycles_left: u64 },
+    /// Switching onto a prefetched cache bank; runs normally from cycle
+    /// `until` onward.
+    Switching { until: u64 },
     /// Executing the current block.
     Running,
     /// Performing an MRCE context switch; the conditional op (if any)
-    /// issues when the switch completes, and the processor returns to
+    /// issues during cycle `fires_at`, and the processor returns to
     /// `Running` or `Idle` depending on where it was interrupted.
     ContextSwitch {
-        cycles_left: u64,
+        fires_at: u64,
         op: Option<QuantumOp>,
         resume_idle: bool,
     },
@@ -120,6 +125,39 @@ struct TimedOp {
 struct Slot {
     addr: u32,
     instr: Instruction,
+}
+
+/// Per-cycle stall counters the last tick bumped, recorded at the bump
+/// sites so the event-driven skip can replicate them in bulk without
+/// re-deriving the dispatch decision.
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct StallFlags {
+    /// Bumped `measure_wait_cycles` and recorded a wait cycle.
+    pub measure_wait: bool,
+    /// Bumped `context_dependency_stalls`.
+    pub context_stall: bool,
+}
+
+/// Verdict of [`Processor::stall_info`]: the processor provably does
+/// nothing this cycle except the flagged per-cycle counter bumps, until
+/// `horizon` (or an external event) arrives.
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct StallInfo {
+    /// Earliest future cycle at which this processor itself acts
+    /// (timing-queue head, switch deadline). `None`: externally driven.
+    pub horizon: Option<u64>,
+    /// Stalled on an invalid measurement result (FMR / blocked MRCE):
+    /// bumps `measure_wait_cycles` and records one wait-cycle per cycle.
+    pub measure_wait: bool,
+    /// Quantum dispatch blocked by a parked MRCE context on the same
+    /// qubits: bumps `context_dependency_stalls` per cycle.
+    pub context_stall: bool,
+}
+
+impl StallInfo {
+    fn merge_horizon(&mut self, at: u64) {
+        self.horizon = Some(self.horizon.map_or(at, |h| h.min(at)));
+    }
 }
 
 /// One processing unit of the multiprocessor.
@@ -145,6 +183,8 @@ pub struct Processor {
     contexts: Vec<StoredContext>,
     current_block: Option<BlockId>,
     finished_block: Option<BlockId>,
+    /// Stall counters bumped by the most recent tick (see [`StallFlags`]).
+    stall_flags: StallFlags,
     pub(crate) stats: ProcessorStats,
 }
 
@@ -168,6 +208,7 @@ impl Processor {
             contexts: Vec::new(),
             current_block: None,
             finished_block: None,
+            stall_flags: StallFlags::default(),
             stats: ProcessorStats::default(),
         }
     }
@@ -197,6 +238,23 @@ impl Processor {
     /// Takes the done-notification for the scheduler, if one is pending.
     pub fn take_finished(&mut self) -> Option<BlockId> {
         self.finished_block.take()
+    }
+
+    /// True while a done-notification awaits the scheduler (consuming it
+    /// records a block event, so it counts as progress for time-skipping).
+    pub fn finished_pending(&self) -> bool {
+        self.finished_block.is_some()
+    }
+
+    /// Bulk-accounts `span` skipped stall cycles (event-driven run loop):
+    /// the per-cycle counters a cycle-stepped run would have accumulated.
+    pub(crate) fn account_stall_span(&mut self, stall: &StallInfo, span: u64) {
+        if stall.measure_wait {
+            self.stats.measure_wait_cycles += span;
+        }
+        if stall.context_stall {
+            self.stats.context_dependency_stalls += span;
+        }
     }
 
     /// The private instruction cache (scheduler fill/switch interface).
@@ -231,7 +289,7 @@ impl Processor {
             State::Running
         } else {
             State::Switching {
-                cycles_left: switch_cycles,
+                until: now + switch_cycles,
             }
         };
     }
@@ -243,7 +301,7 @@ impl Processor {
         &mut self,
         block: BlockId,
         base: u32,
-        words: Vec<quape_isa::Instruction>,
+        words: std::sync::Arc<[quape_isa::Instruction]>,
         now: u64,
     ) {
         self.icache.retire_active();
@@ -258,7 +316,7 @@ impl Processor {
         &mut self,
         block: BlockId,
         base: u32,
-        words: Vec<quape_isa::Instruction>,
+        words: std::sync::Arc<[quape_isa::Instruction]>,
     ) -> bool {
         match self.icache.free_bank() {
             Some(bank) => {
@@ -309,43 +367,43 @@ impl Processor {
     }
 
     /// Advances the processor by one clock cycle.
-    pub(crate) fn tick(&mut self, cycle: u64, env: &mut Env<'_>) {
-        self.tick_timing_controller(cycle, env);
+    ///
+    /// Returns a *progress hint*: `false` means the tick observably did
+    /// nothing (a stall or idle cycle). The event-driven run loop uses the
+    /// hint to decide when a time skip is worth attempting; correctness
+    /// never depends on it ([`Processor::stall_info`] re-verifies), so a
+    /// conservative `true` is always safe.
+    pub(crate) fn tick(&mut self, cycle: u64, env: &mut Env<'_>) -> bool {
+        self.stall_flags = StallFlags::default();
+        let mut progress = self.tick_timing_controller(cycle, env);
 
         match self.state {
-            State::Halted => return,
-            State::Switching { cycles_left } => {
-                if cycles_left <= 1 {
-                    self.state = State::Running;
-                } else {
-                    self.state = State::Switching {
-                        cycles_left: cycles_left - 1,
-                    };
+            State::Halted => return progress,
+            State::Switching { until } => {
+                if cycle < until {
+                    return progress;
                 }
-                return;
+                // Switch complete: this cycle already runs normally.
+                self.state = State::Running;
+                progress = true;
             }
             State::ContextSwitch {
-                cycles_left,
+                fires_at,
                 op,
                 resume_idle,
             } => {
-                if cycles_left <= 1 {
-                    if let Some(op) = op {
-                        self.enqueue_quantum(cycle, Cycles::ZERO, op, None, env, true);
-                    }
-                    self.state = if resume_idle {
-                        State::Idle
-                    } else {
-                        State::Running
-                    };
-                } else {
-                    self.state = State::ContextSwitch {
-                        cycles_left: cycles_left - 1,
-                        op,
-                        resume_idle,
-                    };
+                if cycle < fires_at {
+                    return progress;
                 }
-                return;
+                if let Some(op) = op {
+                    self.enqueue_quantum(cycle, Cycles::ZERO, op, None, env, true);
+                }
+                self.state = if resume_idle {
+                    State::Idle
+                } else {
+                    State::Running
+                };
+                return true;
             }
             State::Idle | State::Running => {}
         }
@@ -354,6 +412,7 @@ impl Processor {
         // switch before any dispatch this cycle. The unit keeps watching
         // even after the block finished (the result may arrive late).
         if let Some(pos) = self.contexts.iter().position(|c| env.mrr.is_valid(c.qubit)) {
+            progress = true;
             let ctx = self.contexts.remove(pos);
             let chosen = if env.mrr.read(ctx.qubit).value {
                 ctx.op_if_one
@@ -369,35 +428,44 @@ impl Processor {
                 }
             } else {
                 self.state = State::ContextSwitch {
-                    cycles_left: env.cfg.context_switch_cycles,
+                    fires_at: cycle + env.cfg.context_switch_cycles,
                     op,
                     resume_idle,
                 };
-                return;
+                return true;
             }
         }
         if matches!(self.state, State::Idle) {
-            return;
+            return progress;
         }
 
         let dispatched = self.dispatch(cycle, env);
+        let mut fetched = false;
         if matches!(self.state, State::Running) {
+            let buffered = self.buffer.len();
             self.fetch(env);
+            // Supplied instructions, or the implicit end-of-block STOP.
+            fetched = self.buffer.len() != buffered || !matches!(self.state, State::Running);
         }
         if dispatched {
             self.stats.active_cycles += 1;
         }
+        progress || dispatched || fetched
     }
 
     /// Releases due operations from the timing queue to the emitter.
-    fn tick_timing_controller(&mut self, cycle: u64, env: &mut Env<'_>) {
+    /// Returns true if anything issued.
+    fn tick_timing_controller(&mut self, cycle: u64, env: &mut Env<'_>) -> bool {
+        let mut issued = false;
         while let Some(front) = self.tqueue.front() {
             if front.issue_cycle > cycle {
                 break;
             }
             let t = self.tqueue.pop_front().expect("checked front");
             env.issue(t.issue_cycle, t.op);
+            issued = true;
         }
+        issued
     }
 
     /// Computes the issue slot for a quantum group and pushes it into the
@@ -481,33 +549,47 @@ impl Processor {
                 Instruction::Quantum(head) => {
                     if self.conflicts_with_context(&head.op) {
                         self.stats.context_dependency_stalls += 1;
+                        self.stall_flags.context_stall = true;
                     } else {
                         // Group: head + following zero-label quantum
                         // instructions, up to the pipe count, stopping at
-                        // any context conflict.
-                        let mut group: Vec<(Cycles, QuantumOp, u32)> =
-                            vec![(head.timing, head.op, front.addr)];
-                        while group.len() < env.cfg.quantum_pipes {
-                            match self.buffer.get(group.len()) {
+                        // any context conflict. Members are popped and
+                        // enqueued one at a time (group membership does
+                        // not depend on the enqueues), so no group buffer
+                        // is materialized on this per-dispatch hot path.
+                        self.buffer.pop_front();
+                        self.enqueue_quantum(
+                            cycle,
+                            head.timing,
+                            head.op,
+                            Some(front.addr),
+                            env,
+                            false,
+                        );
+                        let mut grouped = 1;
+                        while grouped < env.cfg.quantum_pipes {
+                            match self.buffer.front() {
                                 Some(slot) => match slot.instr {
                                     Instruction::Quantum(q)
                                         if q.timing == Cycles::ZERO
                                             && !self.conflicts_with_context(&q.op) =>
                                     {
-                                        group.push((q.timing, q.op, slot.addr));
+                                        let addr = slot.addr;
+                                        self.buffer.pop_front();
+                                        self.enqueue_quantum(
+                                            cycle,
+                                            Cycles::ZERO,
+                                            q.op,
+                                            Some(addr),
+                                            env,
+                                            false,
+                                        );
+                                        grouped += 1;
                                     }
                                     _ => break,
                                 },
                                 None => break,
                             }
-                        }
-                        for _ in 0..group.len() {
-                            self.buffer.pop_front();
-                        }
-                        let (label, first_op, first_addr) = group[0];
-                        self.enqueue_quantum(cycle, label, first_op, Some(first_addr), env, false);
-                        for &(_, op, addr) in &group[1..] {
-                            self.enqueue_quantum(cycle, Cycles::ZERO, op, Some(addr), env, false);
                         }
                         any = true;
                     }
@@ -649,6 +731,7 @@ impl Processor {
                 if !entry.valid {
                     // Stage I/II synchronization stall: stays in buffer.
                     self.stats.measure_wait_cycles += 1;
+                    self.stall_flags.measure_wait = true;
                     env.wait_cycles.push(cycle);
                     return false;
                 }
@@ -687,6 +770,7 @@ impl Processor {
                 } else if env.cfg.fast_context_switch {
                     if self.contexts.len() >= env.cfg.context_capacity {
                         self.stats.measure_wait_cycles += 1;
+                        self.stall_flags.measure_wait = true;
                         env.wait_cycles.push(cycle);
                         return false; // context store full: stall
                     }
@@ -699,6 +783,7 @@ impl Processor {
                 } else {
                     // Fast context switch disabled: stall like FMR.
                     self.stats.measure_wait_cycles += 1;
+                    self.stall_flags.measure_wait = true;
                     env.wait_cycles.push(cycle);
                     return false;
                 }
@@ -741,6 +826,184 @@ impl Processor {
             // compiler keeps control flow block-local).
             self.fail(env);
         }
+    }
+
+    /// The cycle-*dependent* half of the skip check, used on the trusted
+    /// fast path: the immediately preceding tick made no observable
+    /// progress, which proves the cycle-independent state (dispatch,
+    /// fetch, context resolution) inactive and leaves only this
+    /// processor's clocked events to bound the jump. Returns `None` when
+    /// one of them is due at `cycle` (the run loop must step), otherwise
+    /// the stall verdict with the per-cycle counters the previous tick
+    /// recorded. [`Processor::stall_info`] is the from-first-principles
+    /// verifier this is cross-checked against under `debug_assertions`.
+    pub(crate) fn skip_check(&self, cycle: u64) -> Option<StallInfo> {
+        let mut stall = StallInfo {
+            horizon: None,
+            measure_wait: self.stall_flags.measure_wait,
+            context_stall: self.stall_flags.context_stall,
+        };
+        if let Some(front) = self.tqueue.front() {
+            if front.issue_cycle <= cycle {
+                return None;
+            }
+            stall.merge_horizon(front.issue_cycle);
+        }
+        match self.state {
+            State::Switching { until } => {
+                if cycle >= until {
+                    return None;
+                }
+                stall.merge_horizon(until);
+            }
+            State::ContextSwitch { fires_at, .. } => {
+                if cycle >= fires_at {
+                    return None;
+                }
+                stall.merge_horizon(fires_at);
+            }
+            State::Idle | State::Running | State::Halted => {}
+        }
+        Some(stall)
+    }
+
+    /// Read-only twin of [`Processor::tick`]: decides whether the tick at
+    /// `cycle` would make *observable progress* (issue, dispatch, fetch,
+    /// state transition, context resolution, block completion).
+    ///
+    /// Returns `None` when it would — the event-driven run loop must then
+    /// step normally. Returns `Some(stall)` when the tick is provably a
+    /// pure stall whose only effects are deterministic per-cycle counter
+    /// bumps (`measure_wait` ⇒ `measure_wait_cycles` + one `wait_cycles`
+    /// entry, `context_stall` ⇒ `context_dependency_stalls`), together
+    /// with the earliest future cycle at which this processor *itself*
+    /// could act (`horizon`; `None` = only external events can wake it).
+    ///
+    /// Soundness: a stall verdict only remains valid while no external
+    /// state changes. The run loop therefore also bounds the skip by the
+    /// DAQ's next delivery and the scheduler's next event, and re-checks
+    /// every processor after each jump.
+    pub(crate) fn stall_info(
+        &self,
+        cycle: u64,
+        mrr: &MeasurementFile,
+        cfg: &QuapeConfig,
+    ) -> Option<StallInfo> {
+        let mut stall = StallInfo::default();
+        // Timing controller runs in every state: a due operation issues.
+        if let Some(front) = self.tqueue.front() {
+            if front.issue_cycle <= cycle {
+                return None;
+            }
+            stall.merge_horizon(front.issue_cycle);
+        }
+        match self.state {
+            State::Halted => return Some(stall),
+            State::Switching { until } => {
+                if cycle >= until {
+                    return None; // would promote to Running and act
+                }
+                stall.merge_horizon(until);
+                return Some(stall);
+            }
+            State::ContextSwitch { fires_at, .. } => {
+                if cycle >= fires_at {
+                    return None; // would fire the conditional op
+                }
+                stall.merge_horizon(fires_at);
+                return Some(stall);
+            }
+            State::Idle | State::Running => {}
+        }
+        // MRCE context unit: a resolvable context triggers the switch.
+        if self.contexts.iter().any(|c| mrr.is_valid(c.qubit)) {
+            return None;
+        }
+        if matches!(self.state, State::Idle) {
+            return Some(stall);
+        }
+
+        // Running. Fast path: an unblocked fetch with buffer room always
+        // makes progress (checked first — it is the common reason a skip
+        // attempt fails, and far cheaper than the dispatch mirror below).
+        let fetch_open =
+            !self.fetch_blocked && cfg.predecode_buffer > self.buffer.len() && cfg.fetch_width > 0;
+        if fetch_open && self.icache.fetch(self.pc).is_some() {
+            return None;
+        }
+
+        // Mirror the dispatch stage.
+        if let Some(slot) = self.buffer.front() {
+            match slot.instr {
+                Instruction::Classical(ClassicalOp::Qwait { .. }) => return None,
+                Instruction::Quantum(q) => {
+                    if self.conflicts_with_context(&q.op) {
+                        stall.context_stall = true;
+                    } else {
+                        return None; // quantum group would dispatch
+                    }
+                }
+                Instruction::Classical(_) => {}
+            }
+        }
+        // Classical lookahead — same pick as `dispatch`.
+        let mut pick = None;
+        for (i, slot) in self.buffer.iter().enumerate() {
+            if let Instruction::Classical(op) = slot.instr {
+                if matches!(op, ClassicalOp::Qwait { .. }) {
+                    continue;
+                }
+                let needs_front = matches!(op, ClassicalOp::Stop | ClassicalOp::Halt)
+                    || (matches!(op, ClassicalOp::Fmr { .. } | ClassicalOp::Mrce { .. })
+                        && self.buffer.iter().take(i).any(|s| {
+                            matches!(
+                                s.instr,
+                                Instruction::Quantum(q) if q.op.is_measure()
+                            )
+                        }));
+                if needs_front && i != 0 {
+                    break;
+                }
+                pick = Some(op);
+                break;
+            }
+        }
+        if let Some(op) = pick {
+            match op {
+                ClassicalOp::Stop => {
+                    if self.tqueue.is_empty() && self.contexts.is_empty() {
+                        return None; // STOP would retire the block
+                    }
+                    // Drain stall: no counters, wake on tqueue/context events.
+                }
+                ClassicalOp::Fmr { qubit, .. } => {
+                    if mrr.is_valid(qubit) {
+                        return None;
+                    }
+                    stall.measure_wait = true;
+                }
+                ClassicalOp::Mrce { qubit, .. } => {
+                    if mrr.is_valid(qubit)
+                        || (cfg.fast_context_switch && self.contexts.len() < cfg.context_capacity)
+                    {
+                        return None; // executes or parks a context
+                    }
+                    stall.measure_wait = true;
+                }
+                _ => return None, // any other classical op executes
+            }
+        }
+        // Fetch walked past the end of the block (the fast path above saw
+        // no instruction at `pc`): the implicit STOP fires once everything
+        // has drained.
+        if fetch_open
+            && self.buffer.is_empty()
+            && self.tqueue.is_empty()
+            && self.contexts.is_empty()
+        {
+            return None;
+        }
+        Some(stall)
     }
 
     /// Fetch stage: refills the pre-decode buffer.

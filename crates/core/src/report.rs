@@ -122,7 +122,11 @@ pub enum StopReason {
 }
 
 /// The result of one machine run.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+///
+/// `PartialEq` compares every field — the step-mode differential suite
+/// relies on it to assert that event-driven and cycle-stepped executions
+/// are bit-identical.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct RunReport {
     /// Total cycles simulated.
     pub cycles: u64,

@@ -7,8 +7,16 @@
 //! requests, which reproduces the paper's observation that overly
 //! fine-grained blocks overwhelm the scheduler. Prefetching into the free
 //! cache bank of a processor hides most of the allocation latency.
+//!
+//! The decision logic is split from its application: [`Scheduler::tick`]
+//! applies whatever [`Scheduler::pick_action`] selects, and the
+//! event-driven run loop reuses the same picker read-only (via
+//! [`Scheduler::would_act`]) to prove that skipped cycles are no-ops.
+//! Cache fills hand out `Arc` slices from the job's pre-cut
+//! [`BlockCode`] table instead of copying instruction words per fill.
 
 use crate::config::QuapeConfig;
+use crate::machine::BlockCode;
 use crate::processor::Processor;
 use crate::report::{BlockEvent, MachineStats};
 use quape_isa::{BlockId, BlockStatus, Dependency, DependencyMode, Program};
@@ -60,6 +68,31 @@ enum Job {
     },
 }
 
+impl Job {
+    fn finish(self) -> u64 {
+        match self {
+            Job::Allocate { finish, .. } | Job::Prefetch { finish, .. } => finish,
+        }
+    }
+}
+
+/// A scheduling decision, separated from its application so the
+/// event-driven run loop can ask "would you act?" without side effects.
+#[derive(Debug, Clone, Copy)]
+enum SchedAction {
+    /// Switch an idle processor onto the bank already holding `block`.
+    StartPrefetched { block: BlockId, proc: usize },
+    /// Fill-and-run `block` on idle `proc`; `abandon` names the processor
+    /// holding a stranded prefetched copy to discard, if any.
+    Allocate {
+        block: BlockId,
+        proc: usize,
+        abandon: Option<usize>,
+    },
+    /// Fill `block` into a free bank of `proc` ahead of time.
+    Prefetch { block: BlockId, proc: usize },
+}
+
 /// The dynamic block scheduler.
 #[derive(Debug)]
 pub(crate) struct Scheduler {
@@ -68,6 +101,11 @@ pub(crate) struct Scheduler {
     priority_counter: u16,
     busy_until: u64,
     job: Option<Job>,
+    /// True when the most recent tick evaluated the action picker and
+    /// found nothing to do while free — the trusted-skip fast path may
+    /// then assume the scheduler stays inactive until machine state
+    /// changes, without re-running the picker.
+    settled: bool,
     pub(crate) events: Vec<BlockEvent>,
 }
 
@@ -81,6 +119,7 @@ impl Scheduler {
             priority_counter: 0,
             busy_until: 0,
             job: None,
+            settled: false,
             events: Vec::new(),
         }
     }
@@ -89,15 +128,13 @@ impl Scheduler {
     /// installed directly into the active banks of processors 0..count
     /// (the paper allows prefetching the first N blocks before the task
     /// starts).
-    pub fn initial_load(&mut self, processors: &mut [Processor], program: &Program, count: usize) {
+    pub fn initial_load(&mut self, processors: &mut [Processor], code: &[BlockCode], count: usize) {
         let n = count.min(self.status.len()).min(processors.len());
         for (i, proc) in processors.iter_mut().enumerate().take(n) {
             let id = BlockId(i as u16);
-            let info = program.blocks().get(id).expect("block in table");
-            let words =
-                program.instructions()[info.range.start as usize..info.range.end as usize].to_vec();
+            let bc = &code[id.index()];
             proc.icache_mut()
-                .install_active(id, info.range.start, words);
+                .install_active(id, bc.base, bc.words.clone());
             self.set_status(0, id, RtStatus::Prefetched { proc: i });
         }
     }
@@ -128,6 +165,22 @@ impl Scheduler {
         cycle < self.busy_until
     }
 
+    /// Completion cycle of the in-flight fill job, if any.
+    pub fn job_finish(&self) -> Option<u64> {
+        self.job.map(Job::finish)
+    }
+
+    /// Cycle at which the scheduler stops being busy.
+    pub fn busy_until(&self) -> u64 {
+        self.busy_until
+    }
+
+    /// True when the last tick proved there is nothing to schedule (see
+    /// the `settled` field).
+    pub fn is_settled(&self) -> bool {
+        self.settled
+    }
+
     fn dependency_met(&self, dep: &Dependency) -> bool {
         match dep {
             Dependency::Direct(deps) => deps
@@ -153,36 +206,146 @@ impl Scheduler {
         }
     }
 
-    fn advance_priority_counter(&mut self, program: &Program) {
+    /// Where the priority counter should sit given the current statuses.
+    fn priority_counter_target(&self, program: &Program) -> u16 {
         if self.mode != Some(DependencyMode::Priority) {
-            return;
+            return self.priority_counter;
         }
+        let mut counter = self.priority_counter;
         loop {
             let mut current_level_open = false;
-            let mut next_levels: Vec<u16> = Vec::new();
+            let mut next_level: Option<u16> = None;
             for (id, info) in program.blocks().iter() {
                 if let Dependency::Priority(p) = info.dependency {
                     let done = matches!(self.status[id.index()], RtStatus::Done);
-                    if p == self.priority_counter && !done {
+                    if p == counter && !done {
                         current_level_open = true;
                     }
-                    if p > self.priority_counter && !done {
-                        next_levels.push(p);
+                    if p > counter && !done {
+                        next_level = Some(next_level.map_or(p, |n| n.min(p)));
                     }
                 }
             }
             if current_level_open {
-                return;
+                return counter;
             }
-            match next_levels.iter().min() {
-                Some(&next) => self.priority_counter = next,
-                None => return, // everything done
+            match next_level {
+                Some(next) => counter = next,
+                None => return counter, // everything done
             }
         }
     }
 
+    /// True when the next tick would move the priority counter (a level
+    /// just completed) — observable progress for the event-driven loop.
+    pub fn counter_would_advance(&self, program: &Program) -> bool {
+        self.priority_counter_target(program) != self.priority_counter
+    }
+
+    fn advance_priority_counter(&mut self, program: &Program) {
+        self.priority_counter = self.priority_counter_target(program);
+    }
+
     fn fill_cycles(&self, len: usize, cfg: &QuapeConfig) -> u64 {
         cfg.scheduler_response_cycles + (len as u64).div_ceil(cfg.fill_words_per_cycle as u64)
+    }
+
+    /// The one scheduling action the scheduler would start right now,
+    /// were it free: start a prefetched ready block, allocate a ready
+    /// block to an idle processor, or prefetch an upcoming block.
+    fn pick_action(
+        &self,
+        processors: &[Processor],
+        program: &Program,
+        cfg: &QuapeConfig,
+    ) -> Option<SchedAction> {
+        // Allocation-free: this runs inside the event-driven skip check
+        // on every potential jump, so the ready set is scanned in place.
+        let ready = || {
+            program.blocks().iter().filter(|(id, info)| {
+                matches!(
+                    self.status[id.index()],
+                    RtStatus::Wait | RtStatus::Prefetched { .. }
+                ) && self.dependency_met(&info.dependency)
+            })
+        };
+
+        for (block, _) in ready() {
+            if let RtStatus::Prefetched { proc } = self.status[block.index()] {
+                if processors[proc].is_idle() {
+                    return Some(SchedAction::StartPrefetched { block, proc });
+                }
+            }
+        }
+        // No prefetched block could start; allocate the first waiting
+        // ready block (or a stranded prefetch) to an idle processor.
+        for (block, _) in ready() {
+            let abandon = match self.status[block.index()] {
+                RtStatus::Wait => None,
+                RtStatus::Prefetched { proc } if !processors[proc].is_idle() => Some(proc),
+                _ => continue,
+            };
+            if let Some(proc) = processors.iter().position(Processor::is_idle) {
+                return Some(SchedAction::Allocate {
+                    block,
+                    proc,
+                    abandon,
+                });
+            }
+        }
+
+        // Otherwise prefetch an upcoming block into a free bank.
+        if !cfg.prefetch {
+            return None;
+        }
+        let candidate = program.blocks().iter().find(|(id, info)| {
+            matches!(self.status[id.index()], RtStatus::Wait)
+                && self.prefetch_candidate(&info.dependency)
+        })?;
+        let (block, info) = candidate;
+        // Prefer a processor executing one of the block's direct
+        // dependencies; otherwise any processor with a free bank.
+        let dep_proc = match &info.dependency {
+            Dependency::Direct(deps) => processors.iter().position(|p| {
+                p.current_block().is_some_and(|b| deps.contains(&b))
+                    && p.icache().free_bank().is_some()
+            }),
+            Dependency::Priority(_) => None,
+        };
+        let target = dep_proc.or_else(|| {
+            processors
+                .iter()
+                .position(|p| p.icache().free_bank().is_some())
+        })?;
+        Some(SchedAction::Prefetch {
+            block,
+            proc: target,
+        })
+    }
+
+    /// Read-only twin of [`Scheduler::tick`] for the event-driven loop:
+    /// would the tick at `cycle` take any observable action? (Pending
+    /// done-notifications and priority-counter movement are the caller's
+    /// checks; this covers fill-job completion and new actions.)
+    pub fn would_act(
+        &self,
+        cycle: u64,
+        processors: &[Processor],
+        program: &Program,
+        cfg: &QuapeConfig,
+    ) -> bool {
+        if cfg.ideal_scheduler {
+            return self.ideal_pick(processors, program).is_some();
+        }
+        if let Some(job) = self.job {
+            return cycle >= job.finish();
+        }
+        if self.is_busy(cycle) {
+            // Only the per-cycle busy counter moves; whether an action
+            // fires at `busy_until` is re-checked there by the caller.
+            return false;
+        }
+        self.pick_action(processors, program, cfg).is_some()
     }
 
     /// One scheduler cycle.
@@ -191,9 +354,14 @@ impl Scheduler {
         cycle: u64,
         processors: &mut [Processor],
         program: &Program,
+        code: &[BlockCode],
         cfg: &QuapeConfig,
         stats: &mut MachineStats,
     ) {
+        // Pessimistic until this tick proves otherwise (any early return
+        // leaves the trusted-skip path re-verifying for itself).
+        self.settled = false;
+
         // 1. Consume done notifications.
         for p in processors.iter_mut() {
             if let Some(block) = p.take_finished() {
@@ -203,7 +371,8 @@ impl Scheduler {
         self.advance_priority_counter(program);
 
         if cfg.ideal_scheduler {
-            self.tick_ideal(cycle, processors, program);
+            self.tick_ideal(cycle, processors, program, code);
+            self.settled = true;
             return;
         }
 
@@ -216,11 +385,8 @@ impl Scheduler {
                     proc,
                     finish,
                 } if cycle >= finish => {
-                    let info = program.blocks().get(block).expect("block in table");
-                    let words = program.instructions()
-                        [info.range.start as usize..info.range.end as usize]
-                        .to_vec();
-                    processors[proc].load_and_run(block, info.range.start, words, cycle);
+                    let bc = &code[block.index()];
+                    processors[proc].load_and_run(block, bc.base, bc.words.clone(), cycle);
                     self.set_status(cycle, block, RtStatus::InExecution);
                     stats.prefetch_misses += 1;
                     self.job = None;
@@ -230,11 +396,8 @@ impl Scheduler {
                     proc,
                     finish,
                 } if cycle >= finish => {
-                    let info = program.blocks().get(block).expect("block in table");
-                    let words = program.instructions()
-                        [info.range.start as usize..info.range.end as usize]
-                        .to_vec();
-                    if processors[proc].prefetch_block(block, info.range.start, words) {
+                    let bc = &code[block.index()];
+                    if processors[proc].prefetch_block(block, bc.base, bc.words.clone()) {
                         self.set_status(cycle, block, RtStatus::Prefetched { proc });
                     } else {
                         // Bank got occupied in the meantime: back to wait.
@@ -250,91 +413,35 @@ impl Scheduler {
             return;
         }
 
-        // 3. Start a ready block (one action per cycle).
-        let ready: Vec<BlockId> = program
-            .blocks()
-            .iter()
-            .filter(|(id, info)| {
-                matches!(
-                    self.status[id.index()],
-                    RtStatus::Wait | RtStatus::Prefetched { .. }
-                ) && self.dependency_met(&info.dependency)
-            })
-            .map(|(id, _)| id)
-            .collect();
-
-        for block in &ready {
-            if let RtStatus::Prefetched { proc } = self.status[block.index()] {
-                if processors[proc].is_idle() {
-                    processors[proc].start_prefetched(*block, cfg.switch_cycles, cycle);
-                    self.set_status(cycle, *block, RtStatus::InExecution);
-                    stats.prefetch_hits += 1;
-                    self.busy_until = cycle + 1;
-                    return;
-                }
+        // 3./4. Start one scheduling action.
+        match self.pick_action(processors, program, cfg) {
+            Some(SchedAction::StartPrefetched { block, proc }) => {
+                processors[proc].start_prefetched(block, cfg.switch_cycles, cycle);
+                self.set_status(cycle, block, RtStatus::InExecution);
+                stats.prefetch_hits += 1;
+                self.busy_until = cycle + 1;
             }
-        }
-        // No prefetched block could start; allocate the first waiting
-        // ready block to an idle processor.
-        for block in &ready {
-            let waiting = matches!(self.status[block.index()], RtStatus::Wait);
-            let stuck_prefetch = match self.status[block.index()] {
-                RtStatus::Prefetched { proc } => !processors[proc].is_idle(),
-                _ => false,
-            };
-            if !(waiting || stuck_prefetch) {
-                continue;
-            }
-            if let Some(proc) = processors.iter().position(Processor::is_idle) {
-                if stuck_prefetch {
+            Some(SchedAction::Allocate {
+                block,
+                proc,
+                abandon,
+            }) => {
+                if let Some(holder) = abandon {
                     // Abandon the stranded prefetch and run elsewhere.
-                    if let RtStatus::Prefetched { proc: holder } = self.status[block.index()] {
-                        processors[holder].discard_prefetched(*block);
-                    }
+                    processors[holder].discard_prefetched(block);
                 }
-                let info = program.blocks().get(*block).expect("block in table");
+                let info = program.blocks().get(block).expect("block in table");
                 let finish = cycle + self.fill_cycles(info.len(), cfg);
                 self.job = Some(Job::Allocate {
-                    block: *block,
+                    block,
                     proc,
                     finish,
                 });
                 self.busy_until = finish;
-                self.set_status(cycle, *block, RtStatus::Allocating { proc });
-                return;
+                self.set_status(cycle, block, RtStatus::Allocating { proc });
             }
-        }
-
-        // 4. Otherwise prefetch an upcoming block into a free bank.
-        if !cfg.prefetch {
-            return;
-        }
-        let candidate = program.blocks().iter().find(|(id, info)| {
-            matches!(self.status[id.index()], RtStatus::Wait)
-                && self.prefetch_candidate(&info.dependency)
-        });
-        if let Some((block, info)) = candidate {
-            // Prefer a processor executing one of the block's direct
-            // dependencies; otherwise any processor with a free bank.
-            let dep_procs: Vec<usize> = match &info.dependency {
-                Dependency::Direct(deps) => processors
-                    .iter()
-                    .enumerate()
-                    .filter(|(_, p)| p.current_block().is_some_and(|b| deps.contains(&b)))
-                    .map(|(i, _)| i)
-                    .collect(),
-                Dependency::Priority(_) => Vec::new(),
-            };
-            let target = dep_procs
-                .iter()
-                .copied()
-                .find(|&i| processors[i].icache().free_bank().is_some())
-                .or_else(|| {
-                    processors
-                        .iter()
-                        .position(|p| p.icache().free_bank().is_some())
-                });
-            if let Some(proc) = target {
+            Some(SchedAction::Prefetch { block, proc }) => {
+                let info = program.blocks().get(block).expect("block in table");
                 let finish = cycle + self.fill_cycles(info.len(), cfg);
                 self.job = Some(Job::Prefetch {
                     block,
@@ -344,28 +451,33 @@ impl Scheduler {
                 self.busy_until = finish;
                 self.set_status(cycle, block, RtStatus::Prefetching { proc });
             }
+            None => self.settled = true,
         }
     }
 
+    /// The next start the zero-cost scheduler would perform.
+    fn ideal_pick(&self, processors: &[Processor], program: &Program) -> Option<(BlockId, usize)> {
+        let (block, _) = program.blocks().iter().find(|(id, info)| {
+            matches!(
+                self.status[id.index()],
+                RtStatus::Wait | RtStatus::Prefetched { .. }
+            ) && self.dependency_met(&info.dependency)
+        })?;
+        let proc = processors.iter().position(Processor::is_idle)?;
+        Some((block, proc))
+    }
+
     /// Zero-cost scheduling for the ideal-speedup series of Fig. 11b.
-    fn tick_ideal(&mut self, cycle: u64, processors: &mut [Processor], program: &Program) {
-        loop {
-            let ready = program.blocks().iter().find(|(id, info)| {
-                matches!(
-                    self.status[id.index()],
-                    RtStatus::Wait | RtStatus::Prefetched { .. }
-                ) && self.dependency_met(&info.dependency)
-            });
-            let (block, info) = match ready {
-                Some(r) => r,
-                None => return,
-            };
-            let Some(proc) = processors.iter().position(Processor::is_idle) else {
-                return;
-            };
-            let words =
-                program.instructions()[info.range.start as usize..info.range.end as usize].to_vec();
-            processors[proc].load_and_run(block, info.range.start, words, cycle);
+    fn tick_ideal(
+        &mut self,
+        cycle: u64,
+        processors: &mut [Processor],
+        program: &Program,
+        code: &[BlockCode],
+    ) {
+        while let Some((block, proc)) = self.ideal_pick(processors, program) {
+            let bc = &code[block.index()];
+            processors[proc].load_and_run(block, bc.base, bc.words.clone(), cycle);
             self.set_status(cycle, block, RtStatus::InExecution);
         }
     }

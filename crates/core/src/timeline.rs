@@ -3,6 +3,10 @@
 //! Produces the per-qubit Gantt view used by the examples to show what
 //! the control stack actually delivered to the QPU — the visual
 //! equivalent of Fig. 3's parallel/serial execution diagrams.
+//!
+//! Pulse extents are re-derived here from `OpTimings` after the run; see
+//! ROADMAP "Open items" for the follow-on that models AWG playback as
+//! first-class event-timeline state the renderer can stream from.
 
 use crate::report::RunReport;
 use quape_isa::{OpTimings, QuantumOp};

@@ -12,7 +12,6 @@ use quape_isa::{OpTimings, QuantumOp, Qubit};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
 use std::fmt;
 
 /// A quantum operation as received by the QPU, stamped with its issue time.
@@ -105,7 +104,7 @@ pub struct BehavioralQpu {
     timings: OpTimings,
     model: MeasurementModel,
     rng: SmallRng,
-    busy_until: HashMap<u16, u64>,
+    busy_until: Vec<u64>,
     log: Vec<IssuedOp>,
     violations: Vec<TimingViolation>,
 }
@@ -118,7 +117,7 @@ impl BehavioralQpu {
             timings,
             model,
             rng: SmallRng::seed_from_u64(seed),
-            busy_until: HashMap::new(),
+            busy_until: Vec::new(),
             log: Vec::new(),
             violations: Vec::new(),
         }
@@ -131,7 +130,11 @@ impl BehavioralQpu {
         let issued = IssuedOp { time_ns, op };
         let duration = self.timings.duration_of(&op);
         for qubit in op.qubits() {
-            let busy = self.busy_until.get(&qubit.index()).copied().unwrap_or(0);
+            let i = qubit.index() as usize;
+            if i >= self.busy_until.len() {
+                self.busy_until.resize(i + 1, 0);
+            }
+            let busy = self.busy_until[i];
             if time_ns < busy {
                 self.violations.push(TimingViolation {
                     op: issued,
@@ -139,8 +142,7 @@ impl BehavioralQpu {
                     busy_until_ns: busy,
                 });
             }
-            self.busy_until
-                .insert(qubit.index(), time_ns.max(busy) + duration);
+            self.busy_until[i] = time_ns.max(busy) + duration;
         }
         self.log.push(issued);
         match op {
@@ -162,9 +164,22 @@ impl BehavioralQpu {
         &self.violations
     }
 
+    /// Takes the accumulated log and violations, leaving empty buffers —
+    /// the end-of-shot handover that lets reports own the vectors without
+    /// a copy.
+    pub fn take_results(&mut self) -> (Vec<IssuedOp>, Vec<TimingViolation>) {
+        (
+            std::mem::take(&mut self.log),
+            std::mem::take(&mut self.violations),
+        )
+    }
+
     /// When `qubit` becomes free (0 if never used).
     pub fn busy_until(&self, qubit: Qubit) -> u64 {
-        self.busy_until.get(&qubit.index()).copied().unwrap_or(0)
+        self.busy_until
+            .get(qubit.index() as usize)
+            .copied()
+            .unwrap_or(0)
     }
 
     /// The operation timings in force.
@@ -174,7 +189,7 @@ impl BehavioralQpu {
 
     /// Time at which the whole QPU becomes idle.
     pub fn makespan_ns(&self) -> u64 {
-        self.busy_until.values().copied().max().unwrap_or(0)
+        self.busy_until.iter().copied().max().unwrap_or(0)
     }
 
     /// Replaces the measurement model (e.g. between benchmark phases).

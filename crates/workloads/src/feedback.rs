@@ -44,6 +44,54 @@ pub fn conditional_x_mrce(qubit: u16) -> Result<Program, ProgramError> {
     b.finish()
 }
 
+/// A chain of `rounds` sequential feedback rounds, each a full Fig. 2
+/// round trip: measure, wait for the DAQ on `FMR`, branch, conditionally
+/// apply X. The canonical DAQ-wait-bound stress for the execution core —
+/// the machine spends most of every round stalled on the acquisition
+/// chain, exactly the regime the event-driven run loop skips through.
+///
+/// # Errors
+///
+/// Propagates program-assembly failures.
+pub fn feedback_chain(qubit: u16, rounds: usize) -> Result<Program, ProgramError> {
+    let mut b = ProgramBuilder::new();
+    for i in 0..rounds {
+        b.quantum(2, QuantumOp::Measure(Qubit::new(qubit)));
+        b.fmr(0, qubit);
+        b.cmpi(0, 1);
+        let skip = format!("skip{i}");
+        b.br_to(Cond::Ne, &skip);
+        b.quantum(0, QuantumOp::Gate1(Gate1::X, Qubit::new(qubit)));
+        b.label(&skip);
+    }
+    b.push(ClassicalOp::Stop);
+    b.finish()
+}
+
+/// The same feedback chain expressed with `MRCE` simple feedback control
+/// (§5.4): each round parks its conditional in the context store and the
+/// fast context switch fires it when the result lands. Back-to-back
+/// rounds serialize on the context-unit qubit dependency, so the chain is
+/// equally DAQ-wait-bound but dispatches fewer classical instructions.
+///
+/// # Errors
+///
+/// Propagates program-assembly failures.
+pub fn mrce_feedback_chain(qubit: u16, rounds: usize) -> Result<Program, ProgramError> {
+    let mut b = ProgramBuilder::new();
+    for _ in 0..rounds {
+        b.quantum(2, QuantumOp::Measure(Qubit::new(qubit)));
+        b.push(ClassicalOp::Mrce {
+            qubit: Qubit::new(qubit),
+            target: Qubit::new(qubit),
+            op_if_one: CondOp::X,
+            op_if_zero: CondOp::None,
+        });
+    }
+    b.push(ClassicalOp::Stop);
+    b.finish()
+}
+
 /// A repeat-until-success block: apply `X`, measure, and retry while the
 /// outcome reads 1. The building block of the §3.1 example.
 ///
@@ -98,6 +146,25 @@ mod tests {
         let p = parallel_rus(0, 1).unwrap();
         assert_eq!(p.blocks().len(), 2);
         p.blocks().validate().unwrap();
+    }
+
+    #[test]
+    fn chains_scale_with_rounds() {
+        let short = feedback_chain(0, 1).unwrap();
+        let long = feedback_chain(0, 10).unwrap();
+        assert!(long.len() > short.len());
+        assert_eq!(
+            long.instructions()
+                .iter()
+                .filter(|i| matches!(
+                    i,
+                    quape_isa::Instruction::Quantum(q) if q.op.is_measure()
+                ))
+                .count(),
+            10
+        );
+        let mrce = mrce_feedback_chain(0, 10).unwrap();
+        assert_eq!(mrce.len(), 21); // 10 × (MEAS + MRCE) + STOP
     }
 
     #[test]

@@ -54,7 +54,7 @@ pub mod prelude {
     pub use quape_compiler::{partition_two_blocks, Compiler};
     pub use quape_core::{
         ces_report_paper, BatchAggregate, BatchReport, CompiledJob, Machine, QpuFactory,
-        QuapeConfig, RunReport, Shot, ShotEngine, StateVectorQpu, StateVectorQpuFactory,
+        QuapeConfig, RunReport, Shot, ShotEngine, StateVectorQpu, StateVectorQpuFactory, StepMode,
         StopReason,
     };
     pub use quape_isa::{
