@@ -10,6 +10,7 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use quape_core::{CompiledJob, QuapeConfig, StepMode};
 use quape_qpu::{BehavioralQpu, MeasurementModel};
 use quape_workloads::feedback::{conditional_x, feedback_chain, mrce_feedback_chain};
+use quape_workloads::pulse::pulse_train;
 
 fn shot_bench(c: &mut Criterion, name: &str, job: &CompiledJob, mode: StepMode) {
     let cfg = job.cfg().clone();
@@ -52,6 +53,19 @@ fn bench(c: &mut Criterion) {
     .expect("job compiles");
     shot_bench(c, "mrce_chain1k_cycle", &mrce, StepMode::Cycle);
     shot_bench(c, "mrce_chain1k_event", &mrce, StepMode::EventDriven);
+
+    // AWG-playback-bound: dense parallel pulse trains on a multiplexed
+    // readout keep the device timeline, occupancy checks and DAQ demod
+    // servers hot — the emit/retire path dominates instead of idle skips.
+    let awg = CompiledJob::compile(
+        QuapeConfig::superscalar(8)
+            .with_seed(7)
+            .with_readout_lines(2),
+        pulse_train(4, 256).expect("valid workload"),
+    )
+    .expect("job compiles");
+    shot_bench(c, "awg_playback_cycle", &awg, StepMode::Cycle);
+    shot_bench(c, "awg_playback_event", &awg, StepMode::EventDriven);
 }
 
 criterion_group!(benches, bench);

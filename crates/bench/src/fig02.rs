@@ -5,6 +5,7 @@
 use quape_core::{CompiledJob, Machine, QuapeConfig, ShotEngine, StepMode};
 use quape_qpu::{BehavioralQpu, BehavioralQpuFactory, MeasurementModel};
 use quape_workloads::feedback::{conditional_x, feedback_chain, mrce_feedback_chain};
+use quape_workloads::pulse::pulse_train;
 use serde::{Deserialize, Serialize};
 
 /// Measured stage latencies of a feedback-control process.
@@ -142,6 +143,18 @@ pub fn compare_step_modes(cfg_base: &QuapeConfig, scale: u64) -> Vec<StepModeCom
             mrce_feedback_chain(0, chain_rounds).expect("valid workload"),
             chain_rounds,
             200 * scale,
+        ),
+        // Device-model hot path: dense parallel pulse trains on a
+        // multiplexed readout, where the AWG playback timeline and the
+        // DAQ demod servers carry the load instead of idle skipping.
+        compare_one(
+            "awg_playback_pulse_train",
+            &QuapeConfig::superscalar(8)
+                .with_seed(7)
+                .with_readout_lines(2),
+            pulse_train(4, 256).expect("valid workload"),
+            256,
+            1000 * scale,
         ),
     ]
 }

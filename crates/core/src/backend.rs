@@ -30,6 +30,12 @@ pub trait QpuBackend {
     /// ownership instead of copying.
     fn take_results(&mut self) -> (Vec<IssuedOp>, Vec<TimingViolation>);
 
+    /// When `qubit` becomes free under the occupancy model (0 if never
+    /// used). The AWG bank keeps a device-side shadow of the same model
+    /// ([`crate::AwgBank::qubit_busy_until`]); the differential suites
+    /// assert the two views agree.
+    fn busy_until(&self, qubit: Qubit) -> u64;
+
     /// Time at which the QPU becomes idle.
     fn makespan_ns(&self) -> u64;
 }
@@ -49,6 +55,10 @@ impl QpuBackend for BehavioralQpu {
 
     fn take_results(&mut self) -> (Vec<IssuedOp>, Vec<TimingViolation>) {
         BehavioralQpu::take_results(self)
+    }
+
+    fn busy_until(&self, qubit: Qubit) -> u64 {
+        BehavioralQpu::busy_until(self, qubit)
     }
 
     fn makespan_ns(&self) -> u64 {
@@ -137,6 +147,10 @@ impl QpuBackend for StateVectorQpu {
 
     fn take_results(&mut self) -> (Vec<IssuedOp>, Vec<TimingViolation>) {
         self.shadow.take_results()
+    }
+
+    fn busy_until(&self, qubit: Qubit) -> u64 {
+        self.shadow.busy_until(qubit)
     }
 
     fn makespan_ns(&self) -> u64 {

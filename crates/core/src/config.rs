@@ -32,6 +32,17 @@ pub struct QuapeConfig {
     /// DAQ latency jitter: the non-deterministic Stage II component is
     /// drawn uniformly from `0..=daq_jitter_ns`.
     pub daq_jitter_ns: u64,
+    /// Concurrent demodulation servers per readout channel. A readout
+    /// whose channel already has this many results in the demod pipeline
+    /// waits for a server to free up, delaying its delivery (acquisition
+    /// contention is modeled, not assumed infinite).
+    pub daq_demod_slots: usize,
+    /// Readout multiplexing: `None` (default) gives every qubit its own
+    /// readout channel ([`crate::ChannelMap::linear`]); `Some(r)` shares
+    /// `r` readout lines across the qubits
+    /// ([`crate::ChannelMap::multiplexed`]), as in the paper's 8 readout
+    /// channels for 10 qubits.
+    pub readout_lines: Option<u16>,
     /// Scheduler response time per scheduling action, in cycles.
     pub scheduler_response_cycles: u64,
     /// Instruction words copied into a private cache bank per cycle.
@@ -77,6 +88,8 @@ impl QuapeConfig {
             },
             daq_base_ns: 100,
             daq_jitter_ns: 30,
+            daq_demod_slots: crate::devices::DEFAULT_DEMOD_SLOTS,
+            readout_lines: None,
             scheduler_response_cycles: 4,
             fill_words_per_cycle: 4,
             switch_cycles: 2,
@@ -134,6 +147,18 @@ impl QuapeConfig {
         self
     }
 
+    /// Multiplexes the readout over `lines` shared readout channels.
+    pub fn with_readout_lines(mut self, lines: u16) -> Self {
+        self.readout_lines = Some(lines);
+        self
+    }
+
+    /// Sets the number of demod servers per readout channel.
+    pub fn with_demod_slots(mut self, slots: usize) -> Self {
+        self.daq_demod_slots = slots;
+        self
+    }
+
     /// Validates internal consistency.
     ///
     /// # Errors
@@ -158,6 +183,12 @@ impl QuapeConfig {
         }
         if self.num_qubits == Some(0) {
             return Err("num_qubits override must be positive".into());
+        }
+        if self.daq_demod_slots == 0 {
+            return Err("need at least one DAQ demod server per channel".into());
+        }
+        if self.readout_lines == Some(0) {
+            return Err("readout multiplexing needs at least one line".into());
         }
         Ok(())
     }
@@ -199,6 +230,11 @@ mod tests {
         assert!(c.validate().is_err());
         let mut c = QuapeConfig::superscalar(8);
         c.predecode_buffer = 4;
+        assert!(c.validate().is_err());
+        let mut c = QuapeConfig::uniprocessor();
+        c.daq_demod_slots = 0;
+        assert!(c.validate().is_err());
+        let c = QuapeConfig::uniprocessor().with_readout_lines(0);
         assert!(c.validate().is_err());
     }
 

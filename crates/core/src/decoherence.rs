@@ -93,6 +93,8 @@ mod tests {
             stop: StopReason::Completed,
             issued: Vec::new(),
             violations: Vec::new(),
+            playback: Vec::new(),
+            awg_violations: Vec::new(),
             stats: MachineStats {
                 late_cycles,
                 ..Default::default()

@@ -4,10 +4,23 @@
 //! These mirror the boards of Fig. 9: the QCP sends codewords to AWGs to
 //! trigger waveform generation and receives measurement results from DAQs,
 //! which write the shared measurement result register file.
+//!
+//! Both analog devices are **event-timeline** models. The AWG bank keeps
+//! per-channel occupancy and a queue of in-flight playbacks so timing
+//! violations (a trigger arriving while the channel's previous waveform is
+//! still playing, or while the target qubit is still busy) are caught *at
+//! the device*, and exposes [`AwgBank::next_event_ns`] as an event horizon
+//! for the time-skip run loop. The DAQ runs a bounded number of demod
+//! servers per readout channel, so acquisition contention on a multiplexed
+//! readout line delays delivery instead of being assumed away.
 
-use quape_isa::{Gate1, Gate2, QuantumOp, Qubit};
+use quape_isa::{Gate1, Gate2, OpTimings, QuantumOp, Qubit};
 use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
+
+/// Default number of concurrent demodulation servers per readout channel
+/// (see [`crate::QuapeConfig::daq_demod_slots`]).
+pub(crate) const DEFAULT_DEMOD_SLOTS: usize = 4;
 
 /// One entry of the measurement result register file.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
@@ -79,20 +92,46 @@ pub struct PendingResult {
 }
 
 /// The DAQ model: demodulation + integration + thresholding latency with a
-/// non-deterministic jitter component (the Stage I/II uncertainty of §2.4).
-#[derive(Debug, Clone, Default)]
+/// non-deterministic jitter component (the Stage I/II uncertainty of §2.4),
+/// served by a **bounded pool of demod servers per readout channel**. When
+/// every server of a channel is still integrating a previous readout, a new
+/// result waits for the earliest server to free up — its delivery into the
+/// result register is pushed back by the contention, and the delay is
+/// accounted in [`Daq::contended_results`] / [`Daq::contention_delay_ns`].
+#[derive(Debug, Clone)]
 pub struct Daq {
     pending: VecDeque<PendingResult>,
+    demod_slots: usize,
+    /// Per readout channel: delivery times of in-flight demod jobs
+    /// (at most `demod_slots` entries survive a [`Daq::schedule_readout`]).
+    servers: Vec<Vec<u64>>,
     delivered: usize,
+    contended_results: u64,
+    contention_delay_ns: u64,
+}
+
+impl Default for Daq {
+    fn default() -> Self {
+        Self::new(DEFAULT_DEMOD_SLOTS)
+    }
 }
 
 impl Daq {
-    /// Creates an idle DAQ.
-    pub fn new() -> Self {
-        Self::default()
+    /// Creates an idle DAQ with `demod_slots` concurrent demodulation
+    /// servers per readout channel (must be ≥ 1).
+    pub fn new(demod_slots: usize) -> Self {
+        Daq {
+            pending: VecDeque::new(),
+            demod_slots: demod_slots.max(1),
+            servers: Vec::new(),
+            delivered: 0,
+            contended_results: 0,
+            contention_delay_ns: 0,
+        }
     }
 
-    /// Enqueues a result for future delivery.
+    /// Enqueues a result for delivery at an explicit time, bypassing the
+    /// demod-server model (raw acquisition-chain injection).
     pub fn schedule(&mut self, result: PendingResult) {
         // Binary search for the insertion point; `<=` keeps equal delivery
         // times in FIFO order (a new result lands after existing ties).
@@ -100,6 +139,52 @@ impl Daq {
             .pending
             .partition_point(|p| p.deliver_at_ns <= result.deliver_at_ns);
         self.pending.insert(pos, result);
+    }
+
+    /// Routes a readout through the demod pipeline of `channel`: the
+    /// readout pulse ends at `ready_ns`, demodulation + integration +
+    /// thresholding take `demod_ns`, and the result is delivered when a
+    /// demod server has finished with it. With all of the channel's
+    /// servers busy at `ready_ns`, demodulation starts when the earliest
+    /// one frees up. Returns the delivery time.
+    pub fn schedule_readout(
+        &mut self,
+        channel: u16,
+        qubit: Qubit,
+        value: bool,
+        ready_ns: u64,
+        demod_ns: u64,
+    ) -> u64 {
+        let ch = channel as usize;
+        if ch >= self.servers.len() {
+            self.servers.resize(ch + 1, Vec::new());
+        }
+        let servers = &mut self.servers[ch];
+        // Servers whose previous job finished by `ready_ns` are free again.
+        servers.retain(|&end| end > ready_ns);
+        let start_ns = if servers.len() < self.demod_slots {
+            ready_ns
+        } else {
+            // All servers busy: wait for the earliest to free up (ties
+            // resolve to the first entry — deterministic).
+            let (idx, &earliest) = servers
+                .iter()
+                .enumerate()
+                .min_by_key(|&(_, &end)| end)
+                .expect("servers non-empty when saturated");
+            servers.swap_remove(idx);
+            self.contended_results += 1;
+            self.contention_delay_ns += earliest - ready_ns;
+            earliest
+        };
+        let deliver_at_ns = start_ns + demod_ns;
+        servers.push(deliver_at_ns);
+        self.schedule(PendingResult {
+            qubit,
+            value,
+            deliver_at_ns,
+        });
+        deliver_at_ns
     }
 
     /// Delivers every result due at `now_ns` into the register file.
@@ -129,6 +214,16 @@ impl Daq {
     pub fn delivered(&self) -> usize {
         self.delivered
     }
+
+    /// Results whose demodulation was delayed by server contention.
+    pub fn contended_results(&self) -> u64 {
+        self.contended_results
+    }
+
+    /// Total delivery delay caused by demod contention, in nanoseconds.
+    pub fn contention_delay_ns(&self) -> u64 {
+        self.contention_delay_ns
+    }
 }
 
 /// The analog channels assigned to one qubit.
@@ -143,18 +238,44 @@ pub struct QubitChannels {
 }
 
 /// Static map from qubits to analog channels (hard-coded connection
-/// information, as in the paper's experimental setup: 38 channels for 10
-/// qubits).
+/// information, as in the paper's experimental setup, which wires 38
+/// analog channels to a 10-qubit device).
+///
+/// Two layouts ship:
+///
+/// * [`ChannelMap::linear`] — one microwave, one flux, and one dedicated
+///   readout channel per qubit (`3·n` channels);
+/// * [`ChannelMap::multiplexed`] — dedicated microwave/flux channels but
+///   frequency-multiplexed readout: `r` shared readout lines serve all
+///   qubits (qubits congruent modulo `r` share a line), giving `2·n + r`
+///   channels — e.g. the paper's 8 readout channels for 10 qubits.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct ChannelMap {
     num_qubits: u16,
+    readout_lines: u16,
 }
 
 impl ChannelMap {
-    /// Standard layout: qubit q drives microwave channel `2q`, flux
-    /// channel `2q+1`, and readout channel `2·num_qubits + q`.
+    /// Dedicated-readout layout: qubit q drives microwave channel `2q`,
+    /// flux channel `2q+1`, and its own readout channel
+    /// `2·num_qubits + q`.
     pub fn linear(num_qubits: u16) -> Self {
-        ChannelMap { num_qubits }
+        ChannelMap {
+            num_qubits,
+            readout_lines: num_qubits.max(1),
+        }
+    }
+
+    /// Multiplexed-readout layout: microwave/flux as in
+    /// [`ChannelMap::linear`], but only `readout_lines` readout channels;
+    /// qubit q shares line `2·num_qubits + (q mod readout_lines)` with
+    /// every qubit congruent to it. `readout_lines` is clamped to
+    /// `1..=num_qubits`.
+    pub fn multiplexed(num_qubits: u16, readout_lines: u16) -> Self {
+        ChannelMap {
+            num_qubits,
+            readout_lines: readout_lines.clamp(1, num_qubits.max(1)),
+        }
     }
 
     /// Channels of one qubit.
@@ -162,32 +283,67 @@ impl ChannelMap {
         QubitChannels {
             microwave: 2 * q.index(),
             flux: 2 * q.index() + 1,
-            readout: 2 * self.num_qubits + q.index(),
+            readout: 2 * self.num_qubits + q.index() % self.readout_lines,
         }
+    }
+
+    /// Number of shared readout lines.
+    pub fn readout_lines(&self) -> u16 {
+        self.readout_lines
     }
 
     /// Total number of analog channels in the setup.
     pub fn channel_count(&self) -> u16 {
-        3 * self.num_qubits
+        2 * self.num_qubits + self.readout_lines
     }
 }
 
-/// A codeword sent from the QCP to an AWG/DAQ board: the trigger for one
-/// pre-loaded waveform on one analog channel.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
-pub struct Codeword {
-    /// Absolute trigger time.
-    pub time_ns: u64,
-    /// Analog channel index.
+/// One waveform playback recorded by the AWG bank: the trigger (codeword)
+/// plus the extent the waveform occupies its channel. This is the
+/// event-timeline record [`crate::render_timeline`] streams from.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PlaybackEvent {
+    /// Analog channel the waveform plays on.
     pub channel: u16,
+    /// Qubit the channel drives for this playback.
+    pub qubit: Qubit,
+    /// Trigger (start) time.
+    pub start_ns: u64,
+    /// Time the waveform finishes playing.
+    pub end_ns: u64,
     /// Waveform-table index encoding the pulse shape.
     pub waveform: u16,
+    /// The operation that produced the trigger.
+    pub op: QuantumOp,
 }
 
-/// The AWG bank: records every codeword it is asked to play.
-#[derive(Debug, Clone, Default)]
-pub struct AwgBank {
-    codewords: Vec<Codeword>,
+/// What kind of occupancy conflict the AWG bank detected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AwgViolationKind {
+    /// The trigger arrived while the channel's previous waveform was still
+    /// playing: the AWG cannot start the new waveform on time (a late
+    /// trigger at the device). On a multiplexed readout line this also
+    /// catches contention between *different* qubits sharing the line.
+    ChannelOverlap,
+    /// The target qubit was still executing a previous operation (possibly
+    /// on another of its channels) — the device-side twin of the QPU
+    /// shadow occupancy model's [`quape_qpu::TimingViolation`].
+    QubitOverlap,
+}
+
+/// A timing violation detected at the AWG bank.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AwgViolation {
+    /// Conflict kind.
+    pub kind: AwgViolationKind,
+    /// Channel the trigger addressed.
+    pub channel: u16,
+    /// Qubit the trigger drives.
+    pub qubit: Qubit,
+    /// Trigger time.
+    pub time_ns: u64,
+    /// When the conflicting resource would have been free.
+    pub busy_until_ns: u64,
 }
 
 /// Derives a stable waveform-table index for an operation.
@@ -219,10 +375,104 @@ fn waveform_id(op: &QuantumOp) -> u16 {
     }
 }
 
+/// The AWG bank as an event-timeline playback device.
+///
+/// Each emitted codeword becomes a [`PlaybackEvent`] with the waveform's
+/// duration (from the [`OpTimings`] in force) resolved at emit time. The
+/// bank tracks per-channel and per-qubit occupancy so overlap/late-trigger
+/// conflicts are flagged **at the device** ([`AwgViolation`]), keeps the
+/// in-flight playbacks in an end-time-ordered queue, and exposes the
+/// earliest playback end as [`AwgBank::next_event_ns`] — the AWG's
+/// contribution to the event-driven run loop's horizon.
+#[derive(Debug, Clone)]
+pub struct AwgBank {
+    timings: OpTimings,
+    /// Per-channel occupancy: when the channel's last waveform ends.
+    channel_busy_until: Vec<u64>,
+    /// Device-side per-qubit occupancy, mirroring the QPU shadow model.
+    qubit_busy_until: Vec<u64>,
+    /// End times of in-flight playbacks, ascending (FIFO among ties).
+    active_ends: VecDeque<u64>,
+    timeline: Vec<PlaybackEvent>,
+    violations: Vec<AwgViolation>,
+    retired: usize,
+    max_concurrent: usize,
+}
+
 impl AwgBank {
-    /// Creates an empty bank.
-    pub fn new() -> Self {
-        Self::default()
+    /// Creates an idle bank playing waveforms of the given durations.
+    pub fn new(timings: OpTimings) -> Self {
+        AwgBank {
+            timings,
+            channel_busy_until: Vec::new(),
+            qubit_busy_until: Vec::new(),
+            active_ends: VecDeque::new(),
+            timeline: Vec::new(),
+            violations: Vec::new(),
+            retired: 0,
+            max_concurrent: 0,
+        }
+    }
+
+    fn busy_slot(v: &mut Vec<u64>, i: usize) -> &mut u64 {
+        if i >= v.len() {
+            v.resize(i + 1, 0);
+        }
+        &mut v[i]
+    }
+
+    /// Records one playback on `(channel, qubit)` and runs both occupancy
+    /// checks.
+    fn play(&mut self, channel: u16, qubit: Qubit, time_ns: u64, waveform: u16, op: &QuantumOp) {
+        let duration = self.timings.duration_of(op);
+        let end_ns = time_ns + duration;
+
+        // Channel occupancy: the line itself must be free. A conflicting
+        // trigger still plays immediately (the AWG cannot delay it), so
+        // the recorded extent stays `time_ns..end_ns` and the line is
+        // busy until the latest recorded end — keeping the violation
+        // report, the playback timeline, and the skip horizon in
+        // agreement about when the line actually frees up.
+        let ch = Self::busy_slot(&mut self.channel_busy_until, channel as usize);
+        if time_ns < *ch {
+            self.violations.push(AwgViolation {
+                kind: AwgViolationKind::ChannelOverlap,
+                channel,
+                qubit,
+                time_ns,
+                busy_until_ns: *ch,
+            });
+        }
+        *ch = (*ch).max(end_ns);
+
+        // Qubit occupancy: the device's shadow of the QPU model — same
+        // push-back update rule as `BehavioralQpu::apply`, so the two
+        // stay in lock step (this is deliberately *not* the channel
+        // rule above: the shadow must reproduce the QPU bit for bit).
+        let qb = Self::busy_slot(&mut self.qubit_busy_until, qubit.index() as usize);
+        if time_ns < *qb {
+            self.violations.push(AwgViolation {
+                kind: AwgViolationKind::QubitOverlap,
+                channel,
+                qubit,
+                time_ns,
+                busy_until_ns: *qb,
+            });
+        }
+        *qb = time_ns.max(*qb) + duration;
+
+        self.timeline.push(PlaybackEvent {
+            channel,
+            qubit,
+            start_ns: time_ns,
+            end_ns,
+            waveform,
+            op: *op,
+        });
+        // In-flight queue, ordered by end time (FIFO among ties).
+        let pos = self.active_ends.partition_point(|&e| e <= end_ns);
+        self.active_ends.insert(pos, end_ns);
+        self.max_concurrent = self.max_concurrent.max(self.active_ends.len());
     }
 
     /// Emits the codeword(s) for one operation: microwave channel for
@@ -230,44 +480,94 @@ impl AwgBank {
     /// gates, readout channel for measurements.
     pub fn emit(&mut self, map: &ChannelMap, time_ns: u64, op: &QuantumOp) {
         let wf = waveform_id(op);
-        match op {
+        match *op {
             QuantumOp::Gate1(_, q) => {
-                self.codewords.push(Codeword {
-                    time_ns,
-                    channel: map.channels(*q).microwave,
-                    waveform: wf,
-                });
+                self.play(map.channels(q).microwave, q, time_ns, wf, op);
             }
             QuantumOp::Gate2(_, a, b) => {
-                self.codewords.push(Codeword {
-                    time_ns,
-                    channel: map.channels(*a).flux,
-                    waveform: wf,
-                });
-                self.codewords.push(Codeword {
-                    time_ns,
-                    channel: map.channels(*b).flux,
-                    waveform: wf,
-                });
+                self.play(map.channels(a).flux, a, time_ns, wf, op);
+                self.play(map.channels(b).flux, b, time_ns, wf, op);
             }
             QuantumOp::Measure(q) => {
-                self.codewords.push(Codeword {
-                    time_ns,
-                    channel: map.channels(*q).readout,
-                    waveform: wf,
-                });
+                self.play(map.channels(q).readout, q, time_ns, wf, op);
             }
         }
     }
 
-    /// All codewords in emission order.
-    pub fn codewords(&self) -> &[Codeword] {
-        &self.codewords
+    /// Retires every playback that has finished by `now_ns`; returns how
+    /// many retired this tick.
+    pub fn tick(&mut self, now_ns: u64) -> usize {
+        let mut n = 0;
+        while let Some(&end) = self.active_ends.front() {
+            if end > now_ns {
+                break;
+            }
+            self.active_ends.pop_front();
+            n += 1;
+        }
+        self.retired += n;
+        n
     }
 
-    /// Codewords played on one channel.
-    pub fn on_channel(&self, channel: u16) -> impl Iterator<Item = &Codeword> {
-        self.codewords.iter().filter(move |c| c.channel == channel)
+    /// End time of the earliest in-flight playback, if any — the AWG's
+    /// contribution to the event-driven run loop's horizon.
+    pub fn next_event_ns(&self) -> Option<u64> {
+        self.active_ends.front().copied()
+    }
+
+    /// Number of waveforms currently playing.
+    pub fn playing(&self) -> usize {
+        self.active_ends.len()
+    }
+
+    /// Playbacks retired so far.
+    pub fn retired(&self) -> usize {
+        self.retired
+    }
+
+    /// Highest number of simultaneously playing waveforms observed.
+    pub fn max_concurrent(&self) -> usize {
+        self.max_concurrent
+    }
+
+    /// When `channel`'s last triggered waveform ends (0 if never used).
+    pub fn channel_busy_until(&self, channel: u16) -> u64 {
+        self.channel_busy_until
+            .get(channel as usize)
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// The device's view of when `qubit` becomes free (0 if never driven).
+    pub fn qubit_busy_until(&self, qubit: Qubit) -> u64 {
+        self.qubit_busy_until
+            .get(qubit.index() as usize)
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// The recorded playback timeline, in emission order.
+    pub fn timeline(&self) -> &[PlaybackEvent] {
+        &self.timeline
+    }
+
+    /// Violations detected so far.
+    pub fn violations(&self) -> &[AwgViolation] {
+        &self.violations
+    }
+
+    /// Playbacks recorded on one channel.
+    pub fn on_channel(&self, channel: u16) -> impl Iterator<Item = &PlaybackEvent> {
+        self.timeline.iter().filter(move |e| e.channel == channel)
+    }
+
+    /// Hands the timeline and violations over by value at end of shot,
+    /// leaving the bank's buffers empty.
+    pub fn take_results(&mut self) -> (Vec<PlaybackEvent>, Vec<AwgViolation>) {
+        (
+            std::mem::take(&mut self.timeline),
+            std::mem::take(&mut self.violations),
+        )
     }
 }
 
@@ -277,6 +577,14 @@ mod tests {
 
     fn q(i: u16) -> Qubit {
         Qubit::new(i)
+    }
+
+    fn timings() -> OpTimings {
+        OpTimings {
+            single_qubit_ns: 20,
+            two_qubit_ns: 40,
+            readout_pulse_ns: 300,
+        }
     }
 
     #[test]
@@ -292,7 +600,7 @@ mod tests {
 
     #[test]
     fn daq_delivers_in_time_order() {
-        let mut daq = Daq::new();
+        let mut daq = Daq::default();
         let mut mrr = MeasurementFile::new();
         daq.schedule(PendingResult {
             qubit: q(0),
@@ -317,7 +625,7 @@ mod tests {
 
     #[test]
     fn daq_equal_delivery_times_stay_fifo() {
-        let mut daq = Daq::new();
+        let mut daq = Daq::default();
         // Three results due at the same instant, interleaved with others:
         // delivery into the MRR must preserve their scheduling order (the
         // last write wins per qubit, so order is observable).
@@ -345,6 +653,32 @@ mod tests {
     }
 
     #[test]
+    fn daq_unsaturated_channel_delivers_at_nominal_time() {
+        let mut daq = Daq::new(2);
+        // Two overlapping readouts fit in the two servers: no delay.
+        assert_eq!(daq.schedule_readout(5, q(0), false, 300, 100), 400);
+        assert_eq!(daq.schedule_readout(5, q(1), true, 320, 100), 420);
+        assert_eq!(daq.contended_results(), 0);
+        assert_eq!(daq.contention_delay_ns(), 0);
+    }
+
+    #[test]
+    fn daq_demod_contention_delays_delivery() {
+        let mut daq = Daq::new(1);
+        // Same readout line, second result ready while the single server
+        // still integrates the first: it waits until 400, delivers at 500.
+        assert_eq!(daq.schedule_readout(5, q(0), false, 300, 100), 400);
+        assert_eq!(daq.schedule_readout(5, q(1), true, 320, 100), 500);
+        assert_eq!(daq.contended_results(), 1);
+        assert_eq!(daq.contention_delay_ns(), 80);
+        // A different channel has its own servers: no contention.
+        assert_eq!(daq.schedule_readout(6, q(2), true, 320, 100), 420);
+        // After the first two finish, the line is free again.
+        assert_eq!(daq.schedule_readout(5, q(0), false, 600, 100), 700);
+        assert_eq!(daq.contended_results(), 1);
+    }
+
+    #[test]
     fn channel_map_is_injective() {
         let map = ChannelMap::linear(10);
         let mut seen = std::collections::HashSet::new();
@@ -358,17 +692,142 @@ mod tests {
     }
 
     #[test]
+    fn linear_channel_count_is_three_per_qubit() {
+        assert_eq!(ChannelMap::linear(10).channel_count(), 30);
+        assert_eq!(ChannelMap::linear(2).channel_count(), 6);
+    }
+
+    #[test]
+    fn multiplexed_channel_count_shares_readout_lines() {
+        // The paper's setup: 10 qubits over 8 readout channels.
+        let map = ChannelMap::multiplexed(10, 8);
+        assert_eq!(map.readout_lines(), 8);
+        assert_eq!(map.channel_count(), 28);
+        // Qubits congruent mod 8 share a line; drive channels stay private.
+        let a = map.channels(q(0));
+        let b = map.channels(q(8));
+        assert_eq!(a.readout, b.readout);
+        assert_ne!(a.microwave, b.microwave);
+        assert_ne!(a.flux, b.flux);
+        assert_ne!(map.channels(q(1)).readout, a.readout);
+        // Clamped: at least one line, at most one per qubit.
+        assert_eq!(ChannelMap::multiplexed(4, 0).readout_lines(), 1);
+        assert_eq!(ChannelMap::multiplexed(4, 9).readout_lines(), 4);
+    }
+
+    #[test]
     fn awg_routes_ops_to_channels() {
         let map = ChannelMap::linear(4);
-        let mut awg = AwgBank::new();
+        let mut awg = AwgBank::new(timings());
         awg.emit(&map, 0, &QuantumOp::Gate1(Gate1::H, q(0)));
         awg.emit(&map, 20, &QuantumOp::Gate2(Gate2::Cz, q(0), q(1)));
         awg.emit(&map, 60, &QuantumOp::Measure(q(1)));
-        assert_eq!(awg.codewords().len(), 4); // 1 + 2 + 1
+        assert_eq!(awg.timeline().len(), 4); // 1 + 2 + 1
         assert_eq!(awg.on_channel(map.channels(q(0)).microwave).count(), 1);
         assert_eq!(awg.on_channel(map.channels(q(0)).flux).count(), 1);
         assert_eq!(awg.on_channel(map.channels(q(1)).flux).count(), 1);
         assert_eq!(awg.on_channel(map.channels(q(1)).readout).count(), 1);
+        assert!(awg.violations().is_empty());
+    }
+
+    #[test]
+    fn awg_records_durations_at_emit_time() {
+        let map = ChannelMap::linear(2);
+        let mut awg = AwgBank::new(timings());
+        awg.emit(&map, 100, &QuantumOp::Measure(q(1)));
+        let e = &awg.timeline()[0];
+        assert_eq!(e.start_ns, 100);
+        assert_eq!(e.end_ns, 400);
+        assert_eq!(awg.channel_busy_until(map.channels(q(1)).readout), 400);
+        assert_eq!(awg.qubit_busy_until(q(1)), 400);
+        assert_eq!(awg.next_event_ns(), Some(400));
+    }
+
+    #[test]
+    fn awg_flags_channel_and_qubit_overlap() {
+        let map = ChannelMap::linear(2);
+        let mut awg = AwgBank::new(timings());
+        awg.emit(&map, 0, &QuantumOp::Gate1(Gate1::X, q(0)));
+        // Same microwave channel retriggered 10 ns in: both the channel
+        // and the qubit are still busy.
+        awg.emit(&map, 10, &QuantumOp::Gate1(Gate1::Y, q(0)));
+        let kinds: Vec<AwgViolationKind> = awg.violations().iter().map(|v| v.kind).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                AwgViolationKind::ChannelOverlap,
+                AwgViolationKind::QubitOverlap
+            ]
+        );
+        assert_eq!(awg.violations()[0].busy_until_ns, 20);
+    }
+
+    #[test]
+    fn awg_qubit_overlap_without_channel_overlap() {
+        // X on q0's microwave line, then CNOT on q0's *flux* line while
+        // the qubit is still busy: the flux channel itself is free, so
+        // only the qubit-occupancy check fires — exactly what the QPU
+        // shadow model reports.
+        let map = ChannelMap::linear(2);
+        let mut awg = AwgBank::new(timings());
+        awg.emit(&map, 0, &QuantumOp::Gate1(Gate1::X, q(0)));
+        awg.emit(&map, 10, &QuantumOp::Gate2(Gate2::Cnot, q(0), q(1)));
+        let kinds: Vec<AwgViolationKind> = awg.violations().iter().map(|v| v.kind).collect();
+        assert_eq!(kinds, vec![AwgViolationKind::QubitOverlap]);
+        assert_eq!(awg.violations()[0].qubit, q(0));
+    }
+
+    #[test]
+    fn awg_multiplexed_readout_contention_is_channel_overlap() {
+        // Two different qubits sharing one readout line, measured 100 ns
+        // apart: no qubit overlaps, but the shared line is still playing
+        // the first readout tone — a conflict only the device can see.
+        let map = ChannelMap::multiplexed(4, 1);
+        let mut awg = AwgBank::new(timings());
+        awg.emit(&map, 0, &QuantumOp::Measure(q(0)));
+        awg.emit(&map, 100, &QuantumOp::Measure(q(1)));
+        let kinds: Vec<AwgViolationKind> = awg.violations().iter().map(|v| v.kind).collect();
+        assert_eq!(kinds, vec![AwgViolationKind::ChannelOverlap]);
+        assert_eq!(awg.violations()[0].qubit, q(1));
+        assert_eq!(awg.violations()[0].busy_until_ns, 300);
+    }
+
+    #[test]
+    fn awg_overlap_does_not_push_back_channel_occupancy() {
+        // A conflicting trigger still plays on schedule, so the line is
+        // busy until the latest recorded end (400 ns), not a pushed-back
+        // 600 ns: the violation list, the playback timeline, and
+        // `next_event_ns` must agree on when the line frees up.
+        let map = ChannelMap::multiplexed(4, 1);
+        let mut awg = AwgBank::new(timings());
+        awg.emit(&map, 0, &QuantumOp::Measure(q(0)));
+        awg.emit(&map, 100, &QuantumOp::Measure(q(1))); // overlap: plays 100..400
+        assert_eq!(awg.violations().len(), 1);
+        let line = map.channels(q(0)).readout;
+        assert_eq!(awg.channel_busy_until(line), 400);
+        assert_eq!(awg.timeline()[1].end_ns, 400);
+        // A third readout after the recorded end is clean.
+        awg.emit(&map, 450, &QuantumOp::Measure(q(2)));
+        assert_eq!(awg.violations().len(), 1);
+    }
+
+    #[test]
+    fn awg_tick_retires_finished_playbacks() {
+        let map = ChannelMap::linear(2);
+        let mut awg = AwgBank::new(timings());
+        awg.emit(&map, 0, &QuantumOp::Gate1(Gate1::X, q(0))); // ends 20
+        awg.emit(&map, 0, &QuantumOp::Measure(q(1))); // ends 300
+        assert_eq!(awg.playing(), 2);
+        assert_eq!(awg.max_concurrent(), 2);
+        assert_eq!(awg.next_event_ns(), Some(20));
+        assert_eq!(awg.tick(19), 0);
+        assert_eq!(awg.tick(20), 1);
+        assert_eq!(awg.playing(), 1);
+        assert_eq!(awg.next_event_ns(), Some(300));
+        assert_eq!(awg.tick(1000), 1);
+        assert_eq!(awg.playing(), 0);
+        assert_eq!(awg.retired(), 2);
+        assert_eq!(awg.next_event_ns(), None);
     }
 
     #[test]

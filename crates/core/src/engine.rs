@@ -120,6 +120,10 @@ pub struct ShotSummary {
     pub late_cycles: u64,
     /// Timing violations flagged by the QPU occupancy model.
     pub violations: u64,
+    /// Occupancy conflicts detected at the AWG bank.
+    pub awg_violations: u64,
+    /// Results delayed by DAQ demod contention.
+    pub daq_contended: u64,
     /// Per-qubit outcome digest, indexed by qubit.
     per_qubit: Vec<QubitShotDigest>,
 }
@@ -252,6 +256,10 @@ pub struct BatchAggregate {
     pub late_issues_total: u64,
     /// QPU timing violations across all shots.
     pub violations_total: u64,
+    /// AWG-detected device violations across all shots.
+    pub awg_violations_total: u64,
+    /// DAQ demod-contended results across all shots.
+    pub daq_contended_total: u64,
     /// Simulated nanoseconds across all shots.
     pub simulated_ns_total: u64,
 }
@@ -268,6 +276,8 @@ impl BatchAggregate {
         let mut issued_total = 0u64;
         let mut late_issues_total = 0u64;
         let mut violations_total = 0u64;
+        let mut awg_violations_total = 0u64;
+        let mut daq_contended_total = 0u64;
         let mut simulated_ns_total = 0u64;
         for s in summaries {
             for (q, d) in s.per_qubit.iter().enumerate() {
@@ -290,6 +300,8 @@ impl BatchAggregate {
             issued_total += s.issued;
             late_issues_total += s.late_issues;
             violations_total += s.violations;
+            awg_violations_total += s.awg_violations;
+            daq_contended_total += s.daq_contended;
             simulated_ns_total += s.execution_time_ns;
         }
         BatchAggregate {
@@ -307,6 +319,8 @@ impl BatchAggregate {
             issued_total,
             late_issues_total,
             violations_total,
+            awg_violations_total,
+            daq_contended_total,
             simulated_ns_total,
         }
     }
@@ -455,6 +469,8 @@ impl ShotEngine {
             late_issues: report.stats.late_issues,
             late_cycles: report.stats.late_cycles,
             violations: report.violations.len() as u64,
+            awg_violations: report.awg_violations.len() as u64,
+            daq_contended: report.stats.daq_contended_results,
             per_qubit: digest_measurements(self.job.num_qubits(), &report.measurements),
         }
     }

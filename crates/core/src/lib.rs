@@ -60,7 +60,8 @@ pub use backend::{QpuBackend, StateVectorQpu};
 pub use config::QuapeConfig;
 pub use decoherence::{decoherence_cost, CoherenceParams, DecoherenceCost};
 pub use devices::{
-    AwgBank, ChannelMap, Codeword, Daq, MeasurementFile, MrrEntry, PendingResult, QubitChannels,
+    AwgBank, AwgViolation, AwgViolationKind, ChannelMap, Daq, MeasurementFile, MrrEntry,
+    PendingResult, PlaybackEvent, QubitChannels,
 };
 pub use engine::{
     shot_seed, BatchAggregate, BatchReport, DistributionSummary, QpuFactory, QubitHistogram,

@@ -159,7 +159,10 @@ impl CompiledJob {
             )))
             }
         };
-        let chan = ChannelMap::linear(num_qubits);
+        let chan = match cfg.readout_lines {
+            None => ChannelMap::linear(num_qubits),
+            Some(lines) => ChannelMap::multiplexed(num_qubits, lines),
+        };
         let code: Arc<[BlockCode]> = program
             .blocks()
             .iter()
@@ -220,8 +223,8 @@ impl CompiledJob {
             processors,
             scheduler,
             mrr: MeasurementFile::new(),
-            daq: Daq::new(),
-            awg: AwgBank::new(),
+            daq: Daq::new(cfg.daq_demod_slots),
+            awg: AwgBank::new(cfg.timings),
             qpu,
             rng: SmallRng::seed_from_u64(rng_seed),
             shared_regs: [0; SHARED_REG_COUNT],
@@ -295,6 +298,12 @@ impl Shot {
         let in_flight = self.daq.in_flight();
         self.daq.tick(now * cfg.clock_ns, &mut self.mrr);
         let mut progress = in_flight != self.daq.in_flight();
+        // AWG playback: retire waveforms that finished by this cycle.
+        // Retirement is *not* observable progress — it has no
+        // report-visible effect and no stop condition reads the playback
+        // queue — so a tick that only retires keeps the loop in its
+        // skip-eligible state instead of forcing a fully-checked cycle.
+        self.awg.tick(now * cfg.clock_ns);
         // Every observable scheduler action records a block event.
         let events = self.scheduler.events.len();
         self.scheduler.tick(
@@ -434,6 +443,14 @@ impl Shot {
             }
             merge(&mut horizon, ns.div_ceil(cfg.clock_ns));
         }
+        // AWG: a playback ending now must be retired by a stepped tick; a
+        // future end bounds the skip so occupancy retires on schedule.
+        if let Some(ns) = self.awg.next_event_ns() {
+            if ns <= now * cfg.clock_ns {
+                return false;
+            }
+            merge(&mut horizon, ns.div_ceil(cfg.clock_ns));
+        }
         // Every processor must be provably stalled. A processor finishing
         // a block or the priority counter moving would have registered as
         // progress last tick, so neither needs re-checking here.
@@ -536,22 +553,41 @@ impl Shot {
         &self.measurements
     }
 
+    /// The AWG bank's device state (diagnostic; tests cross-check its
+    /// occupancy view against the QPU shadow model).
+    pub fn awg(&self) -> &AwgBank {
+        &self.awg
+    }
+
+    /// The QPU occupancy model's view of when `qubit` becomes free
+    /// (diagnostic twin of [`AwgBank::qubit_busy_until`]).
+    pub fn qpu_busy_until(&self, qubit: quape_isa::Qubit) -> u64 {
+        self.qpu.busy_until(qubit)
+    }
+
     fn into_report(mut self, stop: StopReason) -> RunReport {
         for (i, p) in self.processors.iter().enumerate() {
             self.stats.processors[i] = p.stats;
         }
         self.stats.late_issues = self.late_issues;
         self.stats.late_cycles = self.late_cycles;
-        // End-of-shot handover: the QPU and scheduler give up their
+        self.stats.awg_max_concurrent = self.awg.max_concurrent() as u64;
+        self.stats.daq_contended_results = self.daq.contended_results();
+        self.stats.daq_contention_delay_ns = self.daq.contention_delay_ns();
+        // End-of-shot handover: the QPU, AWG and scheduler give up their
         // accumulated vectors by value instead of being copied.
         let qpu_makespan_ns = self.qpu.makespan_ns();
         let (issued, violations) = self.qpu.take_results();
+        let (playback, awg_violations) = self.awg.take_results();
+        self.stats.awg_triggers = playback.len() as u64;
         RunReport {
             cycles: self.cycle,
             ns: self.cycle * self.job.cfg.clock_ns,
             stop,
             issued,
             violations,
+            playback,
+            awg_violations,
             stats: self.stats,
             step_dispatches: self.step_dispatches,
             wait_cycles: self.wait_cycles,
@@ -670,6 +706,39 @@ mod tests {
         let job = CompiledJob::compile(cfg, two_qubit_program()).expect("compiles");
         assert_eq!(job.num_qubits(), 10);
         assert_eq!(job.channel_map().channel_count(), 30);
+    }
+
+    #[test]
+    fn readout_lines_config_builds_multiplexed_map() {
+        let cfg = QuapeConfig::superscalar(4)
+            .with_num_qubits(10)
+            .with_readout_lines(8);
+        let job = CompiledJob::compile(cfg, two_qubit_program()).expect("compiles");
+        assert_eq!(job.channel_map().readout_lines(), 8);
+        assert_eq!(job.channel_map().channel_count(), 28);
+    }
+
+    #[test]
+    fn awg_occupancy_tracks_qpu_shadow_model() {
+        // Step a shot manually: at every cycle the AWG bank's device-side
+        // qubit occupancy must match the QPU shadow model exactly.
+        let cfg = QuapeConfig::superscalar(4).with_seed(3);
+        let job = CompiledJob::compile(cfg.clone(), two_qubit_program()).expect("compiles");
+        let mut shot = job.shot(coin(&cfg, 5), cfg.seed);
+        for _ in 0..2_000 {
+            shot.step();
+            for q in 0..job.num_qubits() {
+                let q = quape_isa::Qubit::new(q);
+                assert_eq!(
+                    shot.awg().qubit_busy_until(q),
+                    shot.qpu_busy_until(q),
+                    "device and QPU occupancy diverged on {q} at cycle {}",
+                    shot.cycle()
+                );
+            }
+        }
+        assert!(shot.awg().playing() == 0, "all playbacks retired at rest");
+        assert_eq!(shot.awg().retired(), shot.awg().timeline().len());
     }
 
     #[test]

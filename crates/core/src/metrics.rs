@@ -154,6 +154,8 @@ mod tests {
             stop: StopReason::Completed,
             issued: Vec::new(),
             violations: Vec::new(),
+            playback: Vec::new(),
+            awg_violations: Vec::new(),
             stats: MachineStats::default(),
             step_dispatches: dispatches
                 .into_iter()

@@ -20,7 +20,7 @@
 //!   store; when the measurement result lands, a 3-cycle context switch
 //!   issues the selected conditional operation.
 
-use crate::devices::{AwgBank, ChannelMap, Daq, MeasurementFile, PendingResult};
+use crate::devices::{AwgBank, ChannelMap, Daq, MeasurementFile};
 use crate::icache::PrivateICache;
 use crate::report::{ProcessorStats, StepDispatch};
 use crate::{backend::QpuBackend, config::QuapeConfig};
@@ -62,13 +62,13 @@ impl Env<'_> {
             } else {
                 self.rng.gen_range(0..=self.cfg.daq_jitter_ns)
             };
-            let deliver_at_ns =
-                t_ns + self.cfg.timings.readout_pulse_ns + self.cfg.daq_base_ns + jitter;
-            self.daq.schedule(PendingResult {
-                qubit: q,
-                value,
-                deliver_at_ns,
-            });
+            // The readout pulse ends at `ready_ns`; the result then runs
+            // through the demod pipeline of the qubit's readout channel
+            // (bounded concurrency — contention delays the delivery).
+            let ready_ns = t_ns + self.cfg.timings.readout_pulse_ns;
+            let demod_ns = self.cfg.daq_base_ns + jitter;
+            self.daq
+                .schedule_readout(self.chan.channels(q).readout, q, value, ready_ns, demod_ns);
             self.measurements.push(crate::machine::MeasurementRecord {
                 time_ns: t_ns,
                 qubit: q,

@@ -1,6 +1,7 @@
 //! Run reports: everything a benchmark needs to compute the paper's
 //! metrics after a machine run.
 
+use crate::devices::{AwgViolation, AwgViolationKind, PlaybackEvent};
 use quape_isa::{BlockId, BlockStatus, StepId};
 use quape_qpu::{IssuedOp, TimingViolation};
 use serde::{Deserialize, Serialize};
@@ -66,6 +67,15 @@ pub struct MachineStats {
     pub late_cycles: u64,
     /// Cycles the scheduler spent busy on allocation/prefetch work.
     pub scheduler_busy_cycles: u64,
+    /// Waveform playbacks the AWG bank recorded.
+    pub awg_triggers: u64,
+    /// Highest number of simultaneously playing waveforms (the per-channel
+    /// occupancy pressure a hierarchical controller would shard on).
+    pub awg_max_concurrent: u64,
+    /// Measurement results whose demodulation waited for a DAQ server.
+    pub daq_contended_results: u64,
+    /// Total delivery delay caused by DAQ demod contention, in ns.
+    pub daq_contention_delay_ns: u64,
     /// Completed block-to-block switches that hit a prefetched bank.
     pub prefetch_hits: u64,
     /// Block starts that had to fill a cache bank on demand.
@@ -138,6 +148,13 @@ pub struct RunReport {
     pub issued: Vec<IssuedOp>,
     /// Timing violations detected by the QPU occupancy model.
     pub violations: Vec<TimingViolation>,
+    /// The AWG bank's recorded playback timeline: every waveform trigger
+    /// with the extent it occupied its channel (what
+    /// [`crate::render_timeline`] streams from).
+    pub playback: Vec<PlaybackEvent>,
+    /// Occupancy conflicts detected at the AWG bank (channel overlaps on
+    /// shared lines, plus the device-side twin of the QPU qubit model).
+    pub awg_violations: Vec<AwgViolation>,
     /// Counters.
     pub stats: MachineStats,
     /// Quantum-instruction dispatch records for CES/TR metering.
@@ -169,5 +186,18 @@ impl RunReport {
     /// overlapping operations.
     pub fn timing_clean(&self) -> bool {
         self.stats.late_issues == 0 && self.violations.is_empty()
+    }
+
+    /// True if the analog devices saw no conflicts either: no AWG
+    /// channel/qubit overlap and no DAQ demod contention. Stricter than
+    /// [`RunReport::timing_clean`] on multiplexed-readout setups, where
+    /// line contention is invisible to the per-qubit QPU model.
+    pub fn device_clean(&self) -> bool {
+        self.awg_violations.is_empty() && self.stats.daq_contended_results == 0
+    }
+
+    /// The AWG violations of one [`AwgViolationKind`].
+    pub fn awg_violations_of(&self, kind: AwgViolationKind) -> impl Iterator<Item = &AwgViolation> {
+        self.awg_violations.iter().filter(move |v| v.kind == kind)
     }
 }

@@ -1,12 +1,14 @@
-//! ASCII timeline rendering of a run's issued operations.
+//! ASCII timeline rendering of a run's AWG playback timeline.
 //!
 //! Produces the per-qubit Gantt view used by the examples to show what
 //! the control stack actually delivered to the QPU — the visual
 //! equivalent of Fig. 3's parallel/serial execution diagrams.
 //!
-//! Pulse extents are re-derived here from `OpTimings` after the run; see
-//! ROADMAP "Open items" for the follow-on that models AWG playback as
-//! first-class event-timeline state the renderer can stream from.
+//! Pulse extents **stream from the recorded playback timeline**
+//! ([`RunReport::playback`]): the AWG bank resolved each waveform's
+//! duration at emit time, so the renderer never re-derives timing. For
+//! hand-built reports without playback data it falls back to deriving
+//! extents from the issued operations and [`TimelineOptions::timings`].
 
 use crate::report::RunReport;
 use quape_isa::{OpTimings, QuantumOp};
@@ -20,7 +22,8 @@ pub struct TimelineOptions {
     pub ns_per_column: u64,
     /// Maximum number of columns (the timeline truncates after this).
     pub max_columns: usize,
-    /// Operation durations used to draw extents.
+    /// Operation durations for the no-playback fallback path (reports
+    /// produced by a machine run carry recorded extents instead).
     pub timings: OpTimings,
 }
 
@@ -46,11 +49,20 @@ fn glyph(op: &QuantumOp) -> char {
     }
 }
 
-/// Renders the issued operations of `report` as one text row per qubit.
+/// One pulse to paint: a qubit row plus the extent in absolute time.
+struct Paint {
+    qubit: u16,
+    start_ns: u64,
+    end_ns: u64,
+    glyph: char,
+}
+
+/// Renders the playback timeline of `report` as one text row per qubit.
 ///
-/// Each operation paints its first column with the gate's initial and the
-/// rest of its duration with `=`; idle time is `.`. A trailing `>` marks
-/// truncation at `max_columns`.
+/// Each pulse paints its first column with the gate's initial and the
+/// rest of its extent with `=` (every column the pulse touches, rounding
+/// the end up); idle time is `.`. A trailing `>` marks each row that
+/// overflowed `max_columns`.
 ///
 /// ```
 /// use quape_core::{render_timeline, Machine, QuapeConfig, TimelineOptions};
@@ -67,43 +79,74 @@ fn glyph(op: &QuantumOp) -> char {
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
 pub fn render_timeline(report: &RunReport, opts: &TimelineOptions) -> String {
-    if report.issued.is_empty() {
+    let paints: Vec<Paint> = if report.playback.is_empty() {
+        // Fallback for reports without device recordings.
+        report
+            .issued
+            .iter()
+            .flat_map(|issued| {
+                let duration = opts.timings.duration_of(&issued.op);
+                let g = glyph(&issued.op);
+                let start_ns = issued.time_ns;
+                issued.op.qubits().map(move |q| Paint {
+                    qubit: q.index(),
+                    start_ns,
+                    end_ns: start_ns + duration,
+                    glyph: g,
+                })
+            })
+            .collect()
+    } else {
+        report
+            .playback
+            .iter()
+            .map(|e| Paint {
+                qubit: e.qubit.index(),
+                start_ns: e.start_ns,
+                end_ns: e.end_ns,
+                glyph: glyph(&e.op),
+            })
+            .collect()
+    };
+    if paints.is_empty() {
         return String::from("(no operations issued)\n");
     }
-    let t0 = report.issued.iter().map(|o| o.time_ns).min().unwrap_or(0);
-    let mut rows: BTreeMap<u16, Vec<char>> = BTreeMap::new();
-    let mut truncated = false;
-    for issued in &report.issued {
-        let start_col = ((issued.time_ns - t0) / opts.ns_per_column) as usize;
-        let width = (opts.timings.duration_of(&issued.op) / opts.ns_per_column).max(1) as usize;
-        for qubit in issued.op.qubits() {
-            let row = rows.entry(qubit.index()).or_default();
-            if start_col >= opts.max_columns {
-                truncated = true;
-                continue;
-            }
-            let end_col = (start_col + width).min(opts.max_columns);
-            if start_col + width > opts.max_columns {
-                truncated = true;
-            }
-            if row.len() < end_col {
-                row.resize(end_col, '.');
-            }
-            row[start_col] = glyph(&issued.op);
-            for slot in row.iter_mut().take(end_col).skip(start_col + 1) {
-                *slot = '=';
-            }
+    let t0 = paints.iter().map(|p| p.start_ns).min().unwrap_or(0);
+    // Row content plus a per-row truncation flag: only rows that actually
+    // overflow `max_columns` carry the `>` marker.
+    let mut rows: BTreeMap<u16, (Vec<char>, bool)> = BTreeMap::new();
+    for p in &paints {
+        let start_col = ((p.start_ns - t0) / opts.ns_per_column) as usize;
+        // Paint every column the pulse touches: floor the start, round the
+        // end up (a 25 ns pulse at 10 ns/col spans 3 columns, not 2).
+        let end_col = ((p.end_ns - t0).div_ceil(opts.ns_per_column) as usize).max(start_col + 1);
+        let (row, truncated) = rows.entry(p.qubit).or_default();
+        if start_col >= opts.max_columns {
+            *truncated = true;
+            continue;
+        }
+        if end_col > opts.max_columns {
+            *truncated = true;
+        }
+        let end_col = end_col.min(opts.max_columns);
+        if row.len() < end_col {
+            row.resize(end_col, '.');
+        }
+        row[start_col] = p.glyph;
+        for slot in row.iter_mut().take(end_col).skip(start_col + 1) {
+            *slot = '=';
         }
     }
-    let width = rows.values().map(Vec::len).max().unwrap_or(0);
+    let any_truncated = rows.values().any(|(_, t)| *t);
+    let width = rows.values().map(|(row, _)| row.len()).max().unwrap_or(0);
     let mut out = String::new();
     let _ = writeln!(
         out,
         "t = {t0} ns, one column = {} ns{}",
         opts.ns_per_column,
-        if truncated { " (truncated)" } else { "" }
+        if any_truncated { " (truncated)" } else { "" }
     );
-    for (qubit, mut row) in rows {
+    for (qubit, (mut row, truncated)) in rows {
         row.resize(width, '.');
         let line: String = row.into_iter().collect();
         let _ = writeln!(
@@ -147,11 +190,24 @@ mod tests {
     #[test]
     fn durations_paint_extents() {
         let report = run("0 MEAS q0\nSTOP\n");
+        assert!(!report.playback.is_empty(), "machine runs record playback");
         let art = render_timeline(&report, &TimelineOptions::default());
         // 300 ns readout at 10 ns/col = 30 columns: M followed by 29 '='.
         let row = art.lines().nth(1).expect("one qubit row");
         let eq_count = row.matches('=').count();
         assert_eq!(eq_count, 29, "{row}");
+    }
+
+    #[test]
+    fn pulse_width_rounds_up_to_touched_columns() {
+        // A 25 ns pulse at 10 ns/col touches 3 columns (glyph + 2 '='),
+        // not the 2 that truncating division would paint.
+        let mut report = run("0 X q0\nSTOP\n");
+        report.playback[0].end_ns = report.playback[0].start_ns + 25;
+        let art = render_timeline(&report, &TimelineOptions::default());
+        let row = art.lines().nth(1).expect("one qubit row");
+        assert_eq!(row.matches('=').count(), 2, "{row}");
+        assert!(row.contains("X=="), "{row}");
     }
 
     #[test]
@@ -171,6 +227,43 @@ mod tests {
         );
         assert!(art.contains("(truncated)"));
         assert!(art.lines().nth(1).expect("row").ends_with('>'));
+    }
+
+    #[test]
+    fn truncation_marks_only_overflowing_rows() {
+        // q0 runs a long pulse train past max_columns; q1 plays one short
+        // gate. Only q0's row may carry the `>` marker.
+        let mut src = String::from("0 H q1\n");
+        for _ in 0..50 {
+            src.push_str("2 X q0\n");
+        }
+        src.push_str("STOP\n");
+        let report = run(&src);
+        let art = render_timeline(
+            &report,
+            &TimelineOptions {
+                max_columns: 20,
+                ..TimelineOptions::default()
+            },
+        );
+        assert!(art.contains("(truncated)"));
+        let lines: Vec<&str> = art.lines().collect();
+        let q0 = lines.iter().find(|l| l.starts_with("q0")).expect("q0 row");
+        let q1 = lines.iter().find(|l| l.starts_with("q1")).expect("q1 row");
+        assert!(q0.ends_with('>'), "{q0}");
+        assert!(!q1.ends_with('>'), "{q1}");
+    }
+
+    #[test]
+    fn renders_from_recorded_playback_not_rederived_timings() {
+        // Corrupting the options' timings must not change the art: the
+        // extents come from the device recording.
+        let report = run("0 MEAS q0\nSTOP\n");
+        let mut opts = TimelineOptions::default();
+        opts.timings.readout_pulse_ns = 10;
+        let art = render_timeline(&report, &opts);
+        let row = art.lines().nth(1).expect("one qubit row");
+        assert_eq!(row.matches('=').count(), 29, "{row}");
     }
 
     #[test]

@@ -89,8 +89,10 @@ proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
 
     /// Event-driven and cycle-stepped runs agree bit-for-bit on random
-    /// feedback-heavy programs across scalar, superscalar, and
-    /// context-switch-disabled configurations.
+    /// feedback-heavy programs across scalar, superscalar,
+    /// context-switch-disabled, and multiplexed-readout/contended-DAQ
+    /// configurations — including the AWG playback timeline, the
+    /// device-detected violations, and the DAQ contention counters.
     #[test]
     fn step_modes_agree_on_random_programs(ops in arb_prog(6), seed in 0u64..64) {
         let program = build(&ops);
@@ -98,15 +100,32 @@ proptest! {
         no_fcs.fast_context_switch = false;
         let mut tiny_ctx = QuapeConfig::superscalar(8);
         tiny_ctx.context_capacity = 1;
+        // Shared readout lines + a single demod server per line: AWG
+        // channel overlaps and DAQ demod contention both fire routinely
+        // on random measurement bursts.
+        let mux = QuapeConfig::superscalar(8)
+            .with_readout_lines(2)
+            .with_demod_slots(1);
         for cfg in [
             QuapeConfig::scalar_baseline(),
             QuapeConfig::superscalar(8),
             no_fcs,
             tiny_ctx,
+            mux,
         ] {
             let cycle = run(cfg.clone(), program.clone(), StepMode::Cycle, seed);
             let event = run(cfg, program.clone(), StepMode::EventDriven, seed);
             prop_assert_eq!(&cycle, &event);
+            // The report equality above already covers these, but keep the
+            // device fields explicit: they are what the AWG/DAQ event
+            // horizons must not disturb.
+            prop_assert_eq!(&cycle.playback, &event.playback);
+            prop_assert_eq!(&cycle.awg_violations, &event.awg_violations);
+            prop_assert_eq!(cycle.stats.awg_triggers, event.stats.awg_triggers);
+            prop_assert_eq!(
+                cycle.stats.daq_contended_results,
+                event.stats.daq_contended_results
+            );
         }
     }
 }

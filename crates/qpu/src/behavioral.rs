@@ -6,7 +6,10 @@
 //! measurement results for testing"). On top of that we track per-qubit
 //! occupancy so that any operation issued while its qubit is still busy is
 //! recorded as a timing violation — the physical failure mode the TR ≤ 1
-//! requirement guards against.
+//! requirement guards against. The AWG bank in `quape-core` keeps a
+//! device-side shadow of the same occupancy model (same update rule, same
+//! durations); the step-mode differential suites assert the two views
+//! report identical violations.
 
 use quape_isa::{OpTimings, QuantumOp, Qubit};
 use rand::rngs::SmallRng;

@@ -22,6 +22,8 @@
 //!   (computed classical control flow);
 //! * [`multiprogramming`] — the §3.1.2 CLP scenario: independent tasks
 //!   combined into one multiprogrammed workload;
+//! * [`pulse`] — dense pulse trains that keep the AWG bank and the DAQ
+//!   demod servers saturated (device-model stress workloads);
 //! * [`qec`] — the 3-qubit repetition code with real-time syndrome
 //!   decoding and feedback correction (the §2.3 motivation: correction
 //!   within 1% of the coherence time).
@@ -33,6 +35,7 @@ pub mod benchmarks;
 pub mod dynamic;
 pub mod feedback;
 pub mod multiprogramming;
+pub mod pulse;
 pub mod qec;
 pub mod rb;
 pub mod shor_syndrome;

@@ -53,9 +53,9 @@ pub mod prelude {
     pub use quape_circuit::{Circuit, CircuitOp, ScheduledCircuit};
     pub use quape_compiler::{partition_two_blocks, Compiler};
     pub use quape_core::{
-        ces_report_paper, BatchAggregate, BatchReport, CompiledJob, Machine, QpuFactory,
-        QuapeConfig, RunReport, Shot, ShotEngine, StateVectorQpu, StateVectorQpuFactory, StepMode,
-        StopReason,
+        ces_report_paper, AwgViolation, AwgViolationKind, BatchAggregate, BatchReport, CompiledJob,
+        Machine, PlaybackEvent, QpuFactory, QuapeConfig, RunReport, Shot, ShotEngine,
+        StateVectorQpu, StateVectorQpuFactory, StepMode, StopReason,
     };
     pub use quape_isa::{
         assemble, ClassicalOp, Cond, CondOp, Cycles, Gate1, Gate2, Instruction, Program,

@@ -12,7 +12,10 @@ use quape::workloads::feedback::{conditional_x, conditional_x_mrce, parallel_rus
 use quape::workloads::multiprogramming::combine;
 use quape::workloads::qec::{repetition_code_program, QecConfig};
 
-/// Runs `program` under both step modes and asserts report equality.
+/// Runs `program` under both step modes and asserts report equality,
+/// including the AWG playback timeline and device-violation records, then
+/// cross-checks the AWG's qubit-occupancy view against the QPU shadow
+/// model (the device must rediscover exactly the violations the QPU sees).
 fn assert_modes_agree(cfg: &QuapeConfig, program: &Program, model: MeasurementModel, limit: u64) {
     let run = |mode: StepMode| {
         let qpu = BehavioralQpu::new(cfg.timings, model.clone(), cfg.seed);
@@ -27,6 +30,31 @@ fn assert_modes_agree(cfg: &QuapeConfig, program: &Program, model: MeasurementMo
         "step modes diverged (cfg seed {}, {} cycle-stepped cycles)",
         cfg.seed, cycle.cycles
     );
+    // AWG playback state and violation counts, explicitly (also covered
+    // by the report equality above, but these are the device fields the
+    // event horizon folding must not disturb).
+    assert_eq!(cycle.playback, event.playback);
+    assert_eq!(cycle.awg_violations, event.awg_violations);
+    assert_eq!(cycle.stats.awg_triggers, event.stats.awg_triggers);
+    assert_eq!(
+        cycle.stats.daq_contended_results,
+        event.stats.daq_contended_results
+    );
+    // Device vs QPU shadow occupancy: the AWG's qubit-overlap detections
+    // must agree 1:1 with the QPU occupancy model's violations.
+    let qubit_overlaps: Vec<_> = event
+        .awg_violations_of(AwgViolationKind::QubitOverlap)
+        .collect();
+    assert_eq!(qubit_overlaps.len(), event.violations.len());
+    for (awg, qpu) in qubit_overlaps.iter().zip(&event.violations) {
+        assert_eq!(awg.time_ns, qpu.op.time_ns);
+        assert_eq!(awg.qubit, qpu.qubit);
+        assert_eq!(awg.busy_until_ns, qpu.busy_until_ns);
+    }
+    // Every issued operation is on the playback timeline (two-qubit gates
+    // trigger one waveform per flux channel).
+    let expected_triggers: usize = event.issued.iter().map(|o| o.op.qubits().count()).sum();
+    assert_eq!(event.playback.len(), expected_triggers);
 }
 
 fn seeds() -> impl Iterator<Item = u64> {
@@ -162,6 +190,59 @@ fn ideal_scheduler_modes_agree() {
             1_000_000,
         );
     }
+}
+
+#[test]
+fn multiplexed_readout_daq_contention_modes_agree() {
+    // Multiplexed readout (all qubits on one shared line) with a single
+    // demod server: simultaneous syndrome measurements contend for both
+    // the line (AWG channel overlaps) and the demod pipeline (delayed
+    // deliveries). The event-driven loop must reproduce the contended
+    // timeline bit-for-bit.
+    for seed in seeds().take(6) {
+        let program = repetition_code_program(QecConfig {
+            rounds: 2,
+            ..QecConfig::default()
+        })
+        .expect("valid workload");
+        let cfg = QuapeConfig::superscalar(4)
+            .with_seed(seed)
+            .with_readout_lines(1)
+            .with_demod_slots(1);
+        assert_modes_agree(
+            &cfg,
+            &program,
+            MeasurementModel::Bernoulli { p_one: 0.4 },
+            2_000_000,
+        );
+    }
+    // The contention is real: rerun one seed and inspect the report.
+    let cfg = QuapeConfig::superscalar(4)
+        .with_seed(0)
+        .with_readout_lines(1)
+        .with_demod_slots(1);
+    let program = repetition_code_program(QecConfig {
+        rounds: 2,
+        ..QecConfig::default()
+    })
+    .expect("valid workload");
+    let qpu = BehavioralQpu::new(cfg.timings, MeasurementModel::AlwaysZero, 0);
+    let report = Machine::new(cfg, program, Box::new(qpu))
+        .expect("machine builds")
+        .run();
+    assert!(
+        report.stats.daq_contended_results > 0,
+        "shared line with one demod server must contend"
+    );
+    assert!(report.stats.daq_contention_delay_ns > 0);
+    assert!(
+        report
+            .awg_violations_of(AwgViolationKind::ChannelOverlap)
+            .count()
+            > 0,
+        "simultaneous readouts on one line must overlap at the AWG"
+    );
+    assert!(!report.device_clean());
 }
 
 #[test]
