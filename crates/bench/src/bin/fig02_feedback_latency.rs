@@ -1,53 +1,131 @@
 //! Regenerates the Fig. 2 feedback-control latency breakdown (§7 measures
 //! the total at ≈ 450 ns on the prototype).
 //!
-//! Usage: `fig02_feedback_latency [--json] [--compare-step-modes]`.
+//! Usage: `fig02_feedback_latency [--json] [--json-out <path>]
+//! [--compare-step-modes] [--repeats <k>] [--min-speedup <x>]`.
 //!
 //! `--compare-step-modes` instead benchmarks the execution core: it runs
 //! the DAQ-wait-bound feedback workloads under both `StepMode::Cycle` and
 //! `StepMode::EventDriven`, asserts their aggregates agree, and prints
-//! wall time and shots/sec per mode (the numbers committed as
-//! `BENCH_engine.json`).
+//! wall time and shots/sec per mode. `--json-out BENCH_engine.json` is
+//! the one-command refresh of the committed baseline, and
+//! `--min-speedup 1.0` turns the run into a CI gate that fails when any
+//! event-vs-cycle speedup drops below the threshold (a correctness-of-
+//! claim check: event-driven must never be slower than the cycle
+//! oracle); pair it with `--repeats 3` so each mode reports its fastest
+//! pass and one noisy scheduling slice on a shared runner cannot flake
+//! the gate.
 
 use quape_bench::fig02;
-use quape_bench::table::{to_json, TextTable};
+use quape_bench::table::{to_json, write_json, TextTable};
 use quape_core::QuapeConfig;
 
+struct Args {
+    json: bool,
+    json_out: Option<String>,
+    compare: bool,
+    repeats: u64,
+    min_speedup: Option<f64>,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        json: false,
+        json_out: None,
+        compare: false,
+        repeats: 1,
+        min_speedup: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--json" => args.json = true,
+            "--json-out" => {
+                args.json_out = Some(it.next().expect("--json-out needs a path"));
+            }
+            "--compare-step-modes" => args.compare = true,
+            "--repeats" => {
+                let v = it.next().expect("--repeats needs a number");
+                args.repeats = v.parse().expect("--repeats needs a number");
+            }
+            "--min-speedup" => {
+                let v = it.next().expect("--min-speedup needs a number");
+                args.min_speedup = Some(v.parse().expect("--min-speedup needs a number"));
+            }
+            other => {
+                eprintln!("unknown flag `{other}`");
+                std::process::exit(2);
+            }
+        }
+    }
+    args
+}
+
 fn main() {
-    let json = std::env::args().any(|a| a == "--json");
+    let args = parse_args();
     let cfg = QuapeConfig::uniprocessor();
-    if std::env::args().any(|a| a == "--compare-step-modes") {
-        let results = fig02::compare_step_modes(&cfg, 1);
-        if json {
+    if args.compare {
+        let results = fig02::compare_step_modes_best_of(&cfg, 1, args.repeats);
+        if let Some(path) = &args.json_out {
+            write_json(path, &results);
+        }
+        if args.json {
             println!("{}", to_json(&results));
-            return;
-        }
-        println!("Execution-core step-mode comparison (single worker thread):");
-        let mut t = TextTable::new([
-            "workload",
-            "rounds",
-            "shots",
-            "p50 cycles",
-            "cycle shots/s",
-            "event shots/s",
-            "speedup",
-        ]);
-        for r in &results {
-            t.row([
-                r.workload.clone(),
-                r.rounds.to_string(),
-                r.shots.to_string(),
-                r.p50_cycles.to_string(),
-                format!("{:.0}", r.cycle_shots_per_sec),
-                format!("{:.0}", r.event_shots_per_sec),
-                format!("{:.2}x", r.speedup),
+        } else {
+            println!("Execution-core step-mode comparison (single worker thread):");
+            let mut t = TextTable::new([
+                "workload",
+                "rounds",
+                "shots",
+                "p50 cycles",
+                "cycle shots/s",
+                "event shots/s",
+                "speedup",
             ]);
+            for r in &results {
+                t.row([
+                    r.workload.clone(),
+                    r.rounds.to_string(),
+                    r.shots.to_string(),
+                    r.p50_cycles.to_string(),
+                    format!("{:.0}", r.cycle_shots_per_sec),
+                    format!("{:.0}", r.event_shots_per_sec),
+                    format!("{:.2}x", r.speedup),
+                ]);
+            }
+            println!("{}", t.render());
         }
-        println!("{}", t.render());
+        if let Some(min) = args.min_speedup {
+            // Each workload's threshold is `--min-speedup` scaled by its
+            // gate_floor (1.0 for the wait-dominated workloads, 0.9 for
+            // the by-design near-parity pulse train).
+            let failing: Vec<&fig02::StepModeComparison> = results
+                .iter()
+                .filter(|r| r.speedup < min * r.gate_floor)
+                .collect();
+            if !failing.is_empty() {
+                for r in &failing {
+                    eprintln!(
+                        "FAIL: {} event-vs-cycle speedup {:.3} < required {:.3}",
+                        r.workload,
+                        r.speedup,
+                        min * r.gate_floor
+                    );
+                }
+                std::process::exit(1);
+            }
+            eprintln!(
+                "all {} workloads at speedup >= {min:.2} x their gate floor",
+                results.len()
+            );
+        }
         return;
     }
     let b = fig02::run(&cfg);
-    if json {
+    if let Some(path) = &args.json_out {
+        write_json(path, &b);
+    }
+    if args.json {
         println!("{}", to_json(&b));
         return;
     }

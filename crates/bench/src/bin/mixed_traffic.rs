@@ -1,0 +1,114 @@
+//! Mixed-traffic serving benchmark: `JobServer` (cache-cold and
+//! cache-warm) versus a naive per-request compile+run client on one
+//! deterministic heterogeneous request stream.
+//!
+//! Usage: `mixed_traffic [--requests N] [--seed S] [--threads T]
+//! [--repeats K] [--json] [--json-out <path>] [--min-warm-speedup <x>]`.
+//!
+//! Each scenario reports its fastest of `--repeats` passes (default 3),
+//! shedding host scheduler noise — the simulated work is deterministic,
+//! so the minimum is the honest per-scenario estimate.
+//!
+//! Every request's aggregate is asserted bit-identical across the three
+//! scenarios (the run is a differential test of the serving layer), so
+//! the throughput numbers compare *equal work*. `--json-out
+//! BENCH_traffic.json` refreshes the committed baseline in one command;
+//! `--min-warm-speedup` exits nonzero when the cache-warm server fails
+//! to beat the naive client by the given factor.
+
+use quape_bench::mixed::{run_mixed_traffic, warm_speedup};
+use quape_bench::table::{to_json, write_json, TextTable};
+
+struct Args {
+    requests: usize,
+    seed: u64,
+    threads: usize,
+    repeats: usize,
+    json: bool,
+    json_out: Option<String>,
+    min_warm_speedup: Option<f64>,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        requests: 48,
+        seed: 7,
+        threads: 0,
+        repeats: 3,
+        json: false,
+        json_out: None,
+        min_warm_speedup: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        let mut num = |name: &str| {
+            it.next()
+                .unwrap_or_else(|| panic!("{name} needs a value"))
+                .parse::<f64>()
+                .unwrap_or_else(|_| panic!("{name} needs a number"))
+        };
+        match arg.as_str() {
+            "--requests" => args.requests = num("--requests") as usize,
+            "--seed" => args.seed = num("--seed") as u64,
+            "--threads" => args.threads = num("--threads") as usize,
+            "--repeats" => args.repeats = num("--repeats") as usize,
+            "--min-warm-speedup" => args.min_warm_speedup = Some(num("--min-warm-speedup")),
+            "--json" => args.json = true,
+            "--json-out" => {
+                args.json_out = Some(it.next().expect("--json-out needs a path"));
+            }
+            other => {
+                eprintln!("unknown flag `{other}`");
+                std::process::exit(2);
+            }
+        }
+    }
+    args
+}
+
+fn main() {
+    let args = parse_args();
+    let rows = run_mixed_traffic(args.seed, args.requests, args.threads, args.repeats);
+    if let Some(path) = &args.json_out {
+        write_json(path, &rows);
+    }
+    if args.json {
+        println!("{}", to_json(&rows));
+    } else {
+        println!(
+            "Mixed-traffic serving: {} requests, seed {} (aggregates verified identical):",
+            args.requests, args.seed
+        );
+        let mut t = TextTable::new([
+            "scenario",
+            "jobs/s",
+            "p50 latency",
+            "p95 latency",
+            "hits",
+            "misses",
+            "evict",
+            "compiles",
+        ]);
+        for r in &rows {
+            t.row([
+                r.scenario.clone(),
+                format!("{:.1}", r.jobs_per_sec),
+                format!("{:.1} ms", r.p50_latency_us as f64 / 1000.0),
+                format!("{:.1} ms", r.p95_latency_us as f64 / 1000.0),
+                r.cache_hits.to_string(),
+                r.cache_misses.to_string(),
+                r.cache_evictions.to_string(),
+                r.compiles.to_string(),
+            ]);
+        }
+        println!("{}", t.render());
+    }
+    let speedup = warm_speedup(&rows);
+    eprintln!("cache-warm server over naive client: {speedup:.2}x jobs/sec");
+    if let Some(min) = args.min_warm_speedup {
+        if speedup.is_nan() || speedup < min {
+            eprintln!("FAIL: warm speedup {speedup:.3} < required {min:.3}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -15,6 +15,10 @@
 //! | Fig. 14 (RB / simRB) | [`fig14`] | `fig14_simrb` |
 //! | Table 2 (QuAPE vs QuMA_v2) | [`tables`] | `table2_comparison` |
 //! | §7 fast context switch | [`fcs`] | `fcs_context_switch` |
+//!
+//! Beyond the paper, [`mixed`] / `mixed_traffic` benchmark the
+//! multi-tenant job service (`quape-server`) against a naive
+//! per-request client on a heterogeneous traffic stream.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -26,5 +30,6 @@ pub mod fig11;
 pub mod fig12;
 pub mod fig13;
 pub mod fig14;
+pub mod mixed;
 pub mod table;
 pub mod tables;

@@ -68,6 +68,24 @@ pub fn to_json<T: Serialize>(rows: &T) -> String {
     serde_json::to_string_pretty(rows).expect("experiment rows serialize")
 }
 
+/// Writes experiment rows to `path` as pretty JSON with a trailing
+/// newline — the `--json-out` backend shared by the bench binaries.
+///
+/// Ordering is deterministic: struct fields serialize in declaration
+/// order and row vectors in their given order, so refreshing a committed
+/// baseline (e.g. `BENCH_engine.json`) produces a minimal diff where
+/// only measured values change.
+///
+/// # Panics
+///
+/// Panics if serialization or the write fails (bench binaries treat an
+/// unwritable baseline path as fatal).
+pub fn write_json<T: Serialize>(path: &str, rows: &T) {
+    let mut text = to_json(rows);
+    text.push('\n');
+    std::fs::write(path, text).unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

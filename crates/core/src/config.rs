@@ -159,6 +159,46 @@ impl QuapeConfig {
         self
     }
 
+    /// Stable content digest of everything that shapes compilation and
+    /// execution — every field except `seed`, which is a per-request
+    /// runtime parameter (the shot engine and the job service derive all
+    /// randomness from an explicit base seed, never from the compiled
+    /// job's config).
+    ///
+    /// Used (combined with the program digest) to key compiled-job
+    /// caches; stable across processes and runs.
+    pub fn content_digest(&self) -> u64 {
+        let mut h = quape_isa::Fnv64::new();
+        h.write_u64(self.clock_ns)
+            .write_u64(self.num_processors as u64)
+            .write_u64(self.fetch_width as u64)
+            .write_u64(self.quantum_pipes as u64)
+            .write_u64(self.predecode_buffer as u64)
+            .write_u64(self.timings.single_qubit_ns)
+            .write_u64(self.timings.two_qubit_ns)
+            .write_u64(self.timings.readout_pulse_ns)
+            .write_u64(self.daq_base_ns)
+            .write_u64(self.daq_jitter_ns)
+            .write_u64(self.daq_demod_slots as u64)
+            .write_u64(match self.readout_lines {
+                None => u64::MAX,
+                Some(l) => u64::from(l),
+            })
+            .write_u64(self.scheduler_response_cycles)
+            .write_u64(self.fill_words_per_cycle as u64)
+            .write_u64(self.switch_cycles)
+            .write_u64(self.context_switch_cycles)
+            .write_u64(self.context_capacity as u64)
+            .write_u32(u32::from(self.prefetch))
+            .write_u32(u32::from(self.fast_context_switch))
+            .write_u32(u32::from(self.ideal_scheduler))
+            .write_u64(match self.num_qubits {
+                None => u64::MAX,
+                Some(n) => u64::from(n),
+            });
+        h.finish()
+    }
+
     /// Validates internal consistency.
     ///
     /// # Errors
@@ -236,6 +276,28 @@ mod tests {
         assert!(c.validate().is_err());
         let c = QuapeConfig::uniprocessor().with_readout_lines(0);
         assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn content_digest_ignores_seed_only() {
+        let base = QuapeConfig::superscalar(8);
+        assert_eq!(base.content_digest(), base.clone().content_digest());
+        assert_eq!(
+            base.content_digest(),
+            base.clone().with_seed(99).content_digest(),
+            "seed is a runtime parameter, not cache-key material"
+        );
+        let mut slower = base.clone();
+        slower.clock_ns = 20;
+        assert_ne!(base.content_digest(), slower.content_digest());
+        assert_ne!(
+            base.content_digest(),
+            base.clone().with_num_qubits(10).content_digest()
+        );
+        assert_ne!(
+            base.content_digest(),
+            base.clone().with_readout_lines(2).content_digest()
+        );
     }
 
     #[test]

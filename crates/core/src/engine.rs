@@ -59,6 +59,15 @@ pub trait QpuFactory: Send + Sync {
     fn create(&self, seed: u64) -> Box<dyn QpuBackend>;
 }
 
+/// A shared factory handle is itself a factory, so one factory can serve
+/// many concurrently scheduled jobs (the job-service layer hands each
+/// job's engine an `Arc` clone of the request's factory).
+impl QpuFactory for std::sync::Arc<dyn QpuFactory> {
+    fn create(&self, seed: u64) -> Box<dyn QpuBackend> {
+        self.as_ref().create(seed)
+    }
+}
+
 impl QpuFactory for BehavioralQpuFactory {
     fn create(&self, seed: u64) -> Box<dyn QpuBackend> {
         Box::new(BehavioralQpuFactory::create(self, seed))
@@ -265,7 +274,14 @@ pub struct BatchAggregate {
 }
 
 impl BatchAggregate {
-    fn from_summaries(base_seed: u64, summaries: &[ShotSummary]) -> Self {
+    /// Folds per-shot digests into the batch aggregate.
+    ///
+    /// `summaries` must be sorted by shot index — the fold is exactly the
+    /// one [`ShotEngine::run`] performs, so any scheduler that executes
+    /// the same shot set (e.g. the job service interleaving shot quanta
+    /// from many jobs) reproduces a solo run's aggregate bit-identically
+    /// by sorting its summaries and calling this.
+    pub fn from_summaries(base_seed: u64, summaries: &[ShotSummary]) -> Self {
         let num_qubits = summaries
             .iter()
             .map(|s| s.per_qubit.len())
@@ -449,7 +465,16 @@ impl ShotEngine {
         t.clamp(1, shots.max(1) as usize)
     }
 
-    fn run_one(&self, shot: u64) -> ShotSummary {
+    /// Runs exactly one shot of the batch and returns its digest — the
+    /// *shot quantum* primitive of the engine.
+    ///
+    /// The summary depends only on `(job, factory, base_seed, shot)`:
+    /// callers may execute any subset of a batch's shots, in any order,
+    /// on any thread, and recover the batch aggregate by folding the
+    /// sorted summaries with [`BatchAggregate::from_summaries`]. The
+    /// multi-tenant job service schedules quanta of shots from many jobs
+    /// onto one worker pool through this entry point.
+    pub fn run_shot(&self, shot: u64) -> ShotSummary {
         let seed = shot_seed(self.base_seed, shot);
         // Distinct derived streams for the backend and the machine's DAQ
         // jitter so the two never correlate.
@@ -484,7 +509,7 @@ impl ShotEngine {
         let start = Instant::now();
         let threads = self.effective_threads(shots);
         let summaries: Vec<ShotSummary> = if threads <= 1 {
-            (0..shots).map(|i| self.run_one(i)).collect()
+            (0..shots).map(|i| self.run_shot(i)).collect()
         } else {
             let next = AtomicU64::new(0);
             let mut buckets: Vec<Vec<ShotSummary>> = std::thread::scope(|scope| {
@@ -497,7 +522,7 @@ impl ShotEngine {
                                 if shot >= shots {
                                     break;
                                 }
-                                local.push(self.run_one(shot));
+                                local.push(self.run_shot(shot));
                             }
                             local
                         })
@@ -595,6 +620,20 @@ mod tests {
             .run(64);
         assert_eq!(sequential.aggregate, parallel.aggregate);
         assert_eq!(parallel.threads, 4);
+    }
+
+    #[test]
+    fn shot_quantum_api_reproduces_the_batch_aggregate() {
+        // Running shots individually (in scrambled order) and folding the
+        // sorted summaries is bit-identical to ShotEngine::run — the
+        // contract the multi-tenant job service is built on.
+        let job = tiny_job(11);
+        let engine = ShotEngine::new(job.clone(), coin_factory(&job)).base_seed(42);
+        let whole = engine.run(40);
+        let mut summaries: Vec<ShotSummary> = (0..40).rev().map(|i| engine.run_shot(i)).collect();
+        summaries.sort_unstable_by_key(|s| s.shot);
+        let folded = BatchAggregate::from_summaries(42, &summaries);
+        assert_eq!(whole.aggregate, folded);
     }
 
     #[test]

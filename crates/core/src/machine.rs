@@ -186,6 +186,23 @@ impl CompiledJob {
         &self.cfg
     }
 
+    /// Stable content digest of the compiled job: the program's
+    /// [`digest`](Program::digest) combined with the configuration's
+    /// [`content_digest`](QuapeConfig::content_digest).
+    ///
+    /// Two jobs compiled from structurally equal programs under
+    /// execution-equivalent configurations hash identically across
+    /// processes, so the digest is a sound compile-cache key. The
+    /// config's `seed` is deliberately excluded — it is a runtime
+    /// parameter (batch runs override it per request), not part of the
+    /// compiled artifact.
+    pub fn digest(&self) -> u64 {
+        let mut h = quape_isa::Fnv64::new();
+        h.write_u64(self.program.digest().0)
+            .write_u64(self.cfg.content_digest());
+        h.finish()
+    }
+
     /// The block-wrapped program.
     pub fn program(&self) -> &Program {
         &self.program
@@ -739,6 +756,28 @@ mod tests {
         }
         assert!(shot.awg().playing() == 0, "all playbacks retired at rest");
         assert_eq!(shot.awg().retired(), shot.awg().timeline().len());
+    }
+
+    #[test]
+    fn job_digest_is_stable_and_content_keyed() {
+        let cfg = QuapeConfig::superscalar(4);
+        let a = CompiledJob::compile(cfg.clone(), two_qubit_program()).expect("compiles");
+        let b = CompiledJob::compile(cfg.clone(), two_qubit_program()).expect("compiles");
+        assert_eq!(a.digest(), b.digest());
+        // Different seed, same compiled artifact.
+        let reseeded =
+            CompiledJob::compile(cfg.clone().with_seed(5), two_qubit_program()).expect("compiles");
+        assert_eq!(a.digest(), reseeded.digest());
+        // Different program or different config: different key.
+        let other = CompiledJob::compile(
+            cfg.clone(),
+            quape_isa::assemble("0 H q0\nSTOP\n").expect("valid"),
+        )
+        .expect("compiles");
+        assert_ne!(a.digest(), other.digest());
+        let wider = CompiledJob::compile(QuapeConfig::superscalar(8), two_qubit_program())
+            .expect("compiles");
+        assert_ne!(a.digest(), wider.digest());
     }
 
     #[test]

@@ -54,6 +54,7 @@
 
 mod asm;
 mod block;
+mod digest;
 mod encoding;
 mod error;
 mod gate;
@@ -67,6 +68,7 @@ pub use asm::{assemble, AsmError};
 pub use block::{
     BlockId, BlockInfo, BlockInfoTable, BlockStatus, BlockTableError, Dependency, DependencyMode,
 };
+pub use digest::{content_hash_128, content_hash_64, fnv1a_64, Fnv64, ProgramDigest};
 pub use encoding::{decode, encode, DecodeError, EncodeError};
 pub use error::IsaError;
 pub use gate::{Angle, CondOp, Gate1, Gate2};

@@ -303,7 +303,7 @@ impl Program {
 
     /// Renders an addressed disassembly listing with block annotations
     /// and encoded words — the objdump-style view (contrast with the
-    /// re-assemblable [`Program::to_string`] form).
+    /// re-assemblable `Program::to_string` form).
     ///
     /// ```
     /// use quape_isa::assemble;

@@ -1,0 +1,534 @@
+//! The job server: request intake, compile deduplication, and fair
+//! shot-quantum scheduling onto a shared worker pool.
+//!
+//! ## Scheduling policy
+//!
+//! Active jobs sit in a queue guarded by one mutex. A worker *claim*
+//! takes the next job in round-robin order that still has unclaimed
+//! shots, grabs a **quantum** of `shot_quantum × priority weight`
+//! consecutive shot indices, advances the round-robin cursor, and
+//! executes the quantum outside the lock via
+//! [`ShotEngine::run_shot`](quape_core::ShotEngine::run_shot). The
+//! cursor guarantees progress for every job on every rotation — a
+//! million-shot job gets exactly one quantum per turn, the same as a
+//! hundred-shot job — while the weight lets high-priority tenants drain
+//! faster without ever starving the rest.
+//!
+//! ## Determinism
+//!
+//! A shot's outcome depends only on `(job, factory, base_seed, shot
+//! index)`, so neither the worker count nor the interleaving affects any
+//! per-job result: summaries are folded in shot order with
+//! [`BatchAggregate::from_summaries`], exactly as a solo
+//! [`ShotEngine::run`](quape_core::ShotEngine::run) folds them.
+
+use crate::cache::{CacheStats, CompileCache};
+use quape_core::{
+    BatchAggregate, CompiledJob, MachineError, QpuFactory, QuapeConfig, ShotEngine, ShotSummary,
+    StepMode,
+};
+use quape_isa::{AsmError, Fnv64, Program};
+use std::fmt;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Errors surfaced by [`JobServer::submit`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum JobError {
+    /// The request's source text failed to assemble.
+    Parse(AsmError),
+    /// The program/config pair failed job compilation.
+    Compile(MachineError),
+    /// The request asked for zero shots.
+    EmptyJob,
+    /// The in-flight compilation this request was waiting on panicked;
+    /// the entry was dropped, so resubmitting retries from scratch.
+    CompileUnavailable,
+}
+
+impl fmt::Display for JobError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            JobError::Parse(e) => write!(f, "request source failed to assemble: {e}"),
+            JobError::Compile(e) => write!(f, "request failed to compile: {e}"),
+            JobError::EmptyJob => write!(f, "request asked for zero shots"),
+            JobError::CompileUnavailable => {
+                write!(
+                    f,
+                    "the shared in-flight compilation aborted; retry the request"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for JobError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            JobError::Parse(e) => Some(e),
+            JobError::Compile(e) => Some(e),
+            JobError::EmptyJob | JobError::CompileUnavailable => None,
+        }
+    }
+}
+
+impl From<AsmError> for JobError {
+    fn from(e: AsmError) -> Self {
+        JobError::Parse(e)
+    }
+}
+
+impl From<MachineError> for JobError {
+    fn from(e: MachineError) -> Self {
+        JobError::Compile(e)
+    }
+}
+
+/// What a job request asks to run.
+#[derive(Debug, Clone)]
+pub enum JobSource {
+    /// Timed-QASM source text. Cache keys hash the raw text (far cheaper
+    /// than assembling it); the text is only parsed on a cache miss.
+    Text(String),
+    /// A pre-built program, keyed by its structural
+    /// [`digest`](Program::digest).
+    Program(Program),
+}
+
+impl JobSource {
+    /// The request's 128-bit compile-cache key: the source content hash
+    /// combined with the config's seed-independent
+    /// [`content_digest`](QuapeConfig::content_digest).
+    ///
+    /// `Text` requests — attacker-visible wire bytes — contribute both
+    /// independent streams of [`quape_isa::content_hash_128`], so two
+    /// different texts aliasing one cache entry (and silently serving
+    /// one tenant another tenant's program) requires colliding two
+    /// unrelated 64-bit hashes at once. `Program` requests carry the
+    /// structural [`Program::digest`] of a trusted in-process value
+    /// (64 bits of entropy, spread over the key).
+    ///
+    /// The two variants hash into disjoint key spaces: a `Text` request
+    /// and the `Program` it would assemble to are deduplicated within
+    /// their own kind only (equating them would require parsing the
+    /// text, which is the cost the key exists to avoid).
+    pub fn cache_key(&self, cfg: &QuapeConfig) -> u128 {
+        let (tag, word_hi, word_lo) = match self {
+            JobSource::Text(text) => {
+                let h = quape_isa::content_hash_128(text.as_bytes());
+                (1u32, (h >> 64) as u64, h as u64)
+            }
+            JobSource::Program(p) => (2u32, p.digest().0, p.digest().0),
+        };
+        let cfg_digest = cfg.content_digest();
+        let mut hi = Fnv64::new();
+        hi.write_u32(tag).write_u64(word_hi).write_u64(cfg_digest);
+        let mut lo = Fnv64::new();
+        lo.write_u32(!tag).write_u64(word_lo).write_u64(cfg_digest);
+        (u128::from(hi.finish()) << 64) | u128::from(lo.finish())
+    }
+
+    fn compile(self, cfg: QuapeConfig) -> Result<CompiledJob, JobError> {
+        let program = match self {
+            JobSource::Text(text) => quape_isa::assemble(&text)?,
+            JobSource::Program(p) => p,
+        };
+        Ok(CompiledJob::compile(cfg, program)?)
+    }
+}
+
+/// Scheduling priority of a job. The weight scales the shot quantum a
+/// job receives per round-robin turn (1× / 2× / 4×) — a share, never a
+/// preemption, so low-priority jobs still progress on every rotation.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, serde::Serialize)]
+pub enum Priority {
+    /// Background work: single quantum per turn.
+    Low,
+    /// The default share.
+    #[default]
+    Normal,
+    /// Latency-sensitive work: 4× quantum per turn.
+    High,
+}
+
+impl Priority {
+    /// The job's shot-quantum multiplier.
+    pub fn weight(self) -> u64 {
+        match self {
+            Priority::Low => 1,
+            Priority::Normal => 2,
+            Priority::High => 4,
+        }
+    }
+}
+
+/// One tenant's job: what to run, on what configuration, how many shots,
+/// and how urgently.
+pub struct JobRequest {
+    /// Human-readable job name (reported back in [`JobResult`]).
+    pub name: String,
+    /// The program source.
+    pub source: JobSource,
+    /// Machine configuration to compile against.
+    pub cfg: QuapeConfig,
+    /// Per-shot QPU backend factory.
+    pub factory: Arc<dyn QpuFactory>,
+    /// Number of shots to run.
+    pub shots: u64,
+    /// Scheduling priority.
+    pub priority: Priority,
+    /// Base seed of the job's per-shot seed streams (defaults to
+    /// `cfg.seed`).
+    pub base_seed: u64,
+    /// Per-shot cycle budget (defaults to the engine's 10 million).
+    pub cycle_limit: u64,
+    /// How shots advance time (defaults to event-driven).
+    pub step_mode: StepMode,
+}
+
+impl JobRequest {
+    /// Creates a request with default priority, seed, cycle budget and
+    /// step mode.
+    pub fn new(
+        name: impl Into<String>,
+        source: JobSource,
+        cfg: QuapeConfig,
+        factory: impl QpuFactory + 'static,
+        shots: u64,
+    ) -> Self {
+        let base_seed = cfg.seed;
+        JobRequest {
+            name: name.into(),
+            source,
+            cfg,
+            factory: Arc::new(factory),
+            shots,
+            priority: Priority::default(),
+            base_seed,
+            cycle_limit: 10_000_000,
+            step_mode: StepMode::default(),
+        }
+    }
+
+    /// Sets the scheduling priority.
+    pub fn priority(mut self, priority: Priority) -> Self {
+        self.priority = priority;
+        self
+    }
+
+    /// Sets the base seed of the job's shot streams.
+    pub fn base_seed(mut self, base_seed: u64) -> Self {
+        self.base_seed = base_seed;
+        self
+    }
+
+    /// Sets the per-shot cycle budget.
+    pub fn cycle_limit(mut self, cycle_limit: u64) -> Self {
+        self.cycle_limit = cycle_limit;
+        self
+    }
+
+    /// Sets the step mode.
+    pub fn step_mode(mut self, step_mode: StepMode) -> Self {
+        self.step_mode = step_mode;
+        self
+    }
+}
+
+/// Worker-pool and cache sizing of a [`JobServer`].
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Worker threads (`0` = `available_parallelism`).
+    pub threads: usize,
+    /// Base shot quantum per scheduling turn (scaled by
+    /// [`Priority::weight`]).
+    pub shot_quantum: u64,
+    /// Compiled-job cache capacity (entries).
+    pub cache_capacity: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            threads: 0,
+            shot_quantum: 16,
+            cache_capacity: 64,
+        }
+    }
+}
+
+/// The outcome of one job: its deterministic aggregate plus service-side
+/// measurements.
+#[derive(Debug, Clone)]
+pub struct JobResult {
+    /// Job id (monotonic per server, assigned at submit).
+    pub id: u64,
+    /// The request's name.
+    pub name: String,
+    /// Shots executed.
+    pub shots: u64,
+    /// The request's priority.
+    pub priority: Priority,
+    /// True when the compiled job came from the cache.
+    pub cache_hit: bool,
+    /// Wall time spent resolving the compiled job at submit (near zero
+    /// on a cache hit).
+    pub compile_wall: Duration,
+    /// Wall time from submit (the job's arrival) to the last shot's
+    /// completion — includes the job's own compile resolution.
+    pub latency: Duration,
+    /// Order in which jobs finished (0 = first).
+    pub completion_rank: u64,
+    /// The job's deterministic aggregate — bit-identical to a solo
+    /// [`ShotEngine`] run with the same parameters.
+    pub aggregate: BatchAggregate,
+}
+
+struct ActiveJob {
+    id: u64,
+    name: String,
+    priority: Priority,
+    shots: u64,
+    base_seed: u64,
+    engine: Arc<ShotEngine>,
+    cache_hit: bool,
+    compile_wall: Duration,
+    submitted_at: Instant,
+    next_shot: u64,
+    done_shots: u64,
+    summaries: Vec<ShotSummary>,
+    finished: Option<Finished>,
+}
+
+struct Finished {
+    latency: Duration,
+    rank: u64,
+    aggregate: BatchAggregate,
+}
+
+#[derive(Default)]
+struct SchedState {
+    jobs: Vec<ActiveJob>,
+    cursor: usize,
+    completed: u64,
+    next_id: u64,
+}
+
+/// The multi-tenant job service: submit jobs from any thread, then
+/// [`run`](JobServer::run) them to completion on a shared worker pool.
+/// See the [crate docs](crate) for the scheduling policy.
+pub struct JobServer {
+    cfg: ServerConfig,
+    cache: CompileCache,
+    state: Mutex<SchedState>,
+}
+
+impl JobServer {
+    /// Creates a server with an empty job queue and compile cache.
+    pub fn new(cfg: ServerConfig) -> Self {
+        let cache = CompileCache::new(cfg.cache_capacity);
+        JobServer {
+            cfg,
+            cache,
+            state: Mutex::new(SchedState::default()),
+        }
+    }
+
+    /// The compile cache's hit/miss/eviction counters.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
+    /// Jobs queued and not yet drained by [`run`](JobServer::run).
+    pub fn pending_jobs(&self) -> usize {
+        self.state.lock().expect("server lock poisoned").jobs.len()
+    }
+
+    /// Accepts a job: resolves its compiled job through the cache
+    /// (compiling on this thread on a miss — concurrent submissions of
+    /// the same program share one compilation) and queues its shots.
+    /// Returns the job id.
+    ///
+    /// # Errors
+    ///
+    /// Rejects zero-shot requests ([`JobError::EmptyJob`]) and
+    /// propagates parse/compile failures.
+    pub fn submit(&self, req: JobRequest) -> Result<u64, JobError> {
+        if req.shots == 0 {
+            return Err(JobError::EmptyJob);
+        }
+        // The job "arrives" when submit is called: its latency includes
+        // its own compile (or compile-cache wait), not just the queue
+        // and execution time after it.
+        let submitted_at = Instant::now();
+        let key = req.source.cache_key(&req.cfg);
+        let outcome = self
+            .cache
+            .get_or_compile(key, || req.source.compile(req.cfg))?;
+        let compile_wall = submitted_at.elapsed();
+        let engine = ShotEngine::new(outcome.job.as_ref().clone(), req.factory)
+            .base_seed(req.base_seed)
+            .cycle_limit(req.cycle_limit)
+            .step_mode(req.step_mode)
+            .threads(1);
+        let mut st = self.state.lock().expect("server lock poisoned");
+        let id = st.next_id;
+        st.next_id += 1;
+        st.jobs.push(ActiveJob {
+            id,
+            name: req.name,
+            priority: req.priority,
+            shots: req.shots,
+            base_seed: req.base_seed,
+            engine: Arc::new(engine),
+            cache_hit: outcome.hit,
+            compile_wall,
+            submitted_at,
+            next_shot: 0,
+            done_shots: 0,
+            summaries: Vec::with_capacity(req.shots.min(1 << 20) as usize),
+            finished: None,
+        });
+        Ok(id)
+    }
+
+    /// Claims the next shot quantum in priority-weighted round-robin
+    /// order: the first job at or after the cursor with unclaimed shots
+    /// yields `shot_quantum × weight` shot indices, and the cursor moves
+    /// past it. The claim names the job by id, never by queue position —
+    /// positions shift when finished jobs are drained.
+    fn claim(&self) -> Option<(Arc<ShotEngine>, u64, std::ops::Range<u64>)> {
+        let mut st = self.state.lock().expect("server lock poisoned");
+        let n = st.jobs.len();
+        if n == 0 {
+            return None;
+        }
+        for k in 0..n {
+            let i = (st.cursor + k) % n;
+            let job = &mut st.jobs[i];
+            if job.next_shot < job.shots {
+                let quantum = self.cfg.shot_quantum.max(1) * job.priority.weight();
+                let start = job.next_shot;
+                let end = (start + quantum).min(job.shots);
+                job.next_shot = end;
+                let engine = job.engine.clone();
+                let id = job.id;
+                st.cursor = (i + 1) % n;
+                return Some((engine, id, start..end));
+            }
+        }
+        None
+    }
+
+    /// Folds a finished quantum back into its job; finalizes the job
+    /// when its last shot lands.
+    fn complete(&self, id: u64, batch: Vec<ShotSummary>) {
+        let mut st = self.state.lock().expect("server lock poisoned");
+        let completed = st.completed;
+        let job = st
+            .jobs
+            .iter_mut()
+            .find(|j| j.id == id)
+            .expect("a job with claimed shots outstanding is never drained");
+        job.done_shots += batch.len() as u64;
+        job.summaries.extend(batch);
+        if job.done_shots == job.shots && job.finished.is_none() {
+            job.summaries.sort_unstable_by_key(|s| s.shot);
+            let aggregate = BatchAggregate::from_summaries(job.base_seed, &job.summaries);
+            job.summaries = Vec::new();
+            job.finished = Some(Finished {
+                latency: job.submitted_at.elapsed(),
+                rank: completed,
+                aggregate,
+            });
+            st.completed += 1;
+        }
+    }
+
+    fn worker_loop(&self) {
+        while let Some((engine, id, range)) = self.claim() {
+            let batch: Vec<ShotSummary> = range.map(|s| engine.run_shot(s)).collect();
+            self.complete(id, batch);
+        }
+    }
+
+    /// Runs queued jobs to completion on a scoped worker pool and drains
+    /// the *finished* results, ordered by job id.
+    ///
+    /// The server stays usable afterwards: the compile cache persists
+    /// (later identical submissions are cache-warm) and new jobs may be
+    /// submitted and run again. A job submitted concurrently with the
+    /// tail of a `run()` may miss this drain — it stays queued, is never
+    /// lost, and completes on the next `run()`.
+    pub fn run(&self) -> Vec<JobResult> {
+        let threads = if self.cfg.threads == 0 {
+            std::thread::available_parallelism().map_or(1, |n| n.get())
+        } else {
+            self.cfg.threads
+        }
+        .max(1);
+        if threads == 1 {
+            self.worker_loop();
+        } else {
+            std::thread::scope(|scope| {
+                for _ in 0..threads {
+                    scope.spawn(|| self.worker_loop());
+                }
+            });
+        }
+        let mut st = self.state.lock().expect("server lock poisoned");
+        st.cursor = 0;
+        let (finished, pending): (Vec<ActiveJob>, Vec<ActiveJob>) = std::mem::take(&mut st.jobs)
+            .into_iter()
+            .partition(|j| j.finished.is_some());
+        st.jobs = pending;
+        if st.jobs.is_empty() {
+            st.completed = 0;
+        }
+        drop(st);
+        let mut results: Vec<JobResult> = finished
+            .into_iter()
+            .map(|job| {
+                let finished = job.finished.expect("partitioned on finished");
+                JobResult {
+                    id: job.id,
+                    name: job.name,
+                    shots: job.shots,
+                    priority: job.priority,
+                    cache_hit: job.cache_hit,
+                    compile_wall: job.compile_wall,
+                    latency: finished.latency,
+                    completion_rank: finished.rank,
+                    aggregate: finished.aggregate,
+                }
+            })
+            .collect();
+        results.sort_unstable_by_key(|r| r.id);
+        results
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn priority_weights_are_monotonic() {
+        assert!(Priority::Low.weight() < Priority::Normal.weight());
+        assert!(Priority::Normal.weight() < Priority::High.weight());
+        assert_eq!(Priority::default(), Priority::Normal);
+    }
+
+    #[test]
+    fn text_and_program_sources_key_disjointly() {
+        let cfg = QuapeConfig::superscalar(4);
+        let text = "0 H q0\nSTOP\n".to_string();
+        let program = quape_isa::assemble(&text).unwrap();
+        let a = JobSource::Text(text.clone()).cache_key(&cfg);
+        let b = JobSource::Program(program).cache_key(&cfg);
+        assert_ne!(a, b);
+        // Same text, different config → different key.
+        let c = JobSource::Text(text).cache_key(&QuapeConfig::superscalar(8));
+        assert_ne!(a, c);
+    }
+}

@@ -24,6 +24,8 @@
 //!   combined into one multiprogrammed workload;
 //! * [`pulse`] — dense pulse trains that keep the AWG bank and the DAQ
 //!   demod servers saturated (device-model stress workloads);
+//! * [`traffic`] — deterministic mixed-traffic request streams (source
+//!   text + shots + priority) for the multi-tenant job service;
 //! * [`qec`] — the 3-qubit repetition code with real-time syndrome
 //!   decoding and feedback correction (the §2.3 motivation: correction
 //!   within 1% of the coherence time).
@@ -39,6 +41,7 @@ pub mod pulse;
 pub mod qec;
 pub mod rb;
 pub mod shor_syndrome;
+pub mod traffic;
 
 pub use benchmarks::{benchmark_suite, Benchmark, BenchmarkSource};
 pub use shor_syndrome::{ShorSyndrome, ShorSyndromeConfig};

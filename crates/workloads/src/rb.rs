@@ -248,7 +248,7 @@ impl From<quape_core::MachineError> for RbBatchError {
 }
 
 /// Multi-shot RB on the noisy state-vector backend: one random sequence
-/// is compiled into a [`CompiledJob`] once, then `shots` independent
+/// is compiled into a [`quape_core::CompiledJob`] once, then `shots` independent
 /// noise/readout realizations of it run through the batch engine
 /// ([`quape_core::ShotEngine`]), possibly across threads.
 ///

@@ -46,6 +46,7 @@ pub use quape_compiler as compiler;
 pub use quape_core as core;
 pub use quape_isa as isa;
 pub use quape_qpu as qpu;
+pub use quape_server as server;
 pub use quape_workloads as workloads;
 
 /// The most common imports in one place.
@@ -65,5 +66,6 @@ pub mod prelude {
         fit_decay, run_simrb_experiment, BehavioralQpu, BehavioralQpuFactory, CliffordGroup,
         MeasurementModel, RbConfig, StateVector,
     };
+    pub use quape_server::{JobRequest, JobServer, JobSource, Priority, ServerConfig};
     pub use quape_workloads::{benchmark_suite, ShorSyndrome, ShorSyndromeConfig};
 }
