@@ -7,12 +7,18 @@
 //! those spans instead of ticking them.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use quape_core::{CompiledJob, QuapeConfig, StepMode};
+use quape_core::{CompiledJob, QuapeConfig, ReportMode, StepMode};
 use quape_qpu::{BehavioralQpu, MeasurementModel};
 use quape_workloads::feedback::{conditional_x, feedback_chain, mrce_feedback_chain};
 use quape_workloads::pulse::pulse_train;
 
-fn shot_bench(c: &mut Criterion, name: &str, job: &CompiledJob, mode: StepMode) {
+fn shot_bench_with(
+    c: &mut Criterion,
+    name: &str,
+    job: &CompiledJob,
+    mode: StepMode,
+    report: ReportMode,
+) {
     let cfg = job.cfg().clone();
     c.bench_function(name, |b| {
         let mut seed = 0u64;
@@ -24,10 +30,15 @@ fn shot_bench(c: &mut Criterion, name: &str, job: &CompiledJob, mode: StepMode) 
                 seed,
             );
             job.shot(Box::new(qpu), seed)
+                .report_mode(report)
                 .run_with_mode(mode, 10_000_000)
                 .cycles
         })
     });
+}
+
+fn shot_bench(c: &mut Criterion, name: &str, job: &CompiledJob, mode: StepMode) {
+    shot_bench_with(c, name, job, mode, ReportMode::Full);
 }
 
 fn bench(c: &mut Criterion) {
@@ -45,6 +56,16 @@ fn bench(c: &mut Criterion) {
     .expect("job compiles");
     shot_bench(c, "fmr_chain1k_cycle", &fmr, StepMode::Cycle);
     shot_bench(c, "fmr_chain1k_event", &fmr, StepMode::EventDriven);
+    // Lean (summary-only) reports: the batch/serving default. The chain
+    // workload's dominant report cost is the measure-wait trace, which
+    // lean mode never materialises.
+    shot_bench_with(
+        c,
+        "fmr_chain1k_event_lean",
+        &fmr,
+        StepMode::EventDriven,
+        ReportMode::Lean,
+    );
 
     let mrce = CompiledJob::compile(
         cfg.clone(),
@@ -66,6 +87,15 @@ fn bench(c: &mut Criterion) {
     .expect("job compiles");
     shot_bench(c, "awg_playback_cycle", &awg, StepMode::Cycle);
     shot_bench(c, "awg_playback_event", &awg, StepMode::EventDriven);
+    // Lean mode on the playback-bound workload: the issued-op log and
+    // the AWG playback timeline are its big report vectors.
+    shot_bench_with(
+        c,
+        "awg_playback_event_lean",
+        &awg,
+        StepMode::EventDriven,
+        ReportMode::Lean,
+    );
 }
 
 criterion_group!(benches, bench);

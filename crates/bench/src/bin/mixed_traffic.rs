@@ -68,7 +68,7 @@ fn parse_args() -> Args {
 
 fn main() {
     let args = parse_args();
-    let rows = run_mixed_traffic(args.seed, args.requests, args.threads, args.repeats);
+    let (rows, tenants) = run_mixed_traffic(args.seed, args.requests, args.threads, args.repeats);
     if let Some(path) = &args.json_out {
         write_json(path, &rows);
     }
@@ -102,6 +102,25 @@ fn main() {
             ]);
         }
         println!("{}", t.render());
+        println!("Per-tenant compile-cache accounting (server passes):");
+        let mut tt = TextTable::new(["tenant", "hits", "misses", "evict", "compiles", "hit rate"]);
+        for (tenant, s) in &tenants {
+            let lookups = s.hits + s.misses;
+            let rate = if lookups == 0 {
+                0.0
+            } else {
+                s.hits as f64 / lookups as f64
+            };
+            tt.row([
+                tenant.clone(),
+                s.hits.to_string(),
+                s.misses.to_string(),
+                s.evictions.to_string(),
+                s.compiles.to_string(),
+                format!("{:.0}%", rate * 100.0),
+            ]);
+        }
+        println!("{}", tt.render());
     }
     let speedup = warm_speedup(&rows);
     eprintln!("cache-warm server over naive client: {speedup:.2}x jobs/sec");

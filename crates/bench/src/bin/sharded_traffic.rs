@@ -1,0 +1,113 @@
+//! Sharded-router serving benchmark: shard-count scaling (round-robin
+//! at 1..N shards) and placement policy (sticky-by-digest and
+//! least-loaded vs round-robin at N shards) on one deterministic
+//! multi-program traffic stream.
+//!
+//! Usage: `sharded_traffic [--requests N] [--seed S] [--shards N]
+//! [--threads-per-shard T] [--programs P] [--cache-capacity C]
+//! [--repeats K] [--json] [--json-out <path>] [--min-sticky-ratio <x>]`.
+//!
+//! Every request's aggregate is asserted bit-identical across all
+//! configurations (the run is a differential test of the router), so
+//! the throughput numbers compare *equal work*. `--json-out
+//! BENCH_router.json` refreshes the committed baseline in one command;
+//! `--min-sticky-ratio` exits nonzero when warm sticky placement fails
+//! to reach the given multiple of warm round-robin jobs/sec at the
+//! maximum shard count.
+
+use quape_bench::sharded::{run_sharded_traffic, sticky_speedup, ShardedTrafficConfig};
+use quape_bench::table::{to_json, write_json, TextTable};
+
+struct Args {
+    bench: ShardedTrafficConfig,
+    json: bool,
+    json_out: Option<String>,
+    min_sticky_ratio: Option<f64>,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        bench: ShardedTrafficConfig::default(),
+        json: false,
+        json_out: None,
+        min_sticky_ratio: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        let mut num = |name: &str| {
+            it.next()
+                .unwrap_or_else(|| panic!("{name} needs a value"))
+                .parse::<f64>()
+                .unwrap_or_else(|_| panic!("{name} needs a number"))
+        };
+        match arg.as_str() {
+            "--requests" => args.bench.requests = num("--requests") as usize,
+            "--seed" => args.bench.seed = num("--seed") as u64,
+            "--shards" => args.bench.max_shards = (num("--shards") as usize).max(1),
+            "--threads-per-shard" => {
+                args.bench.threads_per_shard = num("--threads-per-shard") as usize
+            }
+            "--programs" => args.bench.distinct_programs = (num("--programs") as usize).max(1),
+            "--cache-capacity" => {
+                args.bench.cache_capacity = (num("--cache-capacity") as usize).max(1)
+            }
+            "--repeats" => args.bench.repeats = (num("--repeats") as usize).max(1),
+            "--min-sticky-ratio" => args.min_sticky_ratio = Some(num("--min-sticky-ratio")),
+            "--json" => args.json = true,
+            "--json-out" => {
+                args.json_out = Some(it.next().expect("--json-out needs a path"));
+            }
+            other => {
+                eprintln!("unknown flag `{other}`");
+                std::process::exit(2);
+            }
+        }
+    }
+    args
+}
+
+fn main() {
+    let args = parse_args();
+    let rows = run_sharded_traffic(&args.bench);
+    if let Some(path) = &args.json_out {
+        write_json(path, &rows);
+    }
+    if args.json {
+        println!("{}", to_json(&rows));
+    } else {
+        println!(
+            "Sharded-router serving: {} requests over {} distinct programs, \
+             per-shard cache {} (aggregates verified identical):",
+            args.bench.requests, args.bench.distinct_programs, args.bench.cache_capacity
+        );
+        let mut t = TextTable::new([
+            "scenario",
+            "shards",
+            "jobs/s",
+            "p50 latency",
+            "p95 latency",
+            "steady misses",
+            "steady compiles",
+        ]);
+        for r in &rows {
+            t.row([
+                r.scenario.clone(),
+                r.shards.to_string(),
+                format!("{:.1}", r.jobs_per_sec),
+                format!("{:.1} ms", r.p50_latency_us as f64 / 1000.0),
+                format!("{:.1} ms", r.p95_latency_us as f64 / 1000.0),
+                r.steady_misses.to_string(),
+                r.steady_compiles.to_string(),
+            ]);
+        }
+        println!("{}", t.render());
+    }
+    let ratio = sticky_speedup(&rows);
+    eprintln!("warm sticky over warm round-robin at max shards: {ratio:.2}x jobs/sec");
+    if let Some(min) = args.min_sticky_ratio {
+        if ratio.is_nan() || ratio < min {
+            eprintln!("FAIL: sticky ratio {ratio:.3} < required {min:.3}");
+            std::process::exit(1);
+        }
+    }
+}

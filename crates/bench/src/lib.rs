@@ -18,7 +18,10 @@
 //!
 //! Beyond the paper, [`mixed`] / `mixed_traffic` benchmark the
 //! multi-tenant job service (`quape-server`) against a naive
-//! per-request client on a heterogeneous traffic stream.
+//! per-request client on a heterogeneous traffic stream, and
+//! [`sharded`] / `sharded_traffic` benchmark the HiMA-style front
+//! router (`quape-router`): shard-count scaling and warm-cache sticky
+//! placement against round-robin.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -31,5 +34,7 @@ pub mod fig12;
 pub mod fig13;
 pub mod fig14;
 pub mod mixed;
+pub mod sharded;
+mod support;
 pub mod table;
 pub mod tables;

@@ -17,9 +17,9 @@
 //! asserted bit-identical across all scenarios — the benchmark doubles
 //! as a differential test of the serving layer.
 
+use crate::support::{factory, percentile, priority_of};
 use quape_core::{CompiledJob, QuapeConfig, ShotEngine};
-use quape_qpu::{BehavioralQpuFactory, MeasurementModel};
-use quape_server::{JobRequest, JobServer, JobSource, Priority, ServerConfig};
+use quape_server::{CacheStats, JobRequest, JobServer, JobSource, ServerConfig};
 use quape_workloads::traffic::{mixed_traffic, TrafficRequest};
 use serde::{Deserialize, Serialize};
 use std::time::Instant;
@@ -49,25 +49,6 @@ pub struct ScenarioResult {
     pub cache_evictions: u64,
     /// Compilations actually performed.
     pub compiles: u64,
-}
-
-fn factory(cfg: &QuapeConfig) -> BehavioralQpuFactory {
-    BehavioralQpuFactory::new(cfg.timings, MeasurementModel::Bernoulli { p_one: 0.5 })
-}
-
-fn priority_of(class: u8) -> Priority {
-    match class {
-        0 => Priority::Low,
-        1 => Priority::Normal,
-        _ => Priority::High,
-    }
-}
-
-fn percentile(sorted_us: &[u64], p: usize) -> u64 {
-    if sorted_us.is_empty() {
-        return 0;
-    }
-    sorted_us[(sorted_us.len() - 1) * p / 100]
 }
 
 fn scenario_row(
@@ -150,7 +131,8 @@ fn run_server_pass(
             r.shots,
         )
         .base_seed(base_seed + i as u64)
-        .priority(priority_of(r.priority_class));
+        .priority(priority_of(r.priority_class))
+        .tenant(r.tenant.clone());
         server.submit(req).expect("traffic request submits");
     }
     let results = server.run();
@@ -174,6 +156,8 @@ fn run_server_pass(
 
 /// Runs the three scenarios on one deterministic traffic stream and
 /// asserts every request's aggregate is bit-identical across them.
+/// Returns the scenario rows plus the kept server's per-tenant cache
+/// accounting.
 ///
 /// `threads = 0` means `available_parallelism` for the server pool (the
 /// naive client is always sequential — it models a tenant with no
@@ -187,7 +171,7 @@ pub fn run_mixed_traffic(
     requests: usize,
     threads: usize,
     repeats: usize,
-) -> Vec<ScenarioResult> {
+) -> (Vec<ScenarioResult>, Vec<(String, CacheStats)>) {
     let repeats = repeats.max(1);
     let traffic = mixed_traffic(seed, requests);
     let cfg = QuapeConfig::uniprocessor().with_seed(seed);
@@ -253,11 +237,14 @@ pub fn run_mixed_traffic(
     }
 
     let n = traffic.len() as u64;
-    vec![
+    let rows = vec![
         scenario_row("naive", &traffic, naive_lat, naive_wall, (0, n, 0, n)),
         scenario_row("server_cold", &traffic, cold_lat, cold_wall, cold_cache),
         scenario_row("server_warm", &traffic, warm_lat, warm_wall, warm_cache),
-    ]
+    ];
+    // Per-tenant attribution over the kept server's whole life (the
+    // final cold pass plus every warm pass).
+    (rows, server.tenant_stats())
 }
 
 /// The headline ratio: cache-warm server throughput over the naive
@@ -280,8 +267,13 @@ mod tests {
     fn scenarios_agree_and_cache_behaves() {
         // Small stream: the differential asserts inside run_mixed_traffic
         // are the test; here we also pin the cache-behavior shape.
-        let rows = run_mixed_traffic(1, 8, 1, 1);
+        let (rows, tenants) = run_mixed_traffic(1, 8, 1, 1);
         assert_eq!(rows.len(), 3);
+        // Every request named one of the four stream tenants, and the
+        // per-tenant rows account for every lookup of both server passes.
+        assert!(!tenants.is_empty());
+        let attributed: u64 = tenants.iter().map(|(_, s)| s.hits + s.misses).sum();
+        assert_eq!(attributed, 16);
         let by = |name: &str| rows.iter().find(|r| r.scenario == name).unwrap();
         let cold = by("server_cold");
         let warm = by("server_warm");

@@ -1,0 +1,287 @@
+//! Sharded-router serving benchmark: shard-count scaling and placement
+//! policy on one deterministic multi-program traffic stream.
+//!
+//! Every configuration (shard count × [`Placement`]) serves the *same*
+//! stream ([`quape_workloads::traffic::sharded_traffic`]): a catalog of
+//! more distinct programs than any one shard's compile cache holds, at
+//! probe-sized shot counts — the calibration-dominated regime where
+//! per-request compilation is the cost that placement policy decides:
+//!
+//! * **round-robin** spreads each program over every shard, so every
+//!   shard's small LRU cache churns through the whole catalog;
+//! * **sticky-by-digest** partitions the catalog — each program always
+//!   lands on the shard that already holds it, so a *warm* fleet serves
+//!   the stream without compiling at all.
+//!
+//! Each configuration runs one priming pass and then `repeats` measured
+//! passes (fastest kept). Every request's aggregate is asserted
+//! bit-identical across *all* configurations — the benchmark doubles as
+//! the router's cross-shard differential test.
+
+use crate::support::{factory, percentile, priority_of};
+use quape_core::{BatchAggregate, QuapeConfig};
+use quape_router::{Placement, RoutedJob, Router, RouterConfig};
+use quape_server::{JobRequest, JobSource, ServerConfig};
+use quape_workloads::traffic::{sharded_traffic, TrafficRequest};
+use serde::{Deserialize, Serialize};
+use std::time::Instant;
+
+/// Host-side measurements of one router configuration.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ShardedScenarioResult {
+    /// `<placement>_<n>shard`, e.g. `sticky_4shard`.
+    pub scenario: String,
+    /// Shards in the fleet.
+    pub shards: u64,
+    /// Placement policy name.
+    pub placement: String,
+    /// Requests served per measured pass.
+    pub requests: u64,
+    /// Total shots executed per measured pass.
+    pub total_shots: u64,
+    /// Wall time of the fastest measured (cache-steady) pass, ms.
+    pub wall_ms: f64,
+    /// Requests per second in that pass.
+    pub jobs_per_sec: f64,
+    /// Median request latency measured from the pass's common arrival
+    /// epoch (submission starts at t=0; a request queued behind earlier
+    /// submissions' compiles pays that wait too — same tenant-experience
+    /// convention as the `mixed_traffic` rows), microseconds.
+    pub p50_latency_us: u64,
+    /// 95th-percentile arrival-epoch latency, microseconds.
+    pub p95_latency_us: u64,
+    /// Fleet-wide cache misses during the measured passes (0 = the
+    /// placement kept every shard's cache warm).
+    pub steady_misses: u64,
+    /// Fleet-wide compilations during the measured passes.
+    pub steady_compiles: u64,
+}
+
+/// The benchmark's knobs.
+#[derive(Debug, Clone)]
+pub struct ShardedTrafficConfig {
+    /// Stream seed.
+    pub seed: u64,
+    /// Requests per pass.
+    pub requests: usize,
+    /// Distinct programs in the catalog.
+    pub distinct_programs: usize,
+    /// Worker threads per shard.
+    pub threads_per_shard: usize,
+    /// Per-shard compile-cache capacity — deliberately smaller than the
+    /// catalog, so placement decides whether caches thrash.
+    pub cache_capacity: usize,
+    /// Measured passes per configuration (fastest kept).
+    pub repeats: usize,
+    /// Largest shard count (the scaling rows run 1, 2, .., this).
+    pub max_shards: usize,
+}
+
+impl Default for ShardedTrafficConfig {
+    fn default() -> Self {
+        ShardedTrafficConfig {
+            seed: 7,
+            requests: 48,
+            distinct_programs: 12,
+            threads_per_shard: 1,
+            cache_capacity: 4,
+            repeats: 3,
+            max_shards: 4,
+        }
+    }
+}
+
+fn placement_name(p: Placement) -> &'static str {
+    match p {
+        Placement::RoundRobin => "round_robin",
+        Placement::LeastLoadedShots => "least_loaded",
+        Placement::StickyByDigest => "sticky",
+    }
+}
+
+/// One pass: submit the whole stream, wait every handle, return
+/// (arrival-epoch latencies µs, per-request aggregates, wall ms).
+fn run_pass(
+    router: &Router,
+    cfg: &QuapeConfig,
+    traffic: &[TrafficRequest],
+    base_seed: u64,
+) -> (Vec<u64>, Vec<BatchAggregate>, f64) {
+    let epoch = Instant::now();
+    let mut jobs: Vec<(std::time::Duration, RoutedJob)> = Vec::with_capacity(traffic.len());
+    for (i, r) in traffic.iter().enumerate() {
+        let offset = epoch.elapsed();
+        let req = JobRequest::new(
+            r.name.clone(),
+            JobSource::Text(r.source.clone()),
+            cfg.clone(),
+            factory(cfg),
+            r.shots,
+        )
+        .base_seed(base_seed + i as u64)
+        .priority(priority_of(r.priority_class))
+        .tenant(r.tenant.clone());
+        let job = router.submit(req).expect("traffic request submits");
+        jobs.push((offset, job));
+    }
+    let mut latencies = Vec::with_capacity(jobs.len());
+    let mut aggregates = Vec::with_capacity(jobs.len());
+    for (offset, job) in jobs {
+        let result = job.handle.wait();
+        latencies.push((offset + result.latency).as_micros() as u64);
+        aggregates.push(result.aggregate);
+    }
+    let wall_ms = epoch.elapsed().as_secs_f64() * 1000.0;
+    (latencies, aggregates, wall_ms)
+}
+
+/// Runs one configuration: a priming pass, then `repeats` measured
+/// passes on the (now cache-steady) fleet; keeps the fastest pass.
+fn run_scenario(
+    bench: &ShardedTrafficConfig,
+    shards: usize,
+    placement: Placement,
+    traffic: &[TrafficRequest],
+    cfg: &QuapeConfig,
+    base_seed: u64,
+) -> (ShardedScenarioResult, Vec<BatchAggregate>) {
+    let router = Router::new(RouterConfig {
+        shards,
+        placement,
+        shard: ServerConfig {
+            threads: bench.threads_per_shard,
+            shot_quantum: 8,
+            cache_capacity: bench.cache_capacity,
+        },
+    });
+    // Priming pass: pays the cold compiles and warms whatever this
+    // placement is able to keep warm.
+    let (_, prime_aggs, _) = run_pass(&router, cfg, traffic, base_seed);
+    let steady_before = router.cache_stats();
+    let mut best: Option<(Vec<u64>, Vec<BatchAggregate>, f64)> = None;
+    for _ in 0..bench.repeats.max(1) {
+        let pass = run_pass(&router, cfg, traffic, base_seed);
+        if best.as_ref().is_none_or(|b| pass.2 < b.2) {
+            best = Some(pass);
+        }
+    }
+    let steady_after = router.cache_stats();
+    let (mut latencies, aggregates, wall_ms) = best.expect("at least one measured pass");
+    // The same (program, seed, shots) set every pass: priming and
+    // measured aggregates must agree request by request.
+    assert_eq!(prime_aggs, aggregates, "passes diverged within a scenario");
+    router.drain();
+    latencies.sort_unstable();
+    let steady_misses: u64 = steady_after
+        .iter()
+        .zip(&steady_before)
+        .map(|(a, b)| a.misses - b.misses)
+        .sum();
+    let steady_compiles: u64 = steady_after
+        .iter()
+        .zip(&steady_before)
+        .map(|(a, b)| a.compiles - b.compiles)
+        .sum();
+    let row = ShardedScenarioResult {
+        scenario: format!("{}_{}shard", placement_name(placement), shards),
+        shards: shards as u64,
+        placement: placement_name(placement).to_string(),
+        requests: traffic.len() as u64,
+        total_shots: traffic.iter().map(|r| r.shots).sum(),
+        wall_ms,
+        jobs_per_sec: traffic.len() as f64 / (wall_ms / 1000.0),
+        p50_latency_us: percentile(&latencies, 50),
+        p95_latency_us: percentile(&latencies, 95),
+        steady_misses,
+        steady_compiles,
+    };
+    (row, aggregates)
+}
+
+/// Runs the full grid: round-robin at doubling shard counts 1, 2, …
+/// up to and always including `max_shards` (the scaling rows) plus
+/// sticky and least-loaded at `max_shards`, all over one deterministic
+/// stream, asserting every request's aggregate is bit-identical across
+/// configurations.
+pub fn run_sharded_traffic(bench: &ShardedTrafficConfig) -> Vec<ShardedScenarioResult> {
+    let traffic = sharded_traffic(bench.seed, bench.requests, bench.distinct_programs);
+    let cfg = QuapeConfig::uniprocessor().with_seed(bench.seed);
+    let base_seed = bench.seed.wrapping_mul(1000);
+    let mut grid: Vec<(usize, Placement)> = Vec::new();
+    let mut shards = 1;
+    while shards < bench.max_shards {
+        grid.push((shards, Placement::RoundRobin));
+        shards *= 2;
+    }
+    // Round-robin at max_shards always runs — it is the denominator of
+    // [`sticky_speedup`] — even when max_shards is not a power of two.
+    grid.push((bench.max_shards, Placement::RoundRobin));
+    grid.push((bench.max_shards, Placement::StickyByDigest));
+    grid.push((bench.max_shards, Placement::LeastLoadedShots));
+
+    let mut rows = Vec::new();
+    let mut oracle: Option<Vec<BatchAggregate>> = None;
+    for (shards, placement) in grid {
+        let (row, aggregates) = run_scenario(bench, shards, placement, &traffic, &cfg, base_seed);
+        match &oracle {
+            None => oracle = Some(aggregates),
+            Some(expected) => {
+                assert_eq!(
+                    expected, &aggregates,
+                    "{}: aggregates diverged from the 1-shard oracle",
+                    row.scenario
+                );
+            }
+        }
+        rows.push(row);
+    }
+    rows
+}
+
+/// The headline ratio: warm sticky-placement throughput over warm
+/// round-robin at the same (maximum) shard count.
+pub fn sticky_speedup(rows: &[ShardedScenarioResult]) -> f64 {
+    let max_shards = rows.iter().map(|r| r.shards).max().unwrap_or(0);
+    let rate = |placement: &str| {
+        rows.iter()
+            .find(|r| r.placement == placement && r.shards == max_shards)
+            .map(|r| r.jobs_per_sec)
+            .unwrap_or(f64::NAN)
+    };
+    rate("sticky") / rate("round_robin")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_agrees_and_sticky_stays_cache_steady() {
+        let bench = ShardedTrafficConfig {
+            requests: 10,
+            distinct_programs: 6,
+            cache_capacity: 2,
+            repeats: 1,
+            max_shards: 2,
+            ..ShardedTrafficConfig::default()
+        };
+        // The cross-configuration differential assert lives inside
+        // run_sharded_traffic; this exercises it on a small grid.
+        let rows = run_sharded_traffic(&bench);
+        assert_eq!(rows.len(), 4); // rr@1, rr@2, sticky@2, least_loaded@2
+        let sticky = rows
+            .iter()
+            .find(|r| r.placement == "sticky")
+            .expect("sticky row");
+        // Sticky partitions 6 programs over 2 shards of capacity 2 —
+        // not necessarily thrash-free, but strictly warmer than
+        // round-robin, which cycles all 6 through both shards.
+        let rr = rows
+            .iter()
+            .find(|r| r.placement == "round_robin" && r.shards == 2)
+            .expect("round-robin row");
+        assert!(sticky.steady_misses <= rr.steady_misses);
+        let ratio = sticky_speedup(&rows);
+        assert!(ratio.is_finite() && ratio > 0.0);
+    }
+}

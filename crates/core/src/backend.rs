@@ -30,6 +30,22 @@ pub trait QpuBackend {
     /// ownership instead of copying.
     fn take_results(&mut self) -> (Vec<IssuedOp>, Vec<TimingViolation>);
 
+    /// Asks the backend to stop (or resume) materialising its
+    /// per-operation log — the [`ReportMode::Lean`](crate::ReportMode)
+    /// hook for batch/serving paths that only read counters. Backends
+    /// that ignore the hint stay correct, just slower; outcomes must be
+    /// identical either way.
+    fn set_lean(&mut self, lean: bool) {
+        let _ = lean;
+    }
+
+    /// Number of operations received so far. Must stay accurate even
+    /// when the backend honours [`set_lean`](QpuBackend::set_lean) and
+    /// leaves [`log`](QpuBackend::log) empty.
+    fn issued_count(&self) -> u64 {
+        self.log().len() as u64
+    }
+
     /// When `qubit` becomes free under the occupancy model (0 if never
     /// used). The AWG bank keeps a device-side shadow of the same model
     /// ([`crate::AwgBank::qubit_busy_until`]); the differential suites
@@ -55,6 +71,14 @@ impl QpuBackend for BehavioralQpu {
 
     fn take_results(&mut self) -> (Vec<IssuedOp>, Vec<TimingViolation>) {
         BehavioralQpu::take_results(self)
+    }
+
+    fn set_lean(&mut self, lean: bool) {
+        self.set_record_log(!lean);
+    }
+
+    fn issued_count(&self) -> u64 {
+        BehavioralQpu::issued_count(self)
     }
 
     fn busy_until(&self, qubit: Qubit) -> u64 {
@@ -147,6 +171,14 @@ impl QpuBackend for StateVectorQpu {
 
     fn take_results(&mut self) -> (Vec<IssuedOp>, Vec<TimingViolation>) {
         self.shadow.take_results()
+    }
+
+    fn set_lean(&mut self, lean: bool) {
+        self.shadow.set_record_log(!lean);
+    }
+
+    fn issued_count(&self) -> u64 {
+        self.shadow.issued_count()
     }
 
     fn busy_until(&self, qubit: Qubit) -> u64 {

@@ -69,7 +69,17 @@ pub fn decoherence_cost(
     params: CoherenceParams,
 ) -> DecoherenceCost {
     let late_ns = report.stats.late_cycles * clock_ns;
-    let measure_wait_ns = report.wait_cycles.len() as u64 * clock_ns;
+    // From the stats counters, not `wait_cycles.len()`: the counters are
+    // exact in both report modes, while lean reports leave the wait
+    // trace empty (the two agree 1:1 on full reports — one trace entry
+    // is pushed per counter increment).
+    let measure_wait_cycles: u64 = report
+        .stats
+        .processors
+        .iter()
+        .map(|p| p.measure_wait_cycles)
+        .sum();
+    let measure_wait_ns = measure_wait_cycles * clock_ns;
     let rate = params.idle_error_rate();
     let avoidable_fidelity = (-(late_ns as f64) * rate).exp();
     let total_fidelity = (-((late_ns + measure_wait_ns) as f64) * rate).exp();
@@ -92,11 +102,16 @@ mod tests {
             ns: 10_000,
             stop: StopReason::Completed,
             issued: Vec::new(),
+            issued_ops: 0,
             violations: Vec::new(),
             playback: Vec::new(),
             awg_violations: Vec::new(),
             stats: MachineStats {
                 late_cycles,
+                processors: vec![crate::report::ProcessorStats {
+                    measure_wait_cycles: waits as u64,
+                    ..Default::default()
+                }],
                 ..Default::default()
             },
             step_dispatches: Vec::new(),

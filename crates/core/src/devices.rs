@@ -397,6 +397,8 @@ pub struct AwgBank {
     violations: Vec<AwgViolation>,
     retired: usize,
     max_concurrent: usize,
+    record_timeline: bool,
+    triggers: u64,
 }
 
 impl AwgBank {
@@ -411,7 +413,26 @@ impl AwgBank {
             violations: Vec::new(),
             retired: 0,
             max_concurrent: 0,
+            record_timeline: true,
+            triggers: 0,
         }
+    }
+
+    /// Enables or disables materialising the playback timeline
+    /// (lean/summary-only mode for batch paths). Occupancy tracking,
+    /// violation detection, the in-flight queue (and thus
+    /// [`next_event_ns`](AwgBank::next_event_ns)) and the
+    /// [`triggers`](AwgBank::triggers) counter are unaffected, so
+    /// execution is bit-identical either way — only
+    /// [`timeline`](AwgBank::timeline) stays empty.
+    pub fn set_record_timeline(&mut self, record: bool) {
+        self.record_timeline = record;
+    }
+
+    /// Waveform playbacks triggered so far (counted even when the
+    /// timeline itself is not recorded).
+    pub fn triggers(&self) -> u64 {
+        self.triggers
     }
 
     fn busy_slot(v: &mut Vec<u64>, i: usize) -> &mut u64 {
@@ -461,14 +482,17 @@ impl AwgBank {
         }
         *qb = time_ns.max(*qb) + duration;
 
-        self.timeline.push(PlaybackEvent {
-            channel,
-            qubit,
-            start_ns: time_ns,
-            end_ns,
-            waveform,
-            op: *op,
-        });
+        self.triggers += 1;
+        if self.record_timeline {
+            self.timeline.push(PlaybackEvent {
+                channel,
+                qubit,
+                start_ns: time_ns,
+                end_ns,
+                waveform,
+                op: *op,
+            });
+        }
         // In-flight queue, ordered by end time (FIFO among ties).
         let pos = self.active_ends.partition_point(|&e| e <= end_ns);
         self.active_ends.insert(pos, end_ns);

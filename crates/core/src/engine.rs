@@ -19,7 +19,7 @@
 //!   counts, and the measured wall time / shots-per-second.
 
 use crate::backend::{QpuBackend, StateVectorQpu};
-use crate::machine::{CompiledJob, MeasurementRecord, StepMode};
+use crate::machine::{CompiledJob, MeasurementRecord, ReportMode, StepMode};
 use crate::report::StopReason;
 use quape_isa::OpTimings;
 use quape_qpu::{BehavioralQpuFactory, DepolarizingNoise, ReadoutError};
@@ -403,6 +403,7 @@ pub struct ShotEngine {
     base_seed: u64,
     cycle_limit: u64,
     step_mode: StepMode,
+    report_mode: ReportMode,
 }
 
 impl ShotEngine {
@@ -420,6 +421,7 @@ impl ShotEngine {
             base_seed,
             cycle_limit: 10_000_000,
             step_mode: StepMode::default(),
+            report_mode: ReportMode::Lean,
         }
     }
 
@@ -447,6 +449,18 @@ impl ShotEngine {
     /// comparisons.
     pub fn step_mode(mut self, step_mode: StepMode) -> Self {
         self.step_mode = step_mode;
+        self
+    }
+
+    /// Sets how much of each shot's report is materialised. The engine
+    /// defaults to [`ReportMode::Lean`]: every shot is reduced to a
+    /// [`ShotSummary`] of counters anyway, so the per-shot
+    /// `wait_cycles`/`issued`/`playback` vectors would be allocated only
+    /// to be dropped. Aggregates are bit-identical in both modes
+    /// (differential-tested); [`ReportMode::Full`] exists for
+    /// apples-to-apples comparisons against figure-level runs.
+    pub fn report_mode(mut self, report_mode: ReportMode) -> Self {
+        self.report_mode = report_mode;
         self
     }
 
@@ -483,6 +497,7 @@ impl ShotEngine {
         let report = self
             .job
             .shot(qpu, machine_seed)
+            .report_mode(self.report_mode)
             .run_with_mode(self.step_mode, self.cycle_limit);
         ShotSummary {
             shot,
@@ -490,7 +505,7 @@ impl ShotEngine {
             cycles: report.cycles,
             execution_time_ns: report.execution_time_ns(),
             stop: report.stop,
-            issued: report.issued.len() as u64,
+            issued: report.issued_ops,
             late_issues: report.stats.late_issues,
             late_cycles: report.stats.late_cycles,
             violations: report.violations.len() as u64,

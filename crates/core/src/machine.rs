@@ -43,6 +43,79 @@ pub enum StepMode {
     EventDriven,
 }
 
+/// How much of a run a [`RunReport`] materialises.
+///
+/// The per-shot event vectors (`wait_cycles`, `issued`, `playback`,
+/// `step_dispatches`) are what figure-level analysis reads, but batch
+/// and serving paths reduce every shot to a
+/// [`ShotSummary`](crate::ShotSummary) of counters —
+/// materialising the vectors there is pure allocation cost. Lean mode
+/// skips them while keeping every counter (and therefore every
+/// [`BatchAggregate`](crate::BatchAggregate)) bit-identical to a full
+/// run: execution is unchanged, only the record-keeping is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ReportMode {
+    /// Materialise everything — the default for [`Machine`]/[`Shot`]
+    /// figure-level runs.
+    #[default]
+    Full,
+    /// Summary-only: leave `wait_cycles`, `issued`, `playback` and
+    /// `step_dispatches` empty in the report; counters (`issued_ops`,
+    /// `stats.awg_triggers`, `stats.*`) stay exact. The default for
+    /// [`ShotEngine`](crate::ShotEngine) batches.
+    Lean,
+}
+
+/// A per-shot event trace: a plain `Vec` in full mode, a no-op sink in
+/// lean mode. Backs the report's `wait_cycles` (pushed from the
+/// processors' stall paths and bulk-filled by the event-driven skip)
+/// and `step_dispatches` (pushed per quantum dispatch) vectors.
+#[derive(Debug, Default)]
+pub(crate) struct EventSink<T> {
+    events: Vec<T>,
+    record: bool,
+}
+
+impl<T> EventSink<T> {
+    fn new(record: bool) -> Self {
+        EventSink {
+            events: Vec::new(),
+            record,
+        }
+    }
+
+    pub(crate) fn push(&mut self, event: T) {
+        if self.record {
+            self.events.push(event);
+        }
+    }
+
+    fn into_vec(self) -> Vec<T> {
+        self.events
+    }
+}
+
+impl EventSink<u64> {
+    /// Bulk-accounts a skipped span `start..end` during which `waiting`
+    /// processors were measure-wait stalled — exactly the entries a
+    /// cycle-stepped run would have pushed one by one.
+    fn extend_span(&mut self, start: u64, end: u64, waiting: usize) {
+        if !self.record || waiting == 0 {
+            return;
+        }
+        if waiting == 1 {
+            self.events.extend(start..end);
+        } else {
+            self.events.reserve(waiting * (end - start) as usize);
+            for cyc in start..end {
+                for _ in 0..waiting {
+                    self.events.push(cyc);
+                }
+            }
+        }
+    }
+}
+
 /// One program block's instruction words, pre-cut at job compilation and
 /// shared by every shot: cache fills clone the `Arc` instead of copying
 /// the words, so per-shot fill cost is O(blocks), not O(instructions).
@@ -249,8 +322,8 @@ impl CompiledJob {
             halt: false,
             error: false,
             stats,
-            step_dispatches: Vec::new(),
-            wait_cycles: Vec::new(),
+            step_dispatches: EventSink::new(true),
+            wait_cycles: EventSink::new(true),
             late_issues: 0,
             late_cycles: 0,
             measurements: Vec::new(),
@@ -276,8 +349,8 @@ pub struct Shot {
     halt: bool,
     error: bool,
     stats: MachineStats,
-    step_dispatches: Vec<StepDispatch>,
-    wait_cycles: Vec<u64>,
+    step_dispatches: EventSink<StepDispatch>,
+    wait_cycles: EventSink<u64>,
     late_issues: u64,
     late_cycles: u64,
     measurements: Vec<MeasurementRecord>,
@@ -295,6 +368,18 @@ impl Shot {
     /// The job this shot executes.
     pub fn job(&self) -> &CompiledJob {
         &self.job
+    }
+
+    /// Selects how much of the run the report materialises (see
+    /// [`ReportMode`]). Call before stepping: events recorded while the
+    /// previous mode was in force are kept as-is.
+    pub fn report_mode(mut self, mode: ReportMode) -> Self {
+        let lean = mode == ReportMode::Lean;
+        self.wait_cycles.record = !lean;
+        self.step_dispatches.record = !lean;
+        self.awg.set_record_timeline(!lean);
+        self.qpu.set_lean(lean);
+        self
     }
 
     /// Advances the machine by one clock cycle.
@@ -551,16 +636,7 @@ impl Shot {
             }
             p.account_stall_span(s, span);
         }
-        if waiting == 1 {
-            self.wait_cycles.extend(now..target);
-        } else if waiting > 1 {
-            self.wait_cycles.reserve(waiting * span as usize);
-            for cyc in now..target {
-                for _ in 0..waiting {
-                    self.wait_cycles.push(cyc);
-                }
-            }
-        }
+        self.wait_cycles.extend_span(now, target, waiting);
         self.cycle = target;
         true
     }
@@ -592,22 +668,27 @@ impl Shot {
         self.stats.daq_contended_results = self.daq.contended_results();
         self.stats.daq_contention_delay_ns = self.daq.contention_delay_ns();
         // End-of-shot handover: the QPU, AWG and scheduler give up their
-        // accumulated vectors by value instead of being copied.
+        // accumulated vectors by value instead of being copied. The
+        // trigger/issue counters come from the devices, not the vector
+        // lengths, so lean runs report the same numbers with the vectors
+        // left empty.
         let qpu_makespan_ns = self.qpu.makespan_ns();
+        let issued_ops = self.qpu.issued_count();
         let (issued, violations) = self.qpu.take_results();
         let (playback, awg_violations) = self.awg.take_results();
-        self.stats.awg_triggers = playback.len() as u64;
+        self.stats.awg_triggers = self.awg.triggers();
         RunReport {
             cycles: self.cycle,
             ns: self.cycle * self.job.cfg.clock_ns,
             stop,
             issued,
+            issued_ops,
             violations,
             playback,
             awg_violations,
             stats: self.stats,
-            step_dispatches: self.step_dispatches,
-            wait_cycles: self.wait_cycles,
+            step_dispatches: self.step_dispatches.into_vec(),
+            wait_cycles: self.wait_cycles.into_vec(),
             measurements: self.measurements,
             block_events: std::mem::take(&mut self.scheduler.events),
             qpu_makespan_ns,

@@ -95,7 +95,17 @@ impl fmt::Display for CesReport {
 /// CES of step *i* is the span between the dispatch completion of step
 /// *i−1* and of step *i* (for the first step: from the first dispatch of
 /// the program), minus any measurement-wait cycles inside that span.
+///
+/// Requires a [`ReportMode::Full`](crate::ReportMode) report: the
+/// analysis reads the per-event `step_dispatches` and `wait_cycles`
+/// vectors, which lean (summary-only) reports leave empty — a lean
+/// report would silently yield an empty CES table here, so it is
+/// rejected by a debug assertion instead.
 pub fn ces_report(report: &RunReport, clock_ns: u64, gate_ns: u64) -> CesReport {
+    debug_assert!(
+        !report.step_dispatches.is_empty() || report.stats.total_quantum() == 0,
+        "ces_report needs a ReportMode::Full report (lean runs elide step_dispatches)"
+    );
     let mut last_dispatch: BTreeMap<StepId, u64> = BTreeMap::new();
     let mut counts: BTreeMap<StepId, usize> = BTreeMap::new();
     let mut first_overall = u64::MAX;
@@ -153,6 +163,7 @@ mod tests {
             ns: 1000,
             stop: StopReason::Completed,
             issued: Vec::new(),
+            issued_ops: 0,
             violations: Vec::new(),
             playback: Vec::new(),
             awg_violations: Vec::new(),

@@ -41,8 +41,8 @@ pub(crate) struct Env<'a> {
     pub chan: &'a ChannelMap,
     pub rng: &'a mut SmallRng,
     pub shared_regs: &'a mut [i32; quape_isa::SHARED_REG_COUNT],
-    pub step_dispatches: &'a mut Vec<StepDispatch>,
-    pub wait_cycles: &'a mut Vec<u64>,
+    pub step_dispatches: &'a mut crate::machine::EventSink<StepDispatch>,
+    pub wait_cycles: &'a mut crate::machine::EventSink<u64>,
     pub late_issues: &'a mut u64,
     pub late_cycles: &'a mut u64,
     pub measurements: &'a mut Vec<crate::machine::MeasurementRecord>,

@@ -110,6 +110,8 @@ pub struct BehavioralQpu {
     busy_until: Vec<u64>,
     log: Vec<IssuedOp>,
     violations: Vec<TimingViolation>,
+    record_log: bool,
+    issued_ops: u64,
 }
 
 impl BehavioralQpu {
@@ -123,7 +125,26 @@ impl BehavioralQpu {
             busy_until: Vec::new(),
             log: Vec::new(),
             violations: Vec::new(),
+            record_log: true,
+            issued_ops: 0,
         }
+    }
+
+    /// Enables or disables recording of the per-operation [`log`]
+    /// (lean/summary-only mode for batch paths). The occupancy model,
+    /// violation detection, measurement sampling and the
+    /// [`issued_count`](BehavioralQpu::issued_count) counter are
+    /// unaffected, so outcomes stay bit-identical either way.
+    ///
+    /// [`log`]: BehavioralQpu::log
+    pub fn set_record_log(&mut self, record: bool) {
+        self.record_log = record;
+    }
+
+    /// Operations received so far (counted even when the log itself is
+    /// not recorded).
+    pub fn issued_count(&self) -> u64 {
+        self.issued_ops
     }
 
     /// Applies an operation at `time_ns`. For measurements, returns the
@@ -147,7 +168,10 @@ impl BehavioralQpu {
             }
             self.busy_until[i] = time_ns.max(busy) + duration;
         }
-        self.log.push(issued);
+        self.issued_ops += 1;
+        if self.record_log {
+            self.log.push(issued);
+        }
         match op {
             QuantumOp::Measure(q) => {
                 let p = self.model.p_one(q).clamp(0.0, 1.0);

@@ -33,6 +33,17 @@ pub struct CacheStats {
     pub compiles: u64,
 }
 
+impl CacheStats {
+    /// Adds `other`'s counters into `self` — how a front router folds
+    /// per-shard (or per-tenant-per-shard) stats into fleet totals.
+    pub fn merge(&mut self, other: &CacheStats) {
+        self.hits += other.hits;
+        self.misses += other.misses;
+        self.evictions += other.evictions;
+        self.compiles += other.compiles;
+    }
+}
+
 /// A resolved cache lookup: the shared job plus whether it was served
 /// from the cache (`hit`) or compiled by this call.
 #[derive(Debug, Clone)]
@@ -81,6 +92,17 @@ struct Inner {
     map: HashMap<u128, Entry>,
     tick: u64,
     stats: CacheStats,
+    /// Per-tenant attribution of the same counters: hits/misses/compiles
+    /// go to the requesting tenant, evictions to the tenant whose insert
+    /// pushed the victim out. Unattributed (tenant-less) requests only
+    /// count in the global `stats`.
+    tenant_stats: HashMap<String, CacheStats>,
+}
+
+impl Inner {
+    fn tenant_entry(&mut self, tenant: Option<&str>) -> Option<&mut CacheStats> {
+        tenant.map(|t| self.tenant_stats.entry(t.to_string()).or_default())
+    }
 }
 
 /// LRU cache of compiled jobs, keyed by content hash, safe for
@@ -129,6 +151,19 @@ impl CompileCache {
         self.inner.lock().expect("cache lock poisoned").stats
     }
 
+    /// Per-tenant snapshots of the same counters, sorted by tenant id.
+    /// Only requests that named a tenant are attributed.
+    pub fn tenant_stats(&self) -> Vec<(String, CacheStats)> {
+        let inner = self.inner.lock().expect("cache lock poisoned");
+        let mut rows: Vec<(String, CacheStats)> = inner
+            .tenant_stats
+            .iter()
+            .map(|(t, s)| (t.clone(), *s))
+            .collect();
+        rows.sort_unstable_by(|a, b| a.0.cmp(&b.0));
+        rows
+    }
+
     /// Looks up `key`, compiling via `compile` on a miss.
     ///
     /// The compilation runs on the calling thread *without* holding the
@@ -146,6 +181,7 @@ impl CompileCache {
     pub fn get_or_compile(
         &self,
         key: u128,
+        tenant: Option<&str>,
         compile: impl FnOnce() -> Result<CompiledJob, JobError>,
     ) -> Result<CacheOutcome, JobError> {
         /// Unwind guard: if the compile closure panics, fail the slot
@@ -183,10 +219,16 @@ impl CompileCache {
                 entry.last_used = tick;
                 let slot = entry.slot.clone();
                 inner.stats.hits += 1;
+                if let Some(t) = inner.tenant_entry(tenant) {
+                    t.hits += 1;
+                }
                 drop(inner);
                 return slot.wait().map(|job| CacheOutcome { job, hit: true });
             }
             inner.stats.misses += 1;
+            if let Some(t) = inner.tenant_entry(tenant) {
+                t.misses += 1;
+            }
             let slot = Arc::new(Slot::default());
             inner.map.insert(
                 key,
@@ -209,6 +251,9 @@ impl CompileCache {
                 {
                     inner.map.remove(&victim);
                     inner.stats.evictions += 1;
+                    if let Some(t) = inner.tenant_entry(tenant) {
+                        t.evictions += 1;
+                    }
                 }
             }
             slot
@@ -225,6 +270,9 @@ impl CompileCache {
         {
             let mut inner = self.inner.lock().expect("cache lock poisoned");
             inner.stats.compiles += 1;
+            if let Some(t) = inner.tenant_entry(tenant) {
+                t.compiles += 1;
+            }
             if result.is_err() {
                 // Drop the failed entry (if it was not already evicted)
                 // so future requests retry instead of caching the error.
@@ -257,10 +305,10 @@ mod tests {
     fn hit_returns_the_same_arc() {
         let cache = CompileCache::new(4);
         let a = cache
-            .get_or_compile(1, || Ok(job("0 H q0\nSTOP\n")))
+            .get_or_compile(1, None, || Ok(job("0 H q0\nSTOP\n")))
             .unwrap();
         let b = cache
-            .get_or_compile(1, || panic!("must not recompile"))
+            .get_or_compile(1, None, || panic!("must not recompile"))
             .unwrap();
         assert!(!a.hit);
         assert!(b.hit);
@@ -273,16 +321,16 @@ mod tests {
     fn lru_evicts_least_recently_used() {
         let cache = CompileCache::new(2);
         let p = || Ok(job("0 H q0\nSTOP\n"));
-        cache.get_or_compile(1, p).unwrap(); // {1}
-        cache.get_or_compile(2, p).unwrap(); // {1, 2}
-        cache.get_or_compile(1, p).unwrap(); // touch 1 → 2 is now LRU
-        cache.get_or_compile(3, p).unwrap(); // evicts 2
+        cache.get_or_compile(1, None, p).unwrap(); // {1}
+        cache.get_or_compile(2, None, p).unwrap(); // {1, 2}
+        cache.get_or_compile(1, None, p).unwrap(); // touch 1 → 2 is now LRU
+        cache.get_or_compile(3, None, p).unwrap(); // evicts 2
         assert!(cache.contains(1));
         assert!(!cache.contains(2));
         assert!(cache.contains(3));
         assert_eq!(cache.stats().evictions, 1);
         // Re-requesting the victim recompiles.
-        let again = cache.get_or_compile(2, p).unwrap();
+        let again = cache.get_or_compile(2, None, p).unwrap();
         assert!(!again.hit);
         assert_eq!(cache.stats().compiles, 4);
         assert_eq!(cache.len(), 2);
@@ -292,8 +340,8 @@ mod tests {
     fn capacity_floor_is_one() {
         let cache = CompileCache::new(0);
         assert_eq!(cache.capacity(), 1);
-        cache.get_or_compile(1, || Ok(job("STOP\n"))).unwrap();
-        cache.get_or_compile(2, || Ok(job("STOP\n"))).unwrap();
+        cache.get_or_compile(1, None, || Ok(job("STOP\n"))).unwrap();
+        cache.get_or_compile(2, None, || Ok(job("STOP\n"))).unwrap();
         assert_eq!(cache.len(), 1);
     }
 
@@ -306,7 +354,7 @@ mod tests {
                 .map(|_| {
                     scope.spawn(|| {
                         cache
-                            .get_or_compile(7, || {
+                            .get_or_compile(7, None, || {
                                 compiles.fetch_add(1, Ordering::SeqCst);
                                 // Give the other threads time to pile up
                                 // on the in-flight slot.
@@ -335,7 +383,7 @@ mod tests {
         let errors: Vec<JobError> = std::thread::scope(|scope| {
             let panicker = scope.spawn(|| {
                 let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                    cache.get_or_compile(5, || -> Result<CompiledJob, JobError> {
+                    cache.get_or_compile(5, None, || -> Result<CompiledJob, JobError> {
                         std::thread::sleep(std::time::Duration::from_millis(30));
                         panic!("assembler bug");
                     })
@@ -347,7 +395,7 @@ mod tests {
                 .map(|_| {
                     scope.spawn(|| {
                         cache
-                            .get_or_compile(5, || panic!("waiter must not compile"))
+                            .get_or_compile(5, None, || panic!("waiter must not compile"))
                             .unwrap_err()
                     })
                 })
@@ -361,7 +409,7 @@ mod tests {
         }
         // The entry is gone; a retry compiles for real.
         assert!(!cache.contains(5));
-        let ok = cache.get_or_compile(5, || Ok(job("STOP\n"))).unwrap();
+        let ok = cache.get_or_compile(5, None, || Ok(job("STOP\n"))).unwrap();
         assert!(!ok.hit);
     }
 
@@ -369,12 +417,12 @@ mod tests {
     fn failed_compiles_are_not_cached() {
         let cache = CompileCache::new(4);
         let err = cache
-            .get_or_compile(9, || Err(JobError::EmptyJob))
+            .get_or_compile(9, None, || Err(JobError::EmptyJob))
             .unwrap_err();
         assert_eq!(err, JobError::EmptyJob);
         assert!(!cache.contains(9));
         // The retry compiles for real.
-        let ok = cache.get_or_compile(9, || Ok(job("STOP\n"))).unwrap();
+        let ok = cache.get_or_compile(9, None, || Ok(job("STOP\n"))).unwrap();
         assert!(!ok.hit);
     }
 }

@@ -27,6 +27,16 @@
 //!   job's [`BatchAggregate`](quape_core::BatchAggregate) is
 //!   **bit-identical** to a solo run — for any worker count and any
 //!   interleaving (differential-tested).
+//! * **A streaming lifecycle** ([`JobServer::serve`] →
+//!   [`ServingServer`]): a long-lived pool whose workers park when
+//!   idle. [`submit`](ServingServer::submit) while serving is live and
+//!   the job starts immediately; the returned [`JobHandle`] exposes
+//!   per-job progress, prefix-consistent partial aggregates,
+//!   blocking/timeout waits and cooperative cancellation;
+//!   [`drain`](ServingServer::drain) finishes everything accepted while
+//!   [`shutdown`](ServingServer::shutdown) stops claiming quanta and
+//!   finalizes partials. This is the shard building block the
+//!   `quape-router` front router scales across QPUs.
 //!
 //! ```
 //! use quape_core::QuapeConfig;
@@ -63,4 +73,7 @@ mod cache;
 mod server;
 
 pub use cache::{CacheOutcome, CacheStats, CompileCache};
-pub use server::{JobError, JobRequest, JobResult, JobServer, JobSource, Priority, ServerConfig};
+pub use server::{
+    JobError, JobHandle, JobProgress, JobRequest, JobResult, JobServer, JobSource, Priority,
+    ServerConfig, ServingServer,
+};

@@ -1,5 +1,5 @@
-//! The job server: request intake, compile deduplication, and fair
-//! shot-quantum scheduling onto a shared worker pool.
+//! The job server: request intake, compile deduplication, fair
+//! shot-quantum scheduling, and a streaming job lifecycle.
 //!
 //! ## Scheduling policy
 //!
@@ -14,13 +14,33 @@
 //! hundred-shot job — while the weight lets high-priority tenants drain
 //! faster without ever starving the rest.
 //!
+//! ## Two serving modes
+//!
+//! * **Batch** ([`JobServer::run`]): queue jobs with
+//!   [`submit`](JobServer::submit), then drain them to completion on a
+//!   scoped worker pool. The original PR 4 interface, still what the
+//!   mixed-traffic benchmark drives.
+//! * **Streaming** ([`JobServer::serve`] → [`ServingServer`]): a
+//!   long-lived worker pool that parks on a condvar when idle. Jobs
+//!   submitted *while serving is live* wake the pool immediately; every
+//!   submission returns a [`JobHandle`] with per-job progress
+//!   ([`JobHandle::progress`], [`JobHandle::partial_aggregate`]),
+//!   blocking/timeout [`wait`](JobHandle::wait), and cooperative
+//!   [`cancel`](JobHandle::cancel). [`ServingServer::drain`] finishes
+//!   everything accepted so far; [`ServingServer::shutdown`] stops
+//!   claiming new quanta and finalizes the partial aggregates.
+//!
 //! ## Determinism
 //!
 //! A shot's outcome depends only on `(job, factory, base_seed, shot
 //! index)`, so neither the worker count nor the interleaving affects any
 //! per-job result: summaries are folded in shot order with
 //! [`BatchAggregate::from_summaries`], exactly as a solo
-//! [`ShotEngine::run`](quape_core::ShotEngine::run) folds them.
+//! [`ShotEngine::run`](quape_core::ShotEngine::run) folds them. Shot
+//! quanta are claimed as a monotone prefix `0..n` of the job's shot
+//! indices, so a cancelled job's partial aggregate is always
+//! **prefix-consistent**: bit-identical to a solo run of its first `n`
+//! shots.
 
 use crate::cache::{CacheStats, CompileCache};
 use quape_core::{
@@ -29,7 +49,8 @@ use quape_core::{
 };
 use quape_isa::{AsmError, Fnv64, Program};
 use std::fmt;
-use std::sync::{Arc, Mutex};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::time::{Duration, Instant};
 
 /// Errors surfaced by [`JobServer::submit`].
@@ -44,6 +65,8 @@ pub enum JobError {
     /// The in-flight compilation this request was waiting on panicked;
     /// the entry was dropped, so resubmitting retries from scratch.
     CompileUnavailable,
+    /// The server is draining or shut down and accepts no new jobs.
+    NotAccepting,
 }
 
 impl fmt::Display for JobError {
@@ -58,6 +81,9 @@ impl fmt::Display for JobError {
                     "the shared in-flight compilation aborted; retry the request"
                 )
             }
+            JobError::NotAccepting => {
+                write!(f, "the server is draining or shut down; resubmit elsewhere")
+            }
         }
     }
 }
@@ -67,7 +93,7 @@ impl std::error::Error for JobError {
         match self {
             JobError::Parse(e) => Some(e),
             JobError::Compile(e) => Some(e),
-            JobError::EmptyJob | JobError::CompileUnavailable => None,
+            JobError::EmptyJob | JobError::CompileUnavailable | JobError::NotAccepting => None,
         }
     }
 }
@@ -167,8 +193,17 @@ impl Priority {
 pub struct JobRequest {
     /// Human-readable job name (reported back in [`JobResult`]).
     pub name: String,
+    /// Tenant identity, for per-tenant cache accounting
+    /// ([`JobServer::tenant_stats`]). `None` requests are served
+    /// identically but not attributed.
+    pub tenant: Option<String>,
     /// The program source.
     pub source: JobSource,
+    /// Precomputed compile-cache key (`source.cache_key(&cfg)`), set by
+    /// a front-end that already hashed the request — e.g. for sticky
+    /// placement — so `submit` does not hash the source text twice.
+    /// Must match the source/config pair; leave `None` otherwise.
+    pub precomputed_key: Option<u128>,
     /// Machine configuration to compile against.
     pub cfg: QuapeConfig,
     /// Per-shot QPU backend factory.
@@ -199,7 +234,9 @@ impl JobRequest {
         let base_seed = cfg.seed;
         JobRequest {
             name: name.into(),
+            tenant: None,
             source,
+            precomputed_key: None,
             cfg,
             factory: Arc::new(factory),
             shots,
@@ -213,6 +250,12 @@ impl JobRequest {
     /// Sets the scheduling priority.
     pub fn priority(mut self, priority: Priority) -> Self {
         self.priority = priority;
+        self
+    }
+
+    /// Attributes the request to a tenant for cache accounting.
+    pub fn tenant(mut self, tenant: impl Into<String>) -> Self {
+        self.tenant = Some(tenant.into());
         self
     }
 
@@ -265,8 +308,16 @@ pub struct JobResult {
     pub id: u64,
     /// The request's name.
     pub name: String,
-    /// Shots executed.
+    /// Shots actually executed (`< shots_requested` when cancelled).
     pub shots: u64,
+    /// Shots the request asked for.
+    pub shots_requested: u64,
+    /// True when the job stopped short of its requested shots — by its
+    /// handle's cancel, a shutdown, or a panicking shot quantum; the
+    /// aggregate then covers the completed prefix `0..shots`. Always
+    /// false when every requested shot ran, even if a cancel raced the
+    /// last quantum.
+    pub cancelled: bool,
     /// The request's priority.
     pub priority: Priority,
     /// True when the compiled job came from the cache.
@@ -280,30 +331,216 @@ pub struct JobResult {
     /// Order in which jobs finished (0 = first).
     pub completion_rank: u64,
     /// The job's deterministic aggregate — bit-identical to a solo
-    /// [`ShotEngine`] run with the same parameters.
+    /// [`ShotEngine`] run with the same parameters (over the completed
+    /// prefix, when cancelled).
     pub aggregate: BatchAggregate,
+}
+
+/// A point-in-time view of one job's execution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct JobProgress {
+    /// Shots whose summaries have landed.
+    pub shots_done: u64,
+    /// Shots the request asked for.
+    pub shots_total: u64,
+    /// True once [`JobHandle::cancel`] (or a shutdown) was observed.
+    pub cancelled: bool,
+    /// True once the job's [`JobResult`] is available.
+    pub finished: bool,
+}
+
+/// Sorts `summaries` by shot index and folds the *contiguous completed
+/// prefix* in shot order — the one fold rule shared by mid-flight
+/// partials ([`JobHandle::partial_aggregate`]) and final results, so
+/// the two can never diverge. Returns the aggregate and the prefix
+/// length.
+fn prefix_aggregate(base_seed: u64, summaries: &mut [ShotSummary]) -> (BatchAggregate, u64) {
+    summaries.sort_unstable_by_key(|s| s.shot);
+    // After the sort, position i holds shot i for exactly the
+    // contiguous completed prefix.
+    let prefix = summaries
+        .iter()
+        .enumerate()
+        .take_while(|(i, s)| s.shot == *i as u64)
+        .count();
+    (
+        BatchAggregate::from_summaries(base_seed, &summaries[..prefix]),
+        prefix as u64,
+    )
+}
+
+/// The shared per-job cell a [`JobHandle`] reads: summaries as they
+/// land, the final result, and the cancellation flag. Lock order is
+/// strictly *server state → cell* — cell-only readers (progress, wait)
+/// never touch the server lock.
+struct JobCell {
+    name: String,
+    priority: Priority,
+    shots_requested: u64,
+    base_seed: u64,
+    cache_hit: bool,
+    compile_wall: Duration,
+    submitted_at: Instant,
+    cancelled: AtomicBool,
+    inner: Mutex<CellInner>,
+    cond: Condvar,
+}
+
+#[derive(Default)]
+struct CellInner {
+    summaries: Vec<ShotSummary>,
+    result: Option<JobResult>,
+}
+
+/// A live handle on one submitted job. Clone freely; all methods are
+/// safe from any thread, while the job runs or after it finished.
+#[derive(Clone)]
+pub struct JobHandle {
+    server: JobServer,
+    cell: Arc<JobCell>,
+    id: u64,
+}
+
+impl fmt::Debug for JobHandle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("JobHandle")
+            .field("id", &self.id)
+            .field("name", &self.cell.name)
+            .finish()
+    }
+}
+
+impl JobHandle {
+    /// The job's server-assigned id.
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// The request's name.
+    pub fn name(&self) -> &str {
+        &self.cell.name
+    }
+
+    /// A point-in-time progress snapshot.
+    pub fn progress(&self) -> JobProgress {
+        let inner = self.cell.inner.lock().expect("job cell lock poisoned");
+        let shots_done = match &inner.result {
+            Some(r) => r.shots,
+            None => inner.summaries.len() as u64,
+        };
+        JobProgress {
+            shots_done,
+            shots_total: self.cell.shots_requested,
+            // Once finished, the result is the truth — a cancel that
+            // raced completion (and changed nothing) is not reported.
+            cancelled: match &inner.result {
+                Some(r) => r.cancelled,
+                None => self.cell.cancelled.load(Ordering::Relaxed),
+            },
+            finished: inner.result.is_some(),
+        }
+    }
+
+    /// The partial aggregate over the job's *contiguous completed
+    /// prefix* of shot indices, folded in shot order — exactly the
+    /// prefix a solo [`ShotEngine`] run of that many shots would
+    /// produce. Returns the final aggregate once the job finished.
+    pub fn partial_aggregate(&self) -> BatchAggregate {
+        let inner = self.cell.inner.lock().expect("job cell lock poisoned");
+        if let Some(r) = &inner.result {
+            return r.aggregate.clone();
+        }
+        let mut summaries = inner.summaries.clone();
+        drop(inner);
+        prefix_aggregate(self.cell.base_seed, &mut summaries).0
+    }
+
+    /// True once the job's result is available.
+    pub fn is_finished(&self) -> bool {
+        self.cell
+            .inner
+            .lock()
+            .expect("job cell lock poisoned")
+            .result
+            .is_some()
+    }
+
+    /// Cooperatively cancels the job: the scheduler stops claiming new
+    /// shot quanta; quanta already being executed complete normally.
+    /// The job then finalizes with a prefix-consistent partial
+    /// aggregate, delivered through [`wait`](JobHandle::wait) and the
+    /// server's drain exactly like a completed job (with
+    /// [`JobResult::cancelled`] set). Cancelling a finished job is a
+    /// no-op.
+    pub fn cancel(&self) {
+        self.server.cancel_job(self.id, &self.cell);
+    }
+
+    /// Blocks until the job's result is available.
+    ///
+    /// On a server that is not currently serving (batch mode), the
+    /// result only materialises during [`JobServer::run`] — call `wait`
+    /// from another thread or after `run`.
+    pub fn wait(&self) -> JobResult {
+        let inner = self.cell.inner.lock().expect("job cell lock poisoned");
+        let inner = self
+            .cell
+            .cond
+            .wait_while(inner, |c| c.result.is_none())
+            .expect("job cell lock poisoned");
+        inner
+            .result
+            .clone()
+            .expect("wait_while guarantees a result")
+    }
+
+    /// Blocks until the job's result is available or `timeout` elapses.
+    pub fn wait_timeout(&self, timeout: Duration) -> Option<JobResult> {
+        let inner = self.cell.inner.lock().expect("job cell lock poisoned");
+        let (inner, _) = self
+            .cell
+            .cond
+            .wait_timeout_while(inner, timeout, |c| c.result.is_none())
+            .expect("job cell lock poisoned");
+        inner.result.clone()
+    }
 }
 
 struct ActiveJob {
     id: u64,
-    name: String,
     priority: Priority,
     shots: u64,
-    base_seed: u64,
     engine: Arc<ShotEngine>,
-    cache_hit: bool,
-    compile_wall: Duration,
-    submitted_at: Instant,
     next_shot: u64,
     done_shots: u64,
-    summaries: Vec<ShotSummary>,
-    finished: Option<Finished>,
+    /// Shots of claimed quanta whose execution panicked: their summaries
+    /// will never land, so quiescence is `done + lost == next_shot`. A
+    /// lost quantum cancels the job (its summaries would leave a gap).
+    lost_shots: u64,
+    cell: Arc<JobCell>,
 }
 
-struct Finished {
-    latency: Duration,
-    rank: u64,
-    aggregate: BatchAggregate,
+impl ActiveJob {
+    /// True when no claimed quantum is still executing.
+    fn quiescent(&self) -> bool {
+        self.done_shots + self.lost_shots == self.next_shot
+    }
+}
+
+/// Whether the serving loop accepts jobs / claims quanta.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+enum ServePhase {
+    /// Batch mode: submissions queue for the next [`JobServer::run`].
+    #[default]
+    Collect,
+    /// Live workers park when idle and wake on submission.
+    Serving,
+    /// No new submissions; queued jobs run to completion, then workers
+    /// exit.
+    Draining,
+    /// No new submissions, no new quanta; in-flight quanta finish, then
+    /// workers exit and unfinished jobs finalize as cancelled partials.
+    Shutdown,
 }
 
 #[derive(Default)]
@@ -312,15 +549,30 @@ struct SchedState {
     cursor: usize,
     completed: u64,
     next_id: u64,
+    finished: Vec<JobResult>,
+    /// Jobs already removed from `jobs` whose final fold is running
+    /// outside the lock ([`JobServer::finalize_detached`]); drains wait
+    /// for this to reach zero before taking `finished`.
+    finalizing: usize,
+    phase: ServePhase,
 }
 
-/// The multi-tenant job service: submit jobs from any thread, then
-/// [`run`](JobServer::run) them to completion on a shared worker pool.
-/// See the [crate docs](crate) for the scheduling policy.
-pub struct JobServer {
+struct ServerInner {
     cfg: ServerConfig,
     cache: CompileCache,
     state: Mutex<SchedState>,
+    work: Condvar,
+}
+
+/// The multi-tenant job service. Cheap to clone (all state is shared):
+/// clones submit to, and observe, the same server.
+///
+/// Batch mode: [`submit`](JobServer::submit) then [`run`](JobServer::run).
+/// Streaming mode: [`JobServer::serve`] → [`ServingServer`]. See the
+/// [crate docs](crate) for the scheduling policy and lifecycle.
+#[derive(Clone)]
+pub struct JobServer {
+    inner: Arc<ServerInner>,
 }
 
 impl JobServer {
@@ -328,77 +580,268 @@ impl JobServer {
     pub fn new(cfg: ServerConfig) -> Self {
         let cache = CompileCache::new(cfg.cache_capacity);
         JobServer {
-            cfg,
-            cache,
-            state: Mutex::new(SchedState::default()),
+            inner: Arc::new(ServerInner {
+                cfg,
+                cache,
+                state: Mutex::new(SchedState::default()),
+                work: Condvar::new(),
+            }),
         }
+    }
+
+    /// Creates a server and starts its long-lived worker pool: jobs
+    /// submitted through the returned [`ServingServer`] (or through any
+    /// clone of its [`server`](ServingServer::server)) begin executing
+    /// immediately.
+    pub fn serve(cfg: ServerConfig) -> ServingServer {
+        let server = JobServer::new(cfg);
+        let threads = server.effective_threads();
+        server.lock_state().phase = ServePhase::Serving;
+        let workers = (0..threads)
+            .map(|_| {
+                let s = server.clone();
+                std::thread::spawn(move || s.serving_loop())
+            })
+            .collect();
+        ServingServer {
+            server,
+            workers,
+            stopped: false,
+        }
+    }
+
+    fn lock_state(&self) -> MutexGuard<'_, SchedState> {
+        self.inner.state.lock().expect("server lock poisoned")
+    }
+
+    fn effective_threads(&self) -> usize {
+        if self.inner.cfg.threads == 0 {
+            std::thread::available_parallelism().map_or(1, |n| n.get())
+        } else {
+            self.inner.cfg.threads
+        }
+        .max(1)
     }
 
     /// The compile cache's hit/miss/eviction counters.
     pub fn cache_stats(&self) -> CacheStats {
-        self.cache.stats()
+        self.inner.cache.stats()
     }
 
-    /// Jobs queued and not yet drained by [`run`](JobServer::run).
+    /// Per-tenant cache counters (requests submitted without a tenant
+    /// are not attributed), sorted by tenant id.
+    pub fn tenant_stats(&self) -> Vec<(String, CacheStats)> {
+        self.inner.cache.tenant_stats()
+    }
+
+    /// Jobs queued or running, not yet finished.
     pub fn pending_jobs(&self) -> usize {
-        self.state.lock().expect("server lock poisoned").jobs.len()
+        self.lock_state().jobs.len()
+    }
+
+    /// Shots accepted but not yet executed — the scheduler backlog a
+    /// load-aware placement policy balances on.
+    pub fn backlog_shots(&self) -> u64 {
+        self.lock_state()
+            .jobs
+            .iter()
+            .map(|j| j.shots - j.done_shots)
+            .sum()
     }
 
     /// Accepts a job: resolves its compiled job through the cache
     /// (compiling on this thread on a miss — concurrent submissions of
     /// the same program share one compilation) and queues its shots.
-    /// Returns the job id.
+    /// Returns a [`JobHandle`] for progress, waiting and cancellation.
+    ///
+    /// On a serving pool ([`JobServer::serve`]) the job starts
+    /// executing immediately; in batch mode it waits for the next
+    /// [`run`](JobServer::run).
     ///
     /// # Errors
     ///
-    /// Rejects zero-shot requests ([`JobError::EmptyJob`]) and
+    /// Rejects zero-shot requests ([`JobError::EmptyJob`]), submissions
+    /// to a draining/shut-down server ([`JobError::NotAccepting`]), and
     /// propagates parse/compile failures.
-    pub fn submit(&self, req: JobRequest) -> Result<u64, JobError> {
+    pub fn submit(&self, req: JobRequest) -> Result<JobHandle, JobError> {
         if req.shots == 0 {
             return Err(JobError::EmptyJob);
+        }
+        // Reject before compiling (and re-check under the lock at queue
+        // time): a drained server must not burn compile time or skew
+        // per-tenant cache accounting for requests it will never accept.
+        if matches!(
+            self.lock_state().phase,
+            ServePhase::Draining | ServePhase::Shutdown
+        ) {
+            return Err(JobError::NotAccepting);
         }
         // The job "arrives" when submit is called: its latency includes
         // its own compile (or compile-cache wait), not just the queue
         // and execution time after it.
         let submitted_at = Instant::now();
-        let key = req.source.cache_key(&req.cfg);
+        let key = req
+            .precomputed_key
+            .unwrap_or_else(|| req.source.cache_key(&req.cfg));
+        debug_assert_eq!(
+            key,
+            req.source.cache_key(&req.cfg),
+            "precomputed_key does not match the request's source/config"
+        );
         let outcome = self
+            .inner
             .cache
-            .get_or_compile(key, || req.source.compile(req.cfg))?;
+            .get_or_compile(key, req.tenant.as_deref(), || req.source.compile(req.cfg))?;
         let compile_wall = submitted_at.elapsed();
         let engine = ShotEngine::new(outcome.job.as_ref().clone(), req.factory)
             .base_seed(req.base_seed)
             .cycle_limit(req.cycle_limit)
             .step_mode(req.step_mode)
             .threads(1);
-        let mut st = self.state.lock().expect("server lock poisoned");
+        let cell = Arc::new(JobCell {
+            name: req.name,
+            priority: req.priority,
+            shots_requested: req.shots,
+            base_seed: req.base_seed,
+            cache_hit: outcome.hit,
+            compile_wall,
+            submitted_at,
+            cancelled: AtomicBool::new(false),
+            inner: Mutex::new(CellInner::default()),
+            cond: Condvar::new(),
+        });
+        let mut st = self.lock_state();
+        if matches!(st.phase, ServePhase::Draining | ServePhase::Shutdown) {
+            return Err(JobError::NotAccepting);
+        }
         let id = st.next_id;
         st.next_id += 1;
         st.jobs.push(ActiveJob {
             id,
-            name: req.name,
             priority: req.priority,
             shots: req.shots,
-            base_seed: req.base_seed,
             engine: Arc::new(engine),
-            cache_hit: outcome.hit,
-            compile_wall,
-            submitted_at,
             next_shot: 0,
             done_shots: 0,
-            summaries: Vec::with_capacity(req.shots.min(1 << 20) as usize),
-            finished: None,
+            lost_shots: 0,
+            cell: cell.clone(),
         });
-        Ok(id)
+        drop(st);
+        self.inner.work.notify_all();
+        Ok(JobHandle {
+            server: self.clone(),
+            cell,
+            id,
+        })
     }
 
-    /// Claims the next shot quantum in priority-weighted round-robin
-    /// order: the first job at or after the cursor with unclaimed shots
-    /// yields `shot_quantum × weight` shot indices, and the cursor moves
-    /// past it. The claim names the job by id, never by queue position —
-    /// positions shift when finished jobs are drained.
-    fn claim(&self) -> Option<(Arc<ShotEngine>, u64, std::ops::Range<u64>)> {
-        let mut st = self.state.lock().expect("server lock poisoned");
+    /// Finalizes `job` (no claimed quantum still executing): folds its
+    /// summaries in shot order over the *contiguous completed prefix*,
+    /// publishes the [`JobResult`] to the cell and wakes waiters.
+    /// Caller holds the server lock and has removed the job from the
+    /// queue; the returned result also goes to the server's finished
+    /// list.
+    ///
+    /// Uncancelled jobs always have a gapless `0..shots` summary set; a
+    /// panicked quantum leaves a gap (and cancels the job), so the fold
+    /// stops at the gap to keep the prefix-consistency guarantee.
+    fn finalize(job: &ActiveJob, rank: u64) -> JobResult {
+        let flagged = job.cell.cancelled.load(Ordering::Relaxed);
+        let mut inner = job.cell.inner.lock().expect("job cell lock poisoned");
+        let mut summaries = std::mem::take(&mut inner.summaries);
+        let (aggregate, executed) = prefix_aggregate(job.cell.base_seed, &mut summaries);
+        debug_assert!(
+            flagged || executed == summaries.len() as u64,
+            "an uncancelled job's claimed quanta must form a contiguous prefix"
+        );
+        let result = JobResult {
+            id: job.id,
+            name: job.cell.name.clone(),
+            shots: executed,
+            shots_requested: job.cell.shots_requested,
+            // A cancel that raced the last quantum changed nothing: a
+            // job that executed everything it asked for is not
+            // cancelled, whatever the flag says.
+            cancelled: flagged && executed < job.cell.shots_requested,
+            priority: job.cell.priority,
+            cache_hit: job.cell.cache_hit,
+            compile_wall: job.cell.compile_wall,
+            latency: job.cell.submitted_at.elapsed(),
+            completion_rank: rank,
+            aggregate,
+        };
+        inner.result = Some(result.clone());
+        job.cell.cond.notify_all();
+        result
+    }
+
+    /// Removes the job at `index`, keeping the round-robin cursor
+    /// pointing at the same next job.
+    fn remove_job(st: &mut SchedState, index: usize) -> ActiveJob {
+        let job = st.jobs.remove(index);
+        if index < st.cursor {
+            st.cursor -= 1;
+        }
+        if st.cursor >= st.jobs.len() {
+            st.cursor = 0;
+        }
+        job
+    }
+
+    /// Finalizes under the server lock — for the small folds of the
+    /// claim-path reap and the terminal stop cleanup. The hot paths
+    /// ([`complete`](JobServer::complete), cancellation) use
+    /// [`finalize_detached`](JobServer::finalize_detached) instead.
+    fn finalize_and_remove(st: &mut SchedState, index: usize) {
+        let rank = st.completed;
+        st.completed += 1;
+        let job = Self::remove_job(st, index);
+        let result = Self::finalize(&job, rank);
+        st.finished.push(result);
+    }
+
+    /// Removes the job at `index` and folds its result *outside* the
+    /// server lock — the fold is O(shots · log shots), and holding the
+    /// one lock every claim and submit needs would stall the whole pool
+    /// on a large job. Ownership of the removed [`ActiveJob`] makes the
+    /// fold race-free; the `finalizing` counter keeps drains from
+    /// taking `finished` before the result lands there.
+    fn finalize_detached(&self, mut st: MutexGuard<'_, SchedState>, index: usize) {
+        let rank = st.completed;
+        st.completed += 1;
+        st.finalizing += 1;
+        let job = Self::remove_job(&mut st, index);
+        drop(st);
+        let result = Self::finalize(&job, rank);
+        let mut st = self.lock_state();
+        st.finished.push(result);
+        st.finalizing -= 1;
+        drop(st);
+        self.inner.work.notify_all();
+    }
+
+    /// Reaps quiescent cancelled jobs, then claims the next shot
+    /// quantum in priority-weighted round-robin order: the first
+    /// non-cancelled job at or after the cursor with unclaimed shots
+    /// yields `shot_quantum × weight` shot indices, and the cursor
+    /// moves past it. Claims name the job by id, never by queue
+    /// position — positions shift as finished jobs are removed.
+    fn reap_and_claim(
+        cfg: &ServerConfig,
+        st: &mut SchedState,
+    ) -> Option<(Arc<ShotEngine>, u64, std::ops::Range<u64>)> {
+        // A cancelled job with nothing in flight gets no more complete()
+        // calls — finalize it here so it cannot linger.
+        while let Some(i) = st
+            .jobs
+            .iter()
+            .position(|j| j.cell.cancelled.load(Ordering::Relaxed) && j.quiescent())
+        {
+            Self::finalize_and_remove(st, i);
+        }
+        if st.phase == ServePhase::Shutdown {
+            return None;
+        }
         let n = st.jobs.len();
         if n == 0 {
             return None;
@@ -406,8 +849,11 @@ impl JobServer {
         for k in 0..n {
             let i = (st.cursor + k) % n;
             let job = &mut st.jobs[i];
+            if job.cell.cancelled.load(Ordering::Relaxed) {
+                continue;
+            }
             if job.next_shot < job.shots {
-                let quantum = self.cfg.shot_quantum.max(1) * job.priority.weight();
+                let quantum = cfg.shot_quantum.max(1) * job.priority.weight();
                 let start = job.next_shot;
                 let end = (start + quantum).min(job.shots);
                 job.next_shot = end;
@@ -421,34 +867,128 @@ impl JobServer {
     }
 
     /// Folds a finished quantum back into its job; finalizes the job
-    /// when its last shot lands.
+    /// when its last expected shot lands (all requested shots, or all
+    /// claimed shots of a cancelled job).
     fn complete(&self, id: u64, batch: Vec<ShotSummary>) {
-        let mut st = self.state.lock().expect("server lock poisoned");
-        let completed = st.completed;
-        let job = st
+        let mut st = self.lock_state();
+        let index = st
             .jobs
-            .iter_mut()
-            .find(|j| j.id == id)
-            .expect("a job with claimed shots outstanding is never drained");
-        job.done_shots += batch.len() as u64;
-        job.summaries.extend(batch);
-        if job.done_shots == job.shots && job.finished.is_none() {
-            job.summaries.sort_unstable_by_key(|s| s.shot);
-            let aggregate = BatchAggregate::from_summaries(job.base_seed, &job.summaries);
-            job.summaries = Vec::new();
-            job.finished = Some(Finished {
-                latency: job.submitted_at.elapsed(),
-                rank: completed,
-                aggregate,
-            });
-            st.completed += 1;
+            .iter()
+            .position(|j| j.id == id)
+            .expect("a job with claimed shots outstanding is never removed");
+        let done = {
+            let job = &mut st.jobs[index];
+            job.done_shots += batch.len() as u64;
+            job.cell
+                .inner
+                .lock()
+                .expect("job cell lock poisoned")
+                .summaries
+                .extend(batch);
+            job.done_shots == job.shots
+                || (job.cell.cancelled.load(Ordering::Relaxed) && job.quiescent())
+        };
+        if done {
+            self.finalize_detached(st, index);
+        } else {
+            drop(st);
+        }
+        // Progress may unblock a drain (job finished) or another claim.
+        self.inner.work.notify_all();
+    }
+
+    /// Records a claimed quantum whose execution panicked: its summaries
+    /// will never land, so the job is cancelled (the gap makes further
+    /// shots meaningless) and finalized as a prefix partial once
+    /// quiescent.
+    fn fail_quantum(&self, id: u64, shots: u64) {
+        let mut st = self.lock_state();
+        let index = st
+            .jobs
+            .iter()
+            .position(|j| j.id == id)
+            .expect("a job with claimed shots outstanding is never removed");
+        let job = &mut st.jobs[index];
+        job.lost_shots += shots;
+        job.cell.cancelled.store(true, Ordering::Relaxed);
+        if job.quiescent() {
+            self.finalize_detached(st, index);
+        } else {
+            drop(st);
+        }
+        self.inner.work.notify_all();
+    }
+
+    /// Runs one claimed quantum, isolating panics from user-supplied
+    /// factories/backends: a panicking quantum fails its job (cancelled,
+    /// prefix-consistent partial) instead of hanging the drain or
+    /// killing the worker.
+    fn execute_quantum(&self, engine: &ShotEngine, id: u64, range: std::ops::Range<u64>) {
+        let shots = range.end - range.start;
+        let batch = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            range
+                .map(|s| engine.run_shot(s))
+                .collect::<Vec<ShotSummary>>()
+        }));
+        match batch {
+            Ok(batch) => self.complete(id, batch),
+            Err(_) => self.fail_quantum(id, shots),
         }
     }
 
+    /// Cooperative cancellation (see [`JobHandle::cancel`]).
+    fn cancel_job(&self, id: u64, cell: &Arc<JobCell>) {
+        let st = self.lock_state();
+        let Some(index) = st.jobs.iter().position(|j| j.id == id) else {
+            // Already finished: cancelling is a no-op — the flag stays
+            // clear so progress() keeps agreeing with the result.
+            return;
+        };
+        // Set the flag under the server lock so no claim can start a new
+        // quantum after cancel() returns.
+        cell.cancelled.store(true, Ordering::Relaxed);
+        if st.jobs[index].quiescent() {
+            // Nothing in flight: finalize right here (off the lock).
+            self.finalize_detached(st, index);
+        } else {
+            drop(st);
+        }
+        self.inner.work.notify_all();
+    }
+
+    /// Batch worker: claim until the queue has nothing claimable, then
+    /// exit (the [`run`](JobServer::run) drain).
     fn worker_loop(&self) {
-        while let Some((engine, id, range)) = self.claim() {
-            let batch: Vec<ShotSummary> = range.map(|s| engine.run_shot(s)).collect();
-            self.complete(id, batch);
+        loop {
+            let claimed = {
+                let mut st = self.lock_state();
+                Self::reap_and_claim(&self.inner.cfg, &mut st)
+            };
+            let Some((engine, id, range)) = claimed else {
+                break;
+            };
+            self.execute_quantum(&engine, id, range);
+        }
+    }
+
+    /// Streaming worker: park on the condvar when idle; exit on
+    /// shutdown, or when draining finds the queue empty.
+    fn serving_loop(&self) {
+        let mut st = self.lock_state();
+        loop {
+            if let Some((engine, id, range)) = Self::reap_and_claim(&self.inner.cfg, &mut st) {
+                drop(st);
+                self.execute_quantum(&engine, id, range);
+                st = self.lock_state();
+                continue;
+            }
+            match st.phase {
+                ServePhase::Shutdown => break,
+                ServePhase::Draining if st.jobs.is_empty() && st.finalizing == 0 => break,
+                _ => {
+                    st = self.inner.work.wait(st).expect("server lock poisoned");
+                }
+            }
         }
     }
 
@@ -459,14 +999,10 @@ impl JobServer {
     /// (later identical submissions are cache-warm) and new jobs may be
     /// submitted and run again. A job submitted concurrently with the
     /// tail of a `run()` may miss this drain — it stays queued, is never
-    /// lost, and completes on the next `run()`.
+    /// lost, and completes on the next `run()`. For continuous serving
+    /// use [`JobServer::serve`] instead.
     pub fn run(&self) -> Vec<JobResult> {
-        let threads = if self.cfg.threads == 0 {
-            std::thread::available_parallelism().map_or(1, |n| n.get())
-        } else {
-            self.cfg.threads
-        }
-        .max(1);
+        let threads = self.effective_threads();
         if threads == 1 {
             self.worker_loop();
         } else {
@@ -476,35 +1012,146 @@ impl JobServer {
                 }
             });
         }
-        let mut st = self.state.lock().expect("server lock poisoned");
+        let mut st = self.lock_state();
+        // A cancellation on another thread may still be folding its
+        // result off-lock; wait so this drain does not miss it.
+        while st.finalizing > 0 {
+            st = self.inner.work.wait(st).expect("server lock poisoned");
+        }
         st.cursor = 0;
-        let (finished, pending): (Vec<ActiveJob>, Vec<ActiveJob>) = std::mem::take(&mut st.jobs)
-            .into_iter()
-            .partition(|j| j.finished.is_some());
-        st.jobs = pending;
+        let mut results = std::mem::take(&mut st.finished);
         if st.jobs.is_empty() {
             st.completed = 0;
         }
         drop(st);
-        let mut results: Vec<JobResult> = finished
-            .into_iter()
-            .map(|job| {
-                let finished = job.finished.expect("partitioned on finished");
-                JobResult {
-                    id: job.id,
-                    name: job.name,
-                    shots: job.shots,
-                    priority: job.priority,
-                    cache_hit: job.cache_hit,
-                    compile_wall: job.compile_wall,
-                    latency: finished.latency,
-                    completion_rank: finished.rank,
-                    aggregate: finished.aggregate,
-                }
-            })
-            .collect();
         results.sort_unstable_by_key(|r| r.id);
         results
+    }
+}
+
+/// A [`JobServer`] with a live worker pool (from [`JobServer::serve`]).
+///
+/// Jobs submitted through [`submit`](ServingServer::submit) start
+/// executing immediately. End the session with
+/// [`drain`](ServingServer::drain) (finish everything accepted) or
+/// [`shutdown`](ServingServer::shutdown) (stop claiming, finalize
+/// partials); dropping the handle shuts down implicitly.
+pub struct ServingServer {
+    server: JobServer,
+    workers: Vec<std::thread::JoinHandle<()>>,
+    stopped: bool,
+}
+
+impl ServingServer {
+    /// Submits a job to the live pool (see [`JobServer::submit`]).
+    ///
+    /// # Errors
+    ///
+    /// As [`JobServer::submit`].
+    pub fn submit(&self, req: JobRequest) -> Result<JobHandle, JobError> {
+        self.server.submit(req)
+    }
+
+    /// The underlying server (clone it to submit from other threads, or
+    /// to read cache/tenant stats).
+    pub fn server(&self) -> &JobServer {
+        &self.server
+    }
+
+    /// Stops accepting new jobs, runs everything accepted so far to
+    /// completion, joins the workers, and returns all results ordered
+    /// by job id. Cancelled jobs appear with their prefix-consistent
+    /// partial aggregates. The underlying server is terminal afterwards:
+    /// later submissions fail with [`JobError::NotAccepting`].
+    pub fn drain(mut self) -> Vec<JobResult> {
+        self.stop(ServePhase::Draining)
+    }
+
+    /// Stops accepting new jobs *and* claiming new shot quanta:
+    /// in-flight quanta finish, the workers exit, and every unfinished
+    /// job finalizes as a cancelled partial (prefix-consistent). Returns
+    /// all results ordered by job id.
+    pub fn shutdown(mut self) -> Vec<JobResult> {
+        self.stop(ServePhase::Shutdown)
+    }
+
+    /// Signals the end of the session *without blocking*: from this call
+    /// on, submissions are rejected — but the workers are not yet
+    /// joined. Follow with [`drain`](ServingServer::drain). A fleet
+    /// front-end signals every shard first so the whole fleet stops
+    /// accepting at once instead of shard-by-shard.
+    pub fn begin_drain(&self) {
+        self.signal(ServePhase::Draining);
+    }
+
+    /// Signals shutdown *without blocking*: from this call on,
+    /// submissions are rejected and no new shot quanta are claimed —
+    /// but the workers are not yet joined. Follow with
+    /// [`shutdown`](ServingServer::shutdown).
+    pub fn begin_shutdown(&self) {
+        self.signal(ServePhase::Shutdown);
+    }
+
+    fn signal(&self, phase: ServePhase) {
+        let mut st = self.server.lock_state();
+        // Escalate only: a `begin_shutdown()` followed by `drain()` must
+        // not downgrade Shutdown back to Draining (which would claim to
+        // complete jobs whose quanta are no longer being claimed).
+        if st.phase != ServePhase::Shutdown {
+            st.phase = phase;
+        }
+        drop(st);
+        self.server.inner.work.notify_all();
+    }
+
+    fn stop(&mut self, phase: ServePhase) -> Vec<JobResult> {
+        self.stopped = true;
+        self.signal(phase);
+        let mut worker_panicked = false;
+        for w in self.workers.drain(..) {
+            worker_panicked |= w.join().is_err();
+        }
+        // Surface worker panics on an explicit drain/shutdown — but not
+        // from Drop while already unwinding, where a second panic would
+        // abort the process and mask the original message.
+        if worker_panicked && !std::thread::panicking() {
+            panic!("serving worker panicked");
+        }
+        let mut st = self.server.lock_state();
+        // A cancellation on a user thread may still be folding its
+        // result off-lock; wait so the drained list does not miss it.
+        while st.finalizing > 0 {
+            st = self
+                .server
+                .inner
+                .work
+                .wait(st)
+                .expect("server lock poisoned");
+        }
+        // After the join no claimed quantum is still executing, so any
+        // job still queued (the shutdown path; after a drain only if a
+        // worker died) finalizes as a cancelled prefix partial.
+        while let Some(index) = st.jobs.len().checked_sub(1) {
+            st.jobs[index].cell.cancelled.store(true, Ordering::Relaxed);
+            debug_assert!(st.jobs[index].quiescent());
+            JobServer::finalize_and_remove(&mut st, index);
+        }
+        // The phase stays Draining/Shutdown: a stopped serving session is
+        // terminal, later submissions get `NotAccepting` deterministically.
+        st.cursor = 0;
+        st.completed = 0;
+        let mut results = std::mem::take(&mut st.finished);
+        drop(st);
+        results.sort_unstable_by_key(|r| r.id);
+        results
+    }
+}
+
+impl Drop for ServingServer {
+    fn drop(&mut self) {
+        if !self.stopped {
+            let _ = self.stop(ServePhase::Shutdown);
+        }
     }
 }
 

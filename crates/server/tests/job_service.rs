@@ -159,8 +159,8 @@ fn small_jobs_are_not_starved_by_huge_jobs() {
         100,
     )
     .base_seed(2);
-    let big_id = srv.submit(big).unwrap();
-    let small_id = srv.submit(small).unwrap();
+    let big_id = srv.submit(big).unwrap().id();
+    let small_id = srv.submit(small).unwrap().id();
     let results = srv.run();
     let by_id = |id: u64| results.iter().find(|r| r.id == id).unwrap();
     assert!(
@@ -188,8 +188,8 @@ fn priority_weights_shape_completion_order() {
         .base_seed(seed)
         .priority(priority)
     };
-    let low = srv.submit(mk("low", Priority::Low, 1)).unwrap();
-    let high = srv.submit(mk("high", Priority::High, 2)).unwrap();
+    let low = srv.submit(mk("low", Priority::Low, 1)).unwrap().id();
+    let high = srv.submit(mk("high", Priority::High, 2)).unwrap().id();
     let results = srv.run();
     let by_id = |id: u64| results.iter().find(|r| r.id == id).unwrap();
     assert!(by_id(high).completion_rank < by_id(low).completion_rank);

@@ -23,6 +23,9 @@ use rand::{Rng, SeedableRng};
 pub struct TrafficRequest {
     /// Request name (`req<i>_<program>`), unique within the stream.
     pub name: String,
+    /// Tenant id (`t<k>`): the paper's many-users-one-controller story
+    /// needs per-tenant attribution for quotas and cache accounting.
+    pub tenant: String,
     /// Timed-QASM source text of the program to run.
     pub source: String,
     /// Shots requested.
@@ -30,7 +33,8 @@ pub struct TrafficRequest {
     /// Priority class: 0 = low, 1 = normal, 2 = high. Kept as a plain
     /// integer so this crate does not depend on the server's types.
     pub priority_class: u8,
-    /// Index into [`program_pool`] of the underlying distinct program.
+    /// Index into the stream's program pool of the underlying distinct
+    /// program.
     pub pool_index: usize,
 }
 
@@ -80,10 +84,18 @@ pub fn program_pool() -> Vec<(&'static str, Program)> {
 /// own compile and need no cache to run well), priorities from {low,
 /// normal, high}.
 pub fn mixed_traffic(seed: u64, requests: usize) -> Vec<TrafficRequest> {
-    let pool: Vec<(&'static str, String)> = program_pool()
+    let pool: Vec<(String, String)> = program_pool()
         .into_iter()
-        .map(|(name, p)| (name, p.to_string()))
+        .map(|(name, p)| (name.to_string(), p.to_string()))
         .collect();
+    stream(&pool, seed, requests)
+}
+
+/// The one request-draw policy every stream generator shares: uniform
+/// program pick from `pool`, shot counts from {1, 2} weighted 5:1,
+/// three priority classes, four tenants. Keeping a single copy means
+/// the generators can never drift apart statistically.
+fn stream(pool: &[(String, String)], seed: u64, requests: usize) -> Vec<TrafficRequest> {
     let mut rng = SmallRng::seed_from_u64(seed);
     (0..requests)
         .map(|i| {
@@ -91,8 +103,10 @@ pub fn mixed_traffic(seed: u64, requests: usize) -> Vec<TrafficRequest> {
             let (prog_name, source) = &pool[pool_index];
             let shots = [1, 1, 1, 1, 1, 2][rng.gen_range(0..6usize)];
             let priority_class = rng.gen_range(0..3u32) as u8;
+            let tenant = format!("t{}", rng.gen_range(0..4u32));
             TrafficRequest {
                 name: format!("req{i}_{prog_name}"),
+                tenant,
                 source: source.clone(),
                 shots,
                 priority_class,
@@ -100,6 +114,31 @@ pub fn mixed_traffic(seed: u64, requests: usize) -> Vec<TrafficRequest> {
             }
         })
         .collect()
+}
+
+/// A pool of `distinct` structurally different feedback-chain programs
+/// of growing depth — the program *catalog* of a multi-shard serving
+/// fleet. Long chains make compilation (assembly + validation) the
+/// dominant per-request cost when the cache misses, which is exactly
+/// what sticky shard placement exists to avoid.
+pub fn sized_program_pool(distinct: usize) -> Vec<(String, String)> {
+    (0..distinct)
+        .map(|i| {
+            let depth = 200 + 55 * i;
+            let program = feedback_chain((i % 2) as u16, depth).expect("valid workload");
+            (format!("chain{depth}_q{}", i % 2), program.to_string())
+        })
+        .collect()
+}
+
+/// A deterministic traffic stream for the sharded front router, drawn
+/// from [`sized_program_pool`]: `distinct` programs, probe-sized shot
+/// counts ({1, 2}, 5:1), four tenants, three priorities. With more
+/// distinct programs than any one shard's cache holds, placement policy
+/// decides whether the fleet's caches partition the catalog (sticky) or
+/// thrash on all of it (round-robin).
+pub fn sharded_traffic(seed: u64, requests: usize, distinct: usize) -> Vec<TrafficRequest> {
+    stream(&sized_program_pool(distinct.max(1)), seed, requests)
 }
 
 #[cfg(test)]
@@ -113,6 +152,7 @@ mod tests {
         assert_eq!(a.len(), 12);
         for (x, y) in a.iter().zip(&b) {
             assert_eq!(x.name, y.name);
+            assert_eq!(x.tenant, y.tenant);
             assert_eq!(x.source, y.source);
             assert_eq!(x.shots, y.shots);
             assert_eq!(x.priority_class, y.priority_class);
@@ -146,5 +186,26 @@ mod tests {
             seen[r.pool_index] = true;
         }
         assert!(seen.iter().all(|&s| s), "64 requests cover every program");
+    }
+
+    #[test]
+    fn sharded_streams_are_deterministic_and_assemble() {
+        let a = sharded_traffic(5, 24, 9);
+        let b = sharded_traffic(5, 24, 9);
+        assert_eq!(a.len(), 24);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.name, y.name);
+            assert_eq!(x.tenant, y.tenant);
+            assert_eq!(x.pool_index, y.pool_index);
+        }
+        // Every distinct pool program round-trips through the assembler.
+        for (name, source) in sized_program_pool(9) {
+            quape_isa::assemble(&source)
+                .unwrap_or_else(|e| panic!("{name} does not assemble: {e}"));
+        }
+        // Tenants come from the fixed four-tenant set.
+        assert!(a
+            .iter()
+            .all(|r| matches!(r.tenant.as_str(), "t0" | "t1" | "t2" | "t3")));
     }
 }

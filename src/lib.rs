@@ -17,7 +17,11 @@
 //!   superscalar pre-decoder, timing queue/controller, MRCE fast context
 //!   switch, AWG/DAQ device models, CES/TR metrics;
 //! * [`workloads`] — the paper's benchmarks: Shor syndrome measurement
-//!   (Steane code), the seven suite circuits, RB programs.
+//!   (Steane code), the seven suite circuits, RB programs;
+//! * [`server`] — the multi-tenant job service: compile cache, fair
+//!   shot-quantum scheduling, and the streaming job lifecycle;
+//! * [`router`] — the HiMA-style sharded front router placing jobs
+//!   across multiple serving shards.
 //!
 //! ## Quickstart
 //!
@@ -46,6 +50,7 @@ pub use quape_compiler as compiler;
 pub use quape_core as core;
 pub use quape_isa as isa;
 pub use quape_qpu as qpu;
+pub use quape_router as router;
 pub use quape_server as server;
 pub use quape_workloads as workloads;
 
@@ -66,6 +71,10 @@ pub mod prelude {
         fit_decay, run_simrb_experiment, BehavioralQpu, BehavioralQpuFactory, CliffordGroup,
         MeasurementModel, RbConfig, StateVector,
     };
-    pub use quape_server::{JobRequest, JobServer, JobSource, Priority, ServerConfig};
+    pub use quape_router::{Placement, RoutedJob, RoutedResult, Router, RouterConfig};
+    pub use quape_server::{
+        JobHandle, JobProgress, JobRequest, JobServer, JobSource, Priority, ServerConfig,
+        ServingServer,
+    };
     pub use quape_workloads::{benchmark_suite, ShorSyndrome, ShorSyndromeConfig};
 }
