@@ -1,13 +1,19 @@
 //! Criterion bench: the execution core's hot path — one shot of a
-//! DAQ-wait-bound feedback workload, cycle-stepped vs event-driven.
+//! DAQ-wait-bound feedback workload, cycle-stepped vs event-driven vs
+//! lowered.
 //!
 //! The `*_event` variants must come out far ahead of their `*_cycle`
 //! twins (≥ 5x on the MRCE chain): the workload spends most of every
 //! round stalled on the acquisition chain, and the event core jumps
-//! those spans instead of ticking them.
+//! those spans instead of ticking them. The `*_lowered` variants run the
+//! same workloads on the pre-resolved micro-op array and should beat
+//! `*_event`; `*_lowered_arena` adds per-worker scratch reuse on top
+//! (no per-shot machine construction), and the `lowering` rows price the
+//! one-time compile-side lowering cost those savings amortise.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use quape_core::{CompiledJob, QuapeConfig, ReportMode, StepMode};
+use quape_core::{CompiledJob, LoweredShotRunner, QuapeConfig, ReportMode, StepMode};
+use quape_isa::LoweredProgram;
 use quape_qpu::{BehavioralQpu, MeasurementModel};
 use quape_workloads::feedback::{conditional_x, feedback_chain, mrce_feedback_chain};
 use quape_workloads::pulse::pulse_train;
@@ -41,6 +47,35 @@ fn shot_bench(c: &mut Criterion, name: &str, job: &CompiledJob, mode: StepMode) 
     shot_bench_with(c, name, job, mode, ReportMode::Full);
 }
 
+/// The engine's steady-state serving path: one reused
+/// [`LoweredShotRunner`] arena, reset in place per shot.
+fn arena_bench(c: &mut Criterion, name: &str, job: &CompiledJob) {
+    let cfg = job.cfg().clone();
+    c.bench_function(name, |b| {
+        let mut runner = LoweredShotRunner::new(job.clone());
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed = seed.wrapping_add(1);
+            let qpu = BehavioralQpu::new(
+                cfg.timings,
+                MeasurementModel::Bernoulli { p_one: 0.5 },
+                seed,
+            );
+            runner.run_shot(Box::new(qpu), seed, 10_000_000).cycles
+        })
+    });
+}
+
+/// One-time compile-side lowering cost (amortised over every shot of a
+/// batch by the `Arc`-shared artifact).
+fn lowering_bench(c: &mut Criterion, name: &str, job: &CompiledJob) {
+    let program = job.program().clone();
+    let timings = job.cfg().timings;
+    c.bench_function(name, |b| {
+        b.iter(|| LoweredProgram::lower(&program, &timings).len())
+    });
+}
+
 fn bench(c: &mut Criterion) {
     let cfg = QuapeConfig::uniprocessor().with_seed(7);
 
@@ -48,6 +83,7 @@ fn bench(c: &mut Criterion) {
         .expect("job compiles");
     shot_bench(c, "fig02_shot_cycle", &fig02, StepMode::Cycle);
     shot_bench(c, "fig02_shot_event", &fig02, StepMode::EventDriven);
+    shot_bench(c, "fig02_shot_lowered", &fig02, StepMode::Lowered);
 
     let fmr = CompiledJob::compile(
         cfg.clone(),
@@ -66,6 +102,16 @@ fn bench(c: &mut Criterion) {
         StepMode::EventDriven,
         ReportMode::Lean,
     );
+    shot_bench(c, "fmr_chain1k_lowered", &fmr, StepMode::Lowered);
+    shot_bench_with(
+        c,
+        "fmr_chain1k_lowered_lean",
+        &fmr,
+        StepMode::Lowered,
+        ReportMode::Lean,
+    );
+    arena_bench(c, "fmr_chain1k_lowered_arena", &fmr);
+    lowering_bench(c, "lowering_fmr_chain1k", &fmr);
 
     let mrce = CompiledJob::compile(
         cfg.clone(),
@@ -74,6 +120,8 @@ fn bench(c: &mut Criterion) {
     .expect("job compiles");
     shot_bench(c, "mrce_chain1k_cycle", &mrce, StepMode::Cycle);
     shot_bench(c, "mrce_chain1k_event", &mrce, StepMode::EventDriven);
+    shot_bench(c, "mrce_chain1k_lowered", &mrce, StepMode::Lowered);
+    arena_bench(c, "mrce_chain1k_lowered_arena", &mrce);
 
     // AWG-playback-bound: dense parallel pulse trains on a multiplexed
     // readout keep the device timeline, occupancy checks and DAQ demod
@@ -96,6 +144,14 @@ fn bench(c: &mut Criterion) {
         StepMode::EventDriven,
         ReportMode::Lean,
     );
+    shot_bench_with(
+        c,
+        "awg_playback_lowered_lean",
+        &awg,
+        StepMode::Lowered,
+        ReportMode::Lean,
+    );
+    lowering_bench(c, "lowering_pulse_train", &awg);
 }
 
 criterion_group!(benches, bench);

@@ -14,7 +14,7 @@
 //! servers per readout channel, so acquisition contention on a multiplexed
 //! readout line delays delivery instead of being assumed away.
 
-use quape_isa::{Gate1, Gate2, OpTimings, QuantumOp, Qubit};
+use quape_isa::{OpTimings, QuantumOp, Qubit};
 use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
 
@@ -46,6 +46,12 @@ impl MeasurementFile {
     /// Creates an empty file (all registers invalid).
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Invalidates every register in place, keeping the table allocation
+    /// (the arena-reuse twin of `MeasurementFile::new`).
+    pub fn reset(&mut self) {
+        self.entries.fill(MrrEntry::default());
     }
 
     /// Reads the register of `qubit`.
@@ -130,6 +136,19 @@ impl Daq {
         }
     }
 
+    /// Returns the DAQ to its just-constructed state, keeping the queue
+    /// and per-channel server allocations (the arena-reuse twin of
+    /// [`Daq::new`]).
+    pub fn reset(&mut self) {
+        self.pending.clear();
+        for servers in &mut self.servers {
+            servers.clear();
+        }
+        self.delivered = 0;
+        self.contended_results = 0;
+        self.contention_delay_ns = 0;
+    }
+
     /// Enqueues a result for delivery at an explicit time, bypassing the
     /// demod-server model (raw acquisition-chain injection).
     pub fn schedule(&mut self, result: PendingResult) {
@@ -187,8 +206,10 @@ impl Daq {
         deliver_at_ns
     }
 
-    /// Delivers every result due at `now_ns` into the register file.
-    pub fn tick(&mut self, now_ns: u64, mrr: &mut MeasurementFile) {
+    /// Delivers every result due at `now_ns` into the register file,
+    /// returning how many were delivered (the run loops' progress hint).
+    pub fn tick(&mut self, now_ns: u64, mrr: &mut MeasurementFile) -> usize {
+        let mut n = 0;
         while let Some(front) = self.pending.front() {
             if front.deliver_at_ns > now_ns {
                 break;
@@ -196,7 +217,9 @@ impl Daq {
             let r = self.pending.pop_front().expect("checked front");
             mrr.deliver(r.qubit, r.value);
             self.delivered += 1;
+            n += 1;
         }
+        n
     }
 
     /// Number of results still in flight.
@@ -346,33 +369,11 @@ pub struct AwgViolation {
     pub busy_until_ns: u64,
 }
 
-/// Derives a stable waveform-table index for an operation.
+/// Derives a stable waveform-table index for an operation (the shared
+/// table lives in `quape_isa` so the lowering pass bakes identical
+/// codewords into micro-ops).
 fn waveform_id(op: &QuantumOp) -> u16 {
-    match op {
-        QuantumOp::Gate1(g, _) => match g {
-            Gate1::I => 0,
-            Gate1::X => 1,
-            Gate1::Y => 2,
-            Gate1::Z => 3,
-            Gate1::H => 4,
-            Gate1::S => 5,
-            Gate1::Sdg => 6,
-            Gate1::T => 7,
-            Gate1::Tdg => 8,
-            Gate1::X90 => 9,
-            Gate1::Xm90 => 10,
-            Gate1::Y90 => 11,
-            Gate1::Ym90 => 12,
-            Gate1::Reset => 13,
-            Gate1::Rx(a) => 100 + a.index() as u16,
-            Gate1::Ry(a) => 200 + a.index() as u16,
-            Gate1::Rz(a) => 300 + a.index() as u16,
-        },
-        QuantumOp::Gate2(Gate2::Cnot, ..) => 20,
-        QuantumOp::Gate2(Gate2::Cz, ..) => 21,
-        QuantumOp::Gate2(Gate2::Swap, ..) => 22,
-        QuantumOp::Measure(_) => 30,
-    }
+    quape_isa::waveform_index(op)
 }
 
 /// The AWG bank as an event-timeline playback device.
@@ -435,6 +436,20 @@ impl AwgBank {
         self.triggers
     }
 
+    /// Returns the bank to its just-constructed state (same timings,
+    /// same `record_timeline` setting), keeping the occupancy-table and
+    /// queue allocations (the arena-reuse twin of [`AwgBank::new`]).
+    pub fn reset(&mut self) {
+        self.channel_busy_until.fill(0);
+        self.qubit_busy_until.fill(0);
+        self.active_ends.clear();
+        self.timeline.clear();
+        self.violations.clear();
+        self.retired = 0;
+        self.max_concurrent = 0;
+        self.triggers = 0;
+    }
+
     fn busy_slot(v: &mut Vec<u64>, i: usize) -> &mut u64 {
         if i >= v.len() {
             v.resize(i + 1, 0);
@@ -446,6 +461,21 @@ impl AwgBank {
     /// checks.
     fn play(&mut self, channel: u16, qubit: Qubit, time_ns: u64, waveform: u16, op: &QuantumOp) {
         let duration = self.timings.duration_of(op);
+        self.play_with(channel, qubit, time_ns, waveform, duration, op);
+    }
+
+    /// [`AwgBank::play`] with the waveform duration pre-resolved — the
+    /// lowered fast path passes the duration baked into the micro-op
+    /// instead of re-deriving it from the operation per trigger.
+    pub(crate) fn play_with(
+        &mut self,
+        channel: u16,
+        qubit: Qubit,
+        time_ns: u64,
+        waveform: u16,
+        duration: u64,
+        op: &QuantumOp,
+    ) {
         let end_ns = time_ns + duration;
 
         // Channel occupancy: the line itself must be free. A conflicting
@@ -514,6 +544,32 @@ impl AwgBank {
             }
             QuantumOp::Measure(q) => {
                 self.play(map.channels(q).readout, q, time_ns, wf, op);
+            }
+        }
+    }
+
+    /// [`AwgBank::emit`] with the waveform codeword and duration
+    /// pre-resolved (lowered fast path). Channel routing is identical:
+    /// microwave for single-qubit gates, both flux channels for
+    /// two-qubit gates, readout for measurements.
+    pub(crate) fn emit_pre(
+        &mut self,
+        map: &ChannelMap,
+        time_ns: u64,
+        op: &QuantumOp,
+        waveform: u16,
+        dur_ns: u64,
+    ) {
+        match *op {
+            QuantumOp::Gate1(_, q) => {
+                self.play_with(map.channels(q).microwave, q, time_ns, waveform, dur_ns, op);
+            }
+            QuantumOp::Gate2(_, a, b) => {
+                self.play_with(map.channels(a).flux, a, time_ns, waveform, dur_ns, op);
+                self.play_with(map.channels(b).flux, b, time_ns, waveform, dur_ns, op);
+            }
+            QuantumOp::Measure(q) => {
+                self.play_with(map.channels(q).readout, q, time_ns, waveform, dur_ns, op);
             }
         }
     }
@@ -598,6 +654,7 @@ impl AwgBank {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use quape_isa::{Gate1, Gate2};
 
     fn q(i: u16) -> Qubit {
         Qubit::new(i)

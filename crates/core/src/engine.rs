@@ -19,7 +19,7 @@
 //!   counts, and the measured wall time / shots-per-second.
 
 use crate::backend::{QpuBackend, StateVectorQpu};
-use crate::machine::{CompiledJob, MeasurementRecord, ReportMode, StepMode};
+use crate::machine::{CompiledJob, LoweredShotRunner, MeasurementRecord, ReportMode, StepMode};
 use crate::report::StopReason;
 use quape_isa::OpTimings;
 use quape_qpu::{BehavioralQpuFactory, DepolarizingNoise, ReadoutError};
@@ -378,6 +378,39 @@ impl BatchReport {
     }
 }
 
+/// Per-worker reusable machine state for
+/// [`ShotEngine::run_shot_reusing`].
+///
+/// One scratch per worker thread; the engine's own `run` loops keep one
+/// per worker automatically. The scratch lazily holds a
+/// [`LoweredShotRunner`] keyed by job digest: shots of the same job
+/// reuse its arena, a different job rebuilds it (so external pools —
+/// e.g. the job service's workers — may hold one scratch across jobs).
+#[derive(Default)]
+pub struct WorkerScratch {
+    runner: Option<LoweredShotRunner>,
+}
+
+impl WorkerScratch {
+    /// Creates an empty scratch.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The scratch's runner for `job`, (re)built if the held one serves
+    /// a different job.
+    fn runner_for(&mut self, job: &CompiledJob) -> &mut LoweredShotRunner {
+        let stale = self
+            .runner
+            .as_ref()
+            .is_none_or(|r| r.job().digest() != job.digest());
+        if stale {
+            self.runner = Some(LoweredShotRunner::new(job.clone()));
+        }
+        self.runner.as_mut().expect("runner just ensured")
+    }
+}
+
 /// Runs `n` shots of one [`CompiledJob`] across a thread pool.
 ///
 /// ```
@@ -488,12 +521,47 @@ impl ShotEngine {
     /// sorted summaries with [`BatchAggregate::from_summaries`]. The
     /// multi-tenant job service schedules quanta of shots from many jobs
     /// onto one worker pool through this entry point.
+    ///
+    /// Each call builds the per-shot machine state from scratch; a
+    /// worker executing many quanta should hold a [`WorkerScratch`] and
+    /// call [`run_shot_reusing`](ShotEngine::run_shot_reusing) instead.
     pub fn run_shot(&self, shot: u64) -> ShotSummary {
+        self.run_shot_reusing(shot, &mut WorkerScratch::default())
+    }
+
+    /// [`run_shot`](ShotEngine::run_shot) with a per-worker reusable
+    /// arena: in the lean lowered configuration (the engine's hot path)
+    /// the shot runs on `scratch`'s [`LoweredShotRunner`], so machine
+    /// state is reset in place instead of reallocated per shot. Any
+    /// other step/report mode falls back to the fresh-state path. The
+    /// summary is bit-identical either way — `scratch` affects host
+    /// allocation behaviour only, and it revalidates itself against the
+    /// engine's job, so one scratch may serve engines of different jobs
+    /// sequentially.
+    pub fn run_shot_reusing(&self, shot: u64, scratch: &mut WorkerScratch) -> ShotSummary {
         let seed = shot_seed(self.base_seed, shot);
         // Distinct derived streams for the backend and the machine's DAQ
         // jitter so the two never correlate.
         let qpu = self.factory.create(seed);
         let machine_seed = splitmix64(seed ^ 0x51AE_17E5);
+        if self.step_mode == StepMode::Lowered && self.report_mode == ReportMode::Lean {
+            let runner = scratch.runner_for(&self.job);
+            let outcome = runner.run_shot(qpu, machine_seed, self.cycle_limit);
+            return ShotSummary {
+                shot,
+                seed,
+                cycles: outcome.cycles,
+                execution_time_ns: outcome.execution_time_ns(),
+                stop: outcome.stop,
+                issued: outcome.issued_ops,
+                late_issues: outcome.late_issues,
+                late_cycles: outcome.late_cycles,
+                violations: outcome.violations,
+                awg_violations: outcome.awg_violations,
+                daq_contended: outcome.daq_contended,
+                per_qubit: digest_measurements(self.job.num_qubits(), outcome.measurements),
+            };
+        }
         let report = self
             .job
             .shot(qpu, machine_seed)
@@ -524,7 +592,10 @@ impl ShotEngine {
         let start = Instant::now();
         let threads = self.effective_threads(shots);
         let summaries: Vec<ShotSummary> = if threads <= 1 {
-            (0..shots).map(|i| self.run_shot(i)).collect()
+            let mut scratch = WorkerScratch::new();
+            (0..shots)
+                .map(|i| self.run_shot_reusing(i, &mut scratch))
+                .collect()
         } else {
             let next = AtomicU64::new(0);
             let mut buckets: Vec<Vec<ShotSummary>> = std::thread::scope(|scope| {
@@ -532,12 +603,13 @@ impl ShotEngine {
                     .map(|_| {
                         scope.spawn(|| {
                             let mut local = Vec::new();
+                            let mut scratch = WorkerScratch::new();
                             loop {
                                 let shot = next.fetch_add(1, Ordering::Relaxed);
                                 if shot >= shots {
                                     break;
                                 }
-                                local.push(self.run_shot(shot));
+                                local.push(self.run_shot_reusing(shot, &mut scratch));
                             }
                             local
                         })

@@ -1,0 +1,979 @@
+//! The `StepMode::Lowered` fast-path processor.
+//!
+//! [`FastProcessor`] is a cycle-exact port of [`Processor`] that walks the
+//! pre-decoded micro-ops of a [`LoweredProgram`] instead of layered
+//! [`quape_isa::Instruction`] words:
+//!
+//! * dispatch-stage predicates (quantum? `QWAIT`? needs the buffer front?
+//!   synchronizes on a measure?) are single bit tests on the flags byte a
+//!   fetch slot caches, instead of nested enum matches;
+//! * quantum issues carry the waveform codeword and pulse duration baked
+//!   in at lowering time, so the emit path skips the per-op waveform/
+//!   duration derivation ([`crate::processor::Env::issue_pre`]);
+//! * the circuit-step index of every dispatch is pre-resolved, replacing
+//!   the per-dispatch binary search over the program's step map;
+//! * icache banks track `start..end` address ranges into the shared
+//!   micro-op array ([`FastBank`]), so bank installs copy two integers
+//!   instead of cloning `Arc` slices.
+//!
+//! Everything observable — counters, event timelines, RNG draw order,
+//! stall accounting, the event-horizon skip logic — matches the reference
+//! processor bit for bit; the three-way step-mode equivalence tests and
+//! the `debug_assertions` cross-checks in the run loop enforce it.
+
+use crate::config::QuapeConfig;
+use crate::devices::MeasurementFile;
+use crate::processor::{Env, ProcessorCore, StallFlags, StallInfo};
+use crate::report::{ProcessorStats, StepDispatch};
+use quape_isa::{
+    micro_flags as f, BlockId, CondOp, LoweredProgram, MicroOp, MicroWord, QuantumOp, Qubit,
+    StepId, REG_COUNT,
+};
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+/// One icache bank of the fast path: a resident block is an address range
+/// into the shared micro-op array (mirrors `CacheBank` semantics).
+#[derive(Debug, Clone, Copy, Default)]
+struct FastBank {
+    block: Option<BlockId>,
+    start: u32,
+    end: u32,
+}
+
+impl FastBank {
+    fn is_free(&self) -> bool {
+        self.block.is_none()
+    }
+
+    fn contains(&self, pc: u32) -> bool {
+        self.block.is_some() && pc >= self.start && pc < self.end
+    }
+
+    fn clear(&mut self) {
+        self.block = None;
+        self.start = 0;
+        self.end = 0;
+    }
+}
+
+/// A stored simple-feedback context (fast-path copy of `StoredContext`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct FastContext {
+    qubit: Qubit,
+    target: Qubit,
+    op_if_one: CondOp,
+    op_if_zero: CondOp,
+}
+
+/// Execution state (fast-path copy of the reference `State`; absolute
+/// deadlines so the event-driven skip can jump over countdowns).
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum State {
+    Idle,
+    Switching {
+        until: u64,
+    },
+    Running,
+    ContextSwitch {
+        fires_at: u64,
+        op: Option<QuantumOp>,
+        resume_idle: bool,
+    },
+    Halted,
+}
+
+/// A timing-queue entry with the emission parameters pre-resolved.
+#[derive(Debug, Clone, Copy)]
+struct FastTimedOp {
+    issue_cycle: u64,
+    op: QuantumOp,
+    waveform: u16,
+    dur_ns: u64,
+}
+
+/// A buffered fetch slot: address plus the cached classification flags,
+/// so lookahead scans never touch the micro-op array.
+#[derive(Debug, Clone, Copy)]
+struct FastSlot {
+    addr: u32,
+    flags: u8,
+}
+
+/// The lowered-program processing unit. See the module docs.
+#[derive(Debug)]
+pub(crate) struct FastProcessor {
+    id: usize,
+    ops: Arc<LoweredProgram>,
+    regs: [i32; REG_COUNT],
+    flag_zero: bool,
+    flag_neg: bool,
+    call_stack: Vec<u32>,
+    banks: [FastBank; 2],
+    active: usize,
+    pc: u32,
+    state: State,
+    buffer: VecDeque<FastSlot>,
+    fetch_blocked: bool,
+    timeline: u64,
+    timeline_anchored: bool,
+    tqueue: VecDeque<FastTimedOp>,
+    contexts: Vec<FastContext>,
+    current_block: Option<BlockId>,
+    finished_block: Option<BlockId>,
+    stall_flags: StallFlags,
+    stats: ProcessorStats,
+}
+
+impl FastProcessor {
+    /// Creates an idle fast processor over the shared micro-op array.
+    pub(crate) fn new(id: usize, ops: Arc<LoweredProgram>) -> Self {
+        FastProcessor {
+            id,
+            ops,
+            regs: [0; REG_COUNT],
+            flag_zero: false,
+            flag_neg: false,
+            call_stack: Vec::new(),
+            banks: [FastBank::default(); 2],
+            active: 0,
+            pc: 0,
+            state: State::Idle,
+            buffer: VecDeque::new(),
+            fetch_blocked: false,
+            timeline: 0,
+            timeline_anchored: false,
+            tqueue: VecDeque::new(),
+            contexts: Vec::new(),
+            current_block: None,
+            finished_block: None,
+            stall_flags: StallFlags::default(),
+            stats: ProcessorStats::default(),
+        }
+    }
+
+    /// Returns the processor to its just-constructed state, keeping the
+    /// buffer/queue/stack allocations (the arena-reuse twin of
+    /// [`FastProcessor::new`]; `id` and the shared micro-op array
+    /// survive).
+    pub(crate) fn reset(&mut self) {
+        self.regs = [0; REG_COUNT];
+        self.flag_zero = false;
+        self.flag_neg = false;
+        self.call_stack.clear();
+        self.banks = [FastBank::default(); 2];
+        self.active = 0;
+        self.pc = 0;
+        self.state = State::Idle;
+        self.buffer.clear();
+        self.fetch_blocked = false;
+        self.timeline = 0;
+        self.timeline_anchored = false;
+        self.tqueue.clear();
+        self.contexts.clear();
+        self.current_block = None;
+        self.finished_block = None;
+        self.stall_flags = StallFlags::default();
+        self.stats = ProcessorStats::default();
+    }
+
+    /// Copies out the micro-op at `addr` (micro-ops are small and `Copy`).
+    #[inline]
+    fn micro(&self, addr: u32) -> MicroOp {
+        self.ops.ops()[addr as usize]
+    }
+
+    /// True when the active bank holds `pc` (mirror of `icache.fetch()`).
+    #[inline]
+    fn active_contains(&self, pc: u32) -> bool {
+        self.banks[self.active].contains(pc)
+    }
+
+    fn free_bank(&self) -> Option<usize> {
+        let inactive = 1 - self.active;
+        self.banks[inactive].is_free().then_some(inactive)
+    }
+
+    fn bank_of(&self, block: BlockId) -> Option<usize> {
+        self.banks.iter().position(|b| b.block == Some(block))
+    }
+
+    fn install(&mut self, bank: usize, block: BlockId, start: u32, end: u32) {
+        self.banks[bank] = FastBank {
+            block: Some(block),
+            start,
+            end,
+        };
+    }
+
+    fn switch_to(&mut self, bank: usize) {
+        if bank != self.active {
+            self.banks[self.active].clear();
+            self.active = bank;
+        }
+    }
+
+    fn retire_active(&mut self) {
+        self.banks[self.active].clear();
+    }
+
+    fn evict(&mut self, block: BlockId) {
+        for bank in &mut self.banks {
+            if bank.block == Some(block) {
+                bank.clear();
+            }
+        }
+    }
+
+    fn start_block(&mut self, block: BlockId, bank: usize, switch_cycles: u64, now: u64) {
+        self.switch_to(bank);
+        self.pc = self.banks[self.active].start;
+        self.current_block = Some(block);
+        self.buffer.clear();
+        self.fetch_blocked = false;
+        self.timeline = self.timeline.max(now + switch_cycles);
+        self.timeline_anchored = false;
+        self.state = if switch_cycles == 0 {
+            State::Running
+        } else {
+            State::Switching {
+                until: now + switch_cycles,
+            }
+        };
+    }
+
+    fn finish_block(&mut self) {
+        self.stats.blocks_completed += 1;
+        self.finished_block = self.current_block.take();
+        self.buffer.clear();
+        self.fetch_blocked = false;
+        self.state = State::Idle;
+        self.retire_active();
+    }
+
+    fn fail(&mut self, env: &mut Env<'_>) {
+        *env.error = true;
+        self.state = State::Halted;
+    }
+
+    /// Enqueues an MRCE conditional "as soon as possible", deriving its
+    /// emission parameters on the spot (cold path: context resolutions
+    /// are rare relative to dispatches).
+    fn enqueue_catch_up(&mut self, cycle: u64, op: QuantumOp, env: &mut Env<'_>) {
+        let waveform = quape_isa::waveform_index(&op);
+        let dur_ns = env.cfg.timings.duration_of(&op);
+        self.enqueue_quantum(cycle, 0, op, waveform, dur_ns, MicroOp::NO_STEP, env, true);
+    }
+
+    /// Computes the issue slot for a quantum group and pushes it into the
+    /// timing queue (port of the reference `enqueue_quantum`, with the
+    /// waveform/duration/step pre-resolved by the lowering).
+    #[allow(clippy::too_many_arguments)]
+    fn enqueue_quantum(
+        &mut self,
+        cycle: u64,
+        label: u32,
+        op: QuantumOp,
+        waveform: u16,
+        dur_ns: u64,
+        step: u32,
+        env: &mut Env<'_>,
+        catch_up: bool,
+    ) {
+        // +1: dispatch-to-issue latency of the quantum pipeline.
+        let earliest = cycle + 1;
+        let issue_cycle = if catch_up {
+            earliest
+        } else if !self.timeline_anchored {
+            (self.timeline + u64::from(label)).max(earliest)
+        } else {
+            let scheduled = self.timeline + u64::from(label);
+            if scheduled < earliest {
+                *env.late_issues += 1;
+                *env.late_cycles += earliest - scheduled;
+                earliest
+            } else {
+                scheduled
+            }
+        };
+        if !catch_up {
+            self.timeline = issue_cycle;
+            self.timeline_anchored = true;
+        }
+        if let QuantumOp::Measure(q) = op {
+            env.mrr.invalidate(q);
+        }
+        // Keep the queue ordered by issue time: out-of-band operations may
+        // be earlier than already-queued pre-scheduled ones.
+        let pos = self
+            .tqueue
+            .iter()
+            .rposition(|t| t.issue_cycle <= issue_cycle)
+            .map_or(0, |p| p + 1);
+        self.tqueue.insert(
+            pos,
+            FastTimedOp {
+                issue_cycle,
+                op,
+                waveform,
+                dur_ns,
+            },
+        );
+        self.stats.dispatched_quantum += 1;
+        env.step_dispatches.push(StepDispatch {
+            cycle,
+            step: (step != MicroOp::NO_STEP).then_some(StepId(step)),
+            processor: self.id,
+        });
+    }
+
+    fn conflicts_with_context(&self, op: &QuantumOp) -> bool {
+        op.qubits()
+            .any(|q| self.contexts.iter().any(|c| c.qubit == q || c.target == q))
+    }
+
+    fn tick_timing_controller(&mut self, cycle: u64, env: &mut Env<'_>) -> bool {
+        let mut issued = false;
+        while let Some(front) = self.tqueue.front() {
+            if front.issue_cycle > cycle {
+                break;
+            }
+            let t = self.tqueue.pop_front().expect("checked front");
+            env.issue_pre(t.issue_cycle, t.op, t.waveform, t.dur_ns);
+            issued = true;
+        }
+        issued
+    }
+
+    /// Advances the processor by one clock cycle (port of the reference
+    /// `Processor::tick`; same progress-hint contract).
+    fn tick(&mut self, cycle: u64, env: &mut Env<'_>) -> bool {
+        self.stall_flags = StallFlags::default();
+        let mut progress = self.tick_timing_controller(cycle, env);
+
+        match self.state {
+            State::Halted => return progress,
+            State::Switching { until } => {
+                if cycle < until {
+                    return progress;
+                }
+                self.state = State::Running;
+                progress = true;
+            }
+            State::ContextSwitch {
+                fires_at,
+                op,
+                resume_idle,
+            } => {
+                if cycle < fires_at {
+                    return progress;
+                }
+                if let Some(op) = op {
+                    self.enqueue_catch_up(cycle, op, env);
+                }
+                self.state = if resume_idle {
+                    State::Idle
+                } else {
+                    State::Running
+                };
+                return true;
+            }
+            State::Idle | State::Running => {}
+        }
+
+        // MRCE context unit: a resolved context triggers the switch before
+        // any dispatch this cycle. (Empty-store guard: feedback chains
+        // without MRCE never pay for the scan.)
+        if !self.contexts.is_empty() {
+            if let Some(pos) = self.contexts.iter().position(|c| env.mrr.is_valid(c.qubit)) {
+                progress = true;
+                let ctx = self.contexts.remove(pos);
+                let chosen = if env.mrr.read(ctx.qubit).value {
+                    ctx.op_if_one
+                } else {
+                    ctx.op_if_zero
+                };
+                let op = chosen.gate().map(|g| QuantumOp::Gate1(g, ctx.target));
+                self.stats.context_switches += 1;
+                let resume_idle = matches!(self.state, State::Idle);
+                if env.cfg.context_switch_cycles == 0 {
+                    if let Some(op) = op {
+                        self.enqueue_catch_up(cycle, op, env);
+                    }
+                } else {
+                    self.state = State::ContextSwitch {
+                        fires_at: cycle + env.cfg.context_switch_cycles,
+                        op,
+                        resume_idle,
+                    };
+                    return true;
+                }
+            }
+        }
+        if matches!(self.state, State::Idle) {
+            return progress;
+        }
+
+        let dispatched = self.dispatch(cycle, env);
+        let mut fetched = false;
+        if matches!(self.state, State::Running) {
+            let buffered = self.buffer.len();
+            self.fetch(env);
+            fetched = self.buffer.len() != buffered || !matches!(self.state, State::Running);
+        }
+        if dispatched {
+            self.stats.active_cycles += 1;
+        }
+        progress || dispatched || fetched
+    }
+
+    /// Dispatch stage (port of the reference `dispatch`; flag tests in
+    /// place of enum matches).
+    fn dispatch(&mut self, cycle: u64, env: &mut Env<'_>) -> bool {
+        let mut any = false;
+
+        // ---- Quantum dispatch: group at the buffer front. ----
+        if let Some(front) = self.buffer.front().copied() {
+            if front.flags & f::QWAIT != 0 {
+                let MicroWord::Qwait { cycles } = self.micro(front.addr).word else {
+                    unreachable!("QWAIT flag on non-QWAIT micro-op");
+                };
+                self.timeline += u64::from(cycles);
+                self.buffer.pop_front();
+                self.stats.dispatched_classical += 1;
+                any = true;
+            } else if front.flags & f::QUANTUM != 0 {
+                let head = self.micro(front.addr);
+                let MicroWord::Quantum {
+                    op,
+                    timing,
+                    dur_ns,
+                    waveform,
+                } = head.word
+                else {
+                    unreachable!("QUANTUM flag on non-quantum micro-op");
+                };
+                if self.conflicts_with_context(&op) {
+                    self.stats.context_dependency_stalls += 1;
+                    self.stall_flags.context_stall = true;
+                } else {
+                    self.buffer.pop_front();
+                    self.enqueue_quantum(
+                        cycle, timing, op, waveform, dur_ns, head.step, env, false,
+                    );
+                    let mut grouped = 1;
+                    while grouped < env.cfg.quantum_pipes {
+                        let Some(slot) = self.buffer.front().copied() else {
+                            break;
+                        };
+                        if slot.flags & f::QUANTUM == 0 || slot.flags & f::TIMING_ZERO == 0 {
+                            break;
+                        }
+                        let member = self.micro(slot.addr);
+                        let MicroWord::Quantum {
+                            op,
+                            dur_ns,
+                            waveform,
+                            ..
+                        } = member.word
+                        else {
+                            unreachable!("QUANTUM flag on non-quantum micro-op");
+                        };
+                        if self.conflicts_with_context(&op) {
+                            break;
+                        }
+                        self.buffer.pop_front();
+                        self.enqueue_quantum(
+                            cycle,
+                            0,
+                            op,
+                            waveform,
+                            dur_ns,
+                            member.step,
+                            env,
+                            false,
+                        );
+                        grouped += 1;
+                    }
+                    any = true;
+                }
+            }
+        }
+
+        // ---- Classical dispatch with lookahead. ----
+        let mut idx = None;
+        for (i, slot) in self.buffer.iter().enumerate() {
+            if slot.flags & (f::QUANTUM | f::QWAIT) != 0 {
+                // Quantum stream (including QWAIT): classical lookahead
+                // bypasses it, keep scanning.
+                continue;
+            }
+            let needs_front = slot.flags & f::NEEDS_FRONT != 0
+                || (slot.flags & f::SYNC != 0
+                    && self
+                        .buffer
+                        .iter()
+                        .take(i)
+                        .any(|s| s.flags & f::MEASURE != 0));
+            if needs_front && i != 0 {
+                break;
+            }
+            idx = Some((i, slot.addr));
+            break;
+        }
+        if let Some((i, addr)) = idx {
+            if self.execute_classical(cycle, addr, i, env) {
+                any = true;
+            }
+        }
+        any
+    }
+
+    /// Executes one classical micro-op. Returns false when it stalled
+    /// (stays in the buffer). Port of the reference `execute_classical`.
+    fn execute_classical(
+        &mut self,
+        cycle: u64,
+        addr: u32,
+        buf_index: usize,
+        env: &mut Env<'_>,
+    ) -> bool {
+        use MicroWord as W;
+        let mop = self.micro(addr);
+        let mut taken_target: Option<u32> = None;
+        match mop.word {
+            W::Nop => {}
+            W::Stop => {
+                if !self.tqueue.is_empty() || !self.contexts.is_empty() {
+                    return false;
+                }
+                self.stats.dispatched_classical += 1;
+                self.finish_block();
+                return true;
+            }
+            W::Halt => {
+                self.stats.dispatched_classical += 1;
+                *env.halt = true;
+                self.state = State::Halted;
+                return true;
+            }
+            W::Jmp { target } => taken_target = Some(target),
+            W::Br { cond, target } => {
+                if cond.eval(self.flag_zero, self.flag_neg) {
+                    taken_target = Some(target);
+                }
+            }
+            W::Call { target } => {
+                self.call_stack.push(addr + 1);
+                taken_target = Some(target);
+            }
+            W::Ret => match self.call_stack.pop() {
+                Some(ret) => taken_target = Some(ret),
+                None => {
+                    self.fail(env);
+                    return true;
+                }
+            },
+            W::Ldi { rd, imm } => self.regs[rd as usize] = i32::from(imm),
+            W::Mov { rd, rs } => self.regs[rd as usize] = self.regs[rs as usize],
+            W::Add { rd, rs1, rs2 } => {
+                let v = self.regs[rs1 as usize].wrapping_add(self.regs[rs2 as usize]);
+                self.write_alu(rd, v);
+            }
+            W::Addi { rd, rs, imm } => {
+                let v = self.regs[rs as usize].wrapping_add(i32::from(imm));
+                self.write_alu(rd, v);
+            }
+            W::Sub { rd, rs1, rs2 } => {
+                let v = self.regs[rs1 as usize].wrapping_sub(self.regs[rs2 as usize]);
+                self.write_alu(rd, v);
+            }
+            W::And { rd, rs1, rs2 } => {
+                let v = self.regs[rs1 as usize] & self.regs[rs2 as usize];
+                self.write_alu(rd, v);
+            }
+            W::Or { rd, rs1, rs2 } => {
+                let v = self.regs[rs1 as usize] | self.regs[rs2 as usize];
+                self.write_alu(rd, v);
+            }
+            W::Xor { rd, rs1, rs2 } => {
+                let v = self.regs[rs1 as usize] ^ self.regs[rs2 as usize];
+                self.write_alu(rd, v);
+            }
+            W::Not { rd, rs } => {
+                let v = !self.regs[rs as usize];
+                self.write_alu(rd, v);
+            }
+            W::Cmp { rs1, rs2 } => {
+                let v = self.regs[rs1 as usize].wrapping_sub(self.regs[rs2 as usize]);
+                self.set_flags(v);
+            }
+            W::Cmpi { rs, imm } => {
+                let v = self.regs[rs as usize].wrapping_sub(i32::from(imm));
+                self.set_flags(v);
+            }
+            W::Fmr { rd, qubit } => {
+                let entry = env.mrr.read(Qubit::new(qubit));
+                if !entry.valid {
+                    self.stats.measure_wait_cycles += 1;
+                    self.stall_flags.measure_wait = true;
+                    env.wait_cycles.push(cycle);
+                    return false;
+                }
+                self.regs[rd as usize] = i32::from(entry.value);
+                // FMR is a synchronization point: re-anchor the timeline.
+                self.timeline_anchored = false;
+            }
+            W::Qwait { .. } => unreachable!("QWAIT handled in the quantum stream"),
+            W::Lds { rd, sreg } => {
+                self.regs[rd as usize] = env.shared_regs[sreg as usize];
+            }
+            W::Sts { sreg, rs } => {
+                env.shared_regs[sreg as usize] = self.regs[rs as usize];
+            }
+            W::Mrce {
+                qubit,
+                target,
+                op_if_one,
+                op_if_zero,
+            } => {
+                let qubit = Qubit::new(qubit);
+                let target = Qubit::new(target);
+                let entry = env.mrr.read(qubit);
+                if entry.valid {
+                    let chosen = if entry.value { op_if_one } else { op_if_zero };
+                    if let Some(g) = chosen.gate() {
+                        self.enqueue_catch_up(cycle, QuantumOp::Gate1(g, target), env);
+                    }
+                } else if env.cfg.fast_context_switch {
+                    if self.contexts.len() >= env.cfg.context_capacity {
+                        self.stats.measure_wait_cycles += 1;
+                        self.stall_flags.measure_wait = true;
+                        env.wait_cycles.push(cycle);
+                        return false; // context store full: stall
+                    }
+                    self.contexts.push(FastContext {
+                        qubit,
+                        target,
+                        op_if_one,
+                        op_if_zero,
+                    });
+                } else {
+                    // Fast context switch disabled: stall like FMR.
+                    self.stats.measure_wait_cycles += 1;
+                    self.stall_flags.measure_wait = true;
+                    env.wait_cycles.push(cycle);
+                    return false;
+                }
+            }
+            W::Quantum { .. } => unreachable!("quantum handled in the quantum stream"),
+        }
+        self.stats.dispatched_classical += 1;
+        self.buffer.remove(buf_index);
+        if let Some(target) = taken_target {
+            self.stats.branches_taken += 1;
+            self.redirect(target, env);
+        } else if mop.flags & f::CONTROL_FLOW != 0 {
+            // Untaken branch: fetch resumes at the fall-through PC.
+            self.fetch_blocked = false;
+        }
+        true
+    }
+
+    fn write_alu(&mut self, rd: u8, v: i32) {
+        self.regs[rd as usize] = v;
+        self.set_flags(v);
+    }
+
+    fn set_flags(&mut self, v: i32) {
+        self.flag_zero = v == 0;
+        self.flag_neg = v < 0;
+    }
+
+    fn redirect(&mut self, target: u32, env: &mut Env<'_>) {
+        self.pc = target;
+        self.fetch_blocked = false;
+        if !self.active_contains(target) {
+            // Transfer outside the resident block: unsupported.
+            self.fail(env);
+        }
+    }
+
+    /// Fetch stage (port of the reference `fetch`; the fetched slot
+    /// caches the micro-op's flags byte for the dispatch scans).
+    fn fetch(&mut self, env: &mut Env<'_>) {
+        if self.fetch_blocked {
+            return;
+        }
+        let free = env.cfg.predecode_buffer.saturating_sub(self.buffer.len());
+        let n = free.min(env.cfg.fetch_width);
+        for _ in 0..n {
+            if self.active_contains(self.pc) {
+                let flags = self.ops.flags_at(self.pc);
+                self.buffer.push_back(FastSlot {
+                    addr: self.pc,
+                    flags,
+                });
+                self.pc += 1;
+                if flags & f::CONTROL_FLOW != 0 {
+                    self.fetch_blocked = true;
+                    break;
+                }
+            } else {
+                // Walked past the end of the block: implicit STOP.
+                if self.buffer.is_empty() && self.tqueue.is_empty() && self.contexts.is_empty() {
+                    self.finish_block();
+                }
+                break;
+            }
+        }
+    }
+
+    /// Trusted cycle-dependent skip check (port of the reference
+    /// `skip_check`; same contract).
+    fn skip_check(&self, cycle: u64) -> Option<StallInfo> {
+        let mut stall = StallInfo {
+            horizon: None,
+            measure_wait: self.stall_flags.measure_wait,
+            context_stall: self.stall_flags.context_stall,
+        };
+        if let Some(front) = self.tqueue.front() {
+            if front.issue_cycle <= cycle {
+                return None;
+            }
+            stall.merge_horizon(front.issue_cycle);
+        }
+        match self.state {
+            State::Switching { until } => {
+                if cycle >= until {
+                    return None;
+                }
+                stall.merge_horizon(until);
+            }
+            State::ContextSwitch { fires_at, .. } => {
+                if cycle >= fires_at {
+                    return None;
+                }
+                stall.merge_horizon(fires_at);
+            }
+            State::Idle | State::Running | State::Halted => {}
+        }
+        Some(stall)
+    }
+
+    /// From-first-principles stall verifier (port of the reference
+    /// `stall_info`; same contract and soundness argument).
+    fn stall_info(
+        &self,
+        cycle: u64,
+        mrr: &MeasurementFile,
+        cfg: &QuapeConfig,
+    ) -> Option<StallInfo> {
+        let mut stall = StallInfo::default();
+        if let Some(front) = self.tqueue.front() {
+            if front.issue_cycle <= cycle {
+                return None;
+            }
+            stall.merge_horizon(front.issue_cycle);
+        }
+        match self.state {
+            State::Halted => return Some(stall),
+            State::Switching { until } => {
+                if cycle >= until {
+                    return None;
+                }
+                stall.merge_horizon(until);
+                return Some(stall);
+            }
+            State::ContextSwitch { fires_at, .. } => {
+                if cycle >= fires_at {
+                    return None;
+                }
+                stall.merge_horizon(fires_at);
+                return Some(stall);
+            }
+            State::Idle | State::Running => {}
+        }
+        if self.contexts.iter().any(|c| mrr.is_valid(c.qubit)) {
+            return None;
+        }
+        if matches!(self.state, State::Idle) {
+            return Some(stall);
+        }
+
+        // Running. Fast path: an unblocked fetch with buffer room always
+        // makes progress.
+        let fetch_open =
+            !self.fetch_blocked && cfg.predecode_buffer > self.buffer.len() && cfg.fetch_width > 0;
+        if fetch_open && self.active_contains(self.pc) {
+            return None;
+        }
+
+        // Mirror the dispatch stage.
+        if let Some(slot) = self.buffer.front() {
+            if slot.flags & f::QWAIT != 0 {
+                return None;
+            }
+            if slot.flags & f::QUANTUM != 0 {
+                let MicroWord::Quantum { op, .. } = self.micro(slot.addr).word else {
+                    unreachable!("QUANTUM flag on non-quantum micro-op");
+                };
+                if self.conflicts_with_context(&op) {
+                    stall.context_stall = true;
+                } else {
+                    return None; // quantum group would dispatch
+                }
+            }
+        }
+        // Classical lookahead — same pick as `dispatch`.
+        let mut pick = None;
+        for (i, slot) in self.buffer.iter().enumerate() {
+            if slot.flags & (f::QUANTUM | f::QWAIT) != 0 {
+                continue;
+            }
+            let needs_front = slot.flags & f::NEEDS_FRONT != 0
+                || (slot.flags & f::SYNC != 0
+                    && self
+                        .buffer
+                        .iter()
+                        .take(i)
+                        .any(|s| s.flags & f::MEASURE != 0));
+            if needs_front && i != 0 {
+                break;
+            }
+            pick = Some(slot.addr);
+            break;
+        }
+        if let Some(addr) = pick {
+            match self.micro(addr).word {
+                MicroWord::Stop => {
+                    if self.tqueue.is_empty() && self.contexts.is_empty() {
+                        return None; // STOP would retire the block
+                    }
+                    // Drain stall: no counters, wake on tqueue/context events.
+                }
+                MicroWord::Fmr { qubit, .. } => {
+                    if mrr.is_valid(Qubit::new(qubit)) {
+                        return None;
+                    }
+                    stall.measure_wait = true;
+                }
+                MicroWord::Mrce { qubit, .. } => {
+                    if mrr.is_valid(Qubit::new(qubit))
+                        || (cfg.fast_context_switch && self.contexts.len() < cfg.context_capacity)
+                    {
+                        return None; // executes or parks a context
+                    }
+                    stall.measure_wait = true;
+                }
+                _ => return None, // any other classical op executes
+            }
+        }
+        // Implicit end-of-block STOP once everything has drained.
+        if fetch_open
+            && self.buffer.is_empty()
+            && self.tqueue.is_empty()
+            && self.contexts.is_empty()
+        {
+            return None;
+        }
+        Some(stall)
+    }
+}
+
+impl ProcessorCore for FastProcessor {
+    type Code = LoweredProgram;
+
+    fn tick(&mut self, cycle: u64, env: &mut Env<'_>) -> bool {
+        FastProcessor::tick(self, cycle, env)
+    }
+
+    fn skip_check(&self, cycle: u64) -> Option<StallInfo> {
+        FastProcessor::skip_check(self, cycle)
+    }
+
+    fn stall_info(
+        &self,
+        cycle: u64,
+        mrr: &MeasurementFile,
+        cfg: &QuapeConfig,
+    ) -> Option<StallInfo> {
+        FastProcessor::stall_info(self, cycle, mrr, cfg)
+    }
+
+    fn account_stall_span(&mut self, stall: &StallInfo, span: u64) {
+        if stall.measure_wait {
+            self.stats.measure_wait_cycles += span;
+        }
+        if stall.context_stall {
+            self.stats.context_dependency_stalls += span;
+        }
+    }
+
+    fn is_idle(&self) -> bool {
+        matches!(self.state, State::Idle)
+    }
+
+    fn has_pending_work(&self) -> bool {
+        !self.tqueue.is_empty() || !self.contexts.is_empty()
+    }
+
+    fn finished_pending(&self) -> bool {
+        self.finished_block.is_some()
+    }
+
+    fn take_finished(&mut self) -> Option<BlockId> {
+        self.finished_block.take()
+    }
+
+    fn current_block(&self) -> Option<BlockId> {
+        self.current_block
+    }
+
+    fn has_free_bank(&self) -> bool {
+        self.free_bank().is_some()
+    }
+
+    fn install_initial(&mut self, block: BlockId, code: &Self::Code) {
+        let b = code.block(block.index());
+        self.install(self.active, block, b.start, b.end);
+    }
+
+    fn load_and_run(&mut self, block: BlockId, code: &Self::Code, now: u64) {
+        self.retire_active();
+        let b = code.block(block.index());
+        self.install(self.active, block, b.start, b.end);
+        self.start_block(block, self.active, 0, now);
+    }
+
+    fn prefetch_block(&mut self, block: BlockId, code: &Self::Code) -> bool {
+        match self.free_bank() {
+            Some(bank) => {
+                let b = code.block(block.index());
+                self.install(bank, block, b.start, b.end);
+                true
+            }
+            None => false,
+        }
+    }
+
+    fn start_prefetched(&mut self, block: BlockId, switch_cycles: u64, now: u64) -> bool {
+        match self.bank_of(block) {
+            Some(bank) => {
+                self.start_block(block, bank, switch_cycles, now);
+                true
+            }
+            None => false,
+        }
+    }
+
+    fn discard_prefetched(&mut self, block: BlockId) {
+        if self.current_block != Some(block) {
+            self.evict(block);
+        }
+    }
+
+    fn stats(&self) -> &ProcessorStats {
+        &self.stats
+    }
+}

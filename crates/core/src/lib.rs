@@ -48,6 +48,7 @@ mod config;
 mod decoherence;
 mod devices;
 mod engine;
+mod fast;
 mod icache;
 mod machine;
 mod metrics;
@@ -65,10 +66,11 @@ pub use devices::{
 };
 pub use engine::{
     shot_seed, BatchAggregate, BatchReport, DistributionSummary, QpuFactory, QubitHistogram,
-    ShotEngine, ShotSummary, StateVectorQpuFactory, StopCounts,
+    ShotEngine, ShotSummary, StateVectorQpuFactory, StopCounts, WorkerScratch,
 };
 pub use machine::{
-    CompiledJob, Machine, MachineError, MeasurementRecord, ReportMode, Shot, StepMode,
+    CompiledJob, LoweredShotRunner, Machine, MachineError, MeasurementRecord, ReportMode, Shot,
+    ShotOutcome, StepMode,
 };
 pub use metrics::{ces_report, ces_report_paper, CesReport, StepMetrics, TR_GATE_NS};
 pub use report::{BlockEvent, MachineStats, ProcessorStats, RunReport, StepDispatch, StopReason};

@@ -17,11 +17,13 @@
 use crate::backend::QpuBackend;
 use crate::config::QuapeConfig;
 use crate::devices::{AwgBank, ChannelMap, Daq, MeasurementFile};
-use crate::processor::{Env, Processor, StallInfo};
+use crate::fast::FastProcessor;
+use crate::processor::{Env, Processor, ProcessorCore, StallInfo};
 use crate::report::{MachineStats, RunReport, StepDispatch, StopReason};
 use crate::scheduler::Scheduler;
 use quape_isa::{
-    BlockInfo, BlockInfoTable, Dependency, Instruction, Program, ProgramError, SHARED_REG_COUNT,
+    BlockInfo, BlockInfoTable, Dependency, Instruction, LoweredProgram, Program, ProgramError,
+    SHARED_REG_COUNT,
 };
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
@@ -41,6 +43,13 @@ pub enum StepMode {
     /// span. Produces bit-identical [`RunReport`]s to [`StepMode::Cycle`].
     #[default]
     EventDriven,
+    /// Pre-decoded micro-op fast path: the shot executes the job's
+    /// [`LoweredProgram`] — operands pre-resolved, durations baked in,
+    /// dispatch predicates pre-classified into flag bits — with the same
+    /// event-horizon skip logic as [`StepMode::EventDriven`]. Produces
+    /// bit-identical [`RunReport`]s to both other modes
+    /// (differential-tested); request it when shot throughput matters.
+    Lowered,
 }
 
 /// How much of a run a [`RunReport`] materialises.
@@ -92,6 +101,12 @@ impl<T> EventSink<T> {
 
     fn into_vec(self) -> Vec<T> {
         self.events
+    }
+
+    /// Empties the sink in place, keeping the record flag and the
+    /// allocation (arena reuse across shots).
+    fn clear(&mut self) {
+        self.events.clear();
     }
 }
 
@@ -205,8 +220,16 @@ pub struct CompiledJob {
     cfg: Arc<QuapeConfig>,
     program: Arc<Program>,
     code: Arc<[BlockCode]>,
+    /// Micro-op artifact for [`StepMode::Lowered`], lowered once here and
+    /// `Arc`-shared by every shot (and the server's compile cache).
+    lowered: Arc<LoweredProgram>,
     chan: Arc<ChannelMap>,
     num_qubits: u16,
+    /// Content digest, frozen at compile time. Computing it walks (and
+    /// stringifies) the whole program, so hot paths that key caches on
+    /// job identity — e.g. the engine's per-worker scratch — must not
+    /// recompute it per shot.
+    digest: u64,
 }
 
 impl CompiledJob {
@@ -245,12 +268,19 @@ impl CompiledJob {
                     .into(),
             })
             .collect();
+        let lowered = Arc::new(LoweredProgram::lower(&program, &cfg.timings));
+        let mut h = quape_isa::Fnv64::new();
+        h.write_u64(program.digest().0)
+            .write_u64(cfg.content_digest());
+        let digest = h.finish();
         Ok(CompiledJob {
             cfg: Arc::new(cfg),
             program: Arc::new(program),
             code,
+            lowered,
             chan: Arc::new(chan),
             num_qubits,
+            digest,
         })
     }
 
@@ -269,11 +299,11 @@ impl CompiledJob {
     /// config's `seed` is deliberately excluded — it is a runtime
     /// parameter (batch runs override it per request), not part of the
     /// compiled artifact.
+    ///
+    /// Computed once at [`compile`](Self::compile) time; this accessor is
+    /// a plain field read, cheap enough for per-shot identity checks.
     pub fn digest(&self) -> u64 {
-        let mut h = quape_isa::Fnv64::new();
-        h.write_u64(self.program.digest().0)
-            .write_u64(self.cfg.content_digest());
-        h.finish()
+        self.digest
     }
 
     /// The block-wrapped program.
@@ -296,20 +326,32 @@ impl CompiledJob {
         self.num_qubits
     }
 
-    /// Builds the per-shot machine state for one execution, driving `qpu`
-    /// and seeding the shot's PRNG (DAQ jitter) with `rng_seed`.
-    pub fn shot(&self, qpu: Box<dyn QpuBackend>, rng_seed: u64) -> Shot {
+    /// The pre-decoded micro-op artifact backing [`StepMode::Lowered`].
+    pub fn lowered(&self) -> &LoweredProgram {
+        &self.lowered
+    }
+
+    /// Builds a shot core generically: fresh processors, a scheduler with
+    /// the pre-task initial load applied, fresh devices and counters.
+    fn core<P: ProcessorCore>(
+        &self,
+        qpu: Box<dyn QpuBackend>,
+        rng_seed: u64,
+        code: Arc<P::Code>,
+        new_proc: impl FnMut(usize) -> P,
+    ) -> ShotCore<P> {
         let cfg = &self.cfg;
-        let mut processors: Vec<Processor> = (0..cfg.num_processors).map(Processor::new).collect();
+        let mut processors: Vec<P> = (0..cfg.num_processors).map(new_proc).collect();
         let mut scheduler = Scheduler::new(&self.program);
         // Pre-task load of the first num_processors blocks (§7).
-        scheduler.initial_load(&mut processors, &self.code, cfg.num_processors);
+        scheduler.initial_load(&mut processors, &*code, cfg.num_processors);
         let stats = MachineStats {
             processors: vec![Default::default(); cfg.num_processors],
             ..Default::default()
         };
-        Shot {
+        ShotCore {
             job: self.clone(),
+            code,
             processors,
             scheduler,
             mrr: MeasurementFile::new(),
@@ -330,14 +372,41 @@ impl CompiledJob {
             skip_scratch: Vec::with_capacity(cfg.num_processors),
         }
     }
+
+    /// Builds the per-shot machine state for one execution, driving `qpu`
+    /// and seeding the shot's PRNG (DAQ jitter) with `rng_seed`.
+    pub fn shot(&self, qpu: Box<dyn QpuBackend>, rng_seed: u64) -> Shot {
+        Shot {
+            core: self.core(qpu, rng_seed, self.code.clone(), Processor::new),
+        }
+    }
+
+    /// Builds the per-shot state directly on the lowered fast core — the
+    /// engine-internal twin of `shot(..)` + [`StepMode::Lowered`].
+    pub(crate) fn fast_core(
+        &self,
+        qpu: Box<dyn QpuBackend>,
+        rng_seed: u64,
+    ) -> ShotCore<FastProcessor> {
+        let lowered = self.lowered.clone();
+        self.core(qpu, rng_seed, lowered.clone(), move |id| {
+            FastProcessor::new(id, lowered.clone())
+        })
+    }
 }
 
 /// The mutable state of one execution: processors, scheduler, devices,
-/// QPU, PRNG, and statistics. Built from a [`CompiledJob`]; stepped at
-/// clock-cycle granularity.
-pub struct Shot {
+/// QPU, PRNG, and statistics — generic over the processor implementation
+/// ([`ProcessorCore`]). [`Shot`] wraps `ShotCore<Processor>` as the
+/// public single-type façade; [`StepMode::Lowered`] runs on
+/// `ShotCore<FastProcessor>` over the job's [`LoweredProgram`].
+pub(crate) struct ShotCore<P: ProcessorCore> {
     job: CompiledJob,
-    processors: Vec<Processor>,
+    /// The compiled artifact cache fills read, shared with the job
+    /// (`[BlockCode]` for the reference core, the micro-op program for
+    /// the fast one).
+    code: Arc<P::Code>,
+    processors: Vec<P>,
     scheduler: Scheduler,
     mrr: MeasurementFile,
     daq: Daq,
@@ -354,52 +423,33 @@ pub struct Shot {
     late_issues: u64,
     late_cycles: u64,
     measurements: Vec<MeasurementRecord>,
-    /// Scratch for [`Shot::try_skip`]'s per-processor stall verdicts
+    /// Scratch for `try_skip`'s per-processor stall verdicts
     /// (allocated once per shot, reused across skip checks).
     skip_scratch: Vec<StallInfo>,
 }
 
-impl Shot {
-    /// Current cycle.
-    pub fn cycle(&self) -> u64 {
-        self.cycle
-    }
-
-    /// The job this shot executes.
-    pub fn job(&self) -> &CompiledJob {
-        &self.job
-    }
-
+impl<P: ProcessorCore> ShotCore<P> {
     /// Selects how much of the run the report materialises (see
-    /// [`ReportMode`]). Call before stepping: events recorded while the
-    /// previous mode was in force are kept as-is.
-    pub fn report_mode(mut self, mode: ReportMode) -> Self {
+    /// [`ReportMode`]).
+    fn set_report_mode(&mut self, mode: ReportMode) {
         let lean = mode == ReportMode::Lean;
         self.wait_cycles.record = !lean;
         self.step_dispatches.record = !lean;
         self.awg.set_record_timeline(!lean);
         self.qpu.set_lean(lean);
-        self
-    }
-
-    /// Advances the machine by one clock cycle.
-    pub fn step(&mut self) {
-        let _ = self.step_with_progress();
     }
 
     /// One clock cycle, returning a *progress hint*: `false` means no
     /// component observably acted (delivery, block event, issue, dispatch,
     /// fetch, state transition), so the coming cycles are skip candidates.
-    /// The hint is a heuristic for the event-driven loop — [`Shot::try_skip`]
+    /// The hint is a heuristic for the event-driven loop — `try_skip`
     /// independently re-proves any skip, so false positives merely cost a
     /// stepped cycle.
     fn step_with_progress(&mut self) -> bool {
         let now = self.cycle;
         let cfg: &QuapeConfig = &self.job.cfg;
         let program: &Program = &self.job.program;
-        let in_flight = self.daq.in_flight();
-        self.daq.tick(now * cfg.clock_ns, &mut self.mrr);
-        let mut progress = in_flight != self.daq.in_flight();
+        let mut progress = self.daq.tick(now * cfg.clock_ns, &mut self.mrr) != 0;
         // AWG playback: retire waveforms that finished by this cycle.
         // Retirement is *not* observable progress — it has no
         // report-visible effect and no stop condition reads the playback
@@ -412,7 +462,7 @@ impl Shot {
             now,
             &mut self.processors,
             program,
-            &self.job.code,
+            &self.code,
             cfg,
             &mut self.stats,
         );
@@ -457,26 +507,16 @@ impl Shot {
             && self.daq.in_flight() == 0
     }
 
-    /// Runs until completion with a default budget of 10 million cycles.
-    pub fn run(self) -> RunReport {
-        self.run_with_limit(10_000_000)
-    }
-
-    /// Runs until completion, a `HALT`, an error, or the cycle budget,
-    /// using the default [`StepMode`] (event-driven).
-    pub fn run_with_limit(self, max_cycles: u64) -> RunReport {
-        self.run_with_mode(StepMode::default(), max_cycles)
-    }
-
-    /// Runs until completion, a `HALT`, an error, or the cycle budget,
-    /// advancing time as `mode` dictates. Both modes produce bit-identical
-    /// reports; [`StepMode::Cycle`] is the slow oracle.
-    pub fn run_with_mode(mut self, mode: StepMode, max_cycles: u64) -> RunReport {
+    /// Runs until completion, a `HALT`, an error, or the cycle budget.
+    /// `skip = true` is the event-driven loop (time jumps over provably
+    /// idle spans); `skip = false` is the cycle-stepped oracle. Both
+    /// produce bit-identical reports.
+    pub(crate) fn run_loop(mut self, skip: bool, max_cycles: u64) -> RunReport {
         // `maybe_stalled` tracks whether the previous cycle observably
         // did nothing. While it holds, the stop conditions cannot have
         // changed (their inputs are all observable state), so only the
-        // cycle budget needs re-checking — and, in event-driven mode, a
-        // time skip is worth attempting.
+        // cycle budget needs re-checking — and, when skipping, a time
+        // skip is worth attempting.
         let mut maybe_stalled = false;
         let stop = loop {
             if !maybe_stalled {
@@ -493,7 +533,7 @@ impl Shot {
             if self.cycle >= max_cycles {
                 break StopReason::CycleLimit;
             }
-            if maybe_stalled && mode == StepMode::EventDriven && self.try_skip(max_cycles) {
+            if maybe_stalled && skip && self.try_skip(max_cycles) {
                 // Something fires at the horizon; step it directly.
                 maybe_stalled = false;
                 continue;
@@ -508,7 +548,7 @@ impl Shot {
     /// horizon (bounded by `limit`), bulk-accounting the per-cycle
     /// statistics a cycle-stepped run would have accumulated. Returns
     /// false when some component would make progress — the caller must
-    /// then [`Shot::step`] normally.
+    /// then step normally.
     ///
     /// Soundness: during a span in which no processor dispatches, no
     /// timing queue issues, the DAQ delivers nothing and the scheduler
@@ -518,7 +558,7 @@ impl Shot {
     /// the component horizons gathered here.
     ///
     /// The caller only invokes this right after a tick that made no
-    /// observable progress ([`Shot::step_with_progress`] returned false).
+    /// observable progress (`step_with_progress` returned false).
     /// That tick already proved all *cycle-independent* activity inactive
     /// — dispatch, fetch, context resolution, and (when the scheduler ran
     /// free) the action picker — so this check only re-examines the
@@ -556,7 +596,7 @@ impl Shot {
         // Every processor must be provably stalled. A processor finishing
         // a block or the priority counter moving would have registered as
         // progress last tick, so neither needs re-checking here.
-        debug_assert!(!self.processors.iter().any(Processor::finished_pending));
+        debug_assert!(!self.processors.iter().any(P::finished_pending));
         debug_assert!(!self.scheduler.counter_would_advance(program));
         self.skip_scratch.clear();
         for p in &self.processors {
@@ -641,26 +681,9 @@ impl Shot {
         true
     }
 
-    /// Measurement outcomes observed so far (delivered results).
-    pub fn measurements(&self) -> &[MeasurementRecord] {
-        &self.measurements
-    }
-
-    /// The AWG bank's device state (diagnostic; tests cross-check its
-    /// occupancy view against the QPU shadow model).
-    pub fn awg(&self) -> &AwgBank {
-        &self.awg
-    }
-
-    /// The QPU occupancy model's view of when `qubit` becomes free
-    /// (diagnostic twin of [`AwgBank::qubit_busy_until`]).
-    pub fn qpu_busy_until(&self, qubit: quape_isa::Qubit) -> u64 {
-        self.qpu.busy_until(qubit)
-    }
-
     fn into_report(mut self, stop: StopReason) -> RunReport {
         for (i, p) in self.processors.iter().enumerate() {
-            self.stats.processors[i] = p.stats;
+            self.stats.processors[i] = *p.stats();
         }
         self.stats.late_issues = self.late_issues;
         self.stats.late_cycles = self.late_cycles;
@@ -692,6 +715,577 @@ impl Shot {
             measurements: self.measurements,
             block_events: std::mem::take(&mut self.scheduler.events),
             qpu_makespan_ns,
+        }
+    }
+}
+
+impl ShotCore<FastProcessor> {
+    /// Returns the core to the state `CompiledJob::fast_core(qpu,
+    /// rng_seed)` would construct, but in place: every buffer, queue,
+    /// table and sink is cleared rather than reallocated. The
+    /// differential suites hold a reset core bit-identical to a fresh
+    /// one (see [`LoweredShotRunner`]).
+    fn reset_for_shot(&mut self, qpu: Box<dyn QpuBackend>, rng_seed: u64) {
+        let num_processors = self.job.cfg.num_processors;
+        for p in &mut self.processors {
+            p.reset();
+        }
+        self.scheduler.reset();
+        self.scheduler
+            .initial_load(&mut self.processors, &self.code, num_processors);
+        self.mrr.reset();
+        self.daq.reset();
+        self.awg.reset();
+        self.qpu = qpu;
+        self.rng = SmallRng::seed_from_u64(rng_seed);
+        self.shared_regs = [0; SHARED_REG_COUNT];
+        self.cycle = 0;
+        self.halt = false;
+        self.error = false;
+        let processors = std::mem::take(&mut self.stats.processors);
+        self.stats = MachineStats {
+            processors,
+            ..Default::default()
+        };
+        self.stats.processors.fill(Default::default());
+        self.step_dispatches.clear();
+        self.wait_cycles.clear();
+        self.late_issues = 0;
+        self.late_cycles = 0;
+        self.measurements.clear();
+        self.skip_scratch.clear();
+    }
+
+    /// Reduces the finished shot to a borrowed [`ShotOutcome`]: the exact
+    /// counters [`into_report`](ShotCore::into_report) would surface,
+    /// without materialising an owned [`RunReport`]. Drains the QPU/AWG
+    /// result accumulators as a side effect (they restart empty on the
+    /// next reset).
+    fn finish_outcome(&mut self, stop: StopReason) -> ShotOutcome<'_> {
+        let (_issued, violations) = self.qpu.take_results();
+        let (_playback, awg_violations) = self.awg.take_results();
+        ShotOutcome {
+            cycles: self.cycle,
+            ns: self.cycle * self.job.cfg.clock_ns,
+            stop,
+            issued_ops: self.qpu.issued_count(),
+            late_issues: self.late_issues,
+            late_cycles: self.late_cycles,
+            violations: violations.len() as u64,
+            awg_violations: awg_violations.len() as u64,
+            daq_contended: self.daq.contended_results(),
+            qpu_makespan_ns: self.qpu.makespan_ns(),
+            measurements: &self.measurements,
+        }
+    }
+
+    /// Specialized event-driven run loop for the lowered fast core —
+    /// [`StepMode::Lowered`]'s whole-shot entry point.
+    ///
+    /// Behaviourally this is `run_loop(true, max_cycles)`: the same stop
+    /// conditions, the same skip proofs, the same bulk accounting, bit
+    /// for bit. What changes is the host-side cost model of a stepped
+    /// cycle, which dominates shot wall time on feedback chains:
+    ///
+    /// - The [`Env`] is built **once per shot** instead of once per tick
+    ///   (`step_with_progress` re-borrows all seventeen fields on every
+    ///   stepped cycle).
+    /// - A scheduler tick is **elided** when it is provably a no-op: the
+    ///   scheduler settled on its last real tick and no processor has a
+    ///   finished-block notification pending. This is exactly the
+    ///   invariant the event-driven `try_skip` already trusts for whole
+    ///   skipped spans ([`Scheduler::is_settled`]); here it is applied to
+    ///   stepped cycles too, and cross-checked against
+    ///   [`Scheduler::would_act`] under `debug_assertions`.
+    /// - The skip check is inlined so a failed skip flows straight into
+    ///   the stepped tick without re-deriving borrows.
+    ///
+    /// The three-way differential suites (`step_mode_equivalence`,
+    /// `proptest_step_modes`) hold this loop bit-identical to the
+    /// cycle-stepped oracle.
+    pub(crate) fn run_fast(mut self, max_cycles: u64) -> RunReport {
+        let stop = self.run_fast_loop(max_cycles);
+        self.into_report(stop)
+    }
+
+    /// The borrowed body of [`run_fast`]: runs the shot to its stop
+    /// reason without consuming the core, so a reusable arena
+    /// ([`LoweredShotRunner`]) can run many shots through one allocation.
+    pub(crate) fn run_fast_loop(&mut self, max_cycles: u64) -> StopReason {
+        fn merge(h: &mut Option<u64>, at: u64) {
+            *h = Some(h.map_or(at, |x| x.min(at)));
+        }
+        {
+            let clock_ns = self.job.cfg.clock_ns;
+            let cfg: &QuapeConfig = &self.job.cfg;
+            let program: &Program = &self.job.program;
+            let code: &LoweredProgram = &self.code;
+            let processors = &mut self.processors;
+            let scheduler = &mut self.scheduler;
+            let stats = &mut self.stats;
+            let skip_scratch = &mut self.skip_scratch;
+            let cycle = &mut self.cycle;
+            let mut env = Env {
+                cfg,
+                program,
+                mrr: &mut self.mrr,
+                daq: &mut self.daq,
+                awg: &mut self.awg,
+                qpu: &mut *self.qpu,
+                chan: &self.job.chan,
+                rng: &mut self.rng,
+                shared_regs: &mut self.shared_regs,
+                step_dispatches: &mut self.step_dispatches,
+                wait_cycles: &mut self.wait_cycles,
+                late_issues: &mut self.late_issues,
+                late_cycles: &mut self.late_cycles,
+                measurements: &mut self.measurements,
+                halt: &mut self.halt,
+                error: &mut self.error,
+            };
+            // See `run_loop` for the `maybe_stalled` contract: while the
+            // previous tick observably did nothing, the stop conditions
+            // cannot have changed and a time skip is worth attempting.
+            let mut maybe_stalled = false;
+            // Block statuses only move inside `Scheduler::tick` (or the
+            // pre-loop initial load), so the all-done verdict is cached
+            // and refreshed after each non-elided scheduler tick instead
+            // of re-scanning the status table on every progress cycle.
+            let mut all_done = scheduler.all_done();
+            // Cached device event horizons (`u64::MAX` = none pending).
+            // The DAQ queue only changes by delivering (guarded below) or
+            // by an issue inside a processor tick (which reports
+            // progress); the AWG timeline only changes by retiring
+            // (guarded below) or by an emission inside an issue. Both
+            // caches are refreshed at exactly those points, so the
+            // steady-state stall cycles and the skip checks read a local
+            // instead of probing the device queues.
+            let mut daq_next = env.daq.next_delivery_ns().unwrap_or(u64::MAX);
+            let mut awg_next = env.awg.next_event_ns().unwrap_or(u64::MAX);
+            loop {
+                if !maybe_stalled {
+                    if *env.error {
+                        break StopReason::Error;
+                    }
+                    if all_done
+                        && processors
+                            .iter()
+                            .all(|p| p.is_idle() && !p.has_pending_work())
+                        && env.daq.in_flight() == 0
+                    {
+                        break StopReason::Completed;
+                    }
+                    if *env.halt
+                        && processors.iter().all(|p| !p.has_pending_work())
+                        && env.daq.in_flight() == 0
+                    {
+                        break StopReason::Halted;
+                    }
+                }
+                if *cycle >= max_cycles {
+                    break StopReason::CycleLimit;
+                }
+                // Inline `try_skip` (same proofs, same horizon merge,
+                // same bulk accounting — see its soundness comment).
+                if maybe_stalled {
+                    let skipped = 'skip: {
+                        let now = *cycle;
+                        let now_ns = now * clock_ns;
+                        let mut horizon: Option<u64> = None;
+                        if daq_next != u64::MAX {
+                            if daq_next <= now_ns {
+                                break 'skip false;
+                            }
+                            merge(&mut horizon, daq_next.div_ceil(clock_ns));
+                        }
+                        if awg_next != u64::MAX {
+                            if awg_next <= now_ns {
+                                break 'skip false;
+                            }
+                            merge(&mut horizon, awg_next.div_ceil(clock_ns));
+                        }
+                        debug_assert_eq!(
+                            daq_next,
+                            env.daq.next_delivery_ns().unwrap_or(u64::MAX),
+                            "stale DAQ horizon cache"
+                        );
+                        debug_assert_eq!(
+                            awg_next,
+                            env.awg.next_event_ns().unwrap_or(u64::MAX),
+                            "stale AWG horizon cache"
+                        );
+                        debug_assert!(!processors.iter().any(|p| p.finished_pending()));
+                        debug_assert!(!scheduler.counter_would_advance(program));
+                        let cross_check =
+                            |p: &FastProcessor,
+                             verdict: &Option<StallInfo>,
+                             mrr: &MeasurementFile| {
+                                let full = p.stall_info(now, mrr, cfg);
+                                match (verdict, full) {
+                                    (None, None) => true,
+                                    (Some(a), Some(b)) => {
+                                        a.horizon == b.horizon
+                                            && a.measure_wait == b.measure_wait
+                                            && a.context_stall == b.context_stall
+                                    }
+                                    _ => false,
+                                }
+                            };
+                        // Uniprocessor fast path: one verdict on the
+                        // stack, no scratch traffic.
+                        let mut solo = StallInfo::default();
+                        let single = processors.len() == 1;
+                        if single {
+                            let verdict = processors[0].skip_check(now);
+                            debug_assert!(
+                                cross_check(&processors[0], &verdict, env.mrr),
+                                "trusted skip check diverged from the full stall verifier"
+                            );
+                            match verdict {
+                                None => break 'skip false,
+                                Some(s) => {
+                                    if let Some(h) = s.horizon {
+                                        merge(&mut horizon, h);
+                                    }
+                                    solo = s;
+                                }
+                            }
+                        } else {
+                            skip_scratch.clear();
+                            for p in processors.iter() {
+                                let verdict = p.skip_check(now);
+                                debug_assert!(
+                                    cross_check(p, &verdict, env.mrr),
+                                    "trusted skip check diverged from the full stall verifier"
+                                );
+                                match verdict {
+                                    None => break 'skip false,
+                                    Some(s) => {
+                                        if let Some(h) = s.horizon {
+                                            merge(&mut horizon, h);
+                                        }
+                                        skip_scratch.push(s);
+                                    }
+                                }
+                            }
+                        }
+                        let mut scheduler_busy = true;
+                        if let Some(finish) = scheduler.job_finish() {
+                            if now >= finish {
+                                break 'skip false;
+                            }
+                            merge(&mut horizon, finish);
+                        } else if scheduler.is_busy(now) {
+                            merge(&mut horizon, scheduler.busy_until());
+                        } else {
+                            scheduler_busy = false;
+                            if !scheduler.is_settled()
+                                && scheduler.would_act(now, processors, program, cfg)
+                            {
+                                break 'skip false;
+                            }
+                            debug_assert!(
+                                !scheduler.would_act(now, processors, program, cfg),
+                                "settled scheduler would still act"
+                            );
+                        }
+                        let target = horizon.unwrap_or(max_cycles).min(max_cycles);
+                        if target <= now {
+                            break 'skip false;
+                        }
+                        let span = target - now;
+                        if scheduler_busy {
+                            stats.scheduler_busy_cycles += span;
+                        }
+                        let mut waiting = 0usize;
+                        if single {
+                            if solo.measure_wait {
+                                waiting = 1;
+                            }
+                            processors[0].account_stall_span(&solo, span);
+                        } else {
+                            for (p, s) in processors.iter_mut().zip(skip_scratch.iter()) {
+                                if s.measure_wait {
+                                    waiting += 1;
+                                }
+                                p.account_stall_span(s, span);
+                            }
+                        }
+                        env.wait_cycles.extend_span(now, target, waiting);
+                        *cycle = target;
+                        true
+                    };
+                    if skipped {
+                        maybe_stalled = false;
+                        continue;
+                    }
+                }
+                // Inline `step_with_progress`, with the settled-scheduler
+                // tick elision and the device ticks guarded by the cached
+                // horizons (a tick with nothing due is a no-op by
+                // construction: both device ticks only pop entries whose
+                // time has been reached).
+                let now = *cycle;
+                let now_ns = now * clock_ns;
+                let mut progress = false;
+                if daq_next <= now_ns {
+                    progress = env.daq.tick(now_ns, env.mrr) != 0;
+                    daq_next = env.daq.next_delivery_ns().unwrap_or(u64::MAX);
+                }
+                if awg_next <= now_ns {
+                    env.awg.tick(now_ns);
+                    awg_next = env.awg.next_event_ns().unwrap_or(u64::MAX);
+                }
+                if !scheduler.is_settled() || processors.iter().any(|p| p.finished_pending()) {
+                    let events = scheduler.events.len();
+                    scheduler.tick(now, processors, program, code, cfg, stats);
+                    progress |= events != scheduler.events.len();
+                    all_done = scheduler.all_done();
+                } else {
+                    // A settled scheduler with no pending done-notification
+                    // cannot act: nothing that feeds its picker (block
+                    // statuses, processor idle/bank state) has changed
+                    // since it last proved itself inactive, and settling
+                    // implies no fill job in flight and no busy span.
+                    debug_assert!(
+                        !scheduler.would_act(now, processors, program, cfg),
+                        "settled scheduler would act on a stepped cycle"
+                    );
+                }
+                for p in processors.iter_mut() {
+                    progress |= p.tick(now, &mut env);
+                }
+                if progress {
+                    // A processor tick can only touch the device queues
+                    // through an issue (which reports progress), so the
+                    // horizon caches need refreshing exactly here.
+                    daq_next = env.daq.next_delivery_ns().unwrap_or(u64::MAX);
+                    awg_next = env.awg.next_event_ns().unwrap_or(u64::MAX);
+                }
+                *cycle = now + 1;
+                maybe_stalled = !progress;
+            }
+        }
+    }
+}
+
+/// The borrowed result view of one arena shot (see
+/// [`LoweredShotRunner`]): every counter a batch digest needs, plus the
+/// measurement records in issue order, without the owned vectors of a
+/// [`RunReport`]. The numbers are bit-identical to the corresponding
+/// fields of the report a fresh [`Shot`] run would produce.
+#[derive(Debug)]
+pub struct ShotOutcome<'a> {
+    /// Total cycles simulated.
+    pub cycles: u64,
+    /// Program time in nanoseconds (cycles × clock period).
+    pub ns: u64,
+    /// Why the shot stopped.
+    pub stop: StopReason,
+    /// Quantum operations issued (counted at the backend).
+    pub issued_ops: u64,
+    /// Operations that reached their timing queue after their deadline.
+    pub late_issues: u64,
+    /// Total lateness across late issues, in cycles.
+    pub late_cycles: u64,
+    /// Timing violations detected by the QPU occupancy model.
+    pub violations: u64,
+    /// Occupancy conflicts detected at the AWG bank.
+    pub awg_violations: u64,
+    /// Results delayed by DAQ demod contention.
+    pub daq_contended: u64,
+    /// When the QPU finished its last operation.
+    pub qpu_makespan_ns: u64,
+    /// Measurement outcomes in issue order.
+    pub measurements: &'a [MeasurementRecord],
+}
+
+impl ShotOutcome<'_> {
+    /// End-to-end execution time: program time or QPU drain, whichever
+    /// is later (the [`RunReport::execution_time_ns`] twin).
+    pub fn execution_time_ns(&self) -> u64 {
+        self.ns.max(self.qpu_makespan_ns)
+    }
+}
+
+/// A reusable [`StepMode::Lowered`] shot arena.
+///
+/// [`CompiledJob::shot`] rebuilds the whole per-shot state — processors,
+/// scheduler table, device queues, event sinks, measurement log — on the
+/// heap for every shot. In a batch engine that cost is pure churn: the
+/// shapes are identical from shot to shot because they derive from the
+/// job, not from the outcomes. A worker thread keeps one
+/// `LoweredShotRunner` instead and pumps shots through it; the first
+/// shot builds the state, every later one resets it **in place**
+/// (buffers cleared, tables refilled, counters zeroed) so the
+/// steady-state per-shot allocation count does not depend on the
+/// program — only the backend construction and the caller's digest
+/// remain (see the `engine_heap` integration test, which pins this with
+/// a counting allocator).
+///
+/// Reset fidelity is load-bearing and differential-tested: a reused
+/// runner's outcomes are bit-identical to fresh
+/// [`Shot`]-per-shot runs, and [`ShotEngine`](crate::ShotEngine)
+/// aggregates stay bit-identical across all three step modes.
+pub struct LoweredShotRunner {
+    job: CompiledJob,
+    core: Option<ShotCore<FastProcessor>>,
+}
+
+impl LoweredShotRunner {
+    /// Creates an empty runner for `job` (the arena is built lazily by
+    /// the first [`run_shot`](LoweredShotRunner::run_shot)).
+    pub fn new(job: CompiledJob) -> Self {
+        LoweredShotRunner { job, core: None }
+    }
+
+    /// The job this runner executes.
+    pub fn job(&self) -> &CompiledJob {
+        &self.job
+    }
+
+    /// Runs one lean shot on the arena, driving `qpu` and seeding the
+    /// machine PRNG with `rng_seed`, and returns the borrowed outcome
+    /// digest. Equivalent to
+    /// `job.shot(qpu, rng_seed).report_mode(ReportMode::Lean)
+    /// .run_with_mode(StepMode::Lowered, max_cycles)` reduced to its
+    /// summary counters.
+    pub fn run_shot(
+        &mut self,
+        qpu: Box<dyn QpuBackend>,
+        rng_seed: u64,
+        max_cycles: u64,
+    ) -> ShotOutcome<'_> {
+        match &mut self.core {
+            Some(core) => core.reset_for_shot(qpu, rng_seed),
+            slot @ None => *slot = Some(self.job.fast_core(qpu, rng_seed)),
+        }
+        let core = self.core.as_mut().expect("core just ensured");
+        core.set_report_mode(ReportMode::Lean);
+        let stop = core.run_fast_loop(max_cycles);
+        core.finish_outcome(stop)
+    }
+}
+
+/// The per-shot machine state of one execution. Built from a
+/// [`CompiledJob`]; stepped at clock-cycle granularity.
+///
+/// Internally this wraps the reference `ShotCore<Processor>`;
+/// [`Shot::run_with_mode`] with [`StepMode::Lowered`] converts an
+/// un-stepped shot onto the micro-op fast core before running.
+pub struct Shot {
+    core: ShotCore<Processor>,
+}
+
+impl Shot {
+    /// Current cycle.
+    pub fn cycle(&self) -> u64 {
+        self.core.cycle
+    }
+
+    /// The job this shot executes.
+    pub fn job(&self) -> &CompiledJob {
+        &self.core.job
+    }
+
+    /// Selects how much of the run the report materialises (see
+    /// [`ReportMode`]). Call before stepping: events recorded while the
+    /// previous mode was in force are kept as-is.
+    pub fn report_mode(mut self, mode: ReportMode) -> Self {
+        self.core.set_report_mode(mode);
+        self
+    }
+
+    /// Advances the machine by one clock cycle.
+    pub fn step(&mut self) {
+        let _ = self.core.step_with_progress();
+    }
+
+    /// Runs until completion with a default budget of 10 million cycles.
+    pub fn run(self) -> RunReport {
+        self.run_with_limit(10_000_000)
+    }
+
+    /// Runs until completion, a `HALT`, an error, or the cycle budget,
+    /// using the default [`StepMode`] (event-driven).
+    pub fn run_with_limit(self, max_cycles: u64) -> RunReport {
+        self.run_with_mode(StepMode::default(), max_cycles)
+    }
+
+    /// Runs until completion, a `HALT`, an error, or the cycle budget,
+    /// advancing time as `mode` dictates. All modes produce bit-identical
+    /// reports; [`StepMode::Cycle`] is the slow oracle.
+    pub fn run_with_mode(self, mode: StepMode, max_cycles: u64) -> RunReport {
+        match mode {
+            StepMode::Cycle => self.core.run_loop(false, max_cycles),
+            StepMode::EventDriven => self.core.run_loop(true, max_cycles),
+            StepMode::Lowered => {
+                // The fast core starts from shot-initial state: a shot the
+                // caller already stepped manually cannot be transplanted
+                // mid-run, so it continues event-driven instead (the
+                // report is identical either way).
+                if self.core.cycle == 0 {
+                    self.into_fast().run_fast(max_cycles)
+                } else {
+                    self.core.run_loop(true, max_cycles)
+                }
+            }
+        }
+    }
+
+    /// Measurement outcomes observed so far (delivered results).
+    pub fn measurements(&self) -> &[MeasurementRecord] {
+        &self.core.measurements
+    }
+
+    /// The AWG bank's device state (diagnostic; tests cross-check its
+    /// occupancy view against the QPU shadow model).
+    pub fn awg(&self) -> &AwgBank {
+        &self.core.awg
+    }
+
+    /// The QPU occupancy model's view of when `qubit` becomes free
+    /// (diagnostic twin of [`AwgBank::qubit_busy_until`]).
+    pub fn qpu_busy_until(&self, qubit: quape_isa::Qubit) -> u64 {
+        self.core.qpu.busy_until(qubit)
+    }
+
+    /// Converts an un-stepped reference core into the lowered fast core,
+    /// carrying over the QPU, PRNG, and report-mode state. The rebuilt
+    /// scheduler re-records exactly the initial-load block events the
+    /// discarded one held, so reports stay bit-identical.
+    fn into_fast(self) -> ShotCore<FastProcessor> {
+        debug_assert_eq!(self.core.cycle, 0, "fast conversion requires a fresh shot");
+        let core = self.core;
+        let job = core.job;
+        let lowered = job.lowered.clone();
+        let n = job.cfg.num_processors;
+        let mut processors: Vec<FastProcessor> = (0..n)
+            .map(|i| FastProcessor::new(i, lowered.clone()))
+            .collect();
+        let mut scheduler = Scheduler::new(&job.program);
+        scheduler.initial_load(&mut processors, &*lowered, n);
+        ShotCore {
+            job,
+            code: lowered,
+            processors,
+            scheduler,
+            mrr: core.mrr,
+            daq: core.daq,
+            awg: core.awg,
+            qpu: core.qpu,
+            rng: core.rng,
+            shared_regs: core.shared_regs,
+            cycle: 0,
+            halt: core.halt,
+            error: core.error,
+            stats: core.stats,
+            step_dispatches: core.step_dispatches,
+            wait_cycles: core.wait_cycles,
+            late_issues: core.late_issues,
+            late_cycles: core.late_cycles,
+            measurements: core.measurements,
+            skip_scratch: core.skip_scratch,
         }
     }
 }

@@ -57,24 +57,167 @@ impl Env<'_> {
         self.awg.emit(self.chan, t_ns, &op);
         let outcome = self.qpu.apply(t_ns, op);
         if let (QuantumOp::Measure(q), Some(value)) = (op, outcome) {
-            let jitter = if self.cfg.daq_jitter_ns == 0 {
-                0
-            } else {
-                self.rng.gen_range(0..=self.cfg.daq_jitter_ns)
-            };
-            // The readout pulse ends at `ready_ns`; the result then runs
-            // through the demod pipeline of the qubit's readout channel
-            // (bounded concurrency — contention delays the delivery).
-            let ready_ns = t_ns + self.cfg.timings.readout_pulse_ns;
-            let demod_ns = self.cfg.daq_base_ns + jitter;
-            self.daq
-                .schedule_readout(self.chan.channels(q).readout, q, value, ready_ns, demod_ns);
-            self.measurements.push(crate::machine::MeasurementRecord {
-                time_ns: t_ns,
-                qubit: q,
-                value,
-            });
+            self.finish_measure(t_ns, q, value);
         }
+    }
+
+    /// [`Env::issue`] with the waveform codeword and nominal duration
+    /// pre-resolved at lowering time (micro-op fast path). Observable
+    /// behavior — AWG triggers, QPU application, RNG draw order, DAQ
+    /// scheduling — is identical to [`Env::issue`].
+    pub(crate) fn issue_pre(&mut self, cycle: u64, op: QuantumOp, waveform: u16, dur_ns: u64) {
+        let t_ns = cycle * self.cfg.clock_ns;
+        self.awg.emit_pre(self.chan, t_ns, &op, waveform, dur_ns);
+        let outcome = self.qpu.apply(t_ns, op);
+        if let (QuantumOp::Measure(q), Some(value)) = (op, outcome) {
+            self.finish_measure(t_ns, q, value);
+        }
+    }
+
+    /// Measurement epilogue shared by both issue paths. Consumes one RNG
+    /// draw when DAQ jitter is configured, so it must run in issue order.
+    fn finish_measure(&mut self, t_ns: u64, q: Qubit, value: bool) {
+        let jitter = if self.cfg.daq_jitter_ns == 0 {
+            0
+        } else {
+            self.rng.gen_range(0..=self.cfg.daq_jitter_ns)
+        };
+        // The readout pulse ends at `ready_ns`; the result then runs
+        // through the demod pipeline of the qubit's readout channel
+        // (bounded concurrency — contention delays the delivery).
+        let ready_ns = t_ns + self.cfg.timings.readout_pulse_ns;
+        let demod_ns = self.cfg.daq_base_ns + jitter;
+        self.daq
+            .schedule_readout(self.chan.channels(q).readout, q, value, ready_ns, demod_ns);
+        self.measurements.push(crate::machine::MeasurementRecord {
+            time_ns: t_ns,
+            qubit: q,
+            value,
+        });
+    }
+}
+
+/// The per-processor surface the generic scheduler and shot core drive.
+///
+/// Two implementations exist: the reference [`Processor`], which walks
+/// [`Instruction`] words out of its icache banks, and the lowered fast
+/// path's [`FastProcessor`](crate::fast::FastProcessor), which walks the
+/// pre-decoded micro-ops of a
+/// [`LoweredProgram`](quape_isa::LoweredProgram). `Code` is the compiled
+/// artifact cache fills read from: the `[BlockCode]` table for the
+/// reference core, the `LoweredProgram` for the fast one.
+pub(crate) trait ProcessorCore {
+    /// Compiled artifact the instruction-cache fill engine reads.
+    type Code: ?Sized + Send + Sync;
+
+    /// Advances the processor by one clock cycle (see [`Processor::tick`]).
+    fn tick(&mut self, cycle: u64, env: &mut Env<'_>) -> bool;
+    /// Trusted cycle-dependent skip check (see [`Processor::skip_check`]).
+    fn skip_check(&self, cycle: u64) -> Option<StallInfo>;
+    /// From-first-principles stall verifier (see [`Processor::stall_info`]).
+    fn stall_info(&self, cycle: u64, mrr: &MeasurementFile, cfg: &QuapeConfig)
+        -> Option<StallInfo>;
+    /// Bulk-accounts `span` skipped stall cycles.
+    fn account_stall_span(&mut self, stall: &StallInfo, span: u64);
+    /// True when no block is assigned and nothing is in flight.
+    fn is_idle(&self) -> bool;
+    /// True when the timing queue or context store still holds work.
+    fn has_pending_work(&self) -> bool;
+    /// True while a done-notification awaits the scheduler.
+    fn finished_pending(&self) -> bool;
+    /// Takes the pending done-notification, if any.
+    fn take_finished(&mut self) -> Option<BlockId>;
+    /// The block currently executing (or being switched to).
+    fn current_block(&self) -> Option<BlockId>;
+    /// True when a cache bank is free for a prefetch fill.
+    fn has_free_bank(&self) -> bool;
+    /// Pre-task initial load: installs `block` into the active bank.
+    fn install_initial(&mut self, block: BlockId, code: &Self::Code);
+    /// Installs `block` into the active bank and runs it immediately.
+    fn load_and_run(&mut self, block: BlockId, code: &Self::Code, now: u64);
+    /// Installs `block` into the free bank. False when none is free.
+    fn prefetch_block(&mut self, block: BlockId, code: &Self::Code) -> bool;
+    /// Switches to a prefetched block. False when it is not resident.
+    fn start_prefetched(&mut self, block: BlockId, switch_cycles: u64, now: u64) -> bool;
+    /// Drops a prefetched block (never the one in execution).
+    fn discard_prefetched(&mut self, block: BlockId);
+    /// The processor's accumulated statistics.
+    fn stats(&self) -> &ProcessorStats;
+}
+
+impl ProcessorCore for Processor {
+    type Code = [crate::machine::BlockCode];
+
+    fn tick(&mut self, cycle: u64, env: &mut Env<'_>) -> bool {
+        Processor::tick(self, cycle, env)
+    }
+
+    fn skip_check(&self, cycle: u64) -> Option<StallInfo> {
+        Processor::skip_check(self, cycle)
+    }
+
+    fn stall_info(
+        &self,
+        cycle: u64,
+        mrr: &MeasurementFile,
+        cfg: &QuapeConfig,
+    ) -> Option<StallInfo> {
+        Processor::stall_info(self, cycle, mrr, cfg)
+    }
+
+    fn account_stall_span(&mut self, stall: &StallInfo, span: u64) {
+        Processor::account_stall_span(self, stall, span);
+    }
+
+    fn is_idle(&self) -> bool {
+        Processor::is_idle(self)
+    }
+
+    fn has_pending_work(&self) -> bool {
+        Processor::has_pending_work(self)
+    }
+
+    fn finished_pending(&self) -> bool {
+        Processor::finished_pending(self)
+    }
+
+    fn take_finished(&mut self) -> Option<BlockId> {
+        Processor::take_finished(self)
+    }
+
+    fn current_block(&self) -> Option<BlockId> {
+        Processor::current_block(self)
+    }
+
+    fn has_free_bank(&self) -> bool {
+        self.icache.free_bank().is_some()
+    }
+
+    fn install_initial(&mut self, block: BlockId, code: &Self::Code) {
+        let bc = &code[block.index()];
+        self.icache.install_active(block, bc.base, bc.words.clone());
+    }
+
+    fn load_and_run(&mut self, block: BlockId, code: &Self::Code, now: u64) {
+        let bc = &code[block.index()];
+        Processor::load_and_run(self, block, bc.base, bc.words.clone(), now);
+    }
+
+    fn prefetch_block(&mut self, block: BlockId, code: &Self::Code) -> bool {
+        let bc = &code[block.index()];
+        Processor::prefetch_block(self, block, bc.base, bc.words.clone())
+    }
+
+    fn start_prefetched(&mut self, block: BlockId, switch_cycles: u64, now: u64) -> bool {
+        Processor::start_prefetched(self, block, switch_cycles, now)
+    }
+
+    fn discard_prefetched(&mut self, block: BlockId) {
+        Processor::discard_prefetched(self, block);
+    }
+
+    fn stats(&self) -> &ProcessorStats {
+        &self.stats
     }
 }
 
@@ -155,7 +298,7 @@ pub(crate) struct StallInfo {
 }
 
 impl StallInfo {
-    fn merge_horizon(&mut self, at: u64) {
+    pub(crate) fn merge_horizon(&mut self, at: u64) {
         self.horizon = Some(self.horizon.map_or(at, |h| h.min(at)));
     }
 }
@@ -255,16 +398,6 @@ impl Processor {
         if stall.context_stall {
             self.stats.context_dependency_stalls += span;
         }
-    }
-
-    /// The private instruction cache (scheduler fill/switch interface).
-    pub(crate) fn icache_mut(&mut self) -> &mut PrivateICache {
-        &mut self.icache
-    }
-
-    /// The private instruction cache, read-only.
-    pub(crate) fn icache(&self) -> &PrivateICache {
-        &self.icache
     }
 
     /// Starts executing `block`, whose instructions are resident in

@@ -13,11 +13,13 @@
 //! event-driven run loop reuses the same picker read-only (via
 //! [`Scheduler::would_act`]) to prove that skipped cycles are no-ops.
 //! Cache fills hand out `Arc` slices from the job's pre-cut
-//! [`BlockCode`] table instead of copying instruction words per fill.
+//! [`BlockCode`](crate::machine::BlockCode) table instead of copying
+//! instruction words per fill. The scheduler itself is generic over
+//! [`ProcessorCore`], so the same allocation/prefetch state machine
+//! drives both the reference processors and the lowered fast path.
 
 use crate::config::QuapeConfig;
-use crate::machine::BlockCode;
-use crate::processor::Processor;
+use crate::processor::ProcessorCore;
 use crate::report::{BlockEvent, MachineStats};
 use quape_isa::{BlockId, BlockStatus, Dependency, DependencyMode, Program};
 
@@ -124,17 +126,33 @@ impl Scheduler {
         }
     }
 
+    /// Returns the scheduler to its just-constructed state for the same
+    /// program, keeping the status-table and event allocations (the
+    /// arena-reuse twin of [`Scheduler::new`]; the dependency mode is
+    /// program-derived and survives).
+    pub fn reset(&mut self) {
+        self.status.fill(RtStatus::Wait);
+        self.priority_counter = 0;
+        self.busy_until = 0;
+        self.job = None;
+        self.settled = false;
+        self.events.clear();
+    }
+
     /// Pre-task initial load: the first `count` blocks of the table are
     /// installed directly into the active banks of processors 0..count
     /// (the paper allows prefetching the first N blocks before the task
     /// starts).
-    pub fn initial_load(&mut self, processors: &mut [Processor], code: &[BlockCode], count: usize) {
+    pub fn initial_load<P: ProcessorCore>(
+        &mut self,
+        processors: &mut [P],
+        code: &P::Code,
+        count: usize,
+    ) {
         let n = count.min(self.status.len()).min(processors.len());
         for (i, proc) in processors.iter_mut().enumerate().take(n) {
             let id = BlockId(i as u16);
-            let bc = &code[id.index()];
-            proc.icache_mut()
-                .install_active(id, bc.base, bc.words.clone());
+            proc.install_initial(id, code);
             self.set_status(0, id, RtStatus::Prefetched { proc: i });
         }
     }
@@ -253,9 +271,9 @@ impl Scheduler {
     /// The one scheduling action the scheduler would start right now,
     /// were it free: start a prefetched ready block, allocate a ready
     /// block to an idle processor, or prefetch an upcoming block.
-    fn pick_action(
+    fn pick_action<P: ProcessorCore>(
         &self,
-        processors: &[Processor],
+        processors: &[P],
         program: &Program,
         cfg: &QuapeConfig,
     ) -> Option<SchedAction> {
@@ -285,7 +303,7 @@ impl Scheduler {
                 RtStatus::Prefetched { proc } if !processors[proc].is_idle() => Some(proc),
                 _ => continue,
             };
-            if let Some(proc) = processors.iter().position(Processor::is_idle) {
+            if let Some(proc) = processors.iter().position(P::is_idle) {
                 return Some(SchedAction::Allocate {
                     block,
                     proc,
@@ -307,16 +325,11 @@ impl Scheduler {
         // dependencies; otherwise any processor with a free bank.
         let dep_proc = match &info.dependency {
             Dependency::Direct(deps) => processors.iter().position(|p| {
-                p.current_block().is_some_and(|b| deps.contains(&b))
-                    && p.icache().free_bank().is_some()
+                p.current_block().is_some_and(|b| deps.contains(&b)) && p.has_free_bank()
             }),
             Dependency::Priority(_) => None,
         };
-        let target = dep_proc.or_else(|| {
-            processors
-                .iter()
-                .position(|p| p.icache().free_bank().is_some())
-        })?;
+        let target = dep_proc.or_else(|| processors.iter().position(P::has_free_bank))?;
         Some(SchedAction::Prefetch {
             block,
             proc: target,
@@ -327,10 +340,10 @@ impl Scheduler {
     /// would the tick at `cycle` take any observable action? (Pending
     /// done-notifications and priority-counter movement are the caller's
     /// checks; this covers fill-job completion and new actions.)
-    pub fn would_act(
+    pub fn would_act<P: ProcessorCore>(
         &self,
         cycle: u64,
-        processors: &[Processor],
+        processors: &[P],
         program: &Program,
         cfg: &QuapeConfig,
     ) -> bool {
@@ -349,12 +362,12 @@ impl Scheduler {
     }
 
     /// One scheduler cycle.
-    pub fn tick(
+    pub fn tick<P: ProcessorCore>(
         &mut self,
         cycle: u64,
-        processors: &mut [Processor],
+        processors: &mut [P],
         program: &Program,
-        code: &[BlockCode],
+        code: &P::Code,
         cfg: &QuapeConfig,
         stats: &mut MachineStats,
     ) {
@@ -385,8 +398,7 @@ impl Scheduler {
                     proc,
                     finish,
                 } if cycle >= finish => {
-                    let bc = &code[block.index()];
-                    processors[proc].load_and_run(block, bc.base, bc.words.clone(), cycle);
+                    processors[proc].load_and_run(block, code, cycle);
                     self.set_status(cycle, block, RtStatus::InExecution);
                     stats.prefetch_misses += 1;
                     self.job = None;
@@ -396,8 +408,7 @@ impl Scheduler {
                     proc,
                     finish,
                 } if cycle >= finish => {
-                    let bc = &code[block.index()];
-                    if processors[proc].prefetch_block(block, bc.base, bc.words.clone()) {
+                    if processors[proc].prefetch_block(block, code) {
                         self.set_status(cycle, block, RtStatus::Prefetched { proc });
                     } else {
                         // Bank got occupied in the meantime: back to wait.
@@ -456,28 +467,31 @@ impl Scheduler {
     }
 
     /// The next start the zero-cost scheduler would perform.
-    fn ideal_pick(&self, processors: &[Processor], program: &Program) -> Option<(BlockId, usize)> {
+    fn ideal_pick<P: ProcessorCore>(
+        &self,
+        processors: &[P],
+        program: &Program,
+    ) -> Option<(BlockId, usize)> {
         let (block, _) = program.blocks().iter().find(|(id, info)| {
             matches!(
                 self.status[id.index()],
                 RtStatus::Wait | RtStatus::Prefetched { .. }
             ) && self.dependency_met(&info.dependency)
         })?;
-        let proc = processors.iter().position(Processor::is_idle)?;
+        let proc = processors.iter().position(P::is_idle)?;
         Some((block, proc))
     }
 
     /// Zero-cost scheduling for the ideal-speedup series of Fig. 11b.
-    fn tick_ideal(
+    fn tick_ideal<P: ProcessorCore>(
         &mut self,
         cycle: u64,
-        processors: &mut [Processor],
+        processors: &mut [P],
         program: &Program,
-        code: &[BlockCode],
+        code: &P::Code,
     ) {
         while let Some((block, proc)) = self.ideal_pick(processors, program) {
-            let bc = &code[block.index()];
-            processors[proc].load_and_run(block, bc.base, bc.words.clone(), cycle);
+            processors[proc].load_and_run(block, code, cycle);
             self.set_status(cycle, block, RtStatus::InExecution);
         }
     }

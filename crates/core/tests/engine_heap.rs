@@ -1,0 +1,125 @@
+//! Pins the engine's worker-scratch contract: with a reused
+//! [`WorkerScratch`], the lean lowered hot path reaches an allocation
+//! fixed point — steady-state shots do not grow the heap, and the
+//! per-shot allocation count is a small constant (backend construction
+//! plus the returned digest), independent of program size.
+//!
+//! The whole file is one test binary on purpose: the counting allocator
+//! is global, and other tests' allocations would pollute the counts.
+
+use quape_core::{CompiledJob, QuapeConfig, ShotEngine, StepMode, WorkerScratch};
+use quape_isa::{ClassicalOp, Cond, Gate1, Program, ProgramBuilder, QuantumOp, Qubit};
+use quape_qpu::{BehavioralQpuFactory, MeasurementModel};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Counts every allocation (alloc + realloc) flowing through the global
+/// allocator. Deallocations are not counted: the test is about churn,
+/// and a path that allocates must eventually free.
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+fn allocs() -> u64 {
+    ALLOCS.load(Ordering::Relaxed)
+}
+
+/// Measure → FMR → conditional X feedback chain (the engine benchmark's
+/// dispatch-heavy shape, small enough for a quick test).
+fn fmr_chain(rounds: usize) -> Program {
+    let mut b = ProgramBuilder::new();
+    for r in 0..rounds {
+        let q = (r % 2) as u16;
+        b.quantum(2, QuantumOp::Measure(Qubit::new(q)));
+        b.fmr(0, q);
+        b.cmpi(0, 1);
+        let skip = format!("skip{r}");
+        b.br_to(Cond::Ne, &skip);
+        b.quantum(0, QuantumOp::Gate1(Gate1::X, Qubit::new(q)));
+        b.label(&skip);
+    }
+    b.push(ClassicalOp::Stop);
+    b.finish().expect("valid fmr chain")
+}
+
+#[test]
+fn reused_scratch_reaches_an_allocation_fixed_point() {
+    let cfg = QuapeConfig::uniprocessor().with_seed(7);
+    let job = CompiledJob::compile(cfg.clone(), fmr_chain(64)).expect("job compiles");
+    let factory =
+        BehavioralQpuFactory::new(cfg.timings, MeasurementModel::Bernoulli { p_one: 0.5 });
+    let engine = ShotEngine::new(job, factory)
+        .base_seed(7)
+        .step_mode(StepMode::Lowered)
+        .threads(1);
+
+    let mut scratch = WorkerScratch::new();
+    // Warmup: builds the arena and grows every buffer to the workload's
+    // high-water mark (jitter seeds differ per shot, so a few shots are
+    // needed before the deepest queues have been seen).
+    for shot in 0..8 {
+        engine.run_shot_reusing(shot, &mut scratch);
+    }
+
+    let batch = |scratch: &mut WorkerScratch, from: u64, n: u64| -> u64 {
+        let before = allocs();
+        for shot in from..from + n {
+            engine.run_shot_reusing(shot, scratch);
+        }
+        allocs() - before
+    };
+
+    const N: u64 = 16;
+    let first = batch(&mut scratch, 8, N);
+    let second = batch(&mut scratch, 8 + N, N);
+
+    // Steady state: a warmed scratch allocates exactly as much on the
+    // next batch as on the previous one — no per-shot heap growth.
+    assert_eq!(
+        first, second,
+        "warmed scratch must not keep allocating: first batch {first}, second {second}"
+    );
+
+    // And the constant is small *and independent of program size*: the
+    // machine state is fully reused, so what remains per shot is the
+    // factory's boxed backend and its internal tables — not the
+    // program-sized machine state (the un-reused path below costs orders
+    // of magnitude more). Measured steady state is 3 allocations/shot;
+    // the bound leaves headroom for allocator/libstd drift only.
+    let per_shot = first / N;
+    assert!(
+        per_shot <= 8,
+        "lean lowered shots should stay allocation-light, got {per_shot} allocations/shot"
+    );
+
+    // The same batch without scratch reuse rebuilds machine state per
+    // shot; the scratch path must be significantly lighter.
+    let before = allocs();
+    for shot in 8..8 + N {
+        engine.run_shot(shot);
+    }
+    let fresh = allocs() - before;
+    assert!(
+        first * 4 <= fresh,
+        "scratch reuse should cut per-shot allocations by >= 4x: reused {first}, fresh {fresh}"
+    );
+}

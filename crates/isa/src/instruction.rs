@@ -105,6 +105,7 @@ impl Cond {
     pub const ALL: [Cond; 6] = [Cond::Eq, Cond::Ne, Cond::Lt, Cond::Ge, Cond::Gt, Cond::Le];
 
     /// Evaluates the condition against (zero, negative) comparison flags.
+    #[inline]
     pub fn eval(self, zero: bool, negative: bool) -> bool {
         match self {
             Cond::Eq => zero,

@@ -59,6 +59,7 @@ mod encoding;
 mod error;
 mod gate;
 mod instruction;
+mod lowered;
 mod object;
 mod program;
 mod timing;
@@ -74,6 +75,9 @@ pub use error::IsaError;
 pub use gate::{Angle, CondOp, Gate1, Gate2};
 pub use instruction::{
     ClassicalInstruction, ClassicalOp, Cond, Instruction, QuantumInstruction, QuantumOp,
+};
+pub use lowered::{
+    flags as micro_flags, waveform_index, LoweredBlock, LoweredProgram, MicroOp, MicroWord,
 };
 pub use object::{read_object, write_object, ObjectError};
 pub use program::{Program, ProgramBuilder, ProgramError, StepId};
