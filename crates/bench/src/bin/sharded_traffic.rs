@@ -1,25 +1,37 @@
 //! Sharded-router serving benchmark: shard-count scaling (round-robin
 //! at 1..N shards) and placement policy (sticky-by-digest and
 //! least-loaded vs round-robin at N shards) on one deterministic
-//! multi-program traffic stream.
+//! multi-program traffic stream, plus the fleet's fault-tolerance
+//! scenarios.
 //!
 //! Usage: `sharded_traffic [--requests N] [--seed S] [--shards N]
 //! [--threads-per-shard T] [--programs P] [--cache-capacity C]
-//! [--repeats K] [--json] [--json-out <path>] [--min-sticky-ratio <x>]`.
+//! [--repeats K] [--kill-shard] [--hot-tenant] [--json]
+//! [--json-out <path>] [--min-sticky-ratio <x>]`.
 //!
 //! Every request's aggregate is asserted bit-identical across all
 //! configurations (the run is a differential test of the router), so
-//! the throughput numbers compare *equal work*. `--json-out
-//! BENCH_router.json` refreshes the committed baseline in one command;
+//! the throughput numbers compare *equal work*. `--kill-shard` re-runs
+//! the stream while a shard is killed mid-submission and exits nonzero
+//! unless every job completes bit-identically on a survivor;
+//! `--hot-tenant` floods the admission front door from one tenant and
+//! exits nonzero unless every interactive probe dispatches within the
+//! documented starvation bound. `--json-out BENCH_router.json`
+//! refreshes the committed baseline (grid + scenarios) in one command;
 //! `--min-sticky-ratio` exits nonzero when warm sticky placement fails
 //! to reach the given multiple of warm round-robin jobs/sec at the
 //! maximum shard count.
 
-use quape_bench::sharded::{run_sharded_traffic, sticky_speedup, ShardedTrafficConfig};
+use quape_bench::sharded::{
+    run_hot_tenant, run_kill_shard, run_sharded_traffic, sticky_speedup, RouterBenchReport,
+    ShardedTrafficConfig,
+};
 use quape_bench::table::{to_json, write_json, TextTable};
 
 struct Args {
     bench: ShardedTrafficConfig,
+    kill_shard: bool,
+    hot_tenant: bool,
     json: bool,
     json_out: Option<String>,
     min_sticky_ratio: Option<f64>,
@@ -28,6 +40,8 @@ struct Args {
 fn parse_args() -> Args {
     let mut args = Args {
         bench: ShardedTrafficConfig::default(),
+        kill_shard: false,
+        hot_tenant: false,
         json: false,
         json_out: None,
         min_sticky_ratio: None,
@@ -53,6 +67,8 @@ fn parse_args() -> Args {
             }
             "--repeats" => args.bench.repeats = (num("--repeats") as usize).max(1),
             "--min-sticky-ratio" => args.min_sticky_ratio = Some(num("--min-sticky-ratio")),
+            "--kill-shard" => args.kill_shard = true,
+            "--hot-tenant" => args.hot_tenant = true,
             "--json" => args.json = true,
             "--json-out" => {
                 args.json_out = Some(it.next().expect("--json-out needs a path"));
@@ -69,11 +85,21 @@ fn parse_args() -> Args {
 fn main() {
     let args = parse_args();
     let rows = run_sharded_traffic(&args.bench);
+    // Both scenarios assert their own gate internally (lost job,
+    // aggregate divergence, starvation-bound violation all panic), so
+    // reaching the report below *is* the CI gate passing.
+    let failover = args.kill_shard.then(|| run_kill_shard(&args.bench));
+    let admission = args.hot_tenant.then(|| run_hot_tenant(&args.bench));
+    let report = RouterBenchReport {
+        grid: rows,
+        failover,
+        admission,
+    };
     if let Some(path) = &args.json_out {
-        write_json(path, &rows);
+        write_json(path, &report);
     }
     if args.json {
-        println!("{}", to_json(&rows));
+        println!("{}", to_json(&report));
     } else {
         println!(
             "Sharded-router serving: {} requests over {} distinct programs, \
@@ -89,7 +115,7 @@ fn main() {
             "steady misses",
             "steady compiles",
         ]);
-        for r in &rows {
+        for r in &report.grid {
             t.row([
                 r.scenario.clone(),
                 r.shards.to_string(),
@@ -102,7 +128,21 @@ fn main() {
         }
         println!("{}", t.render());
     }
-    let ratio = sticky_speedup(&rows);
+    if let Some(f) = &report.failover {
+        eprintln!(
+            "kill-shard: {}/{} jobs completed after losing shard {} \
+             ({} re-routed), aggregates match: {}",
+            f.completed, f.submitted, f.victim, f.rerouted_jobs, f.aggregates_match
+        );
+    }
+    if let Some(a) = &report.admission {
+        eprintln!(
+            "hot-tenant: worst mouse wait {} dispatched shots \
+             (bound {}), {} submissions shed",
+            a.max_mouse_wait_shots, a.starvation_bound_shots, a.shed_jobs
+        );
+    }
+    let ratio = sticky_speedup(&report.grid);
     eprintln!("warm sticky over warm round-robin at max shards: {ratio:.2}x jobs/sec");
     if let Some(min) = args.min_sticky_ratio {
         if ratio.is_nan() || ratio < min {

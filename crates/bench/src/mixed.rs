@@ -133,7 +133,7 @@ fn run_server_pass(
         .base_seed(base_seed + i as u64)
         .priority(priority_of(r.priority_class))
         .tenant(r.tenant.clone());
-        server.submit(req).expect("traffic request submits");
+        let _ = server.submit(req).expect("traffic request submits");
     }
     let results = server.run();
     let wall_ms = epoch.elapsed().as_secs_f64() * 1000.0;

@@ -17,12 +17,21 @@
 //! passes (fastest kept). Every request's aggregate is asserted
 //! bit-identical across *all* configurations — the benchmark doubles as
 //! the router's cross-shard differential test.
+//!
+//! Two fault/fairness scenarios ride along (CI runs both):
+//! [`run_kill_shard`] re-serves the stream while a [`FaultPlan`] kills
+//! a shard mid-submission (every job must complete bit-identically on a
+//! survivor), and [`run_hot_tenant`] floods a [`FrontDoor`] from one
+//! hog tenant and proves the mouse tenants' starvation bound in
+//! dispatched shots.
 
 use crate::support::{factory, percentile, priority_of};
 use quape_core::{BatchAggregate, QuapeConfig};
-use quape_router::{Placement, RoutedJob, Router, RouterConfig};
+use quape_router::{
+    AdmissionConfig, FaultPlan, FrontDoor, Placement, RoutedJob, Router, RouterConfig,
+};
 use quape_server::{JobRequest, JobSource, ServerConfig};
-use quape_workloads::traffic::{sharded_traffic, TrafficRequest};
+use quape_workloads::traffic::{hot_tenant_traffic, sharded_traffic, TrafficRequest};
 use serde::{Deserialize, Serialize};
 use std::time::Instant;
 
@@ -127,7 +136,10 @@ fn run_pass(
     let mut latencies = Vec::with_capacity(jobs.len());
     let mut aggregates = Vec::with_capacity(jobs.len());
     for (offset, job) in jobs {
-        let result = job.handle.wait();
+        let result = job
+            .handle
+            .wait()
+            .expect("no shard fails in a measured pass");
         latencies.push((offset + result.latency).as_micros() as u64);
         aggregates.push(result.aggregate);
     }
@@ -153,6 +165,7 @@ fn run_scenario(
             shot_quantum: 8,
             cache_capacity: bench.cache_capacity,
         },
+        ..RouterConfig::default()
     });
     // Priming pass: pays the cold compiles and warms whatever this
     // placement is able to keep warm.
@@ -170,7 +183,7 @@ fn run_scenario(
     // The same (program, seed, shots) set every pass: priming and
     // measured aggregates must agree request by request.
     assert_eq!(prime_aggs, aggregates, "passes diverged within a scenario");
-    router.drain();
+    router.drain().expect("fleet drains cleanly");
     latencies.sort_unstable();
     let steady_misses: u64 = steady_after
         .iter()
@@ -238,6 +251,248 @@ pub fn run_sharded_traffic(bench: &ShardedTrafficConfig) -> Vec<ShardedScenarioR
     rows
 }
 
+/// Outcome of the kill-a-shard failover scenario: the same stream as
+/// the grid, but one shard is killed mid-submission and every stranded
+/// job must complete on a survivor with aggregates bit-identical to the
+/// zero-failure run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FailoverScenarioResult {
+    /// Scenario tag (`kill_shard`).
+    pub scenario: String,
+    /// Shards in the fleet before the kill.
+    pub shards: u64,
+    /// Index of the killed shard.
+    pub victim: u64,
+    /// Accepted submissions before the kill fired.
+    pub kill_after_submits: u64,
+    /// Jobs submitted over the whole stream.
+    pub submitted: u64,
+    /// Jobs that completed with an `Ok` result.
+    pub completed: u64,
+    /// Jobs the router re-routed off the dead shard.
+    pub rerouted_jobs: u64,
+    /// Whether every aggregate matched the zero-failure oracle run.
+    pub aggregates_match: bool,
+    /// Wall time of the faulted pass, ms.
+    pub wall_ms: f64,
+}
+
+/// Kill-a-shard failover scenario: runs the grid's stream once on a
+/// healthy fleet (the oracle), then again with [`FaultPlan`] killing
+/// shard 0 a third of the way through submission. Every job must still
+/// complete — re-routed jobs recompile on a survivor and, because shot
+/// streams restart from shot 0 under the same base seed, their
+/// aggregates are bit-identical to the oracle's.
+///
+/// # Panics
+///
+/// Panics when a job is lost or an aggregate diverges — this scenario
+/// *is* the failover differential test, run at bench scale.
+pub fn run_kill_shard(bench: &ShardedTrafficConfig) -> FailoverScenarioResult {
+    let mut traffic = sharded_traffic(bench.seed, bench.requests, bench.distinct_programs);
+    // The grid's probe-sized requests finish faster than the submit
+    // loop compiles, so a mid-stream kill would strand nothing; bulk
+    // them up so the victim dies with a real backlog to re-route.
+    for r in &mut traffic {
+        r.shots = r.shots.max(32);
+    }
+    let cfg = QuapeConfig::uniprocessor().with_seed(bench.seed);
+    let base_seed = bench.seed.wrapping_mul(1000);
+    let shards = bench.max_shards.max(2);
+    let shard_cfg = ServerConfig {
+        threads: bench.threads_per_shard,
+        shot_quantum: 8,
+        cache_capacity: bench.cache_capacity,
+    };
+    // Oracle: the same stream on a healthy fleet.
+    let healthy = Router::new(RouterConfig {
+        shards,
+        placement: Placement::RoundRobin,
+        shard: shard_cfg.clone(),
+        ..RouterConfig::default()
+    });
+    let (_, oracle, _) = run_pass(&healthy, &cfg, &traffic, base_seed);
+    healthy.drain().expect("healthy fleet drains");
+
+    // Faulted pass: kill shard 0 a third of the way through submission.
+    let router = Router::new(RouterConfig {
+        shards,
+        placement: Placement::RoundRobin,
+        shard: shard_cfg,
+        ..RouterConfig::default()
+    });
+    let plan = FaultPlan {
+        victim: 0,
+        after_submits: (traffic.len() / 3).max(1),
+    };
+    let epoch = Instant::now();
+    let mut jobs = Vec::with_capacity(traffic.len());
+    for (i, r) in traffic.iter().enumerate() {
+        let req = JobRequest::new(
+            r.name.clone(),
+            JobSource::Text(r.source.clone()),
+            cfg.clone(),
+            factory(&cfg),
+            r.shots,
+        )
+        .base_seed(base_seed + i as u64)
+        .priority(priority_of(r.priority_class))
+        .tenant(r.tenant.clone());
+        jobs.push(router.submit(req).expect("a capable shard survives"));
+        plan.fire_if_due(i + 1, &router);
+    }
+    let mut aggregates = Vec::with_capacity(jobs.len());
+    for job in jobs {
+        let result = job
+            .handle
+            .wait()
+            .expect("every job survives a single shard loss");
+        aggregates.push(result.aggregate);
+    }
+    let wall_ms = epoch.elapsed().as_secs_f64() * 1000.0;
+    let completed = aggregates.len() as u64;
+    let aggregates_match = oracle == aggregates;
+    assert!(
+        aggregates_match,
+        "kill-a-shard aggregates diverged from the zero-failure oracle"
+    );
+    let rerouted_jobs = router.recovered_jobs();
+    router.drain().expect("survivors drain cleanly");
+    FailoverScenarioResult {
+        scenario: "kill_shard".to_string(),
+        shards: shards as u64,
+        victim: plan.victim as u64,
+        kill_after_submits: plan.after_submits as u64,
+        submitted: traffic.len() as u64,
+        completed,
+        rerouted_jobs,
+        aggregates_match,
+        wall_ms,
+    }
+}
+
+/// Outcome of the hot-tenant admission scenario: a hog floods the
+/// front door, interactive mice arrive behind the flood, and the DRR
+/// front door must dispatch every mouse within the documented
+/// starvation bound.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AdmissionScenarioResult {
+    /// Scenario tag (`hot_tenant`).
+    pub scenario: String,
+    /// Hog jobs admitted.
+    pub hog_jobs: u64,
+    /// Mouse probes admitted.
+    pub mouse_jobs: u64,
+    /// Submissions shed with `OverBudget`.
+    pub shed_jobs: u64,
+    /// Worst shots dispatched between any mouse's admission and its
+    /// dispatch.
+    pub max_mouse_wait_shots: u64,
+    /// The gate: the documented per-tenant bound summed over the
+    /// mouse's competitors.
+    pub starvation_bound_shots: u64,
+    /// `max_mouse_wait_shots <= starvation_bound_shots`.
+    pub within_bound: bool,
+    /// Wall time of the whole scenario, ms.
+    pub wall_ms: f64,
+}
+
+/// Hot-tenant admission scenario: a hog submits `requests` bulk jobs
+/// through a [`FrontDoor`], then three mouse tenants submit single-shot
+/// probes. The fairness claim — a mouse's queue wait is bounded by the
+/// competitors' quanta, **not** the hog's backlog — is measured in
+/// dispatched shots off the dispatch log, deterministically.
+///
+/// # Panics
+///
+/// Panics when a mouse waits past the documented starvation bound.
+pub fn run_hot_tenant(bench: &ShardedTrafficConfig) -> AdmissionScenarioResult {
+    let hog_jobs = bench.requests.max(8);
+    let mouse_jobs = 9;
+    let traffic = hot_tenant_traffic(bench.seed, hog_jobs, mouse_jobs);
+    let cfg = QuapeConfig::uniprocessor().with_seed(bench.seed);
+    let base_seed = bench.seed.wrapping_mul(2000);
+    let admission = AdmissionConfig {
+        tenant_budget_shots: 1 << 20,
+        quantum_shots: 32,
+        fleet_window_shots: 64,
+        weights: Vec::new(),
+    };
+    let quantum = admission.quantum_shots;
+    let door = FrontDoor::new(
+        RouterConfig {
+            shards: bench.max_shards.max(2),
+            placement: Placement::RoundRobin,
+            shard: ServerConfig {
+                threads: bench.threads_per_shard,
+                shot_quantum: 8,
+                cache_capacity: bench.cache_capacity,
+            },
+            ..RouterConfig::default()
+        },
+        admission,
+    );
+    let epoch = Instant::now();
+    let mut admitted = Vec::with_capacity(traffic.len());
+    let max_hog_shots = traffic.iter().map(|r| r.shots).max().unwrap_or(0);
+    for (i, r) in traffic.iter().enumerate() {
+        let req = JobRequest::new(
+            r.name.clone(),
+            JobSource::Text(r.source.clone()),
+            cfg.clone(),
+            factory(&cfg),
+            r.shots,
+        )
+        .base_seed(base_seed + i as u64)
+        .tenant(r.tenant.clone());
+        admitted.push((r.tenant.clone(), door.submit(req).expect("budget is ample")));
+    }
+    let mut max_mouse_wait_shots = 0u64;
+    for (tenant, job) in &admitted {
+        let _ = job.wait().expect("admitted jobs complete");
+        if tenant.starts_with("mouse") {
+            let waited = job.dispatch_seq().expect("dispatched") - job.arrival_seq();
+            max_mouse_wait_shots = max_mouse_wait_shots.max(waited);
+        }
+    }
+    let shed_jobs = door.shed_count();
+    let wall_ms = epoch.elapsed().as_secs_f64() * 1000.0;
+    door.drain().expect("front door drains cleanly");
+    // Documented bound, summed over a mouse's competitors: the hog and
+    // the two other mouse tenants each dispatch at most
+    // 2 × (quantum + their largest job) shots while the mouse waits.
+    let starvation_bound_shots = 2 * (quantum + max_hog_shots) + 2 * 2 * (quantum + 1);
+    let within_bound = max_mouse_wait_shots <= starvation_bound_shots;
+    assert!(
+        within_bound,
+        "a mouse waited {max_mouse_wait_shots} dispatched shots \
+         (> starvation bound {starvation_bound_shots})"
+    );
+    AdmissionScenarioResult {
+        scenario: "hot_tenant".to_string(),
+        hog_jobs: hog_jobs as u64,
+        mouse_jobs: mouse_jobs as u64,
+        shed_jobs,
+        max_mouse_wait_shots,
+        starvation_bound_shots,
+        within_bound,
+        wall_ms,
+    }
+}
+
+/// Everything the `sharded_traffic` binary can measure in one committed
+/// baseline: the placement/scaling grid plus (when requested) the
+/// failover and admission scenarios.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RouterBenchReport {
+    /// Placement × shard-count grid rows.
+    pub grid: Vec<ShardedScenarioResult>,
+    /// Kill-a-shard failover scenario (with `--kill-shard`).
+    pub failover: Option<FailoverScenarioResult>,
+    /// Hot-tenant admission scenario (with `--hot-tenant`).
+    pub admission: Option<AdmissionScenarioResult>,
+}
+
 /// The headline ratio: warm sticky-placement throughput over warm
 /// round-robin at the same (maximum) shard count.
 pub fn sticky_speedup(rows: &[ShardedScenarioResult]) -> f64 {
@@ -283,5 +538,37 @@ mod tests {
         assert!(sticky.steady_misses <= rr.steady_misses);
         let ratio = sticky_speedup(&rows);
         assert!(ratio.is_finite() && ratio > 0.0);
+    }
+
+    #[test]
+    fn kill_shard_scenario_recovers_everything() {
+        let bench = ShardedTrafficConfig {
+            requests: 8,
+            distinct_programs: 4,
+            cache_capacity: 2,
+            repeats: 1,
+            max_shards: 2,
+            ..ShardedTrafficConfig::default()
+        };
+        // The aggregate differential is asserted inside run_kill_shard.
+        let r = run_kill_shard(&bench);
+        assert_eq!(r.completed, r.submitted);
+        assert!(r.aggregates_match);
+        assert_eq!(r.shards, 2);
+    }
+
+    #[test]
+    fn hot_tenant_scenario_meets_the_bound() {
+        let bench = ShardedTrafficConfig {
+            requests: 12,
+            repeats: 1,
+            max_shards: 2,
+            ..ShardedTrafficConfig::default()
+        };
+        // The starvation bound is asserted inside run_hot_tenant.
+        let r = run_hot_tenant(&bench);
+        assert!(r.within_bound);
+        assert_eq!(r.mouse_jobs, 9);
+        assert_eq!(r.shed_jobs, 0);
     }
 }

@@ -65,7 +65,7 @@ mod program;
 mod timing;
 mod types;
 
-pub use asm::{assemble, AsmError};
+pub use asm::{assemble, scan_qubit_count, AsmError};
 pub use block::{
     BlockId, BlockInfo, BlockInfoTable, BlockStatus, BlockTableError, Dependency, DependencyMode,
 };

@@ -1,0 +1,1118 @@
+//! The fault-tolerant fleet: capability-aware placement, shard failure
+//! injection with re-routing, planned retirement, and work stealing.
+//!
+//! The router keeps a **fleet-level job registry** above the per-shard
+//! servers: every accepted submission gets a fleet id, a cloned
+//! [`JobRequest`] snapshot, and a [`FleetHandle`] that survives
+//! re-routing. When a shard dies ([`Router::kill_shard`], driven by a
+//! test-facing [`FaultPlan`]) or retires ([`Router::retire_shard`]),
+//! non-terminal jobs are re-submitted from their snapshots to a
+//! surviving capable shard — re-running from shot 0, which by the
+//! engine's determinism yields an aggregate **bit-identical** to the
+//! zero-failure run. Re-routing retries are bounded
+//! ([`RetryPolicy`], exponential backoff); a job only turns terminal
+//! [`JobError::ShardLost`] when no capable shard remains.
+//!
+//! Lock order: `fleet` (shard table) → `jobs` (registry); per-shard
+//! server locks are strictly below both and are never held while either
+//! is taken. Shard finish hooks call back into the registry with no
+//! server locks held (see [`quape_server::JobServer::set_finish_hook`]).
+
+use crate::profile::{JobRequirements, ShardProfile};
+use quape_core::BatchAggregate;
+use quape_server::{
+    CacheStats, JobError, JobHandle, JobProgress, JobRequest, JobResult, JobServer, ServerConfig,
+    ServingServer,
+};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, Weak};
+use std::thread;
+use std::time::Duration;
+
+/// How the router picks a shard for an incoming job, **after** the
+/// capability filter has reduced the fleet to the capable candidates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Placement {
+    /// Cyclic assignment over the capable candidates, ignoring load and
+    /// content. The fairest baseline — and the cache-worst-case: every
+    /// shard eventually compiles every program.
+    #[default]
+    RoundRobin,
+    /// The capable shard with the smallest backlog of unexecuted shots
+    /// ([`JobServer::backlog_shots`]); ties go to the lowest index.
+    LeastLoadedShots,
+    /// The capable shard determined by the request's compile-cache key
+    /// ([`quape_server::JobSource::cache_key`]): resubmissions of the
+    /// same program/config always land on the shard whose cache is
+    /// already warm, partitioning the program set across the fleet.
+    StickyByDigest,
+}
+
+/// Bounded re-routing policy for jobs displaced by a dead or draining
+/// shard (and for submissions that race a shard's phase flip).
+#[derive(Debug, Clone, Copy)]
+pub struct RetryPolicy {
+    /// Attempts per job before giving up with [`JobError::ShardLost`].
+    pub max_attempts: u32,
+    /// Base backoff between attempts; doubles per attempt.
+    pub backoff: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 4,
+            backoff: Duration::from_millis(1),
+        }
+    }
+}
+
+/// Background work-stealing configuration (see [`Router::steal_once`]).
+#[derive(Debug, Clone, Copy)]
+pub struct StealConfig {
+    /// How often the stealer thread scans the fleet.
+    pub interval: Duration,
+    /// Minimum victim backlog (in shots) before stealing kicks in.
+    pub min_backlog_shots: u64,
+}
+
+impl Default for StealConfig {
+    fn default() -> Self {
+        StealConfig {
+            interval: Duration::from_millis(1),
+            min_backlog_shots: 1,
+        }
+    }
+}
+
+/// Fleet sizing, placement policy and fault-tolerance knobs of a
+/// [`Router`].
+#[derive(Debug, Clone)]
+pub struct RouterConfig {
+    /// Number of shards (min 1), each a full [`JobServer`] with its own
+    /// compile cache and worker pool.
+    pub shards: usize,
+    /// The placement policy.
+    pub placement: Placement,
+    /// Per-shard worker-pool and cache sizing.
+    pub shard: ServerConfig,
+    /// Per-shard capability profiles, by shard index. Missing entries
+    /// (an empty or short vector) default to
+    /// [`ShardProfile::unconstrained`].
+    pub profiles: Vec<ShardProfile>,
+    /// Re-routing retry policy for displaced jobs.
+    pub retry: RetryPolicy,
+    /// When set, a background thread steals whole queued jobs from the
+    /// hottest backlog onto idle shards.
+    pub steal: Option<StealConfig>,
+}
+
+impl Default for RouterConfig {
+    fn default() -> Self {
+        RouterConfig {
+            shards: 2,
+            placement: Placement::default(),
+            shard: ServerConfig::default(),
+            profiles: Vec::new(),
+            retry: RetryPolicy::default(),
+            steal: None,
+        }
+    }
+}
+
+/// A submitted job plus the shard it was first placed on.
+#[must_use = "dropping the routed job loses the only way to wait on or cancel it"]
+#[derive(Debug)]
+pub struct RoutedJob {
+    /// Index of the shard the job was initially placed on (re-routing
+    /// may move it; [`FleetHandle::shard`] tracks the current owner).
+    pub shard: usize,
+    /// The fleet-level job handle (progress, partials, wait, cancel) —
+    /// valid across re-routing.
+    pub handle: FleetHandle,
+}
+
+/// A finished job plus its outcome: the shard that finally executed it
+/// and either its result or the terminal error that ended it.
+#[derive(Debug, Clone)]
+pub struct RoutedResult {
+    /// Index of the shard that last owned the job.
+    pub shard: usize,
+    /// The job's outcome. `Err(JobError::ShardLost)` marks a job whose
+    /// shard died with no capable survivor to take it over.
+    pub result: Result<JobResult, JobError>,
+}
+
+/// One shard's availability, as seen by placement and stealing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShardStatus {
+    /// Serving and placeable.
+    Up,
+    /// Draining after [`Router::retire_shard`]: finishes what it has,
+    /// accepts nothing new, never a placement candidate.
+    Retiring,
+    /// Killed by [`Router::kill_shard`]: workers joined, jobs swept.
+    Down,
+}
+
+/// A test-facing failure schedule: kill shard `victim` once
+/// `after_submits` jobs have been accepted. Drive it from the submit
+/// loop with [`fire_if_due`](FaultPlan::fire_if_due).
+#[derive(Debug, Clone, Copy)]
+pub struct FaultPlan {
+    /// The shard to kill.
+    pub victim: usize,
+    /// Fire after this many accepted submissions.
+    pub after_submits: usize,
+}
+
+impl FaultPlan {
+    /// Kills the victim iff `submitted` just reached the trigger point.
+    /// Returns true when it fired.
+    pub fn fire_if_due(&self, submitted: usize, router: &Router) -> bool {
+        if submitted == self.after_submits {
+            router.kill_shard(self.victim);
+            true
+        } else {
+            false
+        }
+    }
+}
+
+/// Callback fired once per job when it turns terminal — with its fleet
+/// id and final outcome, and with **no router or server locks held**
+/// (an admission layer uses it to free budget and pump its queues).
+pub type RouterFinishHook = Arc<dyn Fn(u64, &Result<JobResult, JobError>) + Send + Sync>;
+
+struct Shard {
+    serving: Option<ServingServer>,
+    profile: ShardProfile,
+    status: ShardStatus,
+}
+
+struct FleetState {
+    shards: Vec<Shard>,
+    /// Set by drain/shutdown before any shard is signalled: late
+    /// cancelled partials then finalize as-is instead of re-routing.
+    stopping: bool,
+}
+
+struct JobState {
+    snapshot: JobRequest,
+    requirements: JobRequirements,
+    shard: usize,
+    server_id: u64,
+    handle: Option<JobHandle>,
+    attempts: u32,
+    user_cancelled: bool,
+    /// True while a recovery/steal path owns the job's resubmission —
+    /// at most one mover at a time.
+    in_recovery: bool,
+    terminal: Option<Result<JobResult, JobError>>,
+}
+
+#[derive(Default)]
+struct JobTable {
+    next_id: u64,
+    jobs: HashMap<u64, JobState>,
+    /// `(shard index, per-shard server id)` → fleet id, for routing a
+    /// shard's finish-hook results back to the registry.
+    by_server: HashMap<(usize, u64), u64>,
+}
+
+pub(crate) struct RouterInner {
+    placement: Placement,
+    retry: RetryPolicy,
+    rr: AtomicUsize,
+    /// Per-shard servers, immutable after construction (cheap `Arc`
+    /// clones of each serving pool's server — valid even after the
+    /// [`ServingServer`] itself is consumed by a kill or drain).
+    servers: Vec<JobServer>,
+    fleet: Mutex<FleetState>,
+    jobs: Mutex<JobTable>,
+    jobs_cond: Condvar,
+    finish_hook: Mutex<Option<RouterFinishHook>>,
+    steal_stop: Mutex<bool>,
+    steal_cond: Condvar,
+    recovered: AtomicU64,
+    stolen: AtomicU64,
+}
+
+/// The fault-tolerant sharded front router. See the
+/// [crate docs](crate).
+pub struct Router {
+    inner: Arc<RouterInner>,
+    stealer: Option<thread::JoinHandle<()>>,
+}
+
+impl Router {
+    /// Starts `cfg.shards` serving shards (their worker pools go live
+    /// immediately). Profiles beyond `cfg.profiles.len()` are
+    /// [`unconstrained`](ShardProfile::unconstrained); when `cfg.steal`
+    /// is set, a background stealer thread starts too.
+    pub fn new(cfg: RouterConfig) -> Self {
+        let n = cfg.shards.max(1);
+        let mut shards = Vec::with_capacity(n);
+        let mut servers = Vec::with_capacity(n);
+        for i in 0..n {
+            let serving = JobServer::serve(cfg.shard.clone());
+            servers.push(serving.server().clone());
+            shards.push(Shard {
+                serving: Some(serving),
+                profile: cfg.profiles.get(i).copied().unwrap_or_default(),
+                status: ShardStatus::Up,
+            });
+        }
+        let inner = Arc::new(RouterInner {
+            placement: cfg.placement,
+            retry: cfg.retry,
+            rr: AtomicUsize::new(0),
+            servers,
+            fleet: Mutex::new(FleetState {
+                shards,
+                stopping: false,
+            }),
+            jobs: Mutex::new(JobTable::default()),
+            jobs_cond: Condvar::new(),
+            finish_hook: Mutex::new(None),
+            steal_stop: Mutex::new(false),
+            steal_cond: Condvar::new(),
+            recovered: AtomicU64::new(0),
+            stolen: AtomicU64::new(0),
+        });
+        // Each shard reports completions straight into the registry.
+        // The hook holds a Weak so a leaked handle cannot keep the
+        // whole fleet alive.
+        for (i, server) in inner.servers.iter().enumerate() {
+            let weak: Weak<RouterInner> = Arc::downgrade(&inner);
+            server.set_finish_hook(Arc::new(move |result: &JobResult| {
+                if let Some(inner) = weak.upgrade() {
+                    inner.on_shard_result(i, result);
+                }
+            }));
+        }
+        let stealer = cfg.steal.map(|steal| {
+            let inner = Arc::clone(&inner);
+            thread::spawn(move || loop {
+                {
+                    let stop = inner.steal_stop.lock().expect("steal lock poisoned");
+                    let (stop, _) = inner
+                        .steal_cond
+                        .wait_timeout_while(stop, steal.interval, |s| !*s)
+                        .expect("steal lock poisoned");
+                    if *stop {
+                        return;
+                    }
+                }
+                inner.steal_once(steal.min_backlog_shots);
+            })
+        });
+        Router { inner, stealer }
+    }
+
+    /// Number of shards (including retired and dead ones — indices are
+    /// stable for the router's lifetime).
+    pub fn shard_count(&self) -> usize {
+        self.inner.servers.len()
+    }
+
+    /// The placement policy in force.
+    pub fn placement(&self) -> Placement {
+        self.inner.placement
+    }
+
+    /// One shard's underlying server (stats, backlog) — readable even
+    /// after the shard was killed or retired.
+    pub fn shard(&self, index: usize) -> &JobServer {
+        &self.inner.servers[index]
+    }
+
+    /// One shard's capability profile.
+    pub fn shard_profile(&self, index: usize) -> ShardProfile {
+        self.inner.lock_fleet().shards[index].profile
+    }
+
+    /// One shard's availability.
+    pub fn shard_status(&self, index: usize) -> ShardStatus {
+        self.inner.lock_fleet().shards[index].status
+    }
+
+    /// Jobs re-routed off a dead or retiring shard so far.
+    pub fn recovered_jobs(&self) -> u64 {
+        self.inner.recovered.load(Ordering::Relaxed)
+    }
+
+    /// Jobs moved by work stealing so far.
+    pub fn stolen_jobs(&self) -> u64 {
+        self.inner.stolen.load(Ordering::Relaxed)
+    }
+
+    /// Installs (or replaces) the fleet-level job-completion callback.
+    /// Install it before submitting anything the hook must observe.
+    pub fn set_finish_hook(&self, hook: RouterFinishHook) {
+        *self.inner.finish_hook.lock().expect("hook lock poisoned") = Some(hook);
+    }
+
+    /// Per-shard compile-cache counters, indexed by shard.
+    pub fn cache_stats(&self) -> Vec<CacheStats> {
+        self.inner.servers.iter().map(|s| s.cache_stats()).collect()
+    }
+
+    /// Per-tenant cache counters folded across all shards, sorted by
+    /// tenant id.
+    pub fn tenant_stats(&self) -> Vec<(String, CacheStats)> {
+        let mut merged: Vec<(String, CacheStats)> = Vec::new();
+        for server in &self.inner.servers {
+            for (tenant, stats) in server.tenant_stats() {
+                match merged.binary_search_by(|(t, _)| t.as_str().cmp(&tenant)) {
+                    Ok(i) => merged[i].1.merge(&stats),
+                    Err(i) => merged.insert(i, (tenant, stats)),
+                }
+            }
+        }
+        merged
+    }
+
+    /// Per-shard backlog of unexecuted shots, indexed by shard.
+    pub fn backlog_shots(&self) -> Vec<u64> {
+        self.inner
+            .servers
+            .iter()
+            .map(|s| s.backlog_shots())
+            .collect()
+    }
+
+    /// Places and submits a job; it starts executing on its shard
+    /// immediately. The capability filter runs first: shards that
+    /// cannot satisfy the job's [`JobRequirements`] are never
+    /// candidates, whatever the placement policy says.
+    ///
+    /// # Errors
+    ///
+    /// [`JobError::NoCapableShard`] when no live shard satisfies the
+    /// requirements; otherwise as [`JobServer::submit`] — parse/compile
+    /// failures, zero shots, or a router that is draining.
+    pub fn submit(&self, req: JobRequest) -> Result<RoutedJob, JobError> {
+        self.inner.submit_routed(req)
+    }
+
+    /// Shared internals, for the in-crate admission layer (whose
+    /// completion hook must be able to dispatch without owning the
+    /// router).
+    pub(crate) fn inner(&self) -> &Arc<RouterInner> {
+        &self.inner
+    }
+
+    /// Kills shard `victim` as a fault injection: its workers stop
+    /// claiming, join, and every non-terminal job it owned is re-routed
+    /// to a surviving capable shard (re-run from shot 0 — aggregates
+    /// stay bit-identical by determinism) or turns terminal
+    /// [`JobError::ShardLost`]. Idempotent; killing the last capable
+    /// shard strands its jobs as `ShardLost`.
+    pub fn kill_shard(&self, victim: usize) {
+        self.inner.kill_shard(victim);
+    }
+
+    /// Retires shard `index` as a planned drain: it stops being a
+    /// placement candidate, its *unstarted* jobs are re-routed to
+    /// capable peers immediately (when any exist), and whatever already
+    /// started finishes in place — the final [`drain`](Router::drain)
+    /// joins it like any other shard.
+    pub fn retire_shard(&self, index: usize) {
+        self.inner.retire_shard(index);
+    }
+
+    /// One work-stealing scan: if some idle shard and some hot shard
+    /// (backlog ≥ `min_backlog_shots`) coexist, moves one whole queued,
+    /// unstarted job from the hot one to the idle one — never splitting
+    /// a job, so aggregates are untouched. Returns true when a job
+    /// moved. (The background stealer calls this on its interval; tests
+    /// call it directly for determinism.)
+    pub fn steal_once(&self, min_backlog_shots: u64) -> bool {
+        self.inner.steal_once(min_backlog_shots)
+    }
+
+    /// Stops accepting new jobs (fleet-wide, before any shard blocks),
+    /// runs everything accepted so far to completion on every live
+    /// shard, and returns every job's outcome ordered by fleet
+    /// submission id.
+    ///
+    /// # Errors
+    ///
+    /// [`JobError::WorkerPanicked`] when any shard's worker panicked;
+    /// per-job failures (e.g. [`JobError::ShardLost`]) are reported
+    /// inside the vector, not here.
+    pub fn drain(mut self) -> Result<Vec<RoutedResult>, JobError> {
+        self.stop(false)
+    }
+
+    /// Stops accepting new jobs *and* claiming new shot quanta on every
+    /// shard — the stop signal reaches the whole fleet before any shard
+    /// is joined, so no shard keeps claiming while another winds down.
+    /// Unfinished jobs finalize as cancelled prefix partials. Returns
+    /// every job's outcome ordered by fleet submission id.
+    ///
+    /// # Errors
+    ///
+    /// As [`drain`](Router::drain).
+    pub fn shutdown(mut self) -> Result<Vec<RoutedResult>, JobError> {
+        self.stop(true)
+    }
+
+    fn stop(&mut self, hard: bool) -> Result<Vec<RoutedResult>, JobError> {
+        self.stop_stealer();
+        let servings: Vec<(usize, ServingServer)> = {
+            let mut fleet = self.inner.lock_fleet();
+            fleet.stopping = true;
+            let servings: Vec<(usize, ServingServer)> = fleet
+                .shards
+                .iter_mut()
+                .enumerate()
+                .filter_map(|(i, s)| s.serving.take().map(|serving| (i, serving)))
+                .collect();
+            // Phase flips are non-blocking: every shard stops accepting
+            // (and, on shutdown, claiming) before the first worker join.
+            for (_, serving) in &servings {
+                if hard {
+                    serving.begin_shutdown();
+                } else {
+                    serving.begin_drain();
+                }
+            }
+            servings
+        };
+        let mut panicked = false;
+        for (_, serving) in servings {
+            let joined = if hard {
+                serving.shutdown()
+            } else {
+                serving.drain()
+            };
+            if joined.is_err() {
+                panicked = true;
+            }
+        }
+        if panicked {
+            return Err(JobError::WorkerPanicked);
+        }
+        // Every shard is joined and every finish hook has fired; any
+        // job still non-terminal was stranded mid-recovery by the stop.
+        let results = {
+            let mut table = self.inner.lock_jobs();
+            let mut ids: Vec<u64> = table.jobs.keys().copied().collect();
+            ids.sort_unstable();
+            ids.iter()
+                .map(|id| {
+                    let job = table.jobs.get_mut(id).expect("job id just listed");
+                    let result = job.terminal.get_or_insert(Err(JobError::ShardLost)).clone();
+                    RoutedResult {
+                        shard: job.shard,
+                        result,
+                    }
+                })
+                .collect()
+        };
+        self.inner.jobs_cond.notify_all();
+        Ok(results)
+    }
+
+    fn stop_stealer(&mut self) {
+        if let Some(handle) = self.stealer.take() {
+            *self.inner.steal_stop.lock().expect("steal lock poisoned") = true;
+            self.inner.steal_cond.notify_all();
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for Router {
+    fn drop(&mut self) {
+        // drain/shutdown consume self and already joined the stealer;
+        // this only matters when a router is dropped without either.
+        self.stop_stealer();
+    }
+}
+
+/// A live fleet-level handle on one routed job. Clone freely; all
+/// methods are safe from any thread and remain valid while the job is
+/// re-routed across shards.
+#[must_use = "dropping the handle loses the only way to wait on or cancel the job"]
+#[derive(Clone)]
+pub struct FleetHandle {
+    inner: Arc<RouterInner>,
+    id: u64,
+}
+
+impl std::fmt::Debug for FleetHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FleetHandle").field("id", &self.id).finish()
+    }
+}
+
+impl FleetHandle {
+    /// The job's fleet-assigned id (global submission order).
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// The request's name.
+    pub fn name(&self) -> String {
+        self.inner.lock_jobs().jobs[&self.id].snapshot.name.clone()
+    }
+
+    /// The shard currently owning the job (its first placement until a
+    /// re-route or steal moves it).
+    pub fn shard(&self) -> usize {
+        self.inner.lock_jobs().jobs[&self.id].shard
+    }
+
+    /// A point-in-time progress snapshot. Progress restarts from zero
+    /// when a shard death re-routes the job (it re-runs from shot 0).
+    pub fn progress(&self) -> JobProgress {
+        let table = self.inner.lock_jobs();
+        let job = &table.jobs[&self.id];
+        match (&job.terminal, &job.handle) {
+            (Some(Ok(r)), _) => JobProgress {
+                shots_done: r.shots,
+                shots_total: r.shots_requested,
+                cancelled: r.cancelled,
+                finished: true,
+            },
+            (Some(Err(_)), _) => JobProgress {
+                shots_done: 0,
+                shots_total: job.snapshot.shots,
+                cancelled: true,
+                finished: true,
+            },
+            (None, Some(handle)) => {
+                let handle = handle.clone();
+                drop(table);
+                handle.progress()
+            }
+            (None, None) => JobProgress {
+                shots_done: 0,
+                shots_total: job.snapshot.shots,
+                cancelled: job.user_cancelled,
+                finished: false,
+            },
+        }
+    }
+
+    /// The partial aggregate over the job's contiguous completed shot
+    /// prefix **on its current shard** (empty mid-re-route — the re-run
+    /// starts over from shot 0). The final aggregate once terminal.
+    pub fn partial_aggregate(&self) -> BatchAggregate {
+        let table = self.inner.lock_jobs();
+        let job = &table.jobs[&self.id];
+        match (&job.terminal, &job.handle) {
+            (Some(Ok(r)), _) => r.aggregate.clone(),
+            (Some(Err(_)), _) | (None, None) => {
+                BatchAggregate::from_summaries(job.snapshot.base_seed, &[])
+            }
+            (None, Some(handle)) => {
+                let handle = handle.clone();
+                drop(table);
+                handle.partial_aggregate()
+            }
+        }
+    }
+
+    /// True once the job's outcome is available.
+    pub fn is_finished(&self) -> bool {
+        self.inner.lock_jobs().jobs[&self.id].terminal.is_some()
+    }
+
+    /// Cooperatively cancels the job wherever it currently runs — or
+    /// wherever it lands next, if a re-route is in flight.
+    pub fn cancel(&self) {
+        let handle = {
+            let mut table = self.inner.lock_jobs();
+            let job = table.jobs.get_mut(&self.id).expect("registered job");
+            job.user_cancelled = true;
+            job.handle.clone()
+        };
+        if let Some(handle) = handle {
+            handle.cancel();
+        }
+    }
+
+    /// Blocks until the job's outcome is available.
+    ///
+    /// # Errors
+    ///
+    /// [`JobError::ShardLost`] when the job's shard died and no capable
+    /// shard could take it over.
+    pub fn wait(&self) -> Result<JobResult, JobError> {
+        let table = self.inner.lock_jobs();
+        let table = self
+            .inner
+            .jobs_cond
+            .wait_while(table, |t| t.jobs[&self.id].terminal.is_none())
+            .expect("jobs lock poisoned");
+        table.jobs[&self.id]
+            .terminal
+            .clone()
+            .expect("wait_while guarantees a terminal")
+    }
+
+    /// Blocks until the job's outcome is available or `timeout`
+    /// elapses (`None` on timeout).
+    pub fn wait_timeout(&self, timeout: Duration) -> Option<Result<JobResult, JobError>> {
+        let table = self.inner.lock_jobs();
+        let (table, _) = self
+            .inner
+            .jobs_cond
+            .wait_timeout_while(table, timeout, |t| t.jobs[&self.id].terminal.is_none())
+            .expect("jobs lock poisoned");
+        table.jobs[&self.id].terminal.clone()
+    }
+}
+
+impl RouterInner {
+    /// Places, registers and submits a brand-new job, returning the
+    /// fleet-level routed handle. `Router::submit` and the admission
+    /// layer's dispatcher both land here.
+    pub(crate) fn submit_routed(self: &Arc<Self>, req: JobRequest) -> Result<RoutedJob, JobError> {
+        let (id, shard) = self.submit_new(req)?;
+        Ok(RoutedJob {
+            shard,
+            handle: FleetHandle {
+                inner: Arc::clone(self),
+                id,
+            },
+        })
+    }
+
+    fn lock_fleet(&self) -> std::sync::MutexGuard<'_, FleetState> {
+        self.fleet.lock().expect("fleet lock poisoned")
+    }
+
+    fn lock_jobs(&self) -> std::sync::MutexGuard<'_, JobTable> {
+        self.jobs.lock().expect("jobs lock poisoned")
+    }
+
+    /// Picks a capable shard. `candidates` are `(shard index, backlog)`
+    /// pairs, non-empty.
+    fn place(&self, candidates: &[(usize, u64)], req: &mut JobRequest) -> usize {
+        match self.placement {
+            Placement::RoundRobin => {
+                candidates[self.rr.fetch_add(1, Ordering::Relaxed) % candidates.len()].0
+            }
+            Placement::LeastLoadedShots => {
+                candidates
+                    .iter()
+                    .min_by_key(|(_, backlog)| *backlog)
+                    .expect("non-empty candidates")
+                    .0
+            }
+            Placement::StickyByDigest => {
+                let key = req
+                    .precomputed_key
+                    .unwrap_or_else(|| req.source.cache_key(&req.cfg));
+                req.precomputed_key = Some(key);
+                candidates[((key >> 64) as u64 % candidates.len() as u64) as usize].0
+            }
+        }
+    }
+
+    /// The capable live candidates, or the submit-time error when there
+    /// are none.
+    fn candidates(&self, req: &JobRequirements) -> Result<Vec<(usize, u64)>, JobError> {
+        let fleet = self.lock_fleet();
+        if fleet.stopping {
+            return Err(JobError::NotAccepting);
+        }
+        let capable: Vec<(usize, u64)> = fleet
+            .shards
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.status == ShardStatus::Up && s.profile.can_run(req))
+            .map(|(i, _)| (i, self.servers[i].backlog_shots()))
+            .collect();
+        if capable.is_empty() {
+            return Err(JobError::NoCapableShard);
+        }
+        Ok(capable)
+    }
+
+    /// Places, registers and submits a brand-new job. Returns
+    /// `(fleet id, shard)`.
+    fn submit_new(&self, mut req: JobRequest) -> Result<(u64, usize), JobError> {
+        let requirements = JobRequirements::of(&req);
+        let mut attempt = 0u32;
+        loop {
+            let candidates = self.candidates(&requirements)?;
+            let shard = self.place(&candidates, &mut req);
+            // Snapshot before the shard mutates the request (it does
+            // not today, but the snapshot is the re-route source of
+            // truth and must stay submit-equivalent).
+            let snapshot = req.clone();
+            match self.servers[shard].submit(req) {
+                Ok(handle) => {
+                    let fleet_id = {
+                        let mut table = self.lock_jobs();
+                        let fleet_id = table.next_id;
+                        table.next_id += 1;
+                        table.by_server.insert((shard, handle.id()), fleet_id);
+                        table.jobs.insert(
+                            fleet_id,
+                            JobState {
+                                snapshot,
+                                requirements,
+                                shard,
+                                server_id: handle.id(),
+                                handle: Some(handle.clone()),
+                                attempts: 0,
+                                user_cancelled: false,
+                                in_recovery: false,
+                                terminal: None,
+                            },
+                        );
+                        fleet_id
+                    };
+                    // Close the hook-before-mapping race: a job so fast
+                    // it finished before the mapping landed is folded in
+                    // here (idempotent — the terminal check wins ties).
+                    if handle.is_finished() {
+                        self.on_shard_result(shard, &handle.wait());
+                    }
+                    // Close the submit-vs-kill race: a kill sweep that
+                    // ran between our submit and the registration above
+                    // never saw this job.
+                    if self.lock_fleet().shards[shard].status == ShardStatus::Down {
+                        self.resubmit_elsewhere(fleet_id);
+                    }
+                    return Ok((fleet_id, shard));
+                }
+                // The shard flipped to draining between the candidate
+                // scan and the submit (a concurrent retire/kill):
+                // bounded retry against the refreshed candidate set.
+                Err(JobError::NotAccepting) => {
+                    attempt += 1;
+                    if attempt >= self.retry.max_attempts {
+                        return Err(JobError::NotAccepting);
+                    }
+                    thread::sleep(self.retry.backoff * (1 << attempt.min(8)));
+                    req = snapshot;
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// Routes one shard's finished result back to the fleet registry.
+    /// Called by shard finish hooks with no server locks held.
+    fn on_shard_result(&self, shard: usize, result: &JobResult) {
+        // Fleet facts first (lock order: fleet → jobs).
+        let (status, stopping) = {
+            let fleet = self.lock_fleet();
+            (fleet.shards[shard].status, fleet.stopping)
+        };
+        let mut table = self.lock_jobs();
+        let Some(&fleet_id) = table.by_server.get(&(shard, result.id)) else {
+            return; // Revoked (stolen/re-routed) or not yet mapped.
+        };
+        let job = table.jobs.get_mut(&fleet_id).expect("mapped job");
+        if job.terminal.is_some() {
+            return;
+        }
+        // A cancelled partial on a dead shard is not this job's fate —
+        // the kill sweep re-runs it from scratch elsewhere. Everything
+        // else (full completion anywhere, a user's cancel, a fleet
+        // stop's finalization, a quantum panic on a live shard) is
+        // terminal as-is.
+        let rerouting =
+            result.cancelled && status == ShardStatus::Down && !job.user_cancelled && !stopping;
+        if rerouting {
+            return;
+        }
+        job.terminal = Some(Ok(result.clone()));
+        drop(table);
+        self.notify_terminal(fleet_id, &Ok(result.clone()));
+    }
+
+    /// Wakes waiters and fires the router-level finish hook. Call with
+    /// no router locks held.
+    fn notify_terminal(&self, fleet_id: u64, outcome: &Result<JobResult, JobError>) {
+        self.jobs_cond.notify_all();
+        let hook = self.finish_hook.lock().expect("hook lock poisoned").clone();
+        if let Some(hook) = hook {
+            hook(fleet_id, outcome);
+        }
+    }
+
+    /// Marks a job terminal (if it is not already) and notifies.
+    fn set_terminal(&self, fleet_id: u64, outcome: Result<JobResult, JobError>) {
+        {
+            let mut table = self.lock_jobs();
+            let job = table.jobs.get_mut(&fleet_id).expect("registered job");
+            if job.terminal.is_some() {
+                return;
+            }
+            job.terminal = Some(outcome.clone());
+        }
+        self.notify_terminal(fleet_id, &outcome);
+    }
+
+    fn kill_shard(&self, victim: usize) {
+        let serving = {
+            let mut fleet = self.lock_fleet();
+            fleet.shards[victim].status = ShardStatus::Down;
+            fleet.shards[victim].serving.take()
+        };
+        let Some(serving) = serving else {
+            return; // Already killed, retired-and-drained, or stopping.
+        };
+        // Join outside the fleet lock: the shard's workers stop
+        // claiming, in-flight quanta finish, unfinished jobs finalize
+        // as cancelled partials (whose hooks land in on_shard_result,
+        // which leaves them non-terminal for the sweep below).
+        serving.begin_shutdown();
+        let _ = serving.shutdown();
+        let stranded: Vec<u64> = {
+            let table = self.lock_jobs();
+            let mut ids: Vec<u64> = table
+                .jobs
+                .iter()
+                .filter(|(_, j)| j.shard == victim && j.terminal.is_none() && !j.in_recovery)
+                .map(|(id, _)| *id)
+                .collect();
+            ids.sort_unstable();
+            ids
+        };
+        for fleet_id in stranded {
+            self.resubmit_elsewhere(fleet_id);
+        }
+    }
+
+    fn retire_shard(&self, index: usize) {
+        let movable: Vec<u64> = {
+            let mut fleet = self.lock_fleet();
+            if fleet.shards[index].status != ShardStatus::Up {
+                return;
+            }
+            fleet.shards[index].status = ShardStatus::Retiring;
+            // Signal the drain while still non-placeable-atomically:
+            // nothing new can land between the flip and the signal.
+            if let Some(serving) = &fleet.shards[index].serving {
+                serving.begin_drain();
+            }
+            drop(fleet);
+            // Unstarted jobs need not wait for the drain — move them to
+            // capable peers now. (Started jobs keep their progress and
+            // finish in place.)
+            let unstarted = self.servers[index].unstarted_jobs();
+            let table = self.lock_jobs();
+            unstarted
+                .iter()
+                .filter_map(|(sid, _)| table.by_server.get(&(index, *sid)).copied())
+                .collect()
+        };
+        for fleet_id in movable {
+            let revoked = {
+                let table = self.lock_jobs();
+                let job = &table.jobs[&fleet_id];
+                if job.terminal.is_some() || job.in_recovery {
+                    false
+                } else {
+                    let server_id = job.server_id;
+                    drop(table);
+                    self.servers[index].revoke_unstarted(server_id)
+                }
+            };
+            if revoked {
+                self.resubmit_elsewhere(fleet_id);
+            }
+        }
+    }
+
+    /// Re-submits a displaced job's snapshot to a surviving capable
+    /// shard, with bounded retry + exponential backoff. Terminal
+    /// [`JobError::ShardLost`] when no capable shard remains or the
+    /// retries run out.
+    fn resubmit_elsewhere(&self, fleet_id: u64) {
+        let (mut req, requirements) = {
+            let mut table = self.lock_jobs();
+            let job = table.jobs.get_mut(&fleet_id).expect("registered job");
+            if job.terminal.is_some() || job.in_recovery {
+                return;
+            }
+            job.in_recovery = true;
+            job.handle = None;
+            let old_key = (job.shard, job.server_id);
+            let snapshot = (job.snapshot.clone(), job.requirements);
+            table.by_server.remove(&old_key);
+            snapshot
+        };
+        self.recovered.fetch_add(1, Ordering::Relaxed);
+        loop {
+            let attempts = {
+                let mut table = self.lock_jobs();
+                let job = table.jobs.get_mut(&fleet_id).expect("registered job");
+                job.attempts += 1;
+                job.attempts
+            };
+            if attempts > self.retry.max_attempts {
+                self.finish_recovery(fleet_id, Some(Err(JobError::ShardLost)));
+                return;
+            }
+            let candidates = match self.candidates(&requirements) {
+                Ok(c) => c,
+                // No capable shard remains (or the fleet is stopping):
+                // the job is lost, as documented.
+                Err(_) => {
+                    self.finish_recovery(fleet_id, Some(Err(JobError::ShardLost)));
+                    return;
+                }
+            };
+            let shard = self.place(&candidates, &mut req);
+            match self.servers[shard].submit(req.clone()) {
+                Ok(handle) => {
+                    let user_cancelled = {
+                        let mut table = self.lock_jobs();
+                        table.by_server.insert((shard, handle.id()), fleet_id);
+                        let job = table.jobs.get_mut(&fleet_id).expect("registered job");
+                        job.shard = shard;
+                        job.server_id = handle.id();
+                        job.handle = Some(handle.clone());
+                        job.in_recovery = false;
+                        job.user_cancelled
+                    };
+                    if user_cancelled {
+                        // A cancel landed mid-re-route; honor it on the
+                        // new shard (finalizes a cancelled partial).
+                        handle.cancel();
+                    }
+                    if handle.is_finished() {
+                        self.on_shard_result(shard, &handle.wait());
+                    }
+                    if self.lock_fleet().shards[shard].status == ShardStatus::Down {
+                        // The new shard died while we were landing: go
+                        // around again (the kill sweep skips us while
+                        // in_recovery was set; it is clear now, so
+                        // re-guard).
+                        self.resubmit_elsewhere(fleet_id);
+                    }
+                    return;
+                }
+                Err(JobError::NotAccepting) => {
+                    thread::sleep(self.retry.backoff * (1 << attempts.min(8)));
+                }
+                Err(e) => {
+                    self.finish_recovery(fleet_id, Some(Err(e)));
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Ends a recovery: clears the guard and (optionally) sets the
+    /// terminal outcome.
+    fn finish_recovery(&self, fleet_id: u64, outcome: Option<Result<JobResult, JobError>>) {
+        {
+            let mut table = self.lock_jobs();
+            let job = table.jobs.get_mut(&fleet_id).expect("registered job");
+            job.in_recovery = false;
+        }
+        if let Some(outcome) = outcome {
+            self.set_terminal(fleet_id, outcome);
+        }
+    }
+
+    /// One stealing scan; see [`Router::steal_once`].
+    fn steal_once(&self, min_backlog_shots: u64) -> bool {
+        // Pick thief and victim from a consistent fleet snapshot.
+        let (thief, victim) = {
+            let fleet = self.lock_fleet();
+            if fleet.stopping {
+                return false;
+            }
+            let mut thief: Option<(usize, u64)> = None;
+            let mut victim: Option<(usize, u64)> = None;
+            for (i, shard) in fleet.shards.iter().enumerate() {
+                if shard.status != ShardStatus::Up {
+                    continue;
+                }
+                let backlog = self.servers[i].backlog_shots();
+                if backlog == 0 && thief.is_none() {
+                    thief = Some((i, backlog));
+                }
+                if backlog >= min_backlog_shots && victim.map(|(_, b)| backlog > b).unwrap_or(true)
+                {
+                    victim = Some((i, backlog));
+                }
+            }
+            match (thief, victim) {
+                (Some((t, _)), Some((v, _))) if t != v => (t, v),
+                _ => return false,
+            }
+        };
+        let thief_profile = self.lock_fleet().shards[thief].profile;
+        // Steal from the *back* of the victim's queue: the last-queued
+        // job has waited least, so moving it disturbs FIFO fairness the
+        // least while still relieving the backlog.
+        let unstarted = self.servers[victim].unstarted_jobs();
+        for (server_id, _shots) in unstarted.iter().rev() {
+            let Some(fleet_id) = ({
+                let table = self.lock_jobs();
+                let id = table.by_server.get(&(victim, *server_id)).copied();
+                id.filter(|id| {
+                    let job = &table.jobs[id];
+                    job.terminal.is_none()
+                        && !job.in_recovery
+                        && !job.user_cancelled
+                        && thief_profile.can_run(&job.requirements)
+                })
+            }) else {
+                continue;
+            };
+            // The revoke re-checks atomically on the victim server: a
+            // worker that claimed the job in the meantime wins, and we
+            // move on to the next candidate.
+            if !self.servers[victim].revoke_unstarted(*server_id) {
+                continue;
+            }
+            let req = {
+                let mut table = self.lock_jobs();
+                let job = table.jobs.get_mut(&fleet_id).expect("registered job");
+                job.in_recovery = true;
+                table.by_server.remove(&(victim, *server_id));
+                table.jobs[&fleet_id].snapshot.clone()
+            };
+            match self.servers[thief].submit(req) {
+                Ok(handle) => {
+                    let user_cancelled = {
+                        let mut table = self.lock_jobs();
+                        table.by_server.insert((thief, handle.id()), fleet_id);
+                        let job = table.jobs.get_mut(&fleet_id).expect("registered job");
+                        job.shard = thief;
+                        job.server_id = handle.id();
+                        job.handle = Some(handle.clone());
+                        job.in_recovery = false;
+                        job.user_cancelled
+                    };
+                    if user_cancelled {
+                        handle.cancel();
+                    }
+                    if handle.is_finished() {
+                        self.on_shard_result(thief, &handle.wait());
+                    }
+                    if self.lock_fleet().shards[thief].status == ShardStatus::Down {
+                        self.resubmit_elsewhere(fleet_id);
+                    }
+                    self.stolen.fetch_add(1, Ordering::Relaxed);
+                    return true;
+                }
+                Err(_) => {
+                    // The thief went away mid-steal; the standard
+                    // recovery path re-places the revoked job.
+                    self.finish_recovery(fleet_id, None);
+                    self.resubmit_elsewhere(fleet_id);
+                    return true;
+                }
+            }
+        }
+        false
+    }
+}

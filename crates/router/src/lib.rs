@@ -1,41 +1,55 @@
-//! # quape-router — a HiMA-style sharded front router
+//! # quape-router — a fault-tolerant HiMA-style sharded front router
 //!
 //! The paper's §3.1.2 cloud story multiplexes many tenants onto **one**
 //! controller; hierarchical architectures like HiMA (arXiv:2408.11311)
 //! scale the same idea one level up — *quantum process-level
 //! parallelism*: many controllers, each serving its own QPU, behind a
-//! front-end that places incoming jobs. This crate is that front-end:
-//! a [`Router`] owns N **shards**, each a live
-//! [`quape_server::ServingServer`] with its own compile cache and
-//! worker pool (the per-request [`QpuFactory`](quape_core::QpuFactory)
-//! models each shard's distinct QPU backend), and places every
-//! submission by a [`Placement`] policy:
+//! front-end that places incoming jobs. This crate is that front-end,
+//! grown into a believable production fleet:
 //!
-//! * [`Placement::RoundRobin`] — cyclic, stateless;
-//! * [`Placement::LeastLoadedShots`] — the shard with the smallest shot
-//!   backlog, so one giant job does not serialize the fleet behind it;
-//! * [`Placement::StickyByDigest`] — programs hash (by their
-//!   compile-cache key) to a fixed shard, so resubmissions of the same
-//!   program always land where its compiled job is already cached.
-//!   Sticky routing *partitions* the program set across the fleet:
-//!   each shard's cache only needs to hold its own slice, where
-//!   round-robin makes every shard compile (and evict) everything.
+//! * **Capability-aware placement** ([`ShardProfile`],
+//!   [`JobRequirements`]): shards are heterogeneous (qubit capacity,
+//!   readout multiplexing, demod slots, supported step modes); submit
+//!   filters infeasible shards *before* the [`Placement`] policy
+//!   (round-robin / least-loaded / sticky-by-digest) picks among the
+//!   capable ones, and rejects with [`JobError::NoCapableShard`]
+//!   (re-exported from `quape_server`) when none exists.
+//! * **Failure injection + re-routing** ([`Router::kill_shard`],
+//!   [`FaultPlan`], [`Router::retire_shard`]): a fleet-level job
+//!   registry keeps a re-submittable snapshot of every accepted job;
+//!   jobs stranded by a dead shard are re-submitted to a surviving
+//!   capable shard with bounded retry + exponential backoff
+//!   ([`RetryPolicy`]), turning terminal
+//!   [`JobError::ShardLost`] only when no capable shard remains.
+//!   Re-runs start from shot 0, so by the engine's determinism the
+//!   re-routed job's aggregate is **bit-identical** to the zero-failure
+//!   run (differential-tested, including under a proptest over random
+//!   kill schedules).
+//! * **Work stealing** ([`Router::steal_once`], [`StealConfig`]): idle
+//!   shards steal whole queued jobs off the hottest backlog — never
+//!   splitting a job, so prefix consistency and aggregates are
+//!   untouched.
+//! * **Admission control** ([`FrontDoor`]): per-tenant shot budgets
+//!   ([`JobError::OverBudget`]) and deficit-round-robin weighted-fair
+//!   queueing with a proven starvation bound.
 //!
 //! The lifecycle is streaming end to end: [`Router::submit`] returns a
-//! [`RoutedJob`] whose [`JobHandle`] works while serving is live
-//! (progress, prefix-consistent partial aggregates, blocking/timeout
-//! waits, cooperative cancellation), and the router ends with
-//! [`drain`](Router::drain) (finish everything accepted) or
-//! [`shutdown`](Router::shutdown) (stop claiming, finalize partials).
+//! [`RoutedJob`] whose [`FleetHandle`] stays valid across re-routing
+//! (progress, partial aggregates, blocking/timeout waits, cooperative
+//! cancellation), and the router ends with [`drain`](Router::drain)
+//! (finish everything accepted) or [`shutdown`](Router::shutdown)
+//! (stop claiming, finalize partials) — both reporting worker panics
+//! as [`JobError::WorkerPanicked`] instead of panicking the caller.
 //!
 //! ## Determinism
 //!
 //! A job's aggregate depends only on `(program, config, factory,
 //! base_seed, shots)` — never on which shard ran it, the placement
-//! policy, the shard count, or the worker interleaving. The router's
-//! differential suite (and a proptest over 1–4 shards) asserts every
-//! routed job's [`BatchAggregate`](quape_core::BatchAggregate) is
-//! bit-identical to a solo [`ShotEngine`](quape_core::ShotEngine) run.
+//! policy, the shard count, the worker interleaving, a mid-stream
+//! shard death, a steal, or an admission reordering. The router's
+//! differential suite asserts every routed job's
+//! [`BatchAggregate`](quape_core::BatchAggregate) is bit-identical to
+//! a solo [`ShotEngine`](quape_core::ShotEngine) run.
 //!
 //! ```
 //! use quape_core::QuapeConfig;
@@ -47,6 +61,7 @@
 //!     shards: 2,
 //!     placement: Placement::StickyByDigest,
 //!     shard: ServerConfig { threads: 1, ..ServerConfig::default() },
+//!     ..RouterConfig::default()
 //! });
 //! let cfg = QuapeConfig::superscalar(4);
 //! let factory = BehavioralQpuFactory::new(cfg.timings, MeasurementModel::Bernoulli { p_one: 0.5 });
@@ -60,9 +75,9 @@
 //!     )
 //!     .tenant("alice"),
 //! )?;
-//! let result = job.handle.wait(); // streaming: no drain needed
+//! let result = job.handle.wait()?; // streaming: no drain needed
 //! assert_eq!(result.shots, 32);
-//! let results = router.drain();
+//! let results = router.drain()?;
 //! assert_eq!(results.len(), 1);
 //! assert_eq!(results[0].shard, job.shard);
 //! # Ok::<(), quape_server::JobError>(())
@@ -71,224 +86,26 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use quape_server::{
-    CacheStats, JobError, JobHandle, JobRequest, JobResult, JobServer, ServerConfig, ServingServer,
+mod admission;
+mod fleet;
+mod profile;
+
+pub use admission::{AdmissionConfig, AdmittedJob, DispatchRecord, FrontDoor};
+pub use fleet::{
+    FaultPlan, FleetHandle, Placement, RetryPolicy, RoutedJob, RoutedResult, Router, RouterConfig,
+    RouterFinishHook, ShardStatus, StealConfig,
 };
-use std::sync::atomic::{AtomicUsize, Ordering};
-
-/// How the router picks a shard for an incoming job.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
-pub enum Placement {
-    /// Cyclic assignment, ignoring load and content. The fairest
-    /// baseline — and the cache-worst-case: every shard eventually
-    /// compiles every program.
-    #[default]
-    RoundRobin,
-    /// The shard with the smallest backlog of unexecuted shots
-    /// ([`JobServer::backlog_shots`]); ties go to the lowest index.
-    LeastLoadedShots,
-    /// The shard determined by the request's compile-cache key
-    /// ([`quape_server::JobSource::cache_key`]): resubmissions of the
-    /// same program/config always land on the shard whose cache is
-    /// already warm, partitioning the program set across the fleet.
-    StickyByDigest,
-}
-
-/// Fleet sizing and placement policy of a [`Router`].
-#[derive(Debug, Clone)]
-pub struct RouterConfig {
-    /// Number of shards (min 1), each a full [`JobServer`] with its own
-    /// compile cache and worker pool.
-    pub shards: usize,
-    /// The placement policy.
-    pub placement: Placement,
-    /// Per-shard worker-pool and cache sizing.
-    pub shard: ServerConfig,
-}
-
-impl Default for RouterConfig {
-    fn default() -> Self {
-        RouterConfig {
-            shards: 2,
-            placement: Placement::default(),
-            shard: ServerConfig::default(),
-        }
-    }
-}
-
-/// A submitted job plus the shard it was placed on.
-#[derive(Debug)]
-pub struct RoutedJob {
-    /// Index of the shard executing the job.
-    pub shard: usize,
-    /// The live job handle (progress, partials, wait, cancel).
-    pub handle: JobHandle,
-}
-
-/// A finished job plus the shard that executed it.
-#[derive(Debug, Clone)]
-pub struct RoutedResult {
-    /// Index of the shard that executed the job.
-    pub shard: usize,
-    /// The job's result (ids are per-shard).
-    pub result: JobResult,
-}
-
-/// The sharded front router: N live job shards behind one submit path.
-/// See the [crate docs](crate) for placement policies and determinism.
-pub struct Router {
-    shards: Vec<ServingServer>,
-    placement: Placement,
-    rr: AtomicUsize,
-}
-
-impl Router {
-    /// Starts `cfg.shards` serving shards (their worker pools go live
-    /// immediately).
-    pub fn new(cfg: RouterConfig) -> Self {
-        let shards = (0..cfg.shards.max(1))
-            .map(|_| JobServer::serve(cfg.shard.clone()))
-            .collect();
-        Router {
-            shards,
-            placement: cfg.placement,
-            rr: AtomicUsize::new(0),
-        }
-    }
-
-    /// Number of shards.
-    pub fn shard_count(&self) -> usize {
-        self.shards.len()
-    }
-
-    /// The placement policy in force.
-    pub fn placement(&self) -> Placement {
-        self.placement
-    }
-
-    /// One shard's underlying server (stats, backlog).
-    pub fn shard(&self, index: usize) -> &JobServer {
-        self.shards[index].server()
-    }
-
-    /// Per-shard compile-cache counters, indexed by shard.
-    pub fn cache_stats(&self) -> Vec<CacheStats> {
-        self.shards
-            .iter()
-            .map(|s| s.server().cache_stats())
-            .collect()
-    }
-
-    /// Per-tenant cache counters folded across all shards, sorted by
-    /// tenant id.
-    pub fn tenant_stats(&self) -> Vec<(String, CacheStats)> {
-        let mut merged: Vec<(String, CacheStats)> = Vec::new();
-        for shard in &self.shards {
-            for (tenant, stats) in shard.server().tenant_stats() {
-                match merged.binary_search_by(|(t, _)| t.as_str().cmp(&tenant)) {
-                    Ok(i) => merged[i].1.merge(&stats),
-                    Err(i) => merged.insert(i, (tenant, stats)),
-                }
-            }
-        }
-        merged
-    }
-
-    /// Per-shard backlog of unexecuted shots, indexed by shard.
-    pub fn backlog_shots(&self) -> Vec<u64> {
-        self.shards
-            .iter()
-            .map(|s| s.server().backlog_shots())
-            .collect()
-    }
-
-    /// Picks a shard; for sticky placement the computed cache key is
-    /// stored on the request so the shard's submit reuses it instead of
-    /// hashing the source text a second time.
-    fn place(&self, req: &mut JobRequest) -> usize {
-        let n = self.shards.len();
-        match self.placement {
-            Placement::RoundRobin => self.rr.fetch_add(1, Ordering::Relaxed) % n,
-            Placement::LeastLoadedShots => self
-                .backlog_shots()
-                .iter()
-                .enumerate()
-                .min_by_key(|(_, backlog)| **backlog)
-                .map(|(i, _)| i)
-                .unwrap_or(0),
-            Placement::StickyByDigest => {
-                let key = req.source.cache_key(&req.cfg);
-                req.precomputed_key = Some(key);
-                ((key >> 64) as u64 % n as u64) as usize
-            }
-        }
-    }
-
-    /// Places and submits a job; it starts executing on its shard
-    /// immediately. The returned [`RoutedJob`] carries the live handle.
-    ///
-    /// # Errors
-    ///
-    /// As [`JobServer::submit`] — parse/compile failures, zero shots,
-    /// or a router that has been drained/shut down.
-    pub fn submit(&self, mut req: JobRequest) -> Result<RoutedJob, JobError> {
-        let shard = self.place(&mut req);
-        let handle = self.shards[shard].submit(req)?;
-        Ok(RoutedJob { shard, handle })
-    }
-
-    /// Stops accepting new jobs (fleet-wide, before any shard blocks),
-    /// runs everything accepted so far to completion on every shard,
-    /// and returns all results ordered by `(shard, job id)`.
-    pub fn drain(self) -> Vec<RoutedResult> {
-        Self::stop(
-            self.shards,
-            ServingServer::begin_drain,
-            ServingServer::drain,
-        )
-    }
-
-    /// Stops accepting new jobs *and* claiming new shot quanta on every
-    /// shard — the stop signal reaches the whole fleet before any shard
-    /// is joined, so no shard keeps claiming while another winds down.
-    /// Unfinished jobs finalize as cancelled prefix partials. Returns
-    /// all results ordered by `(shard, job id)`.
-    pub fn shutdown(self) -> Vec<RoutedResult> {
-        Self::stop(
-            self.shards,
-            ServingServer::begin_shutdown,
-            ServingServer::shutdown,
-        )
-    }
-
-    fn stop(
-        shards: Vec<ServingServer>,
-        signal: impl Fn(&ServingServer),
-        end: impl Fn(ServingServer) -> Vec<JobResult>,
-    ) -> Vec<RoutedResult> {
-        // Phase flips are non-blocking: every shard stops accepting (and,
-        // on shutdown, claiming) before the first worker join below.
-        for shard in &shards {
-            signal(shard);
-        }
-        shards
-            .into_iter()
-            .enumerate()
-            .flat_map(|(shard, serving)| {
-                end(serving)
-                    .into_iter()
-                    .map(move |result| RoutedResult { shard, result })
-            })
-            .collect()
-    }
-}
+pub use profile::{JobRequirements, ShardProfile, StepModeSet};
+// The error type jobs and admission surface; re-exported so router
+// users match on one import.
+pub use quape_server::JobError;
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use quape_core::QuapeConfig;
     use quape_qpu::{BehavioralQpuFactory, MeasurementModel};
-    use quape_server::JobSource;
+    use quape_server::{JobRequest, JobSource, ServerConfig};
 
     fn request(name: &str, text: &str, shots: u64) -> JobRequest {
         let cfg = QuapeConfig::superscalar(4);
@@ -306,6 +123,7 @@ mod tests {
                 threads: 1,
                 ..ServerConfig::default()
             },
+            ..RouterConfig::default()
         });
         let placed: Vec<usize> = (0..6)
             .map(|i| {
@@ -316,7 +134,7 @@ mod tests {
             })
             .collect();
         assert_eq!(placed, vec![0, 1, 2, 0, 1, 2]);
-        router.drain();
+        router.drain().unwrap();
     }
 
     #[test]
@@ -328,6 +146,7 @@ mod tests {
                 threads: 1,
                 ..ServerConfig::default()
             },
+            ..RouterConfig::default()
         });
         let a: Vec<usize> = (0..5)
             .map(|i| {
@@ -338,7 +157,7 @@ mod tests {
             })
             .collect();
         assert!(a.iter().all(|&s| s == a[0]), "same program, same shard");
-        let results = router.drain();
+        let results = router.drain().unwrap();
         // One compile total across the whole fleet for the 5 submissions.
         assert_eq!(results.len(), 5);
     }
@@ -352,8 +171,9 @@ mod tests {
                 threads: 1,
                 ..ServerConfig::default()
             },
+            ..RouterConfig::default()
         });
         assert_eq!(router.shard_count(), 1);
-        router.shutdown();
+        router.shutdown().unwrap();
     }
 }

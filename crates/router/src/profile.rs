@@ -1,0 +1,259 @@
+//! Per-shard capability descriptors and the job-side requirements they
+//! are matched against.
+//!
+//! HiMA-style fleets are heterogeneous: control units differ in qubit
+//! capacity, readout multiplexing geometry, demodulation resources and
+//! supported execution modes. A [`ShardProfile`] is the router-visible
+//! summary of one shard's hardware, derived from the shard's
+//! [`QuapeConfig`] (the same struct a job compiles against); a
+//! [`JobRequirements`] is the matching summary of one request, derived
+//! without assembling it. [`ShardProfile::can_run`] is the capability
+//! filter [`Router::submit`](crate::Router::submit) applies before any
+//! placement policy sees the candidate list.
+
+use quape_core::{QuapeConfig, StepMode};
+use quape_isa::scan_qubit_count;
+use quape_server::{JobRequest, JobSource};
+
+/// A bit-set of [`StepMode`]s a shard supports.
+///
+/// Profiles for older control stacks can rule out
+/// [`StepMode::Lowered`] (the pre-decoded fast path needs firmware
+/// support) while still serving cycle-accurate jobs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StepModeSet {
+    bits: u8,
+}
+
+impl StepModeSet {
+    fn bit(mode: StepMode) -> u8 {
+        match mode {
+            StepMode::Cycle => 1,
+            StepMode::EventDriven => 2,
+            StepMode::Lowered => 4,
+        }
+    }
+
+    /// Every step mode (the default).
+    pub fn all() -> Self {
+        StepModeSet { bits: 7 }
+    }
+
+    /// Exactly the given modes.
+    pub fn only(modes: &[StepMode]) -> Self {
+        StepModeSet {
+            bits: modes.iter().fold(0, |acc, &m| acc | Self::bit(m)),
+        }
+    }
+
+    /// True when `mode` is in the set.
+    pub fn supports(self, mode: StepMode) -> bool {
+        self.bits & Self::bit(mode) != 0
+    }
+}
+
+impl Default for StepModeSet {
+    fn default() -> Self {
+        StepModeSet::all()
+    }
+}
+
+/// What one shard's hardware can run: the capability descriptor the
+/// router's placement filter checks before any policy applies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardProfile {
+    /// Largest qubit count the shard's channel map can address.
+    pub max_qubits: u16,
+    /// Readout multiplexing: `None` = a dedicated line per qubit (any
+    /// job fits); `Some(r)` = `r` shared readout lines, so a job that
+    /// *requires* more lines than that (or, unmultiplexed, more qubits
+    /// than lines) does not fit.
+    pub readout_lines: Option<u16>,
+    /// DAQ demodulation servers available per channel.
+    pub demod_slots: usize,
+    /// Execution modes the shard's firmware supports.
+    pub step_modes: StepModeSet,
+}
+
+impl ShardProfile {
+    /// A profile that accepts every job — the default for shards whose
+    /// deployment declares no constraints.
+    pub fn unconstrained() -> Self {
+        ShardProfile {
+            max_qubits: u16::MAX,
+            readout_lines: None,
+            demod_slots: usize::MAX,
+            step_modes: StepModeSet::all(),
+        }
+    }
+
+    /// Derives the profile from the shard's own machine configuration —
+    /// the deployment-time [`QuapeConfig`] describing its fridge:
+    /// [`num_qubits`](QuapeConfig::num_qubits) caps addressable qubits
+    /// (`None` = unconstrained), [`readout_lines`](QuapeConfig::readout_lines)
+    /// and [`daq_demod_slots`](QuapeConfig::daq_demod_slots) carry over
+    /// verbatim, and every step mode is assumed supported (narrow with
+    /// [`step_modes`](ShardProfile::step_modes) for stacks without the
+    /// lowered fast path).
+    pub fn from_config(cfg: &QuapeConfig) -> Self {
+        ShardProfile {
+            max_qubits: cfg.num_qubits.unwrap_or(u16::MAX),
+            readout_lines: cfg.readout_lines,
+            demod_slots: cfg.daq_demod_slots,
+            step_modes: StepModeSet::all(),
+        }
+    }
+
+    /// The capability filter: true when this shard can execute a job
+    /// with the given requirements. Qubits must fit the channel map,
+    /// the step mode must be supported, the job's demod depth must not
+    /// exceed the shard's, and the readout geometries must be
+    /// compatible (see [`JobRequirements::readout_lines`]).
+    pub fn can_run(&self, req: &JobRequirements) -> bool {
+        if req.qubits > self.max_qubits {
+            return false;
+        }
+        if !self.step_modes.supports(req.step_mode) {
+            return false;
+        }
+        if req.demod_slots > self.demod_slots {
+            return false;
+        }
+        match (req.readout_lines, self.readout_lines) {
+            // Shard gives every qubit its own line: any geometry fits.
+            (_, None) => true,
+            // Job asks for r multiplexed lines: the shard must have them.
+            (Some(r), Some(have)) => r <= have,
+            // Job assumes a dedicated line per qubit: the shard's shared
+            // lines must cover every qubit.
+            (None, Some(have)) => req.qubits <= have,
+        }
+    }
+}
+
+impl Default for ShardProfile {
+    fn default() -> Self {
+        ShardProfile::unconstrained()
+    }
+}
+
+/// What one job needs from a shard, derived from its [`JobRequest`]
+/// without assembling the source.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct JobRequirements {
+    /// Qubits the job addresses: the request's explicit
+    /// [`num_qubits`](QuapeConfig::num_qubits) when set, else the
+    /// program's own span ([`Program::num_qubits`](quape_isa::Program::num_qubits)
+    /// for pre-built programs, a lexical
+    /// [`scan_qubit_count`] for wire text).
+    pub qubits: u16,
+    /// Readout lines the job's config asks to multiplex onto (`None` =
+    /// a dedicated line per qubit).
+    pub readout_lines: Option<u16>,
+    /// Demod servers the job's config assumes per channel.
+    pub demod_slots: usize,
+    /// The execution mode the job requested.
+    pub step_mode: StepMode,
+}
+
+impl JobRequirements {
+    /// Derives the requirements of a request. Text sources are scanned
+    /// lexically (never assembled — capability filtering must stay far
+    /// cheaper than a compile-cache hit).
+    pub fn of(req: &JobRequest) -> Self {
+        let span = match &req.source {
+            JobSource::Text(text) => scan_qubit_count(text),
+            JobSource::Program(p) => p.num_qubits(),
+        };
+        JobRequirements {
+            qubits: req.cfg.num_qubits.unwrap_or(span).max(span),
+            readout_lines: req.cfg.readout_lines,
+            demod_slots: req.cfg.daq_demod_slots,
+            step_mode: req.step_mode,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn req(qubits: u16) -> JobRequirements {
+        JobRequirements {
+            qubits,
+            readout_lines: None,
+            demod_slots: 1,
+            step_mode: StepMode::EventDriven,
+        }
+    }
+
+    #[test]
+    fn unconstrained_accepts_everything() {
+        let p = ShardProfile::unconstrained();
+        assert!(p.can_run(&req(u16::MAX)));
+        assert!(p.can_run(&JobRequirements {
+            qubits: 3,
+            readout_lines: Some(100),
+            demod_slots: usize::MAX,
+            step_mode: StepMode::Lowered,
+        }));
+    }
+
+    #[test]
+    fn qubit_cap_filters() {
+        let p = ShardProfile {
+            max_qubits: 8,
+            ..ShardProfile::unconstrained()
+        };
+        assert!(p.can_run(&req(8)));
+        assert!(!p.can_run(&req(9)));
+    }
+
+    #[test]
+    fn readout_geometry_matches() {
+        let shared4 = ShardProfile {
+            readout_lines: Some(4),
+            ..ShardProfile::unconstrained()
+        };
+        // Multiplexed job: needs its line count.
+        assert!(shared4.can_run(&JobRequirements {
+            readout_lines: Some(4),
+            ..req(10)
+        }));
+        assert!(!shared4.can_run(&JobRequirements {
+            readout_lines: Some(5),
+            ..req(10)
+        }));
+        // Dedicated-line job: every qubit needs a line.
+        assert!(shared4.can_run(&req(4)));
+        assert!(!shared4.can_run(&req(5)));
+    }
+
+    #[test]
+    fn step_mode_set_round_trips() {
+        let s = StepModeSet::only(&[StepMode::Cycle, StepMode::EventDriven]);
+        assert!(s.supports(StepMode::Cycle));
+        assert!(s.supports(StepMode::EventDriven));
+        assert!(!s.supports(StepMode::Lowered));
+        let p = ShardProfile {
+            step_modes: s,
+            ..ShardProfile::unconstrained()
+        };
+        assert!(!p.can_run(&JobRequirements {
+            step_mode: StepMode::Lowered,
+            ..req(1)
+        }));
+    }
+
+    #[test]
+    fn from_config_carries_the_fields() {
+        let cfg = QuapeConfig::superscalar(4)
+            .with_num_qubits(6)
+            .with_readout_lines(3)
+            .with_demod_slots(2);
+        let p = ShardProfile::from_config(&cfg);
+        assert_eq!(p.max_qubits, 6);
+        assert_eq!(p.readout_lines, Some(3));
+        assert_eq!(p.demod_slots, 2);
+    }
+}

@@ -8,7 +8,7 @@ use quape_core::{BatchAggregate, CompiledJob, QuapeConfig, ShotEngine};
 use quape_isa::Program;
 use quape_qpu::{BehavioralQpuFactory, MeasurementModel};
 use quape_router::{Placement, RoutedResult, Router, RouterConfig};
-use quape_server::{JobRequest, JobSource, ServerConfig};
+use quape_server::{JobRequest, JobResult, JobSource, ServerConfig};
 use quape_workloads::feedback::{conditional_x, feedback_chain, mrce_feedback_chain};
 
 fn cfg() -> QuapeConfig {
@@ -47,29 +47,35 @@ fn router(shards: usize, placement: Placement, threads: usize) -> Router {
             shot_quantum: 3,
             cache_capacity: 4,
         },
+        ..RouterConfig::default()
     })
 }
 
 /// Submits `(choice, shots, seed)` jobs (named by index) and returns the
 /// drained results sorted back into submission order.
+fn ok(r: &RoutedResult) -> &JobResult {
+    r.result.as_ref().expect("job completed")
+}
+
 fn run_router(r: Router, jobs: &[(u8, u64, u64)]) -> Vec<RoutedResult> {
     let c = cfg();
     for (i, (choice, shots, seed)) in jobs.iter().enumerate() {
-        r.submit(
-            JobRequest::new(
-                format!("job{i}"),
-                JobSource::Program(program(*choice)),
-                c.clone(),
-                coin(&c),
-                *shots,
+        let _ = r
+            .submit(
+                JobRequest::new(
+                    format!("job{i}"),
+                    JobSource::Program(program(*choice)),
+                    c.clone(),
+                    coin(&c),
+                    *shots,
+                )
+                .base_seed(*seed),
             )
-            .base_seed(*seed),
-        )
-        .unwrap();
+            .unwrap();
     }
-    let mut results = r.drain();
+    let mut results = r.drain().unwrap();
     results.sort_unstable_by_key(|r| {
-        r.result
+        ok(r)
             .name
             .strip_prefix("job")
             .and_then(|n| n.parse::<usize>().ok())
@@ -106,7 +112,8 @@ fn aggregates_identical_across_shard_counts_and_placements() {
             for (i, r) in results.iter().enumerate() {
                 assert!(r.shard < shards);
                 assert_eq!(
-                    r.result.aggregate, oracles[i],
+                    ok(r).aggregate,
+                    oracles[i],
                     "job{i} diverged with shards={shards} placement={placement:?}"
                 );
             }
@@ -148,7 +155,7 @@ fn least_loaded_avoids_the_busy_shard() {
         .unwrap();
     assert_ne!(next.shard, 0, "least-loaded must avoid the busy shard");
     big.handle.cancel();
-    let results = r.shutdown();
+    let results = r.shutdown().unwrap();
     assert_eq!(results.len(), 2);
 }
 
@@ -166,17 +173,18 @@ fn sticky_routing_compiles_each_program_once_fleet_wide() {
         let c = cfg();
         for rep in 0..reps {
             for p in 0..distinct {
-                r.submit(
-                    JobRequest::new(
-                        format!("p{p}r{rep}"),
-                        JobSource::Text(feedback_chain(0, 10 + p).unwrap().to_string()),
-                        c.clone(),
-                        coin(&c),
-                        1,
+                let _ = r
+                    .submit(
+                        JobRequest::new(
+                            format!("p{p}r{rep}"),
+                            JobSource::Text(feedback_chain(0, 10 + p).unwrap().to_string()),
+                            c.clone(),
+                            coin(&c),
+                            1,
+                        )
+                        .base_seed((p * reps + rep) as u64),
                     )
-                    .base_seed((p * reps + rep) as u64),
-                )
-                .unwrap();
+                    .unwrap();
             }
         }
     };
@@ -189,12 +197,13 @@ fn sticky_routing_compiles_each_program_once_fleet_wide() {
                 shot_quantum: 4,
                 cache_capacity: 16,
             },
+            ..RouterConfig::default()
         })
     };
     let sticky = router(Placement::StickyByDigest);
     submit_all(&sticky);
     let compiles: u64 = sticky.cache_stats().iter().map(|s| s.compiles).sum();
-    sticky.drain();
+    sticky.drain().unwrap();
     assert_eq!(
         compiles, distinct as u64,
         "sticky fleet compiles each program exactly once"
@@ -202,7 +211,7 @@ fn sticky_routing_compiles_each_program_once_fleet_wide() {
     let rr = router(Placement::RoundRobin);
     submit_all(&rr);
     let rr_compiles: u64 = rr.cache_stats().iter().map(|s| s.compiles).sum();
-    rr.drain();
+    rr.drain().unwrap();
     assert!(
         rr_compiles > distinct as u64,
         "round-robin recompiles across shards ({rr_compiles} <= {distinct})"
@@ -215,18 +224,19 @@ fn tenant_stats_fold_across_shards() {
     let r = router(2, Placement::RoundRobin, 1);
     let c = cfg();
     for i in 0..6u64 {
-        r.submit(
-            JobRequest::new(
-                format!("j{i}"),
-                JobSource::Program(conditional_x(0).unwrap()),
-                c.clone(),
-                coin(&c),
-                2,
+        let _ = r
+            .submit(
+                JobRequest::new(
+                    format!("j{i}"),
+                    JobSource::Program(conditional_x(0).unwrap()),
+                    c.clone(),
+                    coin(&c),
+                    2,
+                )
+                .base_seed(i)
+                .tenant(if i % 2 == 0 { "alice" } else { "bob" }),
             )
-            .base_seed(i)
-            .tenant(if i % 2 == 0 { "alice" } else { "bob" }),
-        )
-        .unwrap();
+            .unwrap();
     }
     let tenants = r.tenant_stats();
     assert_eq!(tenants.len(), 2);
@@ -237,7 +247,7 @@ fn tenant_stats_fold_across_shards() {
     for (name, stats) in &tenants {
         assert_eq!(stats.hits + stats.misses, 3, "{name}");
     }
-    r.drain();
+    r.drain().unwrap();
 }
 
 proptest! {
@@ -261,7 +271,7 @@ proptest! {
         for (i, r) in results.iter().enumerate() {
             let (choice, shots, seed) = jobs[i];
             prop_assert_eq!(
-                &r.result.aggregate,
+                &ok(r).aggregate,
                 &solo(choice, shots, seed),
                 "job{} diverged (shards={}, placement={:?})",
                 i, shards, placement

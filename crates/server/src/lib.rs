@@ -74,6 +74,6 @@ mod server;
 
 pub use cache::{CacheOutcome, CacheStats, CompileCache};
 pub use server::{
-    JobError, JobHandle, JobProgress, JobRequest, JobResult, JobServer, JobSource, Priority,
-    ServerConfig, ServingServer,
+    FinishHook, JobError, JobHandle, JobProgress, JobRequest, JobResult, JobServer, JobSource,
+    Priority, ServerConfig, ServingServer,
 };

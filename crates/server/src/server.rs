@@ -67,6 +67,23 @@ pub enum JobError {
     CompileUnavailable,
     /// The server is draining or shut down and accepts no new jobs.
     NotAccepting,
+    /// No shard in the fleet satisfies the job's requirements (qubit
+    /// count, readout layout, demod slots, step mode) — emitted by a
+    /// capability-aware front router, never by a single server.
+    NoCapableShard,
+    /// The shard executing the job died and, after bounded re-routing
+    /// retries, no surviving capable shard could take it over.
+    ShardLost,
+    /// An admission-control layer shed the submission: the tenant is
+    /// over its in-flight shot budget.
+    OverBudget {
+        /// How many of the tenant's in-flight shots must complete before
+        /// an identical resubmission can be admitted.
+        retry_after_shots: u64,
+    },
+    /// A serving worker thread panicked (a server bug, not a job
+    /// failure); the drain's results are incomplete.
+    WorkerPanicked,
 }
 
 impl fmt::Display for JobError {
@@ -84,6 +101,31 @@ impl fmt::Display for JobError {
             JobError::NotAccepting => {
                 write!(f, "the server is draining or shut down; resubmit elsewhere")
             }
+            JobError::NoCapableShard => {
+                write!(
+                    f,
+                    "no shard in the fleet can satisfy the job's requirements"
+                )
+            }
+            JobError::ShardLost => {
+                write!(
+                    f,
+                    "the job's shard was lost and no capable shard could take it over"
+                )
+            }
+            JobError::OverBudget { retry_after_shots } => {
+                write!(
+                    f,
+                    "tenant over its in-flight shot budget; retry after {retry_after_shots} \
+                     in-flight shots complete"
+                )
+            }
+            JobError::WorkerPanicked => {
+                write!(
+                    f,
+                    "a serving worker panicked; drained results are incomplete"
+                )
+            }
         }
     }
 }
@@ -93,7 +135,13 @@ impl std::error::Error for JobError {
         match self {
             JobError::Parse(e) => Some(e),
             JobError::Compile(e) => Some(e),
-            JobError::EmptyJob | JobError::CompileUnavailable | JobError::NotAccepting => None,
+            JobError::EmptyJob
+            | JobError::CompileUnavailable
+            | JobError::NotAccepting
+            | JobError::NoCapableShard
+            | JobError::ShardLost
+            | JobError::OverBudget { .. }
+            | JobError::WorkerPanicked => None,
         }
     }
 }
@@ -190,6 +238,14 @@ impl Priority {
 
 /// One tenant's job: what to run, on what configuration, how many shots,
 /// and how urgently.
+///
+/// Requests are `Clone` so a fault-tolerant front-end can keep a
+/// re-submittable snapshot of every accepted job: if the shard executing
+/// it dies, the clone is resubmitted to a surviving shard and — because a
+/// shot's outcome depends only on `(job, factory, base_seed, shot
+/// index)` — the re-run's aggregate is bit-identical to what the lost
+/// shard would have produced.
+#[derive(Clone)]
 pub struct JobRequest {
     /// Human-readable job name (reported back in [`JobResult`]).
     pub name: String,
@@ -394,6 +450,7 @@ struct CellInner {
 
 /// A live handle on one submitted job. Clone freely; all methods are
 /// safe from any thread, while the job runs or after it finished.
+#[must_use = "dropping the handle loses the only way to wait on or cancel the job"]
 #[derive(Clone)]
 pub struct JobHandle {
     server: JobServer,
@@ -554,14 +611,23 @@ struct SchedState {
     /// outside the lock ([`JobServer::finalize_detached`]); drains wait
     /// for this to reach zero before taking `finished`.
     finalizing: usize,
+    /// Finished results whose finish-hook callback has not fired yet.
+    /// Hooks are only ever invoked with the server lock released
+    /// ([`JobServer::flush_finish_hooks`]), so finalize paths that run
+    /// under the lock park the payload here.
+    hook_pending: Vec<JobResult>,
     phase: ServePhase,
 }
+
+/// An eager job-completion callback (see [`JobServer::set_finish_hook`]).
+pub type FinishHook = Arc<dyn Fn(&JobResult) + Send + Sync>;
 
 struct ServerInner {
     cfg: ServerConfig,
     cache: CompileCache,
     state: Mutex<SchedState>,
     work: Condvar,
+    finish_hook: Mutex<Option<FinishHook>>,
 }
 
 /// The multi-tenant job service. Cheap to clone (all state is shared):
@@ -585,6 +651,7 @@ impl JobServer {
                 cache,
                 state: Mutex::new(SchedState::default()),
                 work: Condvar::new(),
+                finish_hook: Mutex::new(None),
             }),
         }
     }
@@ -647,6 +714,78 @@ impl JobServer {
             .iter()
             .map(|j| j.shots - j.done_shots)
             .sum()
+    }
+
+    /// Installs (or replaces) the job-completion callback: it fires once
+    /// per job, after the job's [`JobResult`] is published to its cell,
+    /// with **no server locks held** — the hook may call back into this
+    /// or any other server (a fleet router uses it to account finished
+    /// work and pump admission control). It may be invoked from worker
+    /// threads or from the thread that cancelled/drained the job, and
+    /// concurrently for different jobs; completion order across jobs is
+    /// not specified. Install it before submitting anything the hook
+    /// must observe.
+    pub fn set_finish_hook(&self, hook: FinishHook) {
+        *self.inner.finish_hook.lock().expect("hook lock poisoned") = Some(hook);
+    }
+
+    /// Server ids and requested shots of queued jobs no worker has
+    /// started yet (zero shot quanta claimed), in queue order. Advisory:
+    /// a worker may claim a listed job before a
+    /// [`revoke_unstarted`](JobServer::revoke_unstarted) lands — the
+    /// revoke re-checks atomically.
+    pub fn unstarted_jobs(&self) -> Vec<(u64, u64)> {
+        self.lock_state()
+            .jobs
+            .iter()
+            .filter(|j| j.next_shot == 0 && !j.cell.cancelled.load(Ordering::Relaxed))
+            .map(|j| (j.id, j.shots))
+            .collect()
+    }
+
+    /// Atomically removes job `id` from the queue **iff** no worker has
+    /// claimed any of its shots. The job's cell is left unfinished — no
+    /// result is published and no finish hook fires — because the caller
+    /// now owns the job's fate and is expected to resubmit its
+    /// [`JobRequest`] snapshot elsewhere. This is the work-stealing /
+    /// planned-drain requeue hook: whole jobs only, so per-job
+    /// aggregates are untouched wherever the job finally runs. Returns
+    /// false when the job already started, finished, was cancelled, or
+    /// was never here.
+    pub fn revoke_unstarted(&self, id: u64) -> bool {
+        let mut st = self.lock_state();
+        let Some(index) = st.jobs.iter().position(|j| j.id == id) else {
+            return false;
+        };
+        let job = &st.jobs[index];
+        if job.next_shot != 0 || job.cell.cancelled.load(Ordering::Relaxed) {
+            return false;
+        }
+        let _ = Self::remove_job(&mut st, index);
+        true
+    }
+
+    /// Invokes the finish hook for every result parked by an under-lock
+    /// finalize. Must be called with the server lock released.
+    fn flush_finish_hooks(&self) {
+        let pending = {
+            let mut st = self.lock_state();
+            if st.hook_pending.is_empty() {
+                return;
+            }
+            std::mem::take(&mut st.hook_pending)
+        };
+        let hook = self
+            .inner
+            .finish_hook
+            .lock()
+            .expect("hook lock poisoned")
+            .clone();
+        if let Some(hook) = hook {
+            for result in &pending {
+                hook(result);
+            }
+        }
     }
 
     /// Accepts a job: resolves its compiled job through the cache
@@ -797,6 +936,7 @@ impl JobServer {
         st.completed += 1;
         let job = Self::remove_job(st, index);
         let result = Self::finalize(&job, rank);
+        st.hook_pending.push(result.clone());
         st.finished.push(result);
     }
 
@@ -814,10 +954,12 @@ impl JobServer {
         drop(st);
         let result = Self::finalize(&job, rank);
         let mut st = self.lock_state();
+        st.hook_pending.push(result.clone());
         st.finished.push(result);
         st.finalizing -= 1;
         drop(st);
         self.inner.work.notify_all();
+        self.flush_finish_hooks();
     }
 
     /// Reaps quiescent cancelled jobs, then claims the next shot
@@ -964,6 +1106,9 @@ impl JobServer {
                 let mut st = self.lock_state();
                 Self::reap_and_claim(&self.inner.cfg, &mut st)
             };
+            // The claim-path reap finalizes under the lock; surface
+            // those completions before (and after) the quantum runs.
+            self.flush_finish_hooks();
             let Some((engine, id, range)) = claimed else {
                 break;
             };
@@ -978,7 +1123,17 @@ impl JobServer {
         loop {
             if let Some((engine, id, range)) = Self::reap_and_claim(&self.inner.cfg, &mut st) {
                 drop(st);
+                self.flush_finish_hooks();
                 self.execute_quantum(&engine, id, range);
+                st = self.lock_state();
+                continue;
+            }
+            if !st.hook_pending.is_empty() {
+                // Never park with unfired completion hooks: the reap
+                // above finalizes under the lock, and an admission layer
+                // upstream is waiting on exactly these notifications.
+                drop(st);
+                self.flush_finish_hooks();
                 st = self.lock_state();
                 continue;
             }
@@ -990,6 +1145,8 @@ impl JobServer {
                 }
             }
         }
+        drop(st);
+        self.flush_finish_hooks();
     }
 
     /// Runs queued jobs to completion on a scoped worker pool and drains
@@ -1001,6 +1158,7 @@ impl JobServer {
     /// tail of a `run()` may miss this drain — it stays queued, is never
     /// lost, and completes on the next `run()`. For continuous serving
     /// use [`JobServer::serve`] instead.
+    #[must_use = "the drained results are the only copy of each job's outcome"]
     pub fn run(&self) -> Vec<JobResult> {
         let threads = self.effective_threads();
         if threads == 1 {
@@ -1063,7 +1221,14 @@ impl ServingServer {
     /// by job id. Cancelled jobs appear with their prefix-consistent
     /// partial aggregates. The underlying server is terminal afterwards:
     /// later submissions fail with [`JobError::NotAccepting`].
-    pub fn drain(mut self) -> Vec<JobResult> {
+    ///
+    /// # Errors
+    ///
+    /// [`JobError::WorkerPanicked`] when a serving worker thread
+    /// panicked (a server bug, not a job failure — panicking *jobs* are
+    /// isolated per quantum and reported as cancelled partials): the
+    /// drained results would be incomplete, so none are returned.
+    pub fn drain(mut self) -> Result<Vec<JobResult>, JobError> {
         self.stop(ServePhase::Draining)
     }
 
@@ -1071,7 +1236,11 @@ impl ServingServer {
     /// in-flight quanta finish, the workers exit, and every unfinished
     /// job finalizes as a cancelled partial (prefix-consistent). Returns
     /// all results ordered by job id.
-    pub fn shutdown(mut self) -> Vec<JobResult> {
+    ///
+    /// # Errors
+    ///
+    /// [`JobError::WorkerPanicked`], as [`drain`](ServingServer::drain).
+    pub fn shutdown(mut self) -> Result<Vec<JobResult>, JobError> {
         self.stop(ServePhase::Shutdown)
     }
 
@@ -1104,23 +1273,20 @@ impl ServingServer {
         self.server.inner.work.notify_all();
     }
 
-    fn stop(&mut self, phase: ServePhase) -> Vec<JobResult> {
+    fn stop(&mut self, phase: ServePhase) -> Result<Vec<JobResult>, JobError> {
         self.stopped = true;
         self.signal(phase);
         let mut worker_panicked = false;
         for w in self.workers.drain(..) {
             worker_panicked |= w.join().is_err();
         }
-        // Surface worker panics on an explicit drain/shutdown — but not
-        // from Drop while already unwinding, where a second panic would
-        // abort the process and mask the original message.
-        if worker_panicked && !std::thread::panicking() {
-            panic!("serving worker panicked");
-        }
         let mut st = self.server.lock_state();
         // A cancellation on a user thread may still be folding its
         // result off-lock; wait so the drained list does not miss it.
-        while st.finalizing > 0 {
+        // (Skipped after a worker panic: the panicking worker may have
+        // died inside a detached fold, which would leave `finalizing`
+        // stuck above zero forever.)
+        while st.finalizing > 0 && !worker_panicked {
             st = self
                 .server
                 .inner
@@ -1133,7 +1299,7 @@ impl ServingServer {
         // worker died) finalizes as a cancelled prefix partial.
         while let Some(index) = st.jobs.len().checked_sub(1) {
             st.jobs[index].cell.cancelled.store(true, Ordering::Relaxed);
-            debug_assert!(st.jobs[index].quiescent());
+            debug_assert!(worker_panicked || st.jobs[index].quiescent());
             JobServer::finalize_and_remove(&mut st, index);
         }
         // The phase stays Draining/Shutdown: a stopped serving session is
@@ -1142,8 +1308,16 @@ impl ServingServer {
         st.completed = 0;
         let mut results = std::mem::take(&mut st.finished);
         drop(st);
+        self.server.flush_finish_hooks();
+        // Surface worker panics as an error-carrying result instead of
+        // panicking the caller; the Drop path discards it (a second
+        // panic while unwinding would abort the process and mask the
+        // original message).
+        if worker_panicked {
+            return Err(JobError::WorkerPanicked);
+        }
         results.sort_unstable_by_key(|r| r.id);
-        results
+        Ok(results)
     }
 }
 

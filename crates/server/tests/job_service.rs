@@ -55,7 +55,7 @@ fn per_job_aggregates_match_solo_engine_runs() {
             .base_seed(100 + i as u64)
             .cycle_limit(500_000)
             .priority(*priority);
-            srv.submit(req).expect("submits");
+            let _ = srv.submit(req).expect("submits");
         }
         let results = srv.run();
         assert_eq!(results.len(), programs.len());
@@ -93,7 +93,7 @@ fn step_modes_agree_through_the_server() {
         )
         .base_seed(5)
         .step_mode(mode);
-        srv.submit(req).unwrap();
+        let _ = srv.submit(req).unwrap();
         srv.run().remove(0).aggregate
     };
     assert_eq!(run_mode(StepMode::Cycle), run_mode(StepMode::EventDriven));
@@ -120,7 +120,7 @@ fn concurrent_same_program_submissions_compile_once() {
                     8,
                 )
                 .base_seed(t);
-                srv.submit(req).expect("submits");
+                let _ = srv.submit(req).expect("submits");
             });
         }
     });
@@ -252,7 +252,7 @@ fn repeated_waves_turn_cache_warm() {
                 6,
             )
             .base_seed(seed_base + i);
-            srv.submit(req).unwrap();
+            let _ = srv.submit(req).unwrap();
         }
         srv.run()
     };

@@ -61,7 +61,7 @@ fn submit_while_serving_is_live() {
     assert_eq!(r1.aggregate, solo_aggregate(40, 1));
     assert_eq!(r2.aggregate, solo_aggregate(24, 2));
     // Handles are done, nothing queued; drain returns the same results.
-    let drained = serving.drain();
+    let drained = serving.drain().unwrap();
     assert_eq!(drained.len(), 2);
     assert_eq!(drained[0].aggregate, r1.aggregate);
     assert_eq!(drained[1].aggregate, r2.aggregate);
@@ -122,7 +122,7 @@ fn cancel_mid_job_returns_prefix_consistent_partial() {
     let p = handle.progress();
     assert!(p.finished && p.cancelled);
     assert_eq!(p.shots_done, result.shots);
-    let results = serving.drain();
+    let results = serving.drain().unwrap();
     assert_eq!(results.len(), 1);
     assert!(results[0].cancelled);
 }
@@ -160,12 +160,12 @@ fn drain_completes_all_accepted_jobs() {
     let mut expected = Vec::new();
     for i in 0..5u64 {
         let shots = 20 + 4 * i;
-        serving
+        let _ = serving
             .submit(request(&format!("job{i}"), shots, 10 + i))
             .unwrap();
         expected.push((shots, 10 + i));
     }
-    let results = serving.drain();
+    let results = serving.drain().unwrap();
     assert_eq!(results.len(), 5);
     for (r, (shots, seed)) in results.iter().zip(&expected) {
         assert!(!r.cancelled);
@@ -196,7 +196,7 @@ fn shutdown_finalizes_unfinished_jobs_as_cancelled_partials() {
     while big.progress().shots_done == 0 {
         std::thread::yield_now();
     }
-    let results = serving.shutdown();
+    let results = serving.shutdown().unwrap();
     assert_eq!(results.len(), 2);
     assert!(!small_result.cancelled);
     assert_eq!(small_result.shots, 8);
@@ -264,7 +264,7 @@ fn panicking_quantum_fails_the_job_not_the_server() {
     assert!(!healthy_result.cancelled);
     assert_eq!(healthy_result.shots, 24);
     // The pool survived: drain returns both results without hanging.
-    let results = serving.drain();
+    let results = serving.drain().unwrap();
     assert_eq!(results.len(), 2);
 }
 
@@ -286,7 +286,7 @@ fn cancel_after_completion_is_a_noop() {
     assert!(p.finished);
     assert!(!p.cancelled, "cancel after completion must not relabel");
     assert!(!handle.wait().cancelled);
-    let drained = serving.drain();
+    let drained = serving.drain().unwrap();
     assert!(!drained[0].cancelled);
 }
 
@@ -342,5 +342,5 @@ fn streaming_submissions_share_the_compile_cache() {
     assert_eq!(tenants.len(), 4);
     let total_lookups: u64 = tenants.iter().map(|(_, s)| s.hits + s.misses).sum();
     assert_eq!(total_lookups, 4);
-    serving.drain();
+    serving.drain().unwrap();
 }

@@ -141,6 +141,47 @@ pub fn sharded_traffic(seed: u64, requests: usize, distinct: usize) -> Vec<Traff
     stream(&sized_program_pool(distinct.max(1)), seed, requests)
 }
 
+/// A hot-tenant admission-control stream: `hog_requests` bulk jobs of
+/// `hog_shots` shots each from one tenant (`hog`), followed by
+/// `mouse_requests` single-shot probes spread round-robin over three
+/// interactive tenants (`mouse0`..`mouse2`). All requests run the same
+/// tiny feedback program, so dispatch order — not program size — decides
+/// who waits. This is the stream the admission-control layer's
+/// starvation bound is proven against: the hog floods the fleet first,
+/// and a fair front door must still dispatch every mouse probe within a
+/// bounded number of hog shots.
+pub fn hot_tenant_traffic(
+    seed: u64,
+    hog_requests: usize,
+    mouse_requests: usize,
+) -> Vec<TrafficRequest> {
+    let source = conditional_x(0).expect("valid workload").to_string();
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut stream = Vec::with_capacity(hog_requests + mouse_requests);
+    for i in 0..hog_requests {
+        let hog_shots = [16, 16, 16, 24][rng.gen_range(0..4usize)];
+        stream.push(TrafficRequest {
+            name: format!("hog{i}_cond_x"),
+            tenant: "hog".to_string(),
+            source: source.clone(),
+            shots: hog_shots,
+            priority_class: 1,
+            pool_index: 0,
+        });
+    }
+    for i in 0..mouse_requests {
+        stream.push(TrafficRequest {
+            name: format!("mouse_req{i}_cond_x"),
+            tenant: format!("mouse{}", i % 3),
+            source: source.clone(),
+            shots: 1,
+            priority_class: 1,
+            pool_index: 0,
+        });
+    }
+    stream
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -186,6 +227,25 @@ mod tests {
             seen[r.pool_index] = true;
         }
         assert!(seen.iter().all(|&s| s), "64 requests cover every program");
+    }
+
+    #[test]
+    fn hot_tenant_stream_is_deterministic_and_shaped() {
+        let a = hot_tenant_traffic(9, 20, 6);
+        let b = hot_tenant_traffic(9, 20, 6);
+        assert_eq!(a.len(), 26);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.name, y.name);
+            assert_eq!(x.shots, y.shots);
+        }
+        assert!(a[..20].iter().all(|r| r.tenant == "hog"));
+        assert!(a[..20].iter().all(|r| matches!(r.shots, 16 | 24)));
+        assert!(a[20..].iter().all(|r| r.tenant.starts_with("mouse")));
+        assert!(a[20..].iter().all(|r| r.shots == 1));
+        // One shared tiny program: the front door, not compile cost,
+        // decides who waits.
+        quape_isa::assemble(&a[0].source).expect("hot-tenant program assembles");
+        assert!(a.iter().all(|r| r.source == a[0].source));
     }
 
     #[test]

@@ -20,6 +20,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             shot_quantum: 8,
             cache_capacity: 8,
         },
+        ..RouterConfig::default()
     });
 
     let cfg = QuapeConfig::superscalar(4);
@@ -71,27 +72,24 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Cancel the second job; its result is the completed prefix.
     jobs[1].handle.cancel();
-    let cancelled = jobs[1].handle.wait();
+    let cancelled = jobs[1].handle.wait()?;
     println!(
         "cancelled {} after {}/{} shots",
         cancelled.name, cancelled.shots, cancelled.shots_requested
     );
 
     // Drain the fleet and report.
-    let results = router.drain();
+    let results = router.drain()?;
     println!("\nresults ({} jobs):", results.len());
     for r in &results {
+        let job = r.result.as_ref().expect("no shard failed in this run");
         println!(
             "  shard {} · {} · {} shots{} · p(1|q0) = {:?}",
             r.shard,
-            r.result.name,
-            r.result.shots,
-            if r.result.cancelled {
-                " (cancelled)"
-            } else {
-                ""
-            },
-            r.result.aggregate.qubits.first().and_then(|h| h.p_one()),
+            job.name,
+            job.shots,
+            if job.cancelled { " (cancelled)" } else { "" },
+            job.aggregate.qubits.first().and_then(|h| h.p_one()),
         );
     }
     Ok(())

@@ -71,9 +71,12 @@ pub mod prelude {
         fit_decay, run_simrb_experiment, BehavioralQpu, BehavioralQpuFactory, CliffordGroup,
         MeasurementModel, RbConfig, StateVector,
     };
-    pub use quape_router::{Placement, RoutedJob, RoutedResult, Router, RouterConfig};
+    pub use quape_router::{
+        AdmissionConfig, FaultPlan, FleetHandle, FrontDoor, Placement, RetryPolicy, RoutedJob,
+        RoutedResult, Router, RouterConfig, ShardProfile, ShardStatus, StealConfig,
+    };
     pub use quape_server::{
-        JobHandle, JobProgress, JobRequest, JobServer, JobSource, Priority, ServerConfig,
+        JobError, JobHandle, JobProgress, JobRequest, JobServer, JobSource, Priority, ServerConfig,
         ServingServer,
     };
     pub use quape_workloads::{benchmark_suite, ShorSyndrome, ShorSyndromeConfig};
