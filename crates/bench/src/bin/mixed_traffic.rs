@@ -3,7 +3,12 @@
 //! deterministic heterogeneous request stream.
 //!
 //! Usage: `mixed_traffic [--requests N] [--seed S] [--threads T]
-//! [--repeats K] [--json] [--json-out <path>] [--min-warm-speedup <x>]`.
+//! [--repeats K] [--machine <file-or-name>] [--json] [--json-out <path>]
+//! [--min-warm-speedup <x>]`.
+//!
+//! `--machine` runs every scenario on a declarative machine description
+//! instead of the uniprocessor baseline: a `machines/*.json` path or a
+//! builtin name (`baseline`, `superscalar-8`, `multiprocessor-4`, ...).
 //!
 //! Each scenario reports its fastest of `--repeats` passes (default 3),
 //! shedding host scheduler noise — the simulated work is deterministic,
@@ -16,7 +21,8 @@
 //! `--min-warm-speedup` exits nonzero when the cache-warm server fails
 //! to beat the naive client by the given factor.
 
-use quape_bench::mixed::{run_mixed_traffic, warm_speedup};
+use quape_bench::mixed::{run_mixed_traffic_on, warm_speedup};
+use quape_bench::sweep::resolve_machine;
 use quape_bench::table::{to_json, write_json, TextTable};
 
 struct Args {
@@ -24,6 +30,7 @@ struct Args {
     seed: u64,
     threads: usize,
     repeats: usize,
+    machine: Option<String>,
     json: bool,
     json_out: Option<String>,
     min_warm_speedup: Option<f64>,
@@ -35,6 +42,7 @@ fn parse_args() -> Args {
         seed: 7,
         threads: 0,
         repeats: 3,
+        machine: None,
         json: false,
         json_out: None,
         min_warm_speedup: None,
@@ -53,6 +61,9 @@ fn parse_args() -> Args {
             "--threads" => args.threads = num("--threads") as usize,
             "--repeats" => args.repeats = num("--repeats") as usize,
             "--min-warm-speedup" => args.min_warm_speedup = Some(num("--min-warm-speedup")),
+            "--machine" => {
+                args.machine = Some(it.next().expect("--machine needs a file or builtin name"))
+            }
             "--json" => args.json = true,
             "--json-out" => {
                 args.json_out = Some(it.next().expect("--json-out needs a path"));
@@ -68,7 +79,24 @@ fn parse_args() -> Args {
 
 fn main() {
     let args = parse_args();
-    let (rows, tenants) = run_mixed_traffic(args.seed, args.requests, args.threads, args.repeats);
+    let machine = args.machine.as_deref().map(|spec| {
+        resolve_machine(spec)
+            .and_then(|m| m.to_config().map_err(|e| e.to_string()).map(|_| m))
+            .unwrap_or_else(|e| {
+                eprintln!("FAIL: {e}");
+                std::process::exit(1);
+            })
+    });
+    if let Some(spec) = &args.machine {
+        eprintln!("machine: {spec}");
+    }
+    let (rows, tenants) = run_mixed_traffic_on(
+        machine.as_ref(),
+        args.seed,
+        args.requests,
+        args.threads,
+        args.repeats,
+    );
     if let Some(path) = &args.json_out {
         write_json(path, &rows);
     }

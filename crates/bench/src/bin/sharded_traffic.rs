@@ -6,8 +6,13 @@
 //!
 //! Usage: `sharded_traffic [--requests N] [--seed S] [--shards N]
 //! [--threads-per-shard T] [--programs P] [--cache-capacity C]
-//! [--repeats K] [--kill-shard] [--hot-tenant] [--json]
-//! [--json-out <path>] [--min-sticky-ratio <x>]`.
+//! [--repeats K] [--machine <file-or-name>] [--kill-shard]
+//! [--hot-tenant] [--json] [--json-out <path>]
+//! [--min-sticky-ratio <x>]`.
+//!
+//! `--machine` serves the whole fleet on a declarative machine
+//! description instead of the uniprocessor baseline: a `machines/*.json`
+//! path or a builtin name (`baseline`, `superscalar-8`, ...).
 //!
 //! Every request's aggregate is asserted bit-identical across all
 //! configurations (the run is a differential test of the router), so
@@ -26,6 +31,7 @@ use quape_bench::sharded::{
     run_hot_tenant, run_kill_shard, run_sharded_traffic, sticky_speedup, RouterBenchReport,
     ShardedTrafficConfig,
 };
+use quape_bench::sweep::resolve_machine;
 use quape_bench::table::{to_json, write_json, TextTable};
 
 struct Args {
@@ -67,6 +73,17 @@ fn parse_args() -> Args {
             }
             "--repeats" => args.bench.repeats = (num("--repeats") as usize).max(1),
             "--min-sticky-ratio" => args.min_sticky_ratio = Some(num("--min-sticky-ratio")),
+            "--machine" => {
+                let spec = it.next().expect("--machine needs a file or builtin name");
+                let machine = resolve_machine(&spec)
+                    .and_then(|m| m.to_config().map_err(|e| e.to_string()).map(|_| m))
+                    .unwrap_or_else(|e| {
+                        eprintln!("FAIL: {e}");
+                        std::process::exit(1);
+                    });
+                eprintln!("machine: {spec}");
+                args.bench.machine = Some(machine);
+            }
             "--kill-shard" => args.kill_shard = true,
             "--hot-tenant" => args.hot_tenant = true,
             "--json" => args.json = true,

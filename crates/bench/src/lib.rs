@@ -36,5 +36,6 @@ pub mod fig14;
 pub mod mixed;
 pub mod sharded;
 mod support;
+pub mod sweep;
 pub mod table;
 pub mod tables;

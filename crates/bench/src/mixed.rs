@@ -172,9 +172,31 @@ pub fn run_mixed_traffic(
     threads: usize,
     repeats: usize,
 ) -> (Vec<ScenarioResult>, Vec<(String, CacheStats)>) {
+    run_mixed_traffic_on(None, seed, requests, threads, repeats)
+}
+
+/// [`run_mixed_traffic`] on a declarative machine description instead of
+/// the baseline: every scenario (naive, cache-cold, cache-warm) runs the
+/// stream on `machine`'s lowered config. `None` is the paper's
+/// uniprocessor baseline.
+///
+/// # Panics
+///
+/// Panics if `machine` does not lower to a valid config — resolve and
+/// validate it first (e.g. with [`crate::sweep::resolve_machine`]).
+pub fn run_mixed_traffic_on(
+    machine: Option<&quape_core::MachineDescription>,
+    seed: u64,
+    requests: usize,
+    threads: usize,
+    repeats: usize,
+) -> (Vec<ScenarioResult>, Vec<(String, CacheStats)>) {
     let repeats = repeats.max(1);
     let traffic = mixed_traffic(seed, requests);
-    let cfg = QuapeConfig::uniprocessor().with_seed(seed);
+    let cfg = machine
+        .map(|m| m.to_config().expect("machine description validates"))
+        .unwrap_or_else(QuapeConfig::uniprocessor)
+        .with_seed(seed);
     let base_seed = seed.wrapping_mul(1000);
 
     /// Runs `repeats` passes and keeps the one with the smallest wall
@@ -204,6 +226,7 @@ pub fn run_mixed_traffic(
         threads,
         shot_quantum: 8,
         cache_capacity: 16,
+        machine: machine.cloned(),
     });
     let (cold_lat, cold_aggs, cold_wall, cold_cache) = best_of(
         repeats,
@@ -213,6 +236,7 @@ pub fn run_mixed_traffic(
                 threads,
                 shot_quantum: 8,
                 cache_capacity: 16,
+                machine: machine.cloned(),
             });
             run_server_pass(&server, &cfg, &traffic, base_seed)
         },

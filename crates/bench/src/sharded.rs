@@ -84,6 +84,11 @@ pub struct ShardedTrafficConfig {
     pub repeats: usize,
     /// Largest shard count (the scaling rows run 1, 2, .., this).
     pub max_shards: usize,
+    /// Declarative machine description every shard serves (`None` = the
+    /// paper's uniprocessor baseline). Must lower to a valid config —
+    /// resolve and validate it first (e.g. with
+    /// [`crate::sweep::resolve_machine`]).
+    pub machine: Option<quape_core::MachineDescription>,
 }
 
 impl Default for ShardedTrafficConfig {
@@ -96,8 +101,20 @@ impl Default for ShardedTrafficConfig {
             cache_capacity: 4,
             repeats: 3,
             max_shards: 4,
+            machine: None,
         }
     }
+}
+
+/// The benchmark's base config: the machine description's lowering when
+/// one is set, the uniprocessor baseline otherwise.
+fn base_config(bench: &ShardedTrafficConfig) -> QuapeConfig {
+    bench
+        .machine
+        .as_ref()
+        .map(|m| m.to_config().expect("machine description validates"))
+        .unwrap_or_else(QuapeConfig::uniprocessor)
+        .with_seed(bench.seed)
 }
 
 fn placement_name(p: Placement) -> &'static str {
@@ -164,6 +181,7 @@ fn run_scenario(
             threads: bench.threads_per_shard,
             shot_quantum: 8,
             cache_capacity: bench.cache_capacity,
+            machine: bench.machine.clone(),
         },
         ..RouterConfig::default()
     });
@@ -218,7 +236,7 @@ fn run_scenario(
 /// configurations.
 pub fn run_sharded_traffic(bench: &ShardedTrafficConfig) -> Vec<ShardedScenarioResult> {
     let traffic = sharded_traffic(bench.seed, bench.requests, bench.distinct_programs);
-    let cfg = QuapeConfig::uniprocessor().with_seed(bench.seed);
+    let cfg = base_config(bench);
     let base_seed = bench.seed.wrapping_mul(1000);
     let mut grid: Vec<(usize, Placement)> = Vec::new();
     let mut shards = 1;
@@ -296,13 +314,14 @@ pub fn run_kill_shard(bench: &ShardedTrafficConfig) -> FailoverScenarioResult {
     for r in &mut traffic {
         r.shots = r.shots.max(32);
     }
-    let cfg = QuapeConfig::uniprocessor().with_seed(bench.seed);
+    let cfg = base_config(bench);
     let base_seed = bench.seed.wrapping_mul(1000);
     let shards = bench.max_shards.max(2);
     let shard_cfg = ServerConfig {
         threads: bench.threads_per_shard,
         shot_quantum: 8,
         cache_capacity: bench.cache_capacity,
+        machine: bench.machine.clone(),
     };
     // Oracle: the same stream on a healthy fleet.
     let healthy = Router::new(RouterConfig {
@@ -410,7 +429,7 @@ pub fn run_hot_tenant(bench: &ShardedTrafficConfig) -> AdmissionScenarioResult {
     let hog_jobs = bench.requests.max(8);
     let mouse_jobs = 9;
     let traffic = hot_tenant_traffic(bench.seed, hog_jobs, mouse_jobs);
-    let cfg = QuapeConfig::uniprocessor().with_seed(bench.seed);
+    let cfg = base_config(bench);
     let base_seed = bench.seed.wrapping_mul(2000);
     let admission = AdmissionConfig {
         tenant_budget_shots: 1 << 20,
@@ -427,6 +446,7 @@ pub fn run_hot_tenant(bench: &ShardedTrafficConfig) -> AdmissionScenarioResult {
                 threads: bench.threads_per_shard,
                 shot_quantum: 8,
                 cache_capacity: bench.cache_capacity,
+                machine: bench.machine.clone(),
             },
             ..RouterConfig::default()
         },

@@ -1,6 +1,6 @@
 //! Machine configuration and the presets used throughout the evaluation.
 
-use quape_isa::OpTimings;
+use quape_isa::{DependencyMode, OpTimings};
 use serde::{Deserialize, Serialize};
 
 /// Full configuration of a QuAPE machine.
@@ -45,6 +45,16 @@ pub struct QuapeConfig {
     pub readout_lines: Option<u16>,
     /// Scheduler response time per scheduling action, in cycles.
     pub scheduler_response_cycles: u64,
+    /// Overrides the block-dependency mode the scheduler honours.
+    /// `None` (the default) derives the mode from the program's block
+    /// table, exactly as before this knob existed; forcing
+    /// [`DependencyMode::Priority`] on a direct-dependency program (or
+    /// vice versa) is a scheduling-policy ablation.
+    pub dependency_mode: Option<DependencyMode>,
+    /// Private instruction-cache banks per processor (the paper's
+    /// prototype is dual-bank, §5.2.3: one executing, one prefetched).
+    /// More banks give the scheduler more prefetch room.
+    pub icache_banks: usize,
     /// Instruction words copied into a private cache bank per cycle.
     pub fill_words_per_cycle: usize,
     /// Cycles to switch a processor onto an already-prefetched cache bank.
@@ -73,42 +83,18 @@ pub struct QuapeConfig {
 
 impl QuapeConfig {
     /// The uniprocessor, scalar baseline — the configuration the paper
-    /// equates with QuMA_v2 in the multiprocessor tests.
+    /// equates with QuMA_v2 in the multiprocessor tests. Lowered from
+    /// the builtin `baseline` [`MachineDescription`], the declarative
+    /// source of truth for machine shapes.
+    ///
+    /// [`MachineDescription`]: crate::machdesc::MachineDescription
     pub fn uniprocessor() -> Self {
-        QuapeConfig {
-            clock_ns: 10,
-            num_processors: 1,
-            fetch_width: 1,
-            quantum_pipes: 1,
-            predecode_buffer: 8,
-            timings: OpTimings {
-                single_qubit_ns: 20,
-                two_qubit_ns: 40,
-                readout_pulse_ns: 300,
-            },
-            daq_base_ns: 100,
-            daq_jitter_ns: 30,
-            daq_demod_slots: crate::devices::DEFAULT_DEMOD_SLOTS,
-            readout_lines: None,
-            scheduler_response_cycles: 4,
-            fill_words_per_cycle: 4,
-            switch_cycles: 2,
-            context_switch_cycles: 3,
-            context_capacity: 4,
-            prefetch: true,
-            fast_context_switch: true,
-            ideal_scheduler: false,
-            seed: 0,
-            num_qubits: None,
-        }
+        crate::machdesc::MachineDescription::baseline().config_unvalidated()
     }
 
     /// Multiprocessor with `n` processing units (Fig. 11 sweeps 1/2/4/6).
     pub fn multiprocessor(n: usize) -> Self {
-        QuapeConfig {
-            num_processors: n,
-            ..Self::uniprocessor()
-        }
+        crate::machdesc::MachineDescription::multiprocessor(n).config_unvalidated()
     }
 
     /// Scalar single-processor baseline for the superscalar comparison
@@ -120,12 +106,7 @@ impl QuapeConfig {
     /// `w`-way superscalar single processor (the prototype implements
     /// w = 8).
     pub fn superscalar(w: usize) -> Self {
-        QuapeConfig {
-            fetch_width: w,
-            quantum_pipes: w,
-            predecode_buffer: 4 * w,
-            ..Self::uniprocessor()
-        }
+        crate::machdesc::MachineDescription::superscalar(w).config_unvalidated()
     }
 
     /// Derives the ideal-scheduler twin of this configuration (used for
@@ -159,6 +140,19 @@ impl QuapeConfig {
         self
     }
 
+    /// Sets the number of private instruction-cache banks per processor.
+    pub fn with_icache_banks(mut self, banks: usize) -> Self {
+        self.icache_banks = banks;
+        self
+    }
+
+    /// Forces the scheduler's block-dependency mode instead of deriving
+    /// it from the program's block table.
+    pub fn with_dependency_mode(mut self, mode: DependencyMode) -> Self {
+        self.dependency_mode = Some(mode);
+        self
+    }
+
     /// Stable content digest of everything that shapes compilation and
     /// execution — every field except `seed`, which is a per-request
     /// runtime parameter (the shot engine and the job service derive all
@@ -185,6 +179,12 @@ impl QuapeConfig {
                 Some(l) => u64::from(l),
             })
             .write_u64(self.scheduler_response_cycles)
+            .write_u64(match self.dependency_mode {
+                None => u64::MAX,
+                Some(DependencyMode::Direct) => 0,
+                Some(DependencyMode::Priority) => 1,
+            })
+            .write_u64(self.icache_banks as u64)
             .write_u64(self.fill_words_per_cycle as u64)
             .write_u64(self.switch_cycles)
             .write_u64(self.context_switch_cycles)
@@ -220,6 +220,9 @@ impl QuapeConfig {
         }
         if self.fill_words_per_cycle == 0 {
             return Err("cache fill bandwidth must be positive".into());
+        }
+        if self.icache_banks < 2 {
+            return Err("need at least two icache banks (execute + prefetch)".into());
         }
         if self.num_qubits == Some(0) {
             return Err("num_qubits override must be positive".into());

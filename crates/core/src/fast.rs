@@ -109,7 +109,7 @@ pub(crate) struct FastProcessor {
     flag_zero: bool,
     flag_neg: bool,
     call_stack: Vec<u32>,
-    banks: [FastBank; 2],
+    banks: Vec<FastBank>,
     active: usize,
     pc: u32,
     state: State,
@@ -126,8 +126,9 @@ pub(crate) struct FastProcessor {
 }
 
 impl FastProcessor {
-    /// Creates an idle fast processor over the shared micro-op array.
-    pub(crate) fn new(id: usize, ops: Arc<LoweredProgram>) -> Self {
+    /// Creates an idle fast processor over the shared micro-op array with
+    /// an `icache_banks`-bank block cache.
+    pub(crate) fn new(id: usize, ops: Arc<LoweredProgram>, icache_banks: usize) -> Self {
         FastProcessor {
             id,
             ops,
@@ -135,7 +136,7 @@ impl FastProcessor {
             flag_zero: false,
             flag_neg: false,
             call_stack: Vec::new(),
-            banks: [FastBank::default(); 2],
+            banks: vec![FastBank::default(); icache_banks],
             active: 0,
             pc: 0,
             state: State::Idle,
@@ -161,7 +162,7 @@ impl FastProcessor {
         self.flag_zero = false;
         self.flag_neg = false;
         self.call_stack.clear();
-        self.banks = [FastBank::default(); 2];
+        self.banks.fill(FastBank::default());
         self.active = 0;
         self.pc = 0;
         self.state = State::Idle;
@@ -190,8 +191,7 @@ impl FastProcessor {
     }
 
     fn free_bank(&self) -> Option<usize> {
-        let inactive = 1 - self.active;
-        self.banks[inactive].is_free().then_some(inactive)
+        (0..self.banks.len()).find(|&i| i != self.active && self.banks[i].is_free())
     }
 
     fn bank_of(&self, block: BlockId) -> Option<usize> {

@@ -1,9 +1,13 @@
-//! Dual-bank private instruction cache (§5.2.3).
+//! Multi-bank private instruction cache (§5.2.3; the paper's prototype
+//! is dual-bank).
 //!
-//! Each processor owns two cache banks: one holds the block in execution,
-//! the other receives the *prefetched* next block. Switching between banks
-//! takes only a few cycles, which is what makes fast block switching
-//! possible.
+//! Each processor owns `n ≥ 2` cache banks: one holds the block in
+//! execution, the others receive *prefetched* upcoming blocks. Switching
+//! between banks takes only a few cycles, which is what makes fast block
+//! switching possible. The bank count is a
+//! [`QuapeConfig::icache_banks`](crate::QuapeConfig::icache_banks) knob;
+//! with the default 2 the behavior is exactly the classic dual-bank
+//! cache.
 
 use quape_isa::{BlockId, Instruction};
 use std::sync::Arc;
@@ -64,17 +68,21 @@ impl CacheBank {
     }
 }
 
-/// The two-bank private instruction cache.
-#[derive(Debug, Clone, Default)]
+/// The multi-bank private instruction cache.
+#[derive(Debug, Clone)]
 pub struct PrivateICache {
-    banks: [CacheBank; 2],
+    banks: Vec<CacheBank>,
     active: usize,
 }
 
 impl PrivateICache {
-    /// Creates an empty cache.
-    pub fn new() -> Self {
-        Self::default()
+    /// Creates an empty cache with `banks` banks (min 2, enforced by
+    /// [`QuapeConfig::validate`](crate::QuapeConfig::validate) upstream).
+    pub fn new(banks: usize) -> Self {
+        PrivateICache {
+            banks: vec![CacheBank::default(); banks],
+            active: 0,
+        }
     }
 
     /// The bank currently feeding the fetch unit.
@@ -82,21 +90,18 @@ impl PrivateICache {
         &self.banks[self.active]
     }
 
-    /// Index of a bank available for prefetching (the inactive bank, when
-    /// free).
+    /// Index of a bank available for prefetching: the lowest-indexed free
+    /// bank that is not active (with two banks: the inactive bank, when
+    /// free — the classic dual-bank rule).
     pub fn free_bank(&self) -> Option<usize> {
-        let other = 1 - self.active;
-        if self.banks[other].is_free() {
-            Some(other)
-        } else {
-            None
-        }
+        (0..self.banks.len()).find(|&i| i != self.active && self.banks[i].is_free())
     }
 
-    /// The inactive bank.
+    /// The first non-active bank (the inactive bank of a dual-bank
+    /// cache).
     #[allow(dead_code)] // part of the cache API; exercised by tests
     pub fn inactive(&self) -> &CacheBank {
-        &self.banks[1 - self.active]
+        &self.banks[if self.active == 0 { 1 } else { 0 }]
     }
 
     /// Installs a block into `bank`.
@@ -163,7 +168,7 @@ mod tests {
 
     #[test]
     fn read_respects_base_offset() {
-        let mut c = PrivateICache::new();
+        let mut c = PrivateICache::new(2);
         c.install_active(BlockId(0), 100, prog(5));
         assert!(c.fetch(99).is_none());
         assert!(c.fetch(100).is_some());
@@ -174,7 +179,7 @@ mod tests {
 
     #[test]
     fn prefetch_and_switch() {
-        let mut c = PrivateICache::new();
+        let mut c = PrivateICache::new(2);
         c.install_active(BlockId(0), 0, prog(3));
         let free = c.free_bank().expect("inactive bank free");
         c.install(free, BlockId(1), 3, prog(4));
@@ -189,7 +194,7 @@ mod tests {
 
     #[test]
     fn retire_frees_active() {
-        let mut c = PrivateICache::new();
+        let mut c = PrivateICache::new(2);
         c.install_active(BlockId(0), 0, prog(2));
         c.retire_active();
         assert!(c.active().is_free());

@@ -50,6 +50,7 @@ mod devices;
 mod engine;
 mod fast;
 mod icache;
+pub mod machdesc;
 mod machine;
 mod metrics;
 mod processor;
@@ -64,6 +65,11 @@ pub use devices::{
     AwgBank, AwgViolation, AwgViolationKind, ChannelMap, Daq, MeasurementFile, MrrEntry,
     PendingResult, PlaybackEvent, QubitChannels,
 };
+pub use machdesc::{
+    ChannelLayout, DaqDesc, DescriptionError, ICacheDesc, MachineDescription, ProcessorDesc,
+    SchedulerDesc, BUILTIN_NAMES,
+};
+
 pub use engine::{
     shot_seed, BatchAggregate, BatchReport, DistributionSummary, QpuFactory, QubitHistogram,
     ShotEngine, ShotSummary, StateVectorQpuFactory, StopCounts, WorkerScratch,

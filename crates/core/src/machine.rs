@@ -31,7 +31,7 @@ use std::fmt;
 use std::sync::Arc;
 
 /// How a run loop advances the machine clock.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, serde::Serialize, serde::Deserialize)]
 pub enum StepMode {
     /// Tick every component on every clock cycle. Kept as the
     /// differential-testing oracle for [`StepMode::EventDriven`].
@@ -342,7 +342,7 @@ impl CompiledJob {
     ) -> ShotCore<P> {
         let cfg = &self.cfg;
         let mut processors: Vec<P> = (0..cfg.num_processors).map(new_proc).collect();
-        let mut scheduler = Scheduler::new(&self.program);
+        let mut scheduler = Scheduler::new(&self.program, cfg.dependency_mode);
         // Pre-task load of the first num_processors blocks (§7).
         scheduler.initial_load(&mut processors, &*code, cfg.num_processors);
         let stats = MachineStats {
@@ -377,7 +377,9 @@ impl CompiledJob {
     /// and seeding the shot's PRNG (DAQ jitter) with `rng_seed`.
     pub fn shot(&self, qpu: Box<dyn QpuBackend>, rng_seed: u64) -> Shot {
         Shot {
-            core: self.core(qpu, rng_seed, self.code.clone(), Processor::new),
+            core: self.core(qpu, rng_seed, self.code.clone(), |id| {
+                Processor::new(id, self.cfg.icache_banks)
+            }),
         }
     }
 
@@ -389,8 +391,9 @@ impl CompiledJob {
         rng_seed: u64,
     ) -> ShotCore<FastProcessor> {
         let lowered = self.lowered.clone();
+        let banks = self.cfg.icache_banks;
         self.core(qpu, rng_seed, lowered.clone(), move |id| {
-            FastProcessor::new(id, lowered.clone())
+            FastProcessor::new(id, lowered.clone(), banks)
         })
     }
 }
@@ -1261,9 +1264,9 @@ impl Shot {
         let lowered = job.lowered.clone();
         let n = job.cfg.num_processors;
         let mut processors: Vec<FastProcessor> = (0..n)
-            .map(|i| FastProcessor::new(i, lowered.clone()))
+            .map(|i| FastProcessor::new(i, lowered.clone(), job.cfg.icache_banks))
             .collect();
-        let mut scheduler = Scheduler::new(&job.program);
+        let mut scheduler = Scheduler::new(&job.program, job.cfg.dependency_mode);
         scheduler.initial_load(&mut processors, &*lowered, n);
         ShotCore {
             job,

@@ -332,15 +332,15 @@ pub struct Processor {
 }
 
 impl Processor {
-    /// Creates an idle processor.
-    pub fn new(id: usize) -> Self {
+    /// Creates an idle processor with an `icache_banks`-bank cache.
+    pub fn new(id: usize, icache_banks: usize) -> Self {
         Processor {
             id,
             regs: [0; REG_COUNT],
             flag_zero: false,
             flag_neg: false,
             call_stack: Vec::new(),
-            icache: PrivateICache::new(),
+            icache: PrivateICache::new(icache_banks),
             pc: 0,
             state: State::Idle,
             buffer: std::collections::VecDeque::new(),

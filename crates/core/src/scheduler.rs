@@ -113,11 +113,15 @@ pub(crate) struct Scheduler {
 
 impl Scheduler {
     /// Builds the scheduler state from a validated block table.
-    pub fn new(program: &Program) -> Self {
+    /// `override_mode` (the [`QuapeConfig::dependency_mode`] knob) takes
+    /// precedence over the program-derived dependency mode when set.
+    ///
+    /// [`QuapeConfig::dependency_mode`]: crate::QuapeConfig::dependency_mode
+    pub fn new(program: &Program, override_mode: Option<DependencyMode>) -> Self {
         let n = program.blocks().len();
         Scheduler {
             status: vec![RtStatus::Wait; n],
-            mode: program.blocks().mode(),
+            mode: override_mode.or(program.blocks().mode()),
             priority_counter: 0,
             busy_until: 0,
             job: None,
@@ -128,8 +132,8 @@ impl Scheduler {
 
     /// Returns the scheduler to its just-constructed state for the same
     /// program, keeping the status-table and event allocations (the
-    /// arena-reuse twin of [`Scheduler::new`]; the dependency mode is
-    /// program-derived and survives).
+    /// arena-reuse twin of [`Scheduler::new`]; the resolved dependency
+    /// mode survives).
     pub fn reset(&mut self) {
         self.status.fill(RtStatus::Wait);
         self.priority_counter = 0;

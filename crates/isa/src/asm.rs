@@ -99,13 +99,15 @@ fn strip_comment(line: &str) -> &str {
 /// paying for a parse (requests are only assembled on compile-cache
 /// misses, and the scan must not change that).
 ///
-/// The scan is a heuristic twin of [`Program::num_qubits`]: a token
-/// counts when `q` starts at a word boundary, is followed by digits
-/// only up to the next non-alphanumeric character, and the line is not a
-/// comment. On text produced by [`Program`]'s display (the round-trip
-/// format every generator in this workspace emits) it is exact; on
-/// hand-written text a `q`-prefixed label could over-count, which errs
-/// toward *rejecting* a shard, never toward a silent capacity overrun.
+/// The scan is a heuristic twin of [`Program::num_qubits`] — both reduce
+/// their qubit references with the one audited counting rule,
+/// [`qubit_span`](crate::qubit_span). A token counts when `q` starts at
+/// a word boundary, is followed by digits only up to the next
+/// non-alphanumeric character, and the line is not a comment. On text
+/// produced by [`Program`]'s display (the round-trip format every
+/// generator in this workspace emits) it is exact; on hand-written text
+/// a `q`-prefixed label could over-count, which errs toward *rejecting*
+/// a shard, never toward a silent capacity overrun.
 ///
 /// ```
 /// use quape_isa::scan_qubit_count;
@@ -113,34 +115,37 @@ fn strip_comment(line: &str) -> &str {
 /// assert_eq!(scan_qubit_count("STOP\n"), 0);
 /// ```
 pub fn scan_qubit_count(source: &str) -> u16 {
-    let mut max: u16 = 0;
-    for raw in source.lines() {
-        let line = strip_comment(raw);
-        let bytes = line.as_bytes();
-        let mut i = 0;
-        while i < bytes.len() {
-            let at_boundary =
-                i == 0 || !bytes[i - 1].is_ascii_alphanumeric() && bytes[i - 1] != b'_';
-            if at_boundary && (bytes[i] == b'q' || bytes[i] == b'Q') {
-                let start = i + 1;
-                let mut end = start;
-                while end < bytes.len() && bytes[end].is_ascii_digit() {
-                    end += 1;
-                }
-                let terminated =
-                    end == bytes.len() || !bytes[end].is_ascii_alphanumeric() && bytes[end] != b'_';
-                if end > start && terminated {
-                    if let Ok(index) = line[start..end].parse::<u16>() {
-                        max = max.max(index.saturating_add(1));
-                    }
-                }
-                i = end;
-            } else {
-                i += 1;
+    crate::qubit_span(source.lines().flat_map(scan_line_qubit_indices))
+}
+
+/// The qubit indices a single line of wire text references, lexically:
+/// every word-boundary `q<digits>` token outside a comment.
+fn scan_line_qubit_indices(raw: &str) -> Vec<u16> {
+    let line = strip_comment(raw);
+    let bytes = line.as_bytes();
+    let mut indices = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        let at_boundary = i == 0 || !bytes[i - 1].is_ascii_alphanumeric() && bytes[i - 1] != b'_';
+        if at_boundary && (bytes[i] == b'q' || bytes[i] == b'Q') {
+            let start = i + 1;
+            let mut end = start;
+            while end < bytes.len() && bytes[end].is_ascii_digit() {
+                end += 1;
             }
+            let terminated =
+                end == bytes.len() || !bytes[end].is_ascii_alphanumeric() && bytes[end] != b'_';
+            if end > start && terminated {
+                if let Ok(index) = line[start..end].parse::<u16>() {
+                    indices.push(index);
+                }
+            }
+            i = end;
+        } else {
+            i += 1;
         }
     }
-    max
+    indices
 }
 
 fn parse_line(b: &mut ProgramBuilder, line: &str, no: usize) -> Result<(), AsmError> {

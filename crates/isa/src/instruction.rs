@@ -421,6 +421,23 @@ impl Instruction {
         }
     }
 
+    /// Every qubit this instruction references: the quantum operands,
+    /// plus the qubit of a readout-consuming `FMR` and both qubits of an
+    /// `MRCE`. The single audited enumeration behind
+    /// [`Program::num_qubits`](crate::Program::num_qubits) (and, via
+    /// [`qubit_span`], the same counting rule
+    /// [`scan_qubit_count`](crate::scan_qubit_count) applies lexically).
+    pub fn referenced_qubits(&self) -> Vec<Qubit> {
+        match self {
+            Instruction::Quantum(q) => q.op.qubits().collect(),
+            Instruction::Classical(ClassicalOp::Fmr { qubit, .. }) => vec![*qubit],
+            Instruction::Classical(ClassicalOp::Mrce { qubit, target, .. }) => {
+                vec![*qubit, *target]
+            }
+            Instruction::Classical(_) => Vec::new(),
+        }
+    }
+
     /// The classical payload, if any.
     pub fn as_classical(&self) -> Option<&ClassicalOp> {
         match self {
@@ -449,6 +466,19 @@ impl fmt::Display for Instruction {
             Instruction::Classical(c) => c.fmt(f),
         }
     }
+}
+
+/// Reduces qubit indices to a qubit *count*: one past the highest index,
+/// 0 for an empty set. This is the one audited counting rule —
+/// [`Program::num_qubits`](crate::Program::num_qubits) folds it over
+/// [`Instruction::referenced_qubits`], and
+/// [`scan_qubit_count`](crate::scan_qubit_count) folds it over the
+/// `q<digits>` tokens of un-assembled wire text, so the structural and
+/// lexical counts can only disagree where the text itself is ambiguous.
+pub fn qubit_span(indices: impl IntoIterator<Item = u16>) -> u16 {
+    indices
+        .into_iter()
+        .fold(0, |max, i| max.max(i.saturating_add(1)))
 }
 
 #[cfg(test)]

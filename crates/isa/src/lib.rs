@@ -74,7 +74,7 @@ pub use encoding::{decode, encode, DecodeError, EncodeError};
 pub use error::IsaError;
 pub use gate::{Angle, CondOp, Gate1, Gate2};
 pub use instruction::{
-    ClassicalInstruction, ClassicalOp, Cond, Instruction, QuantumInstruction, QuantumOp,
+    qubit_span, ClassicalInstruction, ClassicalOp, Cond, Instruction, QuantumInstruction, QuantumOp,
 };
 pub use lowered::{
     flags as micro_flags, waveform_index, LoweredBlock, LoweredProgram, MicroOp, MicroWord,

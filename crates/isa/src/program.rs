@@ -250,27 +250,17 @@ impl Program {
     }
 
     /// Number of qubits the program touches: one past the highest qubit
-    /// index referenced by any quantum operation, `FMR`, or `MRCE`
-    /// (0 for programs without qubit references).
+    /// index referenced by any instruction
+    /// ([`Instruction::referenced_qubits`] reduced with
+    /// [`qubit_span`](crate::qubit_span); 0 for programs without qubit
+    /// references).
     pub fn num_qubits(&self) -> u16 {
-        let mut max = 0u16;
-        for instr in &self.instructions {
-            match instr {
-                Instruction::Quantum(q) => {
-                    for qubit in q.op.qubits() {
-                        max = max.max(qubit.index() + 1);
-                    }
-                }
-                Instruction::Classical(ClassicalOp::Fmr { qubit, .. }) => {
-                    max = max.max(qubit.index() + 1);
-                }
-                Instruction::Classical(ClassicalOp::Mrce { qubit, target, .. }) => {
-                    max = max.max(qubit.index() + 1).max(target.index() + 1);
-                }
-                Instruction::Classical(_) => {}
-            }
-        }
-        max
+        crate::qubit_span(
+            self.instructions
+                .iter()
+                .flat_map(Instruction::referenced_qubits)
+                .map(|q| q.index()),
+        )
     }
 
     /// Encodes the whole program into 32-bit words.

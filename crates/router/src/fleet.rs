@@ -19,7 +19,7 @@
 //! server locks held (see [`quape_server::JobServer::set_finish_hook`]).
 
 use crate::profile::{JobRequirements, ShardProfile};
-use quape_core::BatchAggregate;
+use quape_core::{BatchAggregate, MachineDescription};
 use quape_server::{
     CacheStats, JobError, JobHandle, JobProgress, JobRequest, JobResult, JobServer, ServerConfig,
     ServingServer,
@@ -98,9 +98,18 @@ pub struct RouterConfig {
     /// Per-shard worker-pool and cache sizing.
     pub shard: ServerConfig,
     /// Per-shard capability profiles, by shard index. Missing entries
-    /// (an empty or short vector) default to
+    /// fall back to the shard's machine description
+    /// ([`machines`](RouterConfig::machines), then the shared
+    /// [`ServerConfig::machine`]), and finally to
     /// [`ShardProfile::unconstrained`].
     pub profiles: Vec<ShardProfile>,
+    /// Per-shard machine descriptions, by shard index — the declarative
+    /// way to stand up a heterogeneous fleet (one description per
+    /// fridge, e.g. loaded from `machines/*.json` files). Each shard
+    /// without an explicit profile derives one via
+    /// [`ShardProfile::from_machine`]; missing entries fall back to the
+    /// shared [`ServerConfig::machine`], then to unconstrained.
+    pub machines: Vec<MachineDescription>,
     /// Re-routing retry policy for displaced jobs.
     pub retry: RetryPolicy,
     /// When set, a background thread steals whole queued jobs from the
@@ -115,8 +124,22 @@ impl Default for RouterConfig {
             placement: Placement::default(),
             shard: ServerConfig::default(),
             profiles: Vec::new(),
+            machines: Vec::new(),
             retry: RetryPolicy::default(),
             steal: None,
+        }
+    }
+}
+
+impl RouterConfig {
+    /// A heterogeneous fleet declared entirely by machine descriptions:
+    /// one shard per description, each shard's capability profile
+    /// derived from its description.
+    pub fn heterogeneous(machines: Vec<MachineDescription>) -> Self {
+        RouterConfig {
+            shards: machines.len(),
+            machines,
+            ..RouterConfig::default()
         }
     }
 }
@@ -248,8 +271,11 @@ pub struct Router {
 
 impl Router {
     /// Starts `cfg.shards` serving shards (their worker pools go live
-    /// immediately). Profiles beyond `cfg.profiles.len()` are
-    /// [`unconstrained`](ShardProfile::unconstrained); when `cfg.steal`
+    /// immediately). Each shard's profile resolves in precedence order:
+    /// explicit `cfg.profiles[i]`, else derived from the machine
+    /// description `cfg.machines[i]`, else from the shared
+    /// `cfg.shard.machine`, else
+    /// [`unconstrained`](ShardProfile::unconstrained). When `cfg.steal`
     /// is set, a background stealer thread starts too.
     pub fn new(cfg: RouterConfig) -> Self {
         let n = cfg.shards.max(1);
@@ -258,9 +284,16 @@ impl Router {
         for i in 0..n {
             let serving = JobServer::serve(cfg.shard.clone());
             servers.push(serving.server().clone());
+            let profile = cfg.profiles.get(i).copied().unwrap_or_else(|| {
+                cfg.machines
+                    .get(i)
+                    .or(cfg.shard.machine.as_ref())
+                    .map(ShardProfile::from_machine)
+                    .unwrap_or_default()
+            });
             shards.push(Shard {
                 serving: Some(serving),
-                profile: cfg.profiles.get(i).copied().unwrap_or_default(),
+                profile,
                 status: ShardStatus::Up,
             });
         }

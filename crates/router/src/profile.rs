@@ -11,7 +11,7 @@
 //! filter [`Router::submit`](crate::Router::submit) applies before any
 //! placement policy sees the candidate list.
 
-use quape_core::{QuapeConfig, StepMode};
+use quape_core::{ChannelLayout, MachineDescription, QuapeConfig, StepMode};
 use quape_isa::scan_qubit_count;
 use quape_server::{JobRequest, JobSource};
 
@@ -100,6 +100,26 @@ impl ShardProfile {
             max_qubits: cfg.num_qubits.unwrap_or(u16::MAX),
             readout_lines: cfg.readout_lines,
             demod_slots: cfg.daq_demod_slots,
+            step_modes: StepModeSet::all(),
+        }
+    }
+
+    /// Derives the profile from a declarative [`MachineDescription`] —
+    /// the same mapping as [`from_config`](ShardProfile::from_config),
+    /// read off the description's channel layout and DAQ geometry
+    /// without lowering it.
+    pub fn from_machine(machine: &MachineDescription) -> Self {
+        let (qubits, readout_lines) = match machine.channels {
+            ChannelLayout::Linear { qubits } => (qubits, None),
+            ChannelLayout::Multiplexed {
+                qubits,
+                readout_lines,
+            } => (qubits, Some(readout_lines)),
+        };
+        ShardProfile {
+            max_qubits: qubits.unwrap_or(u16::MAX),
+            readout_lines,
+            demod_slots: machine.daq.demod_slots,
             step_modes: StepModeSet::all(),
         }
     }

@@ -55,6 +55,7 @@ fn fleet(shards: usize, placement: Placement) -> RouterConfig {
             threads: 1,
             shot_quantum: 3,
             cache_capacity: 4,
+            machine: None,
         },
         ..RouterConfig::default()
     }
@@ -467,4 +468,66 @@ proptest! {
         let results = router.drain().unwrap();
         prop_assert_eq!(results.len(), jobs.len());
     }
+}
+
+/// A fleet declared entirely by machine descriptions derives each
+/// shard's capability profile from its description: the same
+/// steer/reject behavior as hand-written profiles, driven by the
+/// declarative surface.
+#[test]
+fn heterogeneous_fleet_from_machine_descriptions() {
+    use quape_core::machdesc::{ChannelLayout, MachineDescription};
+
+    // Shard 0: a 1-qubit fridge. Shard 1: a 12-qubit fridge.
+    let mut small = MachineDescription::baseline();
+    small.channels = ChannelLayout::Linear { qubits: Some(1) };
+    let mut big = MachineDescription::multiprocessor(2);
+    big.channels = ChannelLayout::Linear { qubits: Some(12) };
+    let router = Router::new(RouterConfig {
+        shard: ServerConfig {
+            threads: 1,
+            shot_quantum: 3,
+            cache_capacity: 4,
+            machine: None,
+        },
+        ..RouterConfig::heterogeneous(vec![small, big])
+    });
+    // feedback_chain(1, 8) touches qubit 1 — too wide for shard 0.
+    for i in 0..3 {
+        let routed = router
+            .submit(request(&format!("wide{i}"), 2, 10, i))
+            .unwrap();
+        assert_eq!(routed.shard, 1, "only the 12-qubit machine is capable");
+    }
+    // An explicit 13-qubit config overflows both described machines.
+    let c = cfg().with_num_qubits(13);
+    let infeasible = JobRequest::new(
+        "thirteen",
+        JobSource::Program(conditional_x(0).unwrap()),
+        c.clone(),
+        coin(&c),
+        4,
+    );
+    assert!(matches!(
+        router.submit(infeasible),
+        Err(JobError::NoCapableShard)
+    ));
+    // Explicit profiles win over descriptions: unconstrain shard 0.
+    drop(router);
+    let mut small2 = MachineDescription::baseline();
+    small2.channels = ChannelLayout::Linear { qubits: Some(1) };
+    let router = Router::new(RouterConfig {
+        profiles: vec![ShardProfile::unconstrained()],
+        shard: ServerConfig {
+            threads: 1,
+            shot_quantum: 3,
+            cache_capacity: 4,
+            machine: None,
+        },
+        placement: Placement::RoundRobin,
+        ..RouterConfig::heterogeneous(vec![small2])
+    });
+    let routed = router.submit(request("wide", 2, 10, 99)).unwrap();
+    assert_eq!(routed.shard, 0, "explicit profile overrides the machine");
+    router.drain().unwrap();
 }

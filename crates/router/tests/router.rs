@@ -46,6 +46,7 @@ fn router(shards: usize, placement: Placement, threads: usize) -> Router {
             threads,
             shot_quantum: 3,
             cache_capacity: 4,
+            machine: None,
         },
         ..RouterConfig::default()
     })
@@ -196,6 +197,7 @@ fn sticky_routing_compiles_each_program_once_fleet_wide() {
                 threads: 1,
                 shot_quantum: 4,
                 cache_capacity: 16,
+                machine: None,
             },
             ..RouterConfig::default()
         })

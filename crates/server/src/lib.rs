@@ -75,5 +75,5 @@ mod server;
 pub use cache::{CacheOutcome, CacheStats, CompileCache};
 pub use server::{
     FinishHook, JobError, JobHandle, JobProgress, JobRequest, JobResult, JobServer, JobSource,
-    Priority, ServerConfig, ServingServer,
+    MachineSpec, Priority, ServerConfig, ServingServer,
 };

@@ -44,8 +44,8 @@
 
 use crate::cache::{CacheStats, CompileCache};
 use quape_core::{
-    BatchAggregate, CompiledJob, MachineError, QpuFactory, QuapeConfig, ShotEngine, ShotSummary,
-    StepMode,
+    BatchAggregate, CompiledJob, DescriptionError, MachineDescription, MachineError, QpuFactory,
+    QuapeConfig, ShotEngine, ShotSummary, StepMode,
 };
 use quape_isa::{AsmError, Fnv64, Program};
 use std::fmt;
@@ -84,6 +84,9 @@ pub enum JobError {
     /// A serving worker thread panicked (a server bug, not a job
     /// failure); the drain's results are incomplete.
     WorkerPanicked,
+    /// The request's machine description (inline or by builtin name)
+    /// could not be resolved into a valid configuration.
+    Machine(DescriptionError),
 }
 
 impl fmt::Display for JobError {
@@ -126,6 +129,7 @@ impl fmt::Display for JobError {
                     "a serving worker panicked; drained results are incomplete"
                 )
             }
+            JobError::Machine(e) => write!(f, "request's machine description is invalid: {e}"),
         }
     }
 }
@@ -135,6 +139,7 @@ impl std::error::Error for JobError {
         match self {
             JobError::Parse(e) => Some(e),
             JobError::Compile(e) => Some(e),
+            JobError::Machine(e) => Some(e),
             JobError::EmptyJob
             | JobError::CompileUnavailable
             | JobError::NotAccepting
@@ -155,6 +160,38 @@ impl From<AsmError> for JobError {
 impl From<MachineError> for JobError {
     fn from(e: MachineError) -> Self {
         JobError::Compile(e)
+    }
+}
+
+impl From<DescriptionError> for JobError {
+    fn from(e: DescriptionError) -> Self {
+        JobError::Machine(e)
+    }
+}
+
+/// How a request names the machine it wants to run on: a builtin
+/// description by name ([`MachineDescription::builtin`]) or an inline
+/// description (e.g. parsed from a `machines/*.json` file).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MachineSpec {
+    /// A builtin description name (`"baseline"`, `"superscalar-8"`,
+    /// `"multiprocessor-4"`, …).
+    Builtin(String),
+    /// A full inline description.
+    Inline(MachineDescription),
+}
+
+impl MachineSpec {
+    /// Resolves the spec into a description.
+    ///
+    /// # Errors
+    ///
+    /// [`DescriptionError::UnknownBuiltin`] for an unknown builtin name.
+    pub fn resolve(&self) -> Result<MachineDescription, DescriptionError> {
+        match self {
+            MachineSpec::Builtin(name) => MachineDescription::builtin(name),
+            MachineSpec::Inline(desc) => Ok(desc.clone()),
+        }
     }
 }
 
@@ -332,9 +369,26 @@ impl JobRequest {
         self.step_mode = step_mode;
         self
     }
+
+    /// Replaces the request's machine configuration with one lowered
+    /// from a [`MachineSpec`] — a builtin name or an inline description.
+    /// The description's default step mode carries over too; seed, cycle
+    /// budget and priority are untouched.
+    ///
+    /// # Errors
+    ///
+    /// [`JobError::Machine`] when the spec names an unknown builtin or
+    /// the description fails validation.
+    pub fn machine(mut self, spec: &MachineSpec) -> Result<Self, JobError> {
+        let desc = spec.resolve()?;
+        self.cfg = desc.to_config()?;
+        self.step_mode = desc.step_mode;
+        Ok(self)
+    }
 }
 
-/// Worker-pool and cache sizing of a [`JobServer`].
+/// Worker-pool and cache sizing of a [`JobServer`], plus the declared
+/// hardware the server fronts.
 #[derive(Debug, Clone)]
 pub struct ServerConfig {
     /// Worker threads (`0` = `available_parallelism`).
@@ -344,6 +398,21 @@ pub struct ServerConfig {
     pub shot_quantum: u64,
     /// Compiled-job cache capacity (entries).
     pub cache_capacity: usize,
+    /// The machine this server fronts, as a declarative description.
+    /// `None` (the default) declares nothing; a capability-aware front
+    /// router derives the shard's profile from it when set (explicit
+    /// router profiles still win).
+    pub machine: Option<MachineDescription>,
+}
+
+impl ServerConfig {
+    /// A default-sized server fronting the described machine.
+    pub fn for_machine(machine: MachineDescription) -> Self {
+        ServerConfig {
+            machine: Some(machine),
+            ..ServerConfig::default()
+        }
+    }
 }
 
 impl Default for ServerConfig {
@@ -352,6 +421,7 @@ impl Default for ServerConfig {
             threads: 0,
             shot_quantum: 16,
             cache_capacity: 64,
+            machine: None,
         }
     }
 }

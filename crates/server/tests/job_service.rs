@@ -18,6 +18,7 @@ fn server(threads: usize, quantum: u64) -> JobServer {
         threads,
         shot_quantum: quantum,
         cache_capacity: 16,
+        machine: None,
     })
 }
 
@@ -263,4 +264,65 @@ fn repeated_waves_turn_cache_warm() {
     let stats = srv.cache_stats();
     assert_eq!(stats.compiles, 3);
     assert_eq!(stats.hits, 3);
+}
+
+/// A request can name its machine declaratively — by builtin name or
+/// inline description — and runs identically to one built from the
+/// equivalent `QuapeConfig` preset.
+#[test]
+fn requests_accept_machine_descriptions() {
+    use quape_core::{DescriptionError, MachineDescription};
+    use quape_server::MachineSpec;
+
+    let cfg = QuapeConfig::superscalar(8);
+    let program = feedback_chain(0, 12).unwrap();
+    let srv = server(1, 8);
+    let base = || {
+        JobRequest::new(
+            "by-preset",
+            JobSource::Program(program.clone()),
+            cfg.clone(),
+            coin(&cfg),
+            9,
+        )
+        .base_seed(7)
+    };
+    let by_preset = srv.submit(base()).unwrap();
+    let by_name = srv
+        .submit(
+            base()
+                .machine(&MachineSpec::Builtin("superscalar".into()))
+                .unwrap(),
+        )
+        .unwrap();
+    let by_inline = srv
+        .submit(
+            base()
+                .machine(&MachineSpec::Inline(MachineDescription::superscalar(8)))
+                .unwrap(),
+        )
+        .unwrap();
+    let results = srv.run();
+    let agg_of = |id| {
+        results
+            .iter()
+            .find(|r| r.id == id)
+            .map(|r| r.aggregate.clone())
+            .unwrap()
+    };
+    assert_eq!(agg_of(by_preset.id()), agg_of(by_name.id()));
+    assert_eq!(agg_of(by_preset.id()), agg_of(by_inline.id()));
+
+    // Unknown builtins and invalid inline descriptions surface as
+    // typed machine errors before anything is queued.
+    assert!(matches!(
+        base().machine(&MachineSpec::Builtin("warp-drive".into())),
+        Err(JobError::Machine(DescriptionError::UnknownBuiltin(_)))
+    ));
+    let mut bad = MachineDescription::baseline();
+    bad.daq.demod_slots = 0;
+    assert!(matches!(
+        base().machine(&MachineSpec::Inline(bad)),
+        Err(JobError::Machine(DescriptionError::ZeroDemodSlots))
+    ));
 }

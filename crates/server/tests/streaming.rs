@@ -50,6 +50,7 @@ fn submit_while_serving_is_live() {
         threads: 2,
         shot_quantum: 4,
         cache_capacity: 8,
+        machine: None,
     });
     let first = serving.submit(request("first", 40, 1)).unwrap();
     // The first job is already executing; submit more mid-flight.
@@ -76,6 +77,7 @@ fn partial_aggregates_are_prefix_consistent_mid_flight() {
         threads: 2,
         shot_quantum: 2,
         cache_capacity: 8,
+        machine: None,
     });
     let handle = serving.submit(request("long", 1_000_000, 7)).unwrap();
     // Wait until the *contiguous* completed prefix has real length
@@ -104,6 +106,7 @@ fn cancel_mid_job_returns_prefix_consistent_partial() {
         threads: 2,
         shot_quantum: 4,
         cache_capacity: 8,
+        machine: None,
     });
     let handle = serving.submit(request("cancel_me", 1_000_000, 3)).unwrap();
     while handle.progress().shots_done < 12 {
@@ -136,6 +139,7 @@ fn cancel_before_execution_yields_empty_result() {
         threads: 1,
         shot_quantum: 4,
         cache_capacity: 8,
+        machine: None,
     });
     let handle = server.submit(request("never_ran", 50, 1)).unwrap();
     handle.cancel();
@@ -155,6 +159,7 @@ fn drain_completes_all_accepted_jobs() {
         threads: 2,
         shot_quantum: 8,
         cache_capacity: 8,
+        machine: None,
     });
     let server = serving.server().clone();
     let mut expected = Vec::new();
@@ -188,6 +193,7 @@ fn shutdown_finalizes_unfinished_jobs_as_cancelled_partials() {
         threads: 2,
         shot_quantum: 4,
         cache_capacity: 8,
+        machine: None,
     });
     let small = serving.submit(request("small", 8, 5)).unwrap();
     let big = serving.submit(request("big", 1_000_000, 6)).unwrap();
@@ -236,6 +242,7 @@ fn panicking_quantum_fails_the_job_not_the_server() {
         threads: 1,
         shot_quantum: 4, // × Normal weight 2 ⇒ 8-shot quanta
         cache_capacity: 8,
+        machine: None,
     });
     let c = cfg();
     let panicky = PanickyFactory {
@@ -276,6 +283,7 @@ fn cancel_after_completion_is_a_noop() {
         threads: 2,
         shot_quantum: 8,
         cache_capacity: 8,
+        machine: None,
     });
     let handle = serving.submit(request("done_first", 8, 9)).unwrap();
     let result = handle.wait();
@@ -313,6 +321,7 @@ fn streaming_submissions_share_the_compile_cache() {
         threads: 2,
         shot_quantum: 4,
         cache_capacity: 8,
+        machine: None,
     });
     let text = feedback_chain(0, 30).unwrap().to_string();
     let c = cfg();

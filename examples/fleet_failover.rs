@@ -25,6 +25,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             threads: 1,
             shot_quantum: 8,
             cache_capacity: 8,
+            machine: None,
         },
         profiles: vec![small, ShardProfile::unconstrained()],
         ..RouterConfig::default()
@@ -101,6 +102,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 threads: 1,
                 shot_quantum: 4,
                 cache_capacity: 4,
+                machine: None,
             },
             ..RouterConfig::default()
         },

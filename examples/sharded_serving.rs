@@ -19,6 +19,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             threads: 1,
             shot_quantum: 8,
             cache_capacity: 8,
+            machine: None,
         },
         ..RouterConfig::default()
     });

@@ -2,12 +2,14 @@
 //!
 //! The build environment has no crates.io access, so this crate provides
 //! the subset of serde's surface the workspace uses: a [`Serialize`] trait
-//! (routed through an owned [`Value`] tree instead of serde's visitor
-//! model), a no-op [`Deserialize`] marker, and real `#[derive(Serialize)]`
-//! / `#[derive(Deserialize)]` macros from the sibling `serde_derive` shim.
+//! and a [`Deserialize`] trait (both routed through an owned [`Value`]
+//! tree instead of serde's visitor model), plus real
+//! `#[derive(Serialize)]` / `#[derive(Deserialize)]` macros from the
+//! sibling `serde_derive` shim.
 //!
-//! The derive follows serde's default encoding conventions: structs become
-//! maps, newtype structs are transparent, unit enum variants become
+//! Both directions follow serde's default encoding conventions: structs
+//! become maps (unknown fields ignored, missing non-`Option` fields are
+//! errors), newtype structs are transparent, unit enum variants become
 //! strings, and data-carrying variants become externally tagged
 //! single-entry maps.
 
@@ -39,16 +41,69 @@ pub enum Value {
     Map(Vec<(String, Value)>),
 }
 
+impl Value {
+    /// Short noun for error messages ("integer", "map", ...).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "boolean",
+            Value::Int(_) | Value::UInt(_) => "integer",
+            Value::Float(_) => "number",
+            Value::Str(_) => "string",
+            Value::Seq(_) => "sequence",
+            Value::Map(_) => "map",
+        }
+    }
+}
+
 /// Types that can be turned into a [`Value`] tree.
 pub trait Serialize {
     /// Converts `self` into the shim data model.
     fn to_value(&self) -> Value;
 }
 
-/// Marker trait so `T: Deserialize` bounds and `use serde::Deserialize`
-/// keep compiling; no deserialization is performed anywhere in this
-/// workspace.
-pub trait Deserialize {}
+/// Deserialization failure: a human-readable description of the first
+/// mismatch between a [`Value`] tree and the target type.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeError(String);
+
+impl DeError {
+    /// Creates an error with the given message.
+    pub fn new(msg: impl Into<String>) -> Self {
+        DeError(msg.into())
+    }
+
+    /// "expected X, found Y" for a value of the wrong shape.
+    pub fn expected(what: &str, found: &Value) -> Self {
+        DeError(format!("expected {what}, found {}", found.kind()))
+    }
+
+    /// Adds "in field `ty.name`" context to an inner error.
+    #[must_use]
+    pub fn in_field(self, ty: &str, name: &str) -> Self {
+        DeError(format!("{} (in field `{ty}.{name}`)", self.0))
+    }
+}
+
+impl std::fmt::Display for DeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// Types reconstructible from a [`Value`] tree (the shim's counterpart
+/// of serde's `Deserialize`, minus the visitor machinery).
+pub trait Deserialize: Sized {
+    /// Rebuilds `Self` from the shim data model.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`DeError`] describing the first shape or range
+    /// mismatch.
+    fn deserialize(value: &Value) -> Result<Self, DeError>;
+}
 
 macro_rules! ser_uint {
     ($($t:ty),*) => {$(
@@ -204,6 +259,249 @@ ser_tuple! {
     (0 A, 1 B, 2 C, 3 D)
 }
 
+/// Helpers the `#[derive(Deserialize)]` expansion calls into; public so
+/// the generated code can name them, not intended for direct use.
+pub mod de {
+    use super::{DeError, Deserialize, Value};
+
+    /// Looks up struct field `name` in a map value and deserializes it.
+    /// A missing key deserializes from [`Value::Null`], so `Option`
+    /// fields default to `None` while anything else reports the absence.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`DeError`] when the value is not a map, the field is
+    /// missing (and not nullable), or the field's own deserialization
+    /// fails.
+    pub fn field<T: Deserialize>(value: &Value, ty: &str, name: &str) -> Result<T, DeError> {
+        let entries = match value {
+            Value::Map(entries) => entries,
+            other => return Err(DeError::expected(&format!("map for struct `{ty}`"), other)),
+        };
+        match entries.iter().find(|(k, _)| k == name) {
+            Some((_, v)) => T::deserialize(v).map_err(|e| e.in_field(ty, name)),
+            None => T::deserialize(&Value::Null)
+                .map_err(|_| DeError::new(format!("missing field `{name}` in `{ty}`"))),
+        }
+    }
+
+    /// Checks that a sequence value has exactly `n` items and returns
+    /// them (tuple structs and tuple enum variants).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`DeError`] on a non-sequence value or a length
+    /// mismatch.
+    pub fn seq_n<'v>(value: &'v Value, ty: &str, n: usize) -> Result<&'v [Value], DeError> {
+        match value {
+            Value::Seq(items) if items.len() == n => Ok(items),
+            Value::Seq(items) => Err(DeError::new(format!(
+                "expected {n} elements for `{ty}`, found {}",
+                items.len()
+            ))),
+            other => Err(DeError::expected(&format!("sequence for `{ty}`"), other)),
+        }
+    }
+
+    /// The externally-tagged view of an enum value: a unit variant name,
+    /// or a `(tag, payload)` pair from a single-entry map.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`DeError`] for any other shape.
+    pub fn variant<'v>(
+        value: &'v Value,
+        ty: &str,
+    ) -> Result<(&'v str, Option<&'v Value>), DeError> {
+        match value {
+            Value::Str(tag) => Ok((tag, None)),
+            Value::Map(entries) if entries.len() == 1 => {
+                Ok((entries[0].0.as_str(), Some(&entries[0].1)))
+            }
+            other => Err(DeError::expected(
+                &format!("string or single-entry map for enum `{ty}`"),
+                other,
+            )),
+        }
+    }
+
+    /// Error for an enum tag no variant matches.
+    pub fn unknown_variant(ty: &str, tag: &str) -> DeError {
+        DeError::new(format!("unknown variant `{tag}` of enum `{ty}`"))
+    }
+}
+
+fn int_out_of_range(ty: &str, value: &Value) -> DeError {
+    DeError::new(format!("integer out of range for {ty}: {value:?}"))
+}
+
+macro_rules! de_int {
+    ($($t:ty),*) => {$(
+        impl Deserialize for $t {
+            fn deserialize(value: &Value) -> Result<Self, DeError> {
+                match value {
+                    Value::UInt(u) => <$t>::try_from(*u)
+                        .map_err(|_| int_out_of_range(stringify!($t), value)),
+                    Value::Int(i) => <$t>::try_from(*i)
+                        .map_err(|_| int_out_of_range(stringify!($t), value)),
+                    other => Err(DeError::expected("integer", other)),
+                }
+            }
+        }
+    )*};
+}
+
+de_int!(u8, u16, u32, u64, i8, i16, i32, i64, usize, isize);
+
+impl Deserialize for bool {
+    fn deserialize(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Bool(b) => Ok(*b),
+            other => Err(DeError::expected("boolean", other)),
+        }
+    }
+}
+
+impl Deserialize for f64 {
+    fn deserialize(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Float(f) => Ok(*f),
+            Value::UInt(u) => Ok(*u as f64),
+            Value::Int(i) => Ok(*i as f64),
+            // serde_json renders non-finite floats as null; accept the
+            // round trip.
+            Value::Null => Ok(f64::NAN),
+            other => Err(DeError::expected("number", other)),
+        }
+    }
+}
+
+impl Deserialize for f32 {
+    fn deserialize(value: &Value) -> Result<Self, DeError> {
+        f64::deserialize(value).map(|f| f as f32)
+    }
+}
+
+impl Deserialize for char {
+    fn deserialize(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Str(s) => {
+                let mut chars = s.chars();
+                match (chars.next(), chars.next()) {
+                    (Some(c), None) => Ok(c),
+                    _ => Err(DeError::new(format!(
+                        "expected a single-character string, found {s:?}"
+                    ))),
+                }
+            }
+            other => Err(DeError::expected("string", other)),
+        }
+    }
+}
+
+impl Deserialize for String {
+    fn deserialize(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Str(s) => Ok(s.clone()),
+            other => Err(DeError::expected("string", other)),
+        }
+    }
+}
+
+impl Deserialize for () {
+    fn deserialize(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Null => Ok(()),
+            other => Err(DeError::expected("null", other)),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn deserialize(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Null => Ok(None),
+            other => T::deserialize(other).map(Some),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn deserialize(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Seq(items) => items.iter().map(T::deserialize).collect(),
+            other => Err(DeError::expected("sequence", other)),
+        }
+    }
+}
+
+impl<T: Deserialize, const N: usize> Deserialize for [T; N] {
+    fn deserialize(value: &Value) -> Result<Self, DeError> {
+        let items = de::seq_n(value, "array", N)?;
+        let parsed: Vec<T> = items.iter().map(T::deserialize).collect::<Result<_, _>>()?;
+        parsed
+            .try_into()
+            .map_err(|_| DeError::new("array length mismatch"))
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn deserialize(value: &Value) -> Result<Self, DeError> {
+        T::deserialize(value).map(Box::new)
+    }
+}
+
+impl<T: ?Sized> Deserialize for std::marker::PhantomData<T> {
+    fn deserialize(_: &Value) -> Result<Self, DeError> {
+        Ok(std::marker::PhantomData)
+    }
+}
+
+impl<K, V> Deserialize for BTreeMap<K, V>
+where
+    K: std::str::FromStr + Ord,
+    V: Deserialize,
+{
+    fn deserialize(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Map(entries) => entries
+                .iter()
+                .map(|(k, v)| {
+                    let key = k
+                        .parse::<K>()
+                        .map_err(|_| DeError::new(format!("unparseable map key {k:?}")))?;
+                    Ok((key, V::deserialize(v)?))
+                })
+                .collect(),
+            other => Err(DeError::expected("map", other)),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Range<T> {
+    fn deserialize(value: &Value) -> Result<Self, DeError> {
+        Ok(de::field(value, "Range", "start")?..de::field(value, "Range", "end")?)
+    }
+}
+
+macro_rules! de_tuple {
+    ($(($n:expr => $($k:tt $t:ident),+))*) => {$(
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn deserialize(value: &Value) -> Result<Self, DeError> {
+                let items = de::seq_n(value, "tuple", $n)?;
+                Ok(($($t::deserialize(&items[$k])?,)+))
+            }
+        }
+    )*};
+}
+
+de_tuple! {
+    (1 => 0 A)
+    (2 => 0 A, 1 B)
+    (3 => 0 A, 1 B, 2 C)
+    (4 => 0 A, 1 B, 2 C, 3 D)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -215,6 +513,35 @@ mod tests {
         assert_eq!(true.to_value(), Value::Bool(true));
         assert_eq!("x".to_value(), Value::Str("x".into()));
         assert_eq!(None::<u8>.to_value(), Value::Null);
+    }
+
+    #[test]
+    fn deserialize_mirrors_serialize() {
+        assert_eq!(u16::deserialize(&Value::UInt(3)).unwrap(), 3);
+        assert_eq!(i32::deserialize(&Value::Int(-3)).unwrap(), -3);
+        assert_eq!(u8::deserialize(&Value::Int(9)).unwrap(), 9);
+        assert!(u8::deserialize(&Value::UInt(256)).is_err());
+        assert!(u64::deserialize(&Value::Str("3".into())).is_err());
+        assert_eq!(f64::deserialize(&Value::UInt(2)).unwrap(), 2.0);
+        assert_eq!(Option::<u8>::deserialize(&Value::Null).unwrap(), None);
+        assert_eq!(Option::<u8>::deserialize(&Value::UInt(1)).unwrap(), Some(1));
+        let seq = Value::Seq(vec![Value::UInt(1), Value::Float(0.5)]);
+        assert_eq!(<(u16, f64)>::deserialize(&seq).unwrap(), (1, 0.5));
+        assert_eq!(
+            Vec::<u64>::deserialize(&Value::Seq(vec![])).unwrap(),
+            vec![]
+        );
+        assert_eq!(
+            <[u8; 2]>::deserialize(&Value::Seq(vec![Value::UInt(4), Value::UInt(5)])).unwrap(),
+            [4, 5]
+        );
+        let map = Value::Map(vec![("7".into(), Value::Bool(true))]);
+        let parsed: BTreeMap<u32, bool> = Deserialize::deserialize(&map).unwrap();
+        assert_eq!(parsed.get(&7), Some(&true));
+        assert_eq!(
+            Range::<u32>::deserialize(&(2u32..5).to_value()).unwrap(),
+            2..5
+        );
     }
 
     #[test]

@@ -11,8 +11,11 @@
 //! * unit enum variants → strings;
 //! * data variants → externally tagged single-entry maps.
 //!
-//! `#[derive(Deserialize)]` emits an empty marker impl — nothing in this
-//! workspace deserializes.
+//! `#[derive(Deserialize)]` emits the mirror-image decoder over the same
+//! conventions: struct fields are looked up by name (missing keys
+//! deserialize from `Null`, so `Option` fields default to `None`;
+//! unknown keys are ignored, as in serde), and enum values are matched
+//! as a bare tag string or an externally tagged single-entry map.
 //!
 //! Limitations (checked, with a clear compile error): no generic types,
 //! no `#[serde(...)]` attributes.
@@ -120,7 +123,39 @@ fn generate(input: TokenStream, mode: Mode) -> Result<String, String> {
     };
 
     if mode == Mode::Deserialize {
-        return Ok(format!("impl ::serde::Deserialize for {name} {{}}"));
+        let body = match &shape {
+            Shape::Unit => format!(
+                "match _v {{ ::serde::Value::Null => ::std::result::Result::Ok({name}), \
+                 other => ::std::result::Result::Err(::serde::DeError::expected(\"null\", other)) }}"
+            ),
+            Shape::Named(fields) => {
+                let inits: Vec<String> = fields
+                    .iter()
+                    .map(|f| format!("{f}: ::serde::de::field(_v, {name:?}, {f:?})?"))
+                    .collect();
+                format!(
+                    "::std::result::Result::Ok({name} {{ {} }})",
+                    inits.join(", ")
+                )
+            }
+            Shape::Tuple(1) => {
+                format!("::std::result::Result::Ok({name}(::serde::Deserialize::deserialize(_v)?))")
+            }
+            Shape::Tuple(n) => {
+                let items: Vec<String> = (0..*n)
+                    .map(|k| format!("::serde::Deserialize::deserialize(&__items[{k}])?"))
+                    .collect();
+                format!(
+                    "{{ let __items = ::serde::de::seq_n(_v, {name:?}, {n})?; \
+                     ::std::result::Result::Ok({name}({})) }}",
+                    items.join(", ")
+                )
+            }
+            Shape::Enum(variants) => enum_de_match(&name, variants),
+        };
+        return Ok(format!(
+            "impl ::serde::Deserialize for {name} {{\n    fn deserialize(_v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{\n        {body}\n    }}\n}}"
+        ));
     }
 
     let body = match &shape {
@@ -190,6 +225,59 @@ fn enum_match(variants: &[Variant]) -> String {
         arms.push(arm);
     }
     format!("match self {{ {} }}", arms.join(",\n            "))
+}
+
+/// Deserialization arm for an externally-tagged enum: unit variants
+/// match the bare tag string, data variants match the single map entry's
+/// tag and rebuild from its payload.
+fn enum_de_match(name: &str, variants: &[Variant]) -> String {
+    let mut unit_arms = Vec::new();
+    let mut data_arms = Vec::new();
+    for v in variants {
+        let vn = &v.name;
+        let label = format!("{name}::{vn}");
+        match &v.shape {
+            VariantShape::Unit => {
+                unit_arms.push(format!("{vn:?} => ::std::result::Result::Ok(Self::{vn})"));
+            }
+            VariantShape::Tuple(1) => data_arms.push(format!(
+                "{vn:?} => ::std::result::Result::Ok(Self::{vn}(::serde::Deserialize::deserialize(_payload)?))"
+            )),
+            VariantShape::Tuple(n) => {
+                let items: Vec<String> = (0..*n)
+                    .map(|k| format!("::serde::Deserialize::deserialize(&__items[{k}])?"))
+                    .collect();
+                data_arms.push(format!(
+                    "{vn:?} => {{ let __items = ::serde::de::seq_n(_payload, {label:?}, {n})?; \
+                     ::std::result::Result::Ok(Self::{vn}({})) }}",
+                    items.join(", ")
+                ));
+            }
+            VariantShape::Named(fields) => {
+                let inits: Vec<String> = fields
+                    .iter()
+                    .map(|f| format!("{f}: ::serde::de::field(_payload, {label:?}, {f:?})?"))
+                    .collect();
+                data_arms.push(format!(
+                    "{vn:?} => ::std::result::Result::Ok(Self::{vn} {{ {} }})",
+                    inits.join(", ")
+                ));
+            }
+        }
+    }
+    let fallback = format!(
+        "__tag => ::std::result::Result::Err(::serde::de::unknown_variant({name:?}, __tag))"
+    );
+    unit_arms.push(fallback.clone());
+    data_arms.push(fallback);
+    format!(
+        "match ::serde::de::variant(_v, {name:?})? {{\n            \
+         (__tag, ::std::option::Option::None) => match __tag {{ {} }},\n            \
+         (__tag, ::std::option::Option::Some(_payload)) => match __tag {{ {} }},\n        \
+         }}",
+        unit_arms.join(",\n                "),
+        data_arms.join(",\n                ")
+    )
 }
 
 /// Skips any number of leading `#[...]` attributes (doc comments appear in

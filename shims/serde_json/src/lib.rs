@@ -1,14 +1,14 @@
 //! Offline stand-in for `serde_json`: renders the serde shim's [`Value`]
-//! tree as JSON text. Only serialization is provided — nothing in this
-//! workspace parses JSON.
+//! tree as JSON text and parses JSON text back into [`Value`] trees /
+//! [`Deserialize`] types (machine-description files and bench baselines
+//! round-trip through this).
 
 #![forbid(unsafe_code)]
 
-use serde::{Serialize, Value};
+use serde::{Deserialize, Serialize, Value};
 use std::fmt;
 
-/// Serialization error (the shim's renderer is total, so this never
-/// actually occurs; the type exists for API compatibility).
+/// Serialization or parse error.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Error(String);
 
@@ -40,6 +40,260 @@ pub fn to_string_pretty<T: Serialize>(value: &T) -> Result<String, Error> {
     let mut out = String::new();
     render(&value.to_value(), Some(2), 0, &mut out);
     Ok(out)
+}
+
+/// Parses JSON text into a `T`.
+///
+/// # Errors
+///
+/// Fails on malformed JSON (with byte-offset context) or when the parsed
+/// tree does not match `T`'s shape.
+pub fn from_str<T: Deserialize>(text: &str) -> Result<T, Error> {
+    let value = value_from_str(text)?;
+    T::deserialize(&value).map_err(|e| Error(e.to_string()))
+}
+
+/// Parses JSON text into the shim's [`Value`] tree.
+///
+/// Numbers without a fraction or exponent become [`Value::UInt`] /
+/// [`Value::Int`]; everything else becomes [`Value::Float`]. Object keys
+/// keep their textual order (the derive looks fields up by name, so
+/// order never matters for typed loads).
+///
+/// # Errors
+///
+/// Fails on malformed JSON with the byte offset of the first error.
+pub fn value_from_str(text: &str) -> Result<Value, Error> {
+    let mut p = Parser {
+        bytes: text.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let value = p.value(0)?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.err("trailing characters after the JSON value"));
+    }
+    Ok(value)
+}
+
+/// Maximum nesting depth the parser accepts (guards the recursion).
+const MAX_DEPTH: usize = 128;
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn err(&self, msg: &str) -> Error {
+        Error(format!("{msg} at byte {}", self.pos))
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(b' ' | b'\t' | b'\n' | b'\r') = self.bytes.get(self.pos) {
+            self.pos += 1;
+        }
+    }
+
+    fn eat(&mut self, b: u8) -> bool {
+        if self.bytes.get(self.pos) == Some(&b) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), Error> {
+        if self.eat(b) {
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected `{}`", b as char)))
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: Value) -> Result<Value, Error> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(self.err(&format!("invalid literal (expected `{word}`)")))
+        }
+    }
+
+    fn value(&mut self, depth: usize) -> Result<Value, Error> {
+        if depth > MAX_DEPTH {
+            return Err(self.err("JSON nested too deeply"));
+        }
+        match self.bytes.get(self.pos) {
+            Some(b'n') => self.literal("null", Value::Null),
+            Some(b't') => self.literal("true", Value::Bool(true)),
+            Some(b'f') => self.literal("false", Value::Bool(false)),
+            Some(b'"') => self.string().map(Value::Str),
+            Some(b'[') => self.seq(depth),
+            Some(b'{') => self.map(depth),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            _ => Err(self.err("expected a JSON value")),
+        }
+    }
+
+    fn seq(&mut self, depth: usize) -> Result<Value, Error> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.eat(b']') {
+            return Ok(Value::Seq(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value(depth + 1)?);
+            self.skip_ws();
+            if self.eat(b']') {
+                return Ok(Value::Seq(items));
+            }
+            self.expect(b',')?;
+        }
+    }
+
+    fn map(&mut self, depth: usize) -> Result<Value, Error> {
+        self.expect(b'{')?;
+        let mut entries = Vec::new();
+        self.skip_ws();
+        if self.eat(b'}') {
+            return Ok(Value::Map(entries));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            entries.push((key, self.value(depth + 1)?));
+            self.skip_ws();
+            if self.eat(b'}') {
+                return Ok(Value::Map(entries));
+            }
+            self.expect(b',')?;
+        }
+    }
+
+    fn string(&mut self) -> Result<String, Error> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.bytes.get(self.pos) {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc = *self
+                        .bytes
+                        .get(self.pos)
+                        .ok_or_else(|| self.err("unterminated escape"))?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let hi = self.hex4()?;
+                            let code = if (0xD800..0xDC00).contains(&hi) {
+                                // Surrogate pair: expect the low half.
+                                if !(self.eat(b'\\') && self.eat(b'u')) {
+                                    return Err(self.err("lone high surrogate"));
+                                }
+                                let lo = self.hex4()?;
+                                if !(0xDC00..0xE000).contains(&lo) {
+                                    return Err(self.err("invalid low surrogate"));
+                                }
+                                0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00)
+                            } else {
+                                hi
+                            };
+                            out.push(
+                                char::from_u32(code)
+                                    .ok_or_else(|| self.err("invalid \\u escape"))?,
+                            );
+                        }
+                        _ => return Err(self.err("invalid escape character")),
+                    }
+                }
+                Some(&b) if b < 0x20 => return Err(self.err("control character in string")),
+                Some(_) => {
+                    // Copy the whole UTF-8 scalar (input is &str, so
+                    // boundaries are valid).
+                    let start = self.pos;
+                    self.pos += 1;
+                    while self.bytes.get(self.pos).is_some_and(|&b| b & 0xC0 == 0x80) {
+                        self.pos += 1;
+                    }
+                    out.push_str(
+                        std::str::from_utf8(&self.bytes[start..self.pos])
+                            .expect("input was valid UTF-8"),
+                    );
+                }
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, Error> {
+        let end = self.pos + 4;
+        let hex = self
+            .bytes
+            .get(self.pos..end)
+            .ok_or_else(|| self.err("truncated \\u escape"))?;
+        let s = std::str::from_utf8(hex).map_err(|_| self.err("invalid \\u escape"))?;
+        let code = u32::from_str_radix(s, 16).map_err(|_| self.err("invalid \\u escape"))?;
+        self.pos = end;
+        Ok(code)
+    }
+
+    fn number(&mut self) -> Result<Value, Error> {
+        let start = self.pos;
+        let negative = self.eat(b'-');
+        while self.bytes.get(self.pos).is_some_and(u8::is_ascii_digit) {
+            self.pos += 1;
+        }
+        let mut integral = true;
+        if self.eat(b'.') {
+            integral = false;
+            while self.bytes.get(self.pos).is_some_and(u8::is_ascii_digit) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.bytes.get(self.pos), Some(b'e' | b'E')) {
+            integral = false;
+            self.pos += 1;
+            if matches!(self.bytes.get(self.pos), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            while self.bytes.get(self.pos).is_some_and(u8::is_ascii_digit) {
+                self.pos += 1;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii");
+        if integral {
+            if negative {
+                if let Ok(i) = text.parse::<i64>() {
+                    return Ok(Value::Int(i));
+                }
+            } else if let Ok(u) = text.parse::<u64>() {
+                return Ok(Value::UInt(u));
+            }
+        }
+        text.parse::<f64>()
+            .map(Value::Float)
+            .map_err(|_| Error(format!("invalid number `{text}` at byte {start}")))
+    }
 }
 
 fn render(value: &Value, indent: Option<usize>, depth: usize, out: &mut String) {
@@ -181,6 +435,130 @@ mod tests {
         assert_eq!(
             to_string(&Mixed::Struct { x: true }).unwrap(),
             r#"{"Struct":{"x":true}}"#
+        );
+    }
+
+    #[test]
+    fn parse_round_trips_the_value_tree() {
+        let v = Value::Map(vec![
+            ("a".into(), Value::UInt(3)),
+            (
+                "b".into(),
+                Value::Seq(vec![Value::Int(-1), Value::Float(0.5)]),
+            ),
+            ("c".into(), Value::Null),
+            ("d".into(), Value::Str("x\n\"y\"".into())),
+            ("e".into(), Value::Bool(true)),
+        ]);
+        let compact = render_value(&v, false);
+        let pretty = render_value(&v, true);
+        assert_eq!(value_from_str(&compact).unwrap(), v);
+        assert_eq!(value_from_str(&pretty).unwrap(), v);
+    }
+
+    fn render_value(v: &Value, pretty: bool) -> String {
+        let mut out = String::new();
+        render(v, if pretty { Some(2) } else { None }, 0, &mut out);
+        out
+    }
+
+    #[test]
+    fn typed_from_str_round_trips_derived_types() {
+        #[derive(Debug, PartialEq, serde::Serialize, serde::Deserialize)]
+        enum Layout {
+            Linear,
+            Multiplexed { lines: u16 },
+            Pair(u8, u8),
+            Tag(String),
+        }
+        #[derive(Debug, PartialEq, serde::Serialize, serde::Deserialize)]
+        struct Machine {
+            name: String,
+            qubits: Option<u16>,
+            layout: Layout,
+            weights: Vec<f64>,
+        }
+        for m in [
+            Machine {
+                name: "baseline".into(),
+                qubits: None,
+                layout: Layout::Linear,
+                weights: vec![1.0, 0.25],
+            },
+            Machine {
+                name: "mux".into(),
+                qubits: Some(10),
+                layout: Layout::Multiplexed { lines: 4 },
+                weights: vec![],
+            },
+            Machine {
+                name: "pair".into(),
+                qubits: Some(2),
+                layout: Layout::Pair(1, 2),
+                weights: vec![-0.5],
+            },
+            Machine {
+                name: "tag".into(),
+                qubits: Some(1),
+                layout: Layout::Tag("x".into()),
+                weights: vec![3.25],
+            },
+        ] {
+            let text = to_string_pretty(&m).unwrap();
+            assert_eq!(from_str::<Machine>(&text).unwrap(), m, "{text}");
+        }
+    }
+
+    #[test]
+    fn unknown_fields_are_ignored_and_missing_fields_reported() {
+        #[derive(Debug, PartialEq, serde::Deserialize)]
+        struct S {
+            a: u32,
+            b: Option<u32>,
+        }
+        // Unknown `z` ignored; missing Option `b` defaults to None.
+        assert_eq!(
+            from_str::<S>(r#"{"z":1,"a":2}"#).unwrap(),
+            S { a: 2, b: None }
+        );
+        let err = from_str::<S>(r#"{"b":1}"#).unwrap_err();
+        assert!(err.to_string().contains("missing field `a`"), "{err}");
+        let err = from_str::<S>(r#"{"a":-4}"#).unwrap_err();
+        assert!(err.to_string().contains("out of range"), "{err}");
+    }
+
+    #[test]
+    fn parse_errors_carry_positions() {
+        assert!(value_from_str("[1,]").is_err());
+        assert!(value_from_str("{\"a\":1,}").is_err());
+        assert!(value_from_str("nul").is_err());
+        assert!(value_from_str("[1] trailing").is_err());
+        assert!(value_from_str("\"unterminated").is_err());
+        let err = value_from_str("[1, @]").unwrap_err();
+        assert!(err.to_string().contains("byte 4"), "{err}");
+    }
+
+    #[test]
+    fn numbers_pick_the_narrowest_variant() {
+        assert_eq!(value_from_str("3").unwrap(), Value::UInt(3));
+        assert_eq!(value_from_str("-3").unwrap(), Value::Int(-3));
+        assert_eq!(value_from_str("3.5").unwrap(), Value::Float(3.5));
+        assert_eq!(value_from_str("1e2").unwrap(), Value::Float(100.0));
+        assert_eq!(
+            value_from_str("18446744073709551615").unwrap(),
+            Value::UInt(u64::MAX)
+        );
+    }
+
+    #[test]
+    fn string_escapes_round_trip() {
+        let s = "tab\t nl\n quote\" back\\ unicode \u{1F600} ctrl\u{1}";
+        let rendered = to_string(&s).unwrap();
+        assert_eq!(value_from_str(&rendered).unwrap(), Value::Str(s.into()));
+        // Surrogate-pair escape decodes to the astral scalar.
+        assert_eq!(
+            value_from_str(r#""\uD83D\uDE00""#).unwrap(),
+            Value::Str("\u{1F600}".into())
         );
     }
 

@@ -54,14 +54,19 @@ pub use quape_router as router;
 pub use quape_server as server;
 pub use quape_workloads as workloads;
 
+/// Declarative machine descriptions: the serializable config surface
+/// covering every microarchitectural knob, with named builtins and
+/// lossless [`QuapeConfig`](quape_core::QuapeConfig) round trips.
+pub use quape_core::machdesc as machine;
+
 /// The most common imports in one place.
 pub mod prelude {
     pub use quape_circuit::{Circuit, CircuitOp, ScheduledCircuit};
     pub use quape_compiler::{partition_two_blocks, Compiler};
     pub use quape_core::{
         ces_report_paper, AwgViolation, AwgViolationKind, BatchAggregate, BatchReport, CompiledJob,
-        Machine, PlaybackEvent, QpuFactory, QuapeConfig, RunReport, Shot, ShotEngine,
-        StateVectorQpu, StateVectorQpuFactory, StepMode, StopReason,
+        DescriptionError, Machine, MachineDescription, PlaybackEvent, QpuFactory, QuapeConfig,
+        RunReport, Shot, ShotEngine, StateVectorQpu, StateVectorQpuFactory, StepMode, StopReason,
     };
     pub use quape_isa::{
         assemble, ClassicalOp, Cond, CondOp, Cycles, Gate1, Gate2, Instruction, Program,
@@ -76,8 +81,8 @@ pub mod prelude {
         RoutedResult, Router, RouterConfig, ShardProfile, ShardStatus, StealConfig,
     };
     pub use quape_server::{
-        JobError, JobHandle, JobProgress, JobRequest, JobServer, JobSource, Priority, ServerConfig,
-        ServingServer,
+        JobError, JobHandle, JobProgress, JobRequest, JobServer, JobSource, MachineSpec, Priority,
+        ServerConfig, ServingServer,
     };
     pub use quape_workloads::{benchmark_suite, ShorSyndrome, ShorSyndromeConfig};
 }

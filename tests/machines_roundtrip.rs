@@ -1,0 +1,90 @@
+//! Guards the committed `machines/*.json` description files: every file
+//! must parse, validate, lower to a working config, and re-serialize
+//! byte-identically (so hand edits cannot drift from the canonical
+//! rendering the sweep harness and CI compare against).
+//!
+//! To regenerate the files after changing `MachineDescription`'s shape:
+//! `cargo test --test machines_roundtrip -- --ignored regenerate`.
+
+use quape::machine::{ChannelLayout, MachineDescription};
+use std::path::{Path, PathBuf};
+
+fn machines_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("machines")
+}
+
+/// The canonical contents of `machines/`: name → description.
+fn committed_machines() -> Vec<(&'static str, MachineDescription)> {
+    let mut multiplexed = MachineDescription::superscalar(8);
+    multiplexed.channels = ChannelLayout::Multiplexed {
+        qubits: Some(10),
+        readout_lines: 8,
+    };
+
+    let mut starved = multiplexed.clone();
+    starved.daq.demod_slots = 1;
+
+    let mut big = MachineDescription::multiprocessor(6);
+    big.channels = ChannelLayout::Linear { qubits: Some(12) };
+    big.icache.banks = 3;
+
+    vec![
+        ("baseline", MachineDescription::baseline()),
+        ("superscalar", MachineDescription::superscalar(8)),
+        ("multiplexed-readout", multiplexed),
+        ("demod-starved", starved),
+        ("big-multiprocessor", big),
+    ]
+}
+
+#[test]
+fn committed_files_match_their_canonical_rendering() {
+    for (name, desc) in committed_machines() {
+        let path = machines_dir().join(format!("{name}.json"));
+        let text = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("{} unreadable: {e}", path.display()));
+        let parsed = MachineDescription::from_json(&text)
+            .unwrap_or_else(|e| panic!("{} does not parse: {e}", path.display()));
+        assert_eq!(parsed, desc, "{name}.json drifted from its generator");
+        assert_eq!(
+            text.trim_end_matches('\n'),
+            desc.to_json(),
+            "{name}.json is not the canonical serde rendering"
+        );
+        let cfg = parsed
+            .to_config()
+            .unwrap_or_else(|e| panic!("{name}.json does not lower: {e}"));
+        cfg.validate()
+            .unwrap_or_else(|e| panic!("{name}.json lowers to an invalid config: {e}"));
+    }
+}
+
+#[test]
+fn no_stray_description_files() {
+    let known: Vec<String> = committed_machines()
+        .iter()
+        .map(|(n, _)| format!("{n}.json"))
+        .collect();
+    for entry in std::fs::read_dir(machines_dir()).expect("machines/ exists") {
+        let name = entry.unwrap().file_name().to_string_lossy().into_owned();
+        assert!(
+            known.contains(&name) || !name.ends_with(".json"),
+            "machines/{name} is not covered by this test; add it to committed_machines()"
+        );
+    }
+}
+
+/// Regenerates every committed description file. Run explicitly after
+/// changing the description schema or the builtin shapes:
+/// `cargo test --test machines_roundtrip -- --ignored regenerate`.
+#[test]
+#[ignore = "writes machines/*.json; run on demand"]
+fn regenerate() {
+    let dir = machines_dir();
+    std::fs::create_dir_all(&dir).expect("create machines/");
+    for (name, desc) in committed_machines() {
+        let path = dir.join(format!("{name}.json"));
+        std::fs::write(&path, format!("{}\n", desc.to_json()))
+            .unwrap_or_else(|e| panic!("cannot write {}: {e}", path.display()));
+    }
+}
