@@ -4,26 +4,38 @@
 //!
 //! Usage: `mixed_traffic [--requests N] [--seed S] [--threads T]
 //! [--repeats K] [--machine <file-or-name>] [--json] [--json-out <path>]
-//! [--min-warm-speedup <x>]`.
+//! [--min-warm-speedup <x>] [--pack] [--min-pack-ratio <x>]
+//! [--check-schema <path>]`.
 //!
 //! `--machine` runs every scenario on a declarative machine description
 //! instead of the uniprocessor baseline: a `machines/*.json` path or a
 //! builtin name (`baseline`, `superscalar-8`, `multiprocessor-4`, ...).
 //!
+//! `--pack` switches to the §3.1.2 space-multiplexing comparison: one
+//! small-job-heavy stream served twice — time-interleaved only versus
+//! with the multiprogramming packer — with every packed aggregate
+//! asserted bit-identical to its interleaved oracle.
+//! `--min-pack-ratio` exits nonzero when packed jobs/sec fails to reach
+//! the given multiple of interleaved jobs/sec.
+//!
+//! `--check-schema <path>` verifies a committed baseline's JSON schema
+//! fingerprint against this binary's current row type and exits (0
+//! match / 1 drift) without running the benchmark.
+//!
 //! Each scenario reports its fastest of `--repeats` passes (default 3),
 //! shedding host scheduler noise — the simulated work is deterministic,
 //! so the minimum is the honest per-scenario estimate.
 //!
-//! Every request's aggregate is asserted bit-identical across the three
+//! Every request's aggregate is asserted bit-identical across the
 //! scenarios (the run is a differential test of the serving layer), so
 //! the throughput numbers compare *equal work*. `--json-out
 //! BENCH_traffic.json` refreshes the committed baseline in one command;
 //! `--min-warm-speedup` exits nonzero when the cache-warm server fails
 //! to beat the naive client by the given factor.
 
-use quape_bench::mixed::{run_mixed_traffic_on, warm_speedup};
+use quape_bench::mixed::{run_mixed_traffic_on, run_packed_traffic, warm_speedup, ScenarioResult};
 use quape_bench::sweep::resolve_machine;
-use quape_bench::table::{to_json, write_json, TextTable};
+use quape_bench::table::{check_schema, to_json, write_json, TextTable};
 
 struct Args {
     requests: usize,
@@ -34,6 +46,9 @@ struct Args {
     json: bool,
     json_out: Option<String>,
     min_warm_speedup: Option<f64>,
+    pack: bool,
+    min_pack_ratio: Option<f64>,
+    check_schema: Option<String>,
 }
 
 fn parse_args() -> Args {
@@ -46,6 +61,9 @@ fn parse_args() -> Args {
         json: false,
         json_out: None,
         min_warm_speedup: None,
+        pack: false,
+        min_pack_ratio: None,
+        check_schema: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
@@ -61,12 +79,17 @@ fn parse_args() -> Args {
             "--threads" => args.threads = num("--threads") as usize,
             "--repeats" => args.repeats = num("--repeats") as usize,
             "--min-warm-speedup" => args.min_warm_speedup = Some(num("--min-warm-speedup")),
+            "--pack" => args.pack = true,
+            "--min-pack-ratio" => args.min_pack_ratio = Some(num("--min-pack-ratio")),
             "--machine" => {
                 args.machine = Some(it.next().expect("--machine needs a file or builtin name"))
             }
             "--json" => args.json = true,
             "--json-out" => {
                 args.json_out = Some(it.next().expect("--json-out needs a path"));
+            }
+            "--check-schema" => {
+                args.check_schema = Some(it.next().expect("--check-schema needs a path"));
             }
             other => {
                 eprintln!("unknown flag `{other}`");
@@ -77,8 +100,104 @@ fn parse_args() -> Args {
     args
 }
 
+/// A value-free sample row: its rendered JSON carries this binary's
+/// current schema, the committed baseline must fingerprint identically.
+fn sample_rows() -> Vec<ScenarioResult> {
+    vec![ScenarioResult {
+        scenario: String::new(),
+        requests: 0,
+        total_shots: 0,
+        wall_ms: 0.0,
+        jobs_per_sec: 0.0,
+        p50_latency_us: 0,
+        p95_latency_us: 0,
+        cache_hits: 0,
+        cache_misses: 0,
+        cache_evictions: 0,
+        compiles: 0,
+    }]
+}
+
+fn render_rows(rows: &[ScenarioResult]) -> String {
+    let mut t = TextTable::new([
+        "scenario",
+        "jobs/s",
+        "p50 latency",
+        "p95 latency",
+        "hits",
+        "misses",
+        "evict",
+        "compiles",
+    ]);
+    for r in rows {
+        t.row([
+            r.scenario.clone(),
+            format!("{:.1}", r.jobs_per_sec),
+            format!("{:.1} ms", r.p50_latency_us as f64 / 1000.0),
+            format!("{:.1} ms", r.p95_latency_us as f64 / 1000.0),
+            r.cache_hits.to_string(),
+            r.cache_misses.to_string(),
+            r.cache_evictions.to_string(),
+            r.compiles.to_string(),
+        ]);
+    }
+    t.render()
+}
+
+fn run_packed(args: &Args) {
+    let outcome = run_packed_traffic(args.seed, args.requests, args.threads, args.repeats);
+    if let Some(path) = &args.json_out {
+        write_json(path, &outcome.rows);
+    }
+    if args.json {
+        println!("{}", to_json(&outcome.rows));
+    } else {
+        println!(
+            "Multiprogramming packing: {} small jobs, seed {} (packed aggregates verified \
+             bit-identical to interleaved):",
+            args.requests, args.seed
+        );
+        println!("{}", render_rows(&outcome.rows));
+        let p = &outcome.packer;
+        println!(
+            "packs formed: {} ({} jobs, {} shots packed; {} combined-compile cache hits; \
+             {} declined)",
+            p.packs_formed, p.jobs_packed, p.packed_shots, p.combine_cache_hits, p.declined
+        );
+    }
+    eprintln!(
+        "packed over interleaved: {:.2}x jobs/sec",
+        outcome.pack_ratio
+    );
+    if let Some(min) = args.min_pack_ratio {
+        if outcome.pack_ratio.is_nan() || outcome.pack_ratio < min {
+            eprintln!(
+                "FAIL: pack ratio {:.3} < required {min:.3}",
+                outcome.pack_ratio
+            );
+            std::process::exit(1);
+        }
+    }
+}
+
 fn main() {
     let args = parse_args();
+    if let Some(path) = &args.check_schema {
+        match check_schema(path, &to_json(&sample_rows())) {
+            Ok(()) => {
+                eprintln!("schema OK: {path}");
+                return;
+            }
+            Err(e) => {
+                eprintln!("FAIL: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+    if args.pack {
+        run_packed(&args);
+        return;
+    }
     let machine = args.machine.as_deref().map(|spec| {
         resolve_machine(spec)
             .and_then(|m| m.to_config().map_err(|e| e.to_string()).map(|_| m))
@@ -107,29 +226,7 @@ fn main() {
             "Mixed-traffic serving: {} requests, seed {} (aggregates verified identical):",
             args.requests, args.seed
         );
-        let mut t = TextTable::new([
-            "scenario",
-            "jobs/s",
-            "p50 latency",
-            "p95 latency",
-            "hits",
-            "misses",
-            "evict",
-            "compiles",
-        ]);
-        for r in &rows {
-            t.row([
-                r.scenario.clone(),
-                format!("{:.1}", r.jobs_per_sec),
-                format!("{:.1} ms", r.p50_latency_us as f64 / 1000.0),
-                format!("{:.1} ms", r.p95_latency_us as f64 / 1000.0),
-                r.cache_hits.to_string(),
-                r.cache_misses.to_string(),
-                r.cache_evictions.to_string(),
-                r.compiles.to_string(),
-            ]);
-        }
-        println!("{}", t.render());
+        println!("{}", render_rows(&rows));
         println!("Per-tenant compile-cache accounting (server passes):");
         let mut tt = TextTable::new(["tenant", "hits", "misses", "evict", "compiles", "hit rate"]);
         for (tenant, s) in &tenants {

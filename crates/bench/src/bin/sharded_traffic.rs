@@ -8,7 +8,11 @@
 //! [--threads-per-shard T] [--programs P] [--cache-capacity C]
 //! [--repeats K] [--machine <file-or-name>] [--kill-shard]
 //! [--hot-tenant] [--json] [--json-out <path>]
-//! [--min-sticky-ratio <x>]`.
+//! [--min-sticky-ratio <x>] [--check-schema <path>]`.
+//!
+//! `--check-schema <path>` verifies a committed baseline's JSON schema
+//! fingerprint against this binary's current report type and exits (0
+//! match / 1 drift) without running the benchmark.
 //!
 //! `--machine` serves the whole fleet on a declarative machine
 //! description instead of the uniprocessor baseline: a `machines/*.json`
@@ -28,11 +32,11 @@
 //! maximum shard count.
 
 use quape_bench::sharded::{
-    run_hot_tenant, run_kill_shard, run_sharded_traffic, sticky_speedup, RouterBenchReport,
-    ShardedTrafficConfig,
+    run_hot_tenant, run_kill_shard, run_sharded_traffic, sticky_speedup, AdmissionScenarioResult,
+    FailoverScenarioResult, RouterBenchReport, ShardedScenarioResult, ShardedTrafficConfig,
 };
 use quape_bench::sweep::resolve_machine;
-use quape_bench::table::{to_json, write_json, TextTable};
+use quape_bench::table::{check_schema, to_json, write_json, TextTable};
 
 struct Args {
     bench: ShardedTrafficConfig,
@@ -41,6 +45,50 @@ struct Args {
     json: bool,
     json_out: Option<String>,
     min_sticky_ratio: Option<f64>,
+    check_schema: Option<String>,
+}
+
+/// A value-free sample report: its rendered JSON carries this binary's
+/// current schema (grid rows plus both optional scenarios populated,
+/// matching how the committed baseline is refreshed), so the committed
+/// `BENCH_router.json` must fingerprint identically.
+fn sample_report() -> RouterBenchReport {
+    RouterBenchReport {
+        grid: vec![ShardedScenarioResult {
+            scenario: String::new(),
+            shards: 0,
+            placement: String::new(),
+            requests: 0,
+            total_shots: 0,
+            wall_ms: 0.0,
+            jobs_per_sec: 0.0,
+            p50_latency_us: 0,
+            p95_latency_us: 0,
+            steady_misses: 0,
+            steady_compiles: 0,
+        }],
+        failover: Some(FailoverScenarioResult {
+            scenario: String::new(),
+            shards: 0,
+            victim: 0,
+            kill_after_submits: 0,
+            submitted: 0,
+            completed: 0,
+            rerouted_jobs: 0,
+            aggregates_match: false,
+            wall_ms: 0.0,
+        }),
+        admission: Some(AdmissionScenarioResult {
+            scenario: String::new(),
+            hog_jobs: 0,
+            mouse_jobs: 0,
+            shed_jobs: 0,
+            max_mouse_wait_shots: 0,
+            starvation_bound_shots: 0,
+            within_bound: false,
+            wall_ms: 0.0,
+        }),
+    }
 }
 
 fn parse_args() -> Args {
@@ -51,6 +99,7 @@ fn parse_args() -> Args {
         json: false,
         json_out: None,
         min_sticky_ratio: None,
+        check_schema: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
@@ -90,6 +139,9 @@ fn parse_args() -> Args {
             "--json-out" => {
                 args.json_out = Some(it.next().expect("--json-out needs a path"));
             }
+            "--check-schema" => {
+                args.check_schema = Some(it.next().expect("--check-schema needs a path"));
+            }
             other => {
                 eprintln!("unknown flag `{other}`");
                 std::process::exit(2);
@@ -101,6 +153,18 @@ fn parse_args() -> Args {
 
 fn main() {
     let args = parse_args();
+    if let Some(path) = &args.check_schema {
+        match check_schema(path, &to_json(&sample_report())) {
+            Ok(()) => {
+                eprintln!("schema OK: {path}");
+                return;
+            }
+            Err(e) => {
+                eprintln!("FAIL: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
     let rows = run_sharded_traffic(&args.bench);
     // Both scenarios assert their own gate internally (lost job,
     // aggregate divergence, starvation-bound violation all panic), so

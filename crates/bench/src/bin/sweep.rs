@@ -4,7 +4,7 @@
 //! comparison table.
 //!
 //! Usage: `sweep [--machines <dir>] [--seed S] [--repeats K] [--json]
-//! [--json-out <path>] [--check-roundtrip]`.
+//! [--json-out <path>] [--check-roundtrip] [--dry-run]`.
 //!
 //! Without `--machines` the builtin grid (baseline, superscalar,
 //! multiprocessor-4) runs; with it, every `machines/*.json` description
@@ -13,8 +13,11 @@
 //! aggregate diverges — the sweep is also the determinism gate for the
 //! whole declarative config surface. `--check-roundtrip` additionally
 //! verifies each committed description file re-serializes
-//! byte-identically. `--json-out BENCH_machines.json` refreshes the
-//! committed baseline in one command.
+//! byte-identically. `--dry-run` stops after those static checks
+//! (loading, validation, round-trip) without executing the sweep —
+//! the fast path for a CI baselines job. `--json-out
+//! BENCH_machines.json` refreshes the committed baseline in one
+//! command.
 
 use quape_bench::sweep::{
     builtin_grid, check_roundtrip_dir, load_machines_dir, run_sweep, WORKLOAD_NAMES,
@@ -28,6 +31,7 @@ struct Args {
     json: bool,
     json_out: Option<String>,
     check_roundtrip: bool,
+    dry_run: bool,
 }
 
 fn parse_args() -> Args {
@@ -38,6 +42,7 @@ fn parse_args() -> Args {
         json: false,
         json_out: None,
         check_roundtrip: false,
+        dry_run: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
@@ -54,6 +59,7 @@ fn parse_args() -> Args {
             "--json" => args.json = true,
             "--json-out" => args.json_out = Some(it.next().expect("--json-out needs a path")),
             "--check-roundtrip" => args.check_roundtrip = true,
+            "--dry-run" => args.dry_run = true,
             other => {
                 eprintln!("unknown flag `{other}`");
                 std::process::exit(2);
@@ -86,6 +92,13 @@ fn main() {
         }
         None => builtin_grid(),
     };
+    if args.dry_run {
+        eprintln!(
+            "dry run: {} machine descriptions load and validate",
+            machines.len()
+        );
+        return;
+    }
     let rows = match run_sweep(&machines, args.seed, args.repeats) {
         Ok(rows) => rows,
         Err(e) => {

@@ -19,8 +19,10 @@
 
 use crate::support::{factory, percentile, priority_of};
 use quape_core::{CompiledJob, QuapeConfig, ShotEngine};
-use quape_server::{CacheStats, JobRequest, JobServer, JobSource, ServerConfig};
-use quape_workloads::traffic::{mixed_traffic, TrafficRequest};
+use quape_server::{
+    CacheStats, JobRequest, JobServer, JobSource, PackerConfig, PackerStats, ServerConfig,
+};
+use quape_workloads::traffic::{mixed_traffic, small_job_traffic, TrafficRequest};
 use serde::{Deserialize, Serialize};
 use std::time::Instant;
 
@@ -227,6 +229,7 @@ pub fn run_mixed_traffic_on(
         shot_quantum: 8,
         cache_capacity: 16,
         machine: machine.cloned(),
+        packer: None,
     });
     let (cold_lat, cold_aggs, cold_wall, cold_cache) = best_of(
         repeats,
@@ -237,6 +240,7 @@ pub fn run_mixed_traffic_on(
                 shot_quantum: 8,
                 cache_capacity: 16,
                 machine: machine.cloned(),
+                packer: None,
             });
             run_server_pass(&server, &cfg, &traffic, base_seed)
         },
@@ -283,6 +287,126 @@ pub fn warm_speedup(rows: &[ScenarioResult]) -> f64 {
     rate("server_warm") / rate("naive")
 }
 
+/// Outcome of the packed-vs-interleaved comparison
+/// ([`run_packed_traffic`]).
+#[derive(Debug, Clone)]
+pub struct PackedOutcome {
+    /// The `interleaved` and `packed` scenario rows.
+    pub rows: Vec<ScenarioResult>,
+    /// The packed server's packer counters over all measured passes.
+    pub packer: PackerStats,
+    /// Packed jobs/sec over interleaved jobs/sec (the CI gate ratio).
+    pub pack_ratio: f64,
+}
+
+/// The §3.1.2 space-multiplexing comparison: one small-job-heavy stream
+/// ([`small_job_traffic`] — uniform shots and priority, narrow
+/// programs) served twice by the same `JobServer` machinery, once
+/// interleaving jobs in time only and once with the multiprogramming
+/// packer merging compatible jobs into combined shot streams.
+///
+/// Every request's aggregate is asserted **bit-identical** across the
+/// two passes — the interleaved pass is the packed pass's oracle, so
+/// the throughput ratio compares equal work. Each scenario keeps one
+/// server across `repeats` measured passes (after one unmeasured
+/// warm-up pass), so both run compile-cache-warm and the packed pass
+/// re-uses its combined compilations; the measured passes alternate
+/// between the two servers (adjacent pairs see the same host-speed
+/// drift) and each side reports its fastest pass.
+///
+/// # Panics
+///
+/// Panics when any packed aggregate diverges from its interleaved
+/// oracle, or when the packed passes never form a pack (the comparison
+/// would be vacuous).
+pub fn run_packed_traffic(
+    seed: u64,
+    requests: usize,
+    threads: usize,
+    repeats: usize,
+) -> PackedOutcome {
+    let repeats = repeats.max(1);
+    let traffic = small_job_traffic(seed, requests);
+    let cfg = QuapeConfig::uniprocessor().with_seed(seed);
+    let base_seed = seed.wrapping_mul(1000);
+    let server_cfg = |packer: Option<PackerConfig>| ServerConfig {
+        threads,
+        // A fine preemption quantum — the latency-fairness setting a
+        // multi-tenant server actually runs — is where packing pays:
+        // every claimed quantum covers all co-resident members at once,
+        // so the packed side takes one scheduler round-trip where the
+        // interleaved side takes one *per member*.
+        shot_quantum: 1,
+        cache_capacity: 16,
+        machine: None,
+        packer,
+    };
+
+    let warm = |packer: Option<PackerConfig>| {
+        let server = JobServer::new(server_cfg(packer));
+        // Warm-up pass: populate the compile cache (including the
+        // packed pass's combined programs) so the measured passes
+        // compare steady-state serving, not first-contact compiles.
+        let _ = run_server_pass(&server, &cfg, &traffic, base_seed);
+        server
+    };
+    let interleaved = warm(None);
+    let packed = warm(Some(PackerConfig::default()));
+
+    // The measured passes alternate between the two servers. Host
+    // throughput drifts on timescales comparable to a scenario's whole
+    // repeat loop, so running one scenario's repeats back-to-back and
+    // then the other's hands whichever ran during a slow window a
+    // phantom loss; adjacent pairs expose both sides to the same drift
+    // and best-of-K then compares like against like.
+    let mut best_i: Option<ServerPass> = None;
+    let mut best_p: Option<ServerPass> = None;
+    let mut pair_ratios = Vec::with_capacity(repeats);
+    for _ in 0..repeats {
+        let pass_i = run_server_pass(&interleaved, &cfg, &traffic, base_seed);
+        let pass_p = run_server_pass(&packed, &cfg, &traffic, base_seed);
+        // Jobs/sec ratio of this adjacent pair (equal job counts, so
+        // the wall ratio is the throughput ratio).
+        pair_ratios.push(pass_i.2 / pass_p.2);
+        if best_i.as_ref().is_none_or(|b| pass_i.2 < b.2) {
+            best_i = Some(pass_i);
+        }
+        if best_p.as_ref().is_none_or(|b| pass_p.2 < b.2) {
+            best_p = Some(pass_p);
+        }
+    }
+    // The gate ratio is the *median pair ratio*, not the ratio of the
+    // per-side minima: a noise spike lengthens whichever pass it lands
+    // on, so per-pair ratios scatter symmetrically around the true
+    // value and the median sheds both tails — while two independent
+    // minima can sample different drift windows and compare a lucky
+    // pass against an unlucky one.
+    pair_ratios.sort_by(f64::total_cmp);
+    let pack_ratio = pair_ratios[pair_ratios.len() / 2];
+    let packer = packed.packer_stats();
+    let (lat, oracle, wall, cache) = best_i.expect("at least one pass");
+    let interleaved_row = scenario_row("interleaved", &traffic, lat, wall, cache);
+    let (lat, packed_aggs, wall, cache) = best_p.expect("at least one pass");
+    let packed_row = scenario_row("packed", &traffic, lat, wall, cache);
+
+    for (i, oracle_agg) in oracle.iter().enumerate() {
+        assert_eq!(
+            oracle_agg, &packed_aggs[i],
+            "request {i}: packed run diverged from its interleaved oracle"
+        );
+    }
+    assert!(
+        packer.packs_formed > 0,
+        "the packed passes never formed a pack — the comparison is vacuous"
+    );
+
+    PackedOutcome {
+        rows: vec![interleaved_row, packed_row],
+        packer,
+        pack_ratio,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -310,5 +434,20 @@ mod tests {
         assert_eq!(warm.cache_misses, 0, "second pass is fully cache-warm");
         assert_eq!(warm.compiles, 0);
         assert_eq!(warm.cache_hits, 8);
+    }
+
+    #[test]
+    fn packed_scenario_packs_and_matches_its_oracle() {
+        // The bit-identity asserts inside run_packed_traffic are the
+        // differential test; here we pin the comparison's shape.
+        let outcome = run_packed_traffic(3, 12, 1, 1);
+        assert_eq!(outcome.rows.len(), 2);
+        assert_eq!(outcome.rows[0].scenario, "interleaved");
+        assert_eq!(outcome.rows[1].scenario, "packed");
+        assert!(outcome.packer.packs_formed > 0);
+        assert!(outcome.packer.jobs_packed >= 2);
+        assert!(outcome.pack_ratio.is_finite() && outcome.pack_ratio > 0.0);
+        // Same stream, equal work on both sides.
+        assert_eq!(outcome.rows[0].total_shots, outcome.rows[1].total_shots);
     }
 }

@@ -182,6 +182,7 @@ fn run_scenario(
             shot_quantum: 8,
             cache_capacity: bench.cache_capacity,
             machine: bench.machine.clone(),
+            packer: None,
         },
         ..RouterConfig::default()
     });
@@ -322,6 +323,7 @@ pub fn run_kill_shard(bench: &ShardedTrafficConfig) -> FailoverScenarioResult {
         shot_quantum: 8,
         cache_capacity: bench.cache_capacity,
         machine: bench.machine.clone(),
+        packer: None,
     };
     // Oracle: the same stream on a healthy fleet.
     let healthy = Router::new(RouterConfig {
@@ -447,6 +449,7 @@ pub fn run_hot_tenant(bench: &ShardedTrafficConfig) -> AdmissionScenarioResult {
                 shot_quantum: 8,
                 cache_capacity: bench.cache_capacity,
                 machine: bench.machine.clone(),
+                packer: None,
             },
             ..RouterConfig::default()
         },

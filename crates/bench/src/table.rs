@@ -86,6 +86,172 @@ pub fn write_json<T: Serialize>(path: &str, rows: &T) {
     std::fs::write(path, text).unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
 }
 
+/// Extracts the *schema fingerprint* of a JSON document: the sorted,
+/// deduplicated set of dotted key paths, with array levels rendered as
+/// `[]`. `[{"a": 1, "b": {"c": 2}}]` fingerprints as
+/// `["[].a", "[].b", "[].b.c"]`. Two documents with the same
+/// fingerprint have the same shape regardless of their values — which
+/// is exactly what a committed `BENCH_*.json` baseline must share with
+/// the binary that refreshes it.
+///
+/// The parser is a minimal hand-rolled scanner (the vendored
+/// `serde_json` shim is render-only): it understands objects, arrays,
+/// strings with escapes, and skims every other scalar to its
+/// terminating delimiter.
+///
+/// # Errors
+///
+/// Returns a message describing the first malformed construct (unclosed
+/// string/brace, missing colon, truncated document).
+pub fn schema_fingerprint(json: &str) -> Result<Vec<String>, String> {
+    struct Scanner<'a> {
+        bytes: &'a [u8],
+        at: usize,
+        paths: std::collections::BTreeSet<String>,
+    }
+    impl Scanner<'_> {
+        fn skip_ws(&mut self) {
+            while self
+                .bytes
+                .get(self.at)
+                .is_some_and(|b| b.is_ascii_whitespace())
+            {
+                self.at += 1;
+            }
+        }
+        fn expect(&mut self, b: u8) -> Result<(), String> {
+            self.skip_ws();
+            if self.bytes.get(self.at) == Some(&b) {
+                self.at += 1;
+                Ok(())
+            } else {
+                Err(format!("expected `{}` at byte {}", char::from(b), self.at))
+            }
+        }
+        fn string(&mut self) -> Result<String, String> {
+            self.expect(b'"')?;
+            let start = self.at;
+            while let Some(&b) = self.bytes.get(self.at) {
+                match b {
+                    b'\\' => self.at += 2,
+                    b'"' => {
+                        let s = String::from_utf8_lossy(&self.bytes[start..self.at]).into_owned();
+                        self.at += 1;
+                        return Ok(s);
+                    }
+                    _ => self.at += 1,
+                }
+            }
+            Err(format!("unterminated string at byte {start}"))
+        }
+        fn value(&mut self, path: &str) -> Result<(), String> {
+            self.skip_ws();
+            match self.bytes.get(self.at) {
+                Some(b'{') => {
+                    self.at += 1;
+                    self.skip_ws();
+                    if self.bytes.get(self.at) == Some(&b'}') {
+                        self.at += 1;
+                        return Ok(());
+                    }
+                    loop {
+                        let key = self.string()?;
+                        self.expect(b':')?;
+                        let child = if path.is_empty() {
+                            key.clone()
+                        } else {
+                            format!("{path}.{key}")
+                        };
+                        self.paths.insert(child.clone());
+                        self.value(&child)?;
+                        self.skip_ws();
+                        match self.bytes.get(self.at) {
+                            Some(b',') => self.at += 1,
+                            Some(b'}') => {
+                                self.at += 1;
+                                return Ok(());
+                            }
+                            _ => return Err(format!("expected `,` or `}}` at byte {}", self.at)),
+                        }
+                    }
+                }
+                Some(b'[') => {
+                    self.at += 1;
+                    self.skip_ws();
+                    if self.bytes.get(self.at) == Some(&b']') {
+                        self.at += 1;
+                        return Ok(());
+                    }
+                    let child = if path.is_empty() {
+                        "[]".to_string()
+                    } else {
+                        format!("{path}.[]")
+                    };
+                    loop {
+                        self.value(&child)?;
+                        self.skip_ws();
+                        match self.bytes.get(self.at) {
+                            Some(b',') => self.at += 1,
+                            Some(b']') => {
+                                self.at += 1;
+                                return Ok(());
+                            }
+                            _ => return Err(format!("expected `,` or `]` at byte {}", self.at)),
+                        }
+                    }
+                }
+                Some(b'"') => self.string().map(|_| ()),
+                Some(_) => {
+                    // Number / true / false / null: skim to a delimiter.
+                    while self.bytes.get(self.at).is_some_and(|b| {
+                        !matches!(b, b',' | b'}' | b']') && !b.is_ascii_whitespace()
+                    }) {
+                        self.at += 1;
+                    }
+                    Ok(())
+                }
+                None => Err("truncated document".to_string()),
+            }
+        }
+    }
+    let mut s = Scanner {
+        bytes: json.as_bytes(),
+        at: 0,
+        paths: std::collections::BTreeSet::new(),
+    };
+    s.value("")?;
+    s.skip_ws();
+    if s.at != s.bytes.len() {
+        return Err(format!("trailing garbage at byte {}", s.at));
+    }
+    Ok(s.paths.into_iter().collect())
+}
+
+/// Compares a committed baseline's schema fingerprint against the
+/// fingerprint of `current` (a freshly rendered sample of the same row
+/// type) — the `--check-schema` backend shared by the bench binaries.
+/// A mismatch means the row struct changed without refreshing the
+/// committed JSON (or vice versa).
+///
+/// # Errors
+///
+/// Returns a diagnostic naming the paths only one side has.
+pub fn check_schema(path: &str, current: &str) -> Result<(), String> {
+    let committed =
+        std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let have = schema_fingerprint(&committed).map_err(|e| format!("{path}: {e}"))?;
+    let want = schema_fingerprint(current).map_err(|e| format!("current rows: {e}"))?;
+    if have == want {
+        return Ok(());
+    }
+    let missing: Vec<_> = want.iter().filter(|p| !have.contains(p)).collect();
+    let stale: Vec<_> = have.iter().filter(|p| !want.contains(p)).collect();
+    Err(format!(
+        "schema drift in {path}: committed baseline lacks {missing:?}, has stale {stale:?} — \
+         refresh it with the binary's --json-out"
+    ))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -118,5 +284,40 @@ mod tests {
         }
         let s = to_json(&vec![R { x: 1 }]);
         assert!(s.contains("\"x\": 1"));
+    }
+
+    #[test]
+    fn fingerprint_extracts_sorted_key_paths() {
+        let fp = schema_fingerprint(r#"[{"b": {"c": [1, 2]}, "a": "x"}]"#).unwrap();
+        assert_eq!(fp, vec!["[].a", "[].b", "[].b.c"]);
+        // Values do not matter, only shape.
+        let fp2 = schema_fingerprint(r#"[{"a": "other", "b": {"c": []}}]"#).unwrap();
+        assert_eq!(fp, fp2);
+        // A missing key is a different shape.
+        let fp3 = schema_fingerprint(r#"[{"a": 1}]"#).unwrap();
+        assert_ne!(fp, fp3);
+    }
+
+    #[test]
+    fn fingerprint_survives_escapes_and_rejects_garbage() {
+        let fp = schema_fingerprint(r#"{"we\"ird": true, "n": -1.5e3}"#).unwrap();
+        assert_eq!(fp.len(), 2);
+        assert!(schema_fingerprint("{\"open\": ").is_err());
+        assert!(schema_fingerprint("[1, 2] trailing").is_err());
+    }
+
+    #[test]
+    fn fingerprint_matches_rendered_rows() {
+        #[derive(Serialize)]
+        struct Row {
+            name: String,
+            nested: Vec<u64>,
+        }
+        let rendered = to_json(&vec![Row {
+            name: "x".into(),
+            nested: vec![1, 2],
+        }]);
+        let fp = schema_fingerprint(&rendered).unwrap();
+        assert_eq!(fp, vec!["[].name", "[].nested"]);
     }
 }

@@ -38,6 +38,19 @@ impl QuantumOp {
         matches!(self, QuantumOp::Measure(_))
     }
 
+    /// This operation with every qubit operand shifted up by `offset` —
+    /// the qubit half of program relocation. Multiprogramming packs
+    /// independent tasks into disjoint regions by shifting each task
+    /// past the [`qubit_span`] of the ones before it.
+    pub fn relocated(self, offset: u16) -> QuantumOp {
+        let shift = |q: Qubit| Qubit::new(q.index() + offset);
+        match self {
+            QuantumOp::Gate1(g, q) => QuantumOp::Gate1(g, shift(q)),
+            QuantumOp::Gate2(g, a, b) => QuantumOp::Gate2(g, shift(a), shift(b)),
+            QuantumOp::Measure(q) => QuantumOp::Measure(shift(q)),
+        }
+    }
+
     /// True if this operation acts on two qubits.
     pub fn is_two_qubit(&self) -> bool {
         matches!(self, QuantumOp::Gate2(..))
@@ -339,6 +352,32 @@ impl ClassicalOp {
             other => other,
         }
     }
+
+    /// This operation with its qubit operands (the readout qubit of an
+    /// `FMR`, both qubits of an `MRCE`) shifted up by `offset`. Branch
+    /// targets are untouched; relocate those separately via
+    /// [`with_target`](ClassicalOp::with_target).
+    pub fn relocated_qubits(self, offset: u16) -> ClassicalOp {
+        let shift = |q: Qubit| Qubit::new(q.index() + offset);
+        match self {
+            ClassicalOp::Fmr { rd, qubit } => ClassicalOp::Fmr {
+                rd,
+                qubit: shift(qubit),
+            },
+            ClassicalOp::Mrce {
+                qubit,
+                target,
+                op_if_one,
+                op_if_zero,
+            } => ClassicalOp::Mrce {
+                qubit: shift(qubit),
+                target: shift(target),
+                op_if_one,
+                op_if_zero,
+            },
+            other => other,
+        }
+    }
 }
 
 impl fmt::Display for ClassicalOp {
@@ -445,6 +484,34 @@ impl Instruction {
             Instruction::Classical(c) => Some(c),
         }
     }
+
+    /// The relocation rule: every qubit in [`referenced_qubits`]
+    /// (quantum operands, `FMR`/`MRCE` qubits) moves up by
+    /// `qubit_offset`, and every absolute control-transfer target moves
+    /// up by `addr_offset`. Timing labels, registers, and immediates are
+    /// untouched, so a relocated task executes the same control/timing
+    /// trace in its new region. The shifted program's
+    /// [`qubit_span`] is the original span plus `qubit_offset` whenever
+    /// the program references at least one qubit.
+    ///
+    /// [`referenced_qubits`]: Instruction::referenced_qubits
+    pub fn relocated(self, qubit_offset: u16, addr_offset: u32) -> Instruction {
+        match self {
+            Instruction::Quantum(QuantumInstruction { timing, op }) => {
+                Instruction::Quantum(QuantumInstruction {
+                    timing,
+                    op: op.relocated(qubit_offset),
+                })
+            }
+            Instruction::Classical(op) => {
+                let op = op.relocated_qubits(qubit_offset);
+                Instruction::Classical(match op.target() {
+                    Some(t) => op.with_target(t + addr_offset),
+                    None => op,
+                })
+            }
+        }
+    }
 }
 
 impl From<QuantumInstruction> for Instruction {
@@ -549,6 +616,87 @@ mod tests {
         assert_eq!(h.to_string(), "0 H q0");
         let rx = Instruction::quantum(2, QuantumOp::Gate1(Gate1::Rx(Angle::new(8)), Qubit::new(5)));
         assert_eq!(rx.to_string(), "2 RX[8] q5");
+    }
+
+    #[test]
+    fn relocation_shifts_referenced_qubits_and_targets() {
+        let cases = [
+            Instruction::quantum(
+                1,
+                QuantumOp::Gate2(Gate2::Cnot, Qubit::new(0), Qubit::new(1)),
+            ),
+            Instruction::quantum(0, QuantumOp::Measure(Qubit::new(2))),
+            Instruction::from(ClassicalOp::Fmr {
+                rd: Reg::new(0),
+                qubit: Qubit::new(3),
+            }),
+            Instruction::from(ClassicalOp::Mrce {
+                qubit: Qubit::new(0),
+                target: Qubit::new(4),
+                op_if_one: CondOp::X,
+                op_if_zero: CondOp::None,
+            }),
+        ];
+        for instr in cases {
+            let shifted = instr.relocated(10, 0);
+            let want: Vec<u16> = instr
+                .referenced_qubits()
+                .iter()
+                .map(|q| q.index() + 10)
+                .collect();
+            let got: Vec<u16> = shifted
+                .referenced_qubits()
+                .iter()
+                .map(|q| q.index())
+                .collect();
+            assert_eq!(got, want, "{instr}");
+        }
+    }
+
+    #[test]
+    fn relocation_moves_span_by_offset() {
+        let instrs = [
+            Instruction::quantum(0, QuantumOp::Gate1(Gate1::H, Qubit::new(1))),
+            Instruction::quantum(0, QuantumOp::Measure(Qubit::new(3))),
+        ];
+        let base = qubit_span(instrs.iter().flat_map(|i| {
+            i.referenced_qubits()
+                .into_iter()
+                .map(|q| q.index())
+                .collect::<Vec<_>>()
+        }));
+        let shifted = qubit_span(instrs.iter().flat_map(|i| {
+            i.relocated(5, 0)
+                .referenced_qubits()
+                .into_iter()
+                .map(|q| q.index())
+                .collect::<Vec<_>>()
+        }));
+        assert_eq!(base, 4);
+        assert_eq!(shifted, base + 5);
+    }
+
+    #[test]
+    fn relocation_rebases_control_transfers_only() {
+        let br = Instruction::from(ClassicalOp::Br {
+            cond: Cond::Eq,
+            target: 2,
+        });
+        assert_eq!(
+            br.relocated(0, 100).as_classical().unwrap().target(),
+            Some(102)
+        );
+        // Registers, immediates and timing labels never move.
+        let ldi = Instruction::from(ClassicalOp::Ldi {
+            rd: Reg::new(1),
+            imm: -7,
+        });
+        assert_eq!(ldi.relocated(9, 9), ldi);
+        let gate = Instruction::quantum(5, QuantumOp::Gate1(Gate1::X, Qubit::new(0)));
+        assert_eq!(
+            gate.relocated(1, 0).as_quantum().unwrap().timing,
+            Cycles::new(5)
+        );
     }
 
     #[test]

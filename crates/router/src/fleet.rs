@@ -282,8 +282,6 @@ impl Router {
         let mut shards = Vec::with_capacity(n);
         let mut servers = Vec::with_capacity(n);
         for i in 0..n {
-            let serving = JobServer::serve(cfg.shard.clone());
-            servers.push(serving.server().clone());
             let profile = cfg.profiles.get(i).copied().unwrap_or_else(|| {
                 cfg.machines
                     .get(i)
@@ -291,6 +289,15 @@ impl Router {
                     .map(ShardProfile::from_machine)
                     .unwrap_or_default()
             });
+            let mut shard_cfg = cfg.shard.clone();
+            // Packed-span feasibility: a shard's packer must never form
+            // a combined program wider than the shard's own fridge, so
+            // its cap is clipped to the profile's packable span.
+            if let Some(packer) = shard_cfg.packer.as_mut() {
+                packer.max_pack_qubits = packer.max_pack_qubits.min(profile.pack_span_limit());
+            }
+            let serving = JobServer::serve(shard_cfg);
+            servers.push(serving.server().clone());
             shards.push(Shard {
                 serving: Some(serving),
                 profile,

@@ -56,6 +56,7 @@ fn fleet(shards: usize, placement: Placement) -> RouterConfig {
             shot_quantum: 3,
             cache_capacity: 4,
             machine: None,
+            packer: None,
         },
         ..RouterConfig::default()
     }
@@ -489,6 +490,7 @@ fn heterogeneous_fleet_from_machine_descriptions() {
             shot_quantum: 3,
             cache_capacity: 4,
             machine: None,
+            packer: None,
         },
         ..RouterConfig::heterogeneous(vec![small, big])
     });
@@ -523,6 +525,7 @@ fn heterogeneous_fleet_from_machine_descriptions() {
             shot_quantum: 3,
             cache_capacity: 4,
             machine: None,
+            packer: None,
         },
         placement: Placement::RoundRobin,
         ..RouterConfig::heterogeneous(vec![small2])

@@ -47,6 +47,7 @@ fn router(shards: usize, placement: Placement, threads: usize) -> Router {
             shot_quantum: 3,
             cache_capacity: 4,
             machine: None,
+            packer: None,
         },
         ..RouterConfig::default()
     })
@@ -198,6 +199,7 @@ fn sticky_routing_compiles_each_program_once_fleet_wide() {
                 shot_quantum: 4,
                 cache_capacity: 16,
                 machine: None,
+                packer: None,
             },
             ..RouterConfig::default()
         })
@@ -279,5 +281,82 @@ proptest! {
                 i, shards, placement
             );
         }
+    }
+}
+
+/// A capability-aware fleet clips each shard's packer cap to its
+/// profile before the shard starts: the packer must never form a
+/// combined program wider than the shard's own fridge (or, with
+/// dedicated-line readout, than its readout lines).
+#[test]
+fn packer_cap_is_clipped_to_the_shard_profile() {
+    use quape_router::ShardProfile;
+    use quape_server::PackerConfig;
+    let r = Router::new(RouterConfig {
+        shards: 2,
+        placement: Placement::RoundRobin,
+        shard: ServerConfig {
+            threads: 1,
+            shot_quantum: 3,
+            cache_capacity: 4,
+            machine: None,
+            packer: Some(PackerConfig::default()),
+        },
+        profiles: vec![
+            ShardProfile {
+                max_qubits: 5,
+                ..ShardProfile::unconstrained()
+            },
+            ShardProfile {
+                max_qubits: 32,
+                readout_lines: Some(6),
+                ..ShardProfile::unconstrained()
+            },
+        ],
+        ..RouterConfig::default()
+    });
+    let cap = |i: usize| {
+        r.shard(i)
+            .config()
+            .packer
+            .as_ref()
+            .expect("packer configured")
+            .max_pack_qubits
+    };
+    assert_eq!(cap(0), 5);
+    // Dedicated-line members need a readout line per packed qubit.
+    assert_eq!(cap(1), 6);
+    r.drain().unwrap();
+}
+
+/// With the packer live on every shard, routed aggregates stay
+/// bit-identical to solo engine runs — whether or not any given pair
+/// actually packed (the de-multiplexer is exact by construction).
+#[test]
+fn packer_enabled_fleet_matches_solo_engine() {
+    use quape_server::PackerConfig;
+    let r = Router::new(RouterConfig {
+        shards: 2,
+        placement: Placement::StickyByDigest,
+        shard: ServerConfig {
+            threads: 1,
+            shot_quantum: 4,
+            cache_capacity: 8,
+            machine: None,
+            packer: Some(PackerConfig::default()),
+        },
+        ..RouterConfig::default()
+    });
+    // Identical program/config/shots with distinct seeds: one pack
+    // class, so co-resident submissions are packable.
+    let jobs: Vec<(u8, u64, u64)> = (0..10).map(|i| (1u8, 16, 100 + i)).collect();
+    let results = run_router(r, &jobs);
+    for (i, res) in results.iter().enumerate() {
+        let (choice, shots, seed) = jobs[i];
+        assert_eq!(
+            ok(res).aggregate,
+            solo(choice, shots, seed),
+            "job{i} diverged"
+        );
     }
 }

@@ -75,5 +75,5 @@ mod server;
 pub use cache::{CacheOutcome, CacheStats, CompileCache};
 pub use server::{
     FinishHook, JobError, JobHandle, JobProgress, JobRequest, JobResult, JobServer, JobSource,
-    MachineSpec, Priority, ServerConfig, ServingServer,
+    MachineSpec, PackerConfig, PackerStats, Priority, ServerConfig, ServingServer, ShotPolicy,
 };

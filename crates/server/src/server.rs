@@ -41,14 +41,41 @@
 //! indices, so a cancelled job's partial aggregate is always
 //! **prefix-consistent**: bit-identical to a solo run of its first `n`
 //! shots.
+//!
+//! ## Multiprogramming packing (§3.1.2 space multiplexing)
+//!
+//! With a [`PackerConfig`] installed, a queue-scan stage between
+//! admission and the worker pool merges **compatible queued small
+//! jobs** into one packed scheduling unit: the members' programs are
+//! relocated into disjoint qubit regions and combined via
+//! [`quape_workloads::multiprogramming::pack`], the combined program is
+//! compiled through the compile cache (so a recurring pack shape
+//! compiles once), and its packed qubit span is checked against the
+//! machine's capacity — the combined [`CompiledJob`] is exactly what a
+//! real fleet would load onto the shared control stack. The pack then
+//! runs as **one** scheduler entity: a single claim takes the next shot
+//! quantum *for every member at once*, amortizing the per-job
+//! claim/complete/notify round-trips the interleaved path pays per job.
+//!
+//! Because `pack` guarantees zero cross-member dependencies (disjoint
+//! qubit regions, unconstrained blocks), the members' shot streams are
+//! independent by construction — pre-determined allocation, in the
+//! paper's terms. The packed executor exploits exactly that: packed
+//! shot index `s` runs each member's shot `s` through the member's own
+//! engine and seed stream, so de-multiplexing is **exact**: every
+//! member's [`JobResult`] aggregate is bit-identical to its solo run,
+//! including mid-flight partials, and cancelling one member never
+//! perturbs the others (differential-tested).
 
 use crate::cache::{CacheStats, CompileCache};
 use quape_core::{
     BatchAggregate, CompiledJob, DescriptionError, MachineDescription, MachineError, QpuFactory,
-    QuapeConfig, ShotEngine, ShotSummary, StepMode,
+    QuapeConfig, ShotEngine, ShotSummary, StepMode, WorkerScratch,
 };
-use quape_isa::{AsmError, Fnv64, Program};
+use quape_isa::{AsmError, Dependency, Fnv64, Program};
+use quape_workloads::multiprogramming::{self, MemberSlice};
 use std::fmt;
+use std::ops::Range;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::time::{Duration, Instant};
@@ -387,6 +414,70 @@ impl JobRequest {
     }
 }
 
+/// How the packer decides that member shot counts are compatible.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ShotPolicy {
+    /// Only jobs with **identical** shot counts pack together: every
+    /// member finishes on the same packed shot index.
+    #[default]
+    Exact,
+    /// Jobs whose shot counts round up to the same number of
+    /// priority-weighted shot quanta pack together — the ragged tails
+    /// run inside the pack's final quantum. Looser than [`Exact`]
+    /// (more packs form) at the cost of a partially-idle last quantum.
+    ///
+    /// [`Exact`]: ShotPolicy::Exact
+    QuantumAligned,
+}
+
+/// The packer stage's knobs (see the crate docs — packing is off
+/// unless [`ServerConfig::packer`] is set).
+#[derive(Debug, Clone)]
+pub struct PackerConfig {
+    /// Most member jobs per pack.
+    pub max_members: usize,
+    /// Hard cap on the packed qubit span. The effective cap is the
+    /// minimum of this, the ISA's qubit space, and the config's
+    /// `num_qubits` — a capability-aware router lowers it further to
+    /// the shard profile's span so a pack never exceeds what the
+    /// shard's machine can load.
+    pub max_pack_qubits: u16,
+    /// Only jobs at or below this shot count are packing candidates —
+    /// packing exists to amortize per-job scheduling overhead across
+    /// *small* jobs; big jobs amortize it themselves.
+    pub max_member_shots: u64,
+    /// The shot-count compatibility rule.
+    pub shot_policy: ShotPolicy,
+}
+
+impl Default for PackerConfig {
+    fn default() -> Self {
+        PackerConfig {
+            max_members: 8,
+            max_pack_qubits: quape_isa::MAX_QUBITS as u16,
+            max_member_shots: 256,
+            shot_policy: ShotPolicy::default(),
+        }
+    }
+}
+
+/// Counters of the packer stage, read via [`JobServer::packer_stats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PackerStats {
+    /// Packs formed (each replaced ≥ 2 queued jobs with one entry).
+    pub packs_formed: u64,
+    /// Member jobs that went through a pack.
+    pub jobs_packed: u64,
+    /// Total member shots covered by formed packs.
+    pub packed_shots: u64,
+    /// Combined programs resolved from the compile cache (a recurring
+    /// pack shape compiles its combined program once).
+    pub combine_cache_hits: u64,
+    /// Pack formations that failed (combine or combined compile) and
+    /// fell back to solo execution of the members.
+    pub declined: u64,
+}
+
 /// Worker-pool and cache sizing of a [`JobServer`], plus the declared
 /// hardware the server fronts.
 #[derive(Debug, Clone)]
@@ -403,6 +494,10 @@ pub struct ServerConfig {
     /// router derives the shard's profile from it when set (explicit
     /// router profiles still win).
     pub machine: Option<MachineDescription>,
+    /// When set, the packer stage merges compatible queued small jobs
+    /// into packed scheduling units (see the crate docs). `None` (the
+    /// default) serves every job solo.
+    pub packer: Option<PackerConfig>,
 }
 
 impl ServerConfig {
@@ -413,6 +508,12 @@ impl ServerConfig {
             ..ServerConfig::default()
         }
     }
+
+    /// Enables the packer stage with the given knobs.
+    pub fn packer(mut self, packer: PackerConfig) -> Self {
+        self.packer = Some(packer);
+        self
+    }
 }
 
 impl Default for ServerConfig {
@@ -422,6 +523,7 @@ impl Default for ServerConfig {
             shot_quantum: 16,
             cache_capacity: 64,
             machine: None,
+            packer: None,
         }
     }
 }
@@ -633,25 +735,117 @@ impl JobHandle {
     }
 }
 
-struct ActiveJob {
+/// One submitted job inside a scheduler entry. A solo entry holds one
+/// member; a packed entry holds every member of the pack. Each member
+/// keeps its own engine (its own factory, base seed, and step mode), so
+/// its summaries — and therefore its aggregate — are independent of how
+/// the scheduler grouped it.
+struct MemberJob {
     id: u64,
-    priority: Priority,
     shots: u64,
     engine: Arc<ShotEngine>,
-    next_shot: u64,
-    done_shots: u64,
+    /// Monotone prefix of this member's shot indices handed to workers.
+    /// Advances in lockstep with the entry's `next_shot` (clipped to
+    /// `shots`) while the member is uncancelled, then freezes.
+    claimed: u64,
+    done: u64,
     /// Shots of claimed quanta whose execution panicked: their summaries
-    /// will never land, so quiescence is `done + lost == next_shot`. A
-    /// lost quantum cancels the job (its summaries would leave a gap).
-    lost_shots: u64,
+    /// will never land, so quiescence is `done + lost == claimed`. A
+    /// lost quantum cancels the member (its summaries would leave a gap).
+    lost: u64,
     cell: Arc<JobCell>,
 }
 
-impl ActiveJob {
-    /// True when no claimed quantum is still executing.
+impl MemberJob {
+    /// True when none of this member's claimed shots is still executing.
     fn quiescent(&self) -> bool {
-        self.done_shots + self.lost_shots == self.next_shot
+        self.done + self.lost == self.claimed
     }
+
+    fn cancelled(&self) -> bool {
+        self.cell.cancelled.load(Ordering::Relaxed)
+    }
+
+    /// True when the member needs no further quanta and none are in
+    /// flight: every requested shot landed, or it was cancelled and its
+    /// claimed prefix is fully accounted for.
+    fn finished(&self) -> bool {
+        self.done == self.shots || (self.cancelled() && self.quiescent())
+    }
+}
+
+/// The packing-compatibility class of a queued solo entry, computed at
+/// submit. Two entries may pack together only when their classes agree:
+/// the `key` hashes the config's content digest, step mode, cycle
+/// limit, priority, and the shot-policy bucket; `cfg_digest` is
+/// compared outright so a key collision cannot merge incompatible
+/// configs; `span` is the member program's qubit width — the region it
+/// will occupy after relocation.
+#[derive(Clone, Copy, PartialEq, Eq)]
+struct PackClass {
+    key: u64,
+    cfg_digest: u64,
+    span: u16,
+}
+
+/// A formed pack's machine-visible footprint: the combined program of
+/// every member, relocated into disjoint qubit regions and compiled
+/// through the compile cache — what a real fleet would load onto the
+/// shared control stack — plus the per-member slice metadata that maps
+/// each member onto its region of the combined run.
+struct PackInfo {
+    job: Arc<CompiledJob>,
+    slices: Vec<MemberSlice>,
+}
+
+/// One scheduler queue entry: a solo job, or a pack of members sharing
+/// a single claim stream. The entry claims a monotone prefix of packed
+/// shot indices; packed index `s` stands for shot `s` of every live
+/// member, so one claim advances all of them at once.
+struct ActiveEntry {
+    id: u64,
+    priority: Priority,
+    next_shot: u64,
+    /// Compile-cache key of this entry's artifact: the member's own
+    /// source key for a solo entry, the pack key (hash of the member
+    /// keys in claim order) for a packed one. Lets the packer derive a
+    /// repeated group's cache key without rebuilding the combined
+    /// program.
+    source_key: u128,
+    /// `Some` while the entry is an unstarted solo packing candidate.
+    pack: Option<PackClass>,
+    /// `Some` for packed entries.
+    packed: Option<PackInfo>,
+    members: Vec<MemberJob>,
+}
+
+impl ActiveEntry {
+    /// One past the last packed shot index any live member still wants —
+    /// the entry's claim stream shortens when its longest member is
+    /// cancelled. `None` when no member can make progress.
+    fn live_end(&self) -> Option<u64> {
+        self.members
+            .iter()
+            .filter(|m| !m.cancelled())
+            .map(|m| m.shots)
+            .max()
+            .filter(|end| *end > self.next_shot)
+    }
+}
+
+/// One member's slice of a claimed quantum.
+struct ClaimUnit {
+    member: u64,
+    engine: Arc<ShotEngine>,
+    range: Range<u64>,
+}
+
+/// A claimed quantum: up to `quantum × weight` packed shot indices, as
+/// per-member shot ranges (one unit per live member that still wants
+/// those indices).
+struct Claim {
+    entry: u64,
+    units: Vec<ClaimUnit>,
 }
 
 /// Whether the serving loop accepts jobs / claims quanta.
@@ -672,15 +866,19 @@ enum ServePhase {
 
 #[derive(Default)]
 struct SchedState {
-    jobs: Vec<ActiveJob>,
+    jobs: Vec<ActiveEntry>,
     cursor: usize,
     completed: u64,
     next_id: u64,
     finished: Vec<JobResult>,
-    /// Jobs already removed from `jobs` whose final fold is running
-    /// outside the lock ([`JobServer::finalize_detached`]); drains wait
-    /// for this to reach zero before taking `finished`.
+    /// Members already removed from `jobs` whose final fold is running
+    /// outside the lock ([`JobServer::finalize_members_detached`]);
+    /// drains wait for this to reach zero before taking `finished`.
     finalizing: usize,
+    /// Pack formations in flight: their entries are out of `jobs` while
+    /// a worker combines and compiles off-lock; drains wait for this to
+    /// reach zero so the members are not missed.
+    forming: usize,
     /// Finished results whose finish-hook callback has not fired yet.
     /// Hooks are only ever invoked with the server lock released
     /// ([`JobServer::flush_finish_hooks`]), so finalize paths that run
@@ -698,6 +896,7 @@ struct ServerInner {
     state: Mutex<SchedState>,
     work: Condvar,
     finish_hook: Mutex<Option<FinishHook>>,
+    packer_stats: Mutex<PackerStats>,
 }
 
 /// The multi-tenant job service. Cheap to clone (all state is shared):
@@ -722,6 +921,7 @@ impl JobServer {
                 state: Mutex::new(SchedState::default()),
                 work: Condvar::new(),
                 finish_hook: Mutex::new(None),
+                packer_stats: Mutex::new(PackerStats::default()),
             }),
         }
     }
@@ -771,9 +971,10 @@ impl JobServer {
         self.inner.cache.tenant_stats()
     }
 
-    /// Jobs queued or running, not yet finished.
+    /// Jobs queued or running, not yet finished (every member of a
+    /// packed entry counts).
     pub fn pending_jobs(&self) -> usize {
-        self.lock_state().jobs.len()
+        self.lock_state().jobs.iter().map(|e| e.members.len()).sum()
     }
 
     /// Shots accepted but not yet executed — the scheduler backlog a
@@ -782,8 +983,48 @@ impl JobServer {
         self.lock_state()
             .jobs
             .iter()
-            .map(|j| j.shots - j.done_shots)
+            .flat_map(|e| e.members.iter())
+            .map(|m| m.shots - m.done)
             .sum()
+    }
+
+    /// The configuration this server was built with — after any
+    /// deployment-side adjustments (a capability-aware router clips
+    /// [`PackerConfig::max_pack_qubits`] to each shard's profile before
+    /// starting it).
+    pub fn config(&self) -> &ServerConfig {
+        &self.inner.cfg
+    }
+
+    /// The packer stage's counters (all zero when no [`PackerConfig`]
+    /// is installed).
+    pub fn packer_stats(&self) -> PackerStats {
+        *self
+            .inner
+            .packer_stats
+            .lock()
+            .expect("packer stats lock poisoned")
+    }
+
+    /// Live packed entries, each as `(combined compiled span, member
+    /// qubit offsets)`. The span is the *machine-visible footprint* of
+    /// the pack — the qubit count of the combined [`CompiledJob`] a
+    /// capability-aware router admits against — and the offsets are the
+    /// relocation bases the de-multiplexer slices by. Advisory: packs
+    /// retire as their members finish.
+    pub fn packed_live(&self) -> Vec<(u16, Vec<u16>)> {
+        self.lock_state()
+            .jobs
+            .iter()
+            .filter_map(|e| {
+                e.packed.as_ref().map(|p| {
+                    (
+                        p.job.num_qubits(),
+                        p.slices.iter().map(|s| s.qubit_offset).collect(),
+                    )
+                })
+            })
+            .collect()
     }
 
     /// Installs (or replaces) the job-completion callback: it fires once
@@ -808,8 +1049,16 @@ impl JobServer {
         self.lock_state()
             .jobs
             .iter()
-            .filter(|j| j.next_shot == 0 && !j.cell.cancelled.load(Ordering::Relaxed))
-            .map(|j| (j.id, j.shots))
+            // Packed entries are not stealable as wholes (their members
+            // belong to different submissions); packing-aware stealing
+            // is a follow-on.
+            .filter(|e| {
+                e.next_shot == 0
+                    && e.packed.is_none()
+                    && e.members.len() == 1
+                    && !e.members[0].cancelled()
+            })
+            .map(|e| (e.id, e.members[0].shots))
             .collect()
     }
 
@@ -824,14 +1073,18 @@ impl JobServer {
     /// was never here.
     pub fn revoke_unstarted(&self, id: u64) -> bool {
         let mut st = self.lock_state();
-        let Some(index) = st.jobs.iter().position(|j| j.id == id) else {
+        let Some(index) = st.jobs.iter().position(|e| e.id == id) else {
             return false;
         };
-        let job = &st.jobs[index];
-        if job.next_shot != 0 || job.cell.cancelled.load(Ordering::Relaxed) {
+        let entry = &st.jobs[index];
+        if entry.next_shot != 0
+            || entry.packed.is_some()
+            || entry.members.len() != 1
+            || entry.members[0].cancelled()
+        {
             return false;
         }
-        let _ = Self::remove_job(&mut st, index);
+        let _ = Self::remove_entry(&mut st, index);
         true
     }
 
@@ -919,21 +1172,36 @@ impl JobServer {
             inner: Mutex::new(CellInner::default()),
             cond: Condvar::new(),
         });
+        let engine = Arc::new(engine);
+        let pack = self.pack_class(
+            &engine,
+            req.shots,
+            req.priority,
+            req.cycle_limit,
+            req.step_mode,
+        );
         let mut st = self.lock_state();
         if matches!(st.phase, ServePhase::Draining | ServePhase::Shutdown) {
             return Err(JobError::NotAccepting);
         }
         let id = st.next_id;
         st.next_id += 1;
-        st.jobs.push(ActiveJob {
+        st.jobs.push(ActiveEntry {
             id,
             priority: req.priority,
-            shots: req.shots,
-            engine: Arc::new(engine),
             next_shot: 0,
-            done_shots: 0,
-            lost_shots: 0,
-            cell: cell.clone(),
+            source_key: key,
+            pack,
+            packed: None,
+            members: vec![MemberJob {
+                id,
+                shots: req.shots,
+                engine,
+                claimed: 0,
+                done: 0,
+                lost: 0,
+                cell: cell.clone(),
+            }],
         });
         drop(st);
         self.inner.work.notify_all();
@@ -944,112 +1212,220 @@ impl JobServer {
         })
     }
 
-    /// Finalizes `job` (no claimed quantum still executing): folds its
-    /// summaries in shot order over the *contiguous completed prefix*,
-    /// publishes the [`JobResult`] to the cell and wakes waiters.
-    /// Caller holds the server lock and has removed the job from the
-    /// queue; the returned result also goes to the server's finished
-    /// list.
+    /// Classifies a submission for the packer: `None` when packing is
+    /// off or the job is not a candidate (too many shots, a span beyond
+    /// the pack cap, or priority-dependent blocks — which
+    /// [`multiprogramming::pack`] would flatten). The class key hashes
+    /// everything the compatibility predicate requires: digest-equal
+    /// configs, equal step modes, cycle limits and priorities, and the
+    /// [`ShotPolicy`] shot bucket. Base seeds and factories may differ
+    /// freely — each member runs through its own engine.
+    fn pack_class(
+        &self,
+        engine: &ShotEngine,
+        shots: u64,
+        priority: Priority,
+        cycle_limit: u64,
+        step_mode: StepMode,
+    ) -> Option<PackClass> {
+        let pc = self.inner.cfg.packer.as_ref()?;
+        if shots > pc.max_member_shots {
+            return None;
+        }
+        let job = engine.job();
+        let program = job.program();
+        if program
+            .blocks()
+            .iter()
+            .any(|(_, info)| matches!(info.dependency, Dependency::Priority(_)))
+        {
+            return None;
+        }
+        let span = program.num_qubits();
+        if span > Self::pack_span_cap(pc, job.cfg()) {
+            return None;
+        }
+        let cfg_digest = job.cfg().content_digest();
+        let step_code: u32 = match step_mode {
+            StepMode::Cycle => 0,
+            StepMode::EventDriven => 1,
+            StepMode::Lowered => 2,
+        };
+        let priority_code: u32 = match priority {
+            Priority::Low => 0,
+            Priority::Normal => 1,
+            Priority::High => 2,
+        };
+        let bucket = match pc.shot_policy {
+            ShotPolicy::Exact => shots,
+            ShotPolicy::QuantumAligned => {
+                let quantum = self.inner.cfg.shot_quantum.max(1) * priority.weight();
+                shots.div_ceil(quantum)
+            }
+        };
+        let mut h = Fnv64::new();
+        h.write_u64(cfg_digest)
+            .write_u32(step_code)
+            .write_u64(cycle_limit)
+            .write_u32(priority_code)
+            .write_u64(bucket);
+        Some(PackClass {
+            key: h.finish(),
+            cfg_digest,
+            span,
+        })
+    }
+
+    /// The effective packed-span cap: the configured cap, clipped to
+    /// the ISA qubit space and to the config's allocated qubit count
+    /// (the combined program must still compile against the members'
+    /// shared config).
+    fn pack_span_cap(pc: &PackerConfig, cfg: &QuapeConfig) -> u16 {
+        pc.max_pack_qubits
+            .min(quape_isa::MAX_QUBITS as u16)
+            .min(cfg.num_qubits.unwrap_or(quape_isa::MAX_QUBITS as u16))
+    }
+
+    /// Finalizes one member (no claimed quantum of its still executing):
+    /// folds its summaries in shot order over the *contiguous completed
+    /// prefix*, publishes the [`JobResult`] to the cell and wakes
+    /// waiters. Caller has removed the member from its entry; the
+    /// returned result also goes to the server's finished list.
     ///
-    /// Uncancelled jobs always have a gapless `0..shots` summary set; a
-    /// panicked quantum leaves a gap (and cancels the job), so the fold
-    /// stops at the gap to keep the prefix-consistency guarantee.
-    fn finalize(job: &ActiveJob, rank: u64) -> JobResult {
-        let flagged = job.cell.cancelled.load(Ordering::Relaxed);
-        let mut inner = job.cell.inner.lock().expect("job cell lock poisoned");
+    /// Uncancelled members always have a gapless `0..shots` summary set;
+    /// a panicked quantum leaves a gap (and cancels the member), so the
+    /// fold stops at the gap to keep the prefix-consistency guarantee.
+    fn finalize_member(member: &MemberJob, rank: u64) -> JobResult {
+        let flagged = member.cancelled();
+        let mut inner = member.cell.inner.lock().expect("job cell lock poisoned");
         let mut summaries = std::mem::take(&mut inner.summaries);
-        let (aggregate, executed) = prefix_aggregate(job.cell.base_seed, &mut summaries);
+        let (aggregate, executed) = prefix_aggregate(member.cell.base_seed, &mut summaries);
         debug_assert!(
             flagged || executed == summaries.len() as u64,
             "an uncancelled job's claimed quanta must form a contiguous prefix"
         );
         let result = JobResult {
-            id: job.id,
-            name: job.cell.name.clone(),
+            id: member.id,
+            name: member.cell.name.clone(),
             shots: executed,
-            shots_requested: job.cell.shots_requested,
+            shots_requested: member.cell.shots_requested,
             // A cancel that raced the last quantum changed nothing: a
             // job that executed everything it asked for is not
             // cancelled, whatever the flag says.
-            cancelled: flagged && executed < job.cell.shots_requested,
-            priority: job.cell.priority,
-            cache_hit: job.cell.cache_hit,
-            compile_wall: job.cell.compile_wall,
-            latency: job.cell.submitted_at.elapsed(),
+            cancelled: flagged && executed < member.cell.shots_requested,
+            priority: member.cell.priority,
+            cache_hit: member.cell.cache_hit,
+            compile_wall: member.cell.compile_wall,
+            latency: member.cell.submitted_at.elapsed(),
             completion_rank: rank,
             aggregate,
         };
         inner.result = Some(result.clone());
-        job.cell.cond.notify_all();
+        member.cell.cond.notify_all();
         result
     }
 
-    /// Removes the job at `index`, keeping the round-robin cursor
-    /// pointing at the same next job.
-    fn remove_job(st: &mut SchedState, index: usize) -> ActiveJob {
-        let job = st.jobs.remove(index);
+    /// Removes the entry at `index`, keeping the round-robin cursor
+    /// pointing at the same next entry.
+    fn remove_entry(st: &mut SchedState, index: usize) -> ActiveEntry {
+        let entry = st.jobs.remove(index);
         if index < st.cursor {
             st.cursor -= 1;
         }
         if st.cursor >= st.jobs.len() {
             st.cursor = 0;
         }
-        job
+        entry
     }
 
-    /// Finalizes under the server lock — for the small folds of the
-    /// claim-path reap and the terminal stop cleanup. The hot paths
-    /// ([`complete`](JobServer::complete), cancellation) use
-    /// [`finalize_detached`](JobServer::finalize_detached) instead.
-    fn finalize_and_remove(st: &mut SchedState, index: usize) {
+    /// Removes one member from the entry at `entry_index` (removing the
+    /// entry too once its last member leaves) and returns the member.
+    fn remove_member(st: &mut SchedState, entry_index: usize, member_index: usize) -> MemberJob {
+        let member = st.jobs[entry_index].members.remove(member_index);
+        if st.jobs[entry_index].members.is_empty() {
+            let _ = Self::remove_entry(st, entry_index);
+        }
+        member
+    }
+
+    /// Finalizes one member under the server lock — for the small folds
+    /// of the claim-path reap and the terminal stop cleanup. The hot
+    /// paths ([`complete`](JobServer::complete), cancellation) use
+    /// [`finalize_members_detached`](JobServer::finalize_members_detached).
+    fn finalize_and_remove(st: &mut SchedState, entry_index: usize, member_index: usize) {
         let rank = st.completed;
         st.completed += 1;
-        let job = Self::remove_job(st, index);
-        let result = Self::finalize(&job, rank);
+        let member = Self::remove_member(st, entry_index, member_index);
+        let result = Self::finalize_member(&member, rank);
         st.hook_pending.push(result.clone());
         st.finished.push(result);
     }
 
-    /// Removes the job at `index` and folds its result *outside* the
-    /// server lock — the fold is O(shots · log shots), and holding the
-    /// one lock every claim and submit needs would stall the whole pool
-    /// on a large job. Ownership of the removed [`ActiveJob`] makes the
-    /// fold race-free; the `finalizing` counter keeps drains from
-    /// taking `finished` before the result lands there.
-    fn finalize_detached(&self, mut st: MutexGuard<'_, SchedState>, index: usize) {
-        let rank = st.completed;
-        st.completed += 1;
-        st.finalizing += 1;
-        let job = Self::remove_job(&mut st, index);
+    /// Removes the given members (indices into the entry's member list)
+    /// and folds their results *outside* the server lock — a fold is
+    /// O(shots · log shots), and holding the one lock every claim and
+    /// submit needs would stall the whole pool on a large job.
+    /// Ownership of the removed [`MemberJob`]s makes the folds
+    /// race-free; the `finalizing` counter keeps drains from taking
+    /// `finished` before the results land there.
+    fn finalize_members_detached(
+        &self,
+        mut st: MutexGuard<'_, SchedState>,
+        entry_index: usize,
+        mut member_indices: Vec<usize>,
+    ) {
+        // Remove back-to-front so earlier indices stay valid; assign
+        // completion ranks in member order.
+        member_indices.sort_unstable();
+        let mut removed = Vec::with_capacity(member_indices.len());
+        for &mi in member_indices.iter().rev() {
+            let member = st.jobs[entry_index].members.remove(mi);
+            removed.push(member);
+        }
+        removed.reverse();
+        if st.jobs[entry_index].members.is_empty() {
+            let _ = Self::remove_entry(&mut st, entry_index);
+        }
+        let mut ranked = Vec::with_capacity(removed.len());
+        for member in removed {
+            let rank = st.completed;
+            st.completed += 1;
+            ranked.push((member, rank));
+        }
+        st.finalizing += ranked.len();
         drop(st);
-        let result = Self::finalize(&job, rank);
+        let results: Vec<JobResult> = ranked
+            .iter()
+            .map(|(member, rank)| Self::finalize_member(member, *rank))
+            .collect();
         let mut st = self.lock_state();
-        st.hook_pending.push(result.clone());
-        st.finished.push(result);
-        st.finalizing -= 1;
+        st.finalizing -= results.len();
+        for result in results {
+            st.hook_pending.push(result.clone());
+            st.finished.push(result);
+        }
         drop(st);
         self.inner.work.notify_all();
         self.flush_finish_hooks();
     }
 
-    /// Reaps quiescent cancelled jobs, then claims the next shot
-    /// quantum in priority-weighted round-robin order: the first
-    /// non-cancelled job at or after the cursor with unclaimed shots
-    /// yields `shot_quantum × weight` shot indices, and the cursor
-    /// moves past it. Claims name the job by id, never by queue
-    /// position — positions shift as finished jobs are removed.
-    fn reap_and_claim(
-        cfg: &ServerConfig,
-        st: &mut SchedState,
-    ) -> Option<(Arc<ShotEngine>, u64, std::ops::Range<u64>)> {
-        // A cancelled job with nothing in flight gets no more complete()
-        // calls — finalize it here so it cannot linger.
-        while let Some(i) = st
-            .jobs
-            .iter()
-            .position(|j| j.cell.cancelled.load(Ordering::Relaxed) && j.quiescent())
-        {
-            Self::finalize_and_remove(st, i);
+    /// Reaps quiescent cancelled members, then claims the next shot
+    /// quantum in priority-weighted round-robin order: the first entry
+    /// at or after the cursor with claimable shots yields
+    /// `shot_quantum × weight` packed shot indices — one
+    /// [`ClaimUnit`] per live member that still wants them — and the
+    /// cursor moves past it. Claims name entries and members by id,
+    /// never by position — positions shift as finished work is removed.
+    fn reap_and_claim(cfg: &ServerConfig, st: &mut SchedState) -> Option<Claim> {
+        // A cancelled member with nothing in flight gets no more
+        // complete() calls — finalize it here so it cannot linger.
+        while let Some((ei, mi)) = st.jobs.iter().enumerate().find_map(|(ei, e)| {
+            e.members
+                .iter()
+                .position(|m| m.cancelled() && m.quiescent())
+                .map(|mi| (ei, mi))
+        }) {
+            Self::finalize_and_remove(st, ei, mi);
         }
         if st.phase == ServePhase::Shutdown {
             return None;
@@ -1060,48 +1436,78 @@ impl JobServer {
         }
         for k in 0..n {
             let i = (st.cursor + k) % n;
-            let job = &mut st.jobs[i];
-            if job.cell.cancelled.load(Ordering::Relaxed) {
+            let entry = &mut st.jobs[i];
+            let Some(live_end) = entry.live_end() else {
                 continue;
+            };
+            let quantum = cfg.shot_quantum.max(1) * entry.priority.weight();
+            let start = entry.next_shot;
+            let end = (start + quantum).min(live_end);
+            entry.next_shot = end;
+            let mut units = Vec::with_capacity(entry.members.len());
+            for m in entry.members.iter_mut() {
+                if m.cancelled() || m.claimed >= m.shots {
+                    continue;
+                }
+                // A live member's claimed prefix tracks the entry's
+                // stream (clipped to its own shot count), so its next
+                // range always starts at `claimed`.
+                let mend = end.min(m.shots);
+                if mend > m.claimed {
+                    units.push(ClaimUnit {
+                        member: m.id,
+                        engine: m.engine.clone(),
+                        range: m.claimed..mend,
+                    });
+                    m.claimed = mend;
+                }
             }
-            if job.next_shot < job.shots {
-                let quantum = cfg.shot_quantum.max(1) * job.priority.weight();
-                let start = job.next_shot;
-                let end = (start + quantum).min(job.shots);
-                job.next_shot = end;
-                let engine = job.engine.clone();
-                let id = job.id;
-                st.cursor = (i + 1) % n;
-                return Some((engine, id, start..end));
-            }
+            debug_assert!(
+                !units.is_empty(),
+                "an entry with a live_end always has a member wanting shots"
+            );
+            let id = entry.id;
+            st.cursor = (i + 1) % n;
+            return Some(Claim { entry: id, units });
         }
         None
     }
 
-    /// Folds a finished quantum back into its job; finalizes the job
-    /// when its last expected shot lands (all requested shots, or all
-    /// claimed shots of a cancelled job).
-    fn complete(&self, id: u64, batch: Vec<ShotSummary>) {
+    /// Folds finished per-member batches of one claimed quantum back
+    /// into their members; finalizes every member whose last expected
+    /// shot landed (all requested shots, or all claimed shots of a
+    /// cancelled member).
+    fn complete(&self, entry_id: u64, batches: Vec<(u64, Vec<ShotSummary>)>) {
         let mut st = self.lock_state();
-        let index = st
+        let entry_index = st
             .jobs
             .iter()
-            .position(|j| j.id == id)
-            .expect("a job with claimed shots outstanding is never removed");
-        let done = {
-            let job = &mut st.jobs[index];
-            job.done_shots += batch.len() as u64;
-            job.cell
-                .inner
-                .lock()
-                .expect("job cell lock poisoned")
-                .summaries
-                .extend(batch);
-            job.done_shots == job.shots
-                || (job.cell.cancelled.load(Ordering::Relaxed) && job.quiescent())
-        };
-        if done {
-            self.finalize_detached(st, index);
+            .position(|e| e.id == entry_id)
+            .expect("an entry with claimed shots outstanding is never removed");
+        let mut to_finalize = Vec::new();
+        {
+            let entry = &mut st.jobs[entry_index];
+            for (member_id, batch) in batches {
+                let mi = entry
+                    .members
+                    .iter()
+                    .position(|m| m.id == member_id)
+                    .expect("a member with claimed shots outstanding is never removed");
+                let m = &mut entry.members[mi];
+                m.done += batch.len() as u64;
+                m.cell
+                    .inner
+                    .lock()
+                    .expect("job cell lock poisoned")
+                    .summaries
+                    .extend(batch);
+                if m.finished() {
+                    to_finalize.push(mi);
+                }
+            }
+        }
+        if !to_finalize.is_empty() {
+            self.finalize_members_detached(st, entry_index, to_finalize);
         } else {
             drop(st);
         }
@@ -1109,80 +1515,321 @@ impl JobServer {
         self.inner.work.notify_all();
     }
 
-    /// Records a claimed quantum whose execution panicked: its summaries
-    /// will never land, so the job is cancelled (the gap makes further
-    /// shots meaningless) and finalized as a prefix partial once
-    /// quiescent.
-    fn fail_quantum(&self, id: u64, shots: u64) {
+    /// Records a claimed member range whose execution panicked: its
+    /// summaries will never land, so the member is cancelled (the gap
+    /// makes further shots meaningless) and finalized as a prefix
+    /// partial once quiescent. Other members of the same entry are
+    /// untouched.
+    fn fail_member(&self, entry_id: u64, member_id: u64, shots: u64) {
         let mut st = self.lock_state();
-        let index = st
+        let entry_index = st
             .jobs
             .iter()
-            .position(|j| j.id == id)
-            .expect("a job with claimed shots outstanding is never removed");
-        let job = &mut st.jobs[index];
-        job.lost_shots += shots;
-        job.cell.cancelled.store(true, Ordering::Relaxed);
-        if job.quiescent() {
-            self.finalize_detached(st, index);
+            .position(|e| e.id == entry_id)
+            .expect("an entry with claimed shots outstanding is never removed");
+        let entry = &mut st.jobs[entry_index];
+        let mi = entry
+            .members
+            .iter()
+            .position(|m| m.id == member_id)
+            .expect("a member with claimed shots outstanding is never removed");
+        let m = &mut entry.members[mi];
+        m.lost += shots;
+        m.cell.cancelled.store(true, Ordering::Relaxed);
+        if m.quiescent() {
+            self.finalize_members_detached(st, entry_index, vec![mi]);
         } else {
             drop(st);
         }
         self.inner.work.notify_all();
     }
 
-    /// Runs one claimed quantum, isolating panics from user-supplied
-    /// factories/backends: a panicking quantum fails its job (cancelled,
-    /// prefix-consistent partial) instead of hanging the drain or
-    /// killing the worker.
-    fn execute_quantum(&self, engine: &ShotEngine, id: u64, range: std::ops::Range<u64>) {
-        let shots = range.end - range.start;
-        let batch = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            range
-                .map(|s| engine.run_shot(s))
-                .collect::<Vec<ShotSummary>>()
-        }));
-        match batch {
-            Ok(batch) => self.complete(id, batch),
-            Err(_) => self.fail_quantum(id, shots),
+    /// Runs one claimed quantum — every member's shot range — isolating
+    /// panics from user-supplied factories/backends per member: a
+    /// panicking range fails its member (cancelled, prefix-consistent
+    /// partial) without touching the other members of the pack or
+    /// hanging the drain. One [`WorkerScratch`] spans the whole claim,
+    /// so members compiled from the same program share a prepared
+    /// lowered runner.
+    fn execute_claim(&self, claim: Claim) {
+        let mut scratch = WorkerScratch::default();
+        let mut batches = Vec::with_capacity(claim.units.len());
+        for unit in claim.units {
+            let shots = unit.range.end - unit.range.start;
+            let batch = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                unit.range
+                    .clone()
+                    .map(|s| unit.engine.run_shot_reusing(s, &mut scratch))
+                    .collect::<Vec<ShotSummary>>()
+            }));
+            match batch {
+                Ok(batch) => batches.push((unit.member, batch)),
+                Err(_) => {
+                    // The scratch may hold arbitrary mid-shot state
+                    // after an unwind; start the next member fresh.
+                    scratch = WorkerScratch::default();
+                    self.fail_member(claim.entry, unit.member, shots);
+                }
+            }
+        }
+        if !batches.is_empty() {
+            self.complete(claim.entry, batches);
         }
     }
 
     /// Cooperative cancellation (see [`JobHandle::cancel`]).
     fn cancel_job(&self, id: u64, cell: &Arc<JobCell>) {
         let st = self.lock_state();
-        let Some(index) = st.jobs.iter().position(|j| j.id == id) else {
-            // Already finished: cancelling is a no-op — the flag stays
-            // clear so progress() keeps agreeing with the result.
+        let Some((entry_index, member_index)) = st
+            .jobs
+            .iter()
+            .enumerate()
+            .find_map(|(ei, e)| e.members.iter().position(|m| m.id == id).map(|mi| (ei, mi)))
+        else {
+            // Not queued: either already finished (cancelling is a
+            // no-op — the flag stays clear so progress() keeps agreeing
+            // with the result) or inside a pack formation / detached
+            // fold. The cell knows which: no published result means the
+            // job is still live somewhere, so the flag must stick — the
+            // packer re-inserts the member with the flag already set
+            // and the claim path skips it.
+            let unfinished = cell
+                .inner
+                .lock()
+                .expect("job cell lock poisoned")
+                .result
+                .is_none();
+            if unfinished {
+                cell.cancelled.store(true, Ordering::Relaxed);
+            }
+            drop(st);
+            self.inner.work.notify_all();
             return;
         };
         // Set the flag under the server lock so no claim can start a new
         // quantum after cancel() returns.
         cell.cancelled.store(true, Ordering::Relaxed);
-        if st.jobs[index].quiescent() {
+        if st.jobs[entry_index].members[member_index].quiescent() {
             // Nothing in flight: finalize right here (off the lock).
-            self.finalize_detached(st, index);
+            self.finalize_members_detached(st, entry_index, vec![member_index]);
         } else {
             drop(st);
         }
         self.inner.work.notify_all();
     }
 
+    /// Scans the queue for a group of ≥ 2 packable entries (same
+    /// [`PackClass`], nobody started, nobody cancelled, combined span
+    /// within the cap) in queue order. On a hit the group's entries are
+    /// *removed* from the queue and the `forming` counter is bumped —
+    /// the caller owns them and **must** call
+    /// [`form_pack`](JobServer::form_pack), which either re-inserts a
+    /// packed entry or puts the solos back.
+    fn scan_pack_group(&self, st: &mut SchedState) -> Option<Vec<ActiveEntry>> {
+        let pc = self.inner.cfg.packer.as_ref()?;
+        if pc.max_members < 2 || st.phase == ServePhase::Shutdown {
+            return None;
+        }
+        struct Group {
+            class: PackClass,
+            indices: Vec<usize>,
+            span: u16,
+            cap: u16,
+        }
+        let mut groups: Vec<Group> = Vec::new();
+        for (i, e) in st.jobs.iter().enumerate() {
+            let Some(class) = e.pack else { continue };
+            if e.next_shot != 0
+                || e.packed.is_some()
+                || e.members.len() != 1
+                || e.members[0].cancelled()
+            {
+                continue;
+            }
+            // Compare the config digest outright, not just the hashed
+            // class key: a key collision must never merge jobs with
+            // different machine configs.
+            let slot = groups
+                .iter_mut()
+                .find(|g| g.class.key == class.key && g.class.cfg_digest == class.cfg_digest);
+            match slot {
+                Some(g) => {
+                    if g.indices.len() < pc.max_members && g.span + class.span <= g.cap {
+                        g.indices.push(i);
+                        g.span += class.span;
+                    }
+                }
+                None => groups.push(Group {
+                    class,
+                    indices: vec![i],
+                    span: class.span,
+                    // Every group member shares the config (digest
+                    // checked above), so the cap is fixed at creation.
+                    cap: Self::pack_span_cap(pc, e.members[0].engine.job().cfg()),
+                }),
+            }
+        }
+        let indices = groups.into_iter().find(|g| g.indices.len() >= 2)?.indices;
+        let mut entries = Vec::with_capacity(indices.len());
+        for &i in indices.iter().rev() {
+            entries.push(Self::remove_entry(st, i));
+        }
+        entries.reverse();
+        st.forming += 1;
+        Some(entries)
+    }
+
+    /// The de-multiplexer layout of a scanned group, computed without
+    /// building the combined program ([`multiprogramming::layout`]):
+    /// keeps cache-warm pack formation free of the O(combined program)
+    /// relocation pass.
+    fn member_slices(entries: &[ActiveEntry]) -> Vec<MemberSlice> {
+        multiprogramming::layout(entries.iter().map(|e| e.members[0].engine.job().program()))
+    }
+
+    /// Combines a scanned group into one packed entry: relocates the
+    /// member programs into disjoint qubit regions
+    /// ([`multiprogramming::pack`]), compiles the combined program
+    /// through the compile cache (recurring pack shapes are cache-warm —
+    /// keyed by the member compile keys, so a warm formation skips the
+    /// combine entirely), and re-queues a single [`ActiveEntry`] whose
+    /// members share the claim stream. On any failure the solo entries
+    /// go back verbatim — with their pack class cleared so the same
+    /// doomed group is never scanned again.
+    ///
+    /// Runs with the server lock **released** (combining + compiling is
+    /// the expensive part); the `forming` counter taken by the scan
+    /// keeps drains honest while the entries are off the queue.
+    fn form_pack(&self, entries: Vec<ActiveEntry>) {
+        debug_assert!(entries.len() >= 2);
+        // Pack cache key: hash of the member compile keys in claim
+        // order. Each member key already pins (source, config) — and the
+        // combined program is a pure function of the member programs in
+        // order — so a repeated group shape resolves to a warm cache
+        // slot *without* re-running the relocation or digesting the
+        // combined program. Tag 3 keeps pack keys disjoint from the
+        // text(1)/program(2) key spaces of `JobSource::cache_key`.
+        let mut hi = Fnv64::new();
+        let mut lo = Fnv64::new();
+        hi.write_u32(3);
+        lo.write_u32(!3u32);
+        for e in &entries {
+            hi.write_u64((e.source_key >> 64) as u64);
+            lo.write_u64(e.source_key as u64);
+        }
+        let key = (u128::from(hi.finish()) << 64) | u128::from(lo.finish());
+        let cfg = entries[0].members[0].engine.job().cfg().clone();
+        let outcome = self
+            .inner
+            .cache
+            .get_or_compile(key, None, || {
+                let programs: Vec<_> = entries
+                    .iter()
+                    .map(|e| e.members[0].engine.job().program().clone())
+                    .collect();
+                let combined = multiprogramming::combine(&programs)
+                    .map_err(|e| JobError::Compile(MachineError::Config(e.to_string())))?;
+                JobSource::Program(combined).compile(cfg)
+            })
+            .map(|outcome| (outcome, Self::member_slices(&entries)))
+            .map_err(|_| ());
+        let mut st = self.lock_state();
+        st.forming -= 1;
+        match outcome {
+            Ok((outcome, slices)) => {
+                debug_assert_eq!(slices.len(), entries.len());
+                let id = st.next_id;
+                st.next_id += 1;
+                let shots = entries.iter().map(|e| e.members[0].shots).sum::<u64>();
+                let mut stats = self
+                    .inner
+                    .packer_stats
+                    .lock()
+                    .expect("packer stats lock poisoned");
+                stats.packs_formed += 1;
+                stats.jobs_packed += entries.len() as u64;
+                stats.packed_shots += shots;
+                if outcome.hit {
+                    stats.combine_cache_hits += 1;
+                }
+                drop(stats);
+                // All members share one pack class, hence one priority.
+                let priority = entries[0].priority;
+                let members = entries
+                    .into_iter()
+                    .map(|mut e| e.members.pop().expect("scanned entries are solos"))
+                    .collect();
+                st.jobs.push(ActiveEntry {
+                    id,
+                    priority,
+                    next_shot: 0,
+                    source_key: key,
+                    pack: None,
+                    packed: Some(PackInfo {
+                        job: outcome.job,
+                        slices,
+                    }),
+                    members,
+                });
+            }
+            Err(_) => {
+                let mut stats = self
+                    .inner
+                    .packer_stats
+                    .lock()
+                    .expect("packer stats lock poisoned");
+                stats.declined += 1;
+                drop(stats);
+                for mut e in entries {
+                    e.pack = None;
+                    st.jobs.push(e);
+                }
+            }
+        }
+        drop(st);
+        self.inner.work.notify_all();
+    }
+
+    /// One scheduler turn: try to form a pack (packer enabled), else
+    /// claim a quantum. Consumes the guard and does the work off-lock
+    /// on success; hands the guard back untouched when nothing was
+    /// claimable, so the caller can park on the condvar *atomically*
+    /// with the failed check (no lost wakeups).
+    #[allow(clippy::result_large_err)]
+    fn try_pack_then_claim<'a>(
+        &self,
+        mut guard: MutexGuard<'a, SchedState>,
+    ) -> Result<(), MutexGuard<'a, SchedState>> {
+        if let Some(group) = self.scan_pack_group(&mut guard) {
+            drop(guard);
+            self.flush_finish_hooks();
+            self.form_pack(group);
+            return Ok(());
+        }
+        let Some(claim) = Self::reap_and_claim(&self.inner.cfg, &mut guard) else {
+            return Err(guard);
+        };
+        drop(guard);
+        // The claim-path reap finalizes under the lock; surface those
+        // completions before (and after) the quantum runs.
+        self.flush_finish_hooks();
+        self.execute_claim(claim);
+        Ok(())
+    }
+
     /// Batch worker: claim until the queue has nothing claimable, then
     /// exit (the [`run`](JobServer::run) drain).
     fn worker_loop(&self) {
         loop {
-            let claimed = {
-                let mut st = self.lock_state();
-                Self::reap_and_claim(&self.inner.cfg, &mut st)
-            };
-            // The claim-path reap finalizes under the lock; surface
-            // those completions before (and after) the quantum runs.
-            self.flush_finish_hooks();
-            let Some((engine, id, range)) = claimed else {
-                break;
-            };
-            self.execute_quantum(&engine, id, range);
+            match self.try_pack_then_claim(self.lock_state()) {
+                Ok(()) => {}
+                Err(guard) => {
+                    drop(guard);
+                    // The reap may have finalized under the lock.
+                    self.flush_finish_hooks();
+                    break;
+                }
+            }
         }
     }
 
@@ -1191,12 +1838,12 @@ impl JobServer {
     fn serving_loop(&self) {
         let mut st = self.lock_state();
         loop {
-            if let Some((engine, id, range)) = Self::reap_and_claim(&self.inner.cfg, &mut st) {
-                drop(st);
-                self.flush_finish_hooks();
-                self.execute_quantum(&engine, id, range);
-                st = self.lock_state();
-                continue;
+            match self.try_pack_then_claim(st) {
+                Ok(()) => {
+                    st = self.lock_state();
+                    continue;
+                }
+                Err(guard) => st = guard,
             }
             if !st.hook_pending.is_empty() {
                 // Never park with unfired completion hooks: the reap
@@ -1209,7 +1856,11 @@ impl JobServer {
             }
             match st.phase {
                 ServePhase::Shutdown => break,
-                ServePhase::Draining if st.jobs.is_empty() && st.finalizing == 0 => break,
+                ServePhase::Draining
+                    if st.jobs.is_empty() && st.finalizing == 0 && st.forming == 0 =>
+                {
+                    break
+                }
                 _ => {
                     st = self.inner.work.wait(st).expect("server lock poisoned");
                 }
@@ -1365,12 +2016,14 @@ impl ServingServer {
                 .expect("server lock poisoned");
         }
         // After the join no claimed quantum is still executing, so any
-        // job still queued (the shutdown path; after a drain only if a
-        // worker died) finalizes as a cancelled prefix partial.
-        while let Some(index) = st.jobs.len().checked_sub(1) {
-            st.jobs[index].cell.cancelled.store(true, Ordering::Relaxed);
-            debug_assert!(worker_panicked || st.jobs[index].quiescent());
-            JobServer::finalize_and_remove(&mut st, index);
+        // member still queued (the shutdown path; after a drain only if
+        // a worker died) finalizes as a cancelled prefix partial.
+        while let Some(entry_index) = st.jobs.len().checked_sub(1) {
+            let member_index = st.jobs[entry_index].members.len() - 1;
+            let member = &st.jobs[entry_index].members[member_index];
+            member.cell.cancelled.store(true, Ordering::Relaxed);
+            debug_assert!(worker_panicked || member.quiescent());
+            JobServer::finalize_and_remove(&mut st, entry_index, member_index);
         }
         // The phase stays Draining/Shutdown: a stopped serving session is
         // terminal, later submissions get `NotAccepting` deterministically.

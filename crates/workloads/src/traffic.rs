@@ -141,6 +141,50 @@ pub fn sharded_traffic(seed: u64, requests: usize, distinct: usize) -> Vec<Traff
     stream(&sized_program_pool(distinct.max(1)), seed, requests)
 }
 
+/// The distinct programs of the *small-job* stream: narrow spans (one
+/// or two qubits) and short bodies, so many of them fit side by side in
+/// the qubit space after relocation. This is the packing regime of
+/// §3.1.2 — jobs too small to amortize their own scheduling overhead,
+/// which a multiprogramming packer merges into one shot stream.
+pub fn small_program_pool() -> Vec<(&'static str, Program)> {
+    vec![
+        ("cond_x", conditional_x(0).expect("valid workload")),
+        ("chain_4", feedback_chain(0, 4).expect("valid workload")),
+        ("chain2_6", feedback_chain(1, 6).expect("valid workload")),
+        ("mrce_3", mrce_feedback_chain(0, 3).expect("valid workload")),
+        ("rus", rus_block(0).expect("valid workload")),
+    ]
+}
+
+/// A deterministic small-job-heavy stream for the packing benchmark:
+/// every request draws from [`small_program_pool`], runs the same shot
+/// count at the same priority, and names one of four tenants — so under
+/// the server's exact-shot pack policy every co-queued pair is
+/// packable, and the packed-vs-interleaved comparison measures the
+/// packer, not stream skew.
+pub fn small_job_traffic(seed: u64, requests: usize) -> Vec<TrafficRequest> {
+    let pool: Vec<(String, String)> = small_program_pool()
+        .into_iter()
+        .map(|(name, p)| (name.to_string(), p.to_string()))
+        .collect();
+    let mut rng = SmallRng::seed_from_u64(seed);
+    (0..requests)
+        .map(|i| {
+            let pool_index = rng.gen_range(0..pool.len());
+            let (prog_name, source) = &pool[pool_index];
+            let tenant = format!("t{}", rng.gen_range(0..4u32));
+            TrafficRequest {
+                name: format!("req{i}_{prog_name}"),
+                tenant,
+                source: source.clone(),
+                shots: 16,
+                priority_class: 1,
+                pool_index,
+            }
+        })
+        .collect()
+}
+
 /// A hot-tenant admission-control stream: `hog_requests` bulk jobs of
 /// `hog_shots` shots each from one tenant (`hog`), followed by
 /// `mouse_requests` single-shot probes spread round-robin over three
@@ -227,6 +271,27 @@ mod tests {
             seen[r.pool_index] = true;
         }
         assert!(seen.iter().all(|&s| s), "64 requests cover every program");
+    }
+
+    #[test]
+    fn small_job_stream_is_uniformly_packable() {
+        let a = small_job_traffic(11, 32);
+        let b = small_job_traffic(11, 32);
+        assert_eq!(a.len(), 32);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.name, y.name);
+            assert_eq!(x.source, y.source);
+        }
+        // One shot count, one priority class: a single pack class per
+        // config, so any co-queued pair is a packing candidate.
+        assert!(a.iter().all(|r| r.shots == 16 && r.priority_class == 1));
+        // Every pool program assembles and stays narrow (≤ 2 qubits).
+        for (name, program) in small_program_pool() {
+            let text = program.to_string();
+            quape_isa::assemble(&text)
+                .unwrap_or_else(|e| panic!("{name} does not round-trip: {e}"));
+            assert!(program.num_qubits() <= 2, "{name} is not small");
+        }
     }
 
     #[test]

@@ -26,6 +26,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             shot_quantum: 8,
             cache_capacity: 8,
             machine: None,
+            packer: None,
         },
         profiles: vec![small, ShardProfile::unconstrained()],
         ..RouterConfig::default()
@@ -103,6 +104,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 shot_quantum: 4,
                 cache_capacity: 4,
                 machine: None,
+                packer: None,
             },
             ..RouterConfig::default()
         },

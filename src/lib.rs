@@ -81,8 +81,8 @@ pub mod prelude {
         RoutedResult, Router, RouterConfig, ShardProfile, ShardStatus, StealConfig,
     };
     pub use quape_server::{
-        JobError, JobHandle, JobProgress, JobRequest, JobServer, JobSource, MachineSpec, Priority,
-        ServerConfig, ServingServer,
+        JobError, JobHandle, JobProgress, JobRequest, JobServer, JobSource, MachineSpec,
+        PackerConfig, PackerStats, Priority, ServerConfig, ServingServer, ShotPolicy,
     };
     pub use quape_workloads::{benchmark_suite, ShorSyndrome, ShorSyndromeConfig};
 }
