@@ -5,7 +5,9 @@
 //! Usage: `mixed_traffic [--requests N] [--seed S] [--threads T]
 //! [--repeats K] [--machine <file-or-name>] [--json] [--json-out <path>]
 //! [--min-warm-speedup <x>] [--pack] [--min-pack-ratio <x>]
-//! [--check-schema <path>]`.
+//! [--check-schema <path>] [--trace-out <path>] [--metrics-out <path>]
+//! [--min-obs-ratio <x>] [--check-trace-schema <path>]
+//! [--trace-schema-out <path>]`.
 //!
 //! `--machine` runs every scenario on a declarative machine description
 //! instead of the uniprocessor baseline: a `machines/*.json` path or a
@@ -22,6 +24,18 @@
 //! fingerprint against this binary's current row type and exits (0
 //! match / 1 drift) without running the benchmark.
 //!
+//! `--trace-out <path>` records every job's lifecycle (works with and
+//! without `--pack`), audits the trace — first event accepted, exactly
+//! one terminal, no quantum outside the span — and writes Chrome
+//! trace-event JSON loadable in Perfetto (`ui.perfetto.dev`);
+//! `--metrics-out <path>` writes the recorder's per-scope counter and
+//! latency-histogram snapshot as JSON. `--min-obs-ratio <x>` runs the
+//! obs-overhead comparison instead (the same stream served obs-off and
+//! obs-on, aggregates asserted bit-identical) and exits nonzero when
+//! obs-on throughput falls below `x` times obs-off.
+//! `--check-trace-schema <path>` verifies the committed trace baseline's
+//! fingerprint (refresh it with `--trace-schema-out`).
+//!
 //! Each scenario reports its fastest of `--repeats` passes (default 3),
 //! shedding host scheduler noise — the simulated work is deterministic,
 //! so the minimum is the honest per-scenario estimate.
@@ -33,9 +47,13 @@
 //! `--min-warm-speedup` exits nonzero when the cache-warm server fails
 //! to beat the naive client by the given factor.
 
-use quape_bench::mixed::{run_mixed_traffic_on, run_packed_traffic, warm_speedup, ScenarioResult};
+use quape_bench::mixed::{
+    run_mixed_traffic_observed, run_obs_overhead, run_packed_traffic_observed, warm_speedup,
+    ScenarioResult,
+};
 use quape_bench::sweep::resolve_machine;
 use quape_bench::table::{check_schema, to_json, write_json, TextTable};
+use quape_obs::{audit_complete, chrome_trace, Recorder, TraceKind};
 
 struct Args {
     requests: usize,
@@ -49,6 +67,11 @@ struct Args {
     pack: bool,
     min_pack_ratio: Option<f64>,
     check_schema: Option<String>,
+    trace_out: Option<String>,
+    metrics_out: Option<String>,
+    min_obs_ratio: Option<f64>,
+    check_trace_schema: Option<String>,
+    trace_schema_out: Option<String>,
 }
 
 fn parse_args() -> Args {
@@ -64,6 +87,11 @@ fn parse_args() -> Args {
         pack: false,
         min_pack_ratio: None,
         check_schema: None,
+        trace_out: None,
+        metrics_out: None,
+        min_obs_ratio: None,
+        check_trace_schema: None,
+        trace_schema_out: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
@@ -90,6 +118,20 @@ fn parse_args() -> Args {
             }
             "--check-schema" => {
                 args.check_schema = Some(it.next().expect("--check-schema needs a path"));
+            }
+            "--trace-out" => {
+                args.trace_out = Some(it.next().expect("--trace-out needs a path"));
+            }
+            "--metrics-out" => {
+                args.metrics_out = Some(it.next().expect("--metrics-out needs a path"));
+            }
+            "--min-obs-ratio" => args.min_obs_ratio = Some(num("--min-obs-ratio")),
+            "--check-trace-schema" => {
+                args.check_trace_schema =
+                    Some(it.next().expect("--check-trace-schema needs a path"));
+            }
+            "--trace-schema-out" => {
+                args.trace_schema_out = Some(it.next().expect("--trace-schema-out needs a path"));
             }
             other => {
                 eprintln!("unknown flag `{other}`");
@@ -118,6 +160,84 @@ fn sample_rows() -> Vec<ScenarioResult> {
     }]
 }
 
+/// A synthetic trace covering every [`TraceKind`] once: its rendered
+/// Chrome JSON carries every event shape and argument key this binary
+/// can emit, so the committed `BENCH_trace.json` baseline must
+/// fingerprint identically. Values are placeholders — the fingerprint
+/// compares key paths only.
+fn sample_trace_json() -> String {
+    let rec = Recorder::new();
+    let fleet = rec.fleet_scope();
+    let shard = rec.scope(0);
+    let kinds = [
+        TraceKind::Accepted,
+        TraceKind::Admitted,
+        TraceKind::Shed,
+        TraceKind::Dispatched,
+        TraceKind::DrrRound,
+        TraceKind::Placed,
+        TraceKind::Compiled,
+        TraceKind::CacheHit,
+        TraceKind::Packed,
+        TraceKind::Quantum,
+        TraceKind::Finalized,
+        TraceKind::Cancelled,
+        TraceKind::ReRouted,
+        TraceKind::Stolen,
+        TraceKind::ShardDown,
+        TraceKind::ShardRetiring,
+    ];
+    for kind in kinds {
+        shard.event(kind, 0, 1, 0, 0);
+        fleet.event_tenant(kind, 0, 1, 0, 0, "tenant");
+    }
+    shard.span(TraceKind::Quantum, 1, 1, 0, 8, std::time::Instant::now());
+    chrome_trace(&rec)
+}
+
+/// Audits the recorded lifecycles and writes the requested trace /
+/// metrics artifacts. Exits nonzero when the trace is malformed — the
+/// export paths double as the trace-correctness gate at bench scale.
+fn export_obs(recorder: &Recorder, args: &Args, min_jobs: usize) {
+    let events = recorder.events();
+    if events.is_empty() {
+        return;
+    }
+    match audit_complete(&events, min_jobs) {
+        Ok(a) => eprintln!(
+            "trace audit OK: {} lifecycles, {} quanta, {} events ({} dropped)",
+            a.jobs,
+            a.quanta,
+            events.len(),
+            recorder.dropped_events()
+        ),
+        Err(e) => {
+            eprintln!("FAIL: trace audit: {e}");
+            std::process::exit(1);
+        }
+    }
+    if let Some(path) = &args.trace_out {
+        let json = chrome_trace(recorder);
+        // Every real export must stay within the shapes the committed
+        // baseline fingerprints (values differ, key paths must not).
+        let want = quape_bench::table::schema_fingerprint(&sample_trace_json())
+            .expect("sample trace renders valid JSON");
+        let have = quape_bench::table::schema_fingerprint(&json)
+            .unwrap_or_else(|e| panic!("exported trace is malformed JSON: {e}"));
+        let rogue: Vec<_> = have.iter().filter(|p| !want.contains(p)).collect();
+        if !rogue.is_empty() {
+            eprintln!("FAIL: exported trace has unbaselined key paths: {rogue:?}");
+            std::process::exit(1);
+        }
+        std::fs::write(path, json).unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+        eprintln!("chrome trace written: {path}");
+    }
+    if let Some(path) = &args.metrics_out {
+        write_json(path, &recorder.metrics());
+        eprintln!("metrics snapshot written: {path}");
+    }
+}
+
 fn render_rows(rows: &[ScenarioResult]) -> String {
     let mut t = TextTable::new([
         "scenario",
@@ -144,8 +264,16 @@ fn render_rows(rows: &[ScenarioResult]) -> String {
     t.render()
 }
 
-fn run_packed(args: &Args) {
-    let outcome = run_packed_traffic(args.seed, args.requests, args.threads, args.repeats);
+fn run_packed(args: &Args, recorder: &Recorder) {
+    let outcome = run_packed_traffic_observed(
+        args.seed,
+        args.requests,
+        args.threads,
+        args.repeats,
+        recorder,
+    );
+    // Both servers trace a warm-up pass plus every measured pass.
+    export_obs(recorder, args, 2 * args.requests);
     if let Some(path) = &args.json_out {
         write_json(path, &outcome.rows);
     }
@@ -180,6 +308,35 @@ fn run_packed(args: &Args) {
     }
 }
 
+/// The obs-overhead gate: serve the stream obs-off and obs-on
+/// (bit-identity asserted inside) and require the throughput ratio to
+/// stay above the floor.
+fn run_obs_gate(args: &Args, min_ratio: f64) {
+    let o = run_obs_overhead(args.seed, args.requests, args.threads, args.repeats);
+    export_obs(&o.recorder, args, args.requests);
+    if args.json {
+        println!("{}", to_json(&o.rows));
+    } else {
+        println!(
+            "Observability overhead: {} requests, seed {} (obs-on aggregates verified \
+             bit-identical to obs-off):",
+            args.requests, args.seed
+        );
+        println!("{}", render_rows(&o.rows));
+    }
+    eprintln!(
+        "obs-on over obs-off: {:.3}x jobs/sec ({} trace events recorded)",
+        o.obs_ratio, o.trace_events
+    );
+    if o.obs_ratio.is_nan() || o.obs_ratio < min_ratio {
+        eprintln!(
+            "FAIL: obs-on throughput ratio {:.3} < required {min_ratio:.3}",
+            o.obs_ratio
+        );
+        std::process::exit(1);
+    }
+}
+
 fn main() {
     let args = parse_args();
     if let Some(path) = &args.check_schema {
@@ -194,8 +351,37 @@ fn main() {
             }
         }
     }
+    if let Some(path) = &args.trace_schema_out {
+        std::fs::write(path, sample_trace_json())
+            .unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+        eprintln!("trace schema baseline written: {path}");
+        return;
+    }
+    if let Some(path) = &args.check_trace_schema {
+        match check_schema(path, &sample_trace_json()) {
+            Ok(()) => {
+                eprintln!("trace schema OK: {path}");
+                return;
+            }
+            Err(e) => {
+                eprintln!("FAIL: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+    if let Some(min) = args.min_obs_ratio {
+        run_obs_gate(&args, min);
+        return;
+    }
+    // Recording stays off unless an export asked for it — the default
+    // run measures the exact pre-obs code path.
+    let recorder = if args.trace_out.is_some() || args.metrics_out.is_some() {
+        Recorder::new()
+    } else {
+        Recorder::off()
+    };
     if args.pack {
-        run_packed(&args);
+        run_packed(&args, &recorder);
         return;
     }
     let machine = args.machine.as_deref().map(|spec| {
@@ -209,13 +395,17 @@ fn main() {
     if let Some(spec) = &args.machine {
         eprintln!("machine: {spec}");
     }
-    let (rows, tenants) = run_mixed_traffic_on(
+    let (rows, tenants) = run_mixed_traffic_observed(
         machine.as_ref(),
         args.seed,
         args.requests,
         args.threads,
         args.repeats,
+        &recorder,
     );
+    // Every cold server instance plus the warm re-drives traced a full
+    // pass each; the weakest floor is one pass of lifecycles.
+    export_obs(&recorder, &args, args.requests);
     if let Some(path) = &args.json_out {
         write_json(path, &rows);
     }

@@ -19,6 +19,7 @@
 
 use crate::support::{factory, percentile, priority_of};
 use quape_core::{CompiledJob, QuapeConfig, ShotEngine};
+use quape_obs::{ObsScope, Recorder};
 use quape_server::{
     CacheStats, JobRequest, JobServer, JobSource, PackerConfig, PackerStats, ServerConfig,
 };
@@ -193,6 +194,24 @@ pub fn run_mixed_traffic_on(
     threads: usize,
     repeats: usize,
 ) -> (Vec<ScenarioResult>, Vec<(String, CacheStats)>) {
+    run_mixed_traffic_observed(machine, seed, requests, threads, repeats, &Recorder::off())
+}
+
+/// [`run_mixed_traffic_on`] with lifecycle tracing: every server pass
+/// records into `recorder`. Each server instance gets its own trace
+/// scope (`server-0`, `server-1`, …) because server job ids restart per
+/// instance and the lifecycle audit keys on (scope, job); the last
+/// scope also carries the warm passes, which re-drive the kept server.
+/// Telemetry observes the schedule without steering it, so the
+/// naive/cold/warm bit-identity asserts run unchanged with tracing on.
+pub fn run_mixed_traffic_observed(
+    machine: Option<&quape_core::MachineDescription>,
+    seed: u64,
+    requests: usize,
+    threads: usize,
+    repeats: usize,
+    recorder: &Recorder,
+) -> (Vec<ScenarioResult>, Vec<(String, CacheStats)>) {
     let repeats = repeats.max(1);
     let traffic = mixed_traffic(seed, requests);
     let cfg = machine
@@ -224,27 +243,29 @@ pub fn run_mixed_traffic_on(
     // Cold passes each use a fresh server (an empty cache is the
     // scenario); the last server is kept and re-driven for the warm
     // passes, which all hit its populated cache.
-    let mut server = JobServer::new(ServerConfig {
-        threads,
-        shot_quantum: 8,
-        cache_capacity: 16,
-        machine: machine.cloned(),
-        packer: None,
-    });
+    let mut instance = 0u32;
+    let mut new_server = || {
+        let scope = recorder.labeled_scope(instance, &format!("server-{instance}"));
+        instance += 1;
+        JobServer::new(ServerConfig {
+            threads,
+            shot_quantum: 8,
+            cache_capacity: 16,
+            machine: machine.cloned(),
+            packer: None,
+            obs: scope,
+        })
+    };
+    let mut server = None;
     let (cold_lat, cold_aggs, cold_wall, cold_cache) = best_of(
         repeats,
         |p: &ServerPass| p.2,
         || {
-            server = JobServer::new(ServerConfig {
-                threads,
-                shot_quantum: 8,
-                cache_capacity: 16,
-                machine: machine.cloned(),
-                packer: None,
-            });
-            run_server_pass(&server, &cfg, &traffic, base_seed)
+            let s = server.insert(new_server());
+            run_server_pass(s, &cfg, &traffic, base_seed)
         },
     );
+    let server = server.expect("at least one cold pass ran");
 
     let (warm_lat, warm_aggs, warm_wall, warm_cache) = best_of(
         repeats,
@@ -325,11 +346,27 @@ pub fn run_packed_traffic(
     threads: usize,
     repeats: usize,
 ) -> PackedOutcome {
+    run_packed_traffic_observed(seed, requests, threads, repeats, &Recorder::off())
+}
+
+/// [`run_packed_traffic`] with lifecycle tracing: the interleaved
+/// server records into scope 0 (`interleaved`) and the packed server
+/// into scope 1 (`packed`), so an exported trace shows the same stream
+/// served both ways side by side — packed quanta covering whole packs
+/// ([`Packed`](quape_obs::TraceKind::Packed) events tie members to
+/// their combined entry) against one-member-per-quantum interleaving.
+pub fn run_packed_traffic_observed(
+    seed: u64,
+    requests: usize,
+    threads: usize,
+    repeats: usize,
+    recorder: &Recorder,
+) -> PackedOutcome {
     let repeats = repeats.max(1);
     let traffic = small_job_traffic(seed, requests);
     let cfg = QuapeConfig::uniprocessor().with_seed(seed);
     let base_seed = seed.wrapping_mul(1000);
-    let server_cfg = |packer: Option<PackerConfig>| ServerConfig {
+    let server_cfg = |packer: Option<PackerConfig>, obs: ObsScope| ServerConfig {
         threads,
         // A fine preemption quantum — the latency-fairness setting a
         // multi-tenant server actually runs — is where packing pays:
@@ -340,18 +377,22 @@ pub fn run_packed_traffic(
         cache_capacity: 16,
         machine: None,
         packer,
+        obs,
     };
 
-    let warm = |packer: Option<PackerConfig>| {
-        let server = JobServer::new(server_cfg(packer));
+    let warm = |packer: Option<PackerConfig>, obs: ObsScope| {
+        let server = JobServer::new(server_cfg(packer, obs));
         // Warm-up pass: populate the compile cache (including the
         // packed pass's combined programs) so the measured passes
         // compare steady-state serving, not first-contact compiles.
         let _ = run_server_pass(&server, &cfg, &traffic, base_seed);
         server
     };
-    let interleaved = warm(None);
-    let packed = warm(Some(PackerConfig::default()));
+    let interleaved = warm(None, recorder.labeled_scope(0, "interleaved"));
+    let packed = warm(
+        Some(PackerConfig::default()),
+        recorder.labeled_scope(1, "packed"),
+    );
 
     // The measured passes alternate between the two servers. Host
     // throughput drifts on timescales comparable to a scenario's whole
@@ -407,6 +448,105 @@ pub fn run_packed_traffic(
     }
 }
 
+/// Outcome of the obs-overhead comparison ([`run_obs_overhead`]).
+#[derive(Debug)]
+pub struct ObsOverheadOutcome {
+    /// The `obs_off` and `obs_on` scenario rows.
+    pub rows: Vec<ScenarioResult>,
+    /// Obs-on jobs/sec over obs-off jobs/sec (the CI gate ratio; 1.0
+    /// means tracing is free, the gate requires ≥ the configured floor).
+    pub obs_ratio: f64,
+    /// Trace events the observed side recorded across all its passes.
+    pub trace_events: usize,
+    /// The observed side's recorder, for trace/metrics export.
+    pub recorder: Recorder,
+}
+
+/// The zero-cost-when-on check: the same mixed stream served by two
+/// cache-warm servers, one with telemetry off (the compile-time-inert
+/// no-op recorder) and one recording full metrics + lifecycle traces.
+/// Every request's aggregate is asserted **bit-identical** between the
+/// two sides on every pass — telemetry observes, it never steers — and
+/// the throughput ratio is the CI gate for its runtime cost.
+///
+/// Measured passes alternate between the two servers and the gate ratio
+/// is the median per-pair ratio, the same noise discipline as
+/// [`run_packed_traffic`]'s pack gate: adjacent pairs see the same
+/// host-speed drift and the median sheds both noise tails.
+///
+/// # Panics
+///
+/// Panics when an observed aggregate diverges from its unobserved
+/// oracle, or when the observed side recorded no events (the comparison
+/// would be vacuous).
+pub fn run_obs_overhead(
+    seed: u64,
+    requests: usize,
+    threads: usize,
+    repeats: usize,
+) -> ObsOverheadOutcome {
+    let repeats = repeats.max(1);
+    let traffic = mixed_traffic(seed, requests);
+    let cfg = QuapeConfig::uniprocessor().with_seed(seed);
+    let base_seed = seed.wrapping_mul(1000);
+    let recorder = Recorder::new();
+    let warm = |obs: ObsScope| {
+        let server = JobServer::new(ServerConfig {
+            threads,
+            shot_quantum: 8,
+            cache_capacity: 16,
+            machine: None,
+            packer: None,
+            obs,
+        });
+        // Warm-up pass: both sides measure steady-state cache-warm
+        // serving, where per-quantum recording is the largest fraction
+        // of the work — the most obs-hostile regime.
+        let _ = run_server_pass(&server, &cfg, &traffic, base_seed);
+        server
+    };
+    let off = warm(ObsScope::off());
+    let on = warm(recorder.labeled_scope(0, "observed"));
+
+    let mut best_off: Option<ServerPass> = None;
+    let mut best_on: Option<ServerPass> = None;
+    let mut pair_ratios = Vec::with_capacity(repeats);
+    for _ in 0..repeats {
+        let pass_off = run_server_pass(&off, &cfg, &traffic, base_seed);
+        let pass_on = run_server_pass(&on, &cfg, &traffic, base_seed);
+        for (i, agg) in pass_off.1.iter().enumerate() {
+            assert_eq!(
+                agg, &pass_on.1[i],
+                "request {i}: tracing steered the schedule — aggregates diverged"
+            );
+        }
+        pair_ratios.push(pass_off.2 / pass_on.2);
+        if best_off.as_ref().is_none_or(|b| pass_off.2 < b.2) {
+            best_off = Some(pass_off);
+        }
+        if best_on.as_ref().is_none_or(|b| pass_on.2 < b.2) {
+            best_on = Some(pass_on);
+        }
+    }
+    pair_ratios.sort_by(f64::total_cmp);
+    let obs_ratio = pair_ratios[pair_ratios.len() / 2];
+    let trace_events = recorder.events().len() + recorder.dropped_events() as usize;
+    assert!(
+        trace_events > 0,
+        "the observed side recorded nothing — the comparison is vacuous"
+    );
+    let (lat, _, wall, cache) = best_off.expect("at least one pass");
+    let off_row = scenario_row("obs_off", &traffic, lat, wall, cache);
+    let (lat, _, wall, cache) = best_on.expect("at least one pass");
+    let on_row = scenario_row("obs_on", &traffic, lat, wall, cache);
+    ObsOverheadOutcome {
+        rows: vec![off_row, on_row],
+        obs_ratio,
+        trace_events,
+        recorder,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -449,5 +589,39 @@ mod tests {
         assert!(outcome.pack_ratio.is_finite() && outcome.pack_ratio > 0.0);
         // Same stream, equal work on both sides.
         assert_eq!(outcome.rows[0].total_shots, outcome.rows[1].total_shots);
+    }
+
+    #[test]
+    fn packed_trace_covers_every_lifecycle() {
+        let recorder = Recorder::new();
+        let outcome = run_packed_traffic_observed(3, 12, 1, 1, &recorder);
+        assert!(outcome.packer.packs_formed > 0);
+        // Both servers ran a warm-up plus one measured pass: 12 jobs
+        // each per pass, every one with a complete traced lifecycle.
+        let audit = quape_obs::audit_complete(&recorder.events(), 48).unwrap_or_else(|e| {
+            panic!(
+                "packed trace failed its audit: {e}\n{}",
+                quape_obs::flight_recorder(&recorder)
+            )
+        });
+        assert!(audit.quanta > 0);
+        // Scope 1 is the packed server; its trace must show packs.
+        assert!(recorder
+            .events()
+            .iter()
+            .any(|ev| ev.shard == 1 && ev.kind == quape_obs::TraceKind::Packed));
+    }
+
+    #[test]
+    fn obs_overhead_is_bit_identical_and_measured() {
+        // The off-vs-on bit-identity asserts run inside; pin the shape.
+        let o = run_obs_overhead(5, 8, 1, 1);
+        assert_eq!(o.rows.len(), 2);
+        assert_eq!(o.rows[0].scenario, "obs_off");
+        assert_eq!(o.rows[1].scenario, "obs_on");
+        assert!(o.obs_ratio.is_finite() && o.obs_ratio > 0.0);
+        assert!(o.trace_events > 0);
+        // The observed server served 2 passes of 8 jobs, all complete.
+        quape_obs::audit_complete(&o.recorder.events(), 16).unwrap();
     }
 }

@@ -27,8 +27,10 @@
 
 use crate::support::{factory, percentile, priority_of};
 use quape_core::{BatchAggregate, QuapeConfig};
+use quape_obs::{audit_complete, flight_recorder, Recorder};
 use quape_router::{
-    AdmissionConfig, FaultPlan, FrontDoor, Placement, RoutedJob, Router, RouterConfig,
+    AdmissionConfig, FaultPlan, FleetSnapshot, FrontDoor, Placement, RoutedJob, Router,
+    RouterConfig,
 };
 use quape_server::{JobRequest, JobSource, ServerConfig};
 use quape_workloads::traffic::{hot_tenant_traffic, sharded_traffic, TrafficRequest};
@@ -182,6 +184,7 @@ fn run_scenario(
             shot_quantum: 8,
             cache_capacity: bench.cache_capacity,
             machine: bench.machine.clone(),
+            obs: Default::default(),
             packer: None,
         },
         ..RouterConfig::default()
@@ -323,6 +326,7 @@ pub fn run_kill_shard(bench: &ShardedTrafficConfig) -> FailoverScenarioResult {
         shot_quantum: 8,
         cache_capacity: bench.cache_capacity,
         machine: bench.machine.clone(),
+        obs: Default::default(),
         packer: None,
     };
     // Oracle: the same stream on a healthy fleet.
@@ -449,6 +453,7 @@ pub fn run_hot_tenant(bench: &ShardedTrafficConfig) -> AdmissionScenarioResult {
                 shot_quantum: 8,
                 cache_capacity: bench.cache_capacity,
                 machine: bench.machine.clone(),
+                obs: Default::default(),
                 packer: None,
             },
             ..RouterConfig::default()
@@ -500,6 +505,104 @@ pub fn run_hot_tenant(bench: &ShardedTrafficConfig) -> AdmissionScenarioResult {
         starvation_bound_shots,
         within_bound,
         wall_ms,
+    }
+}
+
+/// Outcome of one fully observed fleet pass ([`run_observed_fleet`]).
+#[derive(Debug)]
+pub struct ObservedFleetOutcome {
+    /// Per-shard and fleet-level metrics merged after the pass.
+    pub snapshot: FleetSnapshot,
+    /// Job lifecycles the trace audit verified complete.
+    pub audited_jobs: usize,
+    /// The fleet's recorder, for trace/metrics export.
+    pub recorder: Recorder,
+}
+
+/// Serves the grid's stream once with full telemetry on: every request
+/// goes through a [`FrontDoor`] (admission + DRR dispatch events) into
+/// a traced fleet, optionally losing a shard a third of the way through
+/// submission (`kill`, the re-route path in the trace). After every job
+/// completes, the trace is audited — accepted-before-quantum, exactly
+/// one terminal, re-routed jobs placed on both their shards — and the
+/// fleet's counters are merged into one [`FleetSnapshot`].
+///
+/// # Panics
+///
+/// Panics when a job is lost or the trace violates a lifecycle
+/// invariant — the audit failure message includes the flight-recorder
+/// dump.
+pub fn run_observed_fleet(bench: &ShardedTrafficConfig, kill: bool) -> ObservedFleetOutcome {
+    let mut traffic = sharded_traffic(bench.seed, bench.requests, bench.distinct_programs);
+    if kill {
+        // Same bulking as run_kill_shard: the victim must die holding a
+        // real backlog or the trace would show nothing re-routed.
+        for r in &mut traffic {
+            r.shots = r.shots.max(32);
+        }
+    }
+    let cfg = base_config(bench);
+    let base_seed = bench.seed.wrapping_mul(3000);
+    let recorder = Recorder::new();
+    let shards = bench.max_shards.max(2);
+    let door = FrontDoor::new(
+        RouterConfig {
+            shards,
+            placement: Placement::RoundRobin,
+            obs: recorder.clone(),
+            shard: ServerConfig {
+                threads: bench.threads_per_shard,
+                shot_quantum: 8,
+                cache_capacity: bench.cache_capacity,
+                machine: bench.machine.clone(),
+                packer: None,
+                obs: Default::default(),
+            },
+            ..RouterConfig::default()
+        },
+        AdmissionConfig {
+            tenant_budget_shots: 1 << 30,
+            quantum_shots: 32,
+            fleet_window_shots: 64,
+            weights: Vec::new(),
+        },
+    );
+    let plan = FaultPlan {
+        victim: 0,
+        after_submits: (traffic.len() / 3).max(1),
+    };
+    let mut admitted = Vec::with_capacity(traffic.len());
+    for (i, r) in traffic.iter().enumerate() {
+        let req = JobRequest::new(
+            r.name.clone(),
+            JobSource::Text(r.source.clone()),
+            cfg.clone(),
+            factory(&cfg),
+            r.shots,
+        )
+        .base_seed(base_seed + i as u64)
+        .priority(priority_of(r.priority_class))
+        .tenant(r.tenant.clone());
+        admitted.push(door.submit(req).expect("budget is ample"));
+        if kill {
+            plan.fire_if_due(i + 1, door.router());
+        }
+    }
+    for job in &admitted {
+        let _ = job.wait().expect("every observed job completes");
+    }
+    let snapshot = door.router().fleet_snapshot();
+    let audit = audit_complete(&recorder.events(), traffic.len()).unwrap_or_else(|e| {
+        panic!(
+            "lifecycle audit failed: {e}\n{}",
+            flight_recorder(&recorder)
+        )
+    });
+    door.drain().expect("observed fleet drains cleanly");
+    ObservedFleetOutcome {
+        snapshot,
+        audited_jobs: audit.jobs,
+        recorder,
     }
 }
 
@@ -578,6 +681,31 @@ mod tests {
         assert_eq!(r.completed, r.submitted);
         assert!(r.aggregates_match);
         assert_eq!(r.shards, 2);
+    }
+
+    #[test]
+    fn observed_fleet_audits_clean_under_a_kill() {
+        let bench = ShardedTrafficConfig {
+            requests: 8,
+            distinct_programs: 4,
+            cache_capacity: 2,
+            repeats: 1,
+            max_shards: 2,
+            ..ShardedTrafficConfig::default()
+        };
+        // The lifecycle audit is asserted inside run_observed_fleet.
+        let o = run_observed_fleet(&bench, true);
+        assert!(o.audited_jobs >= 8);
+        assert_eq!(o.snapshot.shards.len(), 2);
+        assert!(o.snapshot.shards.iter().any(|s| s.status == "down"));
+        assert!(!o.snapshot.tenants.is_empty());
+        // The fleet scope registered its placement counters.
+        assert!(o
+            .snapshot
+            .fleet_metrics
+            .counters
+            .iter()
+            .any(|c| c.name == "router.jobs_placed" && c.value >= 8));
     }
 
     #[test]

@@ -378,6 +378,44 @@ impl BatchReport {
     }
 }
 
+/// Cheap telemetry handles for the engine's shot hot path.
+///
+/// The default ([`EngineObs::off`]) is compile-time inert: every update
+/// is an inlined no-op on `None`-backed handles, so an uninstrumented
+/// engine pays one predictable branch per shot. The job service wires
+/// live handles from its shard's `quape-obs` registry.
+#[derive(Debug, Clone, Default)]
+pub struct EngineObs {
+    /// Shots executed through this engine.
+    pub shots: quape_obs::Counter,
+    /// Per-shot simulated cycle counts (log2 buckets).
+    pub shot_cycles: quape_obs::Histogram,
+}
+
+impl EngineObs {
+    /// The inert default.
+    pub const fn off() -> Self {
+        EngineObs {
+            shots: quape_obs::Counter::off(),
+            shot_cycles: quape_obs::Histogram::off(),
+        }
+    }
+
+    /// Handles registered in `scope`'s metric registry.
+    pub fn in_scope(scope: &quape_obs::ObsScope) -> Self {
+        EngineObs {
+            shots: scope.counter("engine.shots"),
+            shot_cycles: scope.histogram("engine.shot_cycles"),
+        }
+    }
+
+    #[inline]
+    fn record(&self, summary: &ShotSummary) {
+        self.shots.inc();
+        self.shot_cycles.record(summary.cycles);
+    }
+}
+
 /// Per-worker reusable machine state for
 /// [`ShotEngine::run_shot_reusing`].
 ///
@@ -437,6 +475,7 @@ pub struct ShotEngine {
     cycle_limit: u64,
     step_mode: StepMode,
     report_mode: ReportMode,
+    obs: EngineObs,
 }
 
 impl ShotEngine {
@@ -455,6 +494,7 @@ impl ShotEngine {
             cycle_limit: 10_000_000,
             step_mode: StepMode::default(),
             report_mode: ReportMode::Lean,
+            obs: EngineObs::off(),
         }
     }
 
@@ -494,6 +534,14 @@ impl ShotEngine {
     /// apples-to-apples comparisons against figure-level runs.
     pub fn report_mode(mut self, report_mode: ReportMode) -> Self {
         self.report_mode = report_mode;
+        self
+    }
+
+    /// Attaches telemetry handles. Recording is observation-only: it
+    /// never changes seeds, scheduling, or summaries, so aggregates
+    /// stay bit-identical to an uninstrumented run.
+    pub fn obs(mut self, obs: EngineObs) -> Self {
+        self.obs = obs;
         self
     }
 
@@ -547,7 +595,7 @@ impl ShotEngine {
         if self.step_mode == StepMode::Lowered && self.report_mode == ReportMode::Lean {
             let runner = scratch.runner_for(&self.job);
             let outcome = runner.run_shot(qpu, machine_seed, self.cycle_limit);
-            return ShotSummary {
+            let summary = ShotSummary {
                 shot,
                 seed,
                 cycles: outcome.cycles,
@@ -561,13 +609,15 @@ impl ShotEngine {
                 daq_contended: outcome.daq_contended,
                 per_qubit: digest_measurements(self.job.num_qubits(), outcome.measurements),
             };
+            self.obs.record(&summary);
+            return summary;
         }
         let report = self
             .job
             .shot(qpu, machine_seed)
             .report_mode(self.report_mode)
             .run_with_mode(self.step_mode, self.cycle_limit);
-        ShotSummary {
+        let summary = ShotSummary {
             shot,
             seed,
             cycles: report.cycles,
@@ -580,7 +630,9 @@ impl ShotEngine {
             awg_violations: report.awg_violations.len() as u64,
             daq_contended: report.stats.daq_contended_results,
             per_qubit: digest_measurements(self.job.num_qubits(), &report.measurements),
-        }
+        };
+        self.obs.record(&summary);
+        summary
     }
 
     /// Runs `shots` shots and aggregates them in shot order.

@@ -71,8 +71,8 @@ pub use machdesc::{
 };
 
 pub use engine::{
-    shot_seed, BatchAggregate, BatchReport, DistributionSummary, QpuFactory, QubitHistogram,
-    ShotEngine, ShotSummary, StateVectorQpuFactory, StopCounts, WorkerScratch,
+    shot_seed, BatchAggregate, BatchReport, DistributionSummary, EngineObs, QpuFactory,
+    QubitHistogram, ShotEngine, ShotSummary, StateVectorQpuFactory, StopCounts, WorkerScratch,
 };
 pub use machine::{
     CompiledJob, LoweredShotRunner, Machine, MachineError, MeasurementRecord, ReportMode, Shot,

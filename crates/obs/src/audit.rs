@@ -1,0 +1,217 @@
+//! Trace-correctness audits: lifecycle invariants any well-formed
+//! recording must satisfy. Shared by the trace test suites and the
+//! bench binaries (which refuse to write a trace that fails its own
+//! audit).
+
+use crate::trace::{TraceEvent, TraceKind, FLEET_SCOPE};
+use std::collections::BTreeMap;
+
+/// Summary counts from a successful [`audit_lifecycle`] pass.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LifecycleAudit {
+    /// Distinct (shard, job) lifecycles seen on shard scopes.
+    pub jobs: usize,
+    /// Executed quantum spans.
+    pub quanta: usize,
+    /// Fleet-level re-route events.
+    pub rerouted: usize,
+}
+
+/// Checks lifecycle invariants over a merged event stream:
+///
+/// * on every shard scope, a job's first event is `Accepted`, it has at
+///   most one `Compiled`/`CacheHit`, exactly one terminal
+///   (`Finalized`/`Cancelled`, or `Stolen` — a stolen job leaves its
+///   shard with no result of its own and finishes life on the thief's
+///   shard), no events after the terminal, and no `Quantum` before
+///   `Accepted`;
+/// * on the fleet scope, every `ReRouted { a: from, b: to }` job has
+///   `Placed` events on both the `from` and `to` shards.
+///
+/// # Errors
+///
+/// Returns a message naming the first violated invariant and the
+/// offending (shard, job).
+pub fn audit_lifecycle(events: &[TraceEvent]) -> Result<LifecycleAudit, String> {
+    let mut audit = LifecycleAudit::default();
+    // Per-(shard, job) state on shard scopes, in per-scope seq order.
+    let mut per_job: BTreeMap<(u32, u64), Vec<&TraceEvent>> = BTreeMap::new();
+    for ev in events {
+        if ev.shard == FLEET_SCOPE {
+            continue;
+        }
+        if matches!(
+            ev.kind,
+            TraceKind::Accepted
+                | TraceKind::Compiled
+                | TraceKind::CacheHit
+                | TraceKind::Packed
+                | TraceKind::Quantum
+                | TraceKind::Finalized
+                | TraceKind::Cancelled
+                | TraceKind::Stolen
+        ) {
+            per_job.entry((ev.shard, ev.job)).or_default().push(ev);
+        }
+    }
+    for ((shard, job), mut evs) in per_job {
+        evs.sort_by_key(|e| e.seq);
+        let who = format!("shard {shard} job {job}");
+        if evs[0].kind != TraceKind::Accepted {
+            return Err(format!(
+                "{who}: first event is {} (expected accepted)",
+                evs[0].kind.name()
+            ));
+        }
+        let compiles = evs
+            .iter()
+            .filter(|e| matches!(e.kind, TraceKind::Compiled | TraceKind::CacheHit))
+            .count();
+        if compiles > 1 {
+            return Err(format!("{who}: {compiles} compile/cache-hit events"));
+        }
+        let terminals = evs
+            .iter()
+            .filter(|e| {
+                matches!(
+                    e.kind,
+                    TraceKind::Finalized | TraceKind::Cancelled | TraceKind::Stolen
+                )
+            })
+            .count();
+        if terminals != 1 {
+            return Err(format!("{who}: {terminals} terminal events (expected 1)"));
+        }
+        if !matches!(
+            evs.last().unwrap().kind,
+            TraceKind::Finalized | TraceKind::Cancelled | TraceKind::Stolen
+        ) {
+            return Err(format!(
+                "{who}: {} after the terminal event",
+                evs.last().unwrap().kind.name()
+            ));
+        }
+        audit.jobs += 1;
+        audit.quanta += evs.iter().filter(|e| e.kind == TraceKind::Quantum).count();
+    }
+    // Fleet scope: re-routed jobs must be placed on both shards.
+    let fleet: Vec<&TraceEvent> = events.iter().filter(|e| e.shard == FLEET_SCOPE).collect();
+    for ev in &fleet {
+        if ev.kind != TraceKind::ReRouted {
+            continue;
+        }
+        audit.rerouted += 1;
+        for (side, shard) in [("from", ev.a), ("to", ev.b)] {
+            let placed = fleet.iter().any(|p| {
+                p.kind == TraceKind::Placed && p.job == ev.job && p.a == shard && p.seq != ev.seq
+            });
+            if !placed {
+                return Err(format!(
+                    "fleet job {}: re-routed {side} shard {shard} has no placed event",
+                    ev.job
+                ));
+            }
+        }
+    }
+    Ok(audit)
+}
+
+/// Checks that every lifecycle in `events` is complete, and that at
+/// least `min_jobs` lifecycles exist — the gate the bench binaries run
+/// before writing `--trace-out`.
+///
+/// # Errors
+///
+/// Propagates [`audit_lifecycle`] failures, or reports a job shortfall.
+pub fn audit_complete(events: &[TraceEvent], min_jobs: usize) -> Result<LifecycleAudit, String> {
+    let audit = audit_lifecycle(events)?;
+    if audit.jobs < min_jobs {
+        return Err(format!(
+            "trace covers {} job lifecycles, expected at least {min_jobs}",
+            audit.jobs
+        ));
+    }
+    Ok(audit)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::{Recorder, TraceKind};
+
+    #[test]
+    fn clean_lifecycle_passes() {
+        let rec = Recorder::new();
+        let s = rec.scope(0);
+        s.event(TraceKind::Accepted, 0, 1, 64, 1);
+        s.event(TraceKind::CacheHit, 0, 1, 0, 0);
+        s.event(TraceKind::Quantum, 1, 1, 0, 8);
+        s.event(TraceKind::Finalized, 0, 1, 64, 0);
+        let audit = audit_lifecycle(&rec.events()).unwrap();
+        assert_eq!(audit.jobs, 1);
+        assert_eq!(audit.quanta, 1);
+    }
+
+    #[test]
+    fn quantum_before_accept_fails() {
+        let rec = Recorder::new();
+        let s = rec.scope(0);
+        s.event(TraceKind::Quantum, 1, 1, 0, 8);
+        s.event(TraceKind::Accepted, 0, 1, 64, 1);
+        s.event(TraceKind::Finalized, 0, 1, 64, 0);
+        assert!(audit_lifecycle(&rec.events())
+            .unwrap_err()
+            .contains("first event"));
+    }
+
+    #[test]
+    fn double_finalize_fails() {
+        let rec = Recorder::new();
+        let s = rec.scope(0);
+        s.event(TraceKind::Accepted, 0, 1, 64, 1);
+        s.event(TraceKind::Finalized, 0, 1, 64, 0);
+        s.event(TraceKind::Finalized, 0, 1, 64, 0);
+        assert!(audit_lifecycle(&rec.events())
+            .unwrap_err()
+            .contains("terminal"));
+    }
+
+    #[test]
+    fn reroute_requires_both_placements() {
+        let rec = Recorder::new();
+        let f = rec.fleet_scope();
+        f.event(TraceKind::Placed, 0, 7, 0, 3);
+        f.event(TraceKind::ReRouted, 0, 7, 0, 1);
+        assert!(audit_lifecycle(&rec.events())
+            .unwrap_err()
+            .contains("no placed event"));
+        f.event(TraceKind::Placed, 0, 7, 1, 5);
+        let audit = audit_lifecycle(&rec.events()).unwrap();
+        assert_eq!(audit.rerouted, 1);
+    }
+
+    #[test]
+    fn stolen_is_a_valid_terminal() {
+        let rec = Recorder::new();
+        let s = rec.scope(0);
+        s.event(TraceKind::Accepted, 0, 1, 64, 1);
+        s.event(TraceKind::Stolen, 0, 1, 64, 0);
+        let audit = audit_lifecycle(&rec.events()).unwrap();
+        assert_eq!(audit.jobs, 1);
+        // But nothing may follow the steal on the victim shard.
+        s.event(TraceKind::Quantum, 1, 1, 0, 8);
+        assert!(audit_lifecycle(&rec.events())
+            .unwrap_err()
+            .contains("after the terminal"));
+    }
+
+    #[test]
+    fn complete_audit_enforces_job_floor() {
+        let rec = Recorder::new();
+        let s = rec.scope(0);
+        s.event(TraceKind::Accepted, 0, 1, 64, 1);
+        s.event(TraceKind::Finalized, 0, 1, 64, 0);
+        assert!(audit_complete(&rec.events(), 1).is_ok());
+        assert!(audit_complete(&rec.events(), 2).is_err());
+    }
+}

@@ -1,0 +1,177 @@
+//! Chrome trace-event JSON export and the plain-text flight recorder.
+//!
+//! The export targets the [Trace Event Format] as loaded by Perfetto
+//! (`ui.perfetto.dev`) and `chrome://tracing`: one process per scope
+//! (pid = shard id, named via `process_name` metadata), one thread per
+//! worker (tid), async `b`/`e` spans bracketing each job's lifetime,
+//! `X` complete events for executed shot quanta, and `i` instants for
+//! everything else.
+//!
+//! [Trace Event Format]: https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU
+
+use crate::trace::{Recorder, TraceEvent, TraceKind};
+
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn common_args(ev: &TraceEvent) -> String {
+    let mut args = format!("\"a\":{},\"b\":{}", ev.a, ev.b);
+    if let Some(t) = &ev.tenant {
+        args.push_str(&format!(",\"tenant\":\"{}\"", escape(t)));
+    }
+    args
+}
+
+/// Async span id: unique per (scope, job) so same-numbered jobs on
+/// different shards never merge in the viewer.
+fn span_id(ev: &TraceEvent) -> String {
+    format!("{}.{}", ev.shard, ev.job)
+}
+
+fn render_event(ev: &TraceEvent) -> String {
+    let head = format!(
+        "\"pid\":{},\"tid\":{},\"ts\":{}",
+        ev.shard, ev.worker, ev.ts_us
+    );
+    match ev.kind {
+        TraceKind::Accepted => format!(
+            "{{\"name\":\"job\",\"cat\":\"lifecycle\",\"ph\":\"b\",\"id\":\"{}\",{},\"args\":{{{}}}}}",
+            span_id(ev),
+            head,
+            common_args(ev)
+        ),
+        TraceKind::Finalized | TraceKind::Cancelled => format!(
+            "{{\"name\":\"job\",\"cat\":\"lifecycle\",\"ph\":\"e\",\"id\":\"{}\",{},\"args\":{{\"end\":\"{}\",{}}}}}",
+            span_id(ev),
+            head,
+            ev.kind.name(),
+            common_args(ev)
+        ),
+        TraceKind::Quantum => format!(
+            "{{\"name\":\"quantum\",\"cat\":\"server\",\"ph\":\"X\",{},\"dur\":{},\"args\":{{\"job\":{},{}}}}}",
+            head,
+            ev.dur_us,
+            ev.job,
+            common_args(ev)
+        ),
+        kind => format!(
+            "{{\"name\":\"{}\",\"cat\":\"lifecycle\",\"ph\":\"i\",\"s\":\"t\",{},\"args\":{{\"job\":{},{}}}}}",
+            kind.name(),
+            head,
+            ev.job,
+            common_args(ev)
+        ),
+    }
+}
+
+/// Renders the recorder's merged event stream as Chrome trace-event
+/// JSON (`{"traceEvents":[...]}`), loadable in Perfetto.
+pub fn chrome_trace(rec: &Recorder) -> String {
+    let mut lines: Vec<String> = rec
+        .scope_labels()
+        .into_iter()
+        .map(|(pid, label)| {
+            format!(
+                "{{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":{},\"tid\":0,\"args\":{{\"name\":\"{}\"}}}}",
+                pid,
+                escape(&label)
+            )
+        })
+        .collect();
+    lines.extend(rec.events().iter().map(render_event));
+    let mut out = String::from("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n");
+    out.push_str(&lines.join(",\n"));
+    out.push_str("\n]}\n");
+    out
+}
+
+/// Renders the merged event stream as aligned plain text — the flight
+/// recorder dump printed when a trace-correctness test fails.
+pub fn flight_recorder(rec: &Recorder) -> String {
+    let mut out = String::new();
+    for ev in rec.events() {
+        let pid = if ev.shard == crate::FLEET_SCOPE {
+            "fleet".to_string()
+        } else {
+            format!("shard-{}", ev.shard)
+        };
+        out.push_str(&format!(
+            "[{:>10}us] {:<8} tid={} {:<14} job={:<4} a={:<6} b={:<6}",
+            ev.ts_us,
+            pid,
+            ev.worker,
+            ev.kind.name(),
+            ev.job,
+            ev.a,
+            ev.b
+        ));
+        if ev.dur_us > 0 {
+            out.push_str(&format!(" dur={}us", ev.dur_us));
+        }
+        if let Some(t) = &ev.tenant {
+            out.push_str(&format!(" tenant={t}"));
+        }
+        out.push('\n');
+    }
+    if rec.dropped_events() > 0 {
+        out.push_str(&format!(
+            "... {} older events evicted from bounded rings\n",
+            rec.dropped_events()
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_recorder() -> Recorder {
+        let rec = Recorder::new();
+        let s = rec.scope(0);
+        s.event(TraceKind::Accepted, 0, 1, 64, 1);
+        s.event(TraceKind::Compiled, 0, 1, 120, 0);
+        s.span(TraceKind::Quantum, 1, 1, 0, 8, std::time::Instant::now());
+        s.event(TraceKind::Finalized, 0, 1, 64, 0);
+        rec.fleet_scope()
+            .event_tenant(TraceKind::Admitted, 0, 0, 0, 64, "t\"0");
+        rec
+    }
+
+    #[test]
+    fn chrome_trace_has_spans_quanta_and_metadata() {
+        let json = chrome_trace(&sample_recorder());
+        assert!(json.starts_with("{\"displayTimeUnit\""));
+        assert!(json.contains("\"process_name\""));
+        assert!(json.contains("\"ph\":\"b\""));
+        assert!(json.contains("\"ph\":\"e\""));
+        assert!(json.contains("\"ph\":\"X\""));
+        assert!(json.contains("\"ph\":\"i\""));
+        // Tenant strings are escaped.
+        assert!(json.contains("t\\\"0"));
+        // Balanced braces (cheap well-formedness check; the bench
+        // binaries run a real scanner over the exported file).
+        let opens = json.matches('{').count();
+        let closes = json.matches('}').count();
+        assert_eq!(opens, closes);
+    }
+
+    #[test]
+    fn flight_recorder_is_readable() {
+        let txt = flight_recorder(&sample_recorder());
+        assert!(txt.contains("accepted"));
+        assert!(txt.contains("quantum"));
+        assert!(txt.contains("fleet"));
+        assert!(txt.contains("tenant=t\"0"));
+    }
+}

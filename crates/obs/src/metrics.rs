@@ -1,0 +1,371 @@
+//! Wait-free metric instruments and the per-scope registry.
+//!
+//! Handles are `Option<Arc<atomic>>` wrappers: the disabled default is a
+//! `None` that compiles down to a single branch per update, and an
+//! enabled handle is one relaxed atomic RMW — no locks on any hot path.
+//! Registration (name lookup) takes a leaf mutex, but happens once at
+//! construction time, never per shot or per quantum.
+
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Number of log2 buckets in a [`Histogram`]. Bucket `i >= 1` covers
+/// values in `[2^(i-1), 2^i)`; bucket 0 holds exact zeros.
+pub const HISTOGRAM_BUCKETS: usize = 64;
+
+/// A monotonically increasing counter. Cloning shares the cell.
+#[derive(Debug, Clone, Default)]
+pub struct Counter(Option<Arc<AtomicU64>>);
+
+impl Counter {
+    /// A disabled counter: every update is a no-op.
+    pub const fn off() -> Self {
+        Counter(None)
+    }
+
+    /// Adds `n` to the counter.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        if let Some(c) = &self.0 {
+            c.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Adds one to the counter.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Current value (0 when disabled).
+    pub fn get(&self) -> u64 {
+        self.0.as_ref().map_or(0, |c| c.load(Ordering::Relaxed))
+    }
+}
+
+/// A signed up/down gauge. Cloning shares the cell.
+#[derive(Debug, Clone, Default)]
+pub struct Gauge(Option<Arc<AtomicI64>>);
+
+impl Gauge {
+    /// A disabled gauge: every update is a no-op.
+    pub const fn off() -> Self {
+        Gauge(None)
+    }
+
+    /// Adds `n` (may be negative) to the gauge.
+    #[inline]
+    pub fn add(&self, n: i64) {
+        if let Some(g) = &self.0 {
+            g.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Stores an absolute value.
+    #[inline]
+    pub fn set(&self, v: i64) {
+        if let Some(g) = &self.0 {
+            g.store(v, Ordering::Relaxed);
+        }
+    }
+
+    /// Current value (0 when disabled).
+    pub fn get(&self) -> i64 {
+        self.0.as_ref().map_or(0, |g| g.load(Ordering::Relaxed))
+    }
+}
+
+#[derive(Debug)]
+pub(crate) struct HistogramCore {
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl HistogramCore {
+    fn new() -> Self {
+        HistogramCore {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+}
+
+/// Index of the log2 bucket holding `v`.
+fn bucket_of(v: u64) -> usize {
+    if v == 0 {
+        0
+    } else {
+        ((64 - v.leading_zeros()) as usize).min(HISTOGRAM_BUCKETS - 1)
+    }
+}
+
+/// Largest value a bucket can hold — the reported percentile estimate.
+fn bucket_upper(i: usize) -> u64 {
+    if i == 0 {
+        0
+    } else {
+        (1u64 << i).saturating_sub(1)
+    }
+}
+
+/// A log2-bucketed latency histogram tracking count, sum, max, and
+/// bucket occupancy; percentiles are reported as the upper bound of the
+/// bucket containing the requested rank. Cloning shares the cells.
+#[derive(Debug, Clone, Default)]
+pub struct Histogram(Option<Arc<HistogramCore>>);
+
+impl Histogram {
+    /// A disabled histogram: every update is a no-op.
+    pub const fn off() -> Self {
+        Histogram(None)
+    }
+
+    /// Records one observation.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        if let Some(h) = &self.0 {
+            h.buckets[bucket_of(v)].fetch_add(1, Ordering::Relaxed);
+            h.count.fetch_add(1, Ordering::Relaxed);
+            h.sum.fetch_add(v, Ordering::Relaxed);
+            h.max.fetch_max(v, Ordering::Relaxed);
+        }
+    }
+
+    /// Records a duration in microseconds.
+    #[inline]
+    pub fn record_micros(&self, d: std::time::Duration) {
+        self.record(d.as_micros() as u64);
+    }
+
+    /// Snapshot of count/percentiles/max (zeros when disabled).
+    pub fn sample(&self, name: &str) -> HistogramSample {
+        let Some(h) = &self.0 else {
+            return HistogramSample {
+                name: name.to_string(),
+                count: 0,
+                p50: 0,
+                p95: 0,
+                max: 0,
+            };
+        };
+        let buckets: Vec<u64> = h
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        let count: u64 = buckets.iter().sum();
+        let percentile = |num: u64, den: u64| -> u64 {
+            if count == 0 {
+                return 0;
+            }
+            let rank = (count * num).div_ceil(den).max(1);
+            let mut cum = 0u64;
+            for (i, &c) in buckets.iter().enumerate() {
+                cum += c;
+                if cum >= rank {
+                    return bucket_upper(i);
+                }
+            }
+            bucket_upper(HISTOGRAM_BUCKETS - 1)
+        };
+        HistogramSample {
+            name: name.to_string(),
+            count,
+            p50: percentile(1, 2),
+            p95: percentile(19, 20),
+            max: h.max.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A named-instrument registry. Lookups are find-or-create by name under
+/// a leaf mutex; the returned handles update lock-free thereafter.
+#[derive(Debug, Default)]
+pub struct Registry {
+    counters: Mutex<Vec<(String, Arc<AtomicU64>)>>,
+    gauges: Mutex<Vec<(String, Arc<AtomicI64>)>>,
+    histograms: Mutex<Vec<(String, Arc<HistogramCore>)>>,
+}
+
+impl Registry {
+    /// Returns the counter registered under `name`, creating it on first
+    /// use.
+    pub fn counter(&self, name: &str) -> Counter {
+        let mut v = self.counters.lock().unwrap();
+        if let Some((_, c)) = v.iter().find(|(n, _)| n == name) {
+            return Counter(Some(Arc::clone(c)));
+        }
+        let c = Arc::new(AtomicU64::new(0));
+        v.push((name.to_string(), Arc::clone(&c)));
+        Counter(Some(c))
+    }
+
+    /// Returns the gauge registered under `name`, creating it on first
+    /// use.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        let mut v = self.gauges.lock().unwrap();
+        if let Some((_, g)) = v.iter().find(|(n, _)| n == name) {
+            return Gauge(Some(Arc::clone(g)));
+        }
+        let g = Arc::new(AtomicI64::new(0));
+        v.push((name.to_string(), Arc::clone(&g)));
+        Gauge(Some(g))
+    }
+
+    /// Returns the histogram registered under `name`, creating it on
+    /// first use.
+    pub fn histogram(&self, name: &str) -> Histogram {
+        let mut v = self.histograms.lock().unwrap();
+        if let Some((_, h)) = v.iter().find(|(n, _)| n == name) {
+            return Histogram(Some(Arc::clone(h)));
+        }
+        let h = Arc::new(HistogramCore::new());
+        v.push((name.to_string(), Arc::clone(&h)));
+        Histogram(Some(h))
+    }
+
+    /// Renders every registered instrument, sorted by name so the serde
+    /// output has a stable order independent of registration order.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let mut counters: Vec<CounterSample> = self
+            .counters
+            .lock()
+            .unwrap()
+            .iter()
+            .map(|(n, c)| CounterSample {
+                name: n.clone(),
+                value: c.load(Ordering::Relaxed),
+            })
+            .collect();
+        counters.sort_by(|a, b| a.name.cmp(&b.name));
+        let mut gauges: Vec<GaugeSample> = self
+            .gauges
+            .lock()
+            .unwrap()
+            .iter()
+            .map(|(n, g)| GaugeSample {
+                name: n.clone(),
+                value: g.load(Ordering::Relaxed),
+            })
+            .collect();
+        gauges.sort_by(|a, b| a.name.cmp(&b.name));
+        let mut histograms: Vec<HistogramSample> = self
+            .histograms
+            .lock()
+            .unwrap()
+            .iter()
+            .map(|(n, h)| Histogram(Some(Arc::clone(h))).sample(n))
+            .collect();
+        histograms.sort_by(|a, b| a.name.cmp(&b.name));
+        MetricsSnapshot {
+            counters,
+            gauges,
+            histograms,
+        }
+    }
+}
+
+/// One counter reading.
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize)]
+pub struct CounterSample {
+    /// Registered instrument name.
+    pub name: String,
+    /// Value at snapshot time.
+    pub value: u64,
+}
+
+/// One gauge reading.
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize)]
+pub struct GaugeSample {
+    /// Registered instrument name.
+    pub name: String,
+    /// Value at snapshot time.
+    pub value: i64,
+}
+
+/// One histogram reading (percentiles are log2-bucket upper bounds).
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize)]
+pub struct HistogramSample {
+    /// Registered instrument name.
+    pub name: String,
+    /// Observations recorded.
+    pub count: u64,
+    /// Median estimate.
+    pub p50: u64,
+    /// 95th-percentile estimate.
+    pub p95: u64,
+    /// Exact maximum observed.
+    pub max: u64,
+}
+
+/// All instruments of one scope, sorted by name within each kind.
+#[derive(Debug, Clone, Default, PartialEq, Eq, serde::Serialize)]
+pub struct MetricsSnapshot {
+    /// Counter readings.
+    pub counters: Vec<CounterSample>,
+    /// Gauge readings.
+    pub gauges: Vec<GaugeSample>,
+    /// Histogram readings.
+    pub histograms: Vec<HistogramSample>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn off_instruments_are_inert() {
+        let c = Counter::off();
+        c.inc();
+        assert_eq!(c.get(), 0);
+        let g = Gauge::off();
+        g.add(5);
+        assert_eq!(g.get(), 0);
+        let h = Histogram::off();
+        h.record(9);
+        assert_eq!(h.sample("x").count, 0);
+    }
+
+    #[test]
+    fn registry_shares_handles_by_name() {
+        let r = Registry::default();
+        let a = r.counter("hits");
+        let b = r.counter("hits");
+        a.inc();
+        b.add(2);
+        assert_eq!(a.get(), 3);
+        let snap = r.snapshot();
+        assert_eq!(snap.counters.len(), 1);
+        assert_eq!(snap.counters[0].value, 3);
+    }
+
+    #[test]
+    fn histogram_percentiles_track_buckets() {
+        let r = Registry::default();
+        let h = r.histogram("lat");
+        for v in [0u64, 1, 1, 2, 3, 100, 1000] {
+            h.record(v);
+        }
+        let s = h.sample("lat");
+        assert_eq!(s.count, 7);
+        assert_eq!(s.max, 1000);
+        // p50 rank 4 of 7 lands in the [2,4) bucket.
+        assert_eq!(s.p50, 3);
+        // p95 rank 7 lands in the [512,1024) bucket.
+        assert_eq!(s.p95, 1023);
+    }
+
+    #[test]
+    fn snapshot_sorted_by_name() {
+        let r = Registry::default();
+        r.counter("zeta");
+        r.counter("alpha");
+        let snap = r.snapshot();
+        let names: Vec<&str> = snap.counters.iter().map(|c| c.name.as_str()).collect();
+        assert_eq!(names, ["alpha", "zeta"]);
+    }
+}

@@ -33,6 +33,7 @@
 //! and immediately pumps the queues again.
 
 use crate::fleet::{FleetHandle, RoutedResult, Router, RouterConfig, RouterInner};
+use quape_obs::{ObsScope, TraceKind};
 use quape_server::{JobError, JobRequest, JobResult};
 use std::collections::{HashMap, HashSet, VecDeque};
 use std::sync::{Arc, Condvar, Mutex, Weak};
@@ -72,6 +73,10 @@ impl Default for AdmissionConfig {
 pub struct DispatchRecord {
     /// Cumulative shots dispatched before this job.
     pub seq: u64,
+    /// Cumulative shots dispatched before this job was *admitted* —
+    /// `seq - arrival_seq` is the job's queue wait in dispatched shots,
+    /// the starvation-bound metric.
+    pub arrival_seq: u64,
     /// The dispatching tenant (`""` = unattributed).
     pub tenant: String,
     /// The job's shots.
@@ -162,6 +167,7 @@ struct Pending {
     req: JobRequest,
     tenant: String,
     shots: u64,
+    arrival_seq: u64,
     ticket: Arc<Ticket>,
 }
 
@@ -200,11 +206,37 @@ struct FrontState {
 /// ticket — the part of the admission layer that must outlive `self`
 /// borrows. Holds the fleet weakly: the `Router` (owned by the
 /// [`FrontDoor`]) is what keeps the shards alive.
+/// Fleet-scope admission telemetry, pre-registered at construction.
+struct FrontObs {
+    scope: ObsScope,
+    admitted: quape_obs::Counter,
+    shed: quape_obs::Counter,
+    dispatched: quape_obs::Counter,
+    drr_rounds: quape_obs::Counter,
+    /// Jobs admitted but not yet handed to the router (live depth of
+    /// the DRR queues, across all tenants).
+    queue_depth: quape_obs::Gauge,
+}
+
+impl FrontObs {
+    fn new(scope: ObsScope) -> Self {
+        FrontObs {
+            admitted: scope.counter("front.jobs_admitted"),
+            shed: scope.counter("front.jobs_shed"),
+            dispatched: scope.counter("front.jobs_dispatched"),
+            drr_rounds: scope.counter("front.drr_rounds"),
+            queue_depth: scope.gauge("front.queue_depth"),
+            scope,
+        }
+    }
+}
+
 struct FrontCore {
     cfg: AdmissionConfig,
     fleet: Weak<RouterInner>,
     state: Mutex<FrontState>,
     idle: Condvar,
+    obs: FrontObs,
 }
 
 impl FrontCore {
@@ -237,6 +269,21 @@ impl FrontCore {
     /// and the log are updated here, so the fairness order is fixed
     /// before any (slow, compiling) router submit runs.
     fn plan(&self, st: &mut FrontState) -> Vec<(Pending, u64)> {
+        let batch = self.plan_rounds(st);
+        if !batch.is_empty() {
+            self.obs.drr_rounds.inc();
+            self.obs.scope.event(
+                TraceKind::DrrRound,
+                0,
+                0,
+                batch.len() as u64,
+                batch.iter().map(|(p, _)| p.shots).sum(),
+            );
+        }
+        batch
+    }
+
+    fn plan_rounds(&self, st: &mut FrontState) -> Vec<(Pending, u64)> {
         let mut batch = Vec::new();
         let n = st.queues.len();
         if n == 0 {
@@ -286,12 +333,14 @@ impl FrontCore {
                         break;
                     }
                     let pending = st.queues[qi].queue.pop_front().expect("front exists");
+                    self.obs.queue_depth.add(-1);
                     st.queues[qi].deficit -= pending.shots;
                     st.window_used += pending.shots;
                     let seq = st.dispatch_seq;
                     st.dispatch_seq += pending.shots;
                     st.log.push(DispatchRecord {
                         seq,
+                        arrival_seq: pending.arrival_seq,
                         tenant: pending.tenant.clone(),
                         shots: pending.shots,
                     });
@@ -350,6 +399,15 @@ impl FrontCore {
                     .and_then(|fleet| fleet.submit_routed(pending.req));
                 let outcome = match submitted {
                     Ok(routed) => {
+                        self.obs.dispatched.inc();
+                        self.obs.scope.event_tenant(
+                            TraceKind::Dispatched,
+                            0,
+                            routed.handle.id(),
+                            seq,
+                            pending.shots,
+                            &pending.tenant,
+                        );
                         let mut st = self.lock();
                         if st.orphans.remove(&routed.handle.id()) {
                             // Finished before we got here: free budget
@@ -405,6 +463,7 @@ impl FrontDoor {
             fleet: Arc::downgrade(router.inner()),
             state: Mutex::new(FrontState::default()),
             idle: Condvar::new(),
+            obs: FrontObs::new(router.recorder().fleet_scope()),
         });
         let hook_core = Arc::clone(&core);
         router.set_finish_hook(Arc::new(move |fleet_id, _outcome| {
@@ -457,9 +516,17 @@ impl FrontDoor {
             let inflight = st.inflight.get(&tenant).copied().unwrap_or(0);
             if inflight + shots > self.core.cfg.tenant_budget_shots {
                 st.shed += 1;
-                return Err(JobError::OverBudget {
-                    retry_after_shots: inflight + shots - self.core.cfg.tenant_budget_shots,
-                });
+                let retry_after_shots = inflight + shots - self.core.cfg.tenant_budget_shots;
+                self.core.obs.shed.inc();
+                self.core.obs.scope.event_tenant(
+                    TraceKind::Shed,
+                    0,
+                    0,
+                    retry_after_shots,
+                    shots,
+                    &tenant,
+                );
+                return Err(JobError::OverBudget { retry_after_shots });
             }
             *st.inflight.entry(tenant.clone()).or_insert(0) += shots;
             let ticket: Arc<Ticket> = Arc::new((
@@ -494,8 +561,21 @@ impl FrontDoor {
                 req,
                 tenant: tenant.clone(),
                 shots,
+                arrival_seq,
                 ticket: Arc::clone(&ticket),
             });
+            self.core.obs.queue_depth.add(1);
+            // Emit under the front lock so the admitted event's ring
+            // position precedes this job's dispatch.
+            self.core.obs.admitted.inc();
+            self.core.obs.scope.event_tenant(
+                TraceKind::Admitted,
+                0,
+                0,
+                arrival_seq,
+                shots,
+                &tenant,
+            );
             AdmittedJob {
                 tenant,
                 shots,

@@ -19,7 +19,9 @@
 //! server locks held (see [`quape_server::JobServer::set_finish_hook`]).
 
 use crate::profile::{JobRequirements, ShardProfile};
+use crate::snapshot::{FleetSnapshot, ShardSnapshot, TenantStatsRow};
 use quape_core::{BatchAggregate, MachineDescription};
+use quape_obs::{ObsScope, Recorder, TraceKind};
 use quape_server::{
     CacheStats, JobError, JobHandle, JobProgress, JobRequest, JobResult, JobServer, ServerConfig,
     ServingServer,
@@ -115,6 +117,12 @@ pub struct RouterConfig {
     /// When set, a background thread steals whole queued jobs from the
     /// hottest backlog onto idle shards.
     pub steal: Option<StealConfig>,
+    /// Trace/metrics recorder. The inert default ([`Recorder::off`])
+    /// hands every shard a no-op scope; an enabled recorder collects
+    /// per-shard scopes plus a fleet scope for placement, re-route,
+    /// steal and admission events. Observation only — it never steers
+    /// placement or scheduling.
+    pub obs: Recorder,
 }
 
 impl Default for RouterConfig {
@@ -127,6 +135,7 @@ impl Default for RouterConfig {
             machines: Vec::new(),
             retry: RetryPolicy::default(),
             steal: None,
+            obs: Recorder::off(),
         }
     }
 }
@@ -177,6 +186,17 @@ pub enum ShardStatus {
     Retiring,
     /// Killed by [`Router::kill_shard`]: workers joined, jobs swept.
     Down,
+}
+
+impl ShardStatus {
+    /// Lowercase name used in snapshots and tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            ShardStatus::Up => "up",
+            ShardStatus::Retiring => "retiring",
+            ShardStatus::Down => "down",
+        }
+    }
 }
 
 /// A test-facing failure schedule: kill shard `victim` once
@@ -244,10 +264,34 @@ struct JobTable {
     by_server: HashMap<(usize, u64), u64>,
 }
 
+/// Fleet-scope telemetry handles, pre-registered at construction so the
+/// placement/recovery paths never touch the registry mutex.
+pub(crate) struct FleetObs {
+    pub(crate) recorder: Recorder,
+    pub(crate) scope: ObsScope,
+    placed: quape_obs::Counter,
+    rerouted: quape_obs::Counter,
+    stolen: quape_obs::Counter,
+}
+
+impl FleetObs {
+    fn new(recorder: Recorder) -> Self {
+        let scope = recorder.fleet_scope();
+        FleetObs {
+            placed: scope.counter("router.jobs_placed"),
+            rerouted: scope.counter("router.jobs_rerouted"),
+            stolen: scope.counter("router.jobs_stolen"),
+            scope,
+            recorder,
+        }
+    }
+}
+
 pub(crate) struct RouterInner {
     placement: Placement,
     retry: RetryPolicy,
     rr: AtomicUsize,
+    pub(crate) obs: FleetObs,
     /// Per-shard servers, immutable after construction (cheap `Arc`
     /// clones of each serving pool's server — valid even after the
     /// [`ServingServer`] itself is consumed by a kill or drain).
@@ -296,6 +340,9 @@ impl Router {
             if let Some(packer) = shard_cfg.packer.as_mut() {
                 packer.max_pack_qubits = packer.max_pack_qubits.min(profile.pack_span_limit());
             }
+            // Every shard records into its own scope of the shared
+            // recorder (off scopes when observability is off).
+            shard_cfg.obs = cfg.obs.scope(i as u32);
             let serving = JobServer::serve(shard_cfg);
             servers.push(serving.server().clone());
             shards.push(Shard {
@@ -308,6 +355,7 @@ impl Router {
             placement: cfg.placement,
             retry: cfg.retry,
             rr: AtomicUsize::new(0),
+            obs: FleetObs::new(cfg.obs),
             servers,
             fleet: Mutex::new(FleetState {
                 shards,
@@ -386,6 +434,52 @@ impl Router {
     /// Jobs moved by work stealing so far.
     pub fn stolen_jobs(&self) -> u64 {
         self.inner.stolen.load(Ordering::Relaxed)
+    }
+
+    /// The trace recorder the fleet records into
+    /// ([`Recorder::off`] unless [`RouterConfig::obs`] enabled one).
+    pub fn recorder(&self) -> &Recorder {
+        &self.inner.obs.recorder
+    }
+
+    /// A merged point-in-time snapshot of the whole fleet: per-shard
+    /// scheduler/cache/packer counters and metric scopes, folded tenant
+    /// stats (sorted by tenant id), recovery/steal totals, and the
+    /// fleet-scope metrics — one serde-renderable value with stable
+    /// field and row order.
+    pub fn fleet_snapshot(&self) -> FleetSnapshot {
+        let statuses: Vec<ShardStatus> = {
+            let fleet = self.inner.lock_fleet();
+            fleet.shards.iter().map(|s| s.status).collect()
+        };
+        let shards = self
+            .inner
+            .servers
+            .iter()
+            .enumerate()
+            .map(|(i, s)| ShardSnapshot {
+                shard: i,
+                status: statuses[i].name().to_string(),
+                backlog_shots: s.backlog_shots(),
+                pending_jobs: s.pending_jobs() as u64,
+                cache: s.cache_stats(),
+                packer: s.packer_stats(),
+                metrics: self.inner.obs.recorder.scope(i as u32).metrics(),
+            })
+            .collect();
+        let tenants = self
+            .tenant_stats()
+            .into_iter()
+            .map(|(tenant, cache)| TenantStatsRow { tenant, cache })
+            .collect();
+        FleetSnapshot {
+            shards,
+            tenants,
+            recovered_jobs: self.recovered_jobs(),
+            stolen_jobs: self.stolen_jobs(),
+            fleet_metrics: self.inner.obs.scope.metrics(),
+            trace_events_dropped: self.inner.obs.recorder.dropped_events(),
+        }
     }
 
     /// Installs (or replaces) the fleet-level job-completion callback.
@@ -811,6 +905,10 @@ impl RouterInner {
                         );
                         fleet_id
                     };
+                    self.obs.placed.inc();
+                    self.obs
+                        .scope
+                        .event(TraceKind::Placed, 0, fleet_id, shard as u64, handle.id());
                     // Close the hook-before-mapping race: a job so fast
                     // it finished before the mapping landed is folded in
                     // here (idempotent — the terminal check wins ties).
@@ -904,6 +1002,9 @@ impl RouterInner {
         let Some(serving) = serving else {
             return; // Already killed, retired-and-drained, or stopping.
         };
+        self.obs
+            .scope
+            .event(TraceKind::ShardDown, 0, 0, victim as u64, 0);
         // Join outside the fleet lock: the shard's workers stop
         // claiming, in-flight quanta finish, unfinished jobs finalize
         // as cancelled partials (whose hooks land in on_shard_result,
@@ -939,6 +1040,9 @@ impl RouterInner {
                 serving.begin_drain();
             }
             drop(fleet);
+            self.obs
+                .scope
+                .event(TraceKind::ShardRetiring, 0, 0, index as u64, 0);
             // Unstarted jobs need not wait for the drain — move them to
             // capable peers now. (Started jobs keep their progress and
             // finish in place.)
@@ -972,7 +1076,7 @@ impl RouterInner {
     /// [`JobError::ShardLost`] when no capable shard remains or the
     /// retries run out.
     fn resubmit_elsewhere(&self, fleet_id: u64) {
-        let (mut req, requirements) = {
+        let (mut req, requirements, old_shard) = {
             let mut table = self.lock_jobs();
             let job = table.jobs.get_mut(&fleet_id).expect("registered job");
             if job.terminal.is_some() || job.in_recovery {
@@ -981,7 +1085,7 @@ impl RouterInner {
             job.in_recovery = true;
             job.handle = None;
             let old_key = (job.shard, job.server_id);
-            let snapshot = (job.snapshot.clone(), job.requirements);
+            let snapshot = (job.snapshot.clone(), job.requirements, job.shard);
             table.by_server.remove(&old_key);
             snapshot
         };
@@ -1019,6 +1123,17 @@ impl RouterInner {
                         job.in_recovery = false;
                         job.user_cancelled
                     };
+                    self.obs.rerouted.inc();
+                    self.obs
+                        .scope
+                        .event(TraceKind::Placed, 0, fleet_id, shard as u64, handle.id());
+                    self.obs.scope.event(
+                        TraceKind::ReRouted,
+                        0,
+                        fleet_id,
+                        old_shard as u64,
+                        shard as u64,
+                    );
                     if user_cancelled {
                         // A cancel landed mid-re-route; honor it on the
                         // new shard (finalizes a cancelled partial).
@@ -1132,6 +1247,17 @@ impl RouterInner {
                         job.in_recovery = false;
                         job.user_cancelled
                     };
+                    self.obs.stolen.inc();
+                    self.obs
+                        .scope
+                        .event(TraceKind::Placed, 0, fleet_id, thief as u64, handle.id());
+                    self.obs.scope.event(
+                        TraceKind::Stolen,
+                        0,
+                        fleet_id,
+                        victim as u64,
+                        thief as u64,
+                    );
                     if user_cancelled {
                         handle.cancel();
                     }

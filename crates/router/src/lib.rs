@@ -89,6 +89,7 @@
 mod admission;
 mod fleet;
 mod profile;
+mod snapshot;
 
 pub use admission::{AdmissionConfig, AdmittedJob, DispatchRecord, FrontDoor};
 pub use fleet::{
@@ -96,6 +97,7 @@ pub use fleet::{
     RouterFinishHook, ShardStatus, StealConfig,
 };
 pub use profile::{JobRequirements, ShardProfile, StepModeSet};
+pub use snapshot::{FleetSnapshot, ShardSnapshot, TenantStatsRow};
 // The error type jobs and admission surface; re-exported so router
 // users match on one import.
 pub use quape_server::JobError;

@@ -56,6 +56,7 @@ fn fleet(shards: usize, placement: Placement) -> RouterConfig {
             shot_quantum: 3,
             cache_capacity: 4,
             machine: None,
+            obs: Default::default(),
             packer: None,
         },
         ..RouterConfig::default()
@@ -326,25 +327,33 @@ fn background_stealer_balances_a_sticky_pile() {
 /// retry-after figure, and completions refund the budget.
 #[test]
 fn over_budget_sheds_with_retry_after() {
+    // Shots are sized so job "a" cannot race to completion (refunding
+    // alice's budget) before the over-budget submission below lands —
+    // tens of thousands of shots take milliseconds, the submit takes
+    // microseconds.
     let door = FrontDoor::new(
         fleet(2, Placement::RoundRobin),
         AdmissionConfig {
-            tenant_budget_shots: 100,
-            quantum_shots: 32,
-            fleet_window_shots: 1 << 20,
+            tenant_budget_shots: 100_000,
+            quantum_shots: 32_000,
+            fleet_window_shots: 1 << 30,
             weights: Vec::new(),
         },
     );
-    let a = door.submit(request("a", 0, 80, 1).tenant("alice")).unwrap();
-    match door.submit(request("b", 0, 40, 2).tenant("alice")) {
+    let a = door
+        .submit(request("a", 0, 80_000, 1).tenant("alice"))
+        .unwrap();
+    match door.submit(request("b", 0, 40_000, 2).tenant("alice")) {
         Err(JobError::OverBudget { retry_after_shots }) => {
-            assert_eq!(retry_after_shots, 80 + 40 - 100);
+            assert_eq!(retry_after_shots, 80_000 + 40_000 - 100_000);
         }
         other => panic!("expected OverBudget, got {other:?}"),
     }
     assert_eq!(door.shed_count(), 1);
     // Another tenant is unaffected.
-    let b = door.submit(request("c", 0, 80, 3).tenant("bob")).unwrap();
+    let b = door
+        .submit(request("c", 0, 80_000, 3).tenant("bob"))
+        .unwrap();
     a.wait().unwrap();
     // The finish hook refunds asynchronously right around wait()'s
     // return; poll briefly rather than racing it.
@@ -358,7 +367,7 @@ fn over_budget_sheds_with_retry_after() {
     }
     assert!(budget_freed, "completion must refund the tenant budget");
     let retry = door
-        .submit(request("b2", 0, 40, 2).tenant("alice"))
+        .submit(request("b2", 0, 40_000, 2).tenant("alice"))
         .unwrap();
     retry.wait().unwrap();
     b.wait().unwrap();
@@ -490,6 +499,7 @@ fn heterogeneous_fleet_from_machine_descriptions() {
             shot_quantum: 3,
             cache_capacity: 4,
             machine: None,
+            obs: Default::default(),
             packer: None,
         },
         ..RouterConfig::heterogeneous(vec![small, big])
@@ -525,6 +535,7 @@ fn heterogeneous_fleet_from_machine_descriptions() {
             shot_quantum: 3,
             cache_capacity: 4,
             machine: None,
+            obs: Default::default(),
             packer: None,
         },
         placement: Placement::RoundRobin,

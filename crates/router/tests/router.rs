@@ -47,6 +47,7 @@ fn router(shards: usize, placement: Placement, threads: usize) -> Router {
             shot_quantum: 3,
             cache_capacity: 4,
             machine: None,
+            obs: Default::default(),
             packer: None,
         },
         ..RouterConfig::default()
@@ -199,6 +200,7 @@ fn sticky_routing_compiles_each_program_once_fleet_wide() {
                 shot_quantum: 4,
                 cache_capacity: 16,
                 machine: None,
+                obs: Default::default(),
                 packer: None,
             },
             ..RouterConfig::default()
@@ -300,6 +302,7 @@ fn packer_cap_is_clipped_to_the_shard_profile() {
             shot_quantum: 3,
             cache_capacity: 4,
             machine: None,
+            obs: Default::default(),
             packer: Some(PackerConfig::default()),
         },
         profiles: vec![
@@ -343,6 +346,7 @@ fn packer_enabled_fleet_matches_solo_engine() {
             shot_quantum: 4,
             cache_capacity: 8,
             machine: None,
+            obs: Default::default(),
             packer: Some(PackerConfig::default()),
         },
         ..RouterConfig::default()

@@ -69,10 +69,11 @@
 
 use crate::cache::{CacheStats, CompileCache};
 use quape_core::{
-    BatchAggregate, CompiledJob, DescriptionError, MachineDescription, MachineError, QpuFactory,
-    QuapeConfig, ShotEngine, ShotSummary, StepMode, WorkerScratch,
+    BatchAggregate, CompiledJob, DescriptionError, EngineObs, MachineDescription, MachineError,
+    QpuFactory, QuapeConfig, ShotEngine, ShotSummary, StepMode, WorkerScratch,
 };
 use quape_isa::{AsmError, Dependency, Fnv64, Program};
+use quape_obs::{ObsScope, TraceKind};
 use quape_workloads::multiprogramming::{self, MemberSlice};
 use std::fmt;
 use std::ops::Range;
@@ -462,7 +463,7 @@ impl Default for PackerConfig {
 }
 
 /// Counters of the packer stage, read via [`JobServer::packer_stats`].
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, serde::Serialize)]
 pub struct PackerStats {
     /// Packs formed (each replaced ≥ 2 queued jobs with one entry).
     pub packs_formed: u64,
@@ -498,6 +499,11 @@ pub struct ServerConfig {
     /// into packed scheduling units (see the crate docs). `None` (the
     /// default) serves every job solo.
     pub packer: Option<PackerConfig>,
+    /// Telemetry scope this server records into. The default
+    /// ([`ObsScope::off`]) is compile-time inert — every recording call
+    /// is an inlined no-op — and an enabled scope is observation-only:
+    /// it never changes scheduling, seeds, or results.
+    pub obs: ObsScope,
 }
 
 impl ServerConfig {
@@ -524,6 +530,7 @@ impl Default for ServerConfig {
             cache_capacity: 64,
             machine: None,
             packer: None,
+            obs: ObsScope::off(),
         }
     }
 }
@@ -890,6 +897,44 @@ struct SchedState {
 /// An eager job-completion callback (see [`JobServer::set_finish_hook`]).
 pub type FinishHook = Arc<dyn Fn(&JobResult) + Send + Sync>;
 
+/// Pre-registered telemetry handles for the server's hot paths, built
+/// once at construction so nothing on the claim/complete path ever
+/// touches the registry's name-lookup mutex. All fields are inert
+/// no-ops when the configured [`ObsScope`] is off.
+struct ServerObs {
+    scope: ObsScope,
+    accepted: quape_obs::Counter,
+    cache_hits: quape_obs::Counter,
+    compiles: quape_obs::Counter,
+    quanta: quape_obs::Counter,
+    packs: quape_obs::Counter,
+    finalized: quape_obs::Counter,
+    cancelled: quape_obs::Counter,
+    compile_us: quape_obs::Histogram,
+    quantum_us: quape_obs::Histogram,
+    latency_us: quape_obs::Histogram,
+    engine: EngineObs,
+}
+
+impl ServerObs {
+    fn new(scope: ObsScope) -> Self {
+        ServerObs {
+            accepted: scope.counter("server.jobs_accepted"),
+            cache_hits: scope.counter("server.cache_hits"),
+            compiles: scope.counter("server.compiles"),
+            quanta: scope.counter("server.quanta"),
+            packs: scope.counter("server.packs_formed"),
+            finalized: scope.counter("server.jobs_finalized"),
+            cancelled: scope.counter("server.jobs_cancelled"),
+            compile_us: scope.histogram("server.compile_us"),
+            quantum_us: scope.histogram("server.quantum_us"),
+            latency_us: scope.histogram("server.job_latency_us"),
+            engine: EngineObs::in_scope(&scope),
+            scope,
+        }
+    }
+}
+
 struct ServerInner {
     cfg: ServerConfig,
     cache: CompileCache,
@@ -897,6 +942,7 @@ struct ServerInner {
     work: Condvar,
     finish_hook: Mutex<Option<FinishHook>>,
     packer_stats: Mutex<PackerStats>,
+    obs: ServerObs,
 }
 
 /// The multi-tenant job service. Cheap to clone (all state is shared):
@@ -914,6 +960,7 @@ impl JobServer {
     /// Creates a server with an empty job queue and compile cache.
     pub fn new(cfg: ServerConfig) -> Self {
         let cache = CompileCache::new(cfg.cache_capacity);
+        let obs = ServerObs::new(cfg.obs.clone());
         JobServer {
             inner: Arc::new(ServerInner {
                 cfg,
@@ -922,6 +969,7 @@ impl JobServer {
                 work: Condvar::new(),
                 finish_hook: Mutex::new(None),
                 packer_stats: Mutex::new(PackerStats::default()),
+                obs,
             }),
         }
     }
@@ -935,9 +983,11 @@ impl JobServer {
         let threads = server.effective_threads();
         server.lock_state().phase = ServePhase::Serving;
         let workers = (0..threads)
-            .map(|_| {
+            .map(|w| {
                 let s = server.clone();
-                std::thread::spawn(move || s.serving_loop())
+                // Worker ids start at 1 — tid 0 is the control plane
+                // (submit/cancel/finalize events) in the trace.
+                std::thread::spawn(move || s.serving_loop(w as u32 + 1))
             })
             .collect();
         ServingServer {
@@ -1084,7 +1134,15 @@ impl JobServer {
         {
             return false;
         }
+        let shots = entry.members[0].shots;
         let _ = Self::remove_entry(&mut st, index);
+        // The job leaves this shard with no terminal of its own — the
+        // stolen event is its last word here; the thief's shard traces
+        // the rest of its life.
+        self.inner
+            .obs
+            .scope
+            .event(TraceKind::Stolen, 0, id, shots, 0);
         true
     }
 
@@ -1159,6 +1217,7 @@ impl JobServer {
             .base_seed(req.base_seed)
             .cycle_limit(req.cycle_limit)
             .step_mode(req.step_mode)
+            .obs(self.inner.obs.engine.clone())
             .threads(1);
         let cell = Arc::new(JobCell {
             name: req.name,
@@ -1203,6 +1262,27 @@ impl JobServer {
                 cell: cell.clone(),
             }],
         });
+        // Emit under the server lock (the trace ring is a leaf mutex) so
+        // the accepted event always precedes any quantum a woken worker
+        // claims for this job.
+        let obs = &self.inner.obs;
+        obs.accepted.inc();
+        obs.scope
+            .event(TraceKind::Accepted, 0, id, req.shots, req.priority.weight());
+        if outcome.hit {
+            obs.cache_hits.inc();
+            obs.scope.event(TraceKind::CacheHit, 0, id, 0, 0);
+        } else {
+            obs.compiles.inc();
+            obs.compile_us.record_micros(compile_wall);
+            obs.scope.event(
+                TraceKind::Compiled,
+                0,
+                id,
+                compile_wall.as_micros() as u64,
+                0,
+            );
+        }
         drop(st);
         self.inner.work.notify_all();
         Ok(JobHandle {
@@ -1295,7 +1375,7 @@ impl JobServer {
     /// Uncancelled members always have a gapless `0..shots` summary set;
     /// a panicked quantum leaves a gap (and cancels the member), so the
     /// fold stops at the gap to keep the prefix-consistency guarantee.
-    fn finalize_member(member: &MemberJob, rank: u64) -> JobResult {
+    fn finalize_member(obs: &ServerObs, member: &MemberJob, rank: u64) -> JobResult {
         let flagged = member.cancelled();
         let mut inner = member.cell.inner.lock().expect("job cell lock poisoned");
         let mut summaries = std::mem::take(&mut inner.summaries);
@@ -1322,6 +1402,27 @@ impl JobServer {
         };
         inner.result = Some(result.clone());
         member.cell.cond.notify_all();
+        drop(inner);
+        obs.latency_us.record_micros(result.latency);
+        if result.cancelled {
+            obs.cancelled.inc();
+            obs.scope.event(
+                TraceKind::Cancelled,
+                0,
+                result.id,
+                result.shots,
+                result.shots_requested,
+            );
+        } else {
+            obs.finalized.inc();
+            obs.scope.event(
+                TraceKind::Finalized,
+                0,
+                result.id,
+                result.shots,
+                result.shots_requested,
+            );
+        }
         result
     }
 
@@ -1352,11 +1453,16 @@ impl JobServer {
     /// of the claim-path reap and the terminal stop cleanup. The hot
     /// paths ([`complete`](JobServer::complete), cancellation) use
     /// [`finalize_members_detached`](JobServer::finalize_members_detached).
-    fn finalize_and_remove(st: &mut SchedState, entry_index: usize, member_index: usize) {
+    fn finalize_and_remove(
+        obs: &ServerObs,
+        st: &mut SchedState,
+        entry_index: usize,
+        member_index: usize,
+    ) {
         let rank = st.completed;
         st.completed += 1;
         let member = Self::remove_member(st, entry_index, member_index);
-        let result = Self::finalize_member(&member, rank);
+        let result = Self::finalize_member(obs, &member, rank);
         st.hook_pending.push(result.clone());
         st.finished.push(result);
     }
@@ -1396,7 +1502,7 @@ impl JobServer {
         drop(st);
         let results: Vec<JobResult> = ranked
             .iter()
-            .map(|(member, rank)| Self::finalize_member(member, *rank))
+            .map(|(member, rank)| Self::finalize_member(&self.inner.obs, member, *rank))
             .collect();
         let mut st = self.lock_state();
         st.finalizing -= results.len();
@@ -1416,7 +1522,7 @@ impl JobServer {
     /// [`ClaimUnit`] per live member that still wants them — and the
     /// cursor moves past it. Claims name entries and members by id,
     /// never by position — positions shift as finished work is removed.
-    fn reap_and_claim(cfg: &ServerConfig, st: &mut SchedState) -> Option<Claim> {
+    fn reap_and_claim(cfg: &ServerConfig, obs: &ServerObs, st: &mut SchedState) -> Option<Claim> {
         // A cancelled member with nothing in flight gets no more
         // complete() calls — finalize it here so it cannot linger.
         while let Some((ei, mi)) = st.jobs.iter().enumerate().find_map(|(ei, e)| {
@@ -1425,7 +1531,7 @@ impl JobServer {
                 .position(|m| m.cancelled() && m.quiescent())
                 .map(|mi| (ei, mi))
         }) {
-            Self::finalize_and_remove(st, ei, mi);
+            Self::finalize_and_remove(obs, st, ei, mi);
         }
         if st.phase == ServePhase::Shutdown {
             return None;
@@ -1551,11 +1657,12 @@ impl JobServer {
     /// hanging the drain. One [`WorkerScratch`] spans the whole claim,
     /// so members compiled from the same program share a prepared
     /// lowered runner.
-    fn execute_claim(&self, claim: Claim) {
+    fn execute_claim(&self, worker: u32, claim: Claim) {
         let mut scratch = WorkerScratch::default();
         let mut batches = Vec::with_capacity(claim.units.len());
         for unit in claim.units {
             let shots = unit.range.end - unit.range.start;
+            let started = Instant::now();
             let batch = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
                 unit.range
                     .clone()
@@ -1563,7 +1670,20 @@ impl JobServer {
                     .collect::<Vec<ShotSummary>>()
             }));
             match batch {
-                Ok(batch) => batches.push((unit.member, batch)),
+                Ok(batch) => {
+                    let obs = &self.inner.obs;
+                    obs.quanta.inc();
+                    obs.quantum_us.record_micros(started.elapsed());
+                    obs.scope.span(
+                        TraceKind::Quantum,
+                        worker,
+                        unit.member,
+                        unit.range.start,
+                        unit.range.end,
+                        started,
+                    );
+                    batches.push((unit.member, batch));
+                }
                 Err(_) => {
                     // The scratch may hold arbitrary mid-shot state
                     // after an unwind; start the next member fresh.
@@ -1700,7 +1820,7 @@ impl JobServer {
     /// Runs with the server lock **released** (combining + compiling is
     /// the expensive part); the `forming` counter taken by the scan
     /// keeps drains honest while the entries are off the queue.
-    fn form_pack(&self, entries: Vec<ActiveEntry>) {
+    fn form_pack(&self, worker: u32, entries: Vec<ActiveEntry>) {
         debug_assert!(entries.len() >= 2);
         // Pack cache key: hash of the member compile keys in claim
         // order. Each member key already pins (source, config) — and the
@@ -1755,10 +1875,18 @@ impl JobServer {
                 drop(stats);
                 // All members share one pack class, hence one priority.
                 let priority = entries[0].priority;
-                let members = entries
+                let members: Vec<MemberJob> = entries
                     .into_iter()
                     .map(|mut e| e.members.pop().expect("scanned entries are solos"))
                     .collect();
+                // Emit under the re-insert lock so every member's packed
+                // event precedes any quantum claimed from the new entry.
+                let obs = &self.inner.obs;
+                obs.packs.inc();
+                for m in &members {
+                    obs.scope
+                        .event(TraceKind::Packed, worker, m.id, id, members.len() as u64);
+                }
                 st.jobs.push(ActiveEntry {
                     id,
                     priority,
@@ -1798,30 +1926,31 @@ impl JobServer {
     #[allow(clippy::result_large_err)]
     fn try_pack_then_claim<'a>(
         &self,
+        worker: u32,
         mut guard: MutexGuard<'a, SchedState>,
     ) -> Result<(), MutexGuard<'a, SchedState>> {
         if let Some(group) = self.scan_pack_group(&mut guard) {
             drop(guard);
             self.flush_finish_hooks();
-            self.form_pack(group);
+            self.form_pack(worker, group);
             return Ok(());
         }
-        let Some(claim) = Self::reap_and_claim(&self.inner.cfg, &mut guard) else {
+        let Some(claim) = Self::reap_and_claim(&self.inner.cfg, &self.inner.obs, &mut guard) else {
             return Err(guard);
         };
         drop(guard);
         // The claim-path reap finalizes under the lock; surface those
         // completions before (and after) the quantum runs.
         self.flush_finish_hooks();
-        self.execute_claim(claim);
+        self.execute_claim(worker, claim);
         Ok(())
     }
 
     /// Batch worker: claim until the queue has nothing claimable, then
     /// exit (the [`run`](JobServer::run) drain).
-    fn worker_loop(&self) {
+    fn worker_loop(&self, worker: u32) {
         loop {
-            match self.try_pack_then_claim(self.lock_state()) {
+            match self.try_pack_then_claim(worker, self.lock_state()) {
                 Ok(()) => {}
                 Err(guard) => {
                     drop(guard);
@@ -1835,10 +1964,10 @@ impl JobServer {
 
     /// Streaming worker: park on the condvar when idle; exit on
     /// shutdown, or when draining finds the queue empty.
-    fn serving_loop(&self) {
+    fn serving_loop(&self, worker: u32) {
         let mut st = self.lock_state();
         loop {
-            match self.try_pack_then_claim(st) {
+            match self.try_pack_then_claim(worker, st) {
                 Ok(()) => {
                     st = self.lock_state();
                     continue;
@@ -1883,11 +2012,13 @@ impl JobServer {
     pub fn run(&self) -> Vec<JobResult> {
         let threads = self.effective_threads();
         if threads == 1 {
-            self.worker_loop();
+            // Batch mode on the caller thread doubles as the control
+            // plane: trace tid 0.
+            self.worker_loop(0);
         } else {
             std::thread::scope(|scope| {
-                for _ in 0..threads {
-                    scope.spawn(|| self.worker_loop());
+                for w in 0..threads {
+                    scope.spawn(move || self.worker_loop(w as u32 + 1));
                 }
             });
         }
@@ -2023,7 +2154,12 @@ impl ServingServer {
             let member = &st.jobs[entry_index].members[member_index];
             member.cell.cancelled.store(true, Ordering::Relaxed);
             debug_assert!(worker_panicked || member.quiescent());
-            JobServer::finalize_and_remove(&mut st, entry_index, member_index);
+            JobServer::finalize_and_remove(
+                &self.server.inner.obs,
+                &mut st,
+                entry_index,
+                member_index,
+            );
         }
         // The phase stays Draining/Shutdown: a stopped serving session is
         // terminal, later submissions get `NotAccepting` deterministically.

@@ -19,6 +19,7 @@ fn server(threads: usize, quantum: u64) -> JobServer {
         shot_quantum: quantum,
         cache_capacity: 16,
         machine: None,
+        obs: Default::default(),
         packer: None,
     })
 }

@@ -26,6 +26,7 @@ fn packing_server(threads: usize, quantum: u64, packer: PackerConfig) -> JobServ
         shot_quantum: quantum,
         cache_capacity: 16,
         machine: None,
+        obs: Default::default(),
         packer: Some(packer),
     })
 }
@@ -140,6 +141,7 @@ fn packed_partials_are_prefix_consistent_mid_flight() {
         shot_quantum: 2,
         cache_capacity: 16,
         machine: None,
+        obs: Default::default(),
         packer: Some(PackerConfig {
             max_member_shots: u64::MAX,
             ..PackerConfig::default()
@@ -174,6 +176,7 @@ fn cancelling_one_member_leaves_the_others_bit_identical() {
         shot_quantum: 4,
         cache_capacity: 16,
         machine: None,
+        obs: Default::default(),
         packer: Some(PackerConfig {
             max_member_shots: u64::MAX,
             ..PackerConfig::default()

@@ -51,6 +51,7 @@ fn submit_while_serving_is_live() {
         shot_quantum: 4,
         cache_capacity: 8,
         machine: None,
+        obs: Default::default(),
         packer: None,
     });
     let first = serving.submit(request("first", 40, 1)).unwrap();
@@ -79,6 +80,7 @@ fn partial_aggregates_are_prefix_consistent_mid_flight() {
         shot_quantum: 2,
         cache_capacity: 8,
         machine: None,
+        obs: Default::default(),
         packer: None,
     });
     let handle = serving.submit(request("long", 1_000_000, 7)).unwrap();
@@ -109,6 +111,7 @@ fn cancel_mid_job_returns_prefix_consistent_partial() {
         shot_quantum: 4,
         cache_capacity: 8,
         machine: None,
+        obs: Default::default(),
         packer: None,
     });
     let handle = serving.submit(request("cancel_me", 1_000_000, 3)).unwrap();
@@ -143,6 +146,7 @@ fn cancel_before_execution_yields_empty_result() {
         shot_quantum: 4,
         cache_capacity: 8,
         machine: None,
+        obs: Default::default(),
         packer: None,
     });
     let handle = server.submit(request("never_ran", 50, 1)).unwrap();
@@ -164,6 +168,7 @@ fn drain_completes_all_accepted_jobs() {
         shot_quantum: 8,
         cache_capacity: 8,
         machine: None,
+        obs: Default::default(),
         packer: None,
     });
     let server = serving.server().clone();
@@ -199,6 +204,7 @@ fn shutdown_finalizes_unfinished_jobs_as_cancelled_partials() {
         shot_quantum: 4,
         cache_capacity: 8,
         machine: None,
+        obs: Default::default(),
         packer: None,
     });
     let small = serving.submit(request("small", 8, 5)).unwrap();
@@ -249,6 +255,7 @@ fn panicking_quantum_fails_the_job_not_the_server() {
         shot_quantum: 4, // × Normal weight 2 ⇒ 8-shot quanta
         cache_capacity: 8,
         machine: None,
+        obs: Default::default(),
         packer: None,
     });
     let c = cfg();
@@ -291,6 +298,7 @@ fn cancel_after_completion_is_a_noop() {
         shot_quantum: 8,
         cache_capacity: 8,
         machine: None,
+        obs: Default::default(),
         packer: None,
     });
     let handle = serving.submit(request("done_first", 8, 9)).unwrap();
@@ -330,6 +338,7 @@ fn streaming_submissions_share_the_compile_cache() {
         shot_quantum: 4,
         cache_capacity: 8,
         machine: None,
+        obs: Default::default(),
         packer: None,
     });
     let text = feedback_chain(0, 30).unwrap().to_string();

@@ -26,6 +26,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             shot_quantum: 8,
             cache_capacity: 8,
             machine: None,
+            obs: Default::default(),
             packer: None,
         },
         profiles: vec![small, ShardProfile::unconstrained()],
@@ -104,6 +105,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 shot_quantum: 4,
                 cache_capacity: 4,
                 machine: None,
+                obs: Default::default(),
                 packer: None,
             },
             ..RouterConfig::default()

@@ -23,6 +23,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         shot_quantum: 4,
         cache_capacity: 8,
         machine: None,
+        obs: Default::default(),
         packer: Some(PackerConfig::default()),
     });
 

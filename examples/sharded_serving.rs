@@ -20,6 +20,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             shot_quantum: 8,
             cache_capacity: 8,
             machine: None,
+            obs: Default::default(),
             packer: None,
         },
         ..RouterConfig::default()

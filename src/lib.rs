@@ -21,7 +21,10 @@
 //! * [`server`] — the multi-tenant job service: compile cache, fair
 //!   shot-quantum scheduling, and the streaming job lifecycle;
 //! * [`router`] — the HiMA-style sharded front router placing jobs
-//!   across multiple serving shards.
+//!   across multiple serving shards;
+//! * [`obs`] — fleet-wide telemetry: wait-free metrics, per-job
+//!   lifecycle tracing with Chrome trace-event export, and the
+//!   trace-correctness audits.
 //!
 //! ## Quickstart
 //!
@@ -49,6 +52,7 @@ pub use quape_circuit as circuit;
 pub use quape_compiler as compiler;
 pub use quape_core as core;
 pub use quape_isa as isa;
+pub use quape_obs as obs;
 pub use quape_qpu as qpu;
 pub use quape_router as router;
 pub use quape_server as server;
@@ -72,13 +76,18 @@ pub mod prelude {
         assemble, ClassicalOp, Cond, CondOp, Cycles, Gate1, Gate2, Instruction, Program,
         ProgramBuilder, QuantumOp, Qubit,
     };
+    pub use quape_obs::{
+        audit_complete, audit_lifecycle, chrome_trace, flight_recorder, MetricsSnapshot, ObsScope,
+        Recorder, TraceEvent, TraceKind,
+    };
     pub use quape_qpu::{
         fit_decay, run_simrb_experiment, BehavioralQpu, BehavioralQpuFactory, CliffordGroup,
         MeasurementModel, RbConfig, StateVector,
     };
     pub use quape_router::{
-        AdmissionConfig, FaultPlan, FleetHandle, FrontDoor, Placement, RetryPolicy, RoutedJob,
-        RoutedResult, Router, RouterConfig, ShardProfile, ShardStatus, StealConfig,
+        AdmissionConfig, FaultPlan, FleetHandle, FleetSnapshot, FrontDoor, Placement, RetryPolicy,
+        RoutedJob, RoutedResult, Router, RouterConfig, ShardProfile, ShardSnapshot, ShardStatus,
+        StealConfig, TenantStatsRow,
     };
     pub use quape_server::{
         JobError, JobHandle, JobProgress, JobRequest, JobServer, JobSource, MachineSpec,
